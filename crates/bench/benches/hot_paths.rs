@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks of the hot paths: the α-gap test, the
+//! centralized growing phase, the three optimizations, the baseline
+//! spanners, and a full distributed-protocol simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cbtc_core::opt::{pairwise_removal, shrink_back, PairwisePolicy};
+use cbtc_core::protocol::{CbtcNode, GrowthConfig};
+use cbtc_core::{run_basic, run_centralized, CbtcConfig, Network};
+use cbtc_geom::gap::has_alpha_gap;
+use cbtc_geom::{Alpha, Angle};
+use cbtc_graph::spanners;
+use cbtc_radio::{PathLoss, Power, PowerSchedule};
+use cbtc_sim::{Engine, FaultConfig};
+use cbtc_workloads::RandomPlacement;
+
+fn paper_network(n: usize, seed: u64) -> Network {
+    RandomPlacement::new(n, 1500.0, 1500.0, 500.0).generate(seed)
+}
+
+fn bench_gap_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap_detection");
+    for size in [8usize, 64, 512] {
+        // Deterministic pseudo-random direction sets.
+        let dirs: Vec<Angle> = (0..size)
+            .map(|i| Angle::new((i as f64 * 0.61803398875).fract() * std::f64::consts::TAU))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &dirs, |b, dirs| {
+            b.iter(|| has_alpha_gap(std::hint::black_box(dirs), Alpha::FIVE_PI_SIXTHS));
+        });
+    }
+    group.finish();
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralized_cbtc");
+    group.sample_size(20);
+    for n in [50usize, 100, 200] {
+        let network = paper_network(n, 7);
+        group.bench_with_input(BenchmarkId::new("basic_5pi6", n), &network, |b, net| {
+            b.iter(|| run_basic(std::hint::black_box(net), Alpha::FIVE_PI_SIXTHS));
+        });
+        group.bench_with_input(BenchmarkId::new("all_ops_2pi3", n), &network, |b, net| {
+            b.iter(|| {
+                run_centralized(
+                    std::hint::black_box(net),
+                    &CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizations");
+    group.sample_size(20);
+    let network = paper_network(100, 3);
+    let basic = run_basic(&network, Alpha::FIVE_PI_SIXTHS);
+    let closure = basic.symmetric_closure();
+
+    group.bench_function("shrink_back_100", |b| {
+        b.iter(|| shrink_back(std::hint::black_box(&basic)));
+    });
+    group.bench_function("pairwise_removal_100", |b| {
+        b.iter(|| {
+            pairwise_removal(
+                std::hint::black_box(&closure),
+                network.layout(),
+                PairwisePolicy::PowerReducing,
+            )
+        });
+    });
+    group.bench_function("symmetric_closure_100", |b| {
+        b.iter(|| std::hint::black_box(&basic).symmetric_closure());
+    });
+    group.finish();
+}
+
+fn bench_spanners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanners");
+    group.sample_size(20);
+    let network = paper_network(100, 5);
+    let layout = network.layout();
+    group.bench_function("rng_100", |b| {
+        b.iter(|| spanners::relative_neighborhood_graph(std::hint::black_box(layout), 500.0));
+    });
+    group.bench_function("gabriel_100", |b| {
+        b.iter(|| spanners::gabriel_graph(std::hint::black_box(layout), 500.0));
+    });
+    group.bench_function("mst_100", |b| {
+        b.iter(|| spanners::euclidean_mst(std::hint::black_box(layout), 500.0));
+    });
+    group.bench_function("min_energy_100", |b| {
+        b.iter(|| spanners::minimum_energy_graph(std::hint::black_box(layout), 500.0, 2.0, 0.0));
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    let network = paper_network(100, 11);
+    let graph = run_centralized(
+        &network,
+        &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
+    )
+    .final_graph()
+    .clone();
+    group.bench_function("edge_betweenness_100", |b| {
+        b.iter(|| cbtc_graph::load::edge_betweenness(std::hint::black_box(&graph)));
+    });
+    group.bench_function("cut_structure_100", |b| {
+        b.iter(|| cbtc_graph::biconnectivity::cut_structure(std::hint::black_box(&graph)));
+    });
+    group.bench_function("path_stats_100", |b| {
+        b.iter(|| cbtc_graph::load::path_stats(std::hint::black_box(&graph)));
+    });
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_protocol");
+    group.sample_size(10);
+    for n in [25usize, 50] {
+        let network = paper_network(n, 9);
+        let model = *network.model();
+        let config = GrowthConfig {
+            alpha: Alpha::FIVE_PI_SIXTHS,
+            schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+            ack_timeout: 3,
+            model,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &network, |b, net| {
+            b.iter(|| {
+                let nodes: Vec<CbtcNode> =
+                    (0..net.len()).map(|_| CbtcNode::new(config, false)).collect();
+                let mut engine = Engine::new(
+                    net.layout().clone(),
+                    model,
+                    nodes,
+                    FaultConfig::reliable_synchronous(),
+                );
+                engine.run_to_quiescence(10_000_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gap_detection,
+    bench_centralized,
+    bench_optimizations,
+    bench_spanners,
+    bench_analysis,
+    bench_distributed
+);
+criterion_main!(benches);

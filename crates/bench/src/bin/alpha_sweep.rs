@@ -1,0 +1,92 @@
+//! Supporting experiment for Theorems 2.1 / 2.4: sweep the cone degree `α`
+//! and measure (a) the connectivity-preservation rate on random networks,
+//! (b) the verdict of the Theorem 2.4 counterexample construction, and
+//! (c) the degree/radius cost curve — locating the 5π/6 threshold
+//! empirically.
+//!
+//! ```sh
+//! cargo run --release -p cbtc-bench --bin alpha_sweep [-- --trials 30 --seed 0]
+//! ```
+
+use cbtc_bench::{measure_graph, Args};
+use cbtc_core::{run_basic, Network};
+use cbtc_geom::constructions::Theorem24;
+use cbtc_geom::Alpha;
+use cbtc_graph::connectivity::preserves_connectivity;
+use cbtc_graph::traversal::is_connected;
+use cbtc_graph::Layout;
+use cbtc_workloads::{RandomPlacement, Scenario};
+
+fn main() {
+    let args = Args::capture();
+    let trials: u32 = args.get("trials", 30);
+    let base_seed: u64 = args.get("seed", 0);
+    let mut scenario = Scenario::paper_default();
+    scenario.trials = trials;
+    let generator = RandomPlacement::from_scenario(&scenario);
+
+    let five_pi_six = 5.0 * std::f64::consts::PI / 6.0;
+    println!(
+        "α sweep — {} random networks per point, {} nodes each\n",
+        trials, scenario.node_count
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>12} {:>22}",
+        "α/π", "preserved", "avg deg", "avg radius", "Thm 2.4 construction"
+    );
+
+    // Sweep in units of π for readability: π/3 up to π.
+    let steps = 17usize;
+    for i in 0..steps {
+        let frac = 1.0 / 3.0 + (1.0 - 1.0 / 3.0) * i as f64 / (steps - 1) as f64;
+        let alpha = Alpha::new(frac * std::f64::consts::PI).unwrap();
+
+        let mut preserved = 0u32;
+        let mut degree = 0.0;
+        let mut radius = 0.0;
+        for seed in scenario.seeds(base_seed) {
+            let network = generator.generate(seed);
+            let full = network.max_power_graph();
+            let g = run_basic(&network, alpha).symmetric_closure();
+            if preserves_connectivity(&g, &full) {
+                preserved += 1;
+            }
+            let m = measure_graph(&network, &g);
+            degree += m.degree;
+            radius += m.radius;
+        }
+
+        // The adversarial check: does the Theorem 2.4 construction defeat
+        // this α? (Defined for α strictly between 5π/6 and π.)
+        let eps = alpha.radians() - five_pi_six;
+        let construction = if eps > 1e-9 && eps <= std::f64::consts::PI / 6.0 {
+            let t = Theorem24::new(500.0, eps).unwrap();
+            let network = Network::with_paper_radio(Layout::new(t.points()));
+            let g = run_basic(&network, t.alpha).symmetric_closure();
+            if is_connected(&g) {
+                "survives (!)"
+            } else {
+                "DISCONNECTS"
+            }
+        } else {
+            "n/a (α ≤ 5π/6)"
+        };
+
+        println!(
+            "{:>8.4} {:>11.0}% {:>10.2} {:>12.1} {:>22}",
+            frac,
+            100.0 * preserved as f64 / trials as f64,
+            degree / trials as f64,
+            radius / trials as f64,
+            construction
+        );
+    }
+
+    println!("\nReading the table:");
+    println!("  * for α/π ≤ 5/6 ≈ 0.8333 every random network is preserved AND no");
+    println!("    counterexample exists (Theorem 2.1);");
+    println!("  * for α/π > 5/6 random networks usually survive, but the Theorem 2.4");
+    println!("    construction disconnects — the guarantee is gone (the threshold is");
+    println!("    about worst-case placements, not average ones);");
+    println!("  * degree and radius fall as α grows: larger cones demand less power.");
+}

@@ -1,0 +1,58 @@
+//! Extension experiment: **density scaling** — the motivating property of
+//! topology control (§1). As node density grows, the max-power degree grows
+//! linearly (interference!), while CBTC's degree stays bounded: each node
+//! only keeps enough neighbors to cover its cones.
+//!
+//! ```sh
+//! cargo run --release -p cbtc-bench --bin density_scaling [-- --trials 10]
+//! ```
+
+use cbtc_bench::{measure_config, measure_graph, Args};
+use cbtc_core::CbtcConfig;
+use cbtc_geom::Alpha;
+use cbtc_workloads::RandomPlacement;
+
+fn main() {
+    let args = Args::capture();
+    let trials: u64 = args.get("trials", 10);
+
+    println!("density scaling — 1500×1500 field, R = 500, {trials} trials per point\n");
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>16}",
+        "nodes", "max-power deg", "basic 5π/6 deg", "all-ops deg", "all-ops radius"
+    );
+
+    for n in [50usize, 100, 200, 400] {
+        let generator = RandomPlacement::new(n, 1500.0, 1500.0, 500.0);
+        let mut full_deg = 0.0;
+        let mut basic_deg = 0.0;
+        let mut opt_deg = 0.0;
+        let mut opt_rad = 0.0;
+        for seed in 0..trials {
+            let network = generator.generate(seed);
+            full_deg += measure_graph(&network, &network.max_power_graph()).degree;
+            basic_deg +=
+                measure_config(&network, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS)).degree;
+            let m = measure_config(
+                &network,
+                &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
+            );
+            opt_deg += m.degree;
+            opt_rad += m.radius;
+        }
+        let t = trials as f64;
+        println!(
+            "{:>7} {:>14.1} {:>14.1} {:>14.2} {:>16.1}",
+            n,
+            full_deg / t,
+            basic_deg / t,
+            opt_deg / t,
+            opt_rad / t
+        );
+    }
+
+    println!("\nMax-power degree grows linearly with density; the optimized CBTC degree");
+    println!("stays in the low single digits and the per-node radius *falls* — denser");
+    println!("networks let every node talk more quietly. This is the paper's core");
+    println!("motivation made quantitative.");
+}

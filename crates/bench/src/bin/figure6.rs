@@ -1,0 +1,111 @@
+//! Regenerates **Figure 6** of the paper: one random network rendered
+//! under (a) no topology control through (h) all optimizations, as SVG
+//! files plus a metrics summary.
+//!
+//! ```sh
+//! cargo run --release -p cbtc-bench --bin figure6 [-- --seed 1 --out out/figure6]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use cbtc_bench::{measure_graph, Args};
+use cbtc_core::{run_centralized, CbtcConfig, Network};
+use cbtc_geom::Alpha;
+use cbtc_viz::{render_panel_grid, render_svg, SvgOptions};
+use cbtc_workloads::{RandomPlacement, Scenario};
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 1);
+    let out: PathBuf = PathBuf::from(args.get("out", "out/figure6".to_owned()));
+    fs::create_dir_all(&out).expect("create output directory");
+
+    let scenario = Scenario::paper_default();
+    let network: Network = RandomPlacement::from_scenario(&scenario).generate(seed);
+    let full = network.max_power_graph();
+
+    let a56 = Alpha::FIVE_PI_SIXTHS;
+    let a23 = Alpha::TWO_PI_THIRDS;
+    let panels: Vec<(&str, String, Option<CbtcConfig>)> = vec![
+        ("a", "(a) no topology control".into(), None),
+        ("b", format!("(b) α=2π/3, basic (seed {seed})"), Some(CbtcConfig::new(a23))),
+        ("c", format!("(c) α=5π/6, basic (seed {seed})"), Some(CbtcConfig::new(a56))),
+        (
+            "d",
+            "(d) α=2π/3 with shrink-back".into(),
+            Some(CbtcConfig::new(a23).with_shrink_back()),
+        ),
+        (
+            "e",
+            "(e) α=5π/6 with shrink-back".into(),
+            Some(CbtcConfig::new(a56).with_shrink_back()),
+        ),
+        (
+            "f",
+            "(f) α=2π/3, shrink-back + asym removal".into(),
+            Some(
+                CbtcConfig::new(a23)
+                    .with_shrink_back()
+                    .with_asymmetric_removal()
+                    .expect("2π/3 supports asymmetric removal"),
+            ),
+        ),
+        (
+            "g",
+            "(g) α=5π/6, all applicable optimizations".into(),
+            Some(CbtcConfig::all_applicable(a56)),
+        ),
+        (
+            "h",
+            "(h) α=2π/3, all optimizations".into(),
+            Some(CbtcConfig::all_applicable(a23)),
+        ),
+    ];
+
+    println!("Figure 6 — seed {seed}, {} nodes\n", network.len());
+    println!("{:<6} {:>8} {:>10} {:>12}  file", "panel", "edges", "avg deg", "avg radius");
+    let mut rendered: Vec<(String, cbtc_graph::UndirectedGraph)> = Vec::new();
+    for (panel, caption, config) in panels {
+        let graph = match &config {
+            None => full.clone(),
+            Some(c) => {
+                let run = run_centralized(&network, c);
+                assert!(run.preserves_connectivity_of(&full), "panel {panel}");
+                run.final_graph().clone()
+            }
+        };
+        let m = measure_graph(&network, &graph);
+        let svg = render_svg(
+            network.layout(),
+            &graph,
+            &SvgOptions {
+                caption: Some(caption.clone()),
+                ..SvgOptions::default()
+            },
+        );
+        let path = out.join(format!("{panel}.svg"));
+        fs::write(&path, svg).expect("write svg");
+        println!(
+            "({panel})   {:>8} {:>10.2} {:>12.1}  {}",
+            graph.edge_count(),
+            m.degree,
+            m.radius,
+            path.display()
+        );
+        rendered.push((caption, graph));
+    }
+
+    // The combined two-column figure, as laid out in the paper.
+    let panel_refs: Vec<(String, &cbtc_graph::UndirectedGraph)> = rendered
+        .iter()
+        .map(|(caption, graph)| (caption.clone(), graph))
+        .collect();
+    let grid = render_panel_grid(network.layout(), &panel_refs, 2, 480.0);
+    let grid_path = out.join("figure6_combined.svg");
+    fs::write(&grid_path, grid).expect("write combined svg");
+    println!("\ncombined figure: {}", grid_path.display());
+    println!("\nCompare with the paper's Figure 6: dense-area nodes shrink their radii");
+    println!("under (b)/(c); shrink-back thins boundary nodes in (d)/(e); (f) removes");
+    println!("asymmetric edges; (g)/(h) are the sparse final topologies.");
+}

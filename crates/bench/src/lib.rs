@@ -1,0 +1,225 @@
+//! # cbtc-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§5) plus supporting experiments for the theorems, and
+//! Criterion micro-benchmarks of the hot paths.
+//!
+//! | binary            | regenerates |
+//! |-------------------|-------------|
+//! | `table1`          | Table 1 (degree/radius per configuration) |
+//! | `figure6`         | Figure 6 (one network, 8 panels, SVG) |
+//! | `figure2_figure5` | Figure 2 (Example 2.1) and Figure 5 (Theorem 2.4) |
+//! | `alpha_sweep`     | the 5π/6 threshold (Theorems 2.1/2.4) |
+//! | `reconfig`        | §4 reconfiguration claims under mobility/crashes |
+//! | `baselines`       | §1 related-work comparison (RNG/Gabriel/MST/k-NN) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cbtc_core::{run_centralized, CbtcConfig, Network};
+use cbtc_graph::metrics::{average_degree, average_radius};
+use cbtc_workloads::{RandomPlacement, Scenario};
+use serde::Serialize;
+
+/// Simple `--key value` command-line parsing (no external dependency).
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn capture() -> Self {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when the value fails to parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let flag = format!("--{name}");
+        match self.raw.iter().position(|a| a == &flag) {
+            None => default,
+            Some(i) => match self.raw.get(i + 1) {
+                // A following flag means this one was used bare.
+                None => default,
+                Some(value) if value.starts_with("--") => default,
+                Some(value) => value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("invalid value for {flag}: {value}")),
+            },
+        }
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args::capture()
+    }
+}
+
+/// Degree/radius measurement of one configuration on one network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Measurement {
+    /// Average node degree.
+    pub degree: f64,
+    /// Average node radius (distance to farthest neighbor; isolated nodes
+    /// count the max range, as in the paper's max-power row).
+    pub radius: f64,
+}
+
+/// Measures a CBTC configuration on a network.
+pub fn measure_config(network: &Network, config: &CbtcConfig) -> Measurement {
+    let run = run_centralized(network, config);
+    measure_graph(network, run.final_graph())
+}
+
+/// Measures an arbitrary topology on a network.
+pub fn measure_graph(network: &Network, graph: &cbtc_graph::UndirectedGraph) -> Measurement {
+    Measurement {
+        degree: average_degree(graph),
+        radius: average_radius(graph, network.layout(), network.max_range()),
+    }
+}
+
+/// Mean and standard deviation of a measurement over trials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Aggregate {
+    /// Per-metric means.
+    pub mean: Measurement,
+    /// Per-metric sample standard deviations (0 for a single trial).
+    pub std: Measurement,
+    /// Number of trials aggregated.
+    pub trials: u32,
+}
+
+/// Aggregates a per-network measurement over the scenario's random trials,
+/// reporting mean and sample standard deviation.
+pub fn aggregate_over_trials<F>(scenario: &Scenario, base_seed: u64, mut f: F) -> Aggregate
+where
+    F: FnMut(&Network) -> Measurement,
+{
+    let generator = RandomPlacement::from_scenario(scenario);
+    let samples: Vec<Measurement> = scenario
+        .seeds(base_seed)
+        .map(|seed| f(&generator.generate(seed)))
+        .collect();
+    let count = samples.len() as f64;
+    let mean = Measurement {
+        degree: samples.iter().map(|m| m.degree).sum::<f64>() / count,
+        radius: samples.iter().map(|m| m.radius).sum::<f64>() / count,
+    };
+    let std = if samples.len() < 2 {
+        Measurement {
+            degree: 0.0,
+            radius: 0.0,
+        }
+    } else {
+        let var_deg = samples
+            .iter()
+            .map(|m| (m.degree - mean.degree).powi(2))
+            .sum::<f64>()
+            / (count - 1.0);
+        let var_rad = samples
+            .iter()
+            .map(|m| (m.radius - mean.radius).powi(2))
+            .sum::<f64>()
+            / (count - 1.0);
+        Measurement {
+            degree: var_deg.sqrt(),
+            radius: var_rad.sqrt(),
+        }
+    };
+    Aggregate {
+        mean,
+        std,
+        trials: samples.len() as u32,
+    }
+}
+
+/// Averages a per-network measurement over the scenario's random trials.
+pub fn average_over_trials<F>(scenario: &Scenario, base_seed: u64, f: F) -> Measurement
+where
+    F: FnMut(&Network) -> Measurement,
+{
+    aggregate_over_trials(scenario, base_seed, f).mean
+}
+
+/// Formats a paper-vs-measured row for the report tables.
+pub fn comparison_row(label: &str, measured: Measurement, paper: Measurement) -> String {
+    format!(
+        "{label:<34} {:>9.1} {:>9.1} {:>11.1} {:>11.1}",
+        measured.degree, paper.degree, measured.radius, paper.radius
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbtc_geom::Alpha;
+
+    #[test]
+    fn measurement_on_smoke_scenario() {
+        let scenario = Scenario::smoke();
+        let m = average_over_trials(&scenario, 0, |net| {
+            measure_config(net, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS))
+        });
+        assert!(m.degree > 0.0);
+        assert!(m.radius > 0.0 && m.radius <= 500.0);
+    }
+
+    #[test]
+    fn aggregate_reports_spread() {
+        let scenario = Scenario::smoke();
+        let agg = aggregate_over_trials(&scenario, 0, |net| {
+            measure_config(net, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS))
+        });
+        assert_eq!(agg.trials, scenario.trials);
+        assert!(agg.std.degree > 0.0, "different seeds must vary");
+        assert!(agg.std.radius > 0.0);
+        // Mean matches the convenience wrapper.
+        let mean = average_over_trials(&scenario, 0, |net| {
+            measure_config(net, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS))
+        });
+        assert_eq!(agg.mean, mean);
+    }
+
+    #[test]
+    fn single_trial_has_zero_std() {
+        let mut scenario = Scenario::smoke();
+        scenario.trials = 1;
+        let agg = aggregate_over_trials(&scenario, 3, |net| {
+            measure_config(net, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS))
+        });
+        assert_eq!(agg.std.degree, 0.0);
+        assert_eq!(agg.std.radius, 0.0);
+    }
+
+    #[test]
+    fn args_parsing() {
+        let args = Args {
+            raw: vec![
+                "--trials".into(),
+                "7".into(),
+                "--json".into(),
+                "--seed".into(),
+                "42".into(),
+            ],
+        };
+        assert_eq!(args.get("trials", 100u32), 7);
+        assert_eq!(args.get("seed", 0u64), 42);
+        assert_eq!(args.get("missing", 5i32), 5);
+        assert!(args.has("json"));
+        assert!(!args.has("quiet"));
+    }
+}

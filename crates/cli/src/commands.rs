@@ -1,0 +1,295 @@
+//! The CLI subcommands.
+
+use std::fs;
+
+use cbtc_core::{run_centralized, CbtcConfig, Network};
+use cbtc_geom::constructions::{Example21, Theorem24};
+use cbtc_geom::Alpha;
+use cbtc_graph::load::path_stats;
+use cbtc_graph::metrics::{average_degree, average_radius};
+use cbtc_graph::traversal::component_count;
+use cbtc_graph::Layout;
+use cbtc_viz::{render_svg, SvgOptions};
+use cbtc_workloads::RandomPlacement;
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+cbtc — cone-based topology control (Li et al., PODC 2001)
+
+USAGE:
+    cbtc run [--nodes N] [--width W] [--height H] [--range R] [--seed S]
+             [--alpha 5pi6|2pi3|<radians>] [--shrink] [--asym] [--pairwise]
+             [--all] [--svg FILE] [--json FILE]
+        Run CBTC on a random network; print metrics, optionally write the
+        topology as SVG and/or the edge list as JSON.
+
+    cbtc construct (example21 | theorem24) [--range R] [--alpha …|--epsilon E]
+                   [--svg FILE]
+        Build the paper's Figure 2 / Figure 5 point sets, run the algorithm
+        on them, and report the witnessed property.
+
+    cbtc compare [--nodes N] [--seed S]
+        Compare every optimization level on one network.
+
+    cbtc help
+        Show this message.
+";
+
+fn build_config(args: &Args, alpha: Alpha) -> Result<CbtcConfig, String> {
+    if args.has("all") {
+        return Ok(CbtcConfig::all_applicable(alpha));
+    }
+    let mut config = CbtcConfig::new(alpha);
+    if args.has("shrink") {
+        config = config.with_shrink_back();
+    }
+    if args.has("asym") {
+        config = config.with_asymmetric_removal().map_err(|e| e.to_string())?;
+    }
+    if args.has("pairwise") {
+        config = config.with_pairwise_removal();
+    }
+    Ok(config)
+}
+
+fn generate_network(args: &Args) -> Result<Network, String> {
+    let nodes: usize = args.get("nodes", 100)?;
+    let width: f64 = args.get("width", 1500.0)?;
+    let height: f64 = args.get("height", 1500.0)?;
+    let range: f64 = args.get("range", 500.0)?;
+    let seed: u64 = args.get("seed", 0)?;
+    if nodes == 0 {
+        return Err("--nodes must be positive".into());
+    }
+    Ok(RandomPlacement::new(nodes, width, height, range).generate(seed))
+}
+
+/// `cbtc run`
+pub fn run(args: &Args) -> Result<(), String> {
+    let alpha = args.alpha()?;
+    let config = build_config(args, alpha)?;
+    let network = generate_network(args)?;
+    let full = network.max_power_graph();
+
+    let run = run_centralized(&network, &config);
+    let graph = run.final_graph();
+    let preserved = run.preserves_connectivity_of(&full);
+    let stats = path_stats(graph);
+
+    println!("CBTC({alpha}) on {} nodes (seed {})", network.len(), args.get("seed", 0u64)?);
+    println!("  optimizations: shrink-back={} asym={} pairwise={}",
+        config.shrink_back(), config.asymmetric_removal(), config.pairwise_removal());
+    println!("  edges: {} (max power: {})", graph.edge_count(), full.edge_count());
+    println!("  avg degree: {:.2}", average_degree(graph));
+    println!(
+        "  avg radius: {:.1} (max power: {:.0})",
+        average_radius(graph, network.layout(), network.max_range()),
+        network.max_range()
+    );
+    println!("  components: {}", component_count(graph));
+    println!("  hop diameter: {}, mean hops: {:.2}", stats.hop_diameter, stats.mean_hops);
+    println!("  connectivity preserved: {}", if preserved { "yes" } else { "NO" });
+
+    if let Some(path) = args.value_of("svg") {
+        let svg = render_svg(
+            network.layout(),
+            graph,
+            &SvgOptions {
+                caption: Some(format!("CBTC({alpha})")),
+                ..SvgOptions::default()
+            },
+        );
+        fs::write(path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
+    if let Some(path) = args.value_of("json") {
+        let edges: Vec<(u32, u32)> = graph.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
+        let doc = serde_json::json!({
+            "alpha": alpha.radians(),
+            "nodes": network.layout().positions(),
+            "edges": edges,
+            "preserved": preserved,
+        });
+        fs::write(path, serde_json::to_string_pretty(&doc).expect("serializable"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
+    Ok(())
+}
+
+/// `cbtc construct`
+pub fn construct(args: &Args) -> Result<(), String> {
+    let kind = if args.has("theorem24") {
+        "theorem24"
+    } else {
+        "example21"
+    };
+    let range: f64 = args.get("range", 500.0)?;
+
+    match kind {
+        "example21" => {
+            let alpha = args.alpha()?;
+            let ex = Example21::new(range, alpha).map_err(|e| e.to_string())?;
+            let network = Network::with_paper_radio(Layout::new(ex.points()));
+            let outcome = cbtc_core::run_basic(&network, alpha);
+            let u0 = cbtc_graph::NodeId::new(Example21::U0 as u32);
+            let v = cbtc_graph::NodeId::new(Example21::V as u32);
+            println!("Example 2.1 (Figure 2) at α = {alpha}, ε = {:.5}", ex.epsilon);
+            for (label, p) in [("u0", ex.u0), ("u1", ex.u1), ("u2", ex.u2), ("u3", ex.u3), ("v", ex.v)] {
+                println!("  {label:<3} ({:9.2}, {:9.2})", p.x, p.y);
+            }
+            println!(
+                "  (v,u0) ∈ N_α: {}   (u0,v) ∈ N_α: {}",
+                outcome.view(v).discovered(u0),
+                outcome.view(u0).discovered(v)
+            );
+            maybe_svg(args, &network, &outcome.symmetric_closure(), "Example 2.1")?;
+        }
+        "theorem24" => {
+            let epsilon: f64 = args.get("epsilon", 0.1)?;
+            let t = Theorem24::new(range, epsilon).map_err(|e| e.to_string())?;
+            let network = Network::with_paper_radio(Layout::new(t.points()));
+            let full = network.max_power_graph();
+            let g = cbtc_core::run_basic(&network, t.alpha).symmetric_closure();
+            println!(
+                "Theorem 2.4 (Figure 5) at α = 5π/6 + {epsilon}: G_R components = {}, G_α components = {}",
+                component_count(&full),
+                component_count(&g)
+            );
+            maybe_svg(args, &network, &g, "Theorem 2.4")?;
+        }
+        _ => unreachable!("kind is one of the two literals above"),
+    }
+    Ok(())
+}
+
+fn maybe_svg(
+    args: &Args,
+    network: &Network,
+    graph: &cbtc_graph::UndirectedGraph,
+    caption: &str,
+) -> Result<(), String> {
+    if let Some(path) = args.value_of("svg") {
+        let svg = render_svg(
+            network.layout(),
+            graph,
+            &SvgOptions {
+                caption: Some(caption.to_owned()),
+                node_radius: 4.0,
+                ..SvgOptions::default()
+            },
+        );
+        fs::write(path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
+    Ok(())
+}
+
+/// `cbtc compare`
+pub fn compare(args: &Args) -> Result<(), String> {
+    let network = generate_network(args)?;
+    let full = network.max_power_graph();
+    let a56 = Alpha::FIVE_PI_SIXTHS;
+    let a23 = Alpha::TWO_PI_THIRDS;
+
+    println!(
+        "{:<30} {:>8} {:>10} {:>10}",
+        "configuration", "avg deg", "avg radius", "preserved"
+    );
+    let rows: Vec<(String, Option<CbtcConfig>)> = vec![
+        ("max power".into(), None),
+        (format!("basic α={a56}"), Some(CbtcConfig::new(a56))),
+        (format!("basic α={a23}"), Some(CbtcConfig::new(a23))),
+        (
+            format!("all applicable α={a56}"),
+            Some(CbtcConfig::all_applicable(a56)),
+        ),
+        (
+            format!("all optimizations α={a23}"),
+            Some(CbtcConfig::all_applicable(a23)),
+        ),
+    ];
+    for (label, config) in rows {
+        let (graph, preserved) = match config {
+            None => (full.clone(), true),
+            Some(c) => {
+                let run = run_centralized(&network, &c);
+                let p = run.preserves_connectivity_of(&full);
+                (run.final_graph().clone(), p)
+            }
+        };
+        println!(
+            "{:<30} {:>8.2} {:>10.1} {:>10}",
+            label,
+            average_degree(&graph),
+            average_radius(&graph, network.layout(), network.max_range()),
+            if preserved { "yes" } else { "NO" }
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(list.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn run_with_defaults_succeeds() {
+        assert!(run(&args(&["--nodes", "20", "--seed", "3"])).is_ok());
+    }
+
+    #[test]
+    fn run_with_all_optimizations() {
+        assert!(run(&args(&["--nodes", "15", "--all", "--alpha", "2pi3"])).is_ok());
+    }
+
+    #[test]
+    fn asym_rejected_for_large_alpha() {
+        let e = run(&args(&["--nodes", "10", "--asym", "--alpha", "5pi6"])).unwrap_err();
+        assert!(e.contains("2π/3"));
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert!(run(&args(&["--nodes", "0"])).is_err());
+    }
+
+    #[test]
+    fn construct_both_kinds() {
+        assert!(construct(&args(&[])).is_ok()); // example21 default
+        assert!(construct(&args(&["--theorem24", "--epsilon", "0.2"])).is_ok());
+    }
+
+    #[test]
+    fn compare_runs() {
+        assert!(compare(&args(&["--nodes", "20"])).is_ok());
+    }
+
+    #[test]
+    fn svg_and_json_outputs() {
+        let dir = std::env::temp_dir();
+        let svg = dir.join("cbtc_cli_test.svg");
+        let json = dir.join("cbtc_cli_test.json");
+        let result = run(&args(&[
+            "--nodes",
+            "12",
+            "--svg",
+            svg.to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+        ]));
+        assert!(result.is_ok());
+        assert!(fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+        let doc: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&json).unwrap()).unwrap();
+        assert!(doc["edges"].is_array());
+        fs::remove_file(svg).ok();
+        fs::remove_file(json).ok();
+    }
+}

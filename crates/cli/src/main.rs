@@ -1,0 +1,40 @@
+//! `cbtc` — command-line interface to the cone-based topology control
+//! reproduction.
+//!
+//! ```text
+//! cbtc run        run CBTC on a random network and print/emit the topology
+//! cbtc construct  build the paper's Example 2.1 / Theorem 2.4 point sets
+//! cbtc compare    compare optimization levels on one network
+//! cbtc help       show usage
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let args = args::Args::new(rest.to_vec());
+    let result = match command.as_str() {
+        "run" => commands::run(&args),
+        "construct" => commands::construct(&args),
+        "compare" => commands::compare(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! The centralized reference implementation of `CBTC(α)`.
+//!
+//! The distributed algorithm of Figure 1 grows each node's power through a
+//! discrete schedule; its *idealized limit* grows power continuously, so a
+//! node's final radius is exactly the distance to the neighbor whose
+//! discovery removed the last α-gap. This module computes that limit
+//! directly from the geometry. It produces the precise `rad⁻_{u,α}` values
+//! whose averages the paper's Table 1 reports, and serves as the oracle the
+//! distributed protocol is validated against.
+
+use cbtc_geom::{gap::has_alpha_gap, Alpha, Angle};
+use cbtc_graph::{NodeId, UndirectedGraph};
+use serde::{Deserialize, Serialize};
+
+use crate::opt::{self, PairwisePolicy};
+use crate::view::{BasicOutcome, Discovery, NodeView};
+use crate::{CbtcConfig, Network};
+
+/// Runs the growing phase of `CBTC(α)` for every node, with continuous
+/// power growth.
+///
+/// For each node `u`, neighbors within range `R` are discovered in order of
+/// distance (ties discovered together); growth stops at the first radius at
+/// which no cone of degree `α` around `u` is empty. Nodes that never reach
+/// that state are *boundary nodes* and end at maximum power with every
+/// in-range node discovered.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_core::{run_basic, Network};
+/// use cbtc_geom::{Alpha, Point2};
+/// use cbtc_graph::{Layout, NodeId};
+///
+/// // A node surrounded by three others 120° apart stops growing as soon
+/// // as all three are discovered.
+/// let center = Point2::new(0.0, 0.0);
+/// let ring: Vec<Point2> = (0..3)
+///     .map(|k| {
+///         let a = k as f64 * 2.0 * std::f64::consts::PI / 3.0;
+///         Point2::new(100.0 * a.cos(), 100.0 * a.sin())
+///     })
+///     .collect();
+/// let mut pts = vec![center];
+/// pts.extend(ring);
+/// let net = Network::with_paper_radio(Layout::new(pts));
+///
+/// let outcome = run_basic(&net, Alpha::TWO_PI_THIRDS);
+/// assert!(!outcome.view(NodeId::new(0)).boundary);
+/// assert_eq!(outcome.view(NodeId::new(0)).grow_radius, 100.0);
+/// ```
+pub fn run_basic(network: &Network, alpha: Alpha) -> BasicOutcome {
+    let layout = network.layout();
+    let r = network.max_range();
+    let views = layout
+        .node_ids()
+        .map(|u| grow_node(network, u, alpha, r))
+        .collect();
+    BasicOutcome::new(alpha, views)
+}
+
+fn grow_node(network: &Network, u: NodeId, alpha: Alpha, r: f64) -> NodeView {
+    let layout = network.layout();
+    // All candidates within max range, in discovery order.
+    let mut candidates: Vec<Discovery> = layout
+        .node_ids()
+        .filter(|&v| v != u)
+        .filter_map(|v| {
+            let d = layout.distance(u, v);
+            (d <= r).then(|| Discovery {
+                id: v,
+                distance: d,
+                direction: layout.direction(u, v),
+            })
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+
+    // Continuous growth: after each distance group, test the α-gap.
+    let mut dirs: Vec<Angle> = Vec::with_capacity(candidates.len());
+    let mut idx = 0;
+    while idx < candidates.len() {
+        // Discover the whole group at this distance simultaneously.
+        let group_dist = candidates[idx].distance;
+        let mut end = idx;
+        while end < candidates.len() && candidates[end].distance == group_dist {
+            dirs.push(candidates[end].direction);
+            end += 1;
+        }
+        if !has_alpha_gap(&dirs, alpha) {
+            // Coverage achieved: stop growing here.
+            candidates.truncate(end);
+            return NodeView {
+                discoveries: candidates,
+                boundary: false,
+                grow_radius: group_dist,
+            };
+        }
+        idx = end;
+    }
+    // Max power reached with an α-gap remaining: boundary node.
+    NodeView {
+        discoveries: candidates,
+        boundary: true,
+        grow_radius: r,
+    }
+}
+
+/// The staged result of a full `CBTC(α)` run with optimizations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CbtcRun {
+    config: CbtcConfig,
+    basic: BasicOutcome,
+    after_shrink: Option<BasicOutcome>,
+    graph: UndirectedGraph,
+    pairwise_removed: Vec<(NodeId, NodeId)>,
+}
+
+impl CbtcRun {
+    /// The configuration the run used.
+    pub fn config(&self) -> &CbtcConfig {
+        &self.config
+    }
+
+    /// The raw growing-phase outcome (before any optimization).
+    pub fn basic(&self) -> &BasicOutcome {
+        &self.basic
+    }
+
+    /// The outcome after shrink-back, if op1 was enabled.
+    pub fn after_shrink(&self) -> Option<&BasicOutcome> {
+        self.after_shrink.as_ref()
+    }
+
+    /// The outcome the final graph was derived from (post-shrink when op1
+    /// is on, raw otherwise).
+    pub fn effective(&self) -> &BasicOutcome {
+        self.after_shrink.as_ref().unwrap_or(&self.basic)
+    }
+
+    /// The final topology after all configured optimizations.
+    pub fn final_graph(&self) -> &UndirectedGraph {
+        &self.graph
+    }
+
+    /// The edges dropped by pairwise removal (empty when op3 is off).
+    pub fn pairwise_removed(&self) -> &[(NodeId, NodeId)] {
+        &self.pairwise_removed
+    }
+
+    /// Whether the final graph preserves the connectivity of `full`
+    /// (normally `network.max_power_graph()`), the Theorem 2.1 property.
+    pub fn preserves_connectivity_of(&self, full: &UndirectedGraph) -> bool {
+        cbtc_graph::connectivity::preserves_connectivity(&self.graph, full)
+    }
+}
+
+/// Runs `CBTC(α)` centrally with the configured optimizations, in the
+/// paper's order: grow, shrink-back (§3.1), asymmetric edge removal (§3.2),
+/// pairwise edge removal (§3.3).
+///
+/// # Example
+///
+/// ```
+/// use cbtc_core::{run_centralized, CbtcConfig, Network};
+/// use cbtc_geom::{Alpha, Point2};
+/// use cbtc_graph::Layout;
+///
+/// let net = Network::with_paper_radio(Layout::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(300.0, 0.0),
+///     Point2::new(150.0, 200.0),
+/// ]));
+/// let run = run_centralized(&net, &CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS));
+/// assert!(run.preserves_connectivity_of(&net.max_power_graph()));
+/// ```
+pub fn run_centralized(network: &Network, config: &CbtcConfig) -> CbtcRun {
+    let basic = run_basic(network, config.alpha());
+    let after_shrink = config.shrink_back().then(|| opt::shrink_back(&basic));
+    let effective = after_shrink.as_ref().unwrap_or(&basic);
+
+    let mut graph = if config.asymmetric_removal() {
+        // Soundness of the core was checked when the config was built.
+        debug_assert!(config.alpha().supports_asymmetric_removal());
+        effective.symmetric_core()
+    } else {
+        effective.symmetric_closure()
+    };
+
+    let mut pairwise_removed = Vec::new();
+    if config.pairwise_removal() {
+        let outcome =
+            opt::pairwise_removal(&graph, network.layout(), PairwisePolicy::PowerReducing);
+        pairwise_removed = outcome.removed;
+        graph = outcome.graph;
+    }
+
+    CbtcRun {
+        config: *config,
+        basic,
+        after_shrink,
+        graph,
+        pairwise_removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbtc_geom::constructions::{Example21, Theorem24};
+    use cbtc_geom::Point2;
+    use cbtc_graph::traversal::is_connected;
+    use cbtc_graph::Layout;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn net(points: Vec<Point2>) -> Network {
+        Network::with_paper_radio(Layout::new(points))
+    }
+
+    #[test]
+    fn isolated_node_is_boundary_with_max_radius() {
+        let network = net(vec![Point2::new(0.0, 0.0)]);
+        let o = run_basic(&network, Alpha::FIVE_PI_SIXTHS);
+        let v = o.view(n(0));
+        assert!(v.boundary);
+        assert!(v.discoveries.is_empty());
+        assert_eq!(v.grow_radius, 500.0);
+    }
+
+    #[test]
+    fn pair_of_nodes_are_mutual_boundary_neighbors() {
+        let network = net(vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)]);
+        let o = run_basic(&network, Alpha::FIVE_PI_SIXTHS);
+        for i in [0, 1] {
+            let v = o.view(n(i));
+            assert!(v.boundary, "single direction can never cover all cones");
+            assert_eq!(v.discoveries.len(), 1);
+            assert_eq!(v.grow_radius, 500.0);
+        }
+        assert!(o.symmetric_closure().has_edge(n(0), n(1)));
+        assert!(o.symmetric_core().has_edge(n(0), n(1)));
+    }
+
+    #[test]
+    fn growth_stops_at_exact_covering_distance() {
+        // Ring of 5 nodes at distance 200, plus a far node at 450: the far
+        // node must not be discovered by the center.
+        let mut pts = vec![Point2::new(0.0, 0.0)];
+        for k in 0..5 {
+            let a = k as f64 * std::f64::consts::TAU / 5.0;
+            pts.push(Point2::new(200.0 * a.cos(), 200.0 * a.sin()));
+        }
+        pts.push(Point2::new(450.0, 10.0));
+        let network = net(pts);
+        let o = run_basic(&network, Alpha::TWO_PI_THIRDS);
+        let v = o.view(n(0));
+        assert!(!v.boundary);
+        assert_eq!(v.grow_radius, 200.0);
+        assert_eq!(v.discoveries.len(), 5);
+        assert!(!v.discovered(n(6)));
+    }
+
+    #[test]
+    fn equidistant_nodes_discovered_together() {
+        // Two nodes at identical distance on opposite sides: a single
+        // growth step discovers both.
+        let network = net(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(100.0, 0.0),
+            Point2::new(-100.0, 0.0),
+        ]);
+        let o = run_basic(&network, Alpha::new(std::f64::consts::PI).unwrap());
+        let v = o.view(n(0));
+        assert!(!v.boundary);
+        assert_eq!(v.discoveries.len(), 2);
+        assert_eq!(v.grow_radius, 100.0);
+    }
+
+    #[test]
+    fn example_2_1_reproduces_asymmetry() {
+        // Figure 2: (v, u0) ∈ N_α but (u0, v) ∉ N_α for 2π/3 < α ≤ 5π/6.
+        for alpha in [Alpha::FIVE_PI_SIXTHS, Alpha::new(2.3).unwrap()] {
+            let ex = Example21::new(500.0, alpha).unwrap();
+            let network = net(ex.points());
+            let o = run_basic(&network, alpha);
+            let (u0, v) = (n(Example21::U0 as u32), n(Example21::V as u32));
+            // N_α(u0) = {u1, u2, u3}: v is NOT discovered by u0.
+            let mut ids = o.view(u0).neighbor_ids();
+            ids.sort();
+            assert_eq!(ids, vec![n(1), n(2), n(3)]);
+            assert!(!o.view(u0).boundary);
+            // N_α(v) = {u0}: v reaches max power and finds only u0.
+            assert_eq!(o.view(v).neighbor_ids(), vec![u0]);
+            assert!(o.view(v).boundary);
+            // The symmetric closure restores the edge; the core drops it.
+            assert!(o.symmetric_closure().has_edge(u0, v));
+            assert!(!o.symmetric_core().has_edge(u0, v));
+        }
+    }
+
+    #[test]
+    fn theorem_2_4_construction_disconnects_above_threshold() {
+        // Figure 5: for α = 5π/6 + ε the u- and v-clusters separate.
+        for eps in [0.05, 0.2, 0.5] {
+            let t = Theorem24::new(500.0, eps).unwrap();
+            let network = net(t.points());
+            let full = network.max_power_graph();
+            assert!(is_connected(&full), "G_R must be connected (eps={eps})");
+
+            let o = run_basic(&network, t.alpha);
+            let g_alpha = o.symmetric_closure();
+            assert!(
+                !is_connected(&g_alpha),
+                "G_α must disconnect for α = 5π/6 + {eps}"
+            );
+            // The specific failure: the bridge (u0, v0) is gone because u0
+            // stopped growing before reaching v0.
+            assert!(!g_alpha.has_edge(n(0), n(4)));
+            assert!(o.view(n(0)).grow_radius < 500.0);
+            assert!(!o.view(n(0)).boundary);
+
+            // At α = 5π/6 exactly, the same layout stays connected
+            // (Theorem 2.1).
+            let o_tight = run_basic(&network, Alpha::FIVE_PI_SIXTHS);
+            assert!(is_connected(&o_tight.symmetric_closure()));
+        }
+    }
+
+    #[test]
+    fn full_pipeline_preserves_connectivity_on_constructions() {
+        let t = Theorem24::new(500.0, 0.1).unwrap();
+        let network = net(t.points());
+        let full = network.max_power_graph();
+        for config in [
+            CbtcConfig::new(Alpha::FIVE_PI_SIXTHS),
+            CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
+            CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS),
+        ] {
+            let run = run_centralized(&network, &config);
+            assert!(
+                run.preserves_connectivity_of(&full),
+                "config {config:?} broke connectivity"
+            );
+        }
+    }
+
+    #[test]
+    fn stages_are_exposed() {
+        let network = net(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(200.0, 0.0),
+            Point2::new(100.0, 150.0),
+            Point2::new(320.0, 80.0),
+        ]);
+        let config = CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS);
+        let run = run_centralized(&network, &config);
+        assert!(run.after_shrink().is_some());
+        assert_eq!(run.config(), &config);
+        assert_eq!(run.basic().len(), 4);
+        assert_eq!(run.effective().len(), 4);
+        // Final graph is a subgraph of the basic closure.
+        assert!(run.final_graph().is_subgraph_of(&run.basic().symmetric_closure()));
+    }
+
+    #[test]
+    fn basic_without_optimizations_has_no_shrink_stage() {
+        let network = net(vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)]);
+        let run = run_centralized(&network, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS));
+        assert!(run.after_shrink().is_none());
+        assert!(run.pairwise_removed().is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Algorithm configuration: cone degree plus optimization selection.
+
+use cbtc_geom::Alpha;
+use serde::{Deserialize, Serialize};
+
+use crate::CbtcError;
+
+/// Configuration for a CBTC run: the cone degree `α` and which §3
+/// optimizations to apply, in the paper's order:
+///
+/// 1. **shrink-back** (op1, §3.1) — boundary nodes drop discovery levels
+///    that do not change angular coverage;
+/// 2. **asymmetric edge removal** (op2, §3.2) — keep only mutual edges;
+///    *requires* `α ≤ 2π/3`, enforced at configuration time;
+/// 3. **pairwise edge removal** (op3, §3.3) — drop redundant edges longer
+///    than the longest non-redundant edge.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_core::CbtcConfig;
+/// use cbtc_geom::Alpha;
+///
+/// // The paper's "all applicable optimizations" for each α:
+/// let full_56 = CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS);
+/// assert!(full_56.shrink_back() && !full_56.asymmetric_removal() && full_56.pairwise_removal());
+///
+/// let full_23 = CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS);
+/// assert!(full_23.shrink_back() && full_23.asymmetric_removal() && full_23.pairwise_removal());
+///
+/// // Requesting op2 at 5π/6 is rejected:
+/// assert!(CbtcConfig::new(Alpha::FIVE_PI_SIXTHS).with_asymmetric_removal().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CbtcConfig {
+    alpha: Alpha,
+    shrink_back: bool,
+    asymmetric_removal: bool,
+    pairwise_removal: bool,
+}
+
+impl CbtcConfig {
+    /// The basic algorithm with no optimizations.
+    pub fn new(alpha: Alpha) -> Self {
+        CbtcConfig {
+            alpha,
+            shrink_back: false,
+            asymmetric_removal: false,
+            pairwise_removal: false,
+        }
+    }
+
+    /// Every optimization that is sound for `alpha`: shrink-back and
+    /// pairwise removal always; asymmetric removal iff `α ≤ 2π/3`.
+    pub fn all_applicable(alpha: Alpha) -> Self {
+        CbtcConfig {
+            alpha,
+            shrink_back: true,
+            asymmetric_removal: alpha.supports_asymmetric_removal(),
+            pairwise_removal: true,
+        }
+    }
+
+    /// Enables the shrink-back optimization (§3.1).
+    pub fn with_shrink_back(mut self) -> Self {
+        self.shrink_back = true;
+        self
+    }
+
+    /// Enables asymmetric edge removal (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbtcError::AsymmetricRemovalNeedsSmallAlpha`] when
+    /// `α > 2π/3`, where Theorem 3.2's guarantee does not apply.
+    pub fn with_asymmetric_removal(mut self) -> Result<Self, CbtcError> {
+        if !self.alpha.supports_asymmetric_removal() {
+            return Err(CbtcError::AsymmetricRemovalNeedsSmallAlpha { alpha: self.alpha });
+        }
+        self.asymmetric_removal = true;
+        Ok(self)
+    }
+
+    /// Enables pairwise (redundant) edge removal (§3.3).
+    pub fn with_pairwise_removal(mut self) -> Self {
+        self.pairwise_removal = true;
+        self
+    }
+
+    /// The cone degree `α`.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Whether shrink-back is enabled.
+    pub fn shrink_back(&self) -> bool {
+        self.shrink_back
+    }
+
+    /// Whether asymmetric edge removal is enabled.
+    pub fn asymmetric_removal(&self) -> bool {
+        self.asymmetric_removal
+    }
+
+    /// Whether pairwise edge removal is enabled.
+    pub fn pairwise_removal(&self) -> bool {
+        self.pairwise_removal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_has_no_optimizations() {
+        let c = CbtcConfig::new(Alpha::FIVE_PI_SIXTHS);
+        assert!(!c.shrink_back());
+        assert!(!c.asymmetric_removal());
+        assert!(!c.pairwise_removal());
+        assert_eq!(c.alpha(), Alpha::FIVE_PI_SIXTHS);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let c = CbtcConfig::new(Alpha::TWO_PI_THIRDS)
+            .with_shrink_back()
+            .with_asymmetric_removal()
+            .unwrap()
+            .with_pairwise_removal();
+        assert!(c.shrink_back() && c.asymmetric_removal() && c.pairwise_removal());
+    }
+
+    #[test]
+    fn asymmetric_gated_on_alpha() {
+        assert!(CbtcConfig::new(Alpha::TWO_PI_THIRDS)
+            .with_asymmetric_removal()
+            .is_ok());
+        let err = CbtcConfig::new(Alpha::FIVE_PI_SIXTHS)
+            .with_asymmetric_removal()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CbtcError::AsymmetricRemovalNeedsSmallAlpha { .. }
+        ));
+    }
+
+    #[test]
+    fn all_applicable_adapts_to_alpha() {
+        let a = CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS);
+        assert!(!a.asymmetric_removal());
+        let b = CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS);
+        assert!(b.asymmetric_removal());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types.
+
+use std::fmt;
+
+use cbtc_geom::{Alpha, InvalidAlphaError};
+
+/// Errors reported by the CBTC configuration and pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CbtcError {
+    /// The cone degree is outside `(0, 2π]`.
+    InvalidAlpha(InvalidAlphaError),
+    /// Asymmetric edge removal (§3.2) was requested with `α > 2π/3`;
+    /// Theorem 3.2's connectivity guarantee would not hold.
+    AsymmetricRemovalNeedsSmallAlpha {
+        /// The offending cone degree.
+        alpha: Alpha,
+    },
+    /// The requested `α` exceeds `5π/6`, so even the basic algorithm's
+    /// connectivity guarantee (Theorem 2.1) would not hold. Only returned
+    /// by APIs that insist on the guarantee; experiments may still run
+    /// such α explicitly (that is how Figure 5 is reproduced).
+    AlphaBeyondConnectivityThreshold {
+        /// The offending cone degree.
+        alpha: Alpha,
+    },
+}
+
+impl fmt::Display for CbtcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CbtcError::InvalidAlpha(e) => write!(f, "{e}"),
+            CbtcError::AsymmetricRemovalNeedsSmallAlpha { alpha } => write!(
+                f,
+                "asymmetric edge removal requires α ≤ 2π/3 (Theorem 3.2), got α = {alpha}"
+            ),
+            CbtcError::AlphaBeyondConnectivityThreshold { alpha } => write!(
+                f,
+                "α = {alpha} exceeds the 5π/6 connectivity threshold (Theorem 2.4)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CbtcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CbtcError::InvalidAlpha(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InvalidAlphaError> for CbtcError {
+    fn from(e: InvalidAlphaError) -> Self {
+        CbtcError::InvalidAlpha(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CbtcError::AsymmetricRemovalNeedsSmallAlpha {
+            alpha: Alpha::FIVE_PI_SIXTHS,
+        };
+        assert!(e.to_string().contains("2π/3"));
+        assert!(e.to_string().contains("5π/6"));
+
+        let e2 = CbtcError::AlphaBeyondConnectivityThreshold {
+            alpha: Alpha::new(3.0).unwrap(),
+        };
+        assert!(e2.to_string().contains("threshold"));
+    }
+
+    #[test]
+    fn from_invalid_alpha() {
+        let inner = Alpha::new(-1.0).unwrap_err();
+        let e: CbtcError = inner.into();
+        assert!(matches!(e, CbtcError::InvalidAlpha(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

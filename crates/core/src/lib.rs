@@ -1,0 +1,74 @@
+//! # cbtc-core
+//!
+//! The Cone-Based Topology Control (CBTC) algorithm — the primary
+//! contribution of *"Analysis of a Cone-Based Distributed Topology Control
+//! Algorithm for Wireless Multi-hop Networks"* (Li, Halpern, Bahl, Wang,
+//! Wattenhofer, PODC 2001).
+//!
+//! ## The algorithm
+//!
+//! Each node `u` grows its broadcast power from `p0` (Figure 1) until every
+//! cone of degree `α` around `u` contains a discovered neighbor, or maximum
+//! power is reached. With `α ≤ 5π/6`, the symmetric closure `G_α` of the
+//! discovered relation preserves the connectivity of the max-power graph
+//! `G_R` — and `5π/6` is tight (Theorems 2.1 / 2.4).
+//!
+//! ## What this crate provides
+//!
+//! * [`Network`] — a node layout plus radio model, the world experiments
+//!   run against;
+//! * [`run_basic`] / [`run_centralized`] — the exact *centralized
+//!   reference*: continuous power growth through the sorted neighbor
+//!   distances, yielding the precise `rad⁻_{u,α}` radii the paper reports;
+//! * [`opt`] — the three §3 optimizations: shrink-back, asymmetric edge
+//!   removal (`α ≤ 2π/3`), pairwise (redundant) edge removal;
+//! * [`CbtcConfig`] — which α and which optimizations to apply;
+//! * [`protocol`] — the *distributed protocol* of Figure 1 running on the
+//!   `cbtc-sim` discrete-event engine, using only reception powers and
+//!   angles of arrival (plus the asymmetric-removal notification phase of
+//!   §3.2);
+//! * [`reconfig`] — the §4 Neighbor Discovery Protocol (beacons) and the
+//!   `join/leave/angle-change` reconfiguration rules;
+//! * [`theory`] — executable forms of the paper's claims (Corollary 2.3
+//!   short-edge paths, redundant-edge definition) used by tests and the
+//!   experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use cbtc_core::{run_centralized, CbtcConfig, Network};
+//! use cbtc_geom::{Alpha, Point2};
+//! use cbtc_graph::Layout;
+//!
+//! // A small network: four nodes in a line, 400 apart, radio range 500.
+//! let layout = Layout::new(vec![
+//!     Point2::new(0.0, 0.0),
+//!     Point2::new(400.0, 0.0),
+//!     Point2::new(800.0, 0.0),
+//!     Point2::new(1200.0, 0.0),
+//! ]);
+//! let network = Network::with_paper_radio(layout);
+//!
+//! let run = run_centralized(&network, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS));
+//! assert!(run.preserves_connectivity_of(&network.max_power_graph()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod centralized;
+mod config;
+mod error;
+mod network;
+mod view;
+
+pub mod opt;
+pub mod protocol;
+pub mod reconfig;
+pub mod theory;
+
+pub use centralized::{run_basic, run_centralized, CbtcRun};
+pub use config::CbtcConfig;
+pub use error::CbtcError;
+pub use network::Network;
+pub use view::{BasicOutcome, Discovery, NodeView};

@@ -1,0 +1,110 @@
+//! The simulated world: node layout plus radio model.
+
+use cbtc_graph::{unit_disk::unit_disk_graph, Layout, UndirectedGraph};
+use cbtc_radio::{PathLoss, PowerLaw};
+use serde::{Deserialize, Serialize};
+
+/// A wireless multi-hop network: node positions and the shared radio model.
+///
+/// The paper's problem statement (§1): nodes in the plane, a power function
+/// `p(d)`, a common maximum power `P` with maximum range `R = p⁻¹(P)`.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_core::Network;
+/// use cbtc_geom::Point2;
+/// use cbtc_graph::Layout;
+///
+/// let net = Network::with_paper_radio(Layout::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(300.0, 0.0),
+/// ]));
+/// assert_eq!(net.max_range(), 500.0);
+/// assert_eq!(net.max_power_graph().edge_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layout: Layout,
+    model: PowerLaw,
+}
+
+impl Network {
+    /// Creates a network from a layout and radio model.
+    pub fn new(layout: Layout, model: PowerLaw) -> Self {
+        Network { layout, model }
+    }
+
+    /// Creates a network with the paper's radio: `R = 500`, free-space
+    /// exponent 2.
+    pub fn with_paper_radio(layout: Layout) -> Self {
+        Network::new(layout, PowerLaw::paper_default())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.layout.is_empty()
+    }
+
+    /// The node layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Mutable access to the layout (mobility experiments).
+    pub fn layout_mut(&mut self) -> &mut Layout {
+        &mut self.layout
+    }
+
+    /// The radio model.
+    pub fn model(&self) -> &PowerLaw {
+        &self.model
+    }
+
+    /// The maximum communication range `R`.
+    pub fn max_range(&self) -> f64 {
+        self.model.max_range()
+    }
+
+    /// The max-power graph `G_R`: every node transmitting at power `P`.
+    pub fn max_power_graph(&self) -> UndirectedGraph {
+        unit_disk_graph(&self.layout, self.max_range())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbtc_geom::Point2;
+    use cbtc_graph::NodeId;
+
+    #[test]
+    fn construction_and_graph() {
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(500.0, 0.0),
+            Point2::new(1200.0, 0.0),
+        ]);
+        let net = Network::with_paper_radio(layout);
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+        let g = net.max_power_graph();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1))); // exactly R
+        assert!(!g.has_edge(NodeId::new(1), NodeId::new(2))); // 700 > R
+    }
+
+    #[test]
+    fn mobility_changes_graph() {
+        let layout = Layout::new(vec![Point2::new(0.0, 0.0), Point2::new(600.0, 0.0)]);
+        let mut net = Network::with_paper_radio(layout);
+        assert_eq!(net.max_power_graph().edge_count(), 0);
+        net.layout_mut()
+            .set_position(NodeId::new(1), Point2::new(400.0, 0.0));
+        assert_eq!(net.max_power_graph().edge_count(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Asymmetric edge removal (§3.2, Theorem 3.2).
+//!
+//! For `α ≤ 2π/3` the paper proves a stronger result than Theorem 2.1: the
+//! *largest symmetric subset* `E⁻_α` of `N_α` — keeping an edge only when
+//! both endpoints discovered each other — already preserves connectivity.
+//! Dropping the one-directional edges can substantially reduce radii,
+//! because a node no longer needs to reach nodes that merely discovered
+//! *it* (the `radu,α` vs `rad⁻u,α` tradeoff discussed in §3.2 and §5).
+
+use cbtc_graph::UndirectedGraph;
+
+use crate::view::BasicOutcome;
+use crate::CbtcError;
+
+/// Computes `G⁻_α = (V, E⁻_α)`, the symmetric core of the discovered
+/// relation, checking the Theorem 3.2 precondition.
+///
+/// # Errors
+///
+/// Returns [`CbtcError::AsymmetricRemovalNeedsSmallAlpha`] when the
+/// outcome was computed with `α > 2π/3` — Example 2.1 shows connectivity
+/// would then be lost.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_core::{opt::asymmetric_removal, run_basic, Network};
+/// use cbtc_geom::{Alpha, Point2};
+/// use cbtc_graph::Layout;
+///
+/// let net = Network::with_paper_radio(Layout::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(200.0, 0.0),
+/// ]));
+/// let ok = run_basic(&net, Alpha::TWO_PI_THIRDS);
+/// assert!(asymmetric_removal(&ok).is_ok());
+///
+/// let too_big = run_basic(&net, Alpha::FIVE_PI_SIXTHS);
+/// assert!(asymmetric_removal(&too_big).is_err());
+/// ```
+pub fn asymmetric_removal(outcome: &BasicOutcome) -> Result<UndirectedGraph, CbtcError> {
+    if !outcome.alpha().supports_asymmetric_removal() {
+        return Err(CbtcError::AsymmetricRemovalNeedsSmallAlpha {
+            alpha: outcome.alpha(),
+        });
+    }
+    Ok(outcome.symmetric_core())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_basic, Network};
+    use cbtc_geom::{Alpha, Point2};
+    use cbtc_graph::connectivity::preserves_connectivity;
+    use cbtc_graph::{Layout, NodeId};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn core_is_subgraph_of_closure() {
+        let net = Network::with_paper_radio(Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(220.0, 40.0),
+            Point2::new(90.0, 310.0),
+            Point2::new(-150.0, 120.0),
+            Point2::new(400.0, 380.0),
+        ]));
+        let o = run_basic(&net, Alpha::TWO_PI_THIRDS);
+        let core = asymmetric_removal(&o).unwrap();
+        let closure = o.symmetric_closure();
+        assert!(core.is_subgraph_of(&closure));
+        assert!(preserves_connectivity(&core, &net.max_power_graph()));
+    }
+
+    #[test]
+    fn one_way_discoveries_are_dropped() {
+        // A line where the middle node covers its cones early while the
+        // endpoints (boundary nodes) discover everything in range.
+        let net = Network::with_paper_radio(Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(180.0, 0.0),
+            Point2::new(360.0, 0.0),
+        ]));
+        let o = run_basic(&net, Alpha::TWO_PI_THIRDS);
+        // Endpoint 0 (boundary) discovers both others; the middle node
+        // covers with just its two adjacent neighbors; node 2 likewise
+        // discovers node 0 one-way at distance 360.
+        let rel = o.neighbor_relation();
+        assert!(rel.has_edge(n(0), n(2)));
+        assert!(rel.has_edge(n(2), n(0)));
+        // Here all discoveries are mutual (both ends are boundary), so core
+        // equals closure — the line stays intact.
+        let core = asymmetric_removal(&o).unwrap();
+        assert!(preserves_connectivity(&core, &net.max_power_graph()));
+    }
+
+    #[test]
+    fn rejected_above_two_pi_thirds() {
+        let net = Network::with_paper_radio(Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+        ]));
+        let o = run_basic(&net, Alpha::new(2.2).unwrap());
+        assert!(matches!(
+            asymmetric_removal(&o),
+            Err(CbtcError::AsymmetricRemovalNeedsSmallAlpha { .. })
+        ));
+    }
+}

@@ -1,0 +1,350 @@
+//! The growing phase as a pure state machine.
+//!
+//! Figure 1 of the paper:
+//!
+//! ```text
+//! CBTC(α)
+//!   Nu ← ∅; Du ← ∅; pu ← p0;
+//!   while (pu < P and gap-α(Du)) do
+//!       pu ← Increase(pu);
+//!       bcast(u, pu, ("Hello", pu)) and gather Acks;
+//!       Nu ← Nu ∪ {v : v discovered};
+//!       Du ← Du ∪ {dir_u(v) : v discovered}
+//! ```
+//!
+//! The machine is driven by three inputs — `start`, `record_ack`,
+//! `on_timeout` (the "gather Acks" window closing) — and emits
+//! [`GrowthAction`]s. It is deliberately independent of the simulator so
+//! the protocol logic can be unit-tested exhaustively and reused by the §4
+//! reconfiguration protocol, which re-runs the growing phase after
+//! topology events.
+
+use std::collections::BTreeMap;
+
+use cbtc_geom::{gap::has_alpha_gap, Alpha, Angle};
+use cbtc_graph::NodeId;
+use cbtc_radio::{PathLoss, Power, PowerLaw, PowerSchedule};
+
+use crate::view::{Discovery, NodeView};
+
+/// Static parameters of the growing phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthConfig {
+    /// The cone degree `α`.
+    pub alpha: Alpha,
+    /// The power schedule (`p0`, `Increase`, `P`).
+    pub schedule: PowerSchedule,
+    /// Ticks to wait after each Hello for its Acks. Must exceed the
+    /// channel's round-trip bound for the gather step to be complete.
+    pub ack_timeout: u64,
+    /// The shared radio calibration, used to turn reception powers into
+    /// required-power and distance estimates.
+    pub model: PowerLaw,
+}
+
+/// An action the growing phase asks its host to perform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GrowthAction {
+    /// Broadcast a Hello at the given power and arm the Ack-gathering
+    /// timeout.
+    BroadcastHello {
+        /// Transmission power for this round.
+        power: Power,
+    },
+    /// The growing phase has terminated (no α-gap, or max power reached).
+    Complete,
+}
+
+/// The per-node growing-phase state machine.
+#[derive(Debug, Clone)]
+pub struct GrowthState {
+    config: GrowthConfig,
+    current_power: Power,
+    level: usize,
+    discoveries: BTreeMap<NodeId, Discovery>,
+    started: bool,
+    done: bool,
+    boundary: bool,
+}
+
+impl GrowthState {
+    /// Creates an idle machine; call [`GrowthState::start`] to begin.
+    pub fn new(config: GrowthConfig) -> Self {
+        GrowthState {
+            current_power: config.schedule.initial(),
+            config,
+            level: 0,
+            discoveries: BTreeMap::new(),
+            started: false,
+            done: false,
+            boundary: false,
+        }
+    }
+
+    /// Begins the growing phase: broadcast the first Hello.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without [`GrowthState::restart`].
+    pub fn start(&mut self) -> GrowthAction {
+        assert!(!self.started, "growing phase already started");
+        self.started = true;
+        GrowthAction::BroadcastHello {
+            power: self.current_power,
+        }
+    }
+
+    /// Re-arms the machine for a §4 re-run, keeping the configuration but
+    /// starting from `initial_power` (the paper restarts from
+    /// `p(rad⁻_{u,α})` rather than `p0`). Existing discoveries seed `Nu`.
+    pub fn restart(&mut self, initial_power: Power, keep_discoveries: bool) -> GrowthAction {
+        let p = initial_power.min(self.config.schedule.max());
+        self.current_power = if p > Power::ZERO {
+            p
+        } else {
+            self.config.schedule.initial()
+        };
+        self.level = 0;
+        self.done = false;
+        self.boundary = false;
+        self.started = true;
+        if !keep_discoveries {
+            self.discoveries.clear();
+        }
+        GrowthAction::BroadcastHello {
+            power: self.current_power,
+        }
+    }
+
+    /// Records an Ack: the responder `from` is discovered at the estimated
+    /// required power `est_power` with bearing `direction`.
+    ///
+    /// Acks arriving after termination (stragglers in the asynchronous
+    /// model) are ignored — late discoveries are the reconfiguration
+    /// protocol's job (§4). Repeat Acks keep the first (lowest-power)
+    /// record, mirroring the paper's "tagged with the power used the first
+    /// time it was discovered".
+    pub fn record_ack(&mut self, from: NodeId, est_power: Power, direction: Angle) {
+        if self.done || !self.started {
+            return;
+        }
+        let distance = self.config.model.range(est_power);
+        self.discoveries.entry(from).or_insert(Discovery {
+            id: from,
+            distance,
+            direction,
+        });
+    }
+
+    /// The Ack-gathering window closed: decide whether to stop or grow.
+    ///
+    /// Implements the `while (pu < P and gap-α(Du))` loop condition.
+    pub fn on_timeout(&mut self) -> GrowthAction {
+        if self.done {
+            return GrowthAction::Complete;
+        }
+        let dirs: Vec<Angle> = self.discoveries.values().map(|d| d.direction).collect();
+        let gap = has_alpha_gap(&dirs, self.config.alpha);
+        if !gap {
+            self.done = true;
+            self.boundary = false;
+            return GrowthAction::Complete;
+        }
+        if self.current_power >= self.config.schedule.max() {
+            self.done = true;
+            self.boundary = true;
+            return GrowthAction::Complete;
+        }
+        self.current_power = self.config.schedule.increase(self.current_power);
+        self.level += 1;
+        GrowthAction::BroadcastHello {
+            power: self.current_power,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &GrowthConfig {
+        &self.config
+    }
+
+    /// Whether the growing phase has terminated.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Whether the node ended as a boundary node (α-gap at max power).
+    ///
+    /// Meaningful only once [`GrowthState::is_done`].
+    pub fn is_boundary(&self) -> bool {
+        self.boundary
+    }
+
+    /// The power of the most recent Hello (the final `p_{u,α}` once done).
+    pub fn current_power(&self) -> Power {
+        self.current_power
+    }
+
+    /// Number of Hello rounds so far (0-based level index).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The discoveries so far, keyed by node.
+    pub fn discoveries(&self) -> &BTreeMap<NodeId, Discovery> {
+        &self.discoveries
+    }
+
+    /// The node's view in the common [`NodeView`] format: discoveries
+    /// sorted by `(distance, id)`, the growth radius being the
+    /// communication range of the final power (or max range for boundary
+    /// nodes).
+    pub fn view(&self) -> NodeView {
+        let mut discoveries: Vec<Discovery> = self.discoveries.values().copied().collect();
+        discoveries.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        let grow_radius = if self.boundary {
+            self.config.model.max_range()
+        } else {
+            self.config.model.range(self.current_power)
+        };
+        NodeView {
+            discoveries,
+            boundary: self.boundary,
+            grow_radius,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn config() -> GrowthConfig {
+        let model = PowerLaw::paper_default();
+        GrowthConfig {
+            alpha: Alpha::TWO_PI_THIRDS,
+            schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+            ack_timeout: 3,
+            model,
+        }
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn starts_at_initial_power() {
+        let mut g = GrowthState::new(config());
+        assert!(!g.is_done());
+        match g.start() {
+            GrowthAction::BroadcastHello { power } => assert_eq!(power, Power::new(100.0)),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already started")]
+    fn double_start_panics() {
+        let mut g = GrowthState::new(config());
+        let _ = g.start();
+        let _ = g.start();
+    }
+
+    #[test]
+    fn grows_until_no_gap() {
+        let mut g = GrowthState::new(config());
+        let _ = g.start();
+        // No acks at all: keep doubling.
+        let mut powers = vec![100.0];
+        while let GrowthAction::BroadcastHello { power } = g.on_timeout() {
+            powers.push(power.linear());
+        }
+        assert!(g.is_done());
+        assert!(g.is_boundary(), "no neighbors → boundary at max power");
+        assert_eq!(*powers.last().unwrap(), 250_000.0);
+        // Doubling from 100: 100, 200, ..., 204800, then capped at 250000.
+        assert_eq!(powers.len(), 13);
+    }
+
+    #[test]
+    fn stops_once_covered() {
+        let mut g = GrowthState::new(config());
+        let _ = g.start();
+        // Three acks 120° apart: no 2π/3-gap.
+        for (i, frac) in [0.0, 1.0 / 3.0, 2.0 / 3.0].iter().enumerate() {
+            g.record_ack(n(i as u32), Power::new(2_500.0), Angle::new(frac * TAU));
+        }
+        assert_eq!(g.on_timeout(), GrowthAction::Complete);
+        assert!(g.is_done());
+        assert!(!g.is_boundary());
+        assert_eq!(g.current_power(), Power::new(100.0));
+        let view = g.view();
+        assert_eq!(view.discoveries.len(), 3);
+        assert!(!view.boundary);
+        // Distance estimate: range(2500) = 50 under n=2, S=1.
+        assert_eq!(view.discoveries[0].distance, 50.0);
+        // Non-boundary radius: range of the final power.
+        assert_eq!(view.grow_radius, 10.0); // range(100) = 10
+    }
+
+    #[test]
+    fn partial_coverage_keeps_growing() {
+        let mut g = GrowthState::new(config());
+        let _ = g.start();
+        g.record_ack(n(0), Power::new(400.0), Angle::ZERO);
+        // One direction leaves a huge gap.
+        assert!(matches!(g.on_timeout(), GrowthAction::BroadcastHello { power } if power == Power::new(200.0)));
+        assert_eq!(g.level(), 1);
+    }
+
+    #[test]
+    fn late_and_duplicate_acks_ignored_sensibly() {
+        let mut g = GrowthState::new(config());
+        let _ = g.start();
+        g.record_ack(n(5), Power::new(900.0), Angle::new(1.0));
+        // Duplicate with a different (later) estimate: first record wins.
+        g.record_ack(n(5), Power::new(10_000.0), Angle::new(2.0));
+        assert_eq!(g.discoveries().len(), 1);
+        assert_eq!(g.discoveries()[&n(5)].distance, 30.0); // range(900)
+        // Terminate (as boundary, eventually), then a late ack arrives.
+        while g.on_timeout() != GrowthAction::Complete {}
+        g.record_ack(n(9), Power::new(100.0), Angle::new(0.5));
+        assert_eq!(g.discoveries().len(), 1, "post-termination acks ignored");
+    }
+
+    #[test]
+    fn restart_for_reconfiguration() {
+        let mut g = GrowthState::new(config());
+        let _ = g.start();
+        g.record_ack(n(1), Power::new(400.0), Angle::ZERO);
+        while g.on_timeout() != GrowthAction::Complete {}
+        assert!(g.is_done());
+        // §4: rerun starting from p(rad⁻), keeping discoveries.
+        let action = g.restart(Power::new(400.0), true);
+        assert!(matches!(action, GrowthAction::BroadcastHello { power } if power == Power::new(400.0)));
+        assert!(!g.is_done());
+        assert_eq!(g.discoveries().len(), 1);
+        // Restart clearing discoveries.
+        let _ = g.restart(Power::ZERO, false);
+        assert!(g.discoveries().is_empty());
+        assert_eq!(g.current_power(), Power::new(100.0)); // fell back to p0
+    }
+
+    #[test]
+    fn boundary_view_uses_max_range() {
+        let mut g = GrowthState::new(config());
+        let _ = g.start();
+        g.record_ack(n(0), Power::new(400.0), Angle::ZERO);
+        while g.on_timeout() != GrowthAction::Complete {}
+        assert!(g.is_boundary());
+        assert_eq!(g.view().grow_radius, 500.0);
+    }
+
+    #[test]
+    fn acks_before_start_ignored() {
+        let mut g = GrowthState::new(config());
+        g.record_ack(n(0), Power::new(100.0), Angle::ZERO);
+        assert!(g.discoveries().is_empty());
+    }
+}

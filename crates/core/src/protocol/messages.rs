@@ -1,0 +1,34 @@
+//! Protocol messages.
+
+use serde::{Deserialize, Serialize};
+
+/// The CBTC wire protocol.
+///
+/// The transmission power the paper embeds in each message travels in the
+/// simulator's delivery envelope ([`cbtc_sim::Incoming::tx_power`]), so the
+/// payloads themselves are plain markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CbtcMsg {
+    /// The growing-phase discovery broadcast ("Hello" in Figure 1).
+    Hello,
+    /// Reply to a Hello, sent with just enough power to reach the asker.
+    Ack,
+    /// §3.2 notification: the sender acked the receiver's Hello during the
+    /// growing phase but did **not** keep the receiver in its own `N_α`;
+    /// the receiver must drop the sender when building `E⁻_α`.
+    RemoveMe,
+    /// §4 Neighbor Discovery Protocol heartbeat.
+    Beacon,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_comparable_and_cloneable() {
+        assert_eq!(CbtcMsg::Hello, CbtcMsg::Hello.clone());
+        assert_ne!(CbtcMsg::Hello, CbtcMsg::Ack);
+        assert_ne!(CbtcMsg::RemoveMe, CbtcMsg::Beacon);
+    }
+}

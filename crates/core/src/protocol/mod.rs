@@ -1,0 +1,21 @@
+//! The distributed CBTC protocol of Figure 1, over `cbtc-sim`.
+//!
+//! The implementation is split into a *pure state machine*
+//! ([`GrowthState`]) that encodes the growing phase — broadcast "Hello" at
+//! increasing powers, gather Acks, test the α-gap — and a thin simulator
+//! adapter ([`CbtcNode`]) that wires the machine to the discrete-event
+//! engine's messages and timers, answers Hellos with Acks, and runs the
+//! §3.2 asymmetric-removal notification phase after termination.
+//!
+//! Nodes observe only reception powers and angles of arrival; distances
+//! used below are *estimates* derived via the radio model's attenuation
+//! inverse (`cbtc_radio::estimate_required_power`), exactly the §2
+//! assumption.
+
+mod growth;
+mod messages;
+mod node;
+
+pub use growth::{GrowthAction, GrowthConfig, GrowthState};
+pub use messages::CbtcMsg;
+pub use node::{collect_outcome, collect_symmetric_core, CbtcNode};

@@ -1,0 +1,446 @@
+//! The simulator adapter: CBTC as a `cbtc_sim::Node`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cbtc_geom::Alpha;
+use cbtc_graph::{NodeId, UndirectedGraph};
+use cbtc_radio::{estimate_required_power, PathLoss, Power};
+use cbtc_sim::{Context, Engine, Incoming, Node};
+
+use crate::protocol::{CbtcMsg, GrowthAction, GrowthConfig, GrowthState};
+use crate::view::BasicOutcome;
+
+/// Timer ID for the Ack-gathering window.
+const GROWTH_TIMER: u64 = 0;
+
+/// One CBTC node: answers Hellos with Acks, runs the growing phase, and —
+/// when `notify_asymmetric` is set — performs the §3.2 notification phase
+/// after termination, telling every node it acked but did not keep to drop
+/// the edge when building `E⁻_α`.
+///
+/// # Example
+///
+/// Running the full distributed protocol over the simulator:
+///
+/// ```
+/// use cbtc_core::protocol::{collect_outcome, CbtcNode, GrowthConfig};
+/// use cbtc_core::Network;
+/// use cbtc_geom::{Alpha, Point2};
+/// use cbtc_graph::Layout;
+/// use cbtc_radio::{PathLoss, Power, PowerLaw, PowerSchedule};
+/// use cbtc_sim::{Engine, FaultConfig};
+///
+/// let net = Network::with_paper_radio(Layout::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(300.0, 0.0),
+/// ]));
+/// let model = *net.model();
+/// let config = GrowthConfig {
+///     alpha: Alpha::FIVE_PI_SIXTHS,
+///     schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+///     ack_timeout: 3,
+///     model,
+/// };
+/// let nodes = (0..2).map(|_| CbtcNode::new(config, false)).collect();
+/// let mut engine = Engine::new(
+///     net.layout().clone(),
+///     model,
+///     nodes,
+///     FaultConfig::reliable_synchronous(),
+/// );
+/// engine.run_to_quiescence(100_000);
+/// let outcome = collect_outcome(&engine);
+/// assert!(outcome.symmetric_closure().has_edge(
+///     cbtc_graph::NodeId::new(0),
+///     cbtc_graph::NodeId::new(1),
+/// ));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CbtcNode {
+    growth: GrowthState,
+    /// Nodes whose Hello we answered, with the power needed to reach them.
+    acked_to: BTreeMap<NodeId, Power>,
+    /// Nodes that told us to drop them (§3.2 notifications we received).
+    removed_by: BTreeSet<NodeId>,
+    notify_asymmetric: bool,
+    notified: bool,
+}
+
+impl CbtcNode {
+    /// Creates a node. With `notify_asymmetric`, the §3.2 RemoveMe phase
+    /// runs after the growing phase terminates.
+    pub fn new(config: GrowthConfig, notify_asymmetric: bool) -> Self {
+        CbtcNode {
+            growth: GrowthState::new(config),
+            acked_to: BTreeMap::new(),
+            removed_by: BTreeSet::new(),
+            notify_asymmetric,
+            notified: false,
+        }
+    }
+
+    /// The growing-phase state (read access for tests and extraction).
+    pub fn growth(&self) -> &GrowthState {
+        &self.growth
+    }
+
+    /// Whether the protocol (growing phase and any notification phase) has
+    /// finished.
+    pub fn is_done(&self) -> bool {
+        self.growth.is_done()
+    }
+
+    /// The nodes that notified us to remove them (asymmetric partners).
+    pub fn removed_by(&self) -> &BTreeSet<NodeId> {
+        &self.removed_by
+    }
+
+    /// The cone degree the node runs with.
+    pub fn alpha(&self) -> Alpha {
+        self.growth.config().alpha
+    }
+
+    fn perform(&mut self, ctx: &mut Context<CbtcMsg>, action: GrowthAction) {
+        match action {
+            GrowthAction::BroadcastHello { power } => {
+                ctx.broadcast(power, CbtcMsg::Hello);
+                ctx.set_timer(self.growth.config().ack_timeout, GROWTH_TIMER);
+            }
+            GrowthAction::Complete => {
+                if self.notify_asymmetric && !self.notified {
+                    self.notified = true;
+                    // §3.2: tell every node we acked but did not discover
+                    // to drop us from its neighbor set.
+                    let kept: BTreeSet<NodeId> =
+                        self.growth.discoveries().keys().copied().collect();
+                    for (&v, &power) in &self.acked_to {
+                        if !kept.contains(&v) {
+                            ctx.send(power, CbtcMsg::RemoveMe, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Node for CbtcNode {
+    type Msg = CbtcMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<CbtcMsg>) {
+        let action = self.growth.start();
+        self.perform(ctx, action);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<CbtcMsg>, msg: Incoming<CbtcMsg>) {
+        let model = self.growth.config().model;
+        match msg.payload {
+            CbtcMsg::Hello => {
+                // Reply with just enough power to reach the asker
+                // (estimated from attenuation, §2). The relative margin
+                // absorbs floating-point rounding in the estimate chain —
+                // a real radio adds a link margin for the same reason.
+                let needed = estimate_required_power(&model, msg.tx_power, msg.rx_power);
+                let reply = (needed * (1.0 + 1e-9)).min(model.max_power());
+                self.acked_to.insert(msg.from, reply);
+                ctx.send(reply, CbtcMsg::Ack, msg.from);
+            }
+            CbtcMsg::Ack => {
+                let needed = estimate_required_power(&model, msg.tx_power, msg.rx_power);
+                self.growth.record_ack(msg.from, needed, msg.direction);
+            }
+            CbtcMsg::RemoveMe => {
+                self.removed_by.insert(msg.from);
+            }
+            CbtcMsg::Beacon => {
+                // The basic protocol ignores beacons; see `reconfig`.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<CbtcMsg>, id: u64) {
+        if id == GROWTH_TIMER && !self.growth.is_done() {
+            let action = self.growth.on_timeout();
+            self.perform(ctx, action);
+        }
+    }
+}
+
+/// Extracts the collective growing-phase outcome from a finished engine.
+pub fn collect_outcome<M: PathLoss>(engine: &Engine<CbtcNode, M>) -> BasicOutcome {
+    let views = engine.nodes().iter().map(|n| n.growth().view()).collect();
+    let alpha = engine
+        .nodes()
+        .first()
+        .map(|n| n.alpha())
+        .unwrap_or(Alpha::FIVE_PI_SIXTHS);
+    BasicOutcome::new(alpha, views)
+}
+
+/// Builds `E⁻_α` from a finished engine honoring the RemoveMe
+/// notifications: node `u` keeps neighbor `v` iff `u` discovered `v` and
+/// `v` did not ask to be removed.
+///
+/// With a reliable channel this equals the mutual-edge core computed
+/// centrally; the distributed path exists so the §3.2 message protocol
+/// itself is exercised.
+pub fn collect_symmetric_core<M: PathLoss>(engine: &Engine<CbtcNode, M>) -> UndirectedGraph {
+    let n = engine.nodes().len();
+    let mut g = UndirectedGraph::new(n);
+    let keeps: Vec<BTreeSet<NodeId>> = engine
+        .nodes()
+        .iter()
+        .map(|node| {
+            node.growth()
+                .discoveries()
+                .keys()
+                .copied()
+                .filter(|v| !node.removed_by().contains(v))
+                .collect()
+        })
+        .collect();
+    for (i, kept) in keeps.iter().enumerate() {
+        let u = NodeId::new(i as u32);
+        for &v in kept {
+            if keeps[v.index()].contains(&u) && u < v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{opt, run_basic, Network};
+    use cbtc_geom::Point2;
+    use cbtc_graph::Layout;
+    use cbtc_radio::{PowerLaw, PowerSchedule};
+    use cbtc_sim::{FaultConfig, QuiescenceResult};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn growth_config(alpha: Alpha) -> GrowthConfig {
+        let model = PowerLaw::paper_default();
+        GrowthConfig {
+            alpha,
+            schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+            ack_timeout: 3,
+            model,
+        }
+    }
+
+    fn run_protocol(
+        points: Vec<Point2>,
+        alpha: Alpha,
+        notify: bool,
+        faults: FaultConfig,
+    ) -> Engine<CbtcNode, PowerLaw> {
+        let layout = Layout::new(points);
+        let nodes = (0..layout.len())
+            .map(|_| CbtcNode::new(growth_config(alpha), notify))
+            .collect();
+        let mut engine = Engine::new(layout, PowerLaw::paper_default(), nodes, faults);
+        let result = engine.run_to_quiescence(1_000_000);
+        assert!(
+            matches!(result, QuiescenceResult::Quiescent(_)),
+            "protocol failed to terminate"
+        );
+        engine
+    }
+
+    fn scattered(count: usize, side: f64, seed: u64) -> Vec<Point2> {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..count)
+            .map(|_| Point2::new(next() * side, next() * side))
+            .collect()
+    }
+
+    #[test]
+    fn every_node_terminates() {
+        let e = run_protocol(
+            scattered(20, 800.0, 3),
+            Alpha::FIVE_PI_SIXTHS,
+            false,
+            FaultConfig::reliable_synchronous(),
+        );
+        assert!(e.nodes().iter().all(CbtcNode::is_done));
+    }
+
+    #[test]
+    fn distributed_matches_centralized_after_shrink_back() {
+        // The discrete schedule overshoots the continuous optimum, but
+        // shrink-back cancels the overshoot: both paths land on identical
+        // neighbor sets (reliable channel, exact estimates).
+        for seed in [1, 5, 17] {
+            let points = scattered(15, 900.0, seed);
+            let network = Network::with_paper_radio(Layout::new(points.clone()));
+            for alpha in [Alpha::FIVE_PI_SIXTHS, Alpha::TWO_PI_THIRDS] {
+                let engine = run_protocol(
+                    points.clone(),
+                    alpha,
+                    false,
+                    FaultConfig::reliable_synchronous(),
+                );
+                let distributed = opt::shrink_back(&collect_outcome(&engine));
+                let centralized = opt::shrink_back(&run_basic(&network, alpha));
+                for u in network.layout().node_ids() {
+                    assert_eq!(
+                        distributed.view(u).neighbor_ids(),
+                        centralized.view(u).neighbor_ids(),
+                        "seed {seed}, α {alpha}, node {u}"
+                    );
+                    assert_eq!(
+                        distributed.view(u).boundary,
+                        centralized.view(u).boundary,
+                        "seed {seed}, α {alpha}, node {u} boundary"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_discoveries_superset_of_centralized() {
+        let points = scattered(12, 700.0, 9);
+        let network = Network::with_paper_radio(Layout::new(points.clone()));
+        let alpha = Alpha::TWO_PI_THIRDS;
+        let engine = run_protocol(points, alpha, false, FaultConfig::reliable_synchronous());
+        let distributed = collect_outcome(&engine);
+        let centralized = run_basic(&network, alpha);
+        for u in network.layout().node_ids() {
+            let d_ids: BTreeSet<NodeId> = distributed.view(u).neighbor_ids().into_iter().collect();
+            for v in centralized.view(u).neighbor_ids() {
+                assert!(
+                    d_ids.contains(&v),
+                    "distributed missed centralized neighbor {v} of {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_estimates_are_exact_under_the_model() {
+        let points = vec![Point2::new(0.0, 0.0), Point2::new(123.0, 45.0)];
+        let network = Network::with_paper_radio(Layout::new(points.clone()));
+        let engine = run_protocol(
+            points,
+            Alpha::FIVE_PI_SIXTHS,
+            false,
+            FaultConfig::reliable_synchronous(),
+        );
+        let outcome = collect_outcome(&engine);
+        let truth = network.layout().distance(n(0), n(1));
+        let est = outcome.view(n(0)).discoveries[0].distance;
+        assert!((est - truth).abs() < 1e-6, "estimate {est} vs true {truth}");
+    }
+
+    #[test]
+    fn asymmetric_notification_builds_the_core() {
+        // The §3.2 RemoveMe message phase must compute exactly the mutual
+        // closure of the relation the protocol actually discovered, and
+        // that core must contain the centralized core (the distributed
+        // relation is a per-node superset thanks to the discrete schedule's
+        // overshoot).
+        for seed in [2, 8] {
+            let points = scattered(15, 900.0, seed);
+            let network = Network::with_paper_radio(Layout::new(points.clone()));
+            let alpha = Alpha::TWO_PI_THIRDS;
+            let engine = run_protocol(points, alpha, true, FaultConfig::reliable_synchronous());
+            let message_core = collect_symmetric_core(&engine);
+            let outcome_core = collect_outcome(&engine).symmetric_core();
+            assert_eq!(
+                message_core.edges().collect::<Vec<_>>(),
+                outcome_core.edges().collect::<Vec<_>>(),
+                "RemoveMe phase must realize the mutual closure (seed {seed})"
+            );
+            let centralized_core = run_basic(&network, alpha).symmetric_core();
+            assert!(
+                centralized_core.is_subgraph_of(&message_core),
+                "distributed core must contain the centralized core (seed {seed})"
+            );
+            // And it still preserves connectivity (Theorem 3.2 applies to
+            // any valid growing-phase outcome).
+            assert!(cbtc_graph::connectivity::preserves_connectivity(
+                &message_core,
+                &network.max_power_graph()
+            ));
+        }
+    }
+
+    #[test]
+    fn protocol_terminates_under_async_jitter() {
+        // Latency 1–3 with timeout 2·3+1=7: still exact.
+        let model = PowerLaw::paper_default();
+        let alpha = Alpha::FIVE_PI_SIXTHS;
+        let config = GrowthConfig {
+            alpha,
+            schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+            ack_timeout: 7,
+            model,
+        };
+        let points = scattered(12, 800.0, 4);
+        let layout = Layout::new(points.clone());
+        let network = Network::with_paper_radio(layout.clone());
+        let nodes = (0..layout.len())
+            .map(|_| CbtcNode::new(config, false))
+            .collect();
+        let mut engine = Engine::new(
+            layout,
+            model,
+            nodes,
+            FaultConfig::asynchronous(1, 3, 77),
+        );
+        let result = engine.run_to_quiescence(1_000_000);
+        assert!(matches!(result, QuiescenceResult::Quiescent(_)));
+        let distributed = opt::shrink_back(&collect_outcome(&engine));
+        let centralized = opt::shrink_back(&run_basic(&network, alpha));
+        for u in network.layout().node_ids() {
+            assert_eq!(
+                distributed.view(u).neighbor_ids(),
+                centralized.view(u).neighbor_ids(),
+                "async node {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_survives_message_loss() {
+        // With loss the outcome may be degraded, but the protocol must
+        // still terminate and produce a subgraph of G_R.
+        let points = scattered(15, 900.0, 6);
+        let network = Network::with_paper_radio(Layout::new(points.clone()));
+        let engine = run_protocol(
+            points,
+            Alpha::FIVE_PI_SIXTHS,
+            false,
+            FaultConfig::asynchronous(1, 1, 11).with_loss(0.3),
+        );
+        let outcome = collect_outcome(&engine);
+        let g = outcome.symmetric_closure();
+        assert!(g.is_subgraph_of(&network.max_power_graph()));
+    }
+
+    #[test]
+    fn protocol_is_deterministic() {
+        let points = scattered(10, 600.0, 13);
+        let cfg = FaultConfig::asynchronous(1, 4, 5).with_loss(0.1);
+        let a = run_protocol(points.clone(), Alpha::TWO_PI_THIRDS, true, cfg);
+        let b = run_protocol(points, Alpha::TWO_PI_THIRDS, true, cfg);
+        assert_eq!(
+            collect_outcome(&a).views(),
+            collect_outcome(&b).views(),
+            "same seed must give identical runs"
+        );
+        assert_eq!(a.stats(), b.stats());
+    }
+}

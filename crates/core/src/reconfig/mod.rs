@@ -1,0 +1,28 @@
+//! Reconfiguration under mobility, joins and failures (§4 of the paper).
+//!
+//! A beaconing **Neighbor Discovery Protocol** (NDP) turns physical change
+//! into three events at each node `u`:
+//!
+//! * `join_u(v)` — first beacon heard from `v`;
+//! * `leave_u(v)` — a predefined number of `v`'s beacons missed;
+//! * `aChange_u(v)` — `v`'s bearing moved beyond a threshold.
+//!
+//! The reconfiguration rules (§4):
+//!
+//! * on `leave`, if dropping `v`'s direction opens an α-gap, re-run the
+//!   growing phase starting from the current power `p(rad⁻_{u,α})`;
+//! * on `join`, add `v` and then shed the farthest neighbors whose removal
+//!   does not change coverage (shrink-back style);
+//! * on `aChange`, update the direction set; re-run if a gap appeared,
+//!   otherwise try to shed.
+//!
+//! Beacon power follows the paper's correctness rule: a node beacons with
+//! the power needed to reach everything it must stay reconnectable to —
+//! `max(p_{u,α}, power to reach every Hello-sender)` — *not* the
+//! shrink-back-reduced power (the §4 partition-healing argument).
+
+mod ndp;
+mod node;
+
+pub use ndp::{NdpConfig, NeighborEntry, NeighborEvent, NeighborTable};
+pub use node::{collect_topology, ReconfigNode};

@@ -1,0 +1,299 @@
+//! Neighbor Discovery Protocol bookkeeping (pure state, no I/O).
+
+use std::collections::BTreeMap;
+
+use cbtc_geom::Angle;
+use cbtc_graph::NodeId;
+use cbtc_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// NDP parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NdpConfig {
+    /// Ticks between beacons.
+    pub beacon_interval: u64,
+    /// Beacons that may be missed before a neighbor is declared gone (the
+    /// paper's "pre-defined number of beacons … for a certain time interval
+    /// τ").
+    pub miss_limit: u32,
+    /// Bearing change (radians) that triggers an `aChange` event.
+    pub angle_change_threshold: f64,
+}
+
+impl NdpConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beacon_interval` or `miss_limit` is zero, or the angle
+    /// threshold is not positive and finite.
+    pub fn new(beacon_interval: u64, miss_limit: u32, angle_change_threshold: f64) -> Self {
+        assert!(beacon_interval > 0, "beacon interval must be positive");
+        assert!(miss_limit > 0, "miss limit must be positive");
+        assert!(
+            angle_change_threshold.is_finite() && angle_change_threshold > 0.0,
+            "angle threshold must be positive and finite"
+        );
+        NdpConfig {
+            beacon_interval,
+            miss_limit,
+            angle_change_threshold,
+        }
+    }
+
+    /// The timeout `τ` after which a silent neighbor is considered gone.
+    pub fn expiry_ticks(&self) -> u64 {
+        self.beacon_interval * self.miss_limit as u64
+    }
+}
+
+impl Default for NdpConfig {
+    /// Interval 10, miss limit 3, ~3° angle threshold.
+    fn default() -> Self {
+        NdpConfig::new(10, 3, 0.05)
+    }
+}
+
+/// One tracked neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborEntry {
+    /// Latest measured bearing.
+    pub direction: Angle,
+    /// Latest estimated distance.
+    pub distance: f64,
+    /// When the last beacon (or Ack) was heard.
+    pub last_heard: SimTime,
+    /// Whether this neighbor counts toward coverage. Inactive entries are
+    /// nodes shed by the join-time shrink operation: still tracked (their
+    /// beacons refresh the entry) but not part of `N_u`.
+    pub active: bool,
+}
+
+/// The NDP event produced by a beacon observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborEvent {
+    /// First contact with this node.
+    Join(NodeId),
+    /// The node's bearing moved beyond the threshold.
+    AngleChange(NodeId),
+}
+
+/// The per-node neighbor table driven by beacons.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    entries: BTreeMap<NodeId, NeighborEntry>,
+}
+
+impl NeighborTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        NeighborTable::default()
+    }
+
+    /// Records a beacon (or any message that proves liveness) from `from`.
+    /// Returns the event it implies, if any.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        direction: Angle,
+        distance: f64,
+        config: &NdpConfig,
+    ) -> Option<NeighborEvent> {
+        match self.entries.get_mut(&from) {
+            None => {
+                self.entries.insert(
+                    from,
+                    NeighborEntry {
+                        direction,
+                        distance,
+                        last_heard: now,
+                        active: true,
+                    },
+                );
+                Some(NeighborEvent::Join(from))
+            }
+            Some(entry) => {
+                let moved = entry.direction.circular_distance(direction)
+                    > config.angle_change_threshold;
+                entry.last_heard = now;
+                let was_active = entry.active;
+                entry.direction = direction;
+                entry.distance = distance;
+                (moved && was_active).then_some(NeighborEvent::AngleChange(from))
+            }
+        }
+    }
+
+    /// Removes neighbors not heard from within the expiry window and
+    /// returns those that were *active* — each is a `leave` event.
+    pub fn expire(&mut self, now: SimTime, config: &NdpConfig) -> Vec<NodeId> {
+        let timeout = config.expiry_ticks();
+        let gone: Vec<NodeId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now.since(e.last_heard) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut leaves = Vec::new();
+        for id in gone {
+            let entry = self.entries.remove(&id).expect("listed above");
+            if entry.active {
+                leaves.push(id);
+            }
+        }
+        leaves
+    }
+
+    /// Marks `id` inactive (shed from coverage, still tracked).
+    pub fn deactivate(&mut self, id: NodeId) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.active = false;
+        }
+    }
+
+    /// Marks `id` active.
+    pub fn activate(&mut self, id: NodeId) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.active = true;
+        }
+    }
+
+    /// Whether `id` is present and active.
+    pub fn is_active(&self, id: NodeId) -> bool {
+        self.entries.get(&id).is_some_and(|e| e.active)
+    }
+
+    /// The entry for `id`, if tracked.
+    pub fn entry(&self, id: NodeId) -> Option<&NeighborEntry> {
+        self.entries.get(&id)
+    }
+
+    /// All active `(id, entry)` pairs, by ID.
+    pub fn active(&self) -> impl Iterator<Item = (NodeId, &NeighborEntry)> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.active)
+            .map(|(&id, e)| (id, e))
+    }
+
+    /// Directions of the active neighbors (the set `D_u`).
+    pub fn directions(&self) -> Vec<Angle> {
+        self.active().map(|(_, e)| e.direction).collect()
+    }
+
+    /// Number of tracked entries (active and inactive).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn cfg() -> NdpConfig {
+        NdpConfig::new(10, 3, 0.05)
+    }
+
+    #[test]
+    fn config_validation_and_expiry() {
+        let c = cfg();
+        assert_eq!(c.expiry_ticks(), 30);
+        let d = NdpConfig::default();
+        assert!(d.beacon_interval > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beacon interval")]
+    fn zero_interval_rejected() {
+        let _ = NdpConfig::new(0, 3, 0.05);
+    }
+
+    #[test]
+    fn first_beacon_is_join() {
+        let mut t = NeighborTable::new();
+        let e = t.observe(SimTime::new(5), n(1), Angle::new(1.0), 100.0, &cfg());
+        assert_eq!(e, Some(NeighborEvent::Join(n(1))));
+        assert!(t.is_active(n(1)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn steady_beacons_are_silent() {
+        let mut t = NeighborTable::new();
+        let c = cfg();
+        t.observe(SimTime::new(0), n(1), Angle::new(1.0), 100.0, &c);
+        let e = t.observe(SimTime::new(10), n(1), Angle::new(1.01), 101.0, &c);
+        assert_eq!(e, None, "small wobble below threshold");
+        assert_eq!(t.entry(n(1)).unwrap().last_heard, SimTime::new(10));
+        assert_eq!(t.entry(n(1)).unwrap().distance, 101.0);
+    }
+
+    #[test]
+    fn large_bearing_shift_is_angle_change() {
+        let mut t = NeighborTable::new();
+        let c = cfg();
+        t.observe(SimTime::new(0), n(2), Angle::new(0.0), 50.0, &c);
+        let e = t.observe(SimTime::new(10), n(2), Angle::new(0.5), 50.0, &c);
+        assert_eq!(e, Some(NeighborEvent::AngleChange(n(2))));
+    }
+
+    #[test]
+    fn expiry_emits_leaves_for_active_only() {
+        let mut t = NeighborTable::new();
+        let c = cfg();
+        t.observe(SimTime::new(0), n(1), Angle::new(0.0), 50.0, &c);
+        t.observe(SimTime::new(0), n(2), Angle::new(1.0), 60.0, &c);
+        t.deactivate(n(2));
+        // Both silent past the 30-tick window.
+        let leaves = t.expire(SimTime::new(31), &c);
+        assert_eq!(leaves, vec![n(1)]);
+        assert!(t.is_empty(), "expired entries are dropped entirely");
+    }
+
+    #[test]
+    fn fresh_entries_survive_expiry() {
+        let mut t = NeighborTable::new();
+        let c = cfg();
+        t.observe(SimTime::new(0), n(1), Angle::new(0.0), 50.0, &c);
+        t.observe(SimTime::new(25), n(1), Angle::new(0.0), 50.0, &c);
+        assert!(t.expire(SimTime::new(40), &c).is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn deactivate_reactivate_cycle() {
+        let mut t = NeighborTable::new();
+        let c = cfg();
+        t.observe(SimTime::new(0), n(3), Angle::new(2.0), 80.0, &c);
+        t.deactivate(n(3));
+        assert!(!t.is_active(n(3)));
+        assert!(t.directions().is_empty());
+        // Beacons from inactive neighbors refresh but emit no event.
+        let e = t.observe(SimTime::new(5), n(3), Angle::new(2.0), 80.0, &c);
+        assert_eq!(e, None);
+        assert!(!t.is_active(n(3)), "beacon does not reactivate");
+        t.activate(n(3));
+        assert_eq!(t.directions().len(), 1);
+    }
+
+    #[test]
+    fn inactive_angle_changes_are_suppressed() {
+        let mut t = NeighborTable::new();
+        let c = cfg();
+        t.observe(SimTime::new(0), n(4), Angle::new(0.0), 80.0, &c);
+        t.deactivate(n(4));
+        let e = t.observe(SimTime::new(5), n(4), Angle::new(1.0), 80.0, &c);
+        assert_eq!(e, None);
+    }
+}

@@ -1,0 +1,550 @@
+//! The reconfiguring CBTC node: growing phase + NDP + §4 event rules.
+
+use std::collections::BTreeMap;
+
+use cbtc_geom::{coverage::ArcSet, gap::has_alpha_gap, Angle};
+use cbtc_graph::{NodeId, UndirectedGraph};
+use cbtc_radio::{estimate_required_power, PathLoss, Power};
+use cbtc_sim::{Context, Engine, Incoming, Node, SimTime};
+
+use crate::protocol::{CbtcMsg, GrowthAction, GrowthConfig, GrowthState};
+use crate::reconfig::{NdpConfig, NeighborEvent, NeighborTable};
+use crate::view::Discovery;
+
+const GROWTH_TIMER: u64 = 0;
+const BEACON_TIMER: u64 = 1;
+const MISS_TIMER: u64 = 2;
+
+/// Which part of the protocol the node is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Running the growing phase (initially, or during a §4 re-run).
+    Growing,
+    /// Maintaining the topology via beacons and events.
+    Steady,
+}
+
+/// A CBTC node with the §4 reconfiguration protocol layered on top.
+///
+/// Life-cycle: run the growing phase; on completion, seed the neighbor
+/// table from the discoveries and start beaconing. Beacons from others
+/// drive `join` / `aChange` events; missed beacons drive `leave` events;
+/// each event is handled by the §4 rules (re-run the growing phase from
+/// the current power if an α-gap appears; otherwise shed far neighbors
+/// whose removal does not change coverage).
+///
+/// Beacons are sent with `max(p_{u,α}, power to reach every Hello-sender)`
+/// — never the shrink-reduced power — which is what makes partition
+/// healing work (§4's boundary-node argument).
+#[derive(Debug, Clone)]
+pub struct ReconfigNode {
+    growth: GrowthState,
+    ndp: NdpConfig,
+    table: NeighborTable,
+    phase: Phase,
+    /// Highest power we ever needed to answer a Hello with (the
+    /// reach-every-Hello-sender component of the beacon power).
+    max_ack_power: Power,
+    /// The final growing-phase power `p_{u,α}` (max over runs).
+    settled_power: Power,
+    beaconing: bool,
+    /// Count of growing-phase re-runs triggered by events (observability).
+    reruns: u32,
+}
+
+impl ReconfigNode {
+    /// Creates a node with the given growing-phase and NDP parameters.
+    pub fn new(config: GrowthConfig, ndp: NdpConfig) -> Self {
+        ReconfigNode {
+            growth: GrowthState::new(config),
+            ndp,
+            table: NeighborTable::new(),
+            phase: Phase::Growing,
+            max_ack_power: Power::ZERO,
+            settled_power: Power::ZERO,
+            beaconing: false,
+            reruns: 0,
+        }
+    }
+
+    /// The current active neighbors as discoveries (sorted by distance,
+    /// then ID).
+    pub fn neighbors(&self) -> Vec<Discovery> {
+        let mut v: Vec<Discovery> = self
+            .table
+            .active()
+            .map(|(id, e)| Discovery {
+                id,
+                distance: e.distance,
+                direction: e.direction,
+            })
+            .collect();
+        v.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        v
+    }
+
+    /// The neighbor table (read access).
+    pub fn table(&self) -> &NeighborTable {
+        &self.table
+    }
+
+    /// Number of growing-phase re-runs the node performed.
+    pub fn reruns(&self) -> u32 {
+        self.reruns
+    }
+
+    /// Whether the node is in the steady (beaconing) phase.
+    pub fn is_steady(&self) -> bool {
+        self.phase == Phase::Steady
+    }
+
+    /// The power used for beacons.
+    pub fn beacon_power(&self) -> Power {
+        self.settled_power.max(self.max_ack_power)
+    }
+
+    fn model(&self) -> cbtc_radio::PowerLaw {
+        self.growth.config().model
+    }
+
+    fn alpha(&self) -> cbtc_geom::Alpha {
+        self.growth.config().alpha
+    }
+
+    fn perform(&mut self, ctx: &mut Context<CbtcMsg>, action: GrowthAction, now: SimTime) {
+        match action {
+            GrowthAction::BroadcastHello { power } => {
+                ctx.broadcast(power, CbtcMsg::Hello);
+                ctx.set_timer(self.growth.config().ack_timeout, GROWTH_TIMER);
+            }
+            GrowthAction::Complete => self.enter_steady(ctx, now),
+        }
+    }
+
+    fn enter_steady(&mut self, ctx: &mut Context<CbtcMsg>, now: SimTime) {
+        self.phase = Phase::Steady;
+        self.settled_power = self.settled_power.max(self.growth.current_power());
+        if self.growth.is_boundary() {
+            // Boundary nodes finished at maximum power.
+            self.settled_power = self.growth.config().schedule.max();
+        }
+        // Seed / refresh the table from the growing-phase discoveries.
+        for (&id, d) in self.growth.discoveries() {
+            self.table
+                .observe(now, id, d.direction, d.distance, &self.ndp);
+            self.table.activate(id);
+        }
+        if !self.beaconing {
+            self.beaconing = true;
+            ctx.set_timer(0, BEACON_TIMER);
+            ctx.set_timer(self.ndp.beacon_interval, MISS_TIMER);
+        }
+    }
+
+    /// §4 rule shared by `join` and non-gap `aChange`: shed the farthest
+    /// active neighbors whose removal does not change the coverage.
+    fn shed_redundant(&mut self) {
+        let alpha = self.alpha();
+        let mut active: Vec<(NodeId, f64, Angle)> = self
+            .table
+            .active()
+            .map(|(id, e)| (id, e.distance, e.direction))
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        active.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let all_dirs: Vec<Angle> = active.iter().map(|(_, _, d)| *d).collect();
+        let full = ArcSet::cover(&all_dirs, alpha);
+        // Find the minimal distance-prefix with identical coverage.
+        let mut keep = active.len();
+        let mut idx = 0;
+        while idx < active.len() {
+            let group = active[idx].1;
+            let mut end = idx;
+            while end < active.len() && active[end].1 == group {
+                end += 1;
+            }
+            let dirs: Vec<Angle> = active[..end].iter().map(|(_, _, d)| *d).collect();
+            if ArcSet::cover(&dirs, alpha).same_coverage(&full) {
+                keep = end;
+                break;
+            }
+            idx = end;
+        }
+        for &(id, _, _) in &active[keep..] {
+            self.table.deactivate(id);
+        }
+    }
+
+    /// §4 rule for `leave` and gap-opening `aChange`: re-run the growing
+    /// phase starting from the current power.
+    fn rerun(&mut self, ctx: &mut Context<CbtcMsg>) {
+        self.phase = Phase::Growing;
+        self.reruns += 1;
+        // Restart from p(rad⁻): the power the previous run settled at.
+        let action = self.growth.restart(self.settled_power.max(self.growth.current_power()), false);
+        // Seed the machine with the still-live neighbors.
+        let seeds: Vec<(NodeId, f64, Angle)> = self
+            .table
+            .active()
+            .map(|(id, e)| (id, e.distance, e.direction))
+            .collect();
+        let model = self.model();
+        for (id, dist, dir) in seeds {
+            self.growth.record_ack(id, model.required_power(dist), dir);
+        }
+        self.perform(ctx, action, ctx.now());
+    }
+
+    fn handle_event(&mut self, ctx: &mut Context<CbtcMsg>, event: NeighborEvent) {
+        if self.phase == Phase::Growing {
+            return; // events are folded into the re-run already underway
+        }
+        match event {
+            NeighborEvent::Join(_) => {
+                // New neighbor: coverage can only improve; try to shed.
+                self.shed_redundant();
+            }
+            NeighborEvent::AngleChange(_) => {
+                let dirs = self.table.directions();
+                if has_alpha_gap(&dirs, self.alpha()) {
+                    self.rerun(ctx);
+                } else {
+                    self.shed_redundant();
+                }
+            }
+        }
+    }
+}
+
+impl Node for ReconfigNode {
+    type Msg = CbtcMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<CbtcMsg>) {
+        let action = self.growth.start();
+        self.perform(ctx, action, ctx.now());
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<CbtcMsg>, msg: Incoming<CbtcMsg>) {
+        let model = self.model();
+        match msg.payload {
+            CbtcMsg::Hello => {
+                // Margin as in `CbtcNode`: absorb estimate rounding.
+                let needed = estimate_required_power(&model, msg.tx_power, msg.rx_power);
+                let reply = (needed * (1.0 + 1e-9)).min(model.max_power());
+                self.max_ack_power = self.max_ack_power.max(reply);
+                ctx.send(reply, CbtcMsg::Ack, msg.from);
+            }
+            CbtcMsg::Ack => {
+                if self.phase == Phase::Growing {
+                    let needed = estimate_required_power(&model, msg.tx_power, msg.rx_power);
+                    self.growth.record_ack(msg.from, needed, msg.direction);
+                }
+            }
+            CbtcMsg::Beacon => {
+                let needed = estimate_required_power(&model, msg.tx_power, msg.rx_power);
+                let distance = model.range(needed);
+                let event =
+                    self.table
+                        .observe(ctx.now(), msg.from, msg.direction, distance, &self.ndp);
+                if let Some(event) = event {
+                    self.handle_event(ctx, event);
+                }
+            }
+            CbtcMsg::RemoveMe => {
+                // Asymmetric removal is not combined with reconfiguration
+                // in this implementation (the paper permits it only with
+                // adjusted beacon powers).
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<CbtcMsg>, id: u64) {
+        match id {
+            GROWTH_TIMER
+                if self.phase == Phase::Growing && !self.growth.is_done() => {
+                    let action = self.growth.on_timeout();
+                    self.perform(ctx, action, ctx.now());
+                }
+            BEACON_TIMER => {
+                ctx.broadcast(self.beacon_power(), CbtcMsg::Beacon);
+                ctx.set_timer(self.ndp.beacon_interval, BEACON_TIMER);
+            }
+            MISS_TIMER => {
+                let leaves = self.table.expire(ctx.now(), &self.ndp);
+                if !leaves.is_empty() && self.phase == Phase::Steady {
+                    // §4: re-run only if dropping the directions opened a
+                    // gap.
+                    let dirs = self.table.directions();
+                    if has_alpha_gap(&dirs, self.alpha()) {
+                        self.rerun(ctx);
+                    }
+                }
+                ctx.set_timer(self.ndp.beacon_interval, MISS_TIMER);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The current topology: symmetric closure of the active neighbor sets of
+/// all *live* nodes (edges incident to crashed nodes are excluded, matching
+/// the post-failure graph the §4 guarantee speaks about).
+pub fn collect_topology<M: PathLoss>(engine: &Engine<ReconfigNode, M>) -> UndirectedGraph {
+    let n = engine.nodes().len();
+    let alive: Vec<bool> = (0..n as u32)
+        .map(|i| engine.is_alive(NodeId::new(i)))
+        .collect();
+    let views: BTreeMap<NodeId, Vec<NodeId>> = engine
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| alive[*i])
+        .map(|(i, node)| {
+            (
+                NodeId::new(i as u32),
+                node.neighbors().iter().map(|d| d.id).collect(),
+            )
+        })
+        .collect();
+    let mut g = UndirectedGraph::new(n);
+    for (&u, nbrs) in &views {
+        for &v in nbrs {
+            if alive[v.index()] && u != v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+    use cbtc_geom::{Alpha, Point2};
+    use cbtc_graph::connectivity::same_partition;
+    use cbtc_graph::traversal::is_connected;
+    use cbtc_graph::{unit_disk::unit_disk_graph, Layout};
+    use cbtc_radio::{PowerLaw, PowerSchedule};
+    use cbtc_sim::FaultConfig;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn growth_config(alpha: Alpha) -> GrowthConfig {
+        let model = PowerLaw::paper_default();
+        GrowthConfig {
+            alpha,
+            schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+            ack_timeout: 3,
+            model,
+        }
+    }
+
+    fn engine_for(
+        points: Vec<Point2>,
+        alpha: Alpha,
+    ) -> Engine<ReconfigNode, PowerLaw> {
+        let layout = Layout::new(points);
+        let ndp = NdpConfig::new(10, 3, 0.05);
+        let nodes = (0..layout.len())
+            .map(|_| ReconfigNode::new(growth_config(alpha), ndp))
+            .collect();
+        Engine::new(
+            layout,
+            PowerLaw::paper_default(),
+            nodes,
+            FaultConfig::reliable_synchronous(),
+        )
+    }
+
+    fn scattered(count: usize, side: f64, seed: u64) -> Vec<Point2> {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..count)
+            .map(|_| Point2::new(next() * side, next() * side))
+            .collect()
+    }
+
+    #[test]
+    fn static_network_converges_and_preserves_connectivity() {
+        for seed in [1, 7] {
+            let points = scattered(15, 900.0, seed);
+            let network = Network::with_paper_radio(Layout::new(points.clone()));
+            let mut e = engine_for(points, Alpha::FIVE_PI_SIXTHS);
+            e.run_until(SimTime::new(300));
+            assert!(e.nodes().iter().all(ReconfigNode::is_steady));
+            let topo = collect_topology(&e);
+            let full = network.max_power_graph();
+            assert!(
+                same_partition(&topo, &full),
+                "steady topology must preserve G_R connectivity (seed {seed})"
+            );
+            // Stability: nothing changes over further quiet time.
+            e.run_until(SimTime::new(600));
+            assert_eq!(collect_topology(&e), topo, "topology must be stable");
+        }
+    }
+
+    #[test]
+    fn crash_triggers_leave_and_rerun_heals_topology() {
+        // Hub with 4 ring nodes at 90° spacing (distance 150) plus a far
+        // node at 350 in the same direction as ring node 1. Killing ring
+        // node 1 opens a 180° > 2π/3 gap at the hub; the re-run must grow
+        // to the far node.
+        let points = vec![
+            Point2::new(0.0, 0.0),    // 0: hub
+            Point2::new(150.0, 0.0),  // 1: ring east (will crash)
+            Point2::new(0.0, 150.0),  // 2: ring north
+            Point2::new(-150.0, 0.0), // 3: ring west
+            Point2::new(0.0, -150.0), // 4: ring south
+            Point2::new(350.0, 0.0),  // 5: far east
+        ];
+        let mut e = engine_for(points.clone(), Alpha::TWO_PI_THIRDS);
+        e.run_until(SimTime::new(200));
+        assert!(e.nodes().iter().all(ReconfigNode::is_steady));
+        let before = collect_topology(&e);
+        assert!(before.has_edge(n(0), n(1)));
+
+        // Crash the east ring node and let NDP notice (expiry 30 ticks).
+        e.schedule_crash(n(1), SimTime::new(200));
+        e.run_until(SimTime::new(600));
+
+        let after = collect_topology(&e);
+        // The hub re-ran and now reaches the far node.
+        assert!(
+            after.has_edge(n(0), n(5)),
+            "hub must rediscover the far node after the crash"
+        );
+        assert!(e.node(n(0)).reruns() >= 1, "hub must have re-run CBTC");
+        // Connectivity of the survivors' max-power graph is preserved.
+        let survivors_full = {
+            let mut g = unit_disk_graph(e.layout(), 500.0);
+            for v in 0..points.len() as u32 {
+                if g.has_edge(n(1), n(v)) {
+                    g.remove_edge(n(1), n(v));
+                }
+            }
+            g
+        };
+        assert!(same_partition(&after, &survivors_full));
+    }
+
+    #[test]
+    fn mobility_is_tracked_through_achange_and_leave() {
+        // A 4-node box; one node wanders away out of range of everyone.
+        let points = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(200.0, 0.0),
+            Point2::new(0.0, 200.0),
+            Point2::new(200.0, 200.0),
+        ];
+        let mut e = engine_for(points, Alpha::FIVE_PI_SIXTHS);
+        e.run_until(SimTime::new(150));
+        let before = collect_topology(&e);
+        assert!(is_connected(&before));
+
+        // Teleport node 3 far away: beacons stop reaching the others.
+        e.move_node(n(3), Point2::new(5_000.0, 5_000.0));
+        e.run_until(SimTime::new(500));
+        let after = collect_topology(&e);
+        // Node 3 expired everywhere; remaining trio still connected.
+        assert!(!after.has_edge(n(0), n(3)));
+        assert!(!after.has_edge(n(1), n(3)));
+        assert!(!after.has_edge(n(2), n(3)));
+        let full_now = unit_disk_graph(e.layout(), 500.0);
+        assert!(same_partition(&after, &full_now));
+    }
+
+    #[test]
+    fn late_join_is_absorbed() {
+        // Two nodes running from t=0; a third starts at t=200 between
+        // them. Its Hellos/beacons must integrate it.
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(400.0, 0.0),
+            Point2::new(200.0, 50.0),
+        ]);
+        let ndp = NdpConfig::new(10, 3, 0.05);
+        let nodes: Vec<ReconfigNode> = (0..3)
+            .map(|_| ReconfigNode::new(growth_config(Alpha::FIVE_PI_SIXTHS), ndp))
+            .collect();
+        let starts = [SimTime::ZERO, SimTime::ZERO, SimTime::new(200)];
+        let mut e = Engine::with_start_times(
+            layout,
+            PowerLaw::paper_default(),
+            nodes,
+            FaultConfig::reliable_synchronous(),
+            &starts,
+        );
+        e.run_until(SimTime::new(600));
+        let topo = collect_topology(&e);
+        assert!(is_connected(&topo), "newcomer must be integrated");
+        // Everyone should know the newcomer.
+        assert!(e.node(n(0)).table().entry(n(2)).is_some());
+        assert!(e.node(n(1)).table().entry(n(2)).is_some());
+    }
+
+    #[test]
+    fn partition_healing_via_full_power_beacons() {
+        // Two distant nodes drift into range: their beacons (sent at the
+        // power the basic algorithm settled at — max power for boundary
+        // nodes) let them find each other, exactly the §4 argument for not
+        // beaconing at shrunk power.
+        let mut e = engine_for(
+            vec![Point2::new(0.0, 0.0), Point2::new(2_000.0, 0.0)],
+            Alpha::FIVE_PI_SIXTHS,
+        );
+        e.run_until(SimTime::new(150));
+        assert_eq!(collect_topology(&e).edge_count(), 0);
+        // Drift into range.
+        e.move_node(n(1), Point2::new(450.0, 0.0));
+        e.run_until(SimTime::new(400));
+        let topo = collect_topology(&e);
+        assert!(
+            topo.has_edge(n(0), n(1)),
+            "beacons at settled power must heal the partition"
+        );
+    }
+
+    #[test]
+    fn join_sheds_redundant_far_neighbors() {
+        // A boundary node with one far neighbor; a closer node joins later
+        // in the same direction → the far neighbor gets shed (join rule).
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(400.0, 0.0),
+            Point2::new(80.0, 0.0),
+        ]);
+        let ndp = NdpConfig::new(10, 3, 0.05);
+        let nodes: Vec<ReconfigNode> = (0..3)
+            .map(|_| ReconfigNode::new(growth_config(Alpha::FIVE_PI_SIXTHS), ndp))
+            .collect();
+        let starts = [SimTime::ZERO, SimTime::ZERO, SimTime::new(300)];
+        let mut e = Engine::with_start_times(
+            layout,
+            PowerLaw::paper_default(),
+            nodes,
+            FaultConfig::reliable_synchronous(),
+            &starts,
+        );
+        e.run_until(SimTime::new(250));
+        assert!(e.node(n(0)).table().is_active(n(1)));
+        e.run_until(SimTime::new(700));
+        // After node 2 joined, node 0's coverage towards east is provided
+        // at distance 80; the 400-distance neighbor adds nothing.
+        assert!(e.node(n(0)).table().is_active(n(2)));
+        assert!(
+            !e.node(n(0)).table().is_active(n(1)),
+            "far redundant neighbor should be shed on join"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Executable forms of the paper's structural claims.
+//!
+//! The proofs of Theorem 2.1 and Corollary 2.3 assert more than
+//! connectivity: every `G_R` edge is either present in `E_α` or replaced by
+//! a path of *strictly shorter* `E_α` edges. These predicates let the
+//! test-suite and experiment harness check the claims directly on concrete
+//! networks rather than trusting the implementation.
+
+use std::collections::VecDeque;
+
+use cbtc_graph::{Layout, NodeId, UndirectedGraph};
+
+/// Whether `g` contains a path from `u` to `v` all of whose edges are
+/// strictly shorter than `d(u, v)`.
+///
+/// This is the replacement structure Corollary 2.3 guarantees for every
+/// `G_R` edge absent from `E_α`.
+pub fn short_edge_path_exists(
+    g: &UndirectedGraph,
+    layout: &Layout,
+    u: NodeId,
+    v: NodeId,
+) -> bool {
+    let bound = layout.distance(u, v);
+    // BFS over the subgraph of edges shorter than `bound`.
+    let mut seen = vec![false; g.node_count()];
+    seen[u.index()] = true;
+    let mut queue = VecDeque::from([u]);
+    while let Some(x) = queue.pop_front() {
+        if x == v {
+            return true;
+        }
+        for y in g.neighbors(x) {
+            if !seen[y.index()] && layout.distance(x, y) < bound {
+                seen[y.index()] = true;
+                queue.push_back(y);
+            }
+        }
+    }
+    false
+}
+
+/// Checks Corollary 2.3 over an entire graph pair: for every edge
+/// `(u, v)` of `full` (usually `G_R`), either `(u, v) ∈ sub` or `sub`
+/// contains a `u`–`v` path of edges strictly shorter than `d(u, v)`.
+///
+/// Returns the violating edge if any.
+pub fn corollary_2_3_violation(
+    sub: &UndirectedGraph,
+    full: &UndirectedGraph,
+    layout: &Layout,
+) -> Option<(NodeId, NodeId)> {
+    for (u, v) in full.edges() {
+        if sub.has_edge(u, v) {
+            continue;
+        }
+        if !short_edge_path_exists(sub, layout, u, v) {
+            return Some((u, v));
+        }
+    }
+    None
+}
+
+/// Whether Corollary 2.3 holds for the pair.
+pub fn corollary_2_3_holds(
+    sub: &UndirectedGraph,
+    full: &UndirectedGraph,
+    layout: &Layout,
+) -> bool {
+    corollary_2_3_violation(sub, full, layout).is_none()
+}
+
+/// Checks the key Lemma 2.2 on a concrete instance: for every edge
+/// `(u, v)` of `full` (i.e. `G_R`), either `(u, v) ∈ sub` (i.e. `E_α`) or
+/// there exist `u′, v′` with
+///
+/// * `d(u′, v′) < d(u, v)`,
+/// * `u′ = u` or `(u, u′) ∈ sub`, and
+/// * `v′ = v` or `(v, v′) ∈ sub`.
+///
+/// This is the induction step of Theorem 2.1, checkable in `O(deg²)` per
+/// edge. Returns the first violating edge, if any.
+pub fn lemma_2_2_violation(
+    sub: &UndirectedGraph,
+    full: &UndirectedGraph,
+    layout: &Layout,
+) -> Option<(NodeId, NodeId)> {
+    for (u, v) in full.edges() {
+        if sub.has_edge(u, v) {
+            continue;
+        }
+        let d = layout.distance(u, v);
+        // Candidate u′: u itself or any E_α-neighbor of u; same for v′.
+        let u_candidates: Vec<NodeId> =
+            std::iter::once(u).chain(sub.neighbors(u)).collect();
+        let v_candidates: Vec<NodeId> =
+            std::iter::once(v).chain(sub.neighbors(v)).collect();
+        let witnessed = u_candidates.iter().any(|&u2| {
+            v_candidates
+                .iter()
+                .any(|&v2| u2 != v2 && layout.distance(u2, v2) < d)
+        });
+        if !witnessed {
+            return Some((u, v));
+        }
+    }
+    None
+}
+
+/// Whether Lemma 2.2 holds for the pair.
+pub fn lemma_2_2_holds(sub: &UndirectedGraph, full: &UndirectedGraph, layout: &Layout) -> bool {
+    lemma_2_2_violation(sub, full, layout).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbtc_geom::Point2;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn layout_line() -> Layout {
+        Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn detour_with_shorter_edges_is_found() {
+        // 0–1–2 path: both edges (length 1) are shorter than d(0,2) = 2.
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        assert!(short_edge_path_exists(&g, &layout_line(), n(0), n(2)));
+    }
+
+    #[test]
+    fn path_with_equal_length_edge_does_not_count() {
+        // Edge 0–2 replaced only by edges of length ≥ d(0,2): no strictly
+        // shorter path.
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 1.0), // detour node far away
+            Point2::new(1.0, 0.0),
+        ]);
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(n(0), n(1)); // length 1 == d(0,2)
+        g.add_edge(n(1), n(2)); // length √2 > 1
+        assert!(!short_edge_path_exists(&g, &layout, n(0), n(2)));
+    }
+
+    #[test]
+    fn corollary_check_passes_when_edge_present() {
+        let mut full = UndirectedGraph::new(3);
+        full.add_edge(n(0), n(2));
+        let sub = full.clone();
+        assert!(corollary_2_3_holds(&sub, &full, &layout_line()));
+    }
+
+    #[test]
+    fn corollary_check_reports_violation() {
+        let mut full = UndirectedGraph::new(3);
+        full.add_edge(n(0), n(2));
+        let sub = UndirectedGraph::new(3); // empty: no replacement path
+        assert_eq!(
+            corollary_2_3_violation(&sub, &full, &layout_line()),
+            Some((n(0), n(2)))
+        );
+    }
+
+    #[test]
+    fn self_paths_are_trivial() {
+        let g = UndirectedGraph::new(2);
+        let layout = Layout::new(vec![Point2::new(0.0, 0.0), Point2::new(5.0, 0.0)]);
+        assert!(short_edge_path_exists(&g, &layout, n(0), n(0)));
+    }
+
+    #[test]
+    fn lemma_2_2_trivially_holds_when_edge_present() {
+        let mut full = UndirectedGraph::new(2);
+        full.add_edge(n(0), n(1));
+        let sub = full.clone();
+        let layout = Layout::new(vec![Point2::new(0.0, 0.0), Point2::new(5.0, 0.0)]);
+        assert!(lemma_2_2_holds(&sub, &full, &layout));
+    }
+
+    #[test]
+    fn lemma_2_2_witnessed_by_closer_neighbor_pair() {
+        // Edge (0, 2) missing from sub, but u′ = 1 (a sub-neighbor of 0)
+        // sits closer to v = 2 than d(0, 2).
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(10.0, 0.0),
+        ]);
+        let mut full = UndirectedGraph::new(3);
+        full.add_edge(n(0), n(2));
+        full.add_edge(n(0), n(1));
+        let mut sub = UndirectedGraph::new(3);
+        sub.add_edge(n(0), n(1));
+        assert!(lemma_2_2_holds(&sub, &full, &layout));
+    }
+
+    #[test]
+    fn lemma_2_2_detects_violation() {
+        // Edge (0, 1) missing and no closer replacement pair exists.
+        let layout = Layout::new(vec![Point2::new(0.0, 0.0), Point2::new(5.0, 0.0)]);
+        let mut full = UndirectedGraph::new(2);
+        full.add_edge(n(0), n(1));
+        let sub = UndirectedGraph::new(2);
+        assert_eq!(lemma_2_2_violation(&sub, &full, &layout), Some((n(0), n(1))));
+    }
+}

@@ -1,0 +1,214 @@
+//! Edge-case integration tests for the protocol and reconfiguration
+//! layers that go beyond the happy path.
+
+use cbtc_core::protocol::{collect_outcome, CbtcNode, GrowthConfig};
+use cbtc_core::reconfig::{collect_topology, NdpConfig, ReconfigNode};
+use cbtc_core::{run_basic, Network};
+use cbtc_geom::{Alpha, Point2};
+use cbtc_graph::traversal::is_connected;
+use cbtc_graph::{Layout, NodeId};
+use cbtc_radio::{DirectionSensor, PathLoss, Power, PowerLaw, PowerSchedule};
+use cbtc_sim::{Engine, FaultConfig, QuiescenceResult, SimTime};
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn growth(alpha: Alpha) -> GrowthConfig {
+    let model = PowerLaw::paper_default();
+    GrowthConfig {
+        alpha,
+        schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+        ack_timeout: 3,
+        model,
+    }
+}
+
+#[test]
+fn single_node_network_terminates_as_boundary() {
+    let layout = Layout::new(vec![Point2::new(0.0, 0.0)]);
+    let mut engine = Engine::new(
+        layout,
+        PowerLaw::paper_default(),
+        vec![CbtcNode::new(growth(Alpha::FIVE_PI_SIXTHS), false)],
+        FaultConfig::reliable_synchronous(),
+    );
+    assert!(matches!(
+        engine.run_to_quiescence(10_000),
+        QuiescenceResult::Quiescent(_)
+    ));
+    let view = engine.node(n(0)).growth().view();
+    assert!(view.boundary);
+    assert!(view.discoveries.is_empty());
+}
+
+#[test]
+fn colocated_nodes_discover_each_other() {
+    // Two nodes at the same point: distance 0, direction arbitrary — must
+    // not panic and must form an edge.
+    let layout = Layout::new(vec![Point2::new(5.0, 5.0), Point2::new(5.0, 5.0)]);
+    let mut engine = Engine::new(
+        layout,
+        PowerLaw::paper_default(),
+        (0..2)
+            .map(|_| CbtcNode::new(growth(Alpha::FIVE_PI_SIXTHS), false))
+            .collect(),
+        FaultConfig::reliable_synchronous(),
+    );
+    engine.run_to_quiescence(10_000);
+    let g = collect_outcome(&engine).symmetric_closure();
+    assert!(g.has_edge(n(0), n(1)));
+}
+
+#[test]
+fn crash_mid_growth_still_lets_survivors_terminate() {
+    let layout = Layout::new(vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(200.0, 0.0),
+        Point2::new(100.0, 180.0),
+        Point2::new(320.0, 150.0),
+    ]);
+    let mut engine = Engine::new(
+        layout,
+        PowerLaw::paper_default(),
+        (0..4)
+            .map(|_| CbtcNode::new(growth(Alpha::TWO_PI_THIRDS), false))
+            .collect(),
+        FaultConfig::reliable_synchronous(),
+    );
+    // Kill node 3 while everyone is still growing.
+    engine.schedule_crash(n(3), SimTime::new(5));
+    assert!(matches!(
+        engine.run_to_quiescence(100_000),
+        QuiescenceResult::Quiescent(_)
+    ));
+    for i in 0..3 {
+        assert!(engine.node(n(i)).is_done(), "survivor {i} must terminate");
+    }
+}
+
+#[test]
+fn moderate_aoa_noise_preserves_connectivity_on_random_networks() {
+    // 3° of per-link bias: the distributed protocol still produces a
+    // connectivity-preserving topology (extension experiment, see
+    // noise_robustness bin).
+    let points: Vec<Point2> = {
+        let mut state = 77u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..30).map(|_| Point2::new(next() * 1000.0, next() * 1000.0)).collect()
+    };
+    let network = Network::with_paper_radio(Layout::new(points.clone()));
+    let mut engine = Engine::new(
+        Layout::new(points),
+        *network.model(),
+        (0..30)
+            .map(|_| CbtcNode::new(growth(Alpha::FIVE_PI_SIXTHS), false))
+            .collect(),
+        FaultConfig::reliable_synchronous(),
+    );
+    engine.set_sensor(DirectionSensor::with_error_bound(3f64.to_radians()));
+    engine.run_to_quiescence(1_000_000);
+    let g = collect_outcome(&engine).symmetric_closure();
+    use cbtc_graph::connectivity::preserves_connectivity;
+    assert!(preserves_connectivity(&g, &network.max_power_graph()));
+}
+
+#[test]
+fn reconfig_angle_change_updates_without_breaking() {
+    // Rotate a neighbor around the hub by ~20°: far beyond the 0.05 rad
+    // threshold — the hub must process aChange events and keep a connected
+    // view.
+    let layout = Layout::new(vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(200.0, 0.0),
+        Point2::new(-180.0, 40.0),
+    ]);
+    let ndp = NdpConfig::new(10, 3, 0.05);
+    let mut engine = Engine::new(
+        layout,
+        PowerLaw::paper_default(),
+        (0..3)
+            .map(|_| ReconfigNode::new(growth(Alpha::FIVE_PI_SIXTHS), ndp))
+            .collect(),
+        FaultConfig::reliable_synchronous(),
+    );
+    engine.run_until(SimTime::new(150));
+    assert!(is_connected(&collect_topology(&engine)));
+
+    // Swing node 1 up by ~20° at the same distance.
+    engine.move_node(n(1), Point2::new(188.0, 68.0));
+    engine.run_until(SimTime::new(400));
+    let topo = collect_topology(&engine);
+    assert!(is_connected(&topo), "aChange handling must keep the view intact");
+    // The hub's table must reflect the new bearing.
+    let entry = engine.node(n(0)).table().entry(n(1)).expect("still tracked");
+    let expected = Point2::new(0.0, 0.0).direction_to(Point2::new(188.0, 68.0));
+    assert!(entry.direction.circular_distance(expected) < 0.05);
+}
+
+#[test]
+fn reconfig_total_partition_then_merge() {
+    // Two groups far apart, then brought into range: the merged network
+    // must become one component (the §4 healing argument, group scale).
+    let layout = Layout::new(vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(100.0, 0.0),
+        Point2::new(3_000.0, 0.0),
+        Point2::new(3_100.0, 0.0),
+    ]);
+    let ndp = NdpConfig::new(10, 3, 0.05);
+    let mut engine = Engine::new(
+        layout,
+        PowerLaw::paper_default(),
+        (0..4)
+            .map(|_| ReconfigNode::new(growth(Alpha::FIVE_PI_SIXTHS), ndp))
+            .collect(),
+        FaultConfig::reliable_synchronous(),
+    );
+    engine.run_until(SimTime::new(150));
+    let before = collect_topology(&engine);
+    assert!(!is_connected(&before));
+
+    // Slide the right group next to the left one.
+    engine.move_node(n(2), Point2::new(300.0, 0.0));
+    engine.move_node(n(3), Point2::new(400.0, 0.0));
+    engine.run_until(SimTime::new(500));
+    let after = collect_topology(&engine);
+    assert!(is_connected(&after), "groups in range must merge into one component");
+}
+
+#[test]
+fn centralized_and_distributed_agree_on_counterexample_geometry() {
+    // The Theorem 2.4 construction through the real protocol. The discrete
+    // doubling schedule overshoots u0's exact stopping radius (486.6) to
+    // full power, so the RAW distributed relation incidentally still finds
+    // v0 — the §2 factor-2 overshoot in action. Shrink-back cancels the
+    // overshoot, after which the distributed outcome loses the bridge
+    // exactly like the centralized reference.
+    use cbtc_core::opt::shrink_back;
+    use cbtc_geom::constructions::Theorem24;
+    let t = Theorem24::new(500.0, 0.1).unwrap();
+    let network = Network::with_paper_radio(Layout::new(t.points()));
+    let alpha = t.alpha;
+    let mut engine = Engine::new(
+        network.layout().clone(),
+        *network.model(),
+        (0..8).map(|_| CbtcNode::new(growth(alpha), false)).collect(),
+        FaultConfig::reliable_synchronous(),
+    );
+    engine.run_to_quiescence(1_000_000);
+    let raw = collect_outcome(&engine);
+    // Overshoot artifact: the raw closure may keep the bridge.
+    assert!(raw.symmetric_closure().has_edge(n(0), n(4)));
+
+    let distributed = shrink_back(&raw).symmetric_closure();
+    let centralized = run_basic(&network, alpha).symmetric_closure();
+    assert!(!is_connected(&distributed));
+    assert!(!is_connected(&centralized));
+    assert!(!distributed.has_edge(n(0), n(4)), "bridge must be gone after shrink-back");
+}

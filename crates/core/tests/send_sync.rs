@@ -1,0 +1,45 @@
+//! Thread-safety assertions (C-SEND-SYNC): the library's data types can
+//! cross thread boundaries, enabling parallel parameter sweeps.
+
+use cbtc_core::protocol::{CbtcNode, GrowthState};
+use cbtc_core::reconfig::ReconfigNode;
+use cbtc_core::{BasicOutcome, CbtcConfig, CbtcRun, Network};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send_sync::<Network>();
+    assert_send_sync::<CbtcConfig>();
+    assert_send_sync::<CbtcRun>();
+    assert_send_sync::<BasicOutcome>();
+    assert_send_sync::<GrowthState>();
+    assert_send_sync::<CbtcNode>();
+    assert_send_sync::<ReconfigNode>();
+}
+
+#[test]
+fn parallel_centralized_runs_agree() {
+    use cbtc_geom::{Alpha, Point2};
+    use cbtc_graph::Layout;
+
+    let points: Vec<Point2> = (0..30)
+        .map(|i| {
+            let a = i as f64 * 0.7;
+            Point2::new(500.0 + 300.0 * a.cos(), 500.0 + 300.0 * a.sin())
+        })
+        .collect();
+    let network = Network::with_paper_radio(Layout::new(points));
+    let run_once = {
+        let network = network.clone();
+        move || {
+            cbtc_core::run_centralized(
+                &network,
+                &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
+            )
+        }
+    };
+    let sequential = run_once();
+    let threaded = std::thread::spawn(run_once).join().expect("worker thread");
+    assert_eq!(sequential.final_graph(), threaded.final_graph());
+}

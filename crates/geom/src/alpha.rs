@@ -1,0 +1,191 @@
+//! The validated cone-degree parameter `α`.
+
+use std::f64::consts::{PI, TAU};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The cone-degree parameter `α ∈ (0, 2π]` taken by `CBTC(α)`.
+///
+/// The paper's analysis distinguishes three regimes:
+///
+/// * `α ≤ 2π/3` — connectivity is preserved even by the *largest symmetric
+///   subset* `E⁻_α` of `N_α` (asymmetric edge removal, Theorem 3.2);
+/// * `α ≤ 5π/6` — connectivity is preserved by the symmetric closure `E_α`
+///   (Theorem 2.1), and `5π/6` is tight (Theorem 2.4);
+/// * `α > 5π/6` — connectivity may be lost.
+///
+/// The distinguished constants [`Alpha::TWO_PI_THIRDS`] and
+/// [`Alpha::FIVE_PI_SIXTHS`] mark the first two thresholds.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::Alpha;
+///
+/// let a = Alpha::FIVE_PI_SIXTHS;
+/// assert!(a.preserves_connectivity());
+/// assert!(!a.supports_asymmetric_removal());
+/// assert!(Alpha::TWO_PI_THIRDS.supports_asymmetric_removal());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Alpha(f64);
+
+impl Alpha {
+    /// `α = 2π/3`: the largest degree for which asymmetric edge removal
+    /// (keeping only mutual edges, §3.2) still preserves connectivity.
+    pub const TWO_PI_THIRDS: Alpha = Alpha(2.0 * PI / 3.0);
+
+    /// `α = 5π/6`: the tight connectivity threshold of Theorems 2.1/2.4.
+    pub const FIVE_PI_SIXTHS: Alpha = Alpha(5.0 * PI / 6.0);
+
+    /// Creates a validated cone degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidAlphaError`] when `radians` is not finite or lies
+    /// outside `(0, 2π]`.
+    pub fn new(radians: f64) -> Result<Self, InvalidAlphaError> {
+        if !radians.is_finite() || radians <= 0.0 || radians > TAU {
+            return Err(InvalidAlphaError { radians });
+        }
+        Ok(Alpha(radians))
+    }
+
+    /// Creates a cone degree without validation.
+    ///
+    /// Intended for compile-time constants and tests; invalid values will
+    /// make gap tests meaningless rather than cause memory unsafety.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on out-of-range input.
+    pub fn new_unchecked(radians: f64) -> Self {
+        debug_assert!(radians.is_finite() && radians > 0.0 && radians <= TAU);
+        Alpha(radians)
+    }
+
+    /// The cone degree in radians.
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// Half of the cone degree (`α/2`), the half-width used by cone
+    /// membership and coverage tests.
+    pub fn half(self) -> f64 {
+        self.0 / 2.0
+    }
+
+    /// Whether Theorem 2.1 applies: `α ≤ 5π/6` guarantees that the symmetric
+    /// closure `G_α` preserves the connectivity of `G_R`.
+    ///
+    /// A small tolerance absorbs rounding in values computed as, e.g.,
+    /// `150.0_f64.to_radians()`.
+    pub fn preserves_connectivity(self) -> bool {
+        self.0 <= Alpha::FIVE_PI_SIXTHS.0 + crate::EPS
+    }
+
+    /// Whether Theorem 3.2 applies: `α ≤ 2π/3` allows dropping *all*
+    /// asymmetric edges (using `E⁻_α` instead of `E_α`) while preserving
+    /// connectivity.
+    pub fn supports_asymmetric_removal(self) -> bool {
+        self.0 <= Alpha::TWO_PI_THIRDS.0 + crate::EPS
+    }
+}
+
+impl fmt::Display for Alpha {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render the two canonical values symbolically for readability in
+        // experiment output.
+        if (self.0 - Alpha::FIVE_PI_SIXTHS.0).abs() < 1e-12 {
+            write!(f, "5π/6")
+        } else if (self.0 - Alpha::TWO_PI_THIRDS.0).abs() < 1e-12 {
+            write!(f, "2π/3")
+        } else {
+            write!(f, "{:.4} rad", self.0)
+        }
+    }
+}
+
+/// Error returned by [`Alpha::new`] for values outside `(0, 2π]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidAlphaError {
+    radians: f64,
+}
+
+impl InvalidAlphaError {
+    /// The rejected value.
+    pub fn radians(&self) -> f64 {
+        self.radians
+    }
+}
+
+impl fmt::Display for InvalidAlphaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cone degree must be a finite value in (0, 2π], got {}",
+            self.radians
+        )
+    }
+}
+
+impl std::error::Error for InvalidAlphaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_values() {
+        assert!((Alpha::FIVE_PI_SIXTHS.radians() - 5.0 * PI / 6.0).abs() < 1e-15);
+        assert!((Alpha::TWO_PI_THIRDS.radians() - 2.0 * PI / 3.0).abs() < 1e-15);
+        assert_eq!(Alpha::FIVE_PI_SIXTHS.to_string(), "5π/6");
+        assert_eq!(Alpha::TWO_PI_THIRDS.to_string(), "2π/3");
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert!(Alpha::new(0.0).is_err());
+        assert!(Alpha::new(-1.0).is_err());
+        assert!(Alpha::new(TAU + 0.1).is_err());
+        assert!(Alpha::new(f64::INFINITY).is_err());
+        assert!(Alpha::new(f64::NAN).is_err());
+        assert!(Alpha::new(TAU).is_ok());
+        assert!(Alpha::new(1e-12).is_ok());
+    }
+
+    #[test]
+    fn threshold_predicates() {
+        assert!(Alpha::TWO_PI_THIRDS.preserves_connectivity());
+        assert!(Alpha::FIVE_PI_SIXTHS.preserves_connectivity());
+        assert!(!Alpha::new(5.0 * PI / 6.0 + 0.01).unwrap().preserves_connectivity());
+
+        assert!(Alpha::TWO_PI_THIRDS.supports_asymmetric_removal());
+        assert!(!Alpha::FIVE_PI_SIXTHS.supports_asymmetric_removal());
+        assert!(Alpha::new(2.0 * PI / 3.0 - 0.01)
+            .unwrap()
+            .supports_asymmetric_removal());
+    }
+
+    #[test]
+    fn radians_computed_from_degrees_pass_thresholds() {
+        // 150° expressed via to_radians() must still count as ≤ 5π/6.
+        let a = Alpha::new(150.0_f64.to_radians()).unwrap();
+        assert!(a.preserves_connectivity());
+        let b = Alpha::new(120.0_f64.to_radians()).unwrap();
+        assert!(b.supports_asymmetric_removal());
+    }
+
+    #[test]
+    fn error_reports_value() {
+        let e = Alpha::new(-2.0).unwrap_err();
+        assert_eq!(e.radians(), -2.0);
+        assert!(e.to_string().contains("-2"));
+    }
+
+    #[test]
+    fn half_is_half() {
+        assert!((Alpha::FIVE_PI_SIXTHS.half() - 5.0 * PI / 12.0).abs() < 1e-15);
+    }
+}

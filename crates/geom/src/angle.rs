@@ -1,0 +1,207 @@
+//! Angles normalized to `[0, 2π)` with circular arithmetic.
+
+use std::f64::consts::TAU;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An angle in radians, always normalized to the half-open interval
+/// `[0, 2π)`.
+///
+/// Directions (`dir_u(v)` in the paper) and angular positions are represented
+/// with this type so that circular comparisons — "is there a gap of more than
+/// α between consecutive directions?" — cannot silently operate on
+/// un-normalized values.
+///
+/// Ordering compares the normalized values, which corresponds to
+/// counter-clockwise order starting from the positive x-axis.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::Angle;
+/// use std::f64::consts::PI;
+///
+/// let a = Angle::new(-PI / 2.0); // normalized to 3π/2
+/// assert!((a.radians() - 3.0 * PI / 2.0).abs() < 1e-12);
+/// assert!((a.circular_distance(Angle::ZERO) - PI / 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// The zero angle (positive x-axis).
+    pub const ZERO: Angle = Angle(0.0);
+
+    /// Creates an angle from radians, normalizing into `[0, 2π)`.
+    ///
+    /// Accepts any finite value, including negative angles and values beyond
+    /// a full turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radians` is not finite.
+    pub fn new(radians: f64) -> Self {
+        assert!(radians.is_finite(), "angle must be finite, got {radians}");
+        let mut r = radians % TAU;
+        if r < 0.0 {
+            r += TAU;
+        }
+        // `-1e-20 % TAU` can round to TAU itself; fold it back to 0.
+        if r >= TAU {
+            r = 0.0;
+        }
+        Angle(r)
+    }
+
+    /// Creates an angle from degrees.
+    pub fn from_degrees(degrees: f64) -> Self {
+        Angle::new(degrees.to_radians())
+    }
+
+    /// The normalized value in radians, in `[0, 2π)`.
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// The normalized value in degrees, in `[0, 360)`.
+    pub fn degrees(self) -> f64 {
+        self.0.to_degrees()
+    }
+
+    /// The counter-clockwise arc length from `self` to `other`, in
+    /// `[0, 2π)`.
+    ///
+    /// This is the "gap" between two consecutive directions when sweeping
+    /// counter-clockwise, exactly the quantity scanned by the `gap-α` test.
+    pub fn ccw_to(self, other: Angle) -> f64 {
+        let d = other.0 - self.0;
+        if d < 0.0 {
+            d + TAU
+        } else {
+            d
+        }
+    }
+
+    /// The undirected circular distance between two angles, in `[0, π]`.
+    ///
+    /// This is `|θ − θ′| mod 2π` folded into `[0, π]`, the metric used by the
+    /// coverage operator `coverα(dir)` in §3.1.
+    pub fn circular_distance(self, other: Angle) -> f64 {
+        let d = (self.0 - other.0).abs();
+        d.min(TAU - d)
+    }
+
+    /// Rotates by `delta` radians (counter-clockwise when positive).
+    pub fn rotated(self, delta: f64) -> Angle {
+        Angle::new(self.0 + delta)
+    }
+
+    /// The diametrically opposite direction (`self + π`).
+    pub fn opposite(self) -> Angle {
+        self.rotated(std::f64::consts::PI)
+    }
+
+    /// Total order on normalized values.
+    ///
+    /// `Angle` stores a finite, normalized `f64`, so the order is total even
+    /// though `f64` itself only implements `PartialOrd`.
+    pub fn total_cmp(&self, other: &Angle) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Default for Angle {
+    fn default() -> Self {
+        Angle::ZERO
+    }
+}
+
+impl Eq for Angle {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Angle {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} rad", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_3, PI};
+
+    #[test]
+    fn normalization_wraps_into_range() {
+        assert_eq!(Angle::new(0.0).radians(), 0.0);
+        assert!((Angle::new(TAU + 1.0).radians() - 1.0).abs() < 1e-12);
+        assert!((Angle::new(-FRAC_PI_2).radians() - 1.5 * PI).abs() < 1e-12);
+        assert_eq!(Angle::new(TAU).radians(), 0.0);
+        assert!((Angle::new(-3.0 * TAU + 0.5).radians() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_negative_does_not_produce_tau() {
+        let a = Angle::new(-1e-300);
+        assert!(a.radians() < TAU);
+        assert!(a.radians() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        let _ = Angle::new(f64::NAN);
+    }
+
+    #[test]
+    fn degrees_round_trip() {
+        let a = Angle::from_degrees(150.0);
+        assert!((a.degrees() - 150.0).abs() < 1e-12);
+        assert!((a.radians() - 5.0 * PI / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccw_to_measures_counterclockwise_arc() {
+        let a = Angle::new(FRAC_PI_2);
+        let b = Angle::new(PI);
+        assert!((a.ccw_to(b) - FRAC_PI_2).abs() < 1e-12);
+        assert!((b.ccw_to(a) - 1.5 * PI).abs() < 1e-12);
+        assert_eq!(a.ccw_to(a), 0.0);
+    }
+
+    #[test]
+    fn circular_distance_is_symmetric_and_folded() {
+        let a = Angle::new(0.1);
+        let b = Angle::new(TAU - 0.1);
+        assert!((a.circular_distance(b) - 0.2).abs() < 1e-12);
+        assert!((b.circular_distance(a) - 0.2).abs() < 1e-12);
+        let c = Angle::new(PI);
+        assert!((Angle::ZERO.circular_distance(c) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        let a = Angle::new(FRAC_PI_3);
+        assert!(a.opposite().opposite().circular_distance(a) < 1e-12);
+        assert!((a.circular_distance(a.opposite()) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_ccw_from_positive_x_axis() {
+        let mut v = vec![Angle::new(3.0), Angle::new(1.0), Angle::new(2.0)];
+        v.sort();
+        assert_eq!(v, vec![Angle::new(1.0), Angle::new(2.0), Angle::new(3.0)]);
+    }
+
+    #[test]
+    fn rotated_composes() {
+        let a = Angle::new(1.0).rotated(2.0).rotated(-0.5);
+        assert!((a.radians() - 2.5).abs() < 1e-12);
+    }
+}

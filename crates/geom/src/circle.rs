@@ -1,0 +1,179 @@
+//! Circles and circle–circle intersection.
+//!
+//! The paper's proofs reason about `circ(u, r)`, the circle centered at `u`
+//! with radius `r` — most prominently in the Theorem 2.4 construction, where
+//! the points `s` and `s′` are the intersections of the two radius-`R`
+//! circles centered at `u0` and `v0`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Point2, EPS};
+
+/// A circle in the plane: `circ(center, radius)` in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center point.
+    pub center: Point2,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+/// Result of intersecting two circles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CircleIntersection {
+    /// The circles do not meet (separate or one strictly inside the other),
+    /// or they are coincident (infinitely many common points).
+    None,
+    /// The circles touch at exactly one point.
+    Tangent(Point2),
+    /// The circles meet at two points. The points are ordered so that the
+    /// first lies counter-clockwise of the center line from `self` to
+    /// `other` (positive half-plane).
+    Two(Point2, Point2),
+}
+
+impl Circle {
+    /// Creates a circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Point2, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and non-negative, got {radius}"
+        );
+        Circle { center, radius }
+    }
+
+    /// Whether `p` lies inside or on the circle (closed disc).
+    pub fn contains(&self, p: Point2) -> bool {
+        self.center.distance_squared(p) <= self.radius * self.radius + EPS
+    }
+
+    /// Whether `p` lies strictly outside the circle, beyond tolerance.
+    pub fn strictly_outside(&self, p: Point2) -> bool {
+        self.center.distance_squared(p) > self.radius * self.radius + EPS
+    }
+
+    /// Intersects two circles.
+    ///
+    /// Coincident circles are reported as [`CircleIntersection::None`]
+    /// because no finite set of points represents them.
+    pub fn intersect(&self, other: &Circle) -> CircleIntersection {
+        let d = self.center.distance(other.center);
+        let (r0, r1) = (self.radius, other.radius);
+        if d < EPS {
+            return CircleIntersection::None; // concentric (or coincident)
+        }
+        if d > r0 + r1 + EPS || d < (r0 - r1).abs() - EPS {
+            return CircleIntersection::None;
+        }
+        // Distance from self.center to the chord's foot along the center
+        // line, by the standard two-circle formula.
+        let a = (d * d + r0 * r0 - r1 * r1) / (2.0 * d);
+        let h2 = r0 * r0 - a * a;
+        let dir = (other.center - self.center) / d;
+        let foot = self.center + dir * a;
+        if h2 <= EPS {
+            return CircleIntersection::Tangent(foot);
+        }
+        let h = h2.sqrt();
+        // Perpendicular to the center line, counter-clockwise.
+        let perp = crate::Vec2::new(-dir.y, dir.x);
+        CircleIntersection::Two(foot + perp * h, foot - perp * h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_point_intersection_of_equal_circles() {
+        // The Theorem 2.4 setting: radius-R circles centered R apart meet at
+        // (R/2, ±R·√3/2).
+        let r = 500.0;
+        let c0 = Circle::new(Point2::new(0.0, 0.0), r);
+        let c1 = Circle::new(Point2::new(r, 0.0), r);
+        match c0.intersect(&c1) {
+            CircleIntersection::Two(s, s_prime) => {
+                assert!((s.x - r / 2.0).abs() < 1e-9);
+                assert!((s.y - r * 3f64.sqrt() / 2.0).abs() < 1e-9);
+                assert!((s_prime.x - r / 2.0).abs() < 1e-9);
+                assert!((s_prime.y + r * 3f64.sqrt() / 2.0).abs() < 1e-9);
+                // Both points lie on both circles.
+                for p in [s, s_prime] {
+                    assert!((c0.center.distance(p) - r).abs() < 1e-9);
+                    assert!((c1.center.distance(p) - r).abs() < 1e-9);
+                }
+            }
+            other => panic!("expected two intersections, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tangent_circles() {
+        let c0 = Circle::new(Point2::new(0.0, 0.0), 1.0);
+        let c1 = Circle::new(Point2::new(2.0, 0.0), 1.0);
+        match c0.intersect(&c1) {
+            CircleIntersection::Tangent(p) => {
+                assert!((p.x - 1.0).abs() < 1e-9);
+                assert!(p.y.abs() < 1e-9);
+            }
+            other => panic!("expected tangency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn internal_tangency() {
+        let c0 = Circle::new(Point2::new(0.0, 0.0), 2.0);
+        let c1 = Circle::new(Point2::new(1.0, 0.0), 1.0);
+        match c0.intersect(&c1) {
+            CircleIntersection::Tangent(p) => {
+                assert!((p.x - 2.0).abs() < 1e-9);
+                assert!(p.y.abs() < 1e-9);
+            }
+            other => panic!("expected tangency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_and_nested_circles() {
+        let c0 = Circle::new(Point2::new(0.0, 0.0), 1.0);
+        let far = Circle::new(Point2::new(5.0, 0.0), 1.0);
+        assert_eq!(c0.intersect(&far), CircleIntersection::None);
+        let inside = Circle::new(Point2::new(0.1, 0.0), 0.2);
+        assert_eq!(c0.intersect(&inside), CircleIntersection::None);
+        let concentric = Circle::new(Point2::new(0.0, 0.0), 2.0);
+        assert_eq!(c0.intersect(&concentric), CircleIntersection::None);
+    }
+
+    #[test]
+    fn containment_tests() {
+        let c = Circle::new(Point2::new(1.0, 1.0), 2.0);
+        assert!(c.contains(Point2::new(1.0, 1.0)));
+        assert!(c.contains(Point2::new(3.0, 1.0))); // boundary
+        assert!(!c.contains(Point2::new(3.1, 1.0)));
+        assert!(c.strictly_outside(Point2::new(4.0, 4.0)));
+        assert!(!c.strictly_outside(Point2::new(2.0, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn negative_radius_rejected() {
+        let _ = Circle::new(Point2::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn intersection_points_ordered_ccw_first() {
+        let c0 = Circle::new(Point2::new(0.0, 0.0), 5.0);
+        let c1 = Circle::new(Point2::new(6.0, 0.0), 5.0);
+        if let CircleIntersection::Two(a, b) = c0.intersect(&c1) {
+            assert!(a.y > 0.0);
+            assert!(b.y < 0.0);
+        } else {
+            panic!("expected two intersections");
+        }
+    }
+}

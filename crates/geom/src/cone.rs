@@ -1,0 +1,146 @@
+//! Cones of a given angular degree, as used throughout the paper's proofs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Alpha, Angle, Point2};
+
+/// A cone of degree `α` with a given apex and bisector direction.
+///
+/// `cone(u, α, v)` in the paper is the cone of degree `α` with apex `u`
+/// bisected by the ray from `u` through `v` (Figure 3); it is the region the
+/// proof of Lemma 2.2 reasons about. Membership here is *angular*: a point
+/// belongs to the cone when its direction from the apex deviates from the
+/// bisector by at most `α/2` (distance from the apex is not restricted).
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::{Alpha, Cone, Point2};
+///
+/// let u = Point2::new(0.0, 0.0);
+/// let v = Point2::new(1.0, 0.0);
+/// let cone = Cone::bisected_by(u, Alpha::TWO_PI_THIRDS, v);
+/// assert!(cone.contains(Point2::new(1.0, 1.0)));   // 45° off-axis < 60°
+/// assert!(!cone.contains(Point2::new(-1.0, 0.1))); // behind the apex
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cone {
+    apex: Point2,
+    bisector: Angle,
+    degree: Alpha,
+}
+
+impl Cone {
+    /// Creates a cone from its apex, bisector direction and degree.
+    pub fn new(apex: Point2, bisector: Angle, degree: Alpha) -> Self {
+        Cone {
+            apex,
+            bisector,
+            degree,
+        }
+    }
+
+    /// The paper's `cone(u, α, v)`: the cone of degree `α` with apex `u`
+    /// bisected by the line through `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `u == v` (the bisector is undefined).
+    pub fn bisected_by(u: Point2, degree: Alpha, v: Point2) -> Self {
+        Cone::new(u, u.direction_to(v), degree)
+    }
+
+    /// The apex of the cone.
+    pub fn apex(&self) -> Point2 {
+        self.apex
+    }
+
+    /// The bisector direction.
+    pub fn bisector(&self) -> Angle {
+        self.bisector
+    }
+
+    /// The angular degree of the cone.
+    pub fn degree(&self) -> Alpha {
+        self.degree
+    }
+
+    /// Whether direction `dir` (as seen from the apex) falls inside the
+    /// cone, boundary included.
+    pub fn contains_direction(&self, dir: Angle) -> bool {
+        self.bisector.circular_distance(dir) <= self.degree.half() + crate::EPS
+    }
+
+    /// Whether point `p` falls inside the cone, boundary included.
+    ///
+    /// The apex itself is considered contained.
+    pub fn contains(&self, p: Point2) -> bool {
+        if p == self.apex {
+            return true;
+        }
+        self.contains_direction(self.apex.direction_to(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn cone_to_east(alpha: Alpha) -> Cone {
+        Cone::bisected_by(Point2::ORIGIN, alpha, Point2::new(1.0, 0.0))
+    }
+
+    #[test]
+    fn membership_is_angular_not_radial() {
+        let c = cone_to_east(Alpha::TWO_PI_THIRDS);
+        // Any distance along the bisector is inside.
+        assert!(c.contains(Point2::new(1e-9, 0.0)));
+        assert!(c.contains(Point2::new(1e9, 0.0)));
+    }
+
+    #[test]
+    fn boundary_directions_are_contained() {
+        let c = cone_to_east(Alpha::TWO_PI_THIRDS);
+        // Exactly α/2 = 60° off-axis.
+        let on_edge = Point2::new(0.5, 0.5 * 3.0_f64.sqrt());
+        assert!(c.contains(on_edge));
+        let just_outside = Point2::ORIGIN.offset(Angle::new(PI / 3.0 + 1e-6), 1.0);
+        assert!(!c.contains(just_outside));
+    }
+
+    #[test]
+    fn apex_is_contained() {
+        let c = cone_to_east(Alpha::FIVE_PI_SIXTHS);
+        assert!(c.contains(Point2::ORIGIN));
+    }
+
+    #[test]
+    fn full_circle_cone_contains_everything() {
+        let full = Alpha::new(2.0 * PI).unwrap();
+        let c = cone_to_east(full);
+        for k in 0..16 {
+            let dir = Angle::new(k as f64 * PI / 8.0);
+            assert!(c.contains(Point2::ORIGIN.offset(dir, 3.0)));
+        }
+    }
+
+    #[test]
+    fn bisected_by_points_at_target() {
+        let u = Point2::new(2.0, 3.0);
+        let v = Point2::new(5.0, 7.0);
+        let c = Cone::bisected_by(u, Alpha::TWO_PI_THIRDS, v);
+        assert!(c.contains(v));
+        assert_eq!(c.apex(), u);
+        assert!(c.bisector().circular_distance(u.direction_to(v)) < 1e-15);
+    }
+
+    #[test]
+    fn wraparound_membership() {
+        // Cone pointing along +x axis: directions slightly below the axis
+        // (angle ≈ 2π − ε) must be contained.
+        let c = cone_to_east(Alpha::TWO_PI_THIRDS);
+        assert!(c.contains(Point2::new(1.0, -0.1)));
+        assert!(c.contains(Point2::new(1.0, 0.1)));
+    }
+}

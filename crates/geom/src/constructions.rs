@@ -1,0 +1,441 @@
+//! The paper's exact point constructions.
+//!
+//! Two figures in the paper are *constructions* — carefully placed point
+//! sets witnessing a claim:
+//!
+//! * **Example 2.1 / Figure 2** — `N_α` need not be symmetric: for
+//!   `2π/3 < α ≤ 5π/6` there is a 5-node placement with
+//!   `(v, u0) ∈ N_α` but `(u0, v) ∉ N_α`.
+//! * **Theorem 2.4 / Figure 5** — for `α = 5π/6 + ε` there is an 8-node
+//!   placement whose max-power graph `G_R` is connected while `G_α` is not.
+//!
+//! Both are reproduced here *exactly* (solving the paper's constraints in
+//! closed form) so the test-suite and the `figure2_figure5` experiment can
+//! check every stated property and run the actual algorithm on them.
+
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_3, PI};
+use std::fmt;
+
+use crate::{Alpha, Angle, Point2};
+
+/// Error returned when a construction parameter is outside the range the
+/// paper's argument needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstructionError {
+    what: String,
+}
+
+impl ConstructionError {
+    fn new(what: impl Into<String>) -> Self {
+        ConstructionError { what: what.into() }
+    }
+}
+
+impl fmt::Display for ConstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid construction parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ConstructionError {}
+
+/// Example 2.1 (Figure 2): asymmetry of the neighbor relation `N_α`.
+///
+/// Five nodes `u0, u1, u2, u3, v` with `d(u0, v) = R`, placed so that when
+/// every node runs `CBTC(α)` with `2π/3 < α ≤ 5π/6`:
+///
+/// * `N_α(u0) = {u1, u2, u3}` — `u0` stops growing before reaching `v`;
+/// * `N_α(v) = {u0}` — `v` reaches max power and only finds `u0`;
+///
+/// hence `(v, u0) ∈ N_α` but `(u0, v) ∉ N_α`, showing why `E_α` must take
+/// the symmetric closure.
+///
+/// The paper's parameter `ε = α/2 − π/3 ∈ (0, π/12]` is derived from `α`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example21 {
+    /// Max communication radius `R`.
+    pub r: f64,
+    /// The cone degree `α ∈ (2π/3, 5π/6]` the example is built for.
+    pub alpha: Alpha,
+    /// The derived `ε = α/2 − π/3`.
+    pub epsilon: f64,
+    /// Node `u0` (at the origin).
+    pub u0: Point2,
+    /// Node `u1`, above the `u0–v` line at angle `π/3 + ε`.
+    pub u1: Point2,
+    /// Node `u2`, mirror of `u1` below the line.
+    pub u2: Point2,
+    /// Node `u3`, behind `u0` at distance `R/2`.
+    pub u3: Point2,
+    /// Node `v`, at distance exactly `R` from `u0`.
+    pub v: Point2,
+}
+
+impl Example21 {
+    /// Builds the construction for radius `r` and cone degree `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `r > 0` and `2π/3 < α ≤ 5π/6` (the range for
+    /// which the paper's example applies).
+    pub fn new(r: f64, alpha: Alpha) -> Result<Self, ConstructionError> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(ConstructionError::new(format!("radius {r} must be positive")));
+        }
+        let a = alpha.radians();
+        if a <= 2.0 * FRAC_PI_3 + 1e-12 || a > 5.0 * PI / 6.0 + 1e-12 {
+            return Err(ConstructionError::new(format!(
+                "Example 2.1 requires 2π/3 < α ≤ 5π/6, got {alpha}"
+            )));
+        }
+        let epsilon = a / 2.0 - FRAC_PI_3;
+        let u0 = Point2::ORIGIN;
+        let v = Point2::new(r, 0.0);
+        // Triangle u0–v–u1: angle π/3+ε at u0, π/3−ε at v, π/3 at u1.
+        // Law of sines with side u0–v = R opposite the angle at u1.
+        let d_u01 = r * (FRAC_PI_3 - epsilon).sin() / FRAC_PI_3.sin();
+        let u1 = u0.offset(Angle::new(FRAC_PI_3 + epsilon), d_u01);
+        let u2 = u0.offset(Angle::new(-(FRAC_PI_3 + epsilon)), d_u01);
+        let u3 = Point2::new(-r / 2.0, 0.0);
+        Ok(Example21 {
+            r,
+            alpha,
+            epsilon,
+            u0,
+            u1,
+            u2,
+            u3,
+            v,
+        })
+    }
+
+    /// The five nodes in the order `[u0, u1, u2, u3, v]`.
+    pub fn points(&self) -> Vec<Point2> {
+        vec![self.u0, self.u1, self.u2, self.u3, self.v]
+    }
+
+    /// Index of `u0` in [`Self::points`].
+    pub const U0: usize = 0;
+    /// Index of `v` in [`Self::points`].
+    pub const V: usize = 4;
+}
+
+/// Theorem 2.4 (Figure 5): for `α = 5π/6 + ε`, `CBTC(α)` can disconnect a
+/// connected graph.
+///
+/// Eight nodes in two clusters (`u0..u3` and `v0..v3`) with `d(u0,v0) = R`
+/// and **every other** cross-cluster distance strictly greater than `R`, so
+/// `(u0, v0)` is the only inter-cluster edge of `G_R`. The placement makes
+/// `u0` (resp. `v0`) terminate `CBTC(α)` at power below `p(R)` — the cone
+/// towards the other cluster is covered by `u1/u2/u3` — so the bridging edge
+/// disappears from `G_α` and the clusters disconnect.
+///
+/// The v-cluster is the u-cluster rotated by `π` about the midpoint of
+/// `u0–v0`, exactly as in the paper's symmetric figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Theorem24 {
+    /// Max communication radius `R`.
+    pub r: f64,
+    /// The slack `ε > 0`; the construction defeats `α = 5π/6 + ε`.
+    pub epsilon: f64,
+    /// The cone degree `α = 5π/6 + ε` this construction defeats.
+    pub alpha: Alpha,
+    /// u-cluster: `u0` at the origin.
+    pub u0: Point2,
+    /// `u1` straight above `u0` (`∠u1·u0·v0 = π/2`).
+    pub u1: Point2,
+    /// `u2` at angle `π/2 + α` from the `u0→v0` direction, distance `R/2`.
+    pub u2: Point2,
+    /// `u3` on the horizontal line through `s′` (the lower intersection of
+    /// the two radius-`R` circles), slightly left of `s′`.
+    pub u3: Point2,
+    /// v-cluster: `v0` at `(R, 0)`.
+    pub v0: Point2,
+    /// Rotated image of `u1`.
+    pub v1: Point2,
+    /// Rotated image of `u2`.
+    pub v2: Point2,
+    /// Rotated image of `u3`.
+    pub v3: Point2,
+}
+
+impl Theorem24 {
+    /// Builds the construction for radius `r` and slack `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `r > 0` and `0 < ε ≤ π/6` (so that
+    /// `α = 5π/6 + ε ≤ π`, matching the paper's `min(α, π)` step).
+    pub fn new(r: f64, epsilon: f64) -> Result<Self, ConstructionError> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(ConstructionError::new(format!("radius {r} must be positive")));
+        }
+        if !(epsilon.is_finite() && epsilon > 0.0 && epsilon <= PI / 6.0) {
+            return Err(ConstructionError::new(format!(
+                "Theorem 2.4 requires 0 < ε ≤ π/6, got {epsilon}"
+            )));
+        }
+        let alpha = Alpha::new(5.0 * PI / 6.0 + epsilon)
+            .map_err(|e| ConstructionError::new(e.to_string()))?;
+
+        let u0 = Point2::ORIGIN;
+        let v0 = Point2::new(r, 0.0);
+
+        // u3 sits on the line y = −√3·R/2 (through s′, parallel to u0v0) at
+        // polar angle −(π/3 + ε/2) from u0, giving ∠u3·u0·u1 = 5π/6 + ε/2,
+        // safely between 5π/6 and α = 5π/6 + ε.
+        let theta3 = FRAC_PI_3 + epsilon / 2.0;
+        let d_u3 = (3f64.sqrt() * r / 2.0) / theta3.sin();
+        let u3 = u0.offset(Angle::new(-theta3), d_u3);
+        // How far left of s′ = (R/2, −√3R/2) that lands.
+        let delta = r / 2.0 - u3.x;
+        debug_assert!(delta > 0.0);
+
+        // u1 close enough to u0 that d(u3, v1) > R (paper: "choose d(v0,v1)
+        // sufficiently small"); d ≤ δ/2 suffices (see DESIGN.md §5).
+        let d_u1 = (r / 4.0).min(delta / 2.0);
+        let u1 = Point2::new(0.0, d_u1);
+
+        // u2 at angle π/2 + min(α, π) = π/2 + α (α ≤ π here), distance R/2.
+        let u2 = u0.offset(Angle::new(FRAC_PI_2 + alpha.radians()), r / 2.0);
+
+        // v-cluster: rotate the u-cluster by π about the midpoint of u0v0.
+        let mid = u0.midpoint(v0);
+        let v1 = u1.rotated_around(mid, PI);
+        let v2 = u2.rotated_around(mid, PI);
+        let v3 = u3.rotated_around(mid, PI);
+
+        Ok(Theorem24 {
+            r,
+            epsilon,
+            alpha,
+            u0,
+            u1,
+            u2,
+            u3,
+            v0,
+            v1,
+            v2,
+            v3,
+        })
+    }
+
+    /// The eight nodes in the order `[u0, u1, u2, u3, v0, v1, v2, v3]`.
+    pub fn points(&self) -> Vec<Point2> {
+        vec![
+            self.u0, self.u1, self.u2, self.u3, self.v0, self.v1, self.v2, self.v3,
+        ]
+    }
+
+    /// Indices of the u-cluster within [`Self::points`].
+    pub const U_CLUSTER: [usize; 4] = [0, 1, 2, 3];
+    /// Indices of the v-cluster within [`Self::points`].
+    pub const V_CLUSTER: [usize; 4] = [4, 5, 6, 7];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangle::angle_at;
+
+    const R: f64 = 500.0;
+
+    fn alpha(v: f64) -> Alpha {
+        Alpha::new(v).unwrap()
+    }
+
+    mod example21 {
+        use super::*;
+
+        #[test]
+        fn rejects_out_of_range_alpha() {
+            assert!(Example21::new(R, Alpha::TWO_PI_THIRDS).is_err());
+            assert!(Example21::new(R, alpha(PI)).is_err());
+            assert!(Example21::new(-1.0, Alpha::FIVE_PI_SIXTHS).is_err());
+            assert!(Example21::new(R, Alpha::FIVE_PI_SIXTHS).is_ok());
+            assert!(Example21::new(R, alpha(2.0 * FRAC_PI_3 + 0.05)).is_ok());
+        }
+
+        #[test]
+        fn epsilon_in_paper_range() {
+            for a in [2.0 * FRAC_PI_3 + 0.01, 2.4, 5.0 * PI / 6.0] {
+                let ex = Example21::new(R, alpha(a)).unwrap();
+                assert!(ex.epsilon > 0.0 && ex.epsilon < PI / 12.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn stated_angles_hold() {
+            let ex = Example21::new(R, Alpha::FIVE_PI_SIXTHS).unwrap();
+            let e = ex.epsilon;
+            // (1) ∠v·u0·u1 = ∠v·u0·u2 = π/3 + ε = α/2.
+            assert!((angle_at(ex.v, ex.u0, ex.u1) - (FRAC_PI_3 + e)).abs() < 1e-9);
+            assert!((angle_at(ex.v, ex.u0, ex.u2) - (FRAC_PI_3 + e)).abs() < 1e-9);
+            assert!((angle_at(ex.v, ex.u0, ex.u1) - ex.alpha.half()).abs() < 1e-9);
+            // (2) ∠u1·v·u0 = ∠u2·v·u0 = π/3 − ε, so ∠v·u1·u0 = π/3.
+            assert!((angle_at(ex.u1, ex.v, ex.u0) - (FRAC_PI_3 - e)).abs() < 1e-9);
+            assert!((angle_at(ex.v, ex.u1, ex.u0) - FRAC_PI_3).abs() < 1e-9);
+            // (3) ∠v·u0·u3 = π.
+            assert!((angle_at(ex.v, ex.u0, ex.u3) - PI).abs() < 1e-9);
+            // (4) d(u0, u3) = R/2.
+            assert!((ex.u0.distance(ex.u3) - R / 2.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn stated_distances_hold() {
+            for a in [2.2, 2.5, 5.0 * PI / 6.0] {
+                let ex = Example21::new(R, alpha(a)).unwrap();
+                // d(u0, v) = R exactly.
+                assert!((ex.u0.distance(ex.v) - R).abs() < 1e-9);
+                // d(u1, v) > R > d(u0, u1); same for u2.
+                assert!(ex.u1.distance(ex.v) > R);
+                assert!(ex.u0.distance(ex.u1) < R);
+                assert!(ex.u2.distance(ex.v) > R);
+                assert!(ex.u0.distance(ex.u2) < R);
+            }
+        }
+
+        #[test]
+        fn u1_u2_mirror_symmetric() {
+            let ex = Example21::new(R, alpha(2.6)).unwrap();
+            assert!((ex.u1.x - ex.u2.x).abs() < 1e-9);
+            assert!((ex.u1.y + ex.u2.y).abs() < 1e-9);
+        }
+
+        #[test]
+        fn points_order_and_indices() {
+            let ex = Example21::new(R, Alpha::FIVE_PI_SIXTHS).unwrap();
+            let pts = ex.points();
+            assert_eq!(pts.len(), 5);
+            assert_eq!(pts[Example21::U0], ex.u0);
+            assert_eq!(pts[Example21::V], ex.v);
+        }
+    }
+
+    mod theorem24 {
+        use super::*;
+
+        #[test]
+        fn rejects_out_of_range_epsilon() {
+            assert!(Theorem24::new(R, 0.0).is_err());
+            assert!(Theorem24::new(R, -0.1).is_err());
+            assert!(Theorem24::new(R, PI / 6.0 + 0.01).is_err());
+            assert!(Theorem24::new(0.0, 0.1).is_err());
+            assert!(Theorem24::new(R, 0.1).is_ok());
+            assert!(Theorem24::new(R, PI / 6.0).is_ok());
+        }
+
+        #[test]
+        fn bridging_edge_has_length_exactly_r() {
+            for eps in [0.01, 0.1, 0.3, PI / 6.0] {
+                let t = Theorem24::new(R, eps).unwrap();
+                assert!((t.u0.distance(t.v0) - R).abs() < 1e-9, "eps={eps}");
+            }
+        }
+
+        #[test]
+        fn clusters_within_radius_of_their_center() {
+            for eps in [0.01, 0.1, 0.3] {
+                let t = Theorem24::new(R, eps).unwrap();
+                for p in [t.u1, t.u2, t.u3] {
+                    assert!(t.u0.distance(p) < R, "u-cluster point beyond R, eps={eps}");
+                }
+                for p in [t.v1, t.v2, t.v3] {
+                    assert!(t.v0.distance(p) < R, "v-cluster point beyond R, eps={eps}");
+                }
+            }
+        }
+
+        #[test]
+        fn all_other_cross_cluster_distances_exceed_r() {
+            for eps in [0.01, 0.05, 0.1, 0.3, PI / 6.0] {
+                let t = Theorem24::new(R, eps).unwrap();
+                let us = [t.u0, t.u1, t.u2, t.u3];
+                let vs = [t.v0, t.v1, t.v2, t.v3];
+                for (i, &u) in us.iter().enumerate() {
+                    for (j, &v) in vs.iter().enumerate() {
+                        if i + j >= 1 {
+                            assert!(
+                                u.distance(v) > R,
+                                "d(u{i}, v{j}) = {} ≤ R for eps={eps}",
+                                u.distance(v)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn stated_angles_hold() {
+            let t = Theorem24::new(R, 0.1).unwrap();
+            // ∠u1·u0·v0 = π/2.
+            assert!((angle_at(t.u1, t.u0, t.v0) - FRAC_PI_2).abs() < 1e-9);
+            // ∠v1·v0·u0 = π/2, opposite side of the line.
+            assert!((angle_at(t.v1, t.v0, t.u0) - FRAC_PI_2).abs() < 1e-9);
+            assert!(t.u1.y * t.v1.y < 0.0);
+            // ∠u1·u0·u2 = α (= min(α, π)).
+            assert!((angle_at(t.u1, t.u0, t.u2) - t.alpha.radians()).abs() < 1e-9);
+            // ∠u3·u0·u1 strictly between 5π/6 and α.
+            let a31 = angle_at(t.u3, t.u0, t.u1);
+            assert!(a31 > 5.0 * PI / 6.0 && a31 < t.alpha.radians());
+            // ∠v0·u0·u2 ≥ π/2 (so u2 is far from the v-side).
+            assert!(angle_at(t.v0, t.u0, t.u2) >= FRAC_PI_2 - 1e-9);
+        }
+
+        #[test]
+        fn u3_lies_on_line_through_s_prime() {
+            let t = Theorem24::new(R, 0.2).unwrap();
+            // s′ = (R/2, −√3R/2); u3 on y = −√3R/2, left of s′.
+            assert!((t.u3.y + 3f64.sqrt() * R / 2.0).abs() < 1e-9);
+            assert!(t.u3.x < R / 2.0);
+            // d(u0, u3) < R, d(v0, u3) > R.
+            assert!(t.u0.distance(t.u3) < R);
+            assert!(t.v0.distance(t.u3) > R);
+        }
+
+        #[test]
+        fn v_cluster_is_rotation_of_u_cluster() {
+            let t = Theorem24::new(R, 0.15).unwrap();
+            let mid = t.u0.midpoint(t.v0);
+            for (u, v) in [(t.u0, t.v0), (t.u1, t.v1), (t.u2, t.v2), (t.u3, t.v3)] {
+                let rotated = u.rotated_around(mid, PI);
+                assert!(rotated.distance(v) < 1e-9);
+            }
+        }
+
+        #[test]
+        fn no_alpha_gap_at_u0_without_v0() {
+            // The crux: u0's three cluster-mates alone cover every α-cone,
+            // so u0 stops growing before reaching v0.
+            use crate::gap::has_alpha_gap;
+            for eps in [0.01, 0.1, 0.3] {
+                let t = Theorem24::new(R, eps).unwrap();
+                let dirs: Vec<Angle> = [t.u1, t.u2, t.u3]
+                    .iter()
+                    .map(|p| t.u0.direction_to(*p))
+                    .collect();
+                assert!(
+                    !has_alpha_gap(&dirs, t.alpha),
+                    "u0 should have no α-gap from its cluster, eps={eps}"
+                );
+                // But with 5π/6 itself (no slack) there IS a gap — the
+                // construction only defeats α strictly above the threshold.
+                assert!(has_alpha_gap(&dirs, Alpha::FIVE_PI_SIXTHS));
+            }
+        }
+
+        #[test]
+        fn points_order_matches_clusters() {
+            let t = Theorem24::new(R, 0.1).unwrap();
+            let pts = t.points();
+            assert_eq!(pts.len(), 8);
+            for &i in &Theorem24::U_CLUSTER {
+                assert!(pts[i].distance(t.u0) < R);
+            }
+            for &i in &Theorem24::V_CLUSTER {
+                assert!(pts[i].distance(t.v0) < R);
+            }
+        }
+    }
+}

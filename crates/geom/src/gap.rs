@@ -1,0 +1,198 @@
+//! The α-gap test over sets of directions.
+//!
+//! CBTC's growing phase is driven by a single predicate: *is there a gap of
+//! more than α between the angles of two consecutive discovered neighbors?*
+//! By the observation in §2 of the paper this holds iff there is a cone of
+//! degree α centered at the node containing no discovered neighbor.
+
+use std::f64::consts::TAU;
+
+use crate::{Alpha, Angle};
+
+/// The largest counter-clockwise gap between consecutive directions, in
+/// radians.
+///
+/// Returns `2π` for an empty set (the whole circle is one gap) and for a
+/// single direction (the circle minus a point is still a `2π` sweep back to
+/// itself).
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::{Angle, gap::max_gap};
+/// use std::f64::consts::PI;
+///
+/// let dirs = [Angle::ZERO, Angle::new(PI / 2.0)];
+/// assert!((max_gap(&dirs) - 1.5 * PI).abs() < 1e-12);
+/// assert_eq!(max_gap(&[]), 2.0 * PI);
+/// ```
+pub fn max_gap(directions: &[Angle]) -> f64 {
+    match directions.len() {
+        0 => TAU,
+        1 => TAU,
+        _ => {
+            let mut sorted: Vec<Angle> = directions.to_vec();
+            sorted.sort();
+            let mut largest: f64 = 0.0;
+            for w in sorted.windows(2) {
+                largest = largest.max(w[0].ccw_to(w[1]));
+            }
+            // Wrap-around gap from the last direction back to the first.
+            let last = sorted[sorted.len() - 1];
+            let first = sorted[0];
+            if last == first {
+                // Sorted and extremes equal ⇒ all directions identical:
+                // the circle minus one point is a full 2π sweep.
+                return TAU;
+            }
+            largest.max(last.ccw_to(first))
+        }
+    }
+}
+
+/// The paper's `gap-α(Du)` test: `true` iff there is a gap of **more than**
+/// `α` between two consecutive directions, i.e. iff some cone of degree `α`
+/// around the node contains no direction from the set.
+///
+/// The comparison is strict (gaps of exactly `α` do not count), matching the
+/// termination condition of the algorithm in Figure 1. A tiny tolerance
+/// absorbs floating-point noise so that a gap within [`crate::EPS`] of `α`
+/// is treated as exactly `α`.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::{Alpha, Angle, gap::has_alpha_gap};
+/// use std::f64::consts::PI;
+///
+/// // Four directions at right angles: largest gap is π/2.
+/// let dirs: Vec<Angle> = (0..4).map(|k| Angle::new(k as f64 * PI / 2.0)).collect();
+/// assert!(!has_alpha_gap(&dirs, Alpha::new(PI / 2.0)?));
+/// assert!(has_alpha_gap(&dirs, Alpha::new(PI / 2.0 - 0.01)?));
+/// # Ok::<(), cbtc_geom::InvalidAlphaError>(())
+/// ```
+pub fn has_alpha_gap(directions: &[Angle], alpha: Alpha) -> bool {
+    max_gap(directions) > alpha.radians() + crate::EPS
+}
+
+/// Like [`has_alpha_gap`], but also reports where the widest gap begins.
+///
+/// Returns `(gap, start)` where `start` is the direction after which the
+/// widest counter-clockwise gap opens, or `None` when the set is empty.
+/// Useful for diagnostics and for the reconfiguration logic, which wants to
+/// know *where* coverage was lost after a `leave` event.
+pub fn widest_gap(directions: &[Angle]) -> Option<(f64, Angle)> {
+    if directions.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<Angle> = directions.to_vec();
+    sorted.sort();
+    let mut best_gap = 0.0;
+    let mut best_start = sorted[0];
+    let n = sorted.len();
+    for i in 0..n {
+        let a = sorted[i];
+        let b = sorted[(i + 1) % n];
+        let g = if n == 1 { TAU } else { a.ccw_to(b) };
+        // For n > 1 with duplicate extremes ccw_to(a, a) == 0, which is fine.
+        if g > best_gap {
+            best_gap = g;
+            best_start = a;
+        }
+    }
+    if n == 1 {
+        return Some((TAU, sorted[0]));
+    }
+    // All directions identical: the gap is the full circle starting there.
+    if best_gap == 0.0 {
+        return Some((TAU, sorted[0]));
+    }
+    Some((best_gap, best_start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_3, PI};
+
+    fn angles(v: &[f64]) -> Vec<Angle> {
+        v.iter().copied().map(Angle::new).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton_have_full_gap() {
+        assert_eq!(max_gap(&[]), TAU);
+        assert_eq!(max_gap(&angles(&[1.0])), TAU);
+        assert!(has_alpha_gap(&[], Alpha::FIVE_PI_SIXTHS));
+        assert!(has_alpha_gap(&angles(&[0.3]), Alpha::FIVE_PI_SIXTHS));
+    }
+
+    #[test]
+    fn evenly_spread_directions() {
+        // k evenly spaced directions: max gap 2π/k.
+        for k in 2..12usize {
+            let dirs: Vec<Angle> =
+                (0..k).map(|i| Angle::new(i as f64 * TAU / k as f64)).collect();
+            let expect = TAU / k as f64;
+            assert!(
+                (max_gap(&dirs) - expect).abs() < 1e-9,
+                "k={k}: {} vs {expect}",
+                max_gap(&dirs)
+            );
+        }
+    }
+
+    #[test]
+    fn gap_test_is_strict_at_alpha() {
+        // Directions exactly 2π/3 apart: gap == α == 2π/3, no α-gap.
+        let dirs = angles(&[0.0, TAU / 3.0, 2.0 * TAU / 3.0]);
+        assert!(!has_alpha_gap(&dirs, Alpha::TWO_PI_THIRDS));
+        // Remove one: the gap becomes 4π/3 > 2π/3.
+        assert!(has_alpha_gap(&dirs[..2], Alpha::TWO_PI_THIRDS));
+    }
+
+    #[test]
+    fn wraparound_gap_detected() {
+        // Directions at 350° and 10°: the big gap spans 340° through the
+        // middle of the circle, not across 0.
+        let dirs = angles(&[350f64.to_radians(), 10f64.to_radians()]);
+        let g = max_gap(&dirs);
+        assert!((g - 340f64.to_radians()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_do_not_confuse_the_scan() {
+        let dirs = angles(&[1.0, 1.0, 1.0, 1.0 + PI]);
+        assert!((max_gap(&dirs) - PI).abs() < 1e-12);
+        let same = angles(&[2.0, 2.0]);
+        assert_eq!(max_gap(&same), TAU);
+    }
+
+    #[test]
+    fn widest_gap_reports_location() {
+        let dirs = angles(&[0.0, FRAC_PI_2, PI]);
+        let (g, start) = widest_gap(&dirs).unwrap();
+        assert!((g - PI).abs() < 1e-12);
+        assert!(start.circular_distance(Angle::new(PI)) < 1e-12);
+        assert!(widest_gap(&[]).is_none());
+        let (g1, s1) = widest_gap(&angles(&[0.7])).unwrap();
+        assert_eq!(g1, TAU);
+        assert!(s1.circular_distance(Angle::new(0.7)) < 1e-12);
+    }
+
+    #[test]
+    fn widest_gap_all_identical_directions() {
+        let dirs = angles(&[FRAC_PI_3, FRAC_PI_3, FRAC_PI_3]);
+        let (g, s) = widest_gap(&dirs).unwrap();
+        assert_eq!(g, TAU);
+        assert!(s.circular_distance(Angle::new(FRAC_PI_3)) < 1e-12);
+    }
+
+    #[test]
+    fn gap_matches_max_gap_value() {
+        let dirs = angles(&[0.2, 1.9, 3.0, 4.4, 6.0]);
+        let g = max_gap(&dirs);
+        let (wg, _) = widest_gap(&dirs).unwrap();
+        assert!((g - wg).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,355 @@
+//! Planar points and displacement vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Angle;
+
+/// A point in the Euclidean plane.
+///
+/// Node locations in the topology-control problem are points; see §1 of the
+/// paper ("Each node `u ∈ V` is specified by its coordinates `(x(u), y(u))`").
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::Point2;
+///
+/// let a = Point2::new(0.0, 0.0);
+/// let b = Point2::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement vector in the Euclidean plane.
+///
+/// Produced by subtracting two [`Point2`] values; carries direction and
+/// magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance `d(self, other)`.
+    pub fn distance(self, other: Point2) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance; avoids the square root when only
+    /// comparisons are needed.
+    pub fn distance_squared(self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// The direction of `other` as seen from `self`, i.e. the angle of the
+    /// vector `other - self` measured counter-clockwise from the positive
+    /// x-axis.
+    ///
+    /// This is the quantity the paper writes `dir_u(v)`: the only positional
+    /// information the CBTC algorithm is allowed to use.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the two points coincide (the direction is
+    /// then undefined).
+    pub fn direction_to(self, other: Point2) -> Angle {
+        debug_assert!(
+            self != other,
+            "direction_to is undefined for coincident points"
+        );
+        Angle::new((other.y - self.y).atan2(other.x - self.x))
+    }
+
+    /// The point reached by starting at `self` and travelling `dist` in the
+    /// direction `dir`.
+    pub fn offset(self, dir: Angle, dist: f64) -> Point2 {
+        Point2::new(
+            self.x + dist * dir.radians().cos(),
+            self.y + dist * dir.radians().sin(),
+        )
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        Point2::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Rotates this point by `theta` radians counter-clockwise around
+    /// `center`.
+    pub fn rotated_around(self, center: Point2, theta: f64) -> Point2 {
+        let (s, c) = theta.sin_cos();
+        let dx = self.x - center.x;
+        let dy = self.y - center.y;
+        Point2::new(center.x + c * dx - s * dy, center.y + s * dx + c * dy)
+    }
+
+    /// Reflects this point across the horizontal line `y = axis_y`.
+    pub fn mirrored_y(self, axis_y: f64) -> Point2 {
+        Point2::new(self.x, 2.0 * axis_y - self.y)
+    }
+
+    /// Returns `true` if all coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product); positive
+    /// when `other` lies counter-clockwise of `self`.
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The angle of this vector measured counter-clockwise from the positive
+    /// x-axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on the zero vector.
+    pub fn angle(self) -> Angle {
+        debug_assert!(
+            self != Vec2::ZERO,
+            "angle of the zero vector is undefined"
+        );
+        Angle::new(self.y.atan2(self.x))
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.x, self.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    fn sub(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vec2> for Point2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<Point2> for (f64, f64) {
+    fn from(p: Point2) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn distance_is_symmetric_and_euclidean() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, 6.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.distance_squared(b), 25.0);
+    }
+
+    #[test]
+    fn direction_to_cardinal_points() {
+        let o = Point2::ORIGIN;
+        assert!((o.direction_to(Point2::new(1.0, 0.0)).radians() - 0.0).abs() < 1e-15);
+        assert!(
+            (o.direction_to(Point2::new(0.0, 1.0)).radians() - FRAC_PI_2).abs() < 1e-15
+        );
+        assert!((o.direction_to(Point2::new(-1.0, 0.0)).radians() - PI).abs() < 1e-15);
+        assert!(
+            (o.direction_to(Point2::new(0.0, -1.0)).radians() - 3.0 * FRAC_PI_2).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn offset_round_trips_direction_and_distance() {
+        let p = Point2::new(10.0, -3.0);
+        let dir = Angle::new(1.234);
+        let q = p.offset(dir, 7.5);
+        assert!((p.distance(q) - 7.5).abs() < 1e-12);
+        assert!(p.direction_to(q).circular_distance(dir) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_distance_to_center() {
+        let c = Point2::new(2.0, 2.0);
+        let p = Point2::new(5.0, 6.0);
+        let r = p.rotated_around(c, 1.0);
+        assert!((c.distance(p) - c.distance(r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_by_pi_is_point_reflection() {
+        let c = Point2::new(1.0, 1.0);
+        let p = Point2::new(3.0, 0.0);
+        let r = p.rotated_around(c, PI);
+        assert!((r.x - (-1.0)).abs() < 1e-12);
+        assert!((r.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vec2::new(3.0, 4.0);
+        let w = Vec2::new(-4.0, 3.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(w), 0.0);
+        assert_eq!(v.cross(w), 25.0);
+        assert_eq!((v + w), Vec2::new(-1.0, 7.0));
+        assert_eq!((v - w), Vec2::new(7.0, 1.0));
+        assert_eq!(v * 2.0, Vec2::new(6.0, 8.0));
+        assert_eq!(2.0 * v, Vec2::new(6.0, 8.0));
+        assert_eq!(v / 2.0, Vec2::new(1.5, 2.0));
+        assert_eq!(-v, Vec2::new(-3.0, -4.0));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 4.0);
+        assert_eq!(a.midpoint(b), Point2::new(1.0, 2.0));
+        assert_eq!(a.midpoint(b), b.midpoint(a));
+    }
+
+    #[test]
+    fn mirrored_y_reflects_across_axis() {
+        let p = Point2::new(3.0, 5.0);
+        assert_eq!(p.mirrored_y(1.0), Point2::new(3.0, -3.0));
+        assert_eq!(p.mirrored_y(1.0).mirrored_y(1.0), p);
+    }
+
+    #[test]
+    fn conversions_with_tuples() {
+        let p: Point2 = (1.5, -2.5).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, -2.5));
+    }
+}

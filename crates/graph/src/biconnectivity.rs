@@ -1,0 +1,214 @@
+//! Articulation points and bridges (biconnectivity analysis).
+//!
+//! The related work the paper positions against (Ramanathan &
+//! Rosales-Hain, INFOCOM 2000) optimizes for *biconnected* topologies —
+//! no single node or link failure may disconnect the network. These
+//! helpers measure that robustness dimension for any topology-control
+//! output: articulation points (cut vertices) and bridges (cut edges), via
+//! the classic Hopcroft–Tarjan low-link DFS, implemented iteratively so
+//! deep topologies cannot overflow the stack.
+
+use crate::{NodeId, UndirectedGraph};
+
+/// The cut structure of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutStructure {
+    /// Nodes whose removal increases the number of components.
+    pub articulation_points: Vec<NodeId>,
+    /// Edges whose removal increases the number of components, as
+    /// canonical `(min, max)` pairs in deterministic order.
+    pub bridges: Vec<(NodeId, NodeId)>,
+}
+
+impl CutStructure {
+    /// A graph is biconnected when it is connected, has at least three
+    /// nodes, and has no articulation point. (Check connectivity
+    /// separately; this only inspects the cut sets.)
+    pub fn has_cut_vertices(&self) -> bool {
+        !self.articulation_points.is_empty()
+    }
+}
+
+/// Computes articulation points and bridges.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{NodeId, UndirectedGraph, biconnectivity::cut_structure};
+///
+/// // A path 0–1–2: the middle node is an articulation point, both edges
+/// // are bridges.
+/// let mut g = UndirectedGraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// g.add_edge(NodeId::new(1), NodeId::new(2));
+/// let cuts = cut_structure(&g);
+/// assert_eq!(cuts.articulation_points, vec![NodeId::new(1)]);
+/// assert_eq!(cuts.bridges.len(), 2);
+/// ```
+pub fn cut_structure(g: &UndirectedGraph) -> CutStructure {
+    let n = g.node_count();
+    let mut disc = vec![usize::MAX; n]; // discovery times
+    let mut low = vec![usize::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut is_articulation = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut timer = 0usize;
+
+    for root in g.node_ids() {
+        if disc[root.index()] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS: (node, neighbor iterator position).
+        let mut root_children = 0usize;
+        let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+        disc[root.index()] = timer;
+        low[root.index()] = timer;
+        timer += 1;
+        stack.push((root, g.neighbors(root).collect(), 0));
+
+        while let Some((u, nbrs, pos)) = stack.last_mut() {
+            let u = *u;
+            if *pos < nbrs.len() {
+                let v = nbrs[*pos];
+                *pos += 1;
+                if disc[v.index()] == usize::MAX {
+                    parent[v.index()] = Some(u);
+                    if u == root {
+                        root_children += 1;
+                    }
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
+                    timer += 1;
+                    stack.push((v, g.neighbors(v).collect(), 0));
+                } else if Some(v) != parent[u.index()] {
+                    // Back edge.
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(p) = parent[u.index()] {
+                    low[p.index()] = low[p.index()].min(low[u.index()]);
+                    if low[u.index()] > disc[p.index()] {
+                        bridges.push((p.min(u), p.max(u)));
+                    }
+                    if p != root && low[u.index()] >= disc[p.index()] {
+                        is_articulation[p.index()] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_articulation[root.index()] = true;
+        }
+    }
+
+    bridges.sort();
+    CutStructure {
+        articulation_points: (0..n)
+            .filter(|&i| is_articulation[i])
+            .map(|i| NodeId::new(i as u32))
+            .collect(),
+        bridges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn graph(size: usize, edges: &[(u32, u32)]) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(size);
+        for &(a, b) in edges {
+            g.add_edge(n(a), n(b));
+        }
+        g
+    }
+
+    #[test]
+    fn path_graph_cuts() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cuts = cut_structure(&g);
+        assert_eq!(cuts.articulation_points, vec![n(1), n(2)]);
+        assert_eq!(cuts.bridges, vec![(n(0), n(1)), (n(1), n(2)), (n(2), n(3))]);
+        assert!(cuts.has_cut_vertices());
+    }
+
+    #[test]
+    fn cycle_is_biconnected() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let cuts = cut_structure(&g);
+        assert!(cuts.articulation_points.is_empty());
+        assert!(cuts.bridges.is_empty());
+        assert!(!cuts.has_cut_vertices());
+    }
+
+    #[test]
+    fn two_triangles_joined_at_a_vertex() {
+        // Classic: the shared vertex is the articulation point, no bridges.
+        let g = graph(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let cuts = cut_structure(&g);
+        assert_eq!(cuts.articulation_points, vec![n(2)]);
+        assert!(cuts.bridges.is_empty());
+    }
+
+    #[test]
+    fn barbell_bridge() {
+        // Two triangles connected by one edge: both endpoints of the
+        // connecting edge are articulation points and the edge is a bridge.
+        let g = graph(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        let cuts = cut_structure(&g);
+        assert_eq!(cuts.articulation_points, vec![n(2), n(3)]);
+        assert_eq!(cuts.bridges, vec![(n(2), n(3))]);
+    }
+
+    #[test]
+    fn disconnected_components_analyzed_independently() {
+        let g = graph(5, &[(0, 1), (2, 3), (3, 4)]);
+        let cuts = cut_structure(&g);
+        assert_eq!(cuts.articulation_points, vec![n(3)]);
+        assert_eq!(cuts.bridges.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        assert_eq!(cut_structure(&UndirectedGraph::new(0)).articulation_points, vec![]);
+        let lone = UndirectedGraph::new(1);
+        let cuts = cut_structure(&lone);
+        assert!(cuts.articulation_points.is_empty());
+        assert!(cuts.bridges.is_empty());
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // 50 000-node path: recursion would blow the stack; iteration must
+        // not.
+        let size = 50_000;
+        let mut g = UndirectedGraph::new(size);
+        for i in 0..size - 1 {
+            g.add_edge(n(i as u32), n(i as u32 + 1));
+        }
+        let cuts = cut_structure(&g);
+        assert_eq!(cuts.articulation_points.len(), size - 2);
+        assert_eq!(cuts.bridges.len(), size - 1);
+    }
+
+    #[test]
+    fn complete_graph_has_no_cuts() {
+        let mut g = UndirectedGraph::new(6);
+        for i in 0..6u32 {
+            for j in (i + 1)..6u32 {
+                g.add_edge(n(i), n(j));
+            }
+        }
+        let cuts = cut_structure(&g);
+        assert!(cuts.articulation_points.is_empty());
+        assert!(cuts.bridges.is_empty());
+    }
+}

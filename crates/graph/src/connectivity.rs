@@ -1,0 +1,121 @@
+//! Connectivity-preservation predicates.
+//!
+//! The paper's central correctness property (Theorem 2.1): a topology-
+//! control output `G` *preserves the connectivity of* `G_R` when any two
+//! nodes connected in `G_R` remain connected in `G`. Since every output the
+//! algorithm produces is a subgraph of `G_R`, preservation is equivalent to
+//! the two graphs inducing the same connected partition.
+
+use crate::{traversal, UndirectedGraph};
+
+/// Whether `sub` preserves the connectivity of `full`.
+///
+/// `sub` must be a subgraph of `full` (checked); preservation then reduces
+/// to equality of the connected partitions.
+///
+/// # Panics
+///
+/// Panics if `sub` is not a subgraph of `full` — comparing unrelated graphs
+/// is a logic error in an experiment, not a recoverable condition.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{NodeId, UndirectedGraph, connectivity::preserves_connectivity};
+///
+/// let mut full = UndirectedGraph::new(3);
+/// full.add_edge(NodeId::new(0), NodeId::new(1));
+/// full.add_edge(NodeId::new(1), NodeId::new(2));
+/// full.add_edge(NodeId::new(0), NodeId::new(2));
+///
+/// let mut spanning = UndirectedGraph::new(3);
+/// spanning.add_edge(NodeId::new(0), NodeId::new(1));
+/// spanning.add_edge(NodeId::new(1), NodeId::new(2));
+/// assert!(preserves_connectivity(&spanning, &full));
+///
+/// let mut broken = UndirectedGraph::new(3);
+/// broken.add_edge(NodeId::new(0), NodeId::new(1));
+/// assert!(!preserves_connectivity(&broken, &full));
+/// ```
+pub fn preserves_connectivity(sub: &UndirectedGraph, full: &UndirectedGraph) -> bool {
+    assert!(
+        sub.is_subgraph_of(full),
+        "connectivity preservation is only defined for subgraphs"
+    );
+    same_partition(sub, full)
+}
+
+/// Whether two graphs on the same node set induce the same connected
+/// partition.
+pub fn same_partition(a: &UndirectedGraph, b: &UndirectedGraph) -> bool {
+    assert_eq!(
+        a.node_count(),
+        b.node_count(),
+        "partition comparison requires equal node sets"
+    );
+    traversal::component_labels(a) == traversal::component_labels(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn spanning_subgraph_preserves() {
+        let mut full = UndirectedGraph::new(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            full.add_edge(n(a), n(b));
+        }
+        let mut tree = UndirectedGraph::new(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            tree.add_edge(n(a), n(b));
+        }
+        assert!(preserves_connectivity(&tree, &full));
+    }
+
+    #[test]
+    fn splitting_a_component_fails() {
+        let mut full = UndirectedGraph::new(3);
+        full.add_edge(n(0), n(1));
+        full.add_edge(n(1), n(2));
+        let mut sub = UndirectedGraph::new(3);
+        sub.add_edge(n(0), n(1));
+        assert!(!preserves_connectivity(&sub, &full));
+    }
+
+    #[test]
+    fn disconnected_full_graph_preserved_componentwise() {
+        // full has components {0,1,2} and {3,4}; sub keeps each connected.
+        let mut full = UndirectedGraph::new(5);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4)] {
+            full.add_edge(n(a), n(b));
+        }
+        let mut sub = UndirectedGraph::new(5);
+        for (a, b) in [(0, 1), (1, 2), (3, 4)] {
+            sub.add_edge(n(a), n(b));
+        }
+        assert!(preserves_connectivity(&sub, &full));
+    }
+
+    #[test]
+    #[should_panic(expected = "subgraphs")]
+    fn non_subgraph_rejected() {
+        let full = UndirectedGraph::new(2);
+        let mut sub = UndirectedGraph::new(2);
+        sub.add_edge(n(0), n(1));
+        let _ = preserves_connectivity(&sub, &full);
+    }
+
+    #[test]
+    fn empty_graphs_trivially_preserve() {
+        let full = UndirectedGraph::new(3);
+        let sub = UndirectedGraph::new(3);
+        assert!(preserves_connectivity(&sub, &full));
+        assert!(same_partition(&sub, &full));
+    }
+}

@@ -1,0 +1,206 @@
+//! Directed neighbor relations and their symmetric closure / core.
+//!
+//! `CBTC(α)` produces for every node `u` a *directed* neighbor set
+//! `N_α(u)` — the nodes `u` discovered. The relation need not be symmetric
+//! (Example 2.1). The paper derives two undirected graphs from it:
+//!
+//! * `E_α` — the **symmetric closure** (smallest symmetric superset):
+//!   `(u,v) ∈ E_α` iff `(u,v) ∈ N_α` or `(v,u) ∈ N_α`;
+//! * `E⁻_α` — the **symmetric core** (largest symmetric subset):
+//!   `(u,v) ∈ E⁻_α` iff `(u,v) ∈ N_α` and `(v,u) ∈ N_α`
+//!   (sound for `α ≤ 2π/3`, Theorem 3.2).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, UndirectedGraph};
+
+/// A directed graph on nodes `0..n`, representing a neighbor relation such
+/// as `N_α`.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{DirectedGraph, NodeId};
+///
+/// let mut n_alpha = DirectedGraph::new(2);
+/// n_alpha.add_edge(NodeId::new(0), NodeId::new(1));
+/// // Closure keeps the asymmetric edge, core drops it.
+/// assert_eq!(n_alpha.symmetric_closure().edge_count(), 1);
+/// assert_eq!(n_alpha.symmetric_core().edge_count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectedGraph {
+    out: Vec<BTreeSet<NodeId>>,
+}
+
+impl DirectedGraph {
+    /// Creates an edgeless directed graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DirectedGraph {
+            out: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Adds the directed edge `(u, v)`. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u != v, "self-loop {u} rejected");
+        assert!(
+            u.index() < self.out.len() && v.index() < self.out.len(),
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.out.len()
+        );
+        self.out[u.index()].insert(v);
+    }
+
+    /// Removes the directed edge `(u, v)`; returns whether it was present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.out[u.index()].remove(&v)
+    }
+
+    /// Whether the directed edge `(u, v)` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out[u.index()].contains(&v)
+    }
+
+    /// Out-neighbors of `u` (the set `N_α(u)`), in increasing ID order.
+    pub fn out_neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out[u.index()].iter().copied()
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out[u.index()].len()
+    }
+
+    /// Iterator over all directed edges.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out.iter().enumerate().flat_map(|(i, nbrs)| {
+            let u = NodeId::new(i as u32);
+            nbrs.iter().copied().map(move |v| (u, v))
+        })
+    }
+
+    /// The symmetric closure `E_α`: smallest symmetric relation containing
+    /// this one. `(u,v)` becomes an undirected edge iff either direction is
+    /// present.
+    pub fn symmetric_closure(&self) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(self.node_count());
+        for (u, v) in self.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The symmetric core `E⁻_α`: largest symmetric relation contained in
+    /// this one. `(u,v)` becomes an undirected edge iff *both* directions
+    /// are present.
+    pub fn symmetric_core(&self) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(self.node_count());
+        for (u, v) in self.edges() {
+            if u < v && self.has_edge(v, u) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// The edges present in exactly one direction — the "asymmetric edges"
+    /// that §3.2's optimization removes. Returned as the directed
+    /// `(source, target)` pairs that lack a reverse edge.
+    pub fn asymmetric_edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.edges().filter(|&(u, v)| !self.has_edge(v, u)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let mut g = DirectedGraph::new(3);
+        g.add_edge(n(0), n(1));
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(!g.has_edge(n(1), n(0)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_degree(n(0)), 1);
+        assert_eq!(g.out_degree(n(1)), 0);
+    }
+
+    #[test]
+    fn closure_and_core_bracket_the_relation() {
+        // 0→1 mutual, 0→2 one-way.
+        let mut g = DirectedGraph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(0));
+        g.add_edge(n(0), n(2));
+
+        let closure = g.symmetric_closure();
+        assert!(closure.has_edge(n(0), n(1)));
+        assert!(closure.has_edge(n(0), n(2)));
+        assert_eq!(closure.edge_count(), 2);
+
+        let core = g.symmetric_core();
+        assert!(core.has_edge(n(0), n(1)));
+        assert!(!core.has_edge(n(0), n(2)));
+        assert_eq!(core.edge_count(), 1);
+
+        // Core ⊆ closure always.
+        assert!(core.is_subgraph_of(&closure));
+    }
+
+    #[test]
+    fn asymmetric_edge_listing() {
+        let mut g = DirectedGraph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(0));
+        g.add_edge(n(2), n(3));
+        assert_eq!(g.asymmetric_edges(), vec![(n(2), n(3))]);
+    }
+
+    #[test]
+    fn removal() {
+        let mut g = DirectedGraph::new(2);
+        g.add_edge(n(0), n(1));
+        assert!(g.remove_edge(n(0), n(1)));
+        assert!(!g.remove_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g = DirectedGraph::new(2);
+        g.add_edge(n(1), n(1));
+    }
+
+    #[test]
+    fn edges_iteration_deterministic() {
+        let mut g = DirectedGraph::new(3);
+        g.add_edge(n(2), n(0));
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(0), n(1));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(n(0), n(1)), (n(0), n(2)), (n(2), n(0))]);
+    }
+}

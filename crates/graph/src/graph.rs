@@ -1,0 +1,225 @@
+//! Undirected graphs over a fixed node set.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// An undirected simple graph on nodes `0..n`.
+///
+/// Adjacency is stored as ordered sets, so iteration order is deterministic
+/// — a requirement for reproducible experiments.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{NodeId, UndirectedGraph};
+///
+/// let mut g = UndirectedGraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+/// assert_eq!(g.degree(NodeId::new(0)), 1);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UndirectedGraph {
+    adj: Vec<BTreeSet<NodeId>>,
+}
+
+impl UndirectedGraph {
+    /// Creates an edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        UndirectedGraph {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Adds the undirected edge `{u, v}`. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loops are not meaningful for radio links)
+    /// or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u != v, "self-loop {u} rejected");
+        assert!(
+            u.index() < self.adj.len() && v.index() < self.adj.len(),
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.adj.len()
+        );
+        self.adj[u.index()].insert(v);
+        self.adj[v.index()].insert(u);
+    }
+
+    /// Removes the undirected edge `{u, v}` if present; returns whether an
+    /// edge was removed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let a = self.adj[u.index()].remove(&v);
+        let b = self.adj[v.index()].remove(&u);
+        debug_assert_eq!(a, b, "adjacency sets out of sync");
+        a
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.index()].contains(&v)
+    }
+
+    /// The degree of node `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Iterator over the neighbors of `u`, in increasing ID order.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[u.index()].iter().copied()
+    }
+
+    /// Iterator over all edges as `(u, v)` pairs with `u < v`, in
+    /// lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, nbrs)| {
+            let u = NodeId::new(i as u32);
+            nbrs.iter()
+                .copied()
+                .filter(move |v| u < *v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over all node IDs.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId::new)
+    }
+
+    /// Whether `self` is a subgraph of `other` (same node set, edge subset).
+    pub fn is_subgraph_of(&self, other: &UndirectedGraph) -> bool {
+        self.node_count() == other.node_count()
+            && self.edges().all(|(u, v)| other.has_edge(u, v))
+    }
+
+    /// The graph containing the edges of both inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn union(&self, other: &UndirectedGraph) -> UndirectedGraph {
+        assert_eq!(
+            self.node_count(),
+            other.node_count(),
+            "union requires equal node sets"
+        );
+        let mut g = self.clone();
+        for (u, v) in other.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for UndirectedGraph {
+    fn extend<T: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: T) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.degree(n(0)), 0);
+    }
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(0), n(1)); // idempotent
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(g.has_edge(n(1), n(0)));
+        assert!(!g.has_edge(n(0), n(2)));
+        assert!(g.remove_edge(n(0), n(1)));
+        assert!(!g.remove_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(n(0), n(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(n(0), n(5));
+    }
+
+    #[test]
+    fn edges_are_canonical_and_sorted() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(3), n(1));
+        g.add_edge(n(2), n(0));
+        g.add_edge(n(1), n(0));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(n(0), n(1)), (n(0), n(2)), (n(1), n(3))]);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = UndirectedGraph::new(5);
+        g.add_edge(n(2), n(4));
+        g.add_edge(n(2), n(0));
+        g.add_edge(n(2), n(3));
+        let nbrs: Vec<_> = g.neighbors(n(2)).collect();
+        assert_eq!(nbrs, vec![n(0), n(3), n(4)]);
+        assert_eq!(g.degree(n(2)), 3);
+    }
+
+    #[test]
+    fn subgraph_and_union() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(n(0), n(1));
+        let mut h = g.clone();
+        h.add_edge(n(1), n(2));
+        assert!(g.is_subgraph_of(&h));
+        assert!(!h.is_subgraph_of(&g));
+        let u = g.union(&h);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(n(1), n(2)));
+    }
+
+    #[test]
+    fn extend_from_pairs() {
+        let mut g = UndirectedGraph::new(4);
+        g.extend(vec![(n(0), n(1)), (n(2), n(3))]);
+        assert_eq!(g.edge_count(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Node layouts: the positions of all nodes in the plane.
+
+use cbtc_geom::{Angle, Point2};
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// The positions of a set of nodes in the plane.
+///
+/// A `Layout` is the ground truth the *simulator* knows; protocol logic in
+/// `cbtc-core` never reads it directly (nodes only observe reception powers
+/// and directions), preserving the paper's GPS-free information model.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{Layout, NodeId};
+/// use cbtc_geom::Point2;
+///
+/// let layout = Layout::new(vec![Point2::new(0.0, 0.0), Point2::new(3.0, 4.0)]);
+/// assert_eq!(layout.len(), 2);
+/// assert_eq!(layout.distance(NodeId::new(0), NodeId::new(1)), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Layout {
+    positions: Vec<Point2>,
+}
+
+impl Layout {
+    /// Creates a layout from node positions; `positions[i]` is the location
+    /// of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is non-finite or the layout exceeds
+    /// `u32::MAX` nodes.
+    pub fn new(positions: Vec<Point2>) -> Self {
+        assert!(
+            positions.iter().all(|p| p.is_finite()),
+            "all node positions must be finite"
+        );
+        assert!(positions.len() <= u32::MAX as usize, "too many nodes");
+        Layout { positions }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The position of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn position(&self, u: NodeId) -> Point2 {
+        self.positions[u.index()]
+    }
+
+    /// Euclidean distance between two nodes.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.position(u).distance(self.position(v))
+    }
+
+    /// The bearing of `v` as seen from `u` (the paper's `dir_u(v)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the nodes are co-located.
+    pub fn direction(&self, u: NodeId, v: NodeId) -> Angle {
+        self.position(u).direction_to(self.position(v))
+    }
+
+    /// Iterator over all node IDs.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len() as u32).map(NodeId::new)
+    }
+
+    /// Iterator over `(id, position)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Point2)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (NodeId::new(i as u32), *p))
+    }
+
+    /// All positions as a slice (for rendering).
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// Moves node `u` to a new position (used by mobility models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is non-finite or `u` out of range.
+    pub fn set_position(&mut self, u: NodeId, p: Point2) {
+        assert!(p.is_finite(), "node position must be finite");
+        self.positions[u.index()] = p;
+    }
+
+    /// Appends a node, returning its ID (used when nodes join).
+    pub fn push(&mut self, p: Point2) -> NodeId {
+        assert!(p.is_finite(), "node position must be finite");
+        let id = NodeId::new(self.positions.len() as u32);
+        self.positions.push(p);
+        id
+    }
+}
+
+impl FromIterator<Point2> for Layout {
+    fn from_iter<T: IntoIterator<Item = Point2>>(iter: T) -> Self {
+        Layout::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Layout {
+        Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let l = triangle();
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert_eq!(l.position(NodeId::new(1)), Point2::new(1.0, 0.0));
+        assert_eq!(l.node_ids().count(), 3);
+        assert_eq!(l.iter().count(), 3);
+        assert_eq!(l.positions().len(), 3);
+    }
+
+    #[test]
+    fn distances_and_directions() {
+        let l = triangle();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        assert_eq!(l.distance(a, b), 1.0);
+        assert!((l.distance(b, c) - 2f64.sqrt()).abs() < 1e-12);
+        assert!(l.direction(a, b).radians().abs() < 1e-12);
+        assert!((l.direction(a, c).radians() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut l = triangle();
+        l.set_position(NodeId::new(0), Point2::new(5.0, 5.0));
+        assert_eq!(l.position(NodeId::new(0)), Point2::new(5.0, 5.0));
+        let id = l.push(Point2::new(9.0, 9.0));
+        assert_eq!(id, NodeId::new(3));
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let l: Layout = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_position_rejected() {
+        let _ = Layout::new(vec![Point2::new(f64::NAN, 0.0)]);
+    }
+}

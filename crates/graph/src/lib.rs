@@ -1,0 +1,46 @@
+//! # cbtc-graph
+//!
+//! Graph substrate for the CBTC reproduction.
+//!
+//! The topology-control problem lives on graphs over a fixed node layout:
+//! the max-power *unit-disk* graph `G_R`, the directed neighbor relation
+//! `N_α` produced by `CBTC(α)`, its symmetric closure `E_α`, symmetric core
+//! `E⁻_α`, and the optimized subgraphs. This crate provides those
+//! structures and the analyses the paper's evaluation performs on them:
+//!
+//! * [`NodeId`] / [`Layout`] — node identities and positions;
+//! * [`UndirectedGraph`] / [`DirectedGraph`] — adjacency structures with
+//!   [`DirectedGraph::symmetric_closure`] (`E_α`) and
+//!   [`DirectedGraph::symmetric_core`] (`E⁻_α`);
+//! * [`unit_disk::unit_disk_graph`] — `G_R` construction;
+//! * [`UnionFind`], [`traversal`], [`connectivity`] — components and the
+//!   connectivity-preservation predicate of Theorem 2.1;
+//! * [`metrics`] — average degree and average radius (Table 1's columns);
+//! * [`paths`] — Dijkstra and power/hop stretch factors vs `G_R`;
+//! * [`spanners`] — the related-work baselines the paper cites in §1:
+//!   relative neighborhood graph, Gabriel graph, Euclidean MST, k-nearest
+//!   neighbors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digraph;
+mod graph;
+mod layout;
+mod node;
+mod union_find;
+
+pub mod biconnectivity;
+pub mod connectivity;
+pub mod load;
+pub mod metrics;
+pub mod paths;
+pub mod spanners;
+pub mod traversal;
+pub mod unit_disk;
+
+pub use digraph::DirectedGraph;
+pub use graph::UndirectedGraph;
+pub use layout::Layout;
+pub use node::NodeId;
+pub use union_find::UnionFind;

@@ -1,0 +1,221 @@
+//! Traffic-load estimation: betweenness centrality and path-length
+//! statistics.
+//!
+//! §3.3 and §6 of the paper warn that aggressive edge removal lengthens
+//! routes and can concentrate traffic ("having fewer edges is more likely
+//! to cause congestion"). These helpers quantify that tradeoff: hop
+//! diameter, mean shortest-path length, and edge betweenness (the fraction
+//! of shortest paths crossing each edge — a proxy for load under uniform
+//! any-to-any traffic). Betweenness uses Brandes' algorithm on unweighted
+//! graphs.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::{NodeId, UndirectedGraph};
+
+/// Shortest-path statistics of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStats {
+    /// Longest shortest path (hops) over connected pairs; 0 if no pairs.
+    pub hop_diameter: usize,
+    /// Mean shortest-path length over connected pairs.
+    pub mean_hops: f64,
+    /// Number of connected ordered pairs counted.
+    pub pairs: usize,
+}
+
+/// Computes hop diameter and mean hop count via BFS from every node.
+pub fn path_stats(g: &UndirectedGraph) -> PathStats {
+    let mut diameter = 0usize;
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for s in g.node_ids() {
+        let dist = crate::traversal::bfs_distances(g, s);
+        for (t, d) in dist.iter().enumerate() {
+            if let Some(d) = d {
+                if t != s.index() {
+                    diameter = diameter.max(*d);
+                    total += d;
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    PathStats {
+        hop_diameter: diameter,
+        mean_hops: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
+        pairs,
+    }
+}
+
+/// Edge betweenness centrality (Brandes, unweighted): for each edge, the
+/// sum over node pairs of the fraction of shortest paths using it.
+/// Each undirected pair is counted once.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{NodeId, UndirectedGraph, load::edge_betweenness};
+///
+/// // Path 0–1–2: the middle edges carry all cross traffic.
+/// let mut g = UndirectedGraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// g.add_edge(NodeId::new(1), NodeId::new(2));
+/// let bc = edge_betweenness(&g);
+/// // Edge (0,1) carries pairs {0-1, 0-2} → 2.0.
+/// assert_eq!(bc[&(NodeId::new(0), NodeId::new(1))], 2.0);
+/// ```
+pub fn edge_betweenness(g: &UndirectedGraph) -> HashMap<(NodeId, NodeId), f64> {
+    let n = g.node_count();
+    let mut centrality: HashMap<(NodeId, NodeId), f64> =
+        g.edges().map(|e| (e, 0.0)).collect();
+
+    for s in g.node_ids() {
+        // BFS with path counting.
+        let mut sigma = vec![0.0f64; n]; // number of shortest paths
+        let mut dist = vec![usize::MAX; n];
+        let mut predecessors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut order: Vec<NodeId> = Vec::new(); // nodes in BFS order
+        sigma[s.index()] = 1.0;
+        dist[s.index()] = 0;
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for w in g.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w.index()] == dist[v.index()] + 1 {
+                    sigma[w.index()] += sigma[v.index()];
+                    predecessors[w.index()].push(v);
+                }
+            }
+        }
+        // Dependency accumulation in reverse BFS order.
+        let mut delta = vec![0.0f64; n];
+        for &w in order.iter().rev() {
+            for &v in &predecessors[w.index()] {
+                let share = sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+                let key = (v.min(w), v.max(w));
+                *centrality.get_mut(&key).expect("edge exists") += share;
+                delta[v.index()] += share;
+            }
+        }
+    }
+    // Each unordered pair was counted from both endpoints.
+    for value in centrality.values_mut() {
+        *value /= 2.0;
+    }
+    centrality
+}
+
+/// The maximum edge betweenness — the most loaded link under uniform
+/// traffic, the congestion proxy of the §6 discussion.
+pub fn max_edge_load(g: &UndirectedGraph) -> f64 {
+    edge_betweenness(g)
+        .values()
+        .fold(0.0f64, |acc, &v| acc.max(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path(len: usize) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(len);
+        for i in 0..len - 1 {
+            g.add_edge(n(i as u32), n(i as u32 + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn path_stats_on_path_graph() {
+        let g = path(4);
+        let s = path_stats(&g);
+        assert_eq!(s.hop_diameter, 3);
+        assert_eq!(s.pairs, 12); // ordered pairs
+        // Sum of hops: per direction 1+2+3 + 1+2 + 1 = 10 → 20 ordered.
+        assert!((s.mean_hops - 20.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_skipped() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(0), n(1));
+        let s = path_stats(&g);
+        assert_eq!(s.pairs, 2);
+        assert_eq!(s.hop_diameter, 1);
+    }
+
+    #[test]
+    fn betweenness_on_path_counts_crossing_pairs() {
+        // Path 0–1–2–3: edge (1,2) carries pairs {0,1}×{2,3} plus (1,2)
+        // itself? Crossing pairs: (0,2),(0,3),(1,2),(1,3) → 4.
+        let g = path(4);
+        let bc = edge_betweenness(&g);
+        assert_eq!(bc[&(n(1), n(2))], 4.0);
+        assert_eq!(bc[&(n(0), n(1))], 3.0); // (0,1),(0,2),(0,3)
+        assert_eq!(bc[&(n(2), n(3))], 3.0);
+        assert_eq!(max_edge_load(&g), 4.0);
+    }
+
+    #[test]
+    fn betweenness_splits_over_parallel_routes() {
+        // 4-cycle: each pair of opposite nodes has two equal routes, each
+        // edge carries: adjacent pair 1.0 + two half-shares = 2.0 total.
+        let mut g = path(4);
+        g.add_edge(n(3), n(0));
+        let bc = edge_betweenness(&g);
+        for (_, v) in bc {
+            assert!((v - 2.0).abs() < 1e-12, "cycle symmetry gives equal loads");
+        }
+    }
+
+    #[test]
+    fn star_center_edges_carry_everything() {
+        let mut g = UndirectedGraph::new(5);
+        for i in 1..5u32 {
+            g.add_edge(n(0), n(i));
+        }
+        let bc = edge_betweenness(&g);
+        // Each spoke: its own pair (1) plus 3 two-hop pairs × shared… each
+        // leaf pair (i,j) uses both spokes once: 3 pairs per spoke / shared
+        // count: each spoke carries pairs (0,i) and (i,j) for 3 j's → 4.
+        for i in 1..5u32 {
+            assert_eq!(bc[&(n(0), n(i))], 4.0);
+        }
+    }
+
+    #[test]
+    fn total_betweenness_equals_total_path_length() {
+        // Sum over edges of betweenness == sum over pairs of path length
+        // (every hop of every shortest path is attributed to one edge,
+        // fractionally over equal-length alternatives).
+        let mut g = UndirectedGraph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)] {
+            g.add_edge(n(a), n(b));
+        }
+        let bc = edge_betweenness(&g);
+        let total_bc: f64 = bc.values().sum();
+        let stats = path_stats(&g);
+        let total_hops = stats.mean_hops * stats.pairs as f64 / 2.0; // unordered
+        assert!((total_bc - total_hops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraph::new(3);
+        assert_eq!(max_edge_load(&g), 0.0);
+        assert!(edge_betweenness(&g).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Topology metrics: the quantities Table 1 reports.
+//!
+//! The paper's evaluation compares configurations by **average node
+//! degree** and **average radius**, where a node's radius is the distance
+//! to its farthest neighbor in the final graph — the broadcast range it
+//! must sustain to reach all its neighbors. Isolated nodes contribute a
+//! configurable default radius (the paper's max-power row uses `R` for
+//! every node).
+
+use crate::{Layout, UndirectedGraph};
+
+/// Average node degree (`2·|E| / |V|`), 0 for an empty graph.
+pub fn average_degree(g: &UndirectedGraph) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    2.0 * g.edge_count() as f64 / g.node_count() as f64
+}
+
+/// Maximum node degree.
+pub fn max_degree(g: &UndirectedGraph) -> usize {
+    g.node_ids().map(|u| g.degree(u)).max().unwrap_or(0)
+}
+
+/// The radius of each node: the distance to its farthest neighbor in `g`,
+/// or `isolated_default` for nodes with no neighbors.
+pub fn node_radii(g: &UndirectedGraph, layout: &Layout, isolated_default: f64) -> Vec<f64> {
+    assert_eq!(
+        g.node_count(),
+        layout.len(),
+        "graph and layout node counts differ"
+    );
+    g.node_ids()
+        .map(|u| {
+            g.neighbors(u)
+                .map(|v| layout.distance(u, v))
+                .fold(f64::NAN, f64::max)
+        })
+        .map(|r| if r.is_nan() { isolated_default } else { r })
+        .collect()
+}
+
+/// Average node radius: mean over nodes of the distance to the farthest
+/// neighbor (Table 1's "Average radius" row).
+pub fn average_radius(g: &UndirectedGraph, layout: &Layout, isolated_default: f64) -> f64 {
+    let radii = node_radii(g, layout, isolated_default);
+    if radii.is_empty() {
+        return 0.0;
+    }
+    radii.iter().sum::<f64>() / radii.len() as f64
+}
+
+/// Average physical length of the edges in `g`, 0 when edgeless.
+pub fn average_edge_length(g: &UndirectedGraph, layout: &Layout) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (u, v) in g.edges() {
+        sum += layout.distance(u, v);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Mean transmission power needed per node to reach all neighbors, under
+/// the power-law cost `radiusⁿ` with the given exponent (the energy view of
+/// the same radii that [`average_radius`] reports).
+pub fn average_power(
+    g: &UndirectedGraph,
+    layout: &Layout,
+    isolated_default: f64,
+    exponent: f64,
+) -> f64 {
+    let radii = node_radii(g, layout, isolated_default);
+    if radii.is_empty() {
+        return 0.0;
+    }
+    radii.iter().map(|r| r.powf(exponent)).sum::<f64>() / radii.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+    use cbtc_geom::Point2;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn line_layout() -> Layout {
+        Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(7.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn degrees() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        assert_eq!(average_degree(&g), 1.0);
+        assert_eq!(max_degree(&g), 2);
+        assert_eq!(average_degree(&UndirectedGraph::new(0)), 0.0);
+        assert_eq!(max_degree(&UndirectedGraph::new(0)), 0);
+    }
+
+    #[test]
+    fn radii_with_isolated_default() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(0), n(1)); // lengths: 1
+        g.add_edge(n(1), n(2)); // 2
+        let radii = node_radii(&g, &line_layout(), 10.0);
+        assert_eq!(radii, vec![1.0, 2.0, 2.0, 10.0]);
+        assert!((average_radius(&g, &line_layout(), 10.0) - 15.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_is_farthest_neighbor() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(0), n(3)); // node 0 now has neighbors at 1 and 7
+        let radii = node_radii(&g, &line_layout(), 0.0);
+        assert_eq!(radii[0], 7.0);
+    }
+
+    #[test]
+    fn edge_length_average() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(0), n(1)); // 1
+        g.add_edge(n(2), n(3)); // 4
+        assert!((average_edge_length(&g, &line_layout()) - 2.5).abs() < 1e-12);
+        assert_eq!(average_edge_length(&UndirectedGraph::new(4), &line_layout()), 0.0);
+    }
+
+    #[test]
+    fn power_is_radius_to_exponent() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        // radii = [1, 2, 2, 5]; squares = [1, 4, 4, 25]
+        let p = average_power(&g, &line_layout(), 5.0, 2.0);
+        assert!((p - 34.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "node counts differ")]
+    fn mismatched_sizes_rejected() {
+        let g = UndirectedGraph::new(3);
+        let _ = node_radii(&g, &line_layout(), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Node identities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A node identifier: a dense index into a [`crate::Layout`].
+///
+/// The paper assigns each node "a unique integer ID" (§3.3) used to break
+/// ties in edge IDs; this newtype is that ID.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::NodeId;
+///
+/// let u = NodeId::new(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(u.to_string(), "n3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node ID from its dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index as a `usize`, for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw numeric ID (used in the paper's lexicographic edge IDs).
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> u32 {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        let mut v = vec![NodeId::new(5), NodeId::new(1), NodeId::new(3)];
+        v.sort();
+        assert_eq!(v, vec![NodeId::new(1), NodeId::new(3), NodeId::new(5)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,258 @@
+//! Weighted shortest paths and stretch factors.
+//!
+//! §1 of the paper cites the competitiveness result of \[16\]: the most
+//! power-efficient route in `G_α` is at most a constant factor worse than in
+//! `G_R`. These helpers compute exact *power stretch* and *hop stretch*
+//! factors of a subgraph so the claim can be measured on simulated
+//! networks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{Layout, NodeId, UndirectedGraph};
+
+/// Max-heap entry ordered by minimal cost (reversed for the binary heap).
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest cost first. Costs are finite, ties by node ID
+        // for determinism.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path costs under an arbitrary non-negative edge
+/// weight. Unreachable nodes get `None`.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{NodeId, UndirectedGraph, paths::dijkstra};
+///
+/// let mut g = UndirectedGraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// g.add_edge(NodeId::new(1), NodeId::new(2));
+/// let cost = dijkstra(&g, NodeId::new(0), |_, _| 2.0);
+/// assert_eq!(cost[2], Some(4.0));
+/// ```
+pub fn dijkstra<W>(g: &UndirectedGraph, source: NodeId, mut weight: W) -> Vec<Option<f64>>
+where
+    W: FnMut(NodeId, NodeId) -> f64,
+{
+    let mut dist: Vec<Option<f64>> = vec![None; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = Some(0.0);
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if dist[node.index()].is_some_and(|d| cost > d) {
+            continue; // stale entry
+        }
+        for v in g.neighbors(node) {
+            let w = weight(node, v);
+            debug_assert!(w >= 0.0, "negative edge weight");
+            let next = cost + w;
+            if dist[v.index()].is_none_or(|d| next < d) {
+                dist[v.index()] = Some(next);
+                heap.push(HeapEntry { cost: next, node: v });
+            }
+        }
+    }
+    dist
+}
+
+/// The *power cost* of routing along an edge: `d(u,v)ⁿ` for path-loss
+/// exponent `n`. Minimizing the sum over a route minimizes radiated energy.
+pub fn power_weight(layout: &Layout, exponent: f64) -> impl Fn(NodeId, NodeId) -> f64 + '_ {
+    move |u, v| layout.distance(u, v).powf(exponent)
+}
+
+/// Summary of how much worse routes in `sub` are than in `full`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stretch {
+    /// Largest ratio over all connected pairs.
+    pub max: f64,
+    /// Mean ratio over all connected pairs.
+    pub mean: f64,
+    /// Number of node pairs measured.
+    pub pairs: usize,
+}
+
+/// Computes the stretch of `sub` relative to `full` under a shared edge
+/// weight: for every pair connected in `full`, the ratio of the cheapest
+/// route in `sub` to the cheapest in `full`.
+///
+/// # Panics
+///
+/// Panics if `sub` disconnects a pair that `full` connects (the ratio would
+/// be infinite), or if graphs have different node counts.
+pub fn stretch<W>(sub: &UndirectedGraph, full: &UndirectedGraph, weight: W) -> Stretch
+where
+    W: FnMut(NodeId, NodeId) -> f64 + Copy,
+{
+    assert_eq!(sub.node_count(), full.node_count());
+    let n = full.node_count();
+    let mut max = 1.0f64;
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for s in 0..n as u32 {
+        let source = NodeId::new(s);
+        let d_full = dijkstra(full, source, weight);
+        let d_sub = dijkstra(sub, source, weight);
+        for t in (s + 1)..n as u32 {
+            let t = t as usize;
+            match (d_full[t], d_sub[t]) {
+                (None, _) => {}
+                (Some(f), Some(g)) => {
+                    // Pairs at zero cost (co-located chains) count as ratio 1.
+                    let ratio = if f == 0.0 { 1.0 } else { g / f };
+                    max = max.max(ratio);
+                    sum += ratio;
+                    pairs += 1;
+                }
+                (Some(_), None) => {
+                    panic!("subgraph disconnects pair ({source}, n{t}); stretch undefined")
+                }
+            }
+        }
+    }
+    Stretch {
+        max,
+        mean: if pairs == 0 { 1.0 } else { sum / pairs as f64 },
+        pairs,
+    }
+}
+
+/// Power stretch: route-energy ratio under `d(u,v)ⁿ` edge costs.
+pub fn power_stretch(
+    sub: &UndirectedGraph,
+    full: &UndirectedGraph,
+    layout: &Layout,
+    exponent: f64,
+) -> Stretch {
+    stretch(sub, full, |u, v| layout.distance(u, v).powf(exponent))
+}
+
+/// Hop stretch: path-length ratio under unit edge costs.
+pub fn hop_stretch(sub: &UndirectedGraph, full: &UndirectedGraph) -> Stretch {
+    stretch(sub, full, |_, _| 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbtc_geom::Point2;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        // 0-1-2 with cheap edges vs direct expensive 0-2.
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(0), n(2));
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+        ]);
+        // Quadratic power cost: detour 1+1=2 beats direct 4.
+        let cost = dijkstra(&g, n(0), power_weight(&layout, 2.0));
+        assert_eq!(cost[2], Some(2.0));
+        // Hop cost: direct edge wins.
+        let hops = dijkstra(&g, n(0), |_, _| 1.0);
+        assert_eq!(hops[2], Some(1.0));
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let g = UndirectedGraph::new(2);
+        let cost = dijkstra(&g, n(0), |_, _| 1.0);
+        assert_eq!(cost[0], Some(0.0));
+        assert_eq!(cost[1], None);
+    }
+
+    #[test]
+    fn stretch_of_identical_graph_is_one() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        let s = hop_stretch(&g, &g);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.pairs, 3);
+    }
+
+    #[test]
+    fn removing_shortcut_increases_hop_stretch() {
+        let mut full = UndirectedGraph::new(3);
+        full.add_edge(n(0), n(1));
+        full.add_edge(n(1), n(2));
+        full.add_edge(n(0), n(2));
+        let mut sub = full.clone();
+        sub.remove_edge(n(0), n(2));
+        let s = hop_stretch(&sub, &full);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.pairs, 3);
+    }
+
+    #[test]
+    fn power_stretch_can_be_below_hop_stretch() {
+        // Power metric: two short hops cost the same as... less than one
+        // long hop, so removing the long edge does not hurt power routes.
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+        ]);
+        let mut full = UndirectedGraph::new(3);
+        full.add_edge(n(0), n(1));
+        full.add_edge(n(1), n(2));
+        full.add_edge(n(0), n(2));
+        let mut sub = full.clone();
+        sub.remove_edge(n(0), n(2));
+        let p = power_stretch(&sub, &full, &layout, 2.0);
+        assert_eq!(p.max, 1.0); // detour is strictly cheaper in energy
+        let h = hop_stretch(&sub, &full);
+        assert!(h.max > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnects")]
+    fn stretch_panics_when_pair_disconnected() {
+        let mut full = UndirectedGraph::new(2);
+        full.add_edge(n(0), n(1));
+        let sub = UndirectedGraph::new(2);
+        let _ = hop_stretch(&sub, &full);
+    }
+
+    #[test]
+    fn disconnected_full_pairs_are_skipped() {
+        let full = UndirectedGraph::new(3); // no edges at all
+        let sub = UndirectedGraph::new(3);
+        let s = hop_stretch(&sub, &full);
+        assert_eq!(s.pairs, 0);
+        assert_eq!(s.mean, 1.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Baseline proximity structures from the related work (§1).
+//!
+//! The paper situates CBTC against position-based structures: relative
+//! neighborhood graphs (Toussaint), Gabriel graphs, and spanning-tree
+//! approaches (Ramanathan & Rosales-Hain). These baselines let the bench
+//! harness compare CBTC's degree/radius/stretch against the classical
+//! geometric alternatives on the same layouts.
+//!
+//! All constructions are restricted to the unit-disk edge set (`d ≤ radius`)
+//! so the comparison is with what a max-power radio could realize.
+
+use crate::{unit_disk::unit_disk_graph, Layout, NodeId, UndirectedGraph, UnionFind};
+
+/// Relative neighborhood graph (RNG) restricted to radius `radius`.
+///
+/// Edge `{u, v}` (with `d(u,v) ≤ radius`) is kept iff there is no witness
+/// `w` with `max(d(u,w), d(v,w)) < d(u,v)` — no node strictly inside the
+/// lune of `u` and `v`.
+///
+/// The RNG contains the Euclidean MST of each component, so it preserves
+/// unit-disk connectivity.
+pub fn relative_neighborhood_graph(layout: &Layout, radius: f64) -> UndirectedGraph {
+    let full = unit_disk_graph(layout, radius);
+    let mut g = UndirectedGraph::new(layout.len());
+    for (u, v) in full.edges() {
+        let duv = layout.distance(u, v);
+        let blocked = layout.node_ids().any(|w| {
+            w != u
+                && w != v
+                && layout.distance(u, w) < duv
+                && layout.distance(v, w) < duv
+        });
+        if !blocked {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Gabriel graph restricted to radius `radius`.
+///
+/// Edge `{u, v}` is kept iff no other node lies strictly inside the circle
+/// with diameter `u v`: `d(u,w)² + d(v,w)² < d(u,v)²` for no `w`.
+pub fn gabriel_graph(layout: &Layout, radius: f64) -> UndirectedGraph {
+    let full = unit_disk_graph(layout, radius);
+    let mut g = UndirectedGraph::new(layout.len());
+    for (u, v) in full.edges() {
+        let d2 = layout.position(u).distance_squared(layout.position(v));
+        let blocked = layout.node_ids().any(|w| {
+            w != u && w != v && {
+                let a2 = layout.position(u).distance_squared(layout.position(w));
+                let b2 = layout.position(v).distance_squared(layout.position(w));
+                a2 + b2 < d2
+            }
+        });
+        if !blocked {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Euclidean minimum spanning forest of the unit-disk graph (Kruskal over
+/// the `d ≤ radius` edges).
+///
+/// Produces the per-component MST; the sparsest structure that still
+/// preserves unit-disk connectivity.
+pub fn euclidean_mst(layout: &Layout, radius: f64) -> UndirectedGraph {
+    let full = unit_disk_graph(layout, radius);
+    let mut edges: Vec<(f64, NodeId, NodeId)> = full
+        .edges()
+        .map(|(u, v)| (layout.distance(u, v), u, v))
+        .collect();
+    // Deterministic order: by length, then endpoint IDs.
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut uf = UnionFind::new(layout.len());
+    let mut g = UndirectedGraph::new(layout.len());
+    for (_, u, v) in edges {
+        if uf.union(u, v) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Minimum-energy graph in the spirit of Rodoplu–Meng (cited in §1): keep
+/// the unit-disk edge `{u, v}` iff no single relay `w` makes the two-hop
+/// route cheaper, under the energy model `cost(x, y) = d(x, y)ⁿ +
+/// relay_overhead` (the overhead models reception/processing energy at the
+/// relay).
+///
+/// Every minimum-energy path of the unit-disk graph survives: if a relay
+/// makes an edge non-optimal, the optimal route uses shorter edges that
+/// are themselves kept (induction on edge length) — so connectivity is
+/// preserved. With `exponent = 2` and zero overhead this is exactly the
+/// Gabriel graph (the relay-superiority region is the circle with diameter
+/// `u v`).
+///
+/// # Panics
+///
+/// Panics if `exponent < 1` or `relay_overhead < 0`.
+pub fn minimum_energy_graph(
+    layout: &Layout,
+    radius: f64,
+    exponent: f64,
+    relay_overhead: f64,
+) -> UndirectedGraph {
+    assert!(exponent >= 1.0, "exponent must be ≥ 1, got {exponent}");
+    assert!(
+        relay_overhead >= 0.0,
+        "relay overhead must be non-negative, got {relay_overhead}"
+    );
+    let full = unit_disk_graph(layout, radius);
+    let mut g = UndirectedGraph::new(layout.len());
+    for (u, v) in full.edges() {
+        let direct = layout.distance(u, v).powf(exponent);
+        let relay_beats = layout.node_ids().any(|w| {
+            w != u && w != v && {
+                let via = layout.distance(u, w).powf(exponent)
+                    + layout.distance(w, v).powf(exponent)
+                    + relay_overhead;
+                via < direct
+            }
+        });
+        if !relay_beats {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// k-nearest-neighbors graph restricted to radius `radius`: each node links
+/// to its `k` nearest unit-disk neighbors; the result is the symmetric
+/// closure (an edge exists if either endpoint selected it).
+///
+/// Unlike the other structures this does *not* guarantee connectivity
+/// preservation — it is the classic counter-baseline showing why naive
+/// degree-k topologies fail.
+pub fn k_nearest_neighbors(layout: &Layout, radius: f64, k: usize) -> UndirectedGraph {
+    let full = unit_disk_graph(layout, radius);
+    let mut g = UndirectedGraph::new(layout.len());
+    for u in layout.node_ids() {
+        let mut nbrs: Vec<(f64, NodeId)> = full
+            .neighbors(u)
+            .map(|v| (layout.distance(u, v), v))
+            .collect();
+        nbrs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for &(_, v) in nbrs.iter().take(k) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::preserves_connectivity;
+    use crate::traversal::is_connected;
+    use cbtc_geom::Point2;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// A deterministic pseudo-random layout (LCG) in a square.
+    fn scattered(count: usize, side: f64, seed: u64) -> Layout {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        Layout::new((0..count).map(|_| Point2::new(next() * side, next() * side)).collect())
+    }
+
+    #[test]
+    fn rng_drops_lune_blocked_edges() {
+        // Equilateral-ish triangle: all edges survive; adding a midpoint
+        // blocks the long edge.
+        let l = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(2.0, 0.1), // nearly between 0 and 1
+        ]);
+        let g = relative_neighborhood_graph(&l, 10.0);
+        assert!(!g.has_edge(n(0), n(1)), "edge through the lune witness must go");
+        assert!(g.has_edge(n(0), n(2)));
+        assert!(g.has_edge(n(2), n(1)));
+    }
+
+    #[test]
+    fn mst_subset_of_rng_subset_of_gabriel() {
+        // Classical containment chain: MST ⊆ RNG ⊆ Gabriel ⊆ unit-disk.
+        for seed in [1, 7, 42] {
+            let l = scattered(40, 100.0, seed);
+            let r = 40.0;
+            let mst = euclidean_mst(&l, r);
+            let rng = relative_neighborhood_graph(&l, r);
+            let gg = gabriel_graph(&l, r);
+            let ud = unit_disk_graph(&l, r);
+            assert!(mst.is_subgraph_of(&rng), "MST ⊄ RNG for seed {seed}");
+            assert!(rng.is_subgraph_of(&gg), "RNG ⊄ GG for seed {seed}");
+            assert!(gg.is_subgraph_of(&ud), "GG ⊄ UD for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rng_and_gabriel_and_mst_preserve_connectivity() {
+        for seed in [3, 11, 99] {
+            let l = scattered(50, 100.0, seed);
+            let r = 35.0;
+            let full = unit_disk_graph(&l, r);
+            for (name, g) in [
+                ("mst", euclidean_mst(&l, r)),
+                ("rng", relative_neighborhood_graph(&l, r)),
+                ("gabriel", gabriel_graph(&l, r)),
+            ] {
+                assert!(
+                    preserves_connectivity(&g, &full),
+                    "{name} broke connectivity for seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mst_has_component_minus_one_edges() {
+        let l = scattered(30, 50.0, 5);
+        let r = 30.0;
+        let full = unit_disk_graph(&l, r);
+        let mst = euclidean_mst(&l, r);
+        let comps = crate::traversal::component_count(&full);
+        assert_eq!(mst.edge_count(), l.len() - comps);
+    }
+
+    #[test]
+    fn knn_can_disconnect() {
+        // Two dense pairs far apart plus k=1: the bridge edge is not anyone's
+        // nearest neighbor, so k-NN loses it.
+        let l = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(11.0, 0.0),
+        ]);
+        let full = unit_disk_graph(&l, 9.5);
+        assert!(is_connected(&full));
+        let knn = k_nearest_neighbors(&l, 9.5, 1);
+        assert!(!is_connected(&knn));
+    }
+
+    #[test]
+    fn knn_with_large_k_is_unit_disk() {
+        let l = scattered(20, 50.0, 9);
+        let full = unit_disk_graph(&l, 25.0);
+        let knn = k_nearest_neighbors(&l, 25.0, 19);
+        assert_eq!(knn, full);
+    }
+
+    #[test]
+    fn empty_layout_ok() {
+        let l = Layout::default();
+        assert_eq!(euclidean_mst(&l, 1.0).node_count(), 0);
+        assert_eq!(relative_neighborhood_graph(&l, 1.0).node_count(), 0);
+        assert_eq!(gabriel_graph(&l, 1.0).node_count(), 0);
+        assert_eq!(k_nearest_neighbors(&l, 1.0, 3).node_count(), 0);
+        assert_eq!(minimum_energy_graph(&l, 1.0, 2.0, 0.0).node_count(), 0);
+    }
+
+    #[test]
+    fn minimum_energy_equals_gabriel_for_free_space_no_overhead() {
+        // Classical fact: with p(d) = d² and free relaying, a relay w beats
+        // the direct edge iff d(u,w)² + d(w,v)² < d(u,v)² iff w is strictly
+        // inside the circle with diameter uv — the Gabriel criterion.
+        for seed in [1, 4, 9] {
+            let l = scattered(35, 120.0, seed);
+            let r = 60.0;
+            assert_eq!(
+                minimum_energy_graph(&l, r, 2.0, 0.0),
+                gabriel_graph(&l, r),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn relay_overhead_keeps_more_edges() {
+        // Charging for relaying makes two-hop routes less attractive, so
+        // the graph with overhead is a supergraph of the free one.
+        let l = scattered(30, 100.0, 7);
+        let free = minimum_energy_graph(&l, 50.0, 2.0, 0.0);
+        let charged = minimum_energy_graph(&l, 50.0, 2.0, 200.0);
+        assert!(free.is_subgraph_of(&charged));
+        assert!(charged.edge_count() >= free.edge_count());
+    }
+
+    #[test]
+    fn higher_exponent_prunes_more() {
+        // Steeper path loss favors relaying: n = 4 keeps at most the n = 2
+        // edge set (relays only get MORE attractive for long edges), and on
+        // scattered layouts strictly fewer.
+        let l = scattered(40, 100.0, 3);
+        let n2 = minimum_energy_graph(&l, 60.0, 2.0, 0.0);
+        let n4 = minimum_energy_graph(&l, 60.0, 4.0, 0.0);
+        assert!(n4.is_subgraph_of(&n2));
+        assert!(n4.edge_count() < n2.edge_count());
+    }
+
+    #[test]
+    fn minimum_energy_preserves_connectivity() {
+        for seed in [2, 6] {
+            let l = scattered(40, 110.0, seed);
+            let r = 45.0;
+            let full = unit_disk_graph(&l, r);
+            for overhead in [0.0, 100.0] {
+                let g = minimum_energy_graph(&l, r, 2.0, overhead);
+                assert!(
+                    preserves_connectivity(&g, &full),
+                    "seed {seed}, overhead {overhead}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Breadth-first traversal, connected components and hop distances.
+
+use std::collections::VecDeque;
+
+use crate::{NodeId, UndirectedGraph, UnionFind};
+
+/// Hop distances from `source` to every node: `dist[i]` is the number of
+/// edges on a shortest path, or `None` when unreachable.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{NodeId, UndirectedGraph, traversal::bfs_distances};
+///
+/// let mut g = UndirectedGraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// let d = bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(d[1], Some(1));
+/// assert_eq!(d[2], None);
+/// ```
+pub fn bfs_distances(g: &UndirectedGraph, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.node_count()];
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for v in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Canonical connected-component labels (components numbered in order of
+/// their smallest member).
+pub fn component_labels(g: &UndirectedGraph) -> Vec<usize> {
+    union_find_of(g).component_labels()
+}
+
+/// Number of connected components.
+pub fn component_count(g: &UndirectedGraph) -> usize {
+    union_find_of(g).component_count()
+}
+
+/// Whether the graph is connected (vacuously true when empty).
+pub fn is_connected(g: &UndirectedGraph) -> bool {
+    g.node_count() == 0 || component_count(g) == 1
+}
+
+/// A [`UnionFind`] populated with the graph's edges.
+pub fn union_find_of(g: &UndirectedGraph) -> UnionFind {
+    let mut uf = UnionFind::new(g.node_count());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf
+}
+
+/// The nodes of the component containing `u`, in increasing ID order.
+pub fn component_of(g: &UndirectedGraph, u: NodeId) -> Vec<NodeId> {
+    let dist = bfs_distances(g, u);
+    dist.iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_some())
+        .map(|(i, _)| NodeId::new(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path_graph(len: usize) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(len);
+        for i in 0..len.saturating_sub(1) {
+            g.add_edge(n(i as u32), n(i as u32 + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, n(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        let d2 = bfs_distances(&g, n(2));
+        assert_eq!(d2, vec![Some(2), Some(1), Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(0), n(1));
+        let d = bfs_distances(&g, n(0));
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn components() {
+        let mut g = UndirectedGraph::new(6);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(4), n(5));
+        assert_eq!(component_count(&g), 3);
+        assert!(!is_connected(&g));
+        assert_eq!(component_labels(&g), vec![0, 0, 0, 1, 2, 2]);
+        assert_eq!(component_of(&g, n(1)), vec![n(0), n(1), n(2)]);
+        assert_eq!(component_of(&g, n(3)), vec![n(3)]);
+    }
+
+    #[test]
+    fn connected_cases() {
+        assert!(is_connected(&UndirectedGraph::new(0)));
+        assert!(is_connected(&UndirectedGraph::new(1)));
+        assert!(!is_connected(&UndirectedGraph::new(2)));
+        assert!(is_connected(&path_graph(10)));
+    }
+
+    #[test]
+    fn bfs_shortest_over_cycle() {
+        // 0-1-2-3-0 cycle: distance 0→3 is 1, 0→2 is 2.
+        let mut g = path_graph(4);
+        g.add_edge(n(3), n(0));
+        let d = bfs_distances(&g, n(0));
+        assert_eq!(d[3], Some(1));
+        assert_eq!(d[2], Some(2));
+    }
+}

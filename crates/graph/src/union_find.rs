@@ -1,0 +1,175 @@
+//! Disjoint-set union (union-find) with path compression and union by rank.
+
+use crate::NodeId;
+
+/// A union-find structure over nodes `0..n`.
+///
+/// Used to compare connected partitions of `G_R` and the topology-controlled
+/// subgraphs cheaply (the Theorem 2.1 connectivity-preservation check).
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{NodeId, UnionFind};
+///
+/// let mut uf = UnionFind::new(3);
+/// uf.union(NodeId::new(0), NodeId::new(1));
+/// assert!(uf.connected(NodeId::new(0), NodeId::new(1)));
+/// assert!(!uf.connected(NodeId::new(0), NodeId::new(2)));
+/// assert_eq!(uf.component_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "too many nodes");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The canonical representative of `u`'s set.
+    pub fn find(&mut self, u: NodeId) -> NodeId {
+        let mut x = u.raw();
+        // Find the root.
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        while self.parent[x as usize] != root {
+            let next = self.parent[x as usize];
+            self.parent[x as usize] = root;
+            x = next;
+        }
+        NodeId::new(root)
+    }
+
+    /// Merges the sets containing `u` and `v`; returns `true` if they were
+    /// previously separate.
+    pub fn union(&mut self, u: NodeId, v: NodeId) -> bool {
+        let ru = self.find(u).raw();
+        let rv = self.find(v).raw();
+        if ru == rv {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ru as usize] >= self.rank[rv as usize] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `u` and `v` are in the same set.
+    pub fn connected(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Canonical component labels: `labels[i]` is the same value for all
+    /// nodes in one component, and components are numbered `0, 1, …` in
+    /// order of their smallest member.
+    pub fn component_labels(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut label_of_root = vec![usize::MAX; n];
+        let mut labels = vec![0usize; n];
+        let mut next = 0usize;
+        for (i, label) in labels.iter_mut().enumerate() {
+            let root = self.find(NodeId::new(i as u32)).index();
+            if label_of_root[root] == usize::MAX {
+                label_of_root[root] = next;
+                next += 1;
+            }
+            *label = label_of_root[root];
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.len(), 4);
+        assert_eq!(uf.component_count(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(n(i)), n(i));
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(n(0), n(1)));
+        assert!(uf.union(n(2), n(3)));
+        assert!(!uf.union(n(1), n(0))); // already merged
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(n(0), n(1)));
+        assert!(!uf.connected(n(0), n(2)));
+        assert!(uf.union(n(1), n(2)));
+        assert!(uf.connected(n(0), n(3)));
+        assert_eq!(uf.component_count(), 2);
+    }
+
+    #[test]
+    fn component_labels_are_canonical() {
+        let mut uf = UnionFind::new(6);
+        uf.union(n(4), n(5));
+        uf.union(n(0), n(2));
+        let labels = uf.component_labels();
+        // Components in order of smallest member: {0,2}=0, {1}=1, {3}=2, {4,5}=3.
+        assert_eq!(labels, vec![0, 1, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let mut uf = UnionFind::new(1000);
+        for i in 0..999 {
+            uf.union(n(i), n(i + 1));
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(n(0), n(999)));
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+}

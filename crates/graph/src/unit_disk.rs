@@ -1,0 +1,112 @@
+//! Unit-disk graph construction: the max-power graph `G_R`.
+
+use crate::{Layout, UndirectedGraph};
+
+/// Builds `G_R = (V, E)` with `E = {(u, v) : d(u, v) ≤ R}` — the graph
+/// induced when every node transmits at maximum power (§1).
+///
+/// Co-located nodes (distance 0) are connected like any other pair within
+/// range.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{Layout, NodeId, unit_disk::unit_disk_graph};
+/// use cbtc_geom::Point2;
+///
+/// let layout = Layout::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(3.0, 0.0),
+///     Point2::new(10.0, 0.0),
+/// ]);
+/// let g = unit_disk_graph(&layout, 5.0);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+/// ```
+pub fn unit_disk_graph(layout: &Layout, radius: f64) -> UndirectedGraph {
+    assert!(
+        radius.is_finite() && radius >= 0.0,
+        "radius must be finite and non-negative, got {radius}"
+    );
+    let mut g = UndirectedGraph::new(layout.len());
+    let r2 = radius * radius;
+    let ids: Vec<_> = layout.node_ids().collect();
+    for (i, &u) in ids.iter().enumerate() {
+        let pu = layout.position(u);
+        for &v in &ids[i + 1..] {
+            if pu.distance_squared(layout.position(v)) <= r2 {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+    use cbtc_geom::Point2;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn boundary_distance_included() {
+        let layout = Layout::new(vec![Point2::new(0.0, 0.0), Point2::new(5.0, 0.0)]);
+        let g = unit_disk_graph(&layout, 5.0);
+        assert!(g.has_edge(n(0), n(1)));
+        let g2 = unit_disk_graph(&layout, 4.999);
+        assert!(!g2.has_edge(n(0), n(1)));
+    }
+
+    #[test]
+    fn zero_radius_connects_only_colocated() {
+        let layout = Layout::new(vec![
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 1.0),
+        ]);
+        let g = unit_disk_graph(&layout, 0.0);
+        assert!(g.has_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn grid_neighbor_counts() {
+        // 3×3 unit grid with radius 1: inner node has 4 neighbors.
+        let mut pts = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                pts.push(Point2::new(x as f64, y as f64));
+            }
+        }
+        let g = unit_disk_graph(&Layout::new(pts), 1.0);
+        assert_eq!(g.degree(n(4)), 4); // center
+        assert_eq!(g.degree(n(0)), 2); // corner
+        assert_eq!(g.edge_count(), 12);
+    }
+
+    #[test]
+    fn large_radius_gives_complete_graph() {
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 1.0),
+        ]);
+        let g = unit_disk_graph(&layout, 10.0);
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn negative_radius_rejected() {
+        let _ = unit_disk_graph(&Layout::default(), -1.0);
+    }
+}

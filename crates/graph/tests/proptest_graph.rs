@@ -1,0 +1,182 @@
+//! Property-based tests of the graph substrate.
+
+use cbtc_geom::Point2;
+use cbtc_graph::connectivity::preserves_connectivity;
+use cbtc_graph::paths::{dijkstra, hop_stretch};
+use cbtc_graph::spanners;
+use cbtc_graph::traversal::{bfs_distances, component_count, component_labels};
+use cbtc_graph::unit_disk::unit_disk_graph;
+use cbtc_graph::{DirectedGraph, Layout, NodeId, UndirectedGraph, UnionFind};
+use proptest::prelude::*;
+
+fn layouts() -> impl Strategy<Value = Layout> {
+    (1usize..40, 50.0f64..500.0).prop_flat_map(|(n, side)| {
+        proptest::collection::vec((0.0..side, 0.0..side), n)
+            .prop_map(|pts| Layout::new(pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect()))
+    })
+}
+
+fn edge_lists() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..60);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> UndirectedGraph {
+    let mut g = UndirectedGraph::new(n);
+    for &(a, b) in edges {
+        if a != b {
+            g.add_edge(NodeId::new(a), NodeId::new(b));
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_find_agrees_with_bfs((n, edges) in edge_lists()) {
+        let g = build(n, &edges);
+        let labels = component_labels(&g);
+        let mut uf = UnionFind::new(n);
+        for (u, v) in g.edges() {
+            uf.union(u, v);
+        }
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                let connected_bfs = labels[i as usize] == labels[j as usize];
+                prop_assert_eq!(
+                    uf.connected(NodeId::new(i), NodeId::new(j)),
+                    connected_bfs
+                );
+            }
+        }
+        prop_assert_eq!(uf.component_count(), component_count(&g));
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent((n, edges) in edge_lists()) {
+        let g = build(n, &edges);
+        let source = NodeId::new(0);
+        let dist = bfs_distances(&g, source);
+        prop_assert_eq!(dist[0], Some(0));
+        // Each reachable node's distance differs by exactly 1 from some
+        // neighbor closer to the source.
+        for u in g.node_ids() {
+            if let Some(du) = dist[u.index()] {
+                if du > 0 {
+                    prop_assert!(g
+                        .neighbors(u)
+                        .any(|v| dist[v.index()] == Some(du - 1)));
+                }
+                for v in g.neighbors(u) {
+                    let dv = dist[v.index()].expect("neighbor of reachable is reachable");
+                    prop_assert!(dv + 1 >= du && du + 1 >= dv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_match_bfs((n, edges) in edge_lists()) {
+        let g = build(n, &edges);
+        let bfs = bfs_distances(&g, NodeId::new(0));
+        let dij = dijkstra(&g, NodeId::new(0), |_, _| 1.0);
+        for i in 0..n {
+            match (bfs[i], dij[i]) {
+                (None, None) => {}
+                (Some(b), Some(d)) => prop_assert!((d - b as f64).abs() < 1e-12),
+                other => prop_assert!(false, "mismatch at {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_closure_and_core_bracket(
+        (n, edges) in edge_lists(),
+    ) {
+        let mut d = DirectedGraph::new(n);
+        for &(a, b) in &edges {
+            if a != b {
+                d.add_edge(NodeId::new(a), NodeId::new(b));
+            }
+        }
+        let core = d.symmetric_core();
+        let closure = d.symmetric_closure();
+        prop_assert!(core.is_subgraph_of(&closure));
+        // Core + asymmetric edges == closure, as edge counts.
+        prop_assert_eq!(
+            closure.edge_count(),
+            core.edge_count() + d.asymmetric_edges().len()
+        );
+    }
+
+    #[test]
+    fn spanner_chain_holds_on_random_layouts(layout in layouts(), r in 20.0f64..300.0) {
+        let ud = unit_disk_graph(&layout, r);
+        let mst = spanners::euclidean_mst(&layout, r);
+        let rng = spanners::relative_neighborhood_graph(&layout, r);
+        let gg = spanners::gabriel_graph(&layout, r);
+        prop_assert!(mst.is_subgraph_of(&rng));
+        prop_assert!(rng.is_subgraph_of(&gg));
+        prop_assert!(gg.is_subgraph_of(&ud));
+        prop_assert!(preserves_connectivity(&mst, &ud));
+        prop_assert!(preserves_connectivity(&rng, &ud));
+        prop_assert!(preserves_connectivity(&gg, &ud));
+    }
+
+    #[test]
+    fn hop_stretch_at_least_one(layout in layouts(), r in 20.0f64..300.0) {
+        let ud = unit_disk_graph(&layout, r);
+        let rng = spanners::relative_neighborhood_graph(&layout, r);
+        let s = hop_stretch(&rng, &ud);
+        prop_assert!(s.max >= 1.0);
+        prop_assert!(s.mean >= 1.0 - 1e-12);
+        prop_assert!(s.mean <= s.max + 1e-12);
+    }
+
+    #[test]
+    fn unit_disk_is_monotone_in_radius(layout in layouts(), r in 10.0f64..200.0) {
+        let small = unit_disk_graph(&layout, r);
+        let big = unit_disk_graph(&layout, r * 1.5);
+        prop_assert!(small.is_subgraph_of(&big));
+    }
+
+    #[test]
+    fn bridges_and_articulation_points_actually_cut((n, edges) in edge_lists()) {
+        use cbtc_graph::biconnectivity::cut_structure;
+        let g = build(n, &edges);
+        let before = component_count(&g);
+        let cuts = cut_structure(&g);
+        // Removing any bridge increases the component count.
+        for &(u, v) in &cuts.bridges {
+            let mut h = g.clone();
+            h.remove_edge(u, v);
+            prop_assert_eq!(component_count(&h), before + 1, "bridge ({}, {})", u, v);
+        }
+        // Removing any non-bridge edge does NOT change the partition.
+        for (u, v) in g.edges() {
+            if !cuts.bridges.contains(&(u.min(v), u.max(v))) {
+                let mut h = g.clone();
+                h.remove_edge(u, v);
+                prop_assert_eq!(component_count(&h), before, "non-bridge ({}, {})", u, v);
+            }
+        }
+        // Removing an articulation point splits its component: the count
+        // over the remaining nodes (isolating the removed one) grows by at
+        // least 2 (the isolated node itself plus the split).
+        for &a in &cuts.articulation_points {
+            let mut h = g.clone();
+            let nbrs: Vec<NodeId> = h.neighbors(a).collect();
+            for w in nbrs {
+                h.remove_edge(a, w);
+            }
+            prop_assert!(
+                component_count(&h) >= before + 2,
+                "articulation point {a} did not split"
+            );
+        }
+    }
+}

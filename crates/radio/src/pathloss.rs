@@ -1,0 +1,289 @@
+//! Path-loss models: the paper's power function `p(d)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Power;
+
+/// A distance-monotone propagation model.
+///
+/// Captures the paper's assumptions about the radio: a power function
+/// `p(d)` (minimum power to close a link over distance `d`), a maximum
+/// power `P` shared by all nodes with `p(R) = P`, and enough structure to
+/// recover distance from attenuation (the reception-power estimate of §2).
+///
+/// Implementations must be strictly increasing in `d` so that the inverse
+/// is well defined.
+pub trait PathLoss {
+    /// Minimum transmission power needed to reach a receiver at distance
+    /// `d` — the paper's `p(d)`.
+    fn required_power(&self, distance: f64) -> Power;
+
+    /// The communication range achievable with transmission power `p`
+    /// (inverse of [`Self::required_power`]).
+    fn range(&self, power: Power) -> f64;
+
+    /// The common maximum transmission power `P`.
+    fn max_power(&self) -> Power;
+
+    /// The maximum communication range `R`, with `p(R) = P`.
+    fn max_range(&self) -> f64 {
+        self.range(self.max_power())
+    }
+
+    /// The power at which a transmission sent at `tx_power` is received at
+    /// distance `d` (signal after attenuation).
+    fn reception_power(&self, tx_power: Power, distance: f64) -> Power;
+
+    /// Recovers the sender distance from the attenuation between the known
+    /// transmission power and the measured reception power.
+    fn distance_from_attenuation(&self, tx_power: Power, rx_power: Power) -> f64;
+
+    /// Whether a broadcast at `tx_power` is heard at distance `d`:
+    /// `p(d) ≤ tx_power`, the paper's reception set
+    /// `{v : p(d(u, v)) ≤ p}`.
+    fn reaches(&self, tx_power: Power, distance: f64) -> bool {
+        self.required_power(distance) <= tx_power
+    }
+}
+
+/// The `p(d) = S·dⁿ` power-law model.
+///
+/// `n ≥ 2` is the path-loss exponent ("the power required to transmit
+/// between nodes increases as the n-th power of the distance, for some
+/// n ≥ 2", §1, citing Rappaport). `S` is the receiver sensitivity: the
+/// reception power below which the link does not close; it sets the unit
+/// scale. A transmission at power `p` over distance `d` is received at
+/// power `p / dⁿ`, so the link closes iff `p / dⁿ ≥ S` iff `p ≥ S·dⁿ`.
+///
+/// Distances below 1 unit are treated as 1 (near-field clamp), keeping
+/// `required_power` monotone and bounded away from zero.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_radio::{PathLoss, PowerLaw};
+///
+/// let model = PowerLaw::paper_default(); // n = 2, S = 1, R = 500
+/// assert_eq!(model.required_power(500.0), model.max_power());
+/// assert!(model.reaches(model.max_power(), 499.0));
+/// assert!(!model.reaches(model.max_power(), 501.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLaw {
+    exponent: f64,
+    sensitivity: f64,
+    max_range: f64,
+}
+
+impl PowerLaw {
+    /// The paper's simulation setting: maximum radius `R = 500` with the
+    /// conventional free-space exponent `n = 2` and unit sensitivity.
+    pub fn paper_default() -> Self {
+        PowerLaw {
+            exponent: 2.0,
+            sensitivity: 1.0,
+            max_range: 500.0,
+        }
+    }
+
+    /// Creates a power-law model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidModelError`] unless `exponent ≥ 1`,
+    /// `sensitivity > 0` and `max_range ≥ 1`, all finite.
+    pub fn new(exponent: f64, sensitivity: f64, max_range: f64) -> Result<Self, InvalidModelError> {
+        if !exponent.is_finite() || exponent < 1.0 {
+            return Err(InvalidModelError::new(format!(
+                "path-loss exponent must be ≥ 1, got {exponent}"
+            )));
+        }
+        if !sensitivity.is_finite() || sensitivity <= 0.0 {
+            return Err(InvalidModelError::new(format!(
+                "sensitivity must be positive, got {sensitivity}"
+            )));
+        }
+        if !max_range.is_finite() || max_range < 1.0 {
+            return Err(InvalidModelError::new(format!(
+                "max range must be ≥ 1, got {max_range}"
+            )));
+        }
+        Ok(PowerLaw {
+            exponent,
+            sensitivity,
+            max_range,
+        })
+    }
+
+    /// The path-loss exponent `n`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The receiver sensitivity `S`.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    fn clamp_distance(&self, d: f64) -> f64 {
+        d.max(1.0)
+    }
+}
+
+impl PathLoss for PowerLaw {
+    fn required_power(&self, distance: f64) -> Power {
+        let d = self.clamp_distance(distance);
+        Power::new(self.sensitivity * d.powf(self.exponent))
+    }
+
+    fn range(&self, power: Power) -> f64 {
+        if power.linear() <= 0.0 {
+            return 0.0;
+        }
+        (power.linear() / self.sensitivity).powf(1.0 / self.exponent)
+    }
+
+    fn max_power(&self) -> Power {
+        self.required_power(self.max_range)
+    }
+
+    fn max_range(&self) -> f64 {
+        self.max_range
+    }
+
+    fn reception_power(&self, tx_power: Power, distance: f64) -> Power {
+        let d = self.clamp_distance(distance);
+        Power::new(tx_power.linear() / d.powf(self.exponent))
+    }
+
+    fn distance_from_attenuation(&self, tx_power: Power, rx_power: Power) -> f64 {
+        assert!(
+            rx_power.linear() > 0.0,
+            "cannot estimate distance from zero reception power"
+        );
+        let attenuation = tx_power / rx_power;
+        attenuation.powf(1.0 / self.exponent)
+    }
+}
+
+/// Error returned by [`PowerLaw::new`] for invalid model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidModelError {
+    what: String,
+}
+
+impl InvalidModelError {
+    fn new(what: String) -> Self {
+        InvalidModelError { what }
+    }
+}
+
+impl fmt::Display for InvalidModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path-loss model: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(PowerLaw::new(2.0, 1.0, 500.0).is_ok());
+        assert!(PowerLaw::new(0.5, 1.0, 500.0).is_err());
+        assert!(PowerLaw::new(2.0, 0.0, 500.0).is_err());
+        assert!(PowerLaw::new(2.0, -1.0, 500.0).is_err());
+        assert!(PowerLaw::new(2.0, 1.0, 0.5).is_err());
+        assert!(PowerLaw::new(f64::NAN, 1.0, 500.0).is_err());
+        let e = PowerLaw::new(0.5, 1.0, 500.0).unwrap_err();
+        assert!(e.to_string().contains("exponent"));
+    }
+
+    #[test]
+    fn paper_default_parameters() {
+        let m = PowerLaw::paper_default();
+        assert_eq!(m.exponent(), 2.0);
+        assert_eq!(m.sensitivity(), 1.0);
+        assert_eq!(m.max_range(), 500.0);
+        assert_eq!(m.max_power(), Power::new(250_000.0));
+    }
+
+    #[test]
+    fn required_power_is_monotone() {
+        let m = PowerLaw::new(3.0, 0.5, 500.0).unwrap();
+        let mut last = Power::ZERO;
+        for d in [1.0, 2.0, 10.0, 100.0, 499.0, 500.0] {
+            let p = m.required_power(d);
+            assert!(p > last, "p({d}) not increasing");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn range_is_inverse_of_required_power() {
+        let m = PowerLaw::new(2.5, 2.0, 400.0).unwrap();
+        for d in [1.0, 5.0, 123.0, 400.0] {
+            let p = m.required_power(d);
+            assert!((m.range(p) - d).abs() < 1e-9, "round-trip at {d}");
+        }
+        assert_eq!(m.range(Power::ZERO), 0.0);
+    }
+
+    #[test]
+    fn near_field_clamped_to_unit_distance() {
+        let m = PowerLaw::paper_default();
+        assert_eq!(m.required_power(0.0), m.required_power(1.0));
+        assert_eq!(m.required_power(0.5), m.required_power(1.0));
+        assert_eq!(m.reception_power(Power::new(8.0), 0.1), Power::new(8.0));
+    }
+
+    #[test]
+    fn reaches_matches_definition() {
+        let m = PowerLaw::paper_default();
+        let p = m.required_power(300.0);
+        assert!(m.reaches(p, 300.0));
+        assert!(m.reaches(p, 299.0));
+        assert!(!m.reaches(p, 300.5));
+    }
+
+    #[test]
+    fn reception_power_decays_with_distance() {
+        let m = PowerLaw::paper_default();
+        let tx = m.max_power();
+        assert!(m.reception_power(tx, 10.0) > m.reception_power(tx, 20.0));
+        // Free space n=2: doubling distance quarters the power.
+        let r10 = m.reception_power(tx, 10.0).linear();
+        let r20 = m.reception_power(tx, 20.0).linear();
+        assert!((r10 / r20 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_recovery() {
+        let m = PowerLaw::new(2.0, 1.0, 500.0).unwrap();
+        let tx = Power::new(10_000.0);
+        for d in [2.0, 50.0, 313.0] {
+            let rx = m.reception_power(tx, d);
+            assert!((m.distance_from_attenuation(tx, rx) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reception power")]
+    fn zero_reception_power_panics() {
+        let m = PowerLaw::paper_default();
+        let _ = m.distance_from_attenuation(Power::new(1.0), Power::ZERO);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let m = PowerLaw::paper_default();
+        let dyn_model: &dyn PathLoss = &m;
+        assert_eq!(dyn_model.max_range(), 500.0);
+        assert!(dyn_model.reaches(dyn_model.max_power(), 500.0));
+    }
+}

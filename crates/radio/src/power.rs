@@ -1,0 +1,186 @@
+//! The transmission/reception power level newtype.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A power level on a linear scale (arbitrary units).
+///
+/// Newtype over `f64` so that powers cannot be silently confused with
+/// distances or angles. Powers are finite and non-negative by construction.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_radio::Power;
+///
+/// let p = Power::new(4.0);
+/// assert_eq!((p * 2.0).linear(), 8.0);
+/// assert!(p < Power::new(5.0));
+/// assert_eq!(p.max(Power::new(3.0)), p);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power level from a linear value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is negative or not finite.
+    pub fn new(linear: f64) -> Self {
+        assert!(
+            linear.is_finite() && linear >= 0.0,
+            "power must be finite and non-negative, got {linear}"
+        );
+        Power(linear)
+    }
+
+    /// The linear value.
+    pub fn linear(self) -> f64 {
+        self.0
+    }
+
+    /// The value in decibels relative to 1 unit (`10·log₁₀`), `-inf` for
+    /// zero power.
+    pub fn db(self) -> f64 {
+        10.0 * self.0.log10()
+    }
+
+    /// The larger of two powers.
+    pub fn max(self, other: Power) -> Power {
+        Power(self.0.max(other.0))
+    }
+
+    /// The smaller of two powers.
+    pub fn min(self, other: Power) -> Power {
+        Power(self.0.min(other.0))
+    }
+
+    /// Total order (powers are finite, so this is consistent with
+    /// `PartialOrd`).
+    pub fn total_cmp(&self, other: &Power) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Default for Power {
+    fn default() -> Self {
+        Power::ZERO
+    }
+}
+
+impl Eq for Power {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Power {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    /// Saturating at zero: power differences below zero clamp to zero.
+    fn sub(self, rhs: Power) -> Power {
+        Power::new((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power::new(self.0 / rhs)
+    }
+}
+
+impl Div for Power {
+    type Output = f64;
+    /// The ratio of two powers (e.g. attenuation `tx / rx`).
+    fn div(self, rhs: Power) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Power::new(2.5);
+        assert_eq!(p.linear(), 2.5);
+        assert_eq!(Power::ZERO.linear(), 0.0);
+        assert_eq!(Power::default(), Power::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "power")]
+    fn negative_power_rejected() {
+        let _ = Power::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power")]
+    fn nan_power_rejected() {
+        let _ = Power::new(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Power::new(3.0);
+        let b = Power::new(1.0);
+        assert_eq!((a + b).linear(), 4.0);
+        assert_eq!((a - b).linear(), 2.0);
+        assert_eq!((b - a).linear(), 0.0); // saturating
+        assert_eq!((a * 2.0).linear(), 6.0);
+        assert_eq!((a / 2.0).linear(), 1.5);
+        assert_eq!(a / b, 3.0);
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        let mut v = [Power::new(3.0), Power::new(1.0), Power::new(2.0)];
+        v.sort();
+        assert_eq!(v[0], Power::new(1.0));
+        assert_eq!(v[2], Power::new(3.0));
+        assert_eq!(Power::new(1.0).max(Power::new(2.0)), Power::new(2.0));
+        assert_eq!(Power::new(1.0).min(Power::new(2.0)), Power::new(1.0));
+    }
+
+    #[test]
+    fn decibels() {
+        assert!((Power::new(1.0).db() - 0.0).abs() < 1e-12);
+        assert!((Power::new(100.0).db() - 20.0).abs() < 1e-12);
+        assert_eq!(Power::ZERO.db(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Power::new(1.23).to_string().is_empty());
+    }
+}

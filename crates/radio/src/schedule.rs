@@ -1,0 +1,243 @@
+//! Power-growth schedules: the `Increase` function of Figure 1.
+//!
+//! The algorithm broadcasts "Hello" at an initial power `p0` and grows it
+//! with some function `Increase` such that `Increaseᵏ(p0) = P` for
+//! sufficiently large `k`. The paper's suggested choice is
+//! `Increase(p) = 2p` (following Li & Halpern), which guarantees the final
+//! power overshoots the minimum needed by at most a factor of 2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Power;
+
+/// How the power grows from one "Hello" round to the next.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// `Increase(p) = factor · p` — the paper's default with `factor = 2`.
+    Multiplicative {
+        /// Growth factor, strictly greater than 1.
+        factor: f64,
+    },
+    /// `Increase(p) = p + step` — additive growth.
+    Additive {
+        /// Step size, strictly positive.
+        step: f64,
+    },
+}
+
+/// A concrete power schedule: initial power, growth rule and maximum power.
+///
+/// The sequence produced by [`PowerSchedule::levels`] starts at `p0`, grows
+/// per the rule, and is capped so the final element is exactly the maximum
+/// power `P` — mirroring the `while pu < P` loop of Figure 1, in which a
+/// node's last broadcast uses `P` itself.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_radio::{Power, PowerSchedule};
+///
+/// let sched = PowerSchedule::doubling(Power::new(1.0), Power::new(10.0));
+/// let levels: Vec<f64> = sched.levels().map(|p| p.linear()).collect();
+/// assert_eq!(levels, vec![1.0, 2.0, 4.0, 8.0, 10.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSchedule {
+    initial: Power,
+    max: Power,
+    kind: ScheduleKind,
+}
+
+impl PowerSchedule {
+    /// The paper's default schedule: `Increase(p) = 2p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is zero or exceeds `max`.
+    pub fn doubling(initial: Power, max: Power) -> Self {
+        PowerSchedule::new(initial, max, ScheduleKind::Multiplicative { factor: 2.0 })
+    }
+
+    /// Creates a schedule with an explicit growth rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is zero, `initial > max`, or the growth rule
+    /// does not make progress (factor ≤ 1 or step ≤ 0).
+    pub fn new(initial: Power, max: Power, kind: ScheduleKind) -> Self {
+        assert!(
+            initial.linear() > 0.0,
+            "initial power must be positive (a zero broadcast discovers nothing)"
+        );
+        assert!(initial <= max, "initial power {initial} exceeds max {max}");
+        match kind {
+            ScheduleKind::Multiplicative { factor } => {
+                assert!(
+                    factor.is_finite() && factor > 1.0,
+                    "multiplicative factor must exceed 1, got {factor}"
+                )
+            }
+            ScheduleKind::Additive { step } => {
+                assert!(
+                    step.is_finite() && step > 0.0,
+                    "additive step must be positive, got {step}"
+                )
+            }
+        }
+        PowerSchedule { initial, max, kind }
+    }
+
+    /// The initial power `p0`.
+    pub fn initial(&self) -> Power {
+        self.initial
+    }
+
+    /// The maximum power `P`.
+    pub fn max(&self) -> Power {
+        self.max
+    }
+
+    /// One application of `Increase`, capped at `P`.
+    pub fn increase(&self, p: Power) -> Power {
+        let next = match self.kind {
+            ScheduleKind::Multiplicative { factor } => p * factor,
+            ScheduleKind::Additive { step } => p + Power::new(step),
+        };
+        next.min(self.max)
+    }
+
+    /// The full sequence of power levels `p0, Increase(p0), …, P`.
+    ///
+    /// Guaranteed finite and strictly increasing, ending exactly at `P`
+    /// (`Increaseᵏ(p0) = P` for sufficiently large `k`, as the paper
+    /// requires of any valid `Increase`).
+    pub fn levels(&self) -> Levels {
+        Levels {
+            schedule: *self,
+            next: Some(self.initial),
+        }
+    }
+
+    /// Number of broadcast rounds the schedule takes.
+    pub fn round_count(&self) -> usize {
+        self.levels().count()
+    }
+}
+
+/// Iterator over the power levels of a [`PowerSchedule`].
+///
+/// Produced by [`PowerSchedule::levels`].
+#[derive(Debug, Clone)]
+pub struct Levels {
+    schedule: PowerSchedule,
+    next: Option<Power>,
+}
+
+impl Iterator for Levels {
+    type Item = Power;
+
+    fn next(&mut self) -> Option<Power> {
+        let current = self.next?;
+        if current >= self.schedule.max {
+            self.next = None;
+            return Some(self.schedule.max);
+        }
+        self.next = Some(self.schedule.increase(current));
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_reaches_max_exactly() {
+        let s = PowerSchedule::doubling(Power::new(1.0), Power::new(100.0));
+        let levels: Vec<Power> = s.levels().collect();
+        assert_eq!(*levels.last().unwrap(), Power::new(100.0));
+        assert_eq!(levels.len(), 8); // 1,2,4,8,16,32,64,100
+        for w in levels.windows(2) {
+            assert!(w[0] < w[1], "levels must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn max_equal_to_initial_is_single_round() {
+        let s = PowerSchedule::doubling(Power::new(5.0), Power::new(5.0));
+        let levels: Vec<Power> = s.levels().collect();
+        assert_eq!(levels, vec![Power::new(5.0)]);
+        assert_eq!(s.round_count(), 1);
+    }
+
+    #[test]
+    fn additive_schedule() {
+        let s = PowerSchedule::new(
+            Power::new(1.0),
+            Power::new(4.5),
+            ScheduleKind::Additive { step: 1.0 },
+        );
+        let levels: Vec<f64> = s.levels().map(|p| p.linear()).collect();
+        assert_eq!(levels, vec![1.0, 2.0, 3.0, 4.0, 4.5]);
+    }
+
+    #[test]
+    fn increase_caps_at_max() {
+        let s = PowerSchedule::doubling(Power::new(1.0), Power::new(3.0));
+        assert_eq!(s.increase(Power::new(2.0)), Power::new(3.0));
+        assert_eq!(s.increase(Power::new(3.0)), Power::new(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "initial power")]
+    fn zero_initial_rejected() {
+        let _ = PowerSchedule::doubling(Power::ZERO, Power::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn initial_above_max_rejected() {
+        let _ = PowerSchedule::doubling(Power::new(2.0), Power::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn non_growing_factor_rejected() {
+        let _ = PowerSchedule::new(
+            Power::new(1.0),
+            Power::new(2.0),
+            ScheduleKind::Multiplicative { factor: 1.0 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn non_positive_step_rejected() {
+        let _ = PowerSchedule::new(
+            Power::new(1.0),
+            Power::new(2.0),
+            ScheduleKind::Additive { step: 0.0 },
+        );
+    }
+
+    #[test]
+    fn doubling_overshoot_bounded_by_factor_two() {
+        // The §2 claim: with Increase(p) = 2p, the first level at or above
+        // any target power is within a factor 2 of it.
+        let s = PowerSchedule::doubling(Power::new(1.0), Power::new(1000.0));
+        for target in [1.5, 3.0, 7.7, 100.0, 999.0] {
+            let first_reaching = s
+                .levels()
+                .find(|p| p.linear() >= target)
+                .expect("schedule reaches max");
+            assert!(first_reaching.linear() < 2.0 * target);
+        }
+    }
+
+    #[test]
+    fn round_count_is_logarithmic_for_doubling() {
+        // 1,2,4,...,2^20 → 21 rounds.
+        let s = PowerSchedule::doubling(Power::new(1.0), Power::new((1u64 << 20) as f64));
+        assert_eq!(s.round_count(), 21);
+    }
+}

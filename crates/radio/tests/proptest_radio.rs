@@ -1,0 +1,115 @@
+//! Property-based tests of the radio substrate.
+
+use cbtc_radio::{
+    estimate_required_power, PathLoss, Power, PowerLaw, PowerSchedule, ScheduleKind,
+};
+use proptest::prelude::*;
+
+fn models() -> impl Strategy<Value = PowerLaw> {
+    (1.5f64..6.0, 0.1f64..10.0, 10.0f64..2000.0)
+        .prop_map(|(n, s, r)| PowerLaw::new(n, s, r).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn required_power_is_monotone(model in models(), d1 in 1.0f64..2000.0, d2 in 1.0f64..2000.0) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(model.required_power(lo) <= model.required_power(hi));
+    }
+
+    #[test]
+    fn range_inverts_required_power(model in models(), d in 1.0f64..2000.0) {
+        let p = model.required_power(d);
+        prop_assert!((model.range(p) - d).abs() / d < 1e-9);
+    }
+
+    #[test]
+    fn reaches_exactly_at_required_power(model in models(), d in 1.0f64..2000.0) {
+        let p = model.required_power(d);
+        prop_assert!(model.reaches(p, d));
+        prop_assert!(!model.reaches(p * 0.999, d * 1.001));
+    }
+
+    #[test]
+    fn estimate_recovers_required_power(
+        model in models(),
+        d in 1.0f64..2000.0,
+        headroom in 1.0f64..100.0,
+    ) {
+        // Whatever power the sender used (with any headroom), the receiver's
+        // estimate of the minimum link power is the same.
+        let tx = model.required_power(d) * headroom;
+        let rx = model.reception_power(tx, d);
+        let est = estimate_required_power(&model, tx, rx);
+        let truth = model.required_power(d);
+        prop_assert!((est.linear() - truth.linear()).abs() / truth.linear() < 1e-9);
+    }
+
+    #[test]
+    fn reception_power_decreases_with_distance(
+        model in models(),
+        tx in 1.0f64..1e9,
+        d1 in 1.0f64..2000.0,
+        d2 in 1.0f64..2000.0,
+    ) {
+        prop_assume!((d1 - d2).abs() > 1e-9);
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        let tx = Power::new(tx);
+        prop_assert!(model.reception_power(tx, lo) >= model.reception_power(tx, hi));
+    }
+
+    #[test]
+    fn schedules_are_finite_strictly_increasing_and_capped(
+        p0 in 0.1f64..100.0,
+        max_factor in 1.5f64..1e6,
+        growth in 1.1f64..4.0,
+    ) {
+        let initial = Power::new(p0);
+        let max = Power::new(p0 * max_factor);
+        let sched = PowerSchedule::new(
+            initial,
+            max,
+            ScheduleKind::Multiplicative { factor: growth },
+        );
+        let levels: Vec<Power> = sched.levels().collect();
+        prop_assert!(!levels.is_empty());
+        prop_assert_eq!(levels[0], initial);
+        prop_assert_eq!(*levels.last().unwrap(), max);
+        for w in levels.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Increaseᵏ(p0) = P for k = levels-1 — the Figure 1 requirement.
+        let mut p = initial;
+        for _ in 0..levels.len() - 1 {
+            p = sched.increase(p);
+        }
+        prop_assert_eq!(p, max);
+    }
+
+    #[test]
+    fn doubling_overshoot_bounded(
+        p0 in 0.1f64..10.0,
+        target_factor in 1.0f64..1e5,
+    ) {
+        // §2: the doubling schedule's first level reaching any target is
+        // within a factor 2 of it.
+        let target = p0 * target_factor;
+        let sched = PowerSchedule::doubling(Power::new(p0), Power::new(p0 * 1e6));
+        let first = sched
+            .levels()
+            .find(|p| p.linear() >= target)
+            .expect("reaches max");
+        prop_assert!(first.linear() < 2.0 * target);
+    }
+
+    #[test]
+    fn power_arithmetic_consistent(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let (pa, pb) = (Power::new(a), Power::new(b));
+        prop_assert_eq!((pa + pb).linear(), a + b);
+        prop_assert_eq!(pa.max(pb).linear(), a.max(b));
+        prop_assert_eq!(pa.min(pb).linear(), a.min(b));
+        prop_assert!((pa - pb).linear() >= 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The deterministic event queue.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use cbtc_graph::NodeId;
+use cbtc_radio::Power;
+
+use crate::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind<M> {
+    /// A node begins executing its protocol (`on_start`).
+    Start { node: NodeId },
+    /// A message arrives at `to`.
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        rx_power: Power,
+        tx_power: Power,
+        payload: M,
+    },
+    /// A protocol timer fires at `node`.
+    Timer { node: NodeId, id: u64 },
+    /// A node crash-stops.
+    Crash { node: NodeId },
+}
+
+#[derive(Debug)]
+pub(crate) struct QueuedEvent<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Time first, then insertion order: a strict total order that makes
+        // simulation runs reproducible.
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32, id: u64) -> EventKind<()> {
+        EventKind::Timer {
+            node: NodeId::new(node),
+            id,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(5), timer(0, 0));
+        q.push(SimTime::new(1), timer(1, 0));
+        q.push(SimTime::new(3), timer(2, 0));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::new(1)));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.ticks()).collect();
+        assert_eq!(times, vec![1, 3, 5]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(SimTime::new(7), timer(i as u32, i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { id, .. } => id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(2), timer(0, 0));
+        q.push(SimTime::new(1), timer(0, 1));
+        assert_eq!(q.pop().unwrap().time, SimTime::new(1));
+        q.push(SimTime::new(0), timer(0, 2));
+        assert_eq!(q.pop().unwrap().time, SimTime::new(0));
+        assert_eq!(q.pop().unwrap().time, SimTime::new(2));
+        assert!(q.pop().is_none());
+    }
+}

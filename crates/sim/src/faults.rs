@@ -1,0 +1,178 @@
+//! Fault and timing configuration for the asynchronous model (§4).
+
+use serde::{Deserialize, Serialize};
+
+/// Channel timing and fault parameters.
+///
+/// The default configuration is the paper's §2 model: synchronous
+/// (unit latency), reliable (no loss, no duplication). §4 relaxes all of
+/// it: "nodes are assumed to communicate asynchronously, messages may get
+/// lost or duplicated, and nodes may fail".
+///
+/// All randomness derives from `seed`; two runs with equal configuration
+/// are identical.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_sim::FaultConfig;
+///
+/// let sync = FaultConfig::reliable_synchronous();
+/// assert_eq!(sync.latency(), (1, 1));
+///
+/// let lossy = FaultConfig::asynchronous(3, 9, 42).with_loss(0.1).with_duplication(0.05);
+/// assert_eq!(lossy.latency(), (3, 9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    min_latency: u64,
+    max_latency: u64,
+    loss_probability: f64,
+    duplication_probability: f64,
+    seed: u64,
+}
+
+impl FaultConfig {
+    /// The §2 model: every message takes exactly one tick, nothing is lost
+    /// or duplicated.
+    pub fn reliable_synchronous() -> Self {
+        FaultConfig {
+            min_latency: 1,
+            max_latency: 1,
+            loss_probability: 0.0,
+            duplication_probability: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// An asynchronous channel with per-message latency drawn uniformly
+    /// from `[min_latency, max_latency]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_latency == 0` (messages cannot arrive before they are
+    /// sent... within the same event cascade) or `min > max`.
+    pub fn asynchronous(min_latency: u64, max_latency: u64, seed: u64) -> Self {
+        assert!(min_latency >= 1, "minimum latency must be at least 1 tick");
+        assert!(
+            min_latency <= max_latency,
+            "min latency {min_latency} exceeds max {max_latency}"
+        );
+        FaultConfig {
+            min_latency,
+            max_latency,
+            loss_probability: 0.0,
+            duplication_probability: 0.0,
+            seed,
+        }
+    }
+
+    /// Sets the independent per-delivery loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1), got {p}");
+        self.loss_probability = p;
+        self
+    }
+
+    /// Sets the independent per-delivery duplication probability (a
+    /// duplicated message is delivered twice, the copy with fresh latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "duplication probability must be in [0, 1), got {p}"
+        );
+        self.duplication_probability = p;
+        self
+    }
+
+    /// Replaces the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The latency bounds `(min, max)` in ticks.
+    pub fn latency(&self) -> (u64, u64) {
+        (self.min_latency, self.max_latency)
+    }
+
+    /// Per-delivery loss probability.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+
+    /// Per-delivery duplication probability.
+    pub fn duplication_probability(&self) -> f64 {
+        self.duplication_probability
+    }
+
+    /// The random seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// An upper bound on one message round trip (request out, reply back),
+    /// used by protocols to size timeouts.
+    pub fn round_trip_bound(&self) -> u64 {
+        2 * self.max_latency
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::reliable_synchronous()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_defaults() {
+        let c = FaultConfig::default();
+        assert_eq!(c.latency(), (1, 1));
+        assert_eq!(c.loss_probability(), 0.0);
+        assert_eq!(c.duplication_probability(), 0.0);
+        assert_eq!(c.round_trip_bound(), 2);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = FaultConfig::asynchronous(2, 5, 7)
+            .with_loss(0.25)
+            .with_duplication(0.125)
+            .with_seed(99);
+        assert_eq!(c.latency(), (2, 5));
+        assert_eq!(c.loss_probability(), 0.25);
+        assert_eq!(c.duplication_probability(), 0.125);
+        assert_eq!(c.seed(), 99);
+        assert_eq!(c.round_trip_bound(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_latency_rejected() {
+        let _ = FaultConfig::asynchronous(0, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn inverted_latency_rejected() {
+        let _ = FaultConfig::asynchronous(5, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        let _ = FaultConfig::default().with_loss(1.0);
+    }
+}

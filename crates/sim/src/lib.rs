@@ -1,0 +1,42 @@
+//! # cbtc-sim
+//!
+//! A deterministic discrete-event simulator for distributed wireless
+//! protocols, built to run the CBTC algorithm exactly under the paper's two
+//! execution models:
+//!
+//! * **Synchronous, reliable** (§2): communication proceeds in rounds
+//!   governed by a global clock; a message sent in one round is received in
+//!   the next. Realized by [`Engine`] with unit latency and no faults.
+//! * **Asynchronous with faults** (§4): arbitrary (bounded) message
+//!   latencies, message loss and duplication, and crash failures.
+//!   Realized by [`Engine`] with a [`FaultConfig`].
+//!
+//! The paper's three communication primitives map directly:
+//!
+//! * `bcast(u, p, m)` → [`Context::broadcast`] — delivered to every node
+//!   `v` with `p(d(u, v)) ≤ p`;
+//! * `send(u, p, m, v)` → [`Context::send`] — unicast, delivered when the
+//!   power actually reaches `v`;
+//! * `recv(u, m, v)` → [`Node::on_message`] with an [`Incoming`] envelope
+//!   carrying the reception power and angle-of-arrival — the *only*
+//!   physical information a protocol may observe (no positions!).
+//!
+//! Everything is deterministic: events are ordered by `(time, sequence)`,
+//! and all randomness (latency jitter, loss, duplication) flows from the
+//! seed in [`FaultConfig`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod event;
+mod faults;
+mod runtime;
+mod time;
+mod trace;
+
+pub use engine::{Engine, QuiescenceResult};
+pub use faults::FaultConfig;
+pub use runtime::{Command, Context, Incoming, Node};
+pub use time::SimTime;
+pub use trace::TraceStats;

@@ -1,0 +1,160 @@
+//! The protocol-facing runtime interface.
+//!
+//! A distributed algorithm is implemented as a [`Node`] — per-node state
+//! plus handlers. Handlers interact with the world exclusively through a
+//! [`Context`], which exposes the paper's communication primitives and
+//! timers, and through the [`Incoming`] envelope, which carries *only* the
+//! information the paper allows a receiver to observe: the payload, the
+//! sender, the transmission power (included in the message by the
+//! protocol), the measured reception power, and the angle of arrival.
+
+use cbtc_geom::Angle;
+use cbtc_graph::NodeId;
+use cbtc_radio::Power;
+
+use crate::SimTime;
+
+/// A received message, as observed by the receiving node.
+#[derive(Debug, Clone)]
+pub struct Incoming<M> {
+    /// The sender (the paper's `recv(u, m, v)` exposes `v`; in practice the
+    /// sender's ID travels in the message).
+    pub from: NodeId,
+    /// The power the message was *sent* with. CBTC messages carry this
+    /// (§2: "the power used to broadcast the message is included in the
+    /// message").
+    pub tx_power: Power,
+    /// The power the message was *received* at, after path loss.
+    pub rx_power: Power,
+    /// The measured angle of arrival: the direction from the receiver to
+    /// the sender (`dir_u(v)`), including any configured sensor error.
+    pub direction: Angle,
+    /// The protocol payload.
+    pub payload: M,
+}
+
+/// An action a protocol hands back to the engine.
+#[derive(Debug, Clone)]
+pub enum Command<M> {
+    /// `bcast(self, power, payload)`: deliver to every node within range of
+    /// `power`.
+    Broadcast {
+        /// Transmission power.
+        power: Power,
+        /// Message payload.
+        payload: M,
+    },
+    /// `send(self, power, payload, to)`: unicast; delivered only if `power`
+    /// physically reaches `to`.
+    Send {
+        /// Transmission power.
+        power: Power,
+        /// Message payload.
+        payload: M,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// Request a timer callback after `delay` ticks with the given
+    /// protocol-chosen identifier.
+    SetTimer {
+        /// Ticks from now.
+        delay: u64,
+        /// Identifier passed back to [`Node::on_timer`].
+        id: u64,
+    },
+}
+
+/// The execution context handed to protocol handlers.
+///
+/// Collects the commands a handler issues; the engine executes them when
+/// the handler returns (so handlers never re-enter the engine).
+#[derive(Debug)]
+pub struct Context<M> {
+    now: SimTime,
+    self_id: NodeId,
+    commands: Vec<Command<M>>,
+}
+
+impl<M> Context<M> {
+    pub(crate) fn new(now: SimTime, self_id: NodeId) -> Self {
+        Context {
+            now,
+            self_id,
+            commands: Vec::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's ID.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Broadcast `payload` with transmission power `power`
+    /// (the paper's `bcast`).
+    pub fn broadcast(&mut self, power: Power, payload: M) {
+        self.commands.push(Command::Broadcast { power, payload });
+    }
+
+    /// Unicast `payload` to `to` with transmission power `power`
+    /// (the paper's `send`).
+    pub fn send(&mut self, power: Power, payload: M, to: NodeId) {
+        self.commands.push(Command::Send { power, payload, to });
+    }
+
+    /// Schedule [`Node::on_timer`] with `id` after `delay` ticks
+    /// (`delay = 0` fires at the current time, after pending events).
+    pub fn set_timer(&mut self, delay: u64, id: u64) {
+        self.commands.push(Command::SetTimer { delay, id });
+    }
+
+    pub(crate) fn into_commands(self) -> Vec<Command<M>> {
+        self.commands
+    }
+}
+
+/// A distributed protocol running at one node.
+///
+/// Implementations hold the node's local state. The engine calls the
+/// handlers; all communication goes through the [`Context`].
+pub trait Node {
+    /// The protocol's message type.
+    type Msg: Clone;
+
+    /// Called once when the node starts (its start event fires).
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>);
+
+    /// Called when a message arrives.
+    fn on_message(&mut self, ctx: &mut Context<Self::Msg>, msg: Incoming<Self::Msg>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    ///
+    /// The default implementation ignores timers.
+    fn on_timer(&mut self, ctx: &mut Context<Self::Msg>, id: u64) {
+        let _ = (ctx, id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_records_commands_in_order() {
+        let mut ctx: Context<&'static str> = Context::new(SimTime::new(3), NodeId::new(1));
+        assert_eq!(ctx.now(), SimTime::new(3));
+        assert_eq!(ctx.self_id(), NodeId::new(1));
+        ctx.broadcast(Power::new(2.0), "hello");
+        ctx.send(Power::new(1.0), "ack", NodeId::new(0));
+        ctx.set_timer(5, 42);
+        let cmds = ctx.into_commands();
+        assert_eq!(cmds.len(), 3);
+        assert!(matches!(cmds[0], Command::Broadcast { .. }));
+        assert!(matches!(cmds[1], Command::Send { to, .. } if to == NodeId::new(0)));
+        assert!(matches!(cmds[2], Command::SetTimer { delay: 5, id: 42 }));
+    }
+}

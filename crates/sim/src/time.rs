@@ -1,0 +1,84 @@
+//! Discrete simulation time.
+
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in integer ticks.
+///
+/// In the synchronous model one tick is one communication round; in the
+/// asynchronous model ticks are an arbitrary time unit against which
+/// latencies and timeouts are expressed.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_sim::SimTime;
+///
+/// let t = SimTime::ZERO + 5;
+/// assert_eq!(t.ticks(), 5);
+/// assert!(t < t + 1);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from a tick count.
+    pub const fn new(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// The tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Ticks elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.checked_add(rhs).expect("simulation time overflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let t = SimTime::new(10);
+        assert_eq!(t + 5, SimTime::new(15));
+        assert!(SimTime::ZERO < t);
+        assert_eq!(t.since(SimTime::new(4)), 6);
+        assert_eq!(SimTime::new(4).since(t), 0); // saturating
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::new(7).to_string(), "t7");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let _ = SimTime::new(u64::MAX) + 1;
+    }
+}

@@ -1,0 +1,70 @@
+//! Execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// Aggregate statistics of a simulation run.
+///
+/// Energy accounting follows the paper's §5 observation that an algorithm
+/// terminating at lower power "expends less power during its execution":
+/// every transmission adds its power to the sender's energy tally.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Broadcasts issued (the paper's `bcast`).
+    pub broadcasts: u64,
+    /// Unicasts issued (the paper's `send`).
+    pub unicasts: u64,
+    /// Messages delivered to a handler.
+    pub deliveries: u64,
+    /// Deliveries suppressed by the loss fault.
+    pub lost: u64,
+    /// Extra deliveries injected by the duplication fault.
+    pub duplicated: u64,
+    /// Timer firings.
+    pub timer_firings: u64,
+    /// Sum over transmissions of the transmission power (linear units).
+    pub energy_spent: f64,
+    /// Per-node transmission energy (linear units), indexed by node.
+    pub energy_per_node: Vec<f64>,
+    /// The time of the last processed event.
+    pub last_event_time: SimTime,
+}
+
+impl TraceStats {
+    /// Creates zeroed statistics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        TraceStats {
+            energy_per_node: vec![0.0; n],
+            ..TraceStats::default()
+        }
+    }
+
+    /// Total messages transmitted.
+    pub fn transmissions(&self) -> u64 {
+        self.broadcasts + self.unicasts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_construction() {
+        let t = TraceStats::new(3);
+        assert_eq!(t.energy_per_node, vec![0.0; 3]);
+        assert_eq!(t.transmissions(), 0);
+        assert_eq!(t.last_event_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn transmissions_sum() {
+        let t = TraceStats {
+            broadcasts: 3,
+            unicasts: 4,
+            ..TraceStats::new(1)
+        };
+        assert_eq!(t.transmissions(), 7);
+    }
+}

@@ -1,0 +1,305 @@
+//! # cbtc-viz
+//!
+//! SVG rendering of network topologies, reproducing the style of the
+//! paper's Figure 6: labelled nodes with straight-line edges.
+//!
+//! ```
+//! use cbtc_geom::Point2;
+//! use cbtc_graph::{Layout, NodeId, UndirectedGraph};
+//! use cbtc_viz::{render_svg, SvgOptions};
+//!
+//! let layout = Layout::new(vec![Point2::new(0.0, 0.0), Point2::new(100.0, 50.0)]);
+//! let mut g = UndirectedGraph::new(2);
+//! g.add_edge(NodeId::new(0), NodeId::new(1));
+//! let svg = render_svg(&layout, &g, &SvgOptions::default());
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("<line"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use cbtc_graph::{Layout, UndirectedGraph};
+
+/// Rendering options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgOptions {
+    /// Output image width in pixels (height scales with the aspect ratio).
+    pub image_width: f64,
+    /// Node dot radius in pixels.
+    pub node_radius: f64,
+    /// Whether to print node indices next to the dots (as in Figure 6).
+    pub labels: bool,
+    /// Edge stroke color.
+    pub edge_color: String,
+    /// Node fill color.
+    pub node_color: String,
+    /// Optional caption rendered under the figure.
+    pub caption: Option<String>,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            image_width: 640.0,
+            node_radius: 3.0,
+            labels: true,
+            edge_color: "#444444".to_owned(),
+            node_color: "#1f6feb".to_owned(),
+            caption: None,
+        }
+    }
+}
+
+/// Renders a topology as an SVG document string.
+///
+/// The viewport is fitted to the bounding box of the layout with a small
+/// margin; y grows upward (mathematical convention), matching the paper's
+/// figures.
+pub fn render_svg(layout: &Layout, graph: &UndirectedGraph, options: &SvgOptions) -> String {
+    assert_eq!(
+        layout.len(),
+        graph.node_count(),
+        "layout and graph node counts differ"
+    );
+    let (min_x, min_y, max_x, max_y) = bounding_box(layout);
+    let span_x = (max_x - min_x).max(1.0);
+    let span_y = (max_y - min_y).max(1.0);
+    let margin = 0.05 * span_x.max(span_y);
+    let scale = options.image_width / (span_x + 2.0 * margin);
+    let width = options.image_width;
+    let caption_space = if options.caption.is_some() { 24.0 } else { 0.0 };
+    let height = (span_y + 2.0 * margin) * scale + caption_space;
+
+    let tx = |x: f64| (x - min_x + margin) * scale;
+    // Flip y so north is up.
+    let ty = |y: f64| (max_y - y + margin) * scale;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    for (u, v) in graph.edges() {
+        let pu = layout.position(u);
+        let pv = layout.position(v);
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="{}" stroke-width="1"/>"#,
+            tx(pu.x),
+            ty(pu.y),
+            tx(pv.x),
+            ty(pv.y),
+            options.edge_color
+        );
+    }
+    for (id, p) in layout.iter() {
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{:.2}" cy="{:.2}" r="{}" fill="{}"/>"#,
+            tx(p.x),
+            ty(p.y),
+            options.node_radius,
+            options.node_color
+        );
+        if options.labels {
+            let _ = writeln!(
+                svg,
+                r##"<text x="{:.2}" y="{:.2}" font-size="9" fill="#666">{}</text>"##,
+                tx(p.x) + options.node_radius + 1.0,
+                ty(p.y) - options.node_radius - 1.0,
+                id.index()
+            );
+        }
+    }
+    if let Some(caption) = &options.caption {
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.2}" y="{:.2}" font-size="14" text-anchor="middle" fill="#000">{}</text>"##,
+            width / 2.0,
+            height - 8.0,
+            xml_escape(caption)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders several topologies over the same layout as one SVG grid —
+/// the presentation of the paper's Figure 6 (panels (a) through (h)).
+///
+/// `columns` panels per row; each panel is rendered with its caption via
+/// [`render_svg`] and embedded at `panel_width` pixels.
+///
+/// # Panics
+///
+/// Panics if `columns` is zero or any panel's graph disagrees with the
+/// layout size.
+pub fn render_panel_grid(
+    layout: &Layout,
+    panels: &[(String, &UndirectedGraph)],
+    columns: usize,
+    panel_width: f64,
+) -> String {
+    assert!(columns > 0, "need at least one column");
+    let options_for = |caption: &str| SvgOptions {
+        image_width: panel_width,
+        labels: false,
+        node_radius: 1.5,
+        caption: Some(caption.to_owned()),
+        ..SvgOptions::default()
+    };
+    // Render one panel to learn the uniform panel height.
+    let probe = panels
+        .first()
+        .map(|(caption, graph)| render_svg(layout, graph, &options_for(caption)))
+        .unwrap_or_default();
+    let panel_height = svg_height(&probe).unwrap_or(panel_width);
+
+    let rows = panels.len().div_ceil(columns);
+    let total_w = panel_width * columns as f64;
+    let total_h = panel_height * rows as f64;
+    let mut svg = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total_w:.0}" height="{total_h:.0}" viewBox="0 0 {total_w:.0} {total_h:.0}">"#
+    );
+    svg.push('\n');
+    for (i, (caption, graph)) in panels.iter().enumerate() {
+        let x = (i % columns) as f64 * panel_width;
+        let y = (i / columns) as f64 * panel_height;
+        let inner = render_svg(layout, graph, &options_for(caption));
+        let _ = writeln!(
+            svg,
+            r#"<g transform="translate({x:.0}, {y:.0})">{}</g>"#,
+            strip_svg_envelope(&inner)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Extracts the `height` attribute of a rendered SVG document.
+fn svg_height(svg: &str) -> Option<f64> {
+    let start = svg.find("height=\"")? + "height=\"".len();
+    let end = svg[start..].find('"')? + start;
+    svg[start..end].parse().ok()
+}
+
+/// Removes the outer `<svg …>` / `</svg>` wrapper, keeping the content for
+/// embedding in a group.
+fn strip_svg_envelope(svg: &str) -> &str {
+    let open_end = svg.find('>').map(|i| i + 1).unwrap_or(0);
+    let close_start = svg.rfind("</svg>").unwrap_or(svg.len());
+    &svg[open_end..close_start]
+}
+
+fn bounding_box(layout: &Layout) -> (f64, f64, f64, f64) {
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for (_, p) in layout.iter() {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    if layout.is_empty() {
+        (0.0, 0.0, 1.0, 1.0)
+    } else {
+        (min_x, min_y, max_x, max_y)
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbtc_geom::Point2;
+    use cbtc_graph::NodeId;
+
+    fn sample() -> (Layout, UndirectedGraph) {
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(100.0, 0.0),
+            Point2::new(50.0, 80.0),
+        ]);
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(1), NodeId::new(2));
+        (layout, g)
+    }
+
+    #[test]
+    fn renders_all_elements() {
+        let (layout, g) = sample();
+        let svg = render_svg(&layout, &g, &SvgOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<line").count(), 2);
+        assert_eq!(svg.matches("<text").count(), 3); // labels
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn labels_and_caption_optional() {
+        let (layout, g) = sample();
+        let options = SvgOptions {
+            labels: false,
+            caption: Some("CBTC(5π/6) & <test>".to_owned()),
+            ..SvgOptions::default()
+        };
+        let svg = render_svg(&layout, &g, &options);
+        assert_eq!(svg.matches("<text").count(), 1); // caption only
+        assert!(svg.contains("&lt;test&gt;"));
+    }
+
+    #[test]
+    fn empty_layout_renders() {
+        let svg = render_svg(&Layout::default(), &UndirectedGraph::new(0), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "node counts differ")]
+    fn mismatched_inputs_rejected() {
+        let (layout, _) = sample();
+        let _ = render_svg(&layout, &UndirectedGraph::new(5), &SvgOptions::default());
+    }
+
+    #[test]
+    fn panel_grid_composes_panels() {
+        let (layout, g) = sample();
+        let empty = UndirectedGraph::new(3);
+        let panels = vec![
+            ("(a) full".to_owned(), &g),
+            ("(b) empty".to_owned(), &empty),
+            ("(c) full again".to_owned(), &g),
+        ];
+        let grid = render_panel_grid(&layout, &panels, 2, 300.0);
+        assert!(grid.starts_with("<svg"));
+        assert!(grid.ends_with("</svg>\n"));
+        // Three embedded groups, one per panel.
+        assert_eq!(grid.matches("<g transform=").count(), 3);
+        // Captions survive embedding.
+        assert!(grid.contains("(a) full"));
+        assert!(grid.contains("(b) empty"));
+        // Two panels' worth of edges (2 + 0 + 2 lines).
+        assert_eq!(grid.matches("<line").count(), 4);
+        // Exactly one outer svg element plus no nested <svg>.
+        assert_eq!(grid.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_columns_rejected() {
+        let (layout, g) = sample();
+        let panels = vec![("x".to_owned(), &g)];
+        let _ = render_panel_grid(&layout, &panels, 0, 100.0);
+    }
+}

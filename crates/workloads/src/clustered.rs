@@ -1,0 +1,137 @@
+//! Clustered placement: dense groups with sparse interconnects.
+//!
+//! Topology control matters most when density varies — §5's Figure 6 shows
+//! nodes "in the dense areas" reducing their radii. This generator makes
+//! the contrast explicit: Gaussian clusters whose centers are spread
+//! uniformly over the field.
+
+use cbtc_core::Network;
+use cbtc_geom::Point2;
+use cbtc_graph::Layout;
+use cbtc_radio::PowerLaw;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Places `clusters × nodes_per_cluster` nodes as Gaussian blobs.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_workloads::ClusteredPlacement;
+///
+/// let gen = ClusteredPlacement::new(4, 10, 80.0, 1500.0, 1500.0, 500.0);
+/// let net = gen.generate(1);
+/// assert_eq!(net.len(), 40);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteredPlacement {
+    clusters: usize,
+    nodes_per_cluster: usize,
+    spread: f64,
+    width: f64,
+    height: f64,
+    max_range: f64,
+}
+
+impl ClusteredPlacement {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive dimensions, spread or range.
+    pub fn new(
+        clusters: usize,
+        nodes_per_cluster: usize,
+        spread: f64,
+        width: f64,
+        height: f64,
+        max_range: f64,
+    ) -> Self {
+        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        assert!(spread > 0.0, "cluster spread must be positive");
+        assert!(max_range >= 1.0, "max range must be at least 1");
+        ClusteredPlacement {
+            clusters,
+            nodes_per_cluster,
+            spread,
+            width,
+            height,
+            max_range,
+        }
+    }
+
+    /// Generates the layout only.
+    pub fn generate_layout(&self, seed: u64) -> Layout {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::with_capacity(self.clusters * self.nodes_per_cluster);
+        for _ in 0..self.clusters {
+            let cx = rng.gen_range(0.0..self.width);
+            let cy = rng.gen_range(0.0..self.height);
+            for _ in 0..self.nodes_per_cluster {
+                // Box-Muller normal deviates, clamped into the field.
+                let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen());
+                let mag = self.spread * (-2.0 * u1.ln()).sqrt();
+                let x = cx + mag * (std::f64::consts::TAU * u2).cos();
+                let y = cy + mag * (std::f64::consts::TAU * u2).sin();
+                points.push(Point2::new(
+                    x.clamp(0.0, self.width),
+                    y.clamp(0.0, self.height),
+                ));
+            }
+        }
+        Layout::new(points)
+    }
+
+    /// Generates a full network with the free-space radio.
+    pub fn generate(&self, seed: u64) -> Network {
+        let model = PowerLaw::new(2.0, 1.0, self.max_range).expect("validated parameters");
+        Network::new(self.generate_layout(seed), model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_count_inside_field() {
+        let gen = ClusteredPlacement::new(3, 7, 50.0, 1000.0, 800.0, 400.0);
+        let layout = gen.generate_layout(9);
+        assert_eq!(layout.len(), 21);
+        for (_, p) in layout.iter() {
+            assert!((0.0..=1000.0).contains(&p.x));
+            assert!((0.0..=800.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn clusters_are_denser_than_uniform() {
+        // Mean nearest-neighbor distance in clusters must be well below
+        // that of a uniform layout with the same node count.
+        let n = 60;
+        let clustered = ClusteredPlacement::new(6, 10, 40.0, 1500.0, 1500.0, 500.0)
+            .generate_layout(5);
+        let uniform =
+            crate::RandomPlacement::new(n, 1500.0, 1500.0, 500.0).generate_layout(5);
+        let mean_nn = |l: &Layout| {
+            let mut total = 0.0;
+            for (u, pu) in l.iter() {
+                let nn = l
+                    .iter()
+                    .filter(|(v, _)| *v != u)
+                    .map(|(_, pv)| pu.distance(pv))
+                    .fold(f64::INFINITY, f64::min);
+                total += nn;
+            }
+            total / l.len() as f64
+        };
+        assert!(mean_nn(&clustered) < mean_nn(&uniform) * 0.8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let gen = ClusteredPlacement::new(2, 5, 30.0, 500.0, 500.0, 250.0);
+        assert_eq!(gen.generate_layout(3), gen.generate_layout(3));
+    }
+}

@@ -1,0 +1,115 @@
+//! Jittered grid placement.
+//!
+//! A near-regular deployment (sensor rows with placement error) — the
+//! regime where CBTC's per-node radii become nearly uniform.
+
+use cbtc_core::Network;
+use cbtc_geom::Point2;
+use cbtc_graph::Layout;
+use cbtc_radio::PowerLaw;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Places `cols × rows` nodes on a grid with uniform jitter.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_workloads::GridPlacement;
+///
+/// let gen = GridPlacement::new(5, 4, 100.0, 10.0, 500.0);
+/// assert_eq!(gen.generate(0).len(), 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPlacement {
+    cols: usize,
+    rows: usize,
+    spacing: f64,
+    jitter: f64,
+    max_range: f64,
+}
+
+impl GridPlacement {
+    /// Creates a generator; `jitter` is the maximum per-axis displacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive spacing, negative jitter, or range below 1.
+    pub fn new(cols: usize, rows: usize, spacing: f64, jitter: f64, max_range: f64) -> Self {
+        assert!(spacing > 0.0, "spacing must be positive");
+        assert!(jitter >= 0.0, "jitter must be non-negative");
+        assert!(max_range >= 1.0, "max range must be at least 1");
+        GridPlacement {
+            cols,
+            rows,
+            spacing,
+            jitter,
+            max_range,
+        }
+    }
+
+    /// Generates the layout only.
+    pub fn generate_layout(&self, seed: u64) -> Layout {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::with_capacity(self.cols * self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let jx = if self.jitter > 0.0 {
+                    rng.gen_range(-self.jitter..self.jitter)
+                } else {
+                    0.0
+                };
+                let jy = if self.jitter > 0.0 {
+                    rng.gen_range(-self.jitter..self.jitter)
+                } else {
+                    0.0
+                };
+                points.push(Point2::new(
+                    c as f64 * self.spacing + jx,
+                    r as f64 * self.spacing + jy,
+                ));
+            }
+        }
+        Layout::new(points)
+    }
+
+    /// Generates a full network with the free-space radio.
+    pub fn generate(&self, seed: u64) -> Network {
+        let model = PowerLaw::new(2.0, 1.0, self.max_range).expect("validated parameters");
+        Network::new(self.generate_layout(seed), model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_jitter_is_exact_grid() {
+        let layout = GridPlacement::new(3, 2, 50.0, 0.0, 500.0).generate_layout(1);
+        assert_eq!(layout.len(), 6);
+        assert_eq!(layout.position(cbtc_graph::NodeId::new(0)), Point2::new(0.0, 0.0));
+        assert_eq!(
+            layout.position(cbtc_graph::NodeId::new(4)),
+            Point2::new(50.0, 50.0)
+        );
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let layout = GridPlacement::new(4, 4, 100.0, 5.0, 500.0).generate_layout(2);
+        for (i, (_, p)) in layout.iter().enumerate() {
+            let gx = (i % 4) as f64 * 100.0;
+            let gy = (i / 4) as f64 * 100.0;
+            assert!((p.x - gx).abs() < 5.0);
+            assert!((p.y - gy).abs() < 5.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let gen = GridPlacement::new(3, 3, 80.0, 20.0, 400.0);
+        assert_eq!(gen.generate_layout(11), gen.generate_layout(11));
+    }
+}

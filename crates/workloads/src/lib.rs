@@ -1,0 +1,28 @@
+//! # cbtc-workloads
+//!
+//! Scenario generators for CBTC experiments.
+//!
+//! The paper's evaluation (§5) uses *"100 random networks, each with 100
+//! nodes … randomly placed in a 1500 × 1500 rectangular region. Each node
+//! has a maximum transmission radius of 500."* That setup is
+//! [`Scenario::paper_default`]; [`RandomPlacement`] realizes it for any
+//! seed. Clustered and jittered-grid placements cover the dense/sparse
+//! regimes the paper's introduction motivates, and [`RandomWaypoint`]
+//! supplies the mobility for §4 reconfiguration experiments.
+//!
+//! All generators are deterministic in their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clustered;
+mod grid;
+mod mobility;
+mod random;
+mod scenario;
+
+pub use clustered::ClusteredPlacement;
+pub use grid::GridPlacement;
+pub use mobility::RandomWaypoint;
+pub use random::RandomPlacement;
+pub use scenario::Scenario;

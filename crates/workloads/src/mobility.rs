@@ -1,0 +1,234 @@
+//! Random-waypoint mobility, for the §4 reconfiguration experiments.
+
+use cbtc_geom::Point2;
+use cbtc_graph::{Layout, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-node motion state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Waypoint {
+    target: Point2,
+    speed: f64,
+    pause_left: f64,
+}
+
+/// The classic random-waypoint model: each node picks a uniform target in
+/// the field, moves to it at a uniform-random speed, pauses, repeats.
+///
+/// Drive it with [`RandomWaypoint::advance`], which mutates a [`Layout`]
+/// in place; combine with `Engine::move_node` to feed the simulator.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::Point2;
+/// use cbtc_graph::Layout;
+/// use cbtc_workloads::RandomWaypoint;
+///
+/// let mut layout = Layout::new(vec![Point2::new(0.0, 0.0); 3]);
+/// let mut model = RandomWaypoint::new(1000.0, 1000.0, 5.0, 15.0, 0.0, 3, 42);
+/// model.advance(&mut layout, 10.0);
+/// // Nodes moved (speed ≥ 5 for 10 time units).
+/// assert!(layout.iter().any(|(_, p)| p.distance(Point2::new(0.0, 0.0)) > 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypoint {
+    width: f64,
+    height: f64,
+    speed_min: f64,
+    speed_max: f64,
+    pause: f64,
+    states: Vec<Option<Waypoint>>,
+    rng_state: u64,
+}
+
+impl RandomWaypoint {
+    /// Creates a model for `node_count` nodes roaming a `width × height`
+    /// field at speeds in `[speed_min, speed_max]` with `pause` time at
+    /// each waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive dimensions, invalid speed range, or negative
+    /// pause.
+    pub fn new(
+        width: f64,
+        height: f64,
+        speed_min: f64,
+        speed_max: f64,
+        pause: f64,
+        node_count: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        assert!(
+            speed_min > 0.0 && speed_min <= speed_max,
+            "need 0 < speed_min ≤ speed_max"
+        );
+        assert!(pause >= 0.0, "pause must be non-negative");
+        RandomWaypoint {
+            width,
+            height,
+            speed_min,
+            speed_max,
+            pause,
+            states: vec![None; node_count],
+            rng_state: seed,
+        }
+    }
+
+    fn rng(&mut self) -> StdRng {
+        // Evolve the stored state so successive draws differ but the whole
+        // trajectory is a pure function of the seed.
+        self.rng_state = self
+            .rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        StdRng::seed_from_u64(self.rng_state)
+    }
+
+    fn fresh_waypoint(&mut self) -> Waypoint {
+        let mut rng = self.rng();
+        Waypoint {
+            target: Point2::new(
+                rng.gen_range(0.0..self.width),
+                rng.gen_range(0.0..self.height),
+            ),
+            speed: if self.speed_min == self.speed_max {
+                self.speed_min
+            } else {
+                rng.gen_range(self.speed_min..self.speed_max)
+            },
+            pause_left: 0.0,
+        }
+    }
+
+    /// Advances every node by `dt` time units, mutating the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout size does not match the model's node count or
+    /// `dt` is not positive.
+    pub fn advance(&mut self, layout: &mut Layout, dt: f64) {
+        assert_eq!(layout.len(), self.states.len(), "layout/model size mismatch");
+        assert!(dt > 0.0, "dt must be positive");
+        for i in 0..self.states.len() {
+            let id = NodeId::new(i as u32);
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                let state = match self.states[i] {
+                    Some(s) => s,
+                    None => {
+                        let w = self.fresh_waypoint();
+                        self.states[i] = Some(w);
+                        w
+                    }
+                };
+                if state.pause_left > 0.0 {
+                    let wait = state.pause_left.min(remaining);
+                    self.states[i] = Some(Waypoint {
+                        pause_left: state.pause_left - wait,
+                        ..state
+                    });
+                    remaining -= wait;
+                    if remaining <= 0.0 {
+                        break;
+                    }
+                    // Pause over: pick the next waypoint.
+                    self.states[i] = Some(self.fresh_waypoint());
+                    continue;
+                }
+                let pos = layout.position(id);
+                let to_target = state.target - pos;
+                let dist = to_target.norm();
+                let step = state.speed * remaining;
+                if step >= dist {
+                    // Arrive and start pausing.
+                    layout.set_position(id, state.target);
+                    remaining -= if state.speed > 0.0 { dist / state.speed } else { remaining };
+                    self.states[i] = Some(Waypoint {
+                        pause_left: self.pause,
+                        ..state
+                    });
+                    if self.pause == 0.0 {
+                        self.states[i] = Some(self.fresh_waypoint());
+                    }
+                } else {
+                    layout.set_position(id, pos + to_target * (step / dist));
+                    remaining = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed_layout(n: usize) -> Layout {
+        Layout::new(vec![Point2::new(500.0, 500.0); n])
+    }
+
+    #[test]
+    fn nodes_stay_in_field() {
+        let mut layout = boxed_layout(10);
+        let mut model = RandomWaypoint::new(1000.0, 1000.0, 1.0, 20.0, 2.0, 10, 7);
+        for _ in 0..50 {
+            model.advance(&mut layout, 5.0);
+            for (_, p) in layout.iter() {
+                assert!((0.0..=1000.0).contains(&p.x), "x out of field: {p}");
+                assert!((0.0..=1000.0).contains(&p.y), "y out of field: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn movement_bounded_by_speed() {
+        let mut layout = boxed_layout(5);
+        let mut model = RandomWaypoint::new(1000.0, 1000.0, 2.0, 10.0, 0.0, 5, 3);
+        let before: Vec<Point2> = layout.iter().map(|(_, p)| p).collect();
+        model.advance(&mut layout, 4.0);
+        for (i, (_, after)) in layout.iter().enumerate() {
+            assert!(
+                before[i].distance(after) <= 10.0 * 4.0 + 1e-9,
+                "node {i} moved too far"
+            );
+        }
+    }
+
+    #[test]
+    fn pause_halts_motion() {
+        let mut layout = boxed_layout(1);
+        // Huge speed: the node reaches its waypoint almost immediately,
+        // then pauses for 100 time units.
+        let mut model = RandomWaypoint::new(1000.0, 1000.0, 1e6, 1e6, 100.0, 1, 5);
+        model.advance(&mut layout, 1.0);
+        let at_waypoint = layout.position(NodeId::new(0));
+        model.advance(&mut layout, 10.0);
+        assert_eq!(layout.position(NodeId::new(0)), at_waypoint);
+    }
+
+    #[test]
+    fn deterministic_trajectories() {
+        let run = || {
+            let mut layout = boxed_layout(4);
+            let mut model = RandomWaypoint::new(800.0, 800.0, 1.0, 5.0, 1.0, 4, 11);
+            for _ in 0..20 {
+                model.advance(&mut layout, 3.0);
+            }
+            layout
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_rejected() {
+        let mut layout = boxed_layout(3);
+        let mut model = RandomWaypoint::new(800.0, 800.0, 1.0, 5.0, 1.0, 4, 1);
+        model.advance(&mut layout, 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Uniform random placement — the paper's workload.
+
+use cbtc_core::Network;
+use cbtc_geom::Point2;
+use cbtc_graph::Layout;
+use cbtc_radio::PowerLaw;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::Scenario;
+
+/// Places nodes uniformly at random in a rectangle, as in §5 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_workloads::{RandomPlacement, Scenario};
+///
+/// let gen = RandomPlacement::from_scenario(&Scenario::smoke());
+/// let net = gen.generate(7);
+/// assert_eq!(net.len(), 25);
+/// // Determinism: same seed, same network.
+/// assert_eq!(net, gen.generate(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomPlacement {
+    node_count: usize,
+    width: f64,
+    height: f64,
+    max_range: f64,
+    exponent: f64,
+}
+
+impl RandomPlacement {
+    /// A generator for `node_count` nodes in a `width × height` field with
+    /// radio range `max_range` (free-space exponent 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive dimensions or range.
+    pub fn new(node_count: usize, width: f64, height: f64, max_range: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        assert!(max_range >= 1.0, "max range must be at least 1");
+        RandomPlacement {
+            node_count,
+            width,
+            height,
+            max_range,
+            exponent: 2.0,
+        }
+    }
+
+    /// A generator matching a [`Scenario`].
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        RandomPlacement::new(
+            scenario.node_count,
+            scenario.width,
+            scenario.height,
+            scenario.max_range,
+        )
+    }
+
+    /// Sets the path-loss exponent of the generated networks' radio model.
+    pub fn with_exponent(mut self, exponent: f64) -> Self {
+        self.exponent = exponent;
+        self
+    }
+
+    /// Generates the layout only.
+    pub fn generate_layout(&self, seed: u64) -> Layout {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Layout::new(
+            (0..self.node_count)
+                .map(|_| {
+                    Point2::new(
+                        rng.gen_range(0.0..self.width),
+                        rng.gen_range(0.0..self.height),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Generates a full network (layout + radio model).
+    pub fn generate(&self, seed: u64) -> Network {
+        let model = PowerLaw::new(self.exponent, 1.0, self.max_range)
+            .expect("validated parameters");
+        Network::new(self.generate_layout(seed), model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_inside_field() {
+        let gen = RandomPlacement::new(200, 1500.0, 1000.0, 500.0);
+        let layout = gen.generate_layout(42);
+        assert_eq!(layout.len(), 200);
+        for (_, p) in layout.iter() {
+            assert!((0.0..1500.0).contains(&p.x));
+            assert!((0.0..1000.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen = RandomPlacement::new(10, 100.0, 100.0, 50.0);
+        assert_ne!(gen.generate_layout(1), gen.generate_layout(2));
+    }
+
+    #[test]
+    fn paper_scenario_roundtrip() {
+        let gen = RandomPlacement::from_scenario(&Scenario::paper_default());
+        let net = gen.generate(0);
+        assert_eq!(net.len(), 100);
+        assert_eq!(net.max_range(), 500.0);
+    }
+
+    #[test]
+    fn exponent_override() {
+        let gen = RandomPlacement::new(5, 100.0, 100.0, 50.0).with_exponent(4.0);
+        let net = gen.generate(3);
+        assert_eq!(net.model().exponent(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn bad_dimensions_rejected() {
+        let _ = RandomPlacement::new(5, 0.0, 100.0, 50.0);
+    }
+}

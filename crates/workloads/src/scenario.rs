@@ -1,0 +1,114 @@
+//! Named experiment scenarios.
+
+use serde::{Deserialize, Serialize};
+
+/// The parameters of a randomized experiment: field size, node count,
+/// radio range and number of trials.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_workloads::Scenario;
+///
+/// let s = Scenario::paper_default();
+/// assert_eq!(s.node_count, 100);
+/// assert_eq!((s.width, s.height), (1500.0, 1500.0));
+/// assert_eq!(s.max_range, 500.0);
+/// assert_eq!(s.trials, 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name, used in experiment output.
+    pub name: String,
+    /// Nodes per network.
+    pub node_count: usize,
+    /// Field width.
+    pub width: f64,
+    /// Field height.
+    pub height: f64,
+    /// Maximum transmission radius `R`.
+    pub max_range: f64,
+    /// Number of random networks to average over.
+    pub trials: u32,
+}
+
+impl Scenario {
+    /// The paper's §5 setup: 100 networks × 100 nodes, 1500×1500 field,
+    /// `R = 500`.
+    pub fn paper_default() -> Self {
+        Scenario {
+            name: "paper-default".to_owned(),
+            node_count: 100,
+            width: 1500.0,
+            height: 1500.0,
+            max_range: 500.0,
+            trials: 100,
+        }
+    }
+
+    /// A denser variant (twice the nodes on the same field) for ablations.
+    pub fn dense() -> Self {
+        Scenario {
+            name: "dense".to_owned(),
+            node_count: 200,
+            ..Scenario::paper_default()
+        }
+    }
+
+    /// A sparser variant (half the nodes) where boundary effects dominate.
+    pub fn sparse() -> Self {
+        Scenario {
+            name: "sparse".to_owned(),
+            node_count: 50,
+            ..Scenario::paper_default()
+        }
+    }
+
+    /// A small, quick scenario for smoke tests and doc examples.
+    pub fn smoke() -> Self {
+        Scenario {
+            name: "smoke".to_owned(),
+            node_count: 25,
+            width: 800.0,
+            height: 800.0,
+            max_range: 500.0,
+            trials: 5,
+        }
+    }
+
+    /// Per-trial seeds: `base_seed + trial` for `trial ∈ 0..trials`.
+    pub fn seeds(&self, base_seed: u64) -> impl Iterator<Item = u64> + '_ {
+        (0..self.trials as u64).map(move |t| base_seed + t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for s in [
+            Scenario::paper_default(),
+            Scenario::dense(),
+            Scenario::sparse(),
+            Scenario::smoke(),
+        ] {
+            assert!(s.node_count > 0);
+            assert!(s.width > 0.0 && s.height > 0.0);
+            assert!(s.max_range > 0.0);
+            assert!(s.trials > 0);
+            assert!(!s.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let s = Scenario::smoke();
+        let a: Vec<u64> = s.seeds(1000).collect();
+        let b: Vec<u64> = s.seeds(1000).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, vec![1000, 1001, 1002, 1003, 1004]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the scenario generators.
+
+use cbtc_geom::Point2;
+use cbtc_graph::Layout;
+use cbtc_workloads::{ClusteredPlacement, GridPlacement, RandomPlacement, RandomWaypoint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_placement_is_in_field_and_deterministic(
+        n in 1usize..60,
+        w in 10.0f64..2000.0,
+        h in 10.0f64..2000.0,
+        seed in 0u64..1000,
+    ) {
+        let gen = RandomPlacement::new(n, w, h, 100.0);
+        let a = gen.generate_layout(seed);
+        prop_assert_eq!(a.len(), n);
+        for (_, p) in a.iter() {
+            prop_assert!((0.0..w).contains(&p.x));
+            prop_assert!((0.0..h).contains(&p.y));
+        }
+        prop_assert_eq!(a, gen.generate_layout(seed));
+    }
+
+    #[test]
+    fn clustered_placement_in_field(
+        clusters in 1usize..6,
+        per in 1usize..12,
+        spread in 1.0f64..200.0,
+        seed in 0u64..100,
+    ) {
+        let gen = ClusteredPlacement::new(clusters, per, spread, 1000.0, 800.0, 400.0);
+        let layout = gen.generate_layout(seed);
+        prop_assert_eq!(layout.len(), clusters * per);
+        for (_, p) in layout.iter() {
+            prop_assert!((0.0..=1000.0).contains(&p.x));
+            prop_assert!((0.0..=800.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn grid_jitter_bounded(
+        cols in 1usize..8,
+        rows in 1usize..8,
+        jitter in 0.0f64..30.0,
+        seed in 0u64..100,
+    ) {
+        let spacing = 100.0;
+        let layout = GridPlacement::new(cols, rows, spacing, jitter, 400.0).generate_layout(seed);
+        prop_assert_eq!(layout.len(), cols * rows);
+        for (i, (_, p)) in layout.iter().enumerate() {
+            let gx = (i % cols) as f64 * spacing;
+            let gy = (i / cols) as f64 * spacing;
+            prop_assert!((p.x - gx).abs() <= jitter + 1e-9);
+            prop_assert!((p.y - gy).abs() <= jitter + 1e-9);
+        }
+    }
+
+    #[test]
+    fn waypoint_motion_stays_in_field_and_respects_speed(
+        n in 1usize..10,
+        speed_max in 1.0f64..50.0,
+        dt in 0.1f64..20.0,
+        steps in 1usize..15,
+        seed in 0u64..50,
+    ) {
+        let side = 500.0;
+        let mut layout = Layout::new(vec![Point2::new(side / 2.0, side / 2.0); n]);
+        let mut model = RandomWaypoint::new(side, side, 0.5, speed_max, 1.0, n, seed);
+        for _ in 0..steps {
+            let before: Vec<Point2> = layout.iter().map(|(_, p)| p).collect();
+            model.advance(&mut layout, dt);
+            for (i, (_, after)) in layout.iter().enumerate() {
+                prop_assert!((0.0..=side).contains(&after.x));
+                prop_assert!((0.0..=side).contains(&after.y));
+                prop_assert!(
+                    before[i].distance(after) <= speed_max * dt + 1e-6,
+                    "node {i} exceeded its speed limit"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Renders one random network under the eight configurations of the
+//! paper's Figure 6 as SVG files in `out/figure6/`.
+//!
+//! ```sh
+//! cargo run --example figure_topologies
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use cbtc::core::{run_centralized, CbtcConfig, Network};
+use cbtc::geom::Alpha;
+use cbtc::graph::metrics;
+use cbtc::viz::{render_svg, SvgOptions};
+use cbtc::workloads::{RandomPlacement, Scenario};
+
+fn main() -> std::io::Result<()> {
+    let scenario = Scenario::paper_default();
+    let network: Network = RandomPlacement::from_scenario(&scenario).generate(1);
+    let out_dir = Path::new("out/figure6");
+    fs::create_dir_all(out_dir)?;
+
+    let a56 = Alpha::FIVE_PI_SIXTHS;
+    let a23 = Alpha::TWO_PI_THIRDS;
+    let panels: Vec<(&str, String, Option<CbtcConfig>)> = vec![
+        ("a_no_topology_control", "(a) no topology control".into(), None),
+        ("b_basic_2pi3", "(b) α=2π/3, basic".into(), Some(CbtcConfig::new(a23))),
+        ("c_basic_5pi6", "(c) α=5π/6, basic".into(), Some(CbtcConfig::new(a56))),
+        (
+            "d_shrink_2pi3",
+            "(d) α=2π/3 with shrink-back".into(),
+            Some(CbtcConfig::new(a23).with_shrink_back()),
+        ),
+        (
+            "e_shrink_5pi6",
+            "(e) α=5π/6 with shrink-back".into(),
+            Some(CbtcConfig::new(a56).with_shrink_back()),
+        ),
+        (
+            "f_shrink_asym_2pi3",
+            "(f) α=2π/3, shrink-back + asymmetric removal".into(),
+            Some(
+                CbtcConfig::new(a23)
+                    .with_shrink_back()
+                    .with_asymmetric_removal()
+                    .expect("2π/3 supports asymmetric removal"),
+            ),
+        ),
+        (
+            "g_all_5pi6",
+            "(g) α=5π/6 with all applicable optimizations".into(),
+            Some(CbtcConfig::all_applicable(a56)),
+        ),
+        (
+            "h_all_2pi3",
+            "(h) α=2π/3 with all optimizations".into(),
+            Some(CbtcConfig::all_applicable(a23)),
+        ),
+    ];
+
+    println!("{:<28} {:>8} {:>10} {:>12}", "panel", "edges", "avg deg", "avg radius");
+    for (file, caption, config) in panels {
+        let graph = match &config {
+            None => network.max_power_graph(),
+            Some(c) => {
+                let run = run_centralized(&network, c);
+                assert!(run.preserves_connectivity_of(&network.max_power_graph()));
+                run.final_graph().clone()
+            }
+        };
+        let options = SvgOptions {
+            caption: Some(caption.clone()),
+            ..SvgOptions::default()
+        };
+        let svg = render_svg(network.layout(), &graph, &options);
+        let path = out_dir.join(format!("{file}.svg"));
+        fs::write(&path, svg)?;
+        println!(
+            "{:<28} {:>8} {:>10.2} {:>12.1}   -> {}",
+            file,
+            graph.edge_count(),
+            metrics::average_degree(&graph),
+            metrics::average_radius(&graph, network.layout(), network.max_range()),
+            path.display()
+        );
+    }
+    println!("\nOpen the SVGs to compare with the paper's Figure 6 panels.");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! A mobile ad-hoc network under the §4 reconfiguration protocol: nodes
+//! roam (random waypoint), one crashes, one joins late — the NDP beacons
+//! and the join/leave/angle-change rules keep the topology connectivity-
+//! preserving throughout.
+//!
+//! ```sh
+//! cargo run --example mobile_network
+//! ```
+
+use cbtc::core::protocol::GrowthConfig;
+use cbtc::core::reconfig::{collect_topology, NdpConfig, ReconfigNode};
+use cbtc::geom::Alpha;
+use cbtc::graph::{connectivity, metrics, unit_disk::unit_disk_graph, NodeId};
+use cbtc::radio::{PathLoss, Power, PowerLaw, PowerSchedule};
+use cbtc::sim::{Engine, FaultConfig, SimTime};
+use cbtc::workloads::{RandomPlacement, RandomWaypoint};
+
+fn main() {
+    let count = 20;
+    let side = 900.0;
+    let model = PowerLaw::paper_default();
+    let layout = RandomPlacement::new(count, side, side, model.max_range()).generate_layout(5);
+
+    let growth = GrowthConfig {
+        alpha: Alpha::FIVE_PI_SIXTHS,
+        schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+        ack_timeout: 3,
+        model,
+    };
+    let ndp = NdpConfig::new(10, 3, 0.05);
+    let nodes: Vec<ReconfigNode> = (0..count).map(|_| ReconfigNode::new(growth, ndp)).collect();
+
+    // The last node joins only at t = 400.
+    let mut starts = vec![SimTime::ZERO; count];
+    starts[count - 1] = SimTime::new(400);
+
+    let mut engine = Engine::with_start_times(
+        layout.clone(),
+        model,
+        nodes,
+        FaultConfig::reliable_synchronous(),
+        &starts,
+    );
+    let mut mobility = RandomWaypoint::new(side, side, 0.5, 2.0, 20.0, count, 99);
+    let mut roaming_layout = layout;
+
+    // Crash node 3 at t = 600.
+    engine.schedule_crash(NodeId::new(3), SimTime::new(600));
+
+    println!("t      edges  avg-deg  partition-ok  reruns");
+    for phase in 1..=8u64 {
+        let deadline = SimTime::new(phase * 200);
+        engine.run_until(deadline);
+
+        // Roam: advance the waypoint model and push positions into the
+        // engine (the radio sees the new geometry immediately; the
+        // protocol finds out via beacons).
+        mobility.advance(&mut roaming_layout, 40.0);
+        for (id, p) in roaming_layout.iter() {
+            engine.move_node(id, p);
+        }
+        // Let the NDP catch up with the move before measuring.
+        engine.run_until(SimTime::new(phase * 200 + 150));
+
+        let topo = collect_topology(&engine);
+        // Ground truth: the unit-disk graph over live nodes.
+        let mut full = unit_disk_graph(engine.layout(), model.max_range());
+        for v in 0..count as u32 {
+            let v = NodeId::new(v);
+            if !engine.is_alive(v) || !started_by(&starts, v, engine.now()) {
+                let nbrs: Vec<NodeId> = full.neighbors(v).collect();
+                for w in nbrs {
+                    full.remove_edge(v, w);
+                }
+            }
+        }
+        let ok = connectivity::same_partition(&topo, &full);
+        let reruns: u32 = engine.nodes().iter().map(ReconfigNode::reruns).sum();
+        println!(
+            "{:<6} {:<6} {:<8.2} {:<13} {}",
+            engine.now(),
+            topo.edge_count(),
+            metrics::average_degree(&topo),
+            if ok { "yes" } else { "lagging" },
+            reruns,
+        );
+    }
+    println!("\n(\"lagging\" is expected transiently right after a move, before the");
+    println!("next beacon round detects it — §4 guarantees convergence once the");
+    println!("topology stabilizes, which the final rows demonstrate.)");
+}
+
+fn started_by(starts: &[SimTime], v: NodeId, now: SimTime) -> bool {
+    starts[v.index()] <= now
+}

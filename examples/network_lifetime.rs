@@ -1,0 +1,88 @@
+//! Network-lifetime estimate: the §1/§6 energy motivation made concrete.
+//!
+//! Every node starts with the same battery. Maintaining the topology costs
+//! each node power proportional to `radiusⁿ` per unit time (it must reach
+//! its farthest neighbor). The first battery to die marks the end of the
+//! network's full service life. Topology control multiplies that lifetime
+//! by reducing the radii — this example quantifies the factor.
+//!
+//! ```sh
+//! cargo run --example network_lifetime
+//! ```
+
+use cbtc::core::{run_centralized, CbtcConfig, Network};
+use cbtc::geom::Alpha;
+use cbtc::graph::metrics::node_radii;
+use cbtc::workloads::{RandomPlacement, Scenario};
+
+fn main() {
+    let scenario = Scenario::paper_default();
+    let exponent = 2.0;
+    let trials = 10u64;
+
+    println!(
+        "network lifetime — {} nodes, {} trials, maintenance cost ∝ radius^{exponent}\n",
+        scenario.node_count, trials
+    );
+    println!(
+        "{:<30} {:>16} {:>16}",
+        "configuration", "first-death ×", "mean-drain ×"
+    );
+
+    let configs: Vec<(&str, Option<CbtcConfig>)> = vec![
+        ("max power", None),
+        ("basic CBTC(5π/6)", Some(CbtcConfig::new(Alpha::FIVE_PI_SIXTHS))),
+        (
+            "CBTC(5π/6) + shrink-back",
+            Some(CbtcConfig::new(Alpha::FIVE_PI_SIXTHS).with_shrink_back()),
+        ),
+        (
+            "CBTC(5π/6) all applicable",
+            Some(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS)),
+        ),
+        (
+            "CBTC(2π/3) all optimizations",
+            Some(CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS)),
+        ),
+    ];
+
+    // Baseline drain: every node spends R^n per unit time.
+    let generator = RandomPlacement::from_scenario(&scenario);
+    for (label, config) in configs {
+        let mut first_death_factor = 0.0;
+        let mut mean_drain_factor = 0.0;
+        for seed in 0..trials {
+            let network: Network = generator.generate(seed);
+            let r = network.max_range();
+            let baseline_power = r.powf(exponent);
+            let radii = match &config {
+                None => vec![r; network.len()],
+                Some(c) => {
+                    let run = run_centralized(&network, c);
+                    node_radii(run.final_graph(), network.layout(), r)
+                }
+            };
+            // Lifetime until the hungriest node dies, relative to max power.
+            let worst = radii
+                .iter()
+                .map(|rad| rad.powf(exponent))
+                .fold(0.0f64, f64::max);
+            first_death_factor += baseline_power / worst.max(1.0);
+            let mean: f64 =
+                radii.iter().map(|rad| rad.powf(exponent)).sum::<f64>() / radii.len() as f64;
+            mean_drain_factor += baseline_power / mean.max(1.0);
+        }
+        println!(
+            "{:<30} {:>15.2}x {:>15.2}x",
+            label,
+            first_death_factor / trials as f64,
+            mean_drain_factor / trials as f64
+        );
+    }
+
+    println!("\nReading the table: the *first-death* column is limited by boundary");
+    println!("nodes (someone always needs a long link), while the *mean drain* shows");
+    println!("the fleet-wide saving — an order of magnitude with all optimizations.");
+    println!("This is the §6 observation that reducing per-node power tends to extend");
+    println!("network lifetime, with the caveat that worst-case nodes improve less.");
+}

@@ -1,0 +1,95 @@
+//! Walks through the paper's two exact constructions:
+//!
+//! * **Example 2.1 / Figure 2** — the neighbor relation `N_α` is not
+//!   symmetric, which is why `E_α` must take the symmetric closure;
+//! * **Theorem 2.4 / Figure 5** — for `α = 5π/6 + ε`, `CBTC(α)` can
+//!   disconnect a connected network, proving the 5π/6 threshold tight.
+//!
+//! ```sh
+//! cargo run --example paper_constructions
+//! ```
+
+use cbtc::core::{run_basic, Network};
+use cbtc::geom::constructions::{Example21, Theorem24};
+use cbtc::geom::Alpha;
+use cbtc::graph::{traversal, Layout, NodeId};
+
+fn main() {
+    example_2_1();
+    println!();
+    theorem_2_4();
+}
+
+fn example_2_1() {
+    println!("=== Example 2.1 (Figure 2): N_α is not symmetric ===\n");
+    let alpha = Alpha::FIVE_PI_SIXTHS;
+    let ex = Example21::new(500.0, alpha).expect("valid parameters");
+    println!("α = {alpha}, ε = {:.5} rad, R = {}", ex.epsilon, ex.r);
+    for (name, p) in [
+        ("u0", ex.u0),
+        ("u1", ex.u1),
+        ("u2", ex.u2),
+        ("u3", ex.u3),
+        ("v ", ex.v),
+    ] {
+        println!("  {name} at ({:8.2}, {:8.2})", p.x, p.y);
+    }
+
+    let network = Network::with_paper_radio(Layout::new(ex.points()));
+    let outcome = run_basic(&network, alpha);
+    let u0 = NodeId::new(Example21::U0 as u32);
+    let v = NodeId::new(Example21::V as u32);
+
+    println!("\nAfter running CBTC(α):");
+    println!(
+        "  N_α(u0) = {:?}  (v is NOT discovered: u0 stops at radius {:.1} < R)",
+        outcome.view(u0).neighbor_ids(),
+        outcome.view(u0).grow_radius
+    );
+    println!(
+        "  N_α(v)  = {:?}  (v is a boundary node at max power)",
+        outcome.view(v).neighbor_ids()
+    );
+    assert!(outcome.view(v).discovered(u0));
+    assert!(!outcome.view(u0).discovered(v));
+    println!("\n  ⇒ (v, u0) ∈ N_α but (u0, v) ∉ N_α — the relation is asymmetric.");
+    println!("  The symmetric closure E_α restores the edge: {}",
+        outcome.symmetric_closure().has_edge(u0, v));
+}
+
+fn theorem_2_4() {
+    println!("=== Theorem 2.4 (Figure 5): α > 5π/6 can disconnect ===\n");
+    let eps = 0.1;
+    let t = Theorem24::new(500.0, eps).expect("valid parameters");
+    println!(
+        "α = 5π/6 + {eps} = {:.4} rad, two 4-node clusters, d(u0, v0) = R exactly",
+        t.alpha.radians()
+    );
+
+    let network = Network::with_paper_radio(Layout::new(t.points()));
+    let full = network.max_power_graph();
+    println!(
+        "\nMax-power graph G_R: {} components (connected: the only bridge is u0–v0)",
+        traversal::component_count(&full)
+    );
+
+    let broken = run_basic(&network, t.alpha);
+    let g_alpha = broken.symmetric_closure();
+    println!(
+        "G_α with α = 5π/6 + ε: {} components — the bridge is GONE.",
+        traversal::component_count(&g_alpha)
+    );
+    println!(
+        "  u0 terminated at radius {:.1} < 500: its cones were covered by u1, u2, u3,",
+        broken.view(NodeId::new(0)).grow_radius
+    );
+    println!("  so it never grew far enough to find v0.");
+    assert_eq!(traversal::component_count(&g_alpha), 2);
+
+    let tight = run_basic(&network, Alpha::FIVE_PI_SIXTHS);
+    println!(
+        "\nSame layout at exactly α = 5π/6: {} component(s) — Theorem 2.1 holds.",
+        traversal::component_count(&tight.symmetric_closure())
+    );
+    assert_eq!(traversal::component_count(&tight.symmetric_closure()), 1);
+}

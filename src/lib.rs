@@ -1,0 +1,43 @@
+//! # cbtc — Cone-Based Topology Control
+//!
+//! A complete reproduction of *"Analysis of a Cone-Based Distributed
+//! Topology Control Algorithm for Wireless Multi-hop Networks"* (Li,
+//! Halpern, Bahl, Wang, Wattenhofer — PODC 2001) as a Rust workspace.
+//!
+//! This facade crate re-exports the member crates under stable names:
+//!
+//! * [`geom`] — planar geometry: angles, cones, α-gap tests, coverage;
+//! * [`radio`] — path-loss models, power schedules, channel impairments;
+//! * [`graph`] — graph substrate: unit-disk graphs, connectivity, metrics,
+//!   baseline spanners;
+//! * [`sim`] — deterministic discrete-event simulator (synchronous rounds
+//!   and asynchronous operation with faults);
+//! * [`core`] — the CBTC algorithm itself: centralized reference,
+//!   distributed protocol, the three optimizations and reconfiguration;
+//! * [`workloads`] — scenario generators (the paper's random networks,
+//!   mobility);
+//! * [`viz`] — SVG rendering of topologies (Figure 6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cbtc::core::{CbtcConfig, run_centralized};
+//! use cbtc::geom::Alpha;
+//! use cbtc::workloads::{RandomPlacement, Scenario};
+//!
+//! // The paper's setup: 100 nodes in a 1500×1500 field, max radius 500.
+//! let scenario = Scenario::paper_default();
+//! let network = RandomPlacement::from_scenario(&scenario).generate(42);
+//! let outcome = run_centralized(&network, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS));
+//!
+//! // Theorem 2.1: connectivity of the max-power graph is preserved.
+//! assert!(outcome.preserves_connectivity_of(&network.max_power_graph()));
+//! ```
+
+pub use cbtc_core as core;
+pub use cbtc_geom as geom;
+pub use cbtc_graph as graph;
+pub use cbtc_radio as radio;
+pub use cbtc_sim as sim;
+pub use cbtc_viz as viz;
+pub use cbtc_workloads as workloads;

@@ -1,0 +1,212 @@
+//! Integration tests for the distributed protocol against the centralized
+//! reference, at paper scale and under the §4 asynchronous/faulty models.
+
+use cbtc::core::opt::shrink_back;
+use cbtc::core::protocol::{collect_outcome, collect_symmetric_core, CbtcNode, GrowthConfig};
+use cbtc::core::{run_basic, Network};
+use cbtc::geom::Alpha;
+use cbtc::graph::connectivity::preserves_connectivity;
+use cbtc::radio::{PathLoss, Power, PowerLaw, PowerSchedule};
+use cbtc::sim::{Engine, FaultConfig, QuiescenceResult};
+use cbtc::workloads::{RandomPlacement, Scenario};
+
+fn growth_config(alpha: Alpha, ack_timeout: u64) -> GrowthConfig {
+    let model = PowerLaw::paper_default();
+    GrowthConfig {
+        alpha,
+        schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+        ack_timeout,
+        model,
+    }
+}
+
+fn run_distributed(
+    network: &Network,
+    alpha: Alpha,
+    notify: bool,
+    faults: FaultConfig,
+    ack_timeout: u64,
+) -> Engine<CbtcNode, PowerLaw> {
+    let nodes = (0..network.len())
+        .map(|_| CbtcNode::new(growth_config(alpha, ack_timeout), notify))
+        .collect();
+    let mut engine = Engine::new(
+        network.layout().clone(),
+        *network.model(),
+        nodes,
+        faults,
+    );
+    let result = engine.run_to_quiescence(10_000_000);
+    assert!(matches!(result, QuiescenceResult::Quiescent(_)));
+    engine
+}
+
+#[test]
+fn paper_scale_distributed_equals_centralized_after_shrink() {
+    // Full 100-node paper networks.
+    for seed in [0, 1] {
+        let network = RandomPlacement::from_scenario(&Scenario::paper_default()).generate(seed);
+        for alpha in [Alpha::FIVE_PI_SIXTHS, Alpha::TWO_PI_THIRDS] {
+            let engine = run_distributed(
+                &network,
+                alpha,
+                false,
+                FaultConfig::reliable_synchronous(),
+                3,
+            );
+            let distributed = shrink_back(&collect_outcome(&engine));
+            let centralized = shrink_back(&run_basic(&network, alpha));
+            for u in network.layout().node_ids() {
+                assert_eq!(
+                    distributed.view(u).neighbor_ids(),
+                    centralized.view(u).neighbor_ids(),
+                    "seed {seed}, α {alpha}, node {u}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_closure_preserves_connectivity_at_paper_scale() {
+    let network = RandomPlacement::from_scenario(&Scenario::paper_default()).generate(2);
+    let full = network.max_power_graph();
+    let engine = run_distributed(
+        &network,
+        Alpha::FIVE_PI_SIXTHS,
+        false,
+        FaultConfig::reliable_synchronous(),
+        3,
+    );
+    let g = collect_outcome(&engine).symmetric_closure();
+    assert!(preserves_connectivity(&g, &full));
+}
+
+#[test]
+fn remove_me_phase_core_preserves_connectivity() {
+    let network = RandomPlacement::from_scenario(&Scenario::paper_default()).generate(3);
+    let full = network.max_power_graph();
+    let engine = run_distributed(
+        &network,
+        Alpha::TWO_PI_THIRDS,
+        true,
+        FaultConfig::reliable_synchronous(),
+        3,
+    );
+    let core = collect_symmetric_core(&engine);
+    assert!(preserves_connectivity(&core, &full));
+    // The distributed message-based core equals the mutual closure of the
+    // distributed relation.
+    assert_eq!(
+        core.edges().collect::<Vec<_>>(),
+        collect_outcome(&engine).symmetric_core().edges().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn async_jitter_does_not_change_the_outcome() {
+    let network = RandomPlacement::new(40, 1200.0, 1200.0, 500.0).generate(4);
+    let alpha = Alpha::FIVE_PI_SIXTHS;
+    let sync_engine = run_distributed(
+        &network,
+        alpha,
+        false,
+        FaultConfig::reliable_synchronous(),
+        3,
+    );
+    // Latency up to 5 ticks, timeout 2·5+1.
+    let async_engine = run_distributed(
+        &network,
+        alpha,
+        false,
+        FaultConfig::asynchronous(1, 5, 321),
+        11,
+    );
+    let a = shrink_back(&collect_outcome(&sync_engine));
+    let b = shrink_back(&collect_outcome(&async_engine));
+    for u in network.layout().node_ids() {
+        assert_eq!(
+            a.view(u).neighbor_ids(),
+            b.view(u).neighbor_ids(),
+            "async jitter changed node {u}'s outcome"
+        );
+    }
+}
+
+#[test]
+fn energy_favors_larger_alpha() {
+    // §5: CBTC(5π/6) terminates sooner than CBTC(2π/3) and expends less
+    // energy during execution (pu,5π/6 < pu,2π/3).
+    let network = RandomPlacement::from_scenario(&Scenario::paper_default()).generate(5);
+    let e56 = run_distributed(
+        &network,
+        Alpha::FIVE_PI_SIXTHS,
+        false,
+        FaultConfig::reliable_synchronous(),
+        3,
+    );
+    let e23 = run_distributed(
+        &network,
+        Alpha::TWO_PI_THIRDS,
+        false,
+        FaultConfig::reliable_synchronous(),
+        3,
+    );
+    assert!(
+        e56.stats().energy_spent <= e23.stats().energy_spent,
+        "5π/6 should radiate no more energy than 2π/3 during execution ({:.3e} vs {:.3e})",
+        e56.stats().energy_spent,
+        e23.stats().energy_spent
+    );
+    assert!(
+        e56.stats().last_event_time <= e23.stats().last_event_time,
+        "5π/6 should terminate no later than 2π/3"
+    );
+}
+
+#[test]
+fn duplication_is_harmless() {
+    let network = RandomPlacement::new(30, 1000.0, 1000.0, 500.0).generate(6);
+    let clean = run_distributed(
+        &network,
+        Alpha::FIVE_PI_SIXTHS,
+        false,
+        FaultConfig::reliable_synchronous(),
+        3,
+    );
+    let dup = run_distributed(
+        &network,
+        Alpha::FIVE_PI_SIXTHS,
+        false,
+        FaultConfig::asynchronous(1, 1, 9).with_duplication(0.5),
+        3,
+    );
+    assert!(dup.stats().duplicated > 0);
+    let a = collect_outcome(&clean);
+    let b = collect_outcome(&dup);
+    for u in network.layout().node_ids() {
+        assert_eq!(
+            a.view(u).neighbor_ids(),
+            b.view(u).neighbor_ids(),
+            "duplication changed node {u}'s outcome"
+        );
+    }
+}
+
+#[test]
+fn loss_degrades_gracefully() {
+    // Heavy loss: the protocol still terminates; whatever graph it builds
+    // is a valid subgraph of G_R and every node has finished.
+    let network = RandomPlacement::new(40, 1200.0, 1200.0, 500.0).generate(7);
+    let engine = run_distributed(
+        &network,
+        Alpha::FIVE_PI_SIXTHS,
+        false,
+        FaultConfig::asynchronous(1, 2, 17).with_loss(0.4),
+        5,
+    );
+    assert!(engine.nodes().iter().all(CbtcNode::is_done));
+    let g = collect_outcome(&engine).symmetric_closure();
+    assert!(g.is_subgraph_of(&network.max_power_graph()));
+    assert!(engine.stats().lost > 0);
+}

@@ -1,0 +1,155 @@
+//! Property-based tests (proptest) of the core invariants, on arbitrary
+//! geometry rather than hand-picked layouts.
+
+use cbtc::core::opt::{pairwise_removal, shrink_back, PairwisePolicy};
+use cbtc::core::{run_basic, Network};
+use cbtc::geom::coverage::ArcSet;
+use cbtc::geom::gap::{has_alpha_gap, max_gap};
+use cbtc::geom::{Alpha, Angle, Point2};
+use cbtc::graph::connectivity::preserves_connectivity;
+use cbtc::graph::Layout;
+use proptest::prelude::*;
+
+/// Strategy: a set of 2–35 points in a box sized so densities vary from
+/// sparse (disconnected) to dense.
+fn layouts() -> impl Strategy<Value = Vec<Point2>> {
+    (2usize..35, 200.0f64..2000.0).prop_flat_map(|(n, side)| {
+        proptest::collection::vec((0.0..side, 0.0..side), n)
+            .prop_map(|pts| pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
+    })
+}
+
+/// Strategy: a connectivity-safe cone degree (0, 5π/6].
+fn safe_alphas() -> impl Strategy<Value = Alpha> {
+    (0.2f64..=5.0 * std::f64::consts::PI / 6.0).prop_map(|a| Alpha::new(a).unwrap())
+}
+
+/// Strategy: direction sets.
+fn directions() -> impl Strategy<Value = Vec<Angle>> {
+    proptest::collection::vec(0.0f64..std::f64::consts::TAU, 0..20)
+        .prop_map(|v| v.into_iter().map(Angle::new).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2.1 as a property: for ANY placement and ANY α ≤ 5π/6, the
+    /// symmetric closure preserves max-power connectivity.
+    #[test]
+    fn connectivity_preserved_for_any_safe_alpha(
+        points in layouts(),
+        alpha in safe_alphas(),
+    ) {
+        let network = Network::with_paper_radio(Layout::new(points));
+        let full = network.max_power_graph();
+        let g = run_basic(&network, alpha).symmetric_closure();
+        prop_assert!(preserves_connectivity(&g, &full));
+    }
+
+    /// Theorem 3.1 as a property: shrink-back keeps coverage identical at
+    /// every node and never grows radii, and its closure still preserves
+    /// connectivity.
+    #[test]
+    fn shrink_back_invariants(points in layouts(), alpha in safe_alphas()) {
+        let network = Network::with_paper_radio(Layout::new(points));
+        let full = network.max_power_graph();
+        let basic = run_basic(&network, alpha);
+        let shrunk = shrink_back(&basic);
+        for u in network.layout().node_ids() {
+            let before = ArcSet::cover(&basic.view(u).directions(), alpha);
+            let after = ArcSet::cover(&shrunk.view(u).directions(), alpha);
+            prop_assert!(before.same_coverage(&after), "coverage changed at {u}");
+            prop_assert!(shrunk.view(u).grow_radius <= basic.view(u).grow_radius + 1e-9);
+        }
+        prop_assert!(preserves_connectivity(&shrunk.symmetric_closure(), &full));
+    }
+
+    /// Theorem 3.2 as a property: for α ≤ 2π/3 the symmetric CORE also
+    /// preserves connectivity.
+    #[test]
+    fn asymmetric_removal_safe_below_two_pi_thirds(
+        points in layouts(),
+        alpha in (0.2f64..=2.0 * std::f64::consts::PI / 3.0).prop_map(|a| Alpha::new(a).unwrap()),
+    ) {
+        let network = Network::with_paper_radio(Layout::new(points));
+        let full = network.max_power_graph();
+        let core = run_basic(&network, alpha).symmetric_core();
+        prop_assert!(preserves_connectivity(&core, &full));
+    }
+
+    /// Theorem 3.6 as a property: removing ALL redundant edges (and a
+    /// fortiori the power-reducing subset) preserves connectivity.
+    #[test]
+    fn pairwise_removal_safe(points in layouts(), alpha in safe_alphas()) {
+        let network = Network::with_paper_radio(Layout::new(points));
+        let g = run_basic(&network, alpha).symmetric_closure();
+        for policy in [PairwisePolicy::RemoveAll, PairwisePolicy::PowerReducing] {
+            let out = pairwise_removal(&g, network.layout(), policy);
+            prop_assert!(preserves_connectivity(&out.graph, &g), "{policy:?}");
+        }
+    }
+
+    /// Gap/coverage duality: there is no α-gap iff the α-cover of the
+    /// directions is the full circle.
+    #[test]
+    fn gap_cover_duality(dirs in directions(), alpha in safe_alphas()) {
+        let gap = has_alpha_gap(&dirs, alpha);
+        let full = ArcSet::cover(&dirs, alpha).is_full();
+        // Tolerance: when the largest gap is within EPS of α the two
+        // predicates may legitimately disagree; skip those boundary draws.
+        let g = max_gap(&dirs);
+        prop_assume!((g - alpha.radians()).abs() > 1e-6);
+        prop_assert_eq!(gap, !full);
+    }
+
+    /// ArcSet algebra: measure is within [0, 2π]; every centered direction
+    /// is covered; coverage is monotone in the direction set.
+    #[test]
+    fn arc_set_properties(dirs in directions(), alpha in safe_alphas()) {
+        let cover = ArcSet::cover(&dirs, alpha);
+        prop_assert!(cover.measure() <= std::f64::consts::TAU + 1e-9);
+        for d in &dirs {
+            prop_assert!(cover.contains(*d), "direction {d} not covered by its own arc");
+        }
+        if !dirs.is_empty() {
+            let sub = ArcSet::cover(&dirs[..dirs.len() - 1], alpha);
+            prop_assert!(cover.covers(&sub), "coverage must be monotone");
+        }
+    }
+
+    /// The growing phase is monotone in α: a larger cone degree (weaker
+    /// requirement) never needs a larger radius.
+    #[test]
+    fn grow_radius_monotone_in_alpha(points in layouts()) {
+        let network = Network::with_paper_radio(Layout::new(points));
+        let small = run_basic(&network, Alpha::TWO_PI_THIRDS);
+        let large = run_basic(&network, Alpha::FIVE_PI_SIXTHS);
+        for u in network.layout().node_ids() {
+            prop_assert!(
+                large.view(u).grow_radius <= small.view(u).grow_radius + 1e-9,
+                "node {u}: rad⁻ at 5π/6 exceeds rad⁻ at 2π/3"
+            );
+        }
+    }
+
+    /// Every discovered neighbor is within max range, and the discovery
+    /// list is sorted by distance.
+    #[test]
+    fn views_are_well_formed(points in layouts(), alpha in safe_alphas()) {
+        let network = Network::with_paper_radio(Layout::new(points));
+        let outcome = run_basic(&network, alpha);
+        for u in network.layout().node_ids() {
+            let view = outcome.view(u);
+            let mut last = 0.0f64;
+            for d in &view.discoveries {
+                prop_assert!(d.distance <= network.max_range() + 1e-9);
+                prop_assert!(d.distance >= last - 1e-12, "not sorted by distance");
+                last = d.distance;
+                // The recorded direction matches the geometry.
+                let true_dir = network.layout().direction(u, d.id);
+                prop_assert!(true_dir.circular_distance(d.direction) < 1e-9);
+            }
+            prop_assert!(view.grow_radius <= network.max_range() + 1e-9);
+        }
+    }
+}

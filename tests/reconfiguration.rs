@@ -1,0 +1,163 @@
+//! Integration tests for §4: reconfiguration under mobility, crashes and
+//! joins, at network scale.
+
+use cbtc::core::protocol::GrowthConfig;
+use cbtc::core::reconfig::{collect_topology, NdpConfig, ReconfigNode};
+use cbtc::geom::Alpha;
+use cbtc::graph::connectivity::same_partition;
+use cbtc::graph::unit_disk::unit_disk_graph;
+use cbtc::graph::NodeId;
+use cbtc::radio::{PathLoss, Power, PowerLaw, PowerSchedule};
+use cbtc::sim::{Engine, FaultConfig, SimTime};
+use cbtc::workloads::{RandomPlacement, RandomWaypoint};
+
+fn growth(alpha: Alpha) -> GrowthConfig {
+    let model = PowerLaw::paper_default();
+    GrowthConfig {
+        alpha,
+        schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+        ack_timeout: 3,
+        model,
+    }
+}
+
+fn reconfig_engine(count: usize, side: f64, seed: u64) -> Engine<ReconfigNode, PowerLaw> {
+    let layout = RandomPlacement::new(count, side, side, 500.0).generate_layout(seed);
+    let ndp = NdpConfig::new(10, 3, 0.05);
+    let nodes = (0..count)
+        .map(|_| ReconfigNode::new(growth(Alpha::FIVE_PI_SIXTHS), ndp))
+        .collect();
+    Engine::new(
+        layout,
+        PowerLaw::paper_default(),
+        nodes,
+        FaultConfig::reliable_synchronous(),
+    )
+}
+
+/// The live unit-disk graph: ground truth the topology must match.
+fn live_full(engine: &Engine<ReconfigNode, PowerLaw>, count: usize) -> cbtc::graph::UndirectedGraph {
+    let mut g = unit_disk_graph(engine.layout(), 500.0);
+    for i in 0..count as u32 {
+        let v = NodeId::new(i);
+        if !engine.is_alive(v) {
+            let nbrs: Vec<NodeId> = g.neighbors(v).collect();
+            for w in nbrs {
+                g.remove_edge(v, w);
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn random_crashes_heal() {
+    let count = 25;
+    let mut engine = reconfig_engine(count, 1000.0, 3);
+    engine.run_until(SimTime::new(300));
+    assert!(same_partition(
+        &collect_topology(&engine),
+        &live_full(&engine, count)
+    ));
+
+    // Crash three nodes at staggered times.
+    engine.schedule_crash(NodeId::new(4), SimTime::new(300));
+    engine.schedule_crash(NodeId::new(11), SimTime::new(350));
+    engine.schedule_crash(NodeId::new(17), SimTime::new(400));
+    engine.run_until(SimTime::new(900));
+
+    let topo = collect_topology(&engine);
+    let full = live_full(&engine, count);
+    assert!(
+        same_partition(&topo, &full),
+        "survivors must reconverge to the live partition"
+    );
+    // Crashed nodes are isolated in the collected topology.
+    for dead in [4u32, 11, 17] {
+        assert_eq!(topo.degree(NodeId::new(dead)), 0);
+    }
+}
+
+#[test]
+fn roaming_network_tracks_the_partition() {
+    let count = 20;
+    let side = 900.0;
+    let mut engine = reconfig_engine(count, side, 8);
+    let mut layout = engine.layout().clone();
+    let mut mobility = RandomWaypoint::new(side, side, 0.5, 1.5, 10.0, count, 77);
+
+    engine.run_until(SimTime::new(300));
+    for step in 1..=5u64 {
+        mobility.advance(&mut layout, 30.0);
+        for (id, p) in layout.iter() {
+            engine.move_node(id, p);
+        }
+        // Give NDP time to detect and repair (expiry window = 30 ticks).
+        engine.run_until(SimTime::new(300 + step * 200));
+        let topo = collect_topology(&engine);
+        let full = live_full(&engine, count);
+        assert!(
+            same_partition(&topo, &full),
+            "step {step}: topology out of sync with live geometry"
+        );
+    }
+}
+
+#[test]
+fn staggered_joins_integrate() {
+    let count = 15;
+    let layout = RandomPlacement::new(count, 800.0, 800.0, 500.0).generate_layout(13);
+    let ndp = NdpConfig::new(10, 3, 0.05);
+    let nodes: Vec<ReconfigNode> = (0..count)
+        .map(|_| ReconfigNode::new(growth(Alpha::FIVE_PI_SIXTHS), ndp))
+        .collect();
+    // A third of the nodes join late, in waves.
+    let starts: Vec<SimTime> = (0..count)
+        .map(|i| SimTime::new((i % 3) as u64 * 150))
+        .collect();
+    let mut engine = Engine::with_start_times(
+        layout,
+        PowerLaw::paper_default(),
+        nodes,
+        FaultConfig::reliable_synchronous(),
+        &starts,
+    );
+    engine.run_until(SimTime::new(800));
+    let topo = collect_topology(&engine);
+    let full = unit_disk_graph(engine.layout(), 500.0);
+    assert!(
+        same_partition(&topo, &full),
+        "all joined nodes must be integrated"
+    );
+}
+
+#[test]
+fn beacons_keep_flowing_in_steady_state() {
+    let count = 10;
+    let mut engine = reconfig_engine(count, 700.0, 21);
+    engine.run_until(SimTime::new(200));
+    let broadcasts_then = engine.stats().broadcasts;
+    engine.run_until(SimTime::new(400));
+    let broadcasts_now = engine.stats().broadcasts;
+    // 10 nodes × ~20 beacon intervals of 10 ticks.
+    assert!(
+        broadcasts_now - broadcasts_then >= (count as u64) * 15,
+        "beaconing must continue in steady state ({} new broadcasts)",
+        broadcasts_now - broadcasts_then
+    );
+}
+
+#[test]
+fn reconfiguration_is_deterministic() {
+    let run = || {
+        let mut engine = reconfig_engine(12, 800.0, 5);
+        engine.schedule_crash(NodeId::new(2), SimTime::new(250));
+        engine.run_until(SimTime::new(600));
+        let topo = collect_topology(&engine);
+        (topo.edges().collect::<Vec<_>>(), engine.stats().clone())
+    };
+    let (edges_a, stats_a) = run();
+    let (edges_b, stats_b) = run();
+    assert_eq!(edges_a, edges_b);
+    assert_eq!(stats_a, stats_b);
+}

@@ -1,0 +1,67 @@
+//! Serde round-trips for the data structures the experiment harness
+//! serializes (C-SERDE): scenario configs, networks, outcomes and graphs.
+
+use cbtc::core::{run_basic, CbtcConfig, Network};
+use cbtc::geom::{Alpha, Angle, Point2};
+use cbtc::graph::{Layout, NodeId, UndirectedGraph};
+use cbtc::radio::{Power, PowerLaw, PowerSchedule};
+use cbtc::workloads::{RandomPlacement, Scenario};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn geometry_types_roundtrip() {
+    let p = Point2::new(1.5, -2.25);
+    assert_eq!(roundtrip(&p), p);
+    let a = Angle::new(2.7);
+    assert_eq!(roundtrip(&a), a);
+    let alpha = Alpha::FIVE_PI_SIXTHS;
+    assert_eq!(roundtrip(&alpha), alpha);
+}
+
+#[test]
+fn radio_types_roundtrip() {
+    let power = Power::new(123.456);
+    assert_eq!(roundtrip(&power), power);
+    let model = PowerLaw::new(3.0, 0.5, 400.0).unwrap();
+    assert_eq!(roundtrip(&model), model);
+    let schedule = PowerSchedule::doubling(Power::new(1.0), Power::new(64.0));
+    assert_eq!(roundtrip(&schedule), schedule);
+}
+
+#[test]
+fn network_and_scenario_roundtrip() {
+    let scenario = Scenario::paper_default();
+    assert_eq!(roundtrip(&scenario), scenario);
+    let network = RandomPlacement::from_scenario(&Scenario::smoke()).generate(3);
+    assert_eq!(roundtrip(&network), network);
+}
+
+#[test]
+fn graphs_roundtrip() {
+    let mut g = UndirectedGraph::new(4);
+    g.add_edge(NodeId::new(0), NodeId::new(2));
+    g.add_edge(NodeId::new(1), NodeId::new(3));
+    assert_eq!(roundtrip(&g), g);
+    let layout = Layout::new(vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]);
+    assert_eq!(roundtrip(&layout), layout);
+}
+
+#[test]
+fn outcomes_and_configs_roundtrip() {
+    let config = CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS);
+    assert_eq!(roundtrip(&config), config);
+    let network = Network::with_paper_radio(Layout::new(vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(150.0, 80.0),
+        Point2::new(-90.0, 200.0),
+    ]));
+    let outcome = run_basic(&network, Alpha::FIVE_PI_SIXTHS);
+    assert_eq!(roundtrip(&outcome), outcome);
+}

@@ -1,0 +1,182 @@
+//! Integration tests for the paper's headline results: Theorem 2.1
+//! (connectivity preservation for α ≤ 5π/6), its tightness (Theorem 2.4),
+//! and the structural Corollary 2.3 — across placements, densities and
+//! cone degrees.
+
+use cbtc::core::{run_basic, run_centralized, theory, CbtcConfig, Network};
+use cbtc::geom::constructions::Theorem24;
+use cbtc::geom::Alpha;
+use cbtc::graph::connectivity::preserves_connectivity;
+use cbtc::graph::traversal::is_connected;
+use cbtc::graph::Layout;
+use cbtc::workloads::{ClusteredPlacement, GridPlacement, RandomPlacement, Scenario};
+
+fn paper_network(seed: u64) -> Network {
+    RandomPlacement::from_scenario(&Scenario::paper_default()).generate(seed)
+}
+
+#[test]
+fn theorem_2_1_on_random_networks() {
+    // G_α preserves G_R connectivity for a spread of α ≤ 5π/6.
+    let alphas = [
+        Alpha::new(0.5).unwrap(),
+        Alpha::new(1.5).unwrap(),
+        Alpha::TWO_PI_THIRDS,
+        Alpha::new(2.3).unwrap(),
+        Alpha::FIVE_PI_SIXTHS,
+    ];
+    for seed in 0..5 {
+        let network = paper_network(seed);
+        let full = network.max_power_graph();
+        for alpha in alphas {
+            let outcome = run_basic(&network, alpha);
+            let g = outcome.symmetric_closure();
+            assert!(
+                preserves_connectivity(&g, &full),
+                "α = {alpha}, seed {seed}: connectivity broken"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_2_1_on_structured_placements() {
+    let nets: Vec<Network> = vec![
+        ClusteredPlacement::new(5, 15, 60.0, 1500.0, 1500.0, 500.0).generate(3),
+        GridPlacement::new(8, 8, 180.0, 40.0, 500.0).generate(4),
+        RandomPlacement::new(30, 2500.0, 600.0, 500.0).generate(5), // corridor
+    ];
+    for (i, network) in nets.iter().enumerate() {
+        let full = network.max_power_graph();
+        for alpha in [Alpha::TWO_PI_THIRDS, Alpha::FIVE_PI_SIXTHS] {
+            let g = run_basic(network, alpha).symmetric_closure();
+            assert!(
+                preserves_connectivity(&g, &full),
+                "placement {i}, α = {alpha}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_optimization_pipelines_preserve_connectivity() {
+    let configs = [
+        CbtcConfig::new(Alpha::FIVE_PI_SIXTHS),
+        CbtcConfig::new(Alpha::FIVE_PI_SIXTHS).with_shrink_back(),
+        CbtcConfig::new(Alpha::FIVE_PI_SIXTHS)
+            .with_shrink_back()
+            .with_pairwise_removal(),
+        CbtcConfig::new(Alpha::TWO_PI_THIRDS),
+        CbtcConfig::new(Alpha::TWO_PI_THIRDS).with_shrink_back(),
+        CbtcConfig::new(Alpha::TWO_PI_THIRDS)
+            .with_shrink_back()
+            .with_asymmetric_removal()
+            .unwrap(),
+        CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS),
+        CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
+    ];
+    for seed in 0..4 {
+        let network = paper_network(seed);
+        let full = network.max_power_graph();
+        for config in configs {
+            let run = run_centralized(&network, &config);
+            assert!(
+                run.preserves_connectivity_of(&full),
+                "seed {seed}, config {config:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_2_2_holds_on_random_networks() {
+    // The induction step of Theorem 2.1, checked directly: every G_R edge
+    // not in E_α has a strictly closer replacement pair reachable through
+    // E_α edges at its endpoints.
+    for seed in 0..3 {
+        let network = paper_network(seed);
+        let full = network.max_power_graph();
+        for alpha in [Alpha::TWO_PI_THIRDS, Alpha::FIVE_PI_SIXTHS] {
+            let g = run_basic(&network, alpha).symmetric_closure();
+            assert_eq!(
+                theory::lemma_2_2_violation(&g, &full, network.layout()),
+                None,
+                "seed {seed}, α {alpha}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corollary_2_3_short_edge_paths_exist() {
+    // Stronger than connectivity: every G_R edge absent from E_α is
+    // replaced by a path of strictly shorter E_α edges.
+    for seed in 0..3 {
+        let network = paper_network(seed);
+        let full = network.max_power_graph();
+        for alpha in [Alpha::TWO_PI_THIRDS, Alpha::FIVE_PI_SIXTHS] {
+            let g = run_basic(&network, alpha).symmetric_closure();
+            assert_eq!(
+                theory::corollary_2_3_violation(&g, &full, network.layout()),
+                None,
+                "seed {seed}, α {alpha}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_2_4_tightness_of_the_threshold() {
+    // The constructed counterexample disconnects for every ε > 0 tried,
+    // and stays connected at exactly 5π/6.
+    for eps in [0.01, 0.05, 0.1, 0.25, 0.5] {
+        let t = Theorem24::new(500.0, eps).unwrap();
+        let network = Network::with_paper_radio(Layout::new(t.points()));
+        let full = network.max_power_graph();
+        assert!(is_connected(&full));
+
+        let above = run_basic(&network, t.alpha).symmetric_closure();
+        assert!(!is_connected(&above), "ε = {eps} must disconnect");
+
+        let at = run_basic(&network, Alpha::FIVE_PI_SIXTHS).symmetric_closure();
+        assert!(is_connected(&at), "ε = {eps}: exactly 5π/6 must stay connected");
+    }
+}
+
+#[test]
+fn g_alpha_is_a_strict_subgraph_on_dense_networks() {
+    // The point of topology control: fewer edges than max power, same
+    // connectivity.
+    let network = paper_network(11);
+    let full = network.max_power_graph();
+    let g = run_basic(&network, Alpha::FIVE_PI_SIXTHS).symmetric_closure();
+    assert!(g.is_subgraph_of(&full));
+    assert!(
+        g.edge_count() < full.edge_count(),
+        "topology control should remove edges on a dense network"
+    );
+}
+
+#[test]
+fn disconnected_input_stays_componentwise_preserved() {
+    // Two far-apart islands: CBTC must preserve each island's internal
+    // connectivity and cannot, of course, join them.
+    let mut points = RandomPlacement::new(15, 600.0, 600.0, 500.0)
+        .generate_layout(8)
+        .positions()
+        .to_vec();
+    points.extend(
+        RandomPlacement::new(15, 600.0, 600.0, 500.0)
+            .generate_layout(9)
+            .positions()
+            .iter()
+            .map(|p| cbtc::geom::Point2::new(p.x + 5_000.0, p.y)),
+    );
+    let network = Network::with_paper_radio(Layout::new(points));
+    let full = network.max_power_graph();
+    assert!(!is_connected(&full));
+    for alpha in [Alpha::TWO_PI_THIRDS, Alpha::FIVE_PI_SIXTHS] {
+        let g = run_basic(&network, alpha).symmetric_closure();
+        assert!(preserves_connectivity(&g, &full), "α = {alpha}");
+    }
+}
