@@ -101,12 +101,9 @@ fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis");
     group.sample_size(20);
     let network = paper_network(100, 11);
-    let graph = run_centralized(
-        &network,
-        &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
-    )
-    .final_graph()
-    .clone();
+    let graph = run_centralized(&network, &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS))
+        .final_graph()
+        .clone();
     group.bench_function("edge_betweenness_100", |b| {
         b.iter(|| cbtc_graph::load::edge_betweenness(std::hint::black_box(&graph)));
     });
@@ -133,8 +130,9 @@ fn bench_distributed(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::from_parameter(n), &network, |b, net| {
             b.iter(|| {
-                let nodes: Vec<CbtcNode> =
-                    (0..net.len()).map(|_| CbtcNode::new(config, false)).collect();
+                let nodes: Vec<CbtcNode> = (0..net.len())
+                    .map(|_| CbtcNode::new(config, false))
+                    .collect();
                 let mut engine = Engine::new(
                     net.layout().clone(),
                     model,

@@ -52,7 +52,8 @@ fn main() {
         let r = network.max_range();
         let full = network.max_power_graph();
 
-        let graphs = [run_centralized(&network, &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS))
+        let graphs = [
+            run_centralized(&network, &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS))
                 .final_graph()
                 .clone(),
             run_centralized(&network, &CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS))
@@ -63,7 +64,8 @@ fn main() {
             spanners::minimum_energy_graph(layout, r, 2.0, 5_000.0),
             spanners::euclidean_mst(layout, r),
             spanners::k_nearest_neighbors(layout, r, 3),
-            full.clone()];
+            full.clone(),
+        ];
 
         for (i, g) in graphs.iter().enumerate() {
             let m = measure_graph(&network, g);
@@ -90,8 +92,16 @@ fn main() {
             name,
             deg / t,
             rad / t,
-            if *connected > 0 { format!("{:.2}", pwr / c) } else { "—".into() },
-            if *connected > 0 { format!("{:.2}", hop / c) } else { "—".into() },
+            if *connected > 0 {
+                format!("{:.2}", pwr / c)
+            } else {
+                "—".into()
+            },
+            if *connected > 0 {
+                format!("{:.2}", hop / c)
+            } else {
+                "—".into()
+            },
             100.0 * c / t,
             cuts / t,
         );

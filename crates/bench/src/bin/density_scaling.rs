@@ -31,12 +31,8 @@ fn main() {
         for seed in 0..trials {
             let network = generator.generate(seed);
             full_deg += measure_graph(&network, &network.max_power_graph()).degree;
-            basic_deg +=
-                measure_config(&network, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS)).degree;
-            let m = measure_config(
-                &network,
-                &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
-            );
+            basic_deg += measure_config(&network, &CbtcConfig::new(Alpha::FIVE_PI_SIXTHS)).degree;
+            let m = measure_config(&network, &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS));
             opt_deg += m.degree;
             opt_rad += m.radius;
         }

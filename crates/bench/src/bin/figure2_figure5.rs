@@ -29,7 +29,10 @@ fn main() {
 
 fn figure2(out: &Path) {
     println!("=== Figure 2 / Example 2.1: N_α asymmetry ===");
-    println!("{:<10} {:>12} {:>12} {:>10}", "α", "(v,u0)∈N_α", "(u0,v)∈N_α", "asym?");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "α", "(v,u0)∈N_α", "(u0,v)∈N_α", "asym?"
+    );
     for alpha_val in [2.2, 2.4, 5.0 * std::f64::consts::PI / 6.0] {
         let alpha = Alpha::new(alpha_val).unwrap();
         let ex = Example21::new(500.0, alpha).unwrap();
@@ -102,8 +105,14 @@ fn figure5(out: &Path) {
             network.layout(),
             &graph,
             &SvgOptions {
-                caption: Some(format!("{name}: the u0–v0 bridge is {}",
-                    if graph.has_edge(NodeId::new(0), NodeId::new(4)) { "present" } else { "GONE" })),
+                caption: Some(format!(
+                    "{name}: the u0–v0 bridge is {}",
+                    if graph.has_edge(NodeId::new(0), NodeId::new(4)) {
+                        "present"
+                    } else {
+                        "GONE"
+                    }
+                )),
                 node_radius: 4.0,
                 ..SvgOptions::default()
             },

@@ -29,8 +29,16 @@ fn main() {
     let a23 = Alpha::TWO_PI_THIRDS;
     let panels: Vec<(&str, String, Option<CbtcConfig>)> = vec![
         ("a", "(a) no topology control".into(), None),
-        ("b", format!("(b) α=2π/3, basic (seed {seed})"), Some(CbtcConfig::new(a23))),
-        ("c", format!("(c) α=5π/6, basic (seed {seed})"), Some(CbtcConfig::new(a56))),
+        (
+            "b",
+            format!("(b) α=2π/3, basic (seed {seed})"),
+            Some(CbtcConfig::new(a23)),
+        ),
+        (
+            "c",
+            format!("(c) α=5π/6, basic (seed {seed})"),
+            Some(CbtcConfig::new(a56)),
+        ),
         (
             "d",
             "(d) α=2π/3 with shrink-back".into(),
@@ -64,7 +72,10 @@ fn main() {
     ];
 
     println!("Figure 6 — seed {seed}, {} nodes\n", network.len());
-    println!("{:<6} {:>8} {:>10} {:>12}  file", "panel", "edges", "avg deg", "avg radius");
+    println!(
+        "{:<6} {:>8} {:>10} {:>12}  file",
+        "panel", "edges", "avg deg", "avg radius"
+    );
     let mut rendered: Vec<(String, cbtc_graph::UndirectedGraph)> = Vec::new();
     for (panel, caption, config) in panels {
         let graph = match &config {

@@ -1,0 +1,149 @@
+//! Network-lifetime benchmark: packet-level traffic + battery drain over
+//! the paper's §5 networks (100 random networks × 100 nodes, 1500×1500,
+//! R = 500), comparing max power against CBTC configurations and
+//! reporting lifetime factors.
+//!
+//! ```sh
+//! cargo run --release -p cbtc-bench --bin lifetime \
+//!     [-- --trials 100 --seed 0 --packets 100 --pattern uniform --json BENCH_lifetime.json]
+//! ```
+//!
+//! Writes `BENCH_lifetime.json` (override with `--json PATH`, disable
+//! with `--no-json`) so lifetime results are tracked across revisions.
+
+use std::time::Instant;
+
+use cbtc_bench::Args;
+use cbtc_core::CbtcConfig;
+use cbtc_energy::{
+    lifetime_experiment, LifetimeAggregate, LifetimeConfig, TopologyPolicy, TrafficPattern,
+};
+use cbtc_geom::Alpha;
+use cbtc_workloads::Scenario;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ConfigRow {
+    aggregate: LifetimeAggregate,
+    first_death_factor: f64,
+    partition_factor: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchDoc {
+    scenario: Scenario,
+    base_seed: u64,
+    packets_per_epoch: u32,
+    pattern: String,
+    initial_energy: f64,
+    reconfigure: bool,
+    wall_seconds: f64,
+    configs: Vec<ConfigRow>,
+}
+
+fn main() {
+    let args = Args::capture();
+    let mut scenario = Scenario::paper_default();
+    scenario.trials = args.get("trials", scenario.trials);
+    let base_seed: u64 = args.get("seed", 0);
+
+    let mut config = LifetimeConfig::paper_default();
+    config.packets_per_epoch = args.get("packets", config.packets_per_epoch);
+    config.max_epochs = args.get("epochs", config.max_epochs);
+    config.initial_energy = args.get("energy", config.initial_energy);
+    config.reconfigure = !args.has("no-reconfig");
+    config.pattern = args
+        .get("pattern", "uniform".to_owned())
+        .parse::<TrafficPattern>()
+        .expect("valid --pattern");
+    assert!(
+        config.initial_energy.is_finite() && config.initial_energy > 0.0,
+        "--energy must be positive"
+    );
+    let pattern_node = match config.pattern {
+        TrafficPattern::Uniform => None,
+        TrafficPattern::Convergecast { sink } => Some(sink),
+        TrafficPattern::Hotspot { hotspot, .. } => Some(hotspot),
+    };
+    if let Some(node) = pattern_node {
+        assert!(
+            node.index() < scenario.node_count,
+            "--pattern names node {node}, but the scenario only has {} nodes",
+            scenario.node_count
+        );
+    }
+
+    let a56 = Alpha::FIVE_PI_SIXTHS;
+    let a23 = Alpha::TWO_PI_THIRDS;
+    let policies = [
+        TopologyPolicy::MaxPower,
+        TopologyPolicy::Cbtc(CbtcConfig::new(a56)),
+        TopologyPolicy::Cbtc(CbtcConfig::new(a56).with_shrink_back()),
+        TopologyPolicy::Cbtc(CbtcConfig::all_applicable(a56)),
+        TopologyPolicy::Cbtc(CbtcConfig::all_applicable(a23)),
+    ];
+
+    println!(
+        "lifetime — {} trials × {} nodes, {}×{}, R = {}, {} × {} packets/epoch\n",
+        scenario.trials,
+        scenario.node_count,
+        scenario.width,
+        scenario.height,
+        scenario.max_range,
+        config.pattern.label(),
+        config.packets_per_epoch
+    );
+
+    let start = Instant::now();
+    let results = lifetime_experiment(&scenario, &policies, config, base_seed);
+    let wall = start.elapsed().as_secs_f64();
+
+    let baseline = results.first().expect("at least max power").clone();
+    println!(
+        "{:<28} {:>16} {:>7} {:>16} {:>7} {:>10} {:>9}",
+        "configuration", "first death", "×", "partition", "×", "delivered", "bal. CV"
+    );
+    let mut rows = Vec::new();
+    for agg in results {
+        let first_death_factor = agg.first_death.mean / baseline.first_death.mean.max(1.0);
+        let partition_factor = agg.partition.mean / baseline.partition.mean.max(1.0);
+        println!(
+            "{:<28} {:>9.1} ±{:<5.1} {:>6.2}x {:>9.1} ±{:<5.1} {:>6.2}x {:>9.1}% {:>9.3}",
+            agg.policy,
+            agg.first_death.mean,
+            agg.first_death.std,
+            first_death_factor,
+            agg.partition.mean,
+            agg.partition.std,
+            partition_factor,
+            agg.delivered_ratio.mean * 100.0,
+            agg.energy_balance_cv.mean,
+        );
+        rows.push(ConfigRow {
+            aggregate: agg,
+            first_death_factor,
+            partition_factor,
+        });
+    }
+    println!("\ncompleted in {wall:.2}s");
+
+    if !args.has("no-json") {
+        let path: String = args.get("json", "BENCH_lifetime.json".to_owned());
+        let doc = BenchDoc {
+            scenario,
+            base_seed,
+            packets_per_epoch: config.packets_per_epoch,
+            pattern: config.pattern.label(),
+            initial_energy: config.initial_energy,
+            reconfigure: config.reconfigure,
+            wall_seconds: wall,
+            configs: rows,
+        };
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )
+        .expect("write json");
+        println!("wrote {path}");
+    }
+}

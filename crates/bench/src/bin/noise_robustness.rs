@@ -25,9 +25,7 @@ fn main() {
     let generator = RandomPlacement::new(nodes, 1200.0, 1200.0, model.max_range());
     let alpha = Alpha::FIVE_PI_SIXTHS;
 
-    println!(
-        "AoA-noise robustness — {trials} networks × {nodes} nodes, α = {alpha}\n"
-    );
+    println!("AoA-noise robustness — {trials} networks × {nodes} nodes, α = {alpha}\n");
     println!(
         "{:>12} {:>12} {:>10} {:>12}",
         "max error", "preserved", "avg deg", "avg radius"

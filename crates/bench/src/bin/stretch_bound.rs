@@ -50,7 +50,11 @@ fn main() {
         // The [16] guarantee only covers α ≤ π/2; larger α shown for
         // context.
         let within = if frac <= 0.5 {
-            if worst <= bound { "yes" } else { "NO!" }
+            if worst <= bound {
+                "yes"
+            } else {
+                "NO!"
+            }
         } else {
             "n/a"
         };

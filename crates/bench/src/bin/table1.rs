@@ -121,9 +121,17 @@ fn main() {
 
     if args.has("json") {
         let path: String = args.get("json", "out/table1.json".to_owned());
-        std::fs::create_dir_all(std::path::Path::new(&path).parent().unwrap_or_else(|| std::path::Path::new("."))).ok();
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).expect("serializable"))
-            .expect("write json");
+        std::fs::create_dir_all(
+            std::path::Path::new(&path)
+                .parent()
+                .unwrap_or_else(|| std::path::Path::new(".")),
+        )
+        .ok();
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&rows).expect("serializable"),
+        )
+        .expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -31,7 +31,10 @@ fn main() {
     let rows: Vec<(&str, Option<CbtcConfig>)> = vec![
         ("max power", None),
         ("basic α=5π/6", Some(CbtcConfig::new(a56))),
-        ("shrink-back α=5π/6", Some(CbtcConfig::new(a56).with_shrink_back())),
+        (
+            "shrink-back α=5π/6",
+            Some(CbtcConfig::new(a56).with_shrink_back()),
+        ),
         ("all ops α=5π/6", Some(CbtcConfig::all_applicable(a56))),
         ("all ops α=2π/3", Some(CbtcConfig::all_applicable(a23))),
         ("euclidean MST (extreme)", None), // handled specially below

@@ -12,6 +12,7 @@
 //! | `alpha_sweep`     | the 5π/6 threshold (Theorems 2.1/2.4) |
 //! | `reconfig`        | §4 reconfiguration claims under mobility/crashes |
 //! | `baselines`       | §1 related-work comparison (RNG/Gabriel/MST/k-NN) |
+//! | `lifetime`        | packet-level traffic + battery drain: lifetime factors vs max power (`BENCH_lifetime.json`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,6 +3,7 @@
 use std::fs;
 
 use cbtc_core::{run_centralized, CbtcConfig, Network};
+use cbtc_energy::{lifetime_experiment, LifetimeConfig, TopologyPolicy, TrafficPattern};
 use cbtc_geom::constructions::{Example21, Theorem24};
 use cbtc_geom::Alpha;
 use cbtc_graph::load::path_stats;
@@ -33,6 +34,14 @@ USAGE:
     cbtc compare [--nodes N] [--seed S]
         Compare every optimization level on one network.
 
+    cbtc lifetime [--nodes N] [--width W] [--height H] [--range R]
+                  [--trials T] [--seed S] [--packets P] [--epochs E]
+                  [--energy J] [--pattern uniform|convergecast[:SINK]|hotspot[:NODE]]
+                  [--no-reconfig]
+        Simulate packet traffic and battery drain over random networks and
+        report lifetime factors (first death, partition) of CBTC
+        configurations versus max power.
+
     cbtc help
         Show this message.
 ";
@@ -46,7 +55,9 @@ fn build_config(args: &Args, alpha: Alpha) -> Result<CbtcConfig, String> {
         config = config.with_shrink_back();
     }
     if args.has("asym") {
-        config = config.with_asymmetric_removal().map_err(|e| e.to_string())?;
+        config = config
+            .with_asymmetric_removal()
+            .map_err(|e| e.to_string())?;
     }
     if args.has("pairwise") {
         config = config.with_pairwise_removal();
@@ -78,10 +89,22 @@ pub fn run(args: &Args) -> Result<(), String> {
     let preserved = run.preserves_connectivity_of(&full);
     let stats = path_stats(graph);
 
-    println!("CBTC({alpha}) on {} nodes (seed {})", network.len(), args.get("seed", 0u64)?);
-    println!("  optimizations: shrink-back={} asym={} pairwise={}",
-        config.shrink_back(), config.asymmetric_removal(), config.pairwise_removal());
-    println!("  edges: {} (max power: {})", graph.edge_count(), full.edge_count());
+    println!(
+        "CBTC({alpha}) on {} nodes (seed {})",
+        network.len(),
+        args.get("seed", 0u64)?
+    );
+    println!(
+        "  optimizations: shrink-back={} asym={} pairwise={}",
+        config.shrink_back(),
+        config.asymmetric_removal(),
+        config.pairwise_removal()
+    );
+    println!(
+        "  edges: {} (max power: {})",
+        graph.edge_count(),
+        full.edge_count()
+    );
     println!("  avg degree: {:.2}", average_degree(graph));
     println!(
         "  avg radius: {:.1} (max power: {:.0})",
@@ -89,8 +112,14 @@ pub fn run(args: &Args) -> Result<(), String> {
         network.max_range()
     );
     println!("  components: {}", component_count(graph));
-    println!("  hop diameter: {}, mean hops: {:.2}", stats.hop_diameter, stats.mean_hops);
-    println!("  connectivity preserved: {}", if preserved { "yes" } else { "NO" });
+    println!(
+        "  hop diameter: {}, mean hops: {:.2}",
+        stats.hop_diameter, stats.mean_hops
+    );
+    println!(
+        "  connectivity preserved: {}",
+        if preserved { "yes" } else { "NO" }
+    );
 
     if let Some(path) = args.value_of("svg") {
         let svg = render_svg(
@@ -112,8 +141,11 @@ pub fn run(args: &Args) -> Result<(), String> {
             "edges": edges,
             "preserved": preserved,
         });
-        fs::write(path, serde_json::to_string_pretty(&doc).expect("serializable"))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        fs::write(
+            path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
         println!("  wrote {path}");
     }
     Ok(())
@@ -136,8 +168,17 @@ pub fn construct(args: &Args) -> Result<(), String> {
             let outcome = cbtc_core::run_basic(&network, alpha);
             let u0 = cbtc_graph::NodeId::new(Example21::U0 as u32);
             let v = cbtc_graph::NodeId::new(Example21::V as u32);
-            println!("Example 2.1 (Figure 2) at α = {alpha}, ε = {:.5}", ex.epsilon);
-            for (label, p) in [("u0", ex.u0), ("u1", ex.u1), ("u2", ex.u2), ("u3", ex.u3), ("v", ex.v)] {
+            println!(
+                "Example 2.1 (Figure 2) at α = {alpha}, ε = {:.5}",
+                ex.epsilon
+            );
+            for (label, p) in [
+                ("u0", ex.u0),
+                ("u1", ex.u1),
+                ("u2", ex.u2),
+                ("u3", ex.u3),
+                ("v", ex.v),
+            ] {
                 println!("  {label:<3} ({:9.2}, {:9.2})", p.x, p.y);
             }
             println!(
@@ -231,6 +272,105 @@ pub fn compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cbtc lifetime`
+pub fn lifetime(args: &Args) -> Result<(), String> {
+    let nodes: usize = args.get("nodes", 100)?;
+    let width: f64 = args.get("width", 1500.0)?;
+    let height: f64 = args.get("height", 1500.0)?;
+    let range: f64 = args.get("range", 500.0)?;
+    let trials: u32 = args.get("trials", 10)?;
+    let base_seed: u64 = args.get("seed", 0)?;
+    if nodes == 0 || trials == 0 {
+        return Err("--nodes and --trials must be positive".into());
+    }
+    if !width.is_finite() || !height.is_finite() || width <= 0.0 || height <= 0.0 {
+        return Err("--width and --height must be positive".into());
+    }
+    if !range.is_finite() || range < 1.0 {
+        return Err("--range must be at least 1".into());
+    }
+
+    let mut config = LifetimeConfig::paper_default();
+    config.packets_per_epoch = args.get("packets", config.packets_per_epoch)?;
+    config.max_epochs = args.get("epochs", config.max_epochs)?;
+    config.initial_energy = args.get("energy", config.initial_energy)?;
+    config.reconfigure = !args.has("no-reconfig");
+    if !config.initial_energy.is_finite() || config.initial_energy <= 0.0 {
+        return Err("--energy must be positive".into());
+    }
+    if let Some(raw) = args.value_of("pattern") {
+        config.pattern = raw.parse::<TrafficPattern>()?;
+    }
+    let pattern_node = match config.pattern {
+        TrafficPattern::Uniform => None,
+        TrafficPattern::Convergecast { sink } => Some(sink),
+        TrafficPattern::Hotspot { hotspot, .. } => Some(hotspot),
+    };
+    if let Some(node) = pattern_node {
+        if node.index() >= nodes {
+            return Err(format!(
+                "traffic pattern names node {node}, but the network only has nodes n0..n{}",
+                nodes - 1
+            ));
+        }
+    }
+
+    let mut scenario = cbtc_workloads::Scenario::paper_default();
+    scenario.name = "cli-lifetime".to_owned();
+    scenario.node_count = nodes;
+    scenario.width = width;
+    scenario.height = height;
+    scenario.max_range = range;
+    scenario.trials = trials;
+
+    let a56 = Alpha::FIVE_PI_SIXTHS;
+    let a23 = Alpha::TWO_PI_THIRDS;
+    let policies = [
+        TopologyPolicy::MaxPower,
+        TopologyPolicy::Cbtc(CbtcConfig::new(a56)),
+        TopologyPolicy::Cbtc(CbtcConfig::all_applicable(a56)),
+        TopologyPolicy::Cbtc(CbtcConfig::all_applicable(a23)),
+    ];
+
+    println!("network lifetime — {nodes} nodes × {trials} trials, {width}×{height}, R = {range}");
+    println!(
+        "traffic: {} × {} packets/epoch, reconfigure: {}\n",
+        config.pattern.label(),
+        config.packets_per_epoch,
+        if config.reconfigure { "yes" } else { "no" }
+    );
+    println!(
+        "{:<28} {:>16} {:>7} {:>16} {:>7} {:>10} {:>9}",
+        "configuration", "first death", "×", "partition", "×", "delivered", "bal. CV"
+    );
+
+    let results = lifetime_experiment(&scenario, &policies, config, base_seed);
+    let baseline = results
+        .first()
+        .ok_or_else(|| "no results".to_string())?
+        .clone();
+    for agg in &results {
+        let fd_factor = agg.first_death.mean / baseline.first_death.mean.max(1.0);
+        let part_factor = agg.partition.mean / baseline.partition.mean.max(1.0);
+        println!(
+            "{:<28} {:>9.1} ±{:<5.1} {:>6.2}x {:>9.1} ±{:<5.1} {:>6.2}x {:>9.1}% {:>9.3}",
+            agg.policy,
+            agg.first_death.mean,
+            agg.first_death.std,
+            fd_factor,
+            agg.partition.mean,
+            agg.partition.std,
+            part_factor,
+            agg.delivered_ratio.mean * 100.0,
+            agg.energy_balance_cv.mean,
+        );
+    }
+    println!(
+        "\nEpochs are standby-dominated time units; × columns are lifetime factors vs max power."
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +409,40 @@ mod tests {
     #[test]
     fn compare_runs() {
         assert!(compare(&args(&["--nodes", "20"])).is_ok());
+    }
+
+    #[test]
+    fn lifetime_runs_on_a_small_scenario() {
+        assert!(lifetime(&args(&[
+            "--nodes",
+            "15",
+            "--width",
+            "700",
+            "--height",
+            "700",
+            "--trials",
+            "2",
+            "--packets",
+            "10",
+            "--energy",
+            "150000",
+            "--epochs",
+            "3000",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn lifetime_rejects_bad_input() {
+        assert!(lifetime(&args(&["--trials", "0"])).is_err());
+        assert!(lifetime(&args(&["--nodes", "5", "--pattern", "bogus"])).is_err());
+        assert!(lifetime(&args(&["--range", "0.5"])).is_err());
+        assert!(lifetime(&args(&["--width", "-1"])).is_err());
+        assert!(lifetime(&args(&["--energy", "0"])).is_err());
+        // Pattern node beyond the node count would silently carry no
+        // traffic; it must be rejected instead.
+        let e = lifetime(&args(&["--nodes", "10", "--pattern", "convergecast:50"])).unwrap_err();
+        assert!(e.contains("n9"), "unexpected message: {e}");
     }
 
     #[test]

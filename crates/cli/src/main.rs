@@ -5,6 +5,7 @@
 //! cbtc run        run CBTC on a random network and print/emit the topology
 //! cbtc construct  build the paper's Example 2.1 / Theorem 2.4 point sets
 //! cbtc compare    compare optimization levels on one network
+//! cbtc lifetime   simulate traffic + battery drain, report lifetime factors
 //! cbtc help       show usage
 //! ```
 
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
         "run" => commands::run(&args),
         "construct" => commands::construct(&args),
         "compare" => commands::compare(&args),
+        "lifetime" => commands::lifetime(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

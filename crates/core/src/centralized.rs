@@ -362,7 +362,9 @@ mod tests {
         assert_eq!(run.basic().len(), 4);
         assert_eq!(run.effective().len(), 4);
         // Final graph is a subgraph of the basic closure.
-        assert!(run.final_graph().is_subgraph_of(&run.basic().symmetric_closure()));
+        assert!(run
+            .final_graph()
+            .is_subgraph_of(&run.basic().symmetric_closure()));
     }
 
     #[test]

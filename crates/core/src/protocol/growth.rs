@@ -294,7 +294,9 @@ mod tests {
         let _ = g.start();
         g.record_ack(n(0), Power::new(400.0), Angle::ZERO);
         // One direction leaves a huge gap.
-        assert!(matches!(g.on_timeout(), GrowthAction::BroadcastHello { power } if power == Power::new(200.0)));
+        assert!(
+            matches!(g.on_timeout(), GrowthAction::BroadcastHello { power } if power == Power::new(200.0))
+        );
         assert_eq!(g.level(), 1);
     }
 
@@ -307,7 +309,7 @@ mod tests {
         g.record_ack(n(5), Power::new(10_000.0), Angle::new(2.0));
         assert_eq!(g.discoveries().len(), 1);
         assert_eq!(g.discoveries()[&n(5)].distance, 30.0); // range(900)
-        // Terminate (as boundary, eventually), then a late ack arrives.
+                                                           // Terminate (as boundary, eventually), then a late ack arrives.
         while g.on_timeout() != GrowthAction::Complete {}
         g.record_ack(n(9), Power::new(100.0), Angle::new(0.5));
         assert_eq!(g.discoveries().len(), 1, "post-termination acks ignored");
@@ -322,7 +324,9 @@ mod tests {
         assert!(g.is_done());
         // §4: rerun starting from p(rad⁻), keeping discoveries.
         let action = g.restart(Power::new(400.0), true);
-        assert!(matches!(action, GrowthAction::BroadcastHello { power } if power == Power::new(400.0)));
+        assert!(
+            matches!(action, GrowthAction::BroadcastHello { power } if power == Power::new(400.0))
+        );
         assert!(!g.is_done());
         assert_eq!(g.discoveries().len(), 1);
         // Restart clearing discoveries.

@@ -394,12 +394,7 @@ mod tests {
         let nodes = (0..layout.len())
             .map(|_| CbtcNode::new(config, false))
             .collect();
-        let mut engine = Engine::new(
-            layout,
-            model,
-            nodes,
-            FaultConfig::asynchronous(1, 3, 77),
-        );
+        let mut engine = Engine::new(layout, model, nodes, FaultConfig::asynchronous(1, 3, 77));
         let result = engine.run_to_quiescence(1_000_000);
         assert!(matches!(result, QuiescenceResult::Quiescent(_)));
         let distributed = opt::shrink_back(&collect_outcome(&engine));

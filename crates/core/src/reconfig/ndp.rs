@@ -114,8 +114,8 @@ impl NeighborTable {
                 Some(NeighborEvent::Join(from))
             }
             Some(entry) => {
-                let moved = entry.direction.circular_distance(direction)
-                    > config.angle_change_threshold;
+                let moved =
+                    entry.direction.circular_distance(direction) > config.angle_change_threshold;
                 entry.last_heard = now;
                 let was_active = entry.active;
                 entry.direction = direction;

@@ -183,7 +183,9 @@ impl ReconfigNode {
         self.phase = Phase::Growing;
         self.reruns += 1;
         // Restart from p(rad⁻): the power the previous run settled at.
-        let action = self.growth.restart(self.settled_power.max(self.growth.current_power()), false);
+        let action = self
+            .growth
+            .restart(self.settled_power.max(self.growth.current_power()), false);
         // Seed the machine with the still-live neighbors.
         let seeds: Vec<(NodeId, f64, Angle)> = self
             .table
@@ -262,11 +264,10 @@ impl Node for ReconfigNode {
 
     fn on_timer(&mut self, ctx: &mut Context<CbtcMsg>, id: u64) {
         match id {
-            GROWTH_TIMER
-                if self.phase == Phase::Growing && !self.growth.is_done() => {
-                    let action = self.growth.on_timeout();
-                    self.perform(ctx, action, ctx.now());
-                }
+            GROWTH_TIMER if self.phase == Phase::Growing && !self.growth.is_done() => {
+                let action = self.growth.on_timeout();
+                self.perform(ctx, action, ctx.now());
+            }
             BEACON_TIMER => {
                 ctx.broadcast(self.beacon_power(), CbtcMsg::Beacon);
                 ctx.set_timer(self.ndp.beacon_interval, BEACON_TIMER);
@@ -344,10 +345,7 @@ mod tests {
         }
     }
 
-    fn engine_for(
-        points: Vec<Point2>,
-        alpha: Alpha,
-    ) -> Engine<ReconfigNode, PowerLaw> {
+    fn engine_for(points: Vec<Point2>, alpha: Alpha) -> Engine<ReconfigNode, PowerLaw> {
         let layout = Layout::new(points);
         let ndp = NdpConfig::new(10, 3, 0.05);
         let nodes = (0..layout.len())

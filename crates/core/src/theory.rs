@@ -15,12 +15,7 @@ use cbtc_graph::{Layout, NodeId, UndirectedGraph};
 ///
 /// This is the replacement structure Corollary 2.3 guarantees for every
 /// `G_R` edge absent from `E_α`.
-pub fn short_edge_path_exists(
-    g: &UndirectedGraph,
-    layout: &Layout,
-    u: NodeId,
-    v: NodeId,
-) -> bool {
+pub fn short_edge_path_exists(g: &UndirectedGraph, layout: &Layout, u: NodeId, v: NodeId) -> bool {
     let bound = layout.distance(u, v);
     // BFS over the subgraph of edges shorter than `bound`.
     let mut seen = vec![false; g.node_count()];
@@ -62,11 +57,7 @@ pub fn corollary_2_3_violation(
 }
 
 /// Whether Corollary 2.3 holds for the pair.
-pub fn corollary_2_3_holds(
-    sub: &UndirectedGraph,
-    full: &UndirectedGraph,
-    layout: &Layout,
-) -> bool {
+pub fn corollary_2_3_holds(sub: &UndirectedGraph, full: &UndirectedGraph, layout: &Layout) -> bool {
     corollary_2_3_violation(sub, full, layout).is_none()
 }
 
@@ -91,10 +82,8 @@ pub fn lemma_2_2_violation(
         }
         let d = layout.distance(u, v);
         // Candidate u′: u itself or any E_α-neighbor of u; same for v′.
-        let u_candidates: Vec<NodeId> =
-            std::iter::once(u).chain(sub.neighbors(u)).collect();
-        let v_candidates: Vec<NodeId> =
-            std::iter::once(v).chain(sub.neighbors(v)).collect();
+        let u_candidates: Vec<NodeId> = std::iter::once(u).chain(sub.neighbors(u)).collect();
+        let v_candidates: Vec<NodeId> = std::iter::once(v).chain(sub.neighbors(v)).collect();
         let witnessed = u_candidates.iter().any(|&u2| {
             v_candidates
                 .iter()
@@ -212,6 +201,9 @@ mod tests {
         let mut full = UndirectedGraph::new(2);
         full.add_edge(n(0), n(1));
         let sub = UndirectedGraph::new(2);
-        assert_eq!(lemma_2_2_violation(&sub, &full, &layout), Some((n(0), n(1))));
+        assert_eq!(
+            lemma_2_2_violation(&sub, &full, &layout),
+            Some((n(0), n(1)))
+        );
     }
 }

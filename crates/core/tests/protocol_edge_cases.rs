@@ -100,7 +100,9 @@ fn moderate_aoa_noise_preserves_connectivity_on_random_networks() {
                 .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..30).map(|_| Point2::new(next() * 1000.0, next() * 1000.0)).collect()
+        (0..30)
+            .map(|_| Point2::new(next() * 1000.0, next() * 1000.0))
+            .collect()
     };
     let network = Network::with_paper_radio(Layout::new(points.clone()));
     let mut engine = Engine::new(
@@ -144,9 +146,16 @@ fn reconfig_angle_change_updates_without_breaking() {
     engine.move_node(n(1), Point2::new(188.0, 68.0));
     engine.run_until(SimTime::new(400));
     let topo = collect_topology(&engine);
-    assert!(is_connected(&topo), "aChange handling must keep the view intact");
+    assert!(
+        is_connected(&topo),
+        "aChange handling must keep the view intact"
+    );
     // The hub's table must reflect the new bearing.
-    let entry = engine.node(n(0)).table().entry(n(1)).expect("still tracked");
+    let entry = engine
+        .node(n(0))
+        .table()
+        .entry(n(1))
+        .expect("still tracked");
     let expected = Point2::new(0.0, 0.0).direction_to(Point2::new(188.0, 68.0));
     assert!(entry.direction.circular_distance(expected) < 0.05);
 }
@@ -179,7 +188,10 @@ fn reconfig_total_partition_then_merge() {
     engine.move_node(n(3), Point2::new(400.0, 0.0));
     engine.run_until(SimTime::new(500));
     let after = collect_topology(&engine);
-    assert!(is_connected(&after), "groups in range must merge into one component");
+    assert!(
+        is_connected(&after),
+        "groups in range must merge into one component"
+    );
 }
 
 #[test]
@@ -198,7 +210,9 @@ fn centralized_and_distributed_agree_on_counterexample_geometry() {
     let mut engine = Engine::new(
         network.layout().clone(),
         *network.model(),
-        (0..8).map(|_| CbtcNode::new(growth(alpha), false)).collect(),
+        (0..8)
+            .map(|_| CbtcNode::new(growth(alpha), false))
+            .collect(),
         FaultConfig::reliable_synchronous(),
     );
     engine.run_to_quiescence(1_000_000);
@@ -210,5 +224,8 @@ fn centralized_and_distributed_agree_on_counterexample_geometry() {
     let centralized = run_basic(&network, alpha).symmetric_closure();
     assert!(!is_connected(&distributed));
     assert!(!is_connected(&centralized));
-    assert!(!distributed.has_edge(n(0), n(4)), "bridge must be gone after shrink-back");
+    assert!(
+        !distributed.has_edge(n(0), n(4)),
+        "bridge must be gone after shrink-back"
+    );
 }

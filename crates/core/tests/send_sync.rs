@@ -33,10 +33,7 @@ fn parallel_centralized_runs_agree() {
     let run_once = {
         let network = network.clone();
         move || {
-            cbtc_core::run_centralized(
-                &network,
-                &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
-            )
+            cbtc_core::run_centralized(&network, &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS))
         }
     };
     let sequential = run_once();

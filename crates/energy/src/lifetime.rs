@@ -1,0 +1,595 @@
+//! The epoch-based network-lifetime engine.
+//!
+//! Time advances in epochs. Each epoch the engine
+//!
+//! 1. draws a batch of end-to-end packets from the traffic generator,
+//! 2. routes each packet over the current topology along the
+//!    minimum-energy path and drains the sender/forwarders (tx) and
+//!    receivers (rx),
+//! 3. drains every alive node's standby cost — idle listening plus
+//!    maintenance beaconing at its current broadcast radius,
+//! 4. removes nodes whose batteries emptied and, when configured,
+//!    reruns the topology policy over the survivors (§4
+//!    reconfiguration),
+//! 5. records lifetime milestones: the first death, the first partition
+//!    of the surviving topology, and the death of the last node.
+//!
+//! Everything is deterministic in the seed, so a lifetime trace can be
+//! replayed bit-for-bit.
+
+use cbtc_core::Network;
+use cbtc_graph::paths::dijkstra_parents;
+use cbtc_graph::{NodeId, UndirectedGraph};
+use cbtc_radio::{PathLoss, Power};
+use serde::{Deserialize, Serialize};
+
+use crate::{Battery, EnergyLedger, EnergyModel, FlowGenerator, TopologyPolicy, TrafficPattern};
+
+/// Parameters of a lifetime run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeConfig {
+    /// Initial battery capacity of every node.
+    pub initial_energy: f64,
+    /// End-to-end packets injected per epoch (network-wide).
+    pub packets_per_epoch: u32,
+    /// Which traffic workload drives the network.
+    pub pattern: TrafficPattern,
+    /// Hard cap on simulated epochs.
+    pub max_epochs: u32,
+    /// Whether survivors rerun the topology policy after deaths
+    /// (reconfiguration). When off, the initial topology merely decays.
+    pub reconfigure: bool,
+    /// The radio energy price list.
+    pub energy: EnergyModel,
+}
+
+impl LifetimeConfig {
+    /// Defaults for the paper's §5 networks (100 nodes, `R = 500`): one
+    /// packet per node per epoch, standby-dominated energy model, budget
+    /// for a few hundred max-power epochs.
+    pub fn paper_default() -> Self {
+        LifetimeConfig {
+            initial_energy: 5_000_000.0,
+            packets_per_epoch: 100,
+            pattern: TrafficPattern::Uniform,
+            max_epochs: 40_000,
+            reconfigure: true,
+            energy: EnergyModel::paper_default(),
+        }
+    }
+
+    /// A fast-draining variant for tests and doc examples: the same model
+    /// with 1/25 of the battery, so full lifetimes resolve in tens to
+    /// hundreds of epochs.
+    pub fn smoke() -> Self {
+        LifetimeConfig {
+            initial_energy: 200_000.0,
+            packets_per_epoch: 25,
+            max_epochs: 5_000,
+            ..LifetimeConfig::paper_default()
+        }
+    }
+}
+
+/// The outcome of a full lifetime run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeReport {
+    /// The topology policy's display label.
+    pub policy: String,
+    /// The run's seed (traffic stream).
+    pub seed: u64,
+    /// Epochs actually simulated.
+    pub epochs_run: u32,
+    /// Epoch at which the first node died (1-based: the epoch whose
+    /// drains emptied it), if any died.
+    pub first_death: Option<u32>,
+    /// Epoch at which the surviving topology first became disconnected
+    /// (or fewer than two nodes remained), if it happened.
+    pub partition: Option<u32>,
+    /// Epoch at which the last node died, if the network fully drained.
+    pub all_dead: Option<u32>,
+    /// Total packets delivered.
+    pub delivered: u64,
+    /// Total packets dropped for lack of a route.
+    pub dropped: u64,
+    /// Where the energy went.
+    pub ledger: EnergyLedger,
+    /// Energy drained per node over the whole run.
+    pub drained_per_node: Vec<f64>,
+    /// Battery remaining per node at the end.
+    pub remaining_per_node: Vec<f64>,
+    /// Alive-node count after each epoch (the fraction-alive curve).
+    pub alive_curve: Vec<u32>,
+    /// Coefficient of variation of per-node drained energy, snapshotted
+    /// at the first death (or at the end when nothing died): the
+    /// energy-balance metric — lower is more even.
+    pub energy_balance_cv: f64,
+}
+
+impl LifetimeReport {
+    /// Delivered fraction of all injected packets (1.0 when no traffic).
+    pub fn delivered_ratio(&self) -> f64 {
+        let total = self.delivered + self.dropped;
+        if total == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+
+    /// First-death epoch, censored at `epochs_run` when nothing died.
+    pub fn first_death_or_censored(&self) -> u32 {
+        self.first_death.unwrap_or(self.epochs_run)
+    }
+
+    /// Partition epoch, censored at `epochs_run` when it never happened.
+    pub fn partition_or_censored(&self) -> u32 {
+        self.partition.unwrap_or(self.epochs_run)
+    }
+}
+
+/// Minimum-energy routing state: one shortest-path tree per source,
+/// computed lazily the first time the source sends and kept until the
+/// topology changes.
+#[derive(Debug, Clone, Default)]
+struct RoutingTable {
+    /// `parent[s][v]` is `v`'s predecessor on the cheapest `s → v` path.
+    parent: Vec<Option<Vec<Option<NodeId>>>>,
+}
+
+impl RoutingTable {
+    fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.resize(n, None);
+    }
+
+    /// The node path `src → … → dst`, or `None` when unreachable.
+    fn path<F>(&mut self, src: NodeId, dst: NodeId, compute_tree: F) -> Option<Vec<NodeId>>
+    where
+        F: FnOnce(NodeId) -> Vec<Option<NodeId>>,
+    {
+        let slot = &mut self.parent[src.index()];
+        let tree = slot.get_or_insert_with(|| compute_tree(src));
+        let mut hops = vec![dst];
+        let mut cursor = dst;
+        while cursor != src {
+            cursor = (*tree.get(cursor.index())?)?;
+            hops.push(cursor);
+        }
+        hops.reverse();
+        Some(hops)
+    }
+}
+
+/// A deterministic packet-level battery simulation over one network and
+/// one topology policy.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_energy::{LifetimeConfig, LifetimeSim, TopologyPolicy};
+/// use cbtc_workloads::{RandomPlacement, Scenario};
+///
+/// let network = RandomPlacement::from_scenario(&Scenario::smoke()).generate(1);
+/// let sim = LifetimeSim::new(network, TopologyPolicy::MaxPower, LifetimeConfig::smoke(), 1);
+/// let report = sim.run();
+/// assert!(report.first_death.is_some());
+/// assert!(report.delivered > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LifetimeSim {
+    network: Network,
+    policy: TopologyPolicy,
+    config: LifetimeConfig,
+    flows: FlowGenerator,
+    seed: u64,
+
+    batteries: Vec<Battery>,
+    alive: Vec<bool>,
+    alive_count: u32,
+    /// Cached list of alive node IDs (rebuilt on deaths).
+    alive_ids: Vec<NodeId>,
+    topology: UndirectedGraph,
+    routes: RoutingTable,
+    /// Per-node broadcast-radius power for the standby drain.
+    radius_power: Vec<Power>,
+
+    epoch: u32,
+    first_death: Option<u32>,
+    partition: Option<u32>,
+    all_dead: Option<u32>,
+    delivered: u64,
+    dropped: u64,
+    ledger: EnergyLedger,
+    drained: Vec<f64>,
+    alive_curve: Vec<u32>,
+    balance_cv_at_first_death: Option<f64>,
+}
+
+impl LifetimeSim {
+    /// Sets up a run: builds the initial topology and routing state, and
+    /// charges every battery to `config.initial_energy`.
+    pub fn new(
+        network: Network,
+        policy: TopologyPolicy,
+        config: LifetimeConfig,
+        seed: u64,
+    ) -> Self {
+        let n = network.len();
+        let topology = policy.build(&network);
+        let mut sim = LifetimeSim {
+            flows: FlowGenerator::new(config.pattern, seed),
+            seed,
+            batteries: vec![Battery::new(config.initial_energy); n],
+            alive: vec![true; n],
+            alive_count: n as u32,
+            alive_ids: (0..n as u32).map(NodeId::new).collect(),
+            routes: RoutingTable::default(),
+            radius_power: vec![Power::ZERO; n],
+            epoch: 0,
+            first_death: None,
+            partition: None,
+            all_dead: None,
+            delivered: 0,
+            dropped: 0,
+            ledger: EnergyLedger::default(),
+            drained: vec![0.0; n],
+            alive_curve: Vec::new(),
+            balance_cv_at_first_death: None,
+            topology,
+            network,
+            policy,
+            config,
+        };
+        sim.refresh_routing_and_radii();
+        sim.check_partition();
+        sim
+    }
+
+    /// The epoch about to be simulated next.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Nodes still alive.
+    pub fn alive_count(&self) -> u32 {
+        self.alive_count
+    }
+
+    /// The current topology (dead nodes are isolated).
+    pub fn topology(&self) -> &UndirectedGraph {
+        &self.topology
+    }
+
+    /// The per-node batteries.
+    pub fn batteries(&self) -> &[Battery] {
+        &self.batteries
+    }
+
+    /// Whether the run is over (battery exhaustion or the epoch cap).
+    pub fn finished(&self) -> bool {
+        self.alive_count == 0 || self.epoch >= self.config.max_epochs
+    }
+
+    /// Simulates one epoch. Returns `false` once the run is over.
+    pub fn step(&mut self) -> bool {
+        if self.finished() {
+            return false;
+        }
+        let model = *self.network.model();
+        let energy = self.config.energy;
+        let power_control = self.policy.power_controlled();
+
+        // 1. + 2. Traffic: route each packet, drain tx/rx along the path.
+        let mut delivered = 0u32;
+        let mut dropped = 0u32;
+        let flows = self
+            .flows
+            .epoch_flows(&self.alive_ids, self.config.packets_per_epoch);
+        for flow in flows {
+            let topology = &self.topology;
+            let alive = &self.alive;
+            let layout = self.network.layout();
+            let path = self.routes.path(flow.src, flow.dst, |s| {
+                dijkstra_parents(
+                    topology,
+                    s,
+                    |u, v| {
+                        let d = layout.distance(u, v);
+                        energy.hop_cost(energy.hop_tx_power(&model, d, power_control))
+                    },
+                    |v| alive[v.index()],
+                )
+            });
+            match path {
+                None => dropped += 1,
+                Some(path) => {
+                    for hop in path.windows(2) {
+                        let (u, v) = (hop[0], hop[1]);
+                        let d = self.network.layout().distance(u, v);
+                        let tx_power = energy.hop_tx_power(&model, d, power_control);
+                        let tx = self.batteries[u.index()].drain(energy.tx_cost(tx_power));
+                        self.ledger.tx += tx;
+                        self.drained[u.index()] += tx;
+                        let rx = self.batteries[v.index()].drain(energy.rx_cost);
+                        self.ledger.rx += rx;
+                        self.drained[v.index()] += rx;
+                    }
+                    delivered += 1;
+                }
+            }
+        }
+        self.delivered += delivered as u64;
+        self.dropped += dropped as u64;
+
+        // 3. Standby: idle + maintenance beaconing at radius power.
+        for u in 0..self.batteries.len() {
+            if !self.alive[u] {
+                continue;
+            }
+            let idle = self.batteries[u].drain(energy.idle_per_epoch);
+            self.ledger.idle += idle;
+            self.drained[u] += idle;
+            let beacons =
+                self.batteries[u].drain(energy.maintenance_duty * self.radius_power[u].linear());
+            self.ledger.maintenance += beacons;
+            self.drained[u] += beacons;
+        }
+
+        self.epoch += 1;
+
+        // 4. Deaths and reconfiguration.
+        let mut any_death = false;
+        for u in 0..self.batteries.len() {
+            if self.alive[u] && !self.batteries[u].is_alive() {
+                self.alive[u] = false;
+                self.alive_count -= 1;
+                any_death = true;
+            }
+        }
+        if any_death {
+            if self.first_death.is_none() {
+                self.first_death = Some(self.epoch);
+                self.balance_cv_at_first_death = Some(self.balance_cv());
+            }
+            if self.alive_count == 0 {
+                self.all_dead = Some(self.epoch);
+            }
+            self.rebuild_topology();
+            self.refresh_routing_and_radii();
+            // 5. Milestones. Connectivity can only change when the
+            // topology does, so the check lives inside the death branch.
+            self.check_partition();
+        }
+
+        self.alive_curve.push(self.alive_count);
+        !self.finished()
+    }
+
+    /// Runs to completion and summarizes.
+    pub fn run(mut self) -> LifetimeReport {
+        while self.step() {}
+        LifetimeReport {
+            policy: self.policy.label(),
+            seed: self.seed,
+            epochs_run: self.epoch,
+            first_death: self.first_death,
+            partition: self.partition,
+            all_dead: self.all_dead,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            ledger: self.ledger,
+            drained_per_node: self.drained.clone(),
+            remaining_per_node: self.batteries.iter().map(Battery::remaining).collect(),
+            alive_curve: self.alive_curve.clone(),
+            energy_balance_cv: self
+                .balance_cv_at_first_death
+                .unwrap_or_else(|| self.balance_cv()),
+        }
+    }
+
+    /// Coefficient of variation (σ/μ) of per-node drained energy.
+    fn balance_cv(&self) -> f64 {
+        let n = self.drained.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.drained.iter().sum::<f64>() / n;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = self.drained.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
+        var.sqrt() / mean
+    }
+
+    fn rebuild_topology(&mut self) {
+        if self.config.reconfigure {
+            self.topology = self.policy.build_on_survivors(&self.network, &self.alive);
+        } else {
+            // Decay only: strip edges touching the dead.
+            let dead: Vec<NodeId> = self
+                .network
+                .layout()
+                .node_ids()
+                .filter(|u| !self.alive[u.index()])
+                .collect();
+            for u in dead {
+                let neighbors: Vec<NodeId> = self.topology.neighbors(u).collect();
+                for v in neighbors {
+                    self.topology.remove_edge(u, v);
+                }
+            }
+        }
+    }
+
+    /// Recomputes the alive-ID cache, the per-node maintenance radii and
+    /// invalidates the routing trees (only needed when the topology
+    /// changed; trees are recomputed lazily per sending source).
+    fn refresh_routing_and_radii(&mut self) {
+        let model = *self.network.model();
+        let power_control = self.policy.power_controlled();
+        self.alive_ids = self
+            .network
+            .layout()
+            .node_ids()
+            .filter(|u| self.alive[u.index()])
+            .collect();
+
+        // Maintenance radius: max power without topology control; the
+        // farthest kept alive neighbor (max power when isolated) with it.
+        for u in self.network.layout().node_ids() {
+            let i = u.index();
+            if !self.alive[i] {
+                self.radius_power[i] = Power::ZERO;
+                continue;
+            }
+            self.radius_power[i] = if power_control {
+                self.topology
+                    .neighbors(u)
+                    .filter(|v| self.alive[v.index()])
+                    .map(|v| self.network.layout().distance(u, v))
+                    .fold(None, |acc: Option<f64>, d| {
+                        Some(acc.map_or(d, |a| a.max(d)))
+                    })
+                    .map_or(model.max_power(), |r| model.required_power(r))
+            } else {
+                model.max_power()
+            };
+        }
+
+        // Shortest-path trees are computed per source on first use.
+        self.routes.reset(self.network.len());
+    }
+
+    /// Records the first epoch at which the surviving topology stopped
+    /// being one connected component (or shrank below two nodes).
+    fn check_partition(&mut self) {
+        if self.partition.is_some() {
+            return;
+        }
+        if !self.alive_connected() {
+            self.partition = Some(self.epoch);
+        }
+    }
+
+    /// BFS over alive nodes only.
+    fn alive_connected(&self) -> bool {
+        let alive_total = self.alive_count as usize;
+        if alive_total < 2 {
+            return false;
+        }
+        let start = match self.alive.iter().position(|a| *a) {
+            Some(i) => NodeId::new(i as u32),
+            None => return false,
+        };
+        let mut seen = vec![false; self.alive.len()];
+        seen[start.index()] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut reached = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for v in self.topology.neighbors(u) {
+                if self.alive[v.index()] && !seen[v.index()] {
+                    seen[v.index()] = true;
+                    reached += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        reached == alive_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbtc_core::CbtcConfig;
+    use cbtc_geom::{Alpha, Point2};
+    use cbtc_graph::Layout;
+
+    fn chain(spacing: f64, n: usize) -> Network {
+        Network::with_paper_radio(Layout::new(
+            (0..n)
+                .map(|i| Point2::new(i as f64 * spacing, 0.0))
+                .collect(),
+        ))
+    }
+
+    fn quick_config() -> LifetimeConfig {
+        LifetimeConfig {
+            initial_energy: 100_000.0,
+            packets_per_epoch: 5,
+            max_epochs: 2_000,
+            ..LifetimeConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn lifetime_milestones_are_ordered() {
+        let sim = LifetimeSim::new(chain(200.0, 6), TopologyPolicy::MaxPower, quick_config(), 3);
+        let report = sim.run();
+        let fd = report.first_death.expect("someone must die");
+        let ad = report.all_dead.expect("everyone must die");
+        let part = report.partition.expect("a chain partitions");
+        assert!(fd <= part && part <= ad, "{fd} <= {part} <= {ad}");
+        assert_eq!(report.epochs_run as usize, report.alive_curve.len());
+        assert_eq!(*report.alive_curve.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn routing_charges_intermediate_nodes() {
+        // 3-node chain, ends out of direct range: the middle node relays.
+        let network = chain(400.0, 3);
+        let mut config = quick_config();
+        config.packets_per_epoch = 10;
+        config.energy.idle_per_epoch = 0.0;
+        config.energy.maintenance_duty = 0.0;
+        let mut sim = LifetimeSim::new(network, TopologyPolicy::MaxPower, config, 1);
+        sim.step();
+        let drained_mid = sim.batteries()[1].drained();
+        assert!(drained_mid > 0.0, "relay must spend energy");
+        assert!(sim.ledger.tx > 0.0 && sim.ledger.rx > 0.0);
+    }
+
+    #[test]
+    fn unreachable_packets_are_dropped() {
+        // Two nodes beyond max range: all traffic drops.
+        let network = chain(600.0, 2);
+        let sim = LifetimeSim::new(network, TopologyPolicy::MaxPower, quick_config(), 1);
+        let report = sim.run();
+        assert_eq!(report.delivered, 0);
+        assert!(report.dropped > 0);
+        assert_eq!(report.partition, Some(0), "born partitioned");
+    }
+
+    #[test]
+    fn cbtc_standby_is_cheaper_than_max_power() {
+        let network = chain(150.0, 8);
+        let max_power =
+            LifetimeSim::new(network.clone(), TopologyPolicy::MaxPower, quick_config(), 1);
+        let cbtc = LifetimeSim::new(
+            network,
+            TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS)),
+            quick_config(),
+            1,
+        );
+        let sum = |sim: &LifetimeSim| -> f64 { sim.radius_power.iter().map(|p| p.linear()).sum() };
+        assert!(sum(&cbtc) < sum(&max_power) / 2.0);
+    }
+
+    #[test]
+    fn reconfiguration_restores_routes_after_death() {
+        // Dense cluster: after deaths the survivors stay connected and
+        // keep delivering.
+        let network = chain(100.0, 10);
+        let config = quick_config();
+        let report = LifetimeSim::new(
+            network,
+            TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS)),
+            config,
+            5,
+        )
+        .run();
+        assert!(report.first_death.is_some());
+        assert!(report.delivered_ratio() > 0.5);
+    }
+}

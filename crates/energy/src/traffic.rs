@@ -1,0 +1,313 @@
+//! Deterministic packet-level traffic generation.
+//!
+//! Three workloads from the WSN evaluation literature:
+//!
+//! * **uniform** — independent random source/destination pairs (peer-to-
+//!   peer traffic, the default);
+//! * **convergecast** — every packet flows to one sink (data collection,
+//!   the dominant sensor-network pattern);
+//! * **hotspot** — a biased mix: a configurable fraction of packets target
+//!   one popular node, the rest are uniform.
+//!
+//! Generation is a pure function of the seed and the alive set, so a
+//! lifetime run is reproducible end to end.
+
+use std::str::FromStr;
+
+use cbtc_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One end-to-end packet: a source and a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Originating node.
+    pub src: NodeId,
+    /// Final destination.
+    pub dst: NodeId,
+}
+
+/// Which traffic workload to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Uniform random distinct source/destination pairs.
+    Uniform,
+    /// All packets flow to `sink`. When the sink dies, traffic stops —
+    /// the service the network existed for is over.
+    Convergecast {
+        /// The data sink.
+        sink: NodeId,
+    },
+    /// A `bias` fraction of packets target `hotspot`; the rest are
+    /// uniform.
+    Hotspot {
+        /// The popular destination.
+        hotspot: NodeId,
+        /// Fraction of packets addressed to the hotspot (0..=1).
+        bias: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// Short label for tables and JSON output.
+    pub fn label(&self) -> String {
+        match self {
+            TrafficPattern::Uniform => "uniform".to_owned(),
+            TrafficPattern::Convergecast { sink } => format!("convergecast:{}", sink.raw()),
+            TrafficPattern::Hotspot { hotspot, bias } => {
+                format!("hotspot:{}@{bias}", hotspot.raw())
+            }
+        }
+    }
+}
+
+impl FromStr for TrafficPattern {
+    type Err = String;
+
+    /// Parses `uniform`, `convergecast[:SINK]` (default sink 0) and
+    /// `hotspot[:NODE[@BIAS]]` (default node 0, bias 0.5). [`Self::label`]
+    /// output round-trips through this parser.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (kind, arg) = match s.split_once(':') {
+            Some((k, a)) => (k, Some(a)),
+            None => (s, None),
+        };
+        let node = |raw: &str| -> Result<NodeId, String> {
+            raw.parse::<u32>()
+                .map(NodeId::new)
+                .map_err(|_| format!("invalid node id `{raw}` in traffic pattern"))
+        };
+        match kind {
+            "uniform" => Ok(TrafficPattern::Uniform),
+            "convergecast" => Ok(TrafficPattern::Convergecast {
+                sink: arg.map_or(Ok(NodeId::new(0)), node)?,
+            }),
+            "hotspot" => {
+                let (node_raw, bias) = match arg.and_then(|a| a.split_once('@')) {
+                    Some((n, b)) => {
+                        let bias: f64 = b.parse().map_err(|_| {
+                            format!("invalid hotspot bias `{b}` in traffic pattern")
+                        })?;
+                        if !(0.0..=1.0).contains(&bias) {
+                            return Err(format!("hotspot bias {bias} outside 0..=1"));
+                        }
+                        (Some(n), bias)
+                    }
+                    None => (arg, 0.5),
+                };
+                Ok(TrafficPattern::Hotspot {
+                    hotspot: node_raw.map_or(Ok(NodeId::new(0)), node)?,
+                    bias,
+                })
+            }
+            other => Err(format!(
+                "unknown traffic pattern `{other}` (use uniform, convergecast[:SINK] or hotspot[:NODE[@BIAS]])"
+            )),
+        }
+    }
+}
+
+/// Seeded generator of per-epoch flow batches.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_energy::{FlowGenerator, TrafficPattern};
+/// use cbtc_graph::NodeId;
+///
+/// let alive: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+/// let mut gen = FlowGenerator::new(TrafficPattern::Uniform, 7);
+/// let flows = gen.epoch_flows(&alive, 10);
+/// assert_eq!(flows.len(), 10);
+/// assert!(flows.iter().all(|f| f.src != f.dst));
+///
+/// // Same seed, same traffic.
+/// let again = FlowGenerator::new(TrafficPattern::Uniform, 7).epoch_flows(&alive, 10);
+/// assert_eq!(flows, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowGenerator {
+    pattern: TrafficPattern,
+    rng: StdRng,
+}
+
+impl FlowGenerator {
+    /// A generator for `pattern` seeded with `seed`.
+    pub fn new(pattern: TrafficPattern, seed: u64) -> Self {
+        FlowGenerator {
+            pattern,
+            // Decorrelate from placement generators that may share the
+            // user-facing seed.
+            rng: StdRng::seed_from_u64(seed ^ 0xE4E6_65F1_7A5C_93D1),
+        }
+    }
+
+    /// The pattern this generator draws from.
+    pub fn pattern(&self) -> TrafficPattern {
+        self.pattern
+    }
+
+    /// Draws `count` flows among the currently alive nodes. Returns fewer
+    /// (possibly zero) flows when the pattern cannot be realized — fewer
+    /// than two alive nodes, or a dead sink.
+    pub fn epoch_flows(&mut self, alive: &[NodeId], count: u32) -> Vec<Flow> {
+        if alive.len() < 2 {
+            return Vec::new();
+        }
+        // The alive set is fixed for the whole epoch: resolve the
+        // pattern's liveness questions once, not per packet.
+        let (sink_alive, hotspot_alive) = match self.pattern {
+            TrafficPattern::Uniform => (true, true),
+            TrafficPattern::Convergecast { sink } => (alive.contains(&sink), true),
+            TrafficPattern::Hotspot { hotspot, .. } => (true, alive.contains(&hotspot)),
+        };
+        if !sink_alive {
+            return Vec::new(); // sink dead: service over
+        }
+        let mut flows = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let flow = match self.pattern {
+                TrafficPattern::Uniform => self.uniform_pair(alive),
+                TrafficPattern::Convergecast { sink } => {
+                    let src = self.pick_excluding(alive, sink);
+                    Some(Flow { src, dst: sink })
+                }
+                TrafficPattern::Hotspot { hotspot, bias } => {
+                    if hotspot_alive && self.rng.gen::<f64>() < bias {
+                        let src = self.pick_excluding(alive, hotspot);
+                        Some(Flow { src, dst: hotspot })
+                    } else {
+                        self.uniform_pair(alive)
+                    }
+                }
+            };
+            flows.extend(flow);
+        }
+        flows
+    }
+
+    fn uniform_pair(&mut self, alive: &[NodeId]) -> Option<Flow> {
+        let src = alive[self.rng.gen_range(0..alive.len())];
+        let dst = self.pick_excluding(alive, src);
+        Some(Flow { src, dst })
+    }
+
+    /// A uniform pick among `alive` different from `not` (requires
+    /// `alive.len() >= 2`).
+    fn pick_excluding(&mut self, alive: &[NodeId], not: NodeId) -> NodeId {
+        loop {
+            let candidate = alive[self.rng.gen_range(0..alive.len())];
+            if candidate != not {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn parse_patterns() {
+        assert_eq!(
+            "uniform".parse::<TrafficPattern>().unwrap(),
+            TrafficPattern::Uniform
+        );
+        assert_eq!(
+            "convergecast:3".parse::<TrafficPattern>().unwrap(),
+            TrafficPattern::Convergecast {
+                sink: NodeId::new(3)
+            }
+        );
+        assert_eq!(
+            "convergecast".parse::<TrafficPattern>().unwrap(),
+            TrafficPattern::Convergecast {
+                sink: NodeId::new(0)
+            }
+        );
+        match "hotspot:5".parse::<TrafficPattern>().unwrap() {
+            TrafficPattern::Hotspot { hotspot, bias } => {
+                assert_eq!(hotspot, NodeId::new(5));
+                assert!(bias > 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!("bogus".parse::<TrafficPattern>().is_err());
+        assert!("convergecast:x".parse::<TrafficPattern>().is_err());
+        assert!("hotspot:1@1.5".parse::<TrafficPattern>().is_err());
+        assert!("hotspot:1@x".parse::<TrafficPattern>().is_err());
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for pattern in [
+            TrafficPattern::Uniform,
+            TrafficPattern::Convergecast {
+                sink: NodeId::new(7),
+            },
+            TrafficPattern::Hotspot {
+                hotspot: NodeId::new(4),
+                bias: 0.25,
+            },
+        ] {
+            let parsed: TrafficPattern = pattern.label().parse().unwrap();
+            assert_eq!(parsed, pattern, "label `{}`", pattern.label());
+        }
+    }
+
+    #[test]
+    fn uniform_flows_are_valid_and_deterministic() {
+        let alive = ids(8);
+        let a = FlowGenerator::new(TrafficPattern::Uniform, 1).epoch_flows(&alive, 50);
+        let b = FlowGenerator::new(TrafficPattern::Uniform, 1).epoch_flows(&alive, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for f in &a {
+            assert_ne!(f.src, f.dst);
+            assert!(alive.contains(&f.src) && alive.contains(&f.dst));
+        }
+        let c = FlowGenerator::new(TrafficPattern::Uniform, 2).epoch_flows(&alive, 50);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn convergecast_targets_sink_until_it_dies() {
+        let sink = NodeId::new(2);
+        let pattern = TrafficPattern::Convergecast { sink };
+        let alive = ids(6);
+        let flows = FlowGenerator::new(pattern, 3).epoch_flows(&alive, 20);
+        assert_eq!(flows.len(), 20);
+        assert!(flows.iter().all(|f| f.dst == sink && f.src != sink));
+
+        let without_sink: Vec<NodeId> = alive.into_iter().filter(|n| *n != sink).collect();
+        let flows = FlowGenerator::new(pattern, 3).epoch_flows(&without_sink, 20);
+        assert!(flows.is_empty(), "dead sink stops traffic");
+    }
+
+    #[test]
+    fn hotspot_bias_shows_up() {
+        let hotspot = NodeId::new(0);
+        let pattern = TrafficPattern::Hotspot { hotspot, bias: 0.8 };
+        let flows = FlowGenerator::new(pattern, 9).epoch_flows(&ids(10), 500);
+        let to_hotspot = flows.iter().filter(|f| f.dst == hotspot).count();
+        // 0.8 bias plus the uniform remainder's 1/10 share.
+        assert!(
+            to_hotspot > 350,
+            "only {to_hotspot}/500 flows hit the hotspot"
+        );
+        assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn degenerate_alive_sets() {
+        let mut g = FlowGenerator::new(TrafficPattern::Uniform, 0);
+        assert!(g.epoch_flows(&ids(1), 10).is_empty());
+        assert!(g.epoch_flows(&[], 10).is_empty());
+    }
+}

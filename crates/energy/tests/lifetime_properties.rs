@@ -1,0 +1,129 @@
+//! Integration tests of the lifetime subsystem: determinism, energy
+//! conservation, and the paper's §6 claim (topology control extends
+//! lifetime) as a property over random scenarios.
+
+use cbtc_core::CbtcConfig;
+use cbtc_energy::{LifetimeConfig, LifetimeReport, LifetimeSim, TopologyPolicy, TrafficPattern};
+use cbtc_geom::Alpha;
+use cbtc_workloads::{RandomPlacement, Scenario};
+use proptest::prelude::*;
+
+fn smoke_network(seed: u64) -> cbtc_core::Network {
+    RandomPlacement::from_scenario(&Scenario::smoke()).generate(seed)
+}
+
+fn all_opt() -> TopologyPolicy {
+    TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS))
+}
+
+fn run(policy: TopologyPolicy, config: LifetimeConfig, seed: u64) -> LifetimeReport {
+    LifetimeSim::new(smoke_network(seed), policy, config, seed).run()
+}
+
+#[test]
+fn same_seed_gives_identical_trace() {
+    for policy in [TopologyPolicy::MaxPower, all_opt()] {
+        let a = run(policy, LifetimeConfig::smoke(), 42);
+        let b = run(policy, LifetimeConfig::smoke(), 42);
+        // Full structural equality: every milestone, the whole alive
+        // curve, every battery level and the complete ledger.
+        assert_eq!(a, b);
+        let c = run(policy, LifetimeConfig::smoke(), 43);
+        assert_ne!(a, c, "different seeds must produce different traces");
+    }
+}
+
+#[test]
+fn energy_is_conserved() {
+    for (policy, pattern) in [
+        (TopologyPolicy::MaxPower, TrafficPattern::Uniform),
+        (all_opt(), TrafficPattern::Uniform),
+        (
+            all_opt(),
+            TrafficPattern::Convergecast {
+                sink: cbtc_graph::NodeId::new(0),
+            },
+        ),
+    ] {
+        let mut config = LifetimeConfig::smoke();
+        config.pattern = pattern;
+        let report = run(policy, config, 7);
+
+        // Every joule the ledger recorded left exactly one battery.
+        let drained_from_batteries: f64 = report
+            .remaining_per_node
+            .iter()
+            .map(|remaining| config.initial_energy - remaining)
+            .sum();
+        let per_node_total: f64 = report.drained_per_node.iter().sum();
+        let ledger_total = report.ledger.total();
+
+        let scale = drained_from_batteries.max(1.0);
+        assert!(
+            (ledger_total - drained_from_batteries).abs() / scale < 1e-9,
+            "ledger {ledger_total} vs battery delta {drained_from_batteries}"
+        );
+        assert!(
+            (per_node_total - drained_from_batteries).abs() / scale < 1e-9,
+            "per-node sum {per_node_total} vs battery delta {drained_from_batteries}"
+        );
+        // All four categories were exercised.
+        assert!(report.ledger.tx > 0.0);
+        assert!(report.ledger.rx > 0.0);
+        assert!(report.ledger.idle > 0.0);
+        assert!(report.ledger.maintenance > 0.0);
+    }
+}
+
+#[test]
+fn milestones_and_curves_are_consistent() {
+    let report = run(all_opt(), LifetimeConfig::smoke(), 3);
+    assert_eq!(report.epochs_run as usize, report.alive_curve.len());
+    let fd = report.first_death.expect("smoke config drains batteries");
+    let ad = report.all_dead.expect("smoke config kills everyone");
+    let part = report.partition.expect("death implies eventual partition");
+    assert!(fd <= part && part <= ad);
+    // The alive curve is non-increasing and hits zero at all_dead.
+    for w in report.alive_curve.windows(2) {
+        assert!(w[1] <= w[0], "alive count must not resurrect");
+    }
+    assert_eq!(report.alive_curve[ad as usize - 1], 0);
+    assert!(
+        report.alive_curve[fd as usize - 2] == 25,
+        "everyone alive before first death"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// §6 as a property: on random paper-style networks, CBTC with all
+    /// optimizations keeps the first node alive at least as long as the
+    /// max-power baseline, under the default standby-dominated model.
+    #[test]
+    fn cbtc_lifetime_at_least_max_power(
+        seed in 0u64..10_000,
+        nodes in 20usize..40,
+        side in 700.0f64..1200.0,
+    ) {
+        let network = RandomPlacement::new(nodes, side, side, 500.0).generate(seed);
+        let config = LifetimeConfig::smoke();
+        let max_power =
+            LifetimeSim::new(network.clone(), TopologyPolicy::MaxPower, config, seed).run();
+        let cbtc = LifetimeSim::new(network, all_opt(), config, seed).run();
+        prop_assert!(
+            cbtc.first_death_or_censored() >= max_power.first_death_or_censored(),
+            "seed {} nodes {} side {}: CBTC died first ({} < {})",
+            seed,
+            nodes,
+            side,
+            cbtc.first_death_or_censored(),
+            max_power.first_death_or_censored()
+        );
+        // Time-to-partition is never worse either.
+        prop_assert!(
+            cbtc.partition_or_censored() >= max_power.partition_or_censored(),
+            "seed {seed}: CBTC partitioned first"
+        );
+    }
+}

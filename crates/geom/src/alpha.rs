@@ -159,7 +159,9 @@ mod tests {
     fn threshold_predicates() {
         assert!(Alpha::TWO_PI_THIRDS.preserves_connectivity());
         assert!(Alpha::FIVE_PI_SIXTHS.preserves_connectivity());
-        assert!(!Alpha::new(5.0 * PI / 6.0 + 0.01).unwrap().preserves_connectivity());
+        assert!(!Alpha::new(5.0 * PI / 6.0 + 0.01)
+            .unwrap()
+            .preserves_connectivity());
 
         assert!(Alpha::TWO_PI_THIRDS.supports_asymmetric_removal());
         assert!(!Alpha::FIVE_PI_SIXTHS.supports_asymmetric_removal());

@@ -80,7 +80,9 @@ impl Example21 {
     /// which the paper's example applies).
     pub fn new(r: f64, alpha: Alpha) -> Result<Self, ConstructionError> {
         if !(r.is_finite() && r > 0.0) {
-            return Err(ConstructionError::new(format!("radius {r} must be positive")));
+            return Err(ConstructionError::new(format!(
+                "radius {r} must be positive"
+            )));
         }
         let a = alpha.radians();
         if a <= 2.0 * FRAC_PI_3 + 1e-12 || a > 5.0 * PI / 6.0 + 1e-12 {
@@ -168,7 +170,9 @@ impl Theorem24 {
     /// `α = 5π/6 + ε ≤ π`, matching the paper's `min(α, π)` step).
     pub fn new(r: f64, epsilon: f64) -> Result<Self, ConstructionError> {
         if !(r.is_finite() && r > 0.0) {
-            return Err(ConstructionError::new(format!("radius {r} must be positive")));
+            return Err(ConstructionError::new(format!(
+                "radius {r} must be positive"
+            )));
         }
         if !(epsilon.is_finite() && epsilon > 0.0 && epsilon <= PI / 6.0) {
             return Err(ConstructionError::new(format!(

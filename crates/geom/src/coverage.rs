@@ -86,10 +86,7 @@ impl ArcSet {
     /// centered at each direction in `dirs`.
     pub fn cover(dirs: &[Angle], alpha: Alpha) -> Self {
         let half = alpha.half();
-        ArcSet::from_arcs(
-            dirs.iter()
-                .map(|d| (d.rotated(-half), alpha.radians())),
-        )
+        ArcSet::from_arcs(dirs.iter().map(|d| (d.rotated(-half), alpha.radians())))
     }
 
     fn normalize(mut spans: Vec<(f64, f64)>) -> Self {
@@ -127,9 +124,7 @@ impl ArcSet {
                 }
                 if absorbed == last || reach + EPS >= merged[last].0 {
                     // Everything merged into one circuit: check fullness.
-                    if reach + TAU + EPS >= merged[last].0 + TAU
-                        && merged[last].0 <= reach + EPS
-                    {
+                    if reach + TAU + EPS >= merged[last].0 + TAU && merged[last].0 <= reach + EPS {
                         return ArcSet::full_circle();
                     }
                 }

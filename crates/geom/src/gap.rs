@@ -131,8 +131,9 @@ mod tests {
     fn evenly_spread_directions() {
         // k evenly spaced directions: max gap 2π/k.
         for k in 2..12usize {
-            let dirs: Vec<Angle> =
-                (0..k).map(|i| Angle::new(i as f64 * TAU / k as f64)).collect();
+            let dirs: Vec<Angle> = (0..k)
+                .map(|i| Angle::new(i as f64 * TAU / k as f64))
+                .collect();
             let expect = TAU / k as f64;
             assert!(
                 (max_gap(&dirs) - expect).abs() < 1e-9,

@@ -153,10 +153,7 @@ impl Vec2 {
     ///
     /// Panics in debug builds on the zero vector.
     pub fn angle(self) -> Angle {
-        debug_assert!(
-            self != Vec2::ZERO,
-            "angle of the zero vector is undefined"
-        );
+        debug_assert!(self != Vec2::ZERO, "angle of the zero vector is undefined");
         Angle::new(self.y.atan2(self.x))
     }
 }
@@ -280,14 +277,9 @@ mod tests {
     fn direction_to_cardinal_points() {
         let o = Point2::ORIGIN;
         assert!((o.direction_to(Point2::new(1.0, 0.0)).radians() - 0.0).abs() < 1e-15);
-        assert!(
-            (o.direction_to(Point2::new(0.0, 1.0)).radians() - FRAC_PI_2).abs() < 1e-15
-        );
+        assert!((o.direction_to(Point2::new(0.0, 1.0)).radians() - FRAC_PI_2).abs() < 1e-15);
         assert!((o.direction_to(Point2::new(-1.0, 0.0)).radians() - PI).abs() < 1e-15);
-        assert!(
-            (o.direction_to(Point2::new(0.0, -1.0)).radians() - 3.0 * FRAC_PI_2).abs()
-                < 1e-15
-        );
+        assert!((o.direction_to(Point2::new(0.0, -1.0)).radians() - 3.0 * FRAC_PI_2).abs() < 1e-15);
     }
 
     #[test]

@@ -149,7 +149,10 @@ mod tests {
         let u = Point2::new(0.0, 0.0);
         let v = Point2::new(10.0, 0.0);
         // z at angle 50° < 60° from v, closer than d(u,v).
-        let z = Point2::new(10.0 - 6.0 * 50f64.to_radians().cos(), 6.0 * 50f64.to_radians().sin());
+        let z = Point2::new(
+            10.0 - 6.0 * 50f64.to_radians().cos(),
+            6.0 * 50f64.to_radians().sin(),
+        );
         assert!(angle_at(z, v, u) < FRAC_PI_3);
         assert!(v.distance(z) < u.distance(v));
         assert!(z.distance(u) < u.distance(v));

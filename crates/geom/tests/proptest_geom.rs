@@ -9,9 +9,8 @@ use cbtc_geom::{Alpha, Angle, Cone, Point2};
 use proptest::prelude::*;
 
 fn angles(max_len: usize) -> impl Strategy<Value = Vec<Angle>> {
-    proptest::collection::vec(0.0f64..TAU, 0..max_len).prop_map(|v| {
-        v.into_iter().map(Angle::new).collect()
-    })
+    proptest::collection::vec(0.0f64..TAU, 0..max_len)
+        .prop_map(|v| v.into_iter().map(Angle::new).collect())
 }
 
 fn alphas() -> impl Strategy<Value = Alpha> {

@@ -159,10 +159,7 @@ mod tests {
     fn barbell_bridge() {
         // Two triangles connected by one edge: both endpoints of the
         // connecting edge are articulation points and the edge is a bridge.
-        let g = graph(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = graph(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         let cuts = cut_structure(&g);
         assert_eq!(cuts.articulation_points, vec![n(2), n(3)]);
         assert_eq!(cuts.bridges, vec![(n(2), n(3))]);
@@ -178,7 +175,10 @@ mod tests {
 
     #[test]
     fn empty_and_trivial_graphs() {
-        assert_eq!(cut_structure(&UndirectedGraph::new(0)).articulation_points, vec![]);
+        assert_eq!(
+            cut_structure(&UndirectedGraph::new(0)).articulation_points,
+            vec![]
+        );
         let lone = UndirectedGraph::new(1);
         let cuts = cut_structure(&lone);
         assert!(cuts.articulation_points.is_empty());

@@ -124,7 +124,9 @@ impl DirectedGraph {
     /// that §3.2's optimization removes. Returned as the directed
     /// `(source, target)` pairs that lack a reverse edge.
     pub fn asymmetric_edges(&self) -> Vec<(NodeId, NodeId)> {
-        self.edges().filter(|&(u, v)| !self.has_edge(v, u)).collect()
+        self.edges()
+            .filter(|&(u, v)| !self.has_edge(v, u))
+            .collect()
     }
 }
 

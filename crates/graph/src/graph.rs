@@ -105,8 +105,7 @@ impl UndirectedGraph {
 
     /// Whether `self` is a subgraph of `other` (same node set, edge subset).
     pub fn is_subgraph_of(&self, other: &UndirectedGraph) -> bool {
-        self.node_count() == other.node_count()
-            && self.edges().all(|(u, v)| other.has_edge(u, v))
+        self.node_count() == other.node_count() && self.edges().all(|(u, v)| other.has_edge(u, v))
     }
 
     /// The graph containing the edges of both inputs.

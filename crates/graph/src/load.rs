@@ -71,8 +71,7 @@ pub fn path_stats(g: &UndirectedGraph) -> PathStats {
 /// ```
 pub fn edge_betweenness(g: &UndirectedGraph) -> HashMap<(NodeId, NodeId), f64> {
     let n = g.node_count();
-    let mut centrality: HashMap<(NodeId, NodeId), f64> =
-        g.edges().map(|e| (e, 0.0)).collect();
+    let mut centrality: HashMap<(NodeId, NodeId), f64> = g.edges().map(|e| (e, 0.0)).collect();
 
     for s in g.node_ids() {
         // BFS with path counting.
@@ -144,7 +143,7 @@ mod tests {
         let s = path_stats(&g);
         assert_eq!(s.hop_diameter, 3);
         assert_eq!(s.pairs, 12); // ordered pairs
-        // Sum of hops: per direction 1+2+3 + 1+2 + 1 = 10 → 20 ordered.
+                                 // Sum of hops: per direction 1+2+3 + 1+2 + 1 = 10 → 20 ordered.
         assert!((s.mean_hops - 20.0 / 12.0).abs() < 1e-12);
     }
 

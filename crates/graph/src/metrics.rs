@@ -136,7 +136,10 @@ mod tests {
         g.add_edge(n(0), n(1)); // 1
         g.add_edge(n(2), n(3)); // 4
         assert!((average_edge_length(&g, &line_layout()) - 2.5).abs() < 1e-12);
-        assert_eq!(average_edge_length(&UndirectedGraph::new(4), &line_layout()), 0.0);
+        assert_eq!(
+            average_edge_length(&UndirectedGraph::new(4), &line_layout()),
+            0.0
+        );
     }
 
     #[test]

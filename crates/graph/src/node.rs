@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(u.index(), 3);
 /// assert_eq!(u.to_string(), "n3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {

@@ -72,11 +72,79 @@ where
             let next = cost + w;
             if dist[v.index()].is_none_or(|d| next < d) {
                 dist[v.index()] = Some(next);
-                heap.push(HeapEntry { cost: next, node: v });
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: v,
+                });
             }
         }
     }
     dist
+}
+
+/// Single-source shortest-path **tree** under an arbitrary non-negative
+/// edge weight, restricted to nodes accepted by `include`: returns each
+/// node's predecessor on the cheapest path from `source` (`None` for the
+/// source itself and for unreachable or excluded nodes).
+///
+/// The `include` predicate lets callers route over an induced subgraph —
+/// e.g. the still-alive nodes of a lifetime simulation — without
+/// materializing it. Ties are broken by node ID, so the tree is
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_graph::{NodeId, UndirectedGraph, paths::dijkstra_parents};
+///
+/// let mut g = UndirectedGraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// g.add_edge(NodeId::new(1), NodeId::new(2));
+/// let parent = dijkstra_parents(&g, NodeId::new(0), |_, _| 1.0, |_| true);
+/// assert_eq!(parent[2], Some(NodeId::new(1)));
+/// assert_eq!(parent[0], None);
+/// ```
+pub fn dijkstra_parents<W, F>(
+    g: &UndirectedGraph,
+    source: NodeId,
+    mut weight: W,
+    mut include: F,
+) -> Vec<Option<NodeId>>
+where
+    W: FnMut(NodeId, NodeId) -> f64,
+    F: FnMut(NodeId) -> bool,
+{
+    let n = g.node_count();
+    let mut dist: Vec<f64> = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue; // stale entry
+        }
+        for v in g.neighbors(node) {
+            if !include(v) {
+                continue;
+            }
+            let w = weight(node, v);
+            debug_assert!(w >= 0.0, "negative edge weight");
+            let next = cost + w;
+            if next < dist[v.index()] {
+                dist[v.index()] = next;
+                parent[v.index()] = Some(node);
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: v,
+                });
+            }
+        }
+    }
+    parent
 }
 
 /// The *power cost* of routing along an edge: `d(u,v)ⁿ` for path-loss
@@ -183,6 +251,24 @@ mod tests {
         // Hop cost: direct edge wins.
         let hops = dijkstra(&g, n(0), |_, _| 1.0);
         assert_eq!(hops[2], Some(1.0));
+    }
+
+    #[test]
+    fn dijkstra_parents_builds_the_tree_and_respects_include() {
+        // 0-1-2-3 chain plus a 0-3 shortcut.
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(3));
+        g.add_edge(n(0), n(3));
+        let parent = dijkstra_parents(&g, n(0), |_, _| 1.0, |_| true);
+        assert_eq!(parent[0], None);
+        assert_eq!(parent[1], Some(n(0)));
+        assert_eq!(parent[3], Some(n(0)), "shortcut wins under hop weight");
+        // Excluding node 3 forces the chain and leaves it parentless.
+        let parent = dijkstra_parents(&g, n(0), |_, _| 1.0, |v| v != n(3));
+        assert_eq!(parent[3], None);
+        assert_eq!(parent[2], Some(n(1)));
     }
 
     #[test]

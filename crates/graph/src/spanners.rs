@@ -25,10 +25,7 @@ pub fn relative_neighborhood_graph(layout: &Layout, radius: f64) -> UndirectedGr
     for (u, v) in full.edges() {
         let duv = layout.distance(u, v);
         let blocked = layout.node_ids().any(|w| {
-            w != u
-                && w != v
-                && layout.distance(u, w) < duv
-                && layout.distance(v, w) < duv
+            w != u && w != v && layout.distance(u, w) < duv && layout.distance(v, w) < duv
         });
         if !blocked {
             g.add_edge(u, v);
@@ -167,10 +164,16 @@ mod tests {
     fn scattered(count: usize, side: f64, seed: u64) -> Layout {
         let mut state = seed.max(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        Layout::new((0..count).map(|_| Point2::new(next() * side, next() * side)).collect())
+        Layout::new(
+            (0..count)
+                .map(|_| Point2::new(next() * side, next() * side))
+                .collect(),
+        )
     }
 
     #[test]
@@ -183,7 +186,10 @@ mod tests {
             Point2::new(2.0, 0.1), // nearly between 0 and 1
         ]);
         let g = relative_neighborhood_graph(&l, 10.0);
-        assert!(!g.has_edge(n(0), n(1)), "edge through the lune witness must go");
+        assert!(
+            !g.has_edge(n(0), n(1)),
+            "edge through the lune witness must go"
+        );
         assert!(g.has_edge(n(0), n(2)));
         assert!(g.has_edge(n(2), n(1)));
     }

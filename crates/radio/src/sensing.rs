@@ -119,8 +119,8 @@ mod tests {
         // The perturbation u measures of v generally differs from what v
         // measures of u — two different antenna arrays.
         let s = DirectionSensor::with_error_bound(0.2);
-        let differs = (0..20u64)
-            .any(|i| (s.perturbation(i, i + 1) - s.perturbation(i + 1, i)).abs() > 1e-12);
+        let differs =
+            (0..20u64).any(|i| (s.perturbation(i, i + 1) - s.perturbation(i + 1, i)).abs() > 1e-12);
         assert!(differs);
     }
 

@@ -1,8 +1,6 @@
 //! Property-based tests of the radio substrate.
 
-use cbtc_radio::{
-    estimate_required_power, PathLoss, Power, PowerLaw, PowerSchedule, ScheduleKind,
-};
+use cbtc_radio::{estimate_required_power, PathLoss, Power, PowerLaw, PowerSchedule, ScheduleKind};
 use proptest::prelude::*;
 
 fn models() -> impl Strategy<Value = PowerLaw> {

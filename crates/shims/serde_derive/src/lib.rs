@@ -1,0 +1,424 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the Value-based traits of the sibling `serde` shim, without `syn` or
+//! `quote` (neither is available offline). The token stream is parsed by
+//! hand, which is tractable because the supported shapes are exactly what
+//! this workspace uses:
+//!
+//! * non-generic structs with named fields → externally a map;
+//! * non-generic newtype structs → transparent (the inner value);
+//! * non-generic tuple structs (arity ≥ 2) → a sequence;
+//! * non-generic enums with unit, tuple and struct variants → serde's
+//!   externally-tagged representation (`"Variant"` or
+//!   `{"Variant": payload}`).
+//!
+//! Generic items are rejected with a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attribute sequences (doc comments included).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+                           // The bracket group (or, defensively, anything) that follows.
+            self.pos += 1;
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in path)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}` \
+                 (see crates/shims/serde_derive)"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    parse_tuple_fields(g.stream())
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("expected struct or enum, found `{other}`")),
+    }
+}
+
+/// Splits a field-list token stream on top-level commas, tracking `<>`
+/// depth so commas inside generic arguments don't split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut groups: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth: i64 = 0;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    groups.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        groups.last_mut().expect("non-empty").push(tok);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let mut names = Vec::new();
+    for group in split_top_level(stream) {
+        let mut c = Cursor {
+            tokens: group,
+            pos: 0,
+        };
+        c.skip_attributes();
+        c.skip_visibility();
+        names.push(c.expect_ident()?);
+    }
+    Ok(Fields::Named(names))
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Fields {
+    let n = split_top_level(stream).len();
+    Fields::Tuple(n)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    for group in split_top_level(stream) {
+        let mut c = Cursor {
+            tokens: group,
+            pos: 0,
+        };
+        c.skip_attributes();
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_named_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                parse_tuple_fields(g.stream())
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => map_expr(names, |f| format!("&self.{f}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), {payload})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let payload = map_expr(fnames, |f| f.to_string());
+                        format!(
+                            "{name}::{vname} {{ {fields} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), {payload})]),",
+                            fields = fnames.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `Value::Map(vec![("f", to_value(<accessor f>)), ...])`
+fn map_expr(names: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({}))",
+                accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            Fields::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", {name:?}))?;\n\
+                     if __seq.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"expected {n} elements for {name}, got {{}}\", __seq.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            }
+            Fields::Named(fnames) => {
+                let fields: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::map_field(__m, {f:?}, {name:?})?"))
+                    .collect();
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", {name:?}))?;\n\
+                     ::std::result::Result::Ok({name} {{ {fields} }})",
+                    fields = fields.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("{name}::{vname}(::serde::Deserialize::from_value(__payload)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __seq = __payload.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", {name:?}))?;\n\
+                                 if __seq.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"{n}-element sequence\", {name:?})); }}\n\
+                                 {name}::{vname}({elems}) }}",
+                                elems = elems.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({build}),\n"
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let fields: Vec<String> = fnames
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::map_field(__mm, {f:?}, {name:?})?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let __mm = __payload.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", {name:?}))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {fields} }})\n\
+                             }},\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected(\"variant tag\", {name:?})),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             #[allow(unused_variables)]\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -278,7 +278,10 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
         } else {
             po.direction_to(ps)
         };
-        true_bearing.rotated(self.sensor.perturbation(observer.raw() as u64, source.raw() as u64))
+        true_bearing.rotated(
+            self.sensor
+                .perturbation(observer.raw() as u64, source.raw() as u64),
+        )
     }
 
     fn execute(&mut self, origin: NodeId, commands: Vec<Command<P::Msg>>) {
@@ -287,11 +290,8 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
                 Command::Broadcast { power, payload } => {
                     self.stats.broadcasts += 1;
                     self.charge(origin, power);
-                    let targets: Vec<NodeId> = self
-                        .layout
-                        .node_ids()
-                        .filter(|&v| v != origin)
-                        .collect();
+                    let targets: Vec<NodeId> =
+                        self.layout.node_ids().filter(|&v| v != origin).collect();
                     for v in targets {
                         let d = self.layout.distance(origin, v);
                         if self.model.reaches(power, d) {

@@ -113,7 +113,9 @@ mod tests {
         q.push(SimTime::new(3), timer(2, 0));
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek_time(), Some(SimTime::new(1)));
-        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.ticks()).collect();
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.ticks())
+            .collect();
         assert_eq!(times, vec![1, 3, 5]);
         assert!(q.is_empty());
     }

@@ -73,7 +73,10 @@ impl FaultConfig {
     ///
     /// Panics unless `0 ≤ p < 1`.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1), got {p}"
+        );
         self.loss_probability = p;
         self
     }

@@ -215,7 +215,9 @@ fn bounding_box(layout: &Layout) -> (f64, f64, f64, f64) {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -261,7 +263,11 @@ mod tests {
 
     #[test]
     fn empty_layout_renders() {
-        let svg = render_svg(&Layout::default(), &UndirectedGraph::new(0), &SvgOptions::default());
+        let svg = render_svg(
+            &Layout::default(),
+            &UndirectedGraph::new(0),
+            &SvgOptions::default(),
+        );
         assert!(svg.starts_with("<svg"));
     }
 

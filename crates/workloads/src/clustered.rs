@@ -48,7 +48,10 @@ impl ClusteredPlacement {
         height: f64,
         max_range: f64,
     ) -> Self {
-        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "field dimensions must be positive"
+        );
         assert!(spread > 0.0, "cluster spread must be positive");
         assert!(max_range >= 1.0, "max range must be at least 1");
         ClusteredPlacement {
@@ -110,10 +113,9 @@ mod tests {
         // Mean nearest-neighbor distance in clusters must be well below
         // that of a uniform layout with the same node count.
         let n = 60;
-        let clustered = ClusteredPlacement::new(6, 10, 40.0, 1500.0, 1500.0, 500.0)
-            .generate_layout(5);
-        let uniform =
-            crate::RandomPlacement::new(n, 1500.0, 1500.0, 500.0).generate_layout(5);
+        let clustered =
+            ClusteredPlacement::new(6, 10, 40.0, 1500.0, 1500.0, 500.0).generate_layout(5);
+        let uniform = crate::RandomPlacement::new(n, 1500.0, 1500.0, 500.0).generate_layout(5);
         let mean_nn = |l: &Layout| {
             let mut total = 0.0;
             for (u, pu) in l.iter() {

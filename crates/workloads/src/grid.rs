@@ -89,7 +89,10 @@ mod tests {
     fn zero_jitter_is_exact_grid() {
         let layout = GridPlacement::new(3, 2, 50.0, 0.0, 500.0).generate_layout(1);
         assert_eq!(layout.len(), 6);
-        assert_eq!(layout.position(cbtc_graph::NodeId::new(0)), Point2::new(0.0, 0.0));
+        assert_eq!(
+            layout.position(cbtc_graph::NodeId::new(0)),
+            Point2::new(0.0, 0.0)
+        );
         assert_eq!(
             layout.position(cbtc_graph::NodeId::new(4)),
             Point2::new(50.0, 50.0)

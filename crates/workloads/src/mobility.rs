@@ -62,7 +62,10 @@ impl RandomWaypoint {
         node_count: usize,
         seed: u64,
     ) -> Self {
-        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "field dimensions must be positive"
+        );
         assert!(
             speed_min > 0.0 && speed_min <= speed_max,
             "need 0 < speed_min ≤ speed_max"
@@ -112,7 +115,11 @@ impl RandomWaypoint {
     /// Panics if the layout size does not match the model's node count or
     /// `dt` is not positive.
     pub fn advance(&mut self, layout: &mut Layout, dt: f64) {
-        assert_eq!(layout.len(), self.states.len(), "layout/model size mismatch");
+        assert_eq!(
+            layout.len(),
+            self.states.len(),
+            "layout/model size mismatch"
+        );
         assert!(dt > 0.0, "dt must be positive");
         for i in 0..self.states.len() {
             let id = NodeId::new(i as u32);
@@ -147,7 +154,11 @@ impl RandomWaypoint {
                 if step >= dist {
                     // Arrive and start pausing.
                     layout.set_position(id, state.target);
-                    remaining -= if state.speed > 0.0 { dist / state.speed } else { remaining };
+                    remaining -= if state.speed > 0.0 {
+                        dist / state.speed
+                    } else {
+                        remaining
+                    };
                     self.states[i] = Some(Waypoint {
                         pause_left: self.pause,
                         ..state

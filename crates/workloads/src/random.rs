@@ -40,7 +40,10 @@ impl RandomPlacement {
     ///
     /// Panics on non-positive dimensions or range.
     pub fn new(node_count: usize, width: f64, height: f64, max_range: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "field dimensions must be positive"
+        );
         assert!(max_range >= 1.0, "max range must be at least 1");
         RandomPlacement {
             node_count,
@@ -84,8 +87,8 @@ impl RandomPlacement {
 
     /// Generates a full network (layout + radio model).
     pub fn generate(&self, seed: u64) -> Network {
-        let model = PowerLaw::new(self.exponent, 1.0, self.max_range)
-            .expect("validated parameters");
+        let model =
+            PowerLaw::new(self.exponent, 1.0, self.max_range).expect("validated parameters");
         Network::new(self.generate_layout(seed), model)
     }
 }

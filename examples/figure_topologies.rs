@@ -23,9 +23,21 @@ fn main() -> std::io::Result<()> {
     let a56 = Alpha::FIVE_PI_SIXTHS;
     let a23 = Alpha::TWO_PI_THIRDS;
     let panels: Vec<(&str, String, Option<CbtcConfig>)> = vec![
-        ("a_no_topology_control", "(a) no topology control".into(), None),
-        ("b_basic_2pi3", "(b) α=2π/3, basic".into(), Some(CbtcConfig::new(a23))),
-        ("c_basic_5pi6", "(c) α=5π/6, basic".into(), Some(CbtcConfig::new(a56))),
+        (
+            "a_no_topology_control",
+            "(a) no topology control".into(),
+            None,
+        ),
+        (
+            "b_basic_2pi3",
+            "(b) α=2π/3, basic".into(),
+            Some(CbtcConfig::new(a23)),
+        ),
+        (
+            "c_basic_5pi6",
+            "(c) α=5π/6, basic".into(),
+            Some(CbtcConfig::new(a56)),
+        ),
         (
             "d_shrink_2pi3",
             "(d) α=2π/3 with shrink-back".into(),
@@ -58,7 +70,10 @@ fn main() -> std::io::Result<()> {
         ),
     ];
 
-    println!("{:<28} {:>8} {:>10} {:>12}", "panel", "edges", "avg deg", "avg radius");
+    println!(
+        "{:<28} {:>8} {:>10} {:>12}",
+        "panel", "edges", "avg deg", "avg radius"
+    );
     for (file, caption, config) in panels {
         let graph = match &config {
             None => network.max_power_graph(),

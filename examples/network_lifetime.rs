@@ -1,88 +1,80 @@
-//! Network-lifetime estimate: the §1/§6 energy motivation made concrete.
+//! Network lifetime under real traffic: the §1/§6 energy motivation made
+//! concrete with the `cbtc-energy` subsystem.
 //!
-//! Every node starts with the same battery. Maintaining the topology costs
-//! each node power proportional to `radiusⁿ` per unit time (it must reach
-//! its farthest neighbor). The first battery to die marks the end of the
-//! network's full service life. Topology control multiplies that lifetime
-//! by reducing the radii — this example quantifies the factor.
+//! Earlier revisions of this example estimated lifetime from a closed-form
+//! `radiusⁿ` drain. This version simulates it: every node starts with the
+//! same battery, packets flow between random pairs each epoch along
+//! minimum-energy routes, and every alive node pays idle listening plus
+//! maintenance beaconing at its broadcast-radius power. Nodes die, the
+//! survivors reconfigure, and the network eventually partitions. The table
+//! reports how much longer each CBTC configuration keeps the network
+//! alive than running everyone at maximum power.
 //!
 //! ```sh
-//! cargo run --example network_lifetime
+//! cargo run --release --example network_lifetime
 //! ```
 
-use cbtc::core::{run_centralized, CbtcConfig, Network};
+use cbtc::core::CbtcConfig;
+use cbtc::energy::{lifetime_experiment, LifetimeConfig, TopologyPolicy};
 use cbtc::geom::Alpha;
-use cbtc::graph::metrics::node_radii;
-use cbtc::workloads::{RandomPlacement, Scenario};
+use cbtc::workloads::Scenario;
 
 fn main() {
-    let scenario = Scenario::paper_default();
-    let exponent = 2.0;
-    let trials = 10u64;
+    let mut scenario = Scenario::paper_default();
+    scenario.trials = 10;
+    let mut config = LifetimeConfig::paper_default();
+    // A tenth of the default battery keeps the example fast while the
+    // factors stay representative.
+    config.initial_energy /= 10.0;
 
     println!(
-        "network lifetime — {} nodes, {} trials, maintenance cost ∝ radius^{exponent}\n",
-        scenario.node_count, trials
+        "network lifetime — {} nodes × {} trials, {} packets/epoch, uniform traffic\n",
+        scenario.node_count, scenario.trials, config.packets_per_epoch
     );
     println!(
-        "{:<30} {:>16} {:>16}",
-        "configuration", "first-death ×", "mean-drain ×"
+        "{:<30} {:>16} {:>8} {:>16} {:>8}",
+        "configuration", "first death", "×", "partition", "×"
     );
 
-    let configs: Vec<(&str, Option<CbtcConfig>)> = vec![
-        ("max power", None),
-        ("basic CBTC(5π/6)", Some(CbtcConfig::new(Alpha::FIVE_PI_SIXTHS))),
+    let policies: Vec<(TopologyPolicy, &str)> = vec![
+        (TopologyPolicy::MaxPower, "max power"),
         (
+            TopologyPolicy::Cbtc(CbtcConfig::new(Alpha::FIVE_PI_SIXTHS)),
+            "basic CBTC(5π/6)",
+        ),
+        (
+            TopologyPolicy::Cbtc(CbtcConfig::new(Alpha::FIVE_PI_SIXTHS).with_shrink_back()),
             "CBTC(5π/6) + shrink-back",
-            Some(CbtcConfig::new(Alpha::FIVE_PI_SIXTHS).with_shrink_back()),
         ),
         (
+            TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS)),
             "CBTC(5π/6) all applicable",
-            Some(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS)),
         ),
         (
+            TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS)),
             "CBTC(2π/3) all optimizations",
-            Some(CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS)),
         ),
     ];
+    let policy_list: Vec<TopologyPolicy> = policies.iter().map(|(p, _)| *p).collect();
 
-    // Baseline drain: every node spends R^n per unit time.
-    let generator = RandomPlacement::from_scenario(&scenario);
-    for (label, config) in configs {
-        let mut first_death_factor = 0.0;
-        let mut mean_drain_factor = 0.0;
-        for seed in 0..trials {
-            let network: Network = generator.generate(seed);
-            let r = network.max_range();
-            let baseline_power = r.powf(exponent);
-            let radii = match &config {
-                None => vec![r; network.len()],
-                Some(c) => {
-                    let run = run_centralized(&network, c);
-                    node_radii(run.final_graph(), network.layout(), r)
-                }
-            };
-            // Lifetime until the hungriest node dies, relative to max power.
-            let worst = radii
-                .iter()
-                .map(|rad| rad.powf(exponent))
-                .fold(0.0f64, f64::max);
-            first_death_factor += baseline_power / worst.max(1.0);
-            let mean: f64 =
-                radii.iter().map(|rad| rad.powf(exponent)).sum::<f64>() / radii.len() as f64;
-            mean_drain_factor += baseline_power / mean.max(1.0);
-        }
+    let results = lifetime_experiment(&scenario, &policy_list, config, 0);
+    let baseline = results.first().expect("max power row").clone();
+    for (agg, (_, label)) in results.iter().zip(&policies) {
         println!(
-            "{:<30} {:>15.2}x {:>15.2}x",
+            "{:<30} {:>9.1} ±{:<5.1} {:>7.2}x {:>9.1} ±{:<5.1} {:>7.2}x",
             label,
-            first_death_factor / trials as f64,
-            mean_drain_factor / trials as f64
+            agg.first_death.mean,
+            agg.first_death.std,
+            agg.first_death.mean / baseline.first_death.mean.max(1.0),
+            agg.partition.mean,
+            agg.partition.std,
+            agg.partition.mean / baseline.partition.mean.max(1.0),
         );
     }
 
-    println!("\nReading the table: the *first-death* column is limited by boundary");
-    println!("nodes (someone always needs a long link), while the *mean drain* shows");
-    println!("the fleet-wide saving — an order of magnitude with all optimizations.");
-    println!("This is the §6 observation that reducing per-node power tends to extend");
-    println!("network lifetime, with the caveat that worst-case nodes improve less.");
+    println!("\nReading the table: *first death* is when the hungriest node empties —");
+    println!("under max power every node pays standby at p(R), so it dies early; CBTC");
+    println!("nodes only sustain their farthest kept neighbor. *Partition* is when the");
+    println!("surviving topology first disconnects, ending full service. This is the");
+    println!("§6 observation measured under real traffic instead of a closed form.");
 }

@@ -53,8 +53,10 @@ fn example_2_1() {
     assert!(outcome.view(v).discovered(u0));
     assert!(!outcome.view(u0).discovered(v));
     println!("\n  ⇒ (v, u0) ∈ N_α but (u0, v) ∉ N_α — the relation is asymmetric.");
-    println!("  The symmetric closure E_α restores the edge: {}",
-        outcome.symmetric_closure().has_edge(u0, v));
+    println!(
+        "  The symmetric closure E_α restores the edge: {}",
+        outcome.symmetric_closure().has_edge(u0, v)
+    );
 }
 
 fn theorem_2_4() {

@@ -16,6 +16,9 @@
 //!   distributed protocol, the three optimizations and reconfiguration;
 //! * [`workloads`] — scenario generators (the paper's random networks,
 //!   mobility);
+//! * [`energy`] — packet-level traffic and network-lifetime simulation:
+//!   batteries, tx/rx/standby costs, seeded flow generators, the epoch
+//!   lifetime engine and a parallel multi-seed experiment runner;
 //! * [`viz`] — SVG rendering of topologies (Figure 6).
 //!
 //! # Quickstart
@@ -33,8 +36,26 @@
 //! // Theorem 2.1: connectivity of the max-power graph is preserved.
 //! assert!(outcome.preserves_connectivity_of(&network.max_power_graph()));
 //! ```
+//!
+//! # Measuring network lifetime
+//!
+//! The [`energy`] subsystem replays packet traffic over any topology and
+//! drains batteries until the network dies:
+//!
+//! ```
+//! use cbtc::core::CbtcConfig;
+//! use cbtc::energy::{LifetimeConfig, LifetimeSim, TopologyPolicy};
+//! use cbtc::geom::Alpha;
+//! use cbtc::workloads::{RandomPlacement, Scenario};
+//!
+//! let network = RandomPlacement::from_scenario(&Scenario::smoke()).generate(7);
+//! let cbtc = TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS));
+//! let report = LifetimeSim::new(network, cbtc, LifetimeConfig::smoke(), 7).run();
+//! assert!(report.first_death.is_some());
+//! ```
 
 pub use cbtc_core as core;
+pub use cbtc_energy as energy;
 pub use cbtc_geom as geom;
 pub use cbtc_graph as graph;
 pub use cbtc_radio as radio;

@@ -30,12 +30,7 @@ fn run_distributed(
     let nodes = (0..network.len())
         .map(|_| CbtcNode::new(growth_config(alpha, ack_timeout), notify))
         .collect();
-    let mut engine = Engine::new(
-        network.layout().clone(),
-        *network.model(),
-        nodes,
-        faults,
-    );
+    let mut engine = Engine::new(network.layout().clone(), *network.model(), nodes, faults);
     let result = engine.run_to_quiescence(10_000_000);
     assert!(matches!(result, QuiescenceResult::Quiescent(_)));
     engine
@@ -99,7 +94,10 @@ fn remove_me_phase_core_preserves_connectivity() {
     // distributed relation.
     assert_eq!(
         core.edges().collect::<Vec<_>>(),
-        collect_outcome(&engine).symmetric_core().edges().collect::<Vec<_>>()
+        collect_outcome(&engine)
+            .symmetric_core()
+            .edges()
+            .collect::<Vec<_>>()
     );
 }
 

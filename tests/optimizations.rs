@@ -42,7 +42,10 @@ fn optimization_stages_monotonically_sparsify() {
 
         assert!(rad(&basic) >= rad(&op1), "op1 must not increase radius");
         assert!(rad(&op1) >= rad(&op12), "op2 must not increase radius");
-        assert!(rad(&op12) >= rad(&all) - 1e-9, "op3 must not increase radius");
+        assert!(
+            rad(&op12) >= rad(&all) - 1e-9,
+            "op3 must not increase radius"
+        );
     }
 }
 
@@ -144,7 +147,10 @@ fn pairwise_policies_nest() {
     let spare = pairwise_removal(&g, layout, PairwisePolicy::PowerReducing);
     let all = pairwise_removal(&g, layout, PairwisePolicy::RemoveAll);
     for e in &spare.removed {
-        assert!(all.removed.contains(e), "{e:?} removed by spare but not all");
+        assert!(
+            all.removed.contains(e),
+            "{e:?} removed by spare but not all"
+        );
     }
     assert!(all.graph.is_subgraph_of(&spare.graph));
     use cbtc::graph::connectivity::preserves_connectivity;

@@ -36,7 +36,10 @@ fn reconfig_engine(count: usize, side: f64, seed: u64) -> Engine<ReconfigNode, P
 }
 
 /// The live unit-disk graph: ground truth the topology must match.
-fn live_full(engine: &Engine<ReconfigNode, PowerLaw>, count: usize) -> cbtc::graph::UndirectedGraph {
+fn live_full(
+    engine: &Engine<ReconfigNode, PowerLaw>,
+    count: usize,
+) -> cbtc::graph::UndirectedGraph {
     let mut g = unit_disk_graph(engine.layout(), 500.0);
     for i in 0..count as u32 {
         let v = NodeId::new(i);

@@ -139,7 +139,10 @@ fn theorem_2_4_tightness_of_the_threshold() {
         assert!(!is_connected(&above), "ε = {eps} must disconnect");
 
         let at = run_basic(&network, Alpha::FIVE_PI_SIXTHS).symmetric_closure();
-        assert!(is_connected(&at), "ε = {eps}: exactly 5π/6 must stay connected");
+        assert!(
+            is_connected(&at),
+            "ε = {eps}: exactly 5π/6 must stay connected"
+        );
     }
 }
 
