@@ -1,0 +1,167 @@
+//! Churn-at-scale benchmark: the §4 reconfiguration protocol under
+//! RandomWaypoint mobility with joins and crashes at 10k+ nodes, plus a
+//! micro-benchmark of the grid spatial index against the all-pairs `G_R`
+//! construction it replaces.
+//!
+//! ```sh
+//! cargo run --release -p cbtc-bench --bin churn \
+//!     [-- --nodes 10000 --cycles 4 --seed 0 --json BENCH_churn.json]
+//! ```
+//!
+//! Writes `BENCH_churn.json` (override with `--json PATH`, disable with
+//! `--no-json`) so churn/scaling results are tracked across revisions.
+
+use std::time::Instant;
+
+use cbtc_bench::Args;
+use cbtc_graph::unit_disk::{unit_disk_graph, unit_disk_graph_brute};
+use cbtc_radio::{PathLoss, PowerLaw};
+use cbtc_workloads::{run_churn, ChurnReport, ChurnScenario, RandomPlacement};
+use serde::Serialize;
+
+/// Grid-vs-brute `G_R` construction timing on the scenario's layout.
+#[derive(Debug, Serialize)]
+struct IndexBench {
+    nodes: usize,
+    edges: usize,
+    grid_seconds: f64,
+    brute_seconds: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchDoc {
+    report: ChurnReport,
+    index: IndexBench,
+    wall_seconds: f64,
+}
+
+fn bench_index(scenario: &ChurnScenario, seed: u64) -> IndexBench {
+    let model = PowerLaw::paper_default();
+    let nodes = scenario.total_nodes();
+    let layout = RandomPlacement::new(nodes, scenario.width, scenario.height, model.max_range())
+        .generate_layout(seed);
+    let radius = model.max_range();
+
+    // Warm up, then time the best of a few rounds each so the comparison
+    // is not dominated by allocator noise.
+    let grid_graph = unit_disk_graph(&layout, radius);
+    let rounds = 3;
+    let mut grid_seconds = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let g = unit_disk_graph(&layout, radius);
+        grid_seconds = grid_seconds.min(t.elapsed().as_secs_f64());
+        assert_eq!(g.edge_count(), grid_graph.edge_count());
+    }
+    let mut brute_seconds = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let g = unit_disk_graph_brute(&layout, radius);
+        brute_seconds = brute_seconds.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            g.edge_count(),
+            grid_graph.edge_count(),
+            "grid and brute-force G_R must agree"
+        );
+    }
+    IndexBench {
+        nodes,
+        edges: grid_graph.edge_count(),
+        grid_seconds,
+        brute_seconds,
+        speedup: brute_seconds / grid_seconds.max(f64::MIN_POSITIVE),
+    }
+}
+
+fn main() {
+    let args = Args::capture();
+    let nodes: usize = args.get("nodes", 10_000);
+    let seed: u64 = args.get("seed", 0);
+    let mut scenario = ChurnScenario::sized(nodes);
+    scenario.cycles = args.get("cycles", scenario.cycles);
+    scenario.cycle_ticks = args.get("cycle-ticks", scenario.cycle_ticks);
+    scenario.warmup = args.get("warmup", scenario.warmup);
+    scenario.validate().expect("valid scenario");
+
+    println!(
+        "churn — {} nodes ({} initial + {} joins, {} crashes), {:.0}×{:.0} field, \
+         {} cycles × {} ticks (seed {seed})\n",
+        scenario.total_nodes(),
+        scenario.initial_nodes,
+        scenario.joins,
+        scenario.crashes,
+        scenario.width,
+        scenario.height,
+        scenario.cycles,
+        scenario.cycle_ticks,
+    );
+
+    let index = bench_index(&scenario, seed);
+    println!(
+        "spatial index: G_R at n={} ({} edges) — grid {:.1} ms, brute {:.1} ms, {:.0}× speedup\n",
+        index.nodes,
+        index.edges,
+        index.grid_seconds * 1e3,
+        index.brute_seconds * 1e3,
+        index.speedup,
+    );
+
+    let start = Instant::now();
+    let report = run_churn(&scenario, seed);
+    let wall = start.elapsed().as_secs_f64();
+
+    for b in &report.bursts {
+        println!(
+            "  burst t={:<6} +{} joins, {} crashes → reconverged after {}",
+            b.t,
+            b.joins,
+            b.crashes,
+            match b.reconverged_after {
+                Some(d) => format!("{d} ticks"),
+                None => "—".to_owned(),
+            }
+        );
+    }
+    println!(
+        "\nbeacon overhead: {:.2} broadcasts/node/interval ({} broadcasts, {} deliveries)",
+        report.traffic.broadcasts_per_node_per_interval,
+        report.traffic.broadcasts,
+        report.traffic.deliveries,
+    );
+    println!(
+        "connectivity preserved at {:.1}% of probes; mean reconvergence {}; {} re-runs",
+        report.connectivity_fraction * 100.0,
+        match report.mean_reconvergence {
+            Some(m) => format!("{m:.0} ticks"),
+            None => "n/a".to_owned(),
+        },
+        report.reruns,
+    );
+    if let Some(s) = report.stretch.last() {
+        println!(
+            "stretch at t={}: power mean {:.3}, max {:.3} over {} pairs",
+            s.t, s.power_mean, s.power_max, s.pairs
+        );
+    }
+    println!(
+        "live at end: {} of {} ({wall:.1}s wall)",
+        report.live_at_end,
+        scenario.total_nodes()
+    );
+
+    if !args.has("no-json") {
+        let path = args.get("json", "BENCH_churn.json".to_owned());
+        let doc = BenchDoc {
+            report,
+            index,
+            wall_seconds: wall,
+        };
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -13,6 +13,7 @@
 //! | `reconfig`        | §4 reconfiguration claims under mobility/crashes |
 //! | `baselines`       | §1 related-work comparison (RNG/Gabriel/MST/k-NN) |
 //! | `lifetime`        | packet-level traffic + battery drain: lifetime factors vs max power (`BENCH_lifetime.json`) |
+//! | `churn`           | §4 reconfiguration under mobility + joins/crashes at 10k+ nodes, plus the spatial-index speedup (`BENCH_churn.json`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

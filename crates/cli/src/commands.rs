@@ -42,6 +42,15 @@ USAGE:
         report lifetime factors (first death, partition) of CBTC
         configurations versus max power.
 
+    cbtc churn [--nodes N] [--cycles C] [--cycle-ticks T] [--warmup W]
+               [--beacon-interval B] [--miss-limit M] [--seed S]
+               [--speed-min V] [--speed-max V] [--pause P] [--json FILE]
+        Run the §4 reconfiguration protocol under RandomWaypoint mobility
+        with node joins and crashes; report beacon overhead, reconvergence
+        time, connectivity maintenance and stretch. --nodes is the total
+        population (10% arrive as late joins, 10% crash). Scales to 10k+
+        nodes via the grid spatial index.
+
     cbtc help
         Show this message.
 ";
@@ -371,6 +380,124 @@ pub fn lifetime(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cbtc churn`
+pub fn churn(args: &Args) -> Result<(), String> {
+    let nodes: usize = args.get("nodes", 2_000)?;
+    if nodes < 10 {
+        return Err("--nodes must be at least 10".into());
+    }
+    let mut scenario = cbtc_workloads::ChurnScenario::sized(nodes);
+    scenario.cycles = args.get("cycles", scenario.cycles)?;
+    scenario.cycle_ticks = args.get("cycle-ticks", scenario.cycle_ticks)?;
+    scenario.warmup = args.get("warmup", scenario.warmup)?;
+    scenario.beacon_interval = args.get("beacon-interval", scenario.beacon_interval)?;
+    scenario.miss_limit = args.get("miss-limit", scenario.miss_limit)?;
+    scenario.speed_min = args.get("speed-min", scenario.speed_min)?;
+    scenario.speed_max = args.get("speed-max", scenario.speed_max)?;
+    scenario.pause = args.get("pause", scenario.pause)?;
+    scenario.validate()?;
+    let seed: u64 = args.get("seed", 0)?;
+
+    println!(
+        "churn — {} nodes ({} initial + {} joins, {} crashes), {:.0}×{:.0} field, \
+         {} cycles × {} ticks after {} warmup (seed {seed})",
+        scenario.total_nodes(),
+        scenario.initial_nodes,
+        scenario.joins,
+        scenario.crashes,
+        scenario.width,
+        scenario.height,
+        scenario.cycles,
+        scenario.cycle_ticks,
+        scenario.warmup,
+    );
+    println!(
+        "NDP: beacon interval {}, miss limit {}; mobility {}–{} units/tick, pause {}\n",
+        scenario.beacon_interval,
+        scenario.miss_limit,
+        scenario.speed_min,
+        scenario.speed_max,
+        scenario.pause,
+    );
+
+    let start = std::time::Instant::now();
+    let report = cbtc_workloads::run_churn(&scenario, seed);
+    let wall = start.elapsed().as_secs_f64();
+
+    println!(
+        "{:>6} {:>6} {:>8} {:>9} {:>10}",
+        "t", "live", "edges", "avg deg", "preserved"
+    );
+    // Print the start, the probe at each churn-burst tick (where the
+    // connectivity dip shows), and the last probe.
+    let burst_tick =
+        |t: u64| t >= scenario.warmup && (t - scenario.warmup).is_multiple_of(scenario.cycle_ticks);
+    for s in report
+        .samples
+        .iter()
+        .filter(|s| s.t == 0 || burst_tick(s.t) || s.t == report.samples.last().map_or(0, |l| l.t))
+    {
+        println!(
+            "{:>6} {:>6} {:>8} {:>9.2} {:>10}",
+            s.t,
+            s.live,
+            s.edges,
+            s.avg_degree,
+            if s.partition_preserved { "yes" } else { "NO" }
+        );
+    }
+    println!("\nbursts:");
+    for b in &report.bursts {
+        println!(
+            "  t={:<6} +{} joins, {} crashes → reconverged after {}",
+            b.t,
+            b.joins,
+            b.crashes,
+            match b.reconverged_after {
+                Some(d) => format!("{d} ticks"),
+                None => "— (never before horizon)".to_owned(),
+            }
+        );
+    }
+    if let Some(s) = report.stretch.last() {
+        println!(
+            "\nstretch (t={}, {} sources × {} pairs): power mean {:.3}, max {:.3}",
+            s.t, s.sources, s.pairs, s.power_mean, s.power_max
+        );
+    }
+    println!(
+        "\nbeacon overhead: {:.2} broadcasts/node/interval ({} broadcasts, {} deliveries)",
+        report.traffic.broadcasts_per_node_per_interval,
+        report.traffic.broadcasts,
+        report.traffic.deliveries
+    );
+    println!(
+        "connectivity preserved at {:.1}% of probes; {} growing-phase re-runs; \
+         mean reconvergence {}",
+        report.connectivity_fraction * 100.0,
+        report.reruns,
+        match report.mean_reconvergence {
+            Some(m) => format!("{m:.0} ticks"),
+            None => "n/a".to_owned(),
+        }
+    );
+    println!(
+        "live at end: {} of {} ({wall:.1}s wall)",
+        report.live_at_end,
+        scenario.total_nodes()
+    );
+
+    if let Some(path) = args.value_of("json") {
+        fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("serializable"),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +570,37 @@ mod tests {
         // traffic; it must be rejected instead.
         let e = lifetime(&args(&["--nodes", "10", "--pattern", "convergecast:50"])).unwrap_err();
         assert!(e.contains("n9"), "unexpected message: {e}");
+    }
+
+    #[test]
+    fn churn_runs_on_a_small_scenario() {
+        let dir = std::env::temp_dir();
+        let json = dir.join("cbtc_cli_churn_test.json");
+        assert!(churn(&args(&[
+            "--nodes",
+            "30",
+            "--cycles",
+            "2",
+            "--cycle-ticks",
+            "150",
+            "--warmup",
+            "120",
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .is_ok());
+        let doc: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&json).unwrap()).unwrap();
+        assert!(doc["bursts"].is_array());
+        assert!(doc["traffic"]["broadcasts"].as_u64().unwrap() > 0);
+        fs::remove_file(json).ok();
+    }
+
+    #[test]
+    fn churn_rejects_bad_input() {
+        assert!(churn(&args(&["--nodes", "5"])).is_err());
+        assert!(churn(&args(&["--nodes", "30", "--cycles", "0"])).is_err());
+        assert!(churn(&args(&["--nodes", "30", "--speed-min", "0"])).is_err());
     }
 
     #[test]

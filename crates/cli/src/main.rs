@@ -6,6 +6,7 @@
 //! cbtc construct  build the paper's Example 2.1 / Theorem 2.4 point sets
 //! cbtc compare    compare optimization levels on one network
 //! cbtc lifetime   simulate traffic + battery drain, report lifetime factors
+//! cbtc churn      run the §4 reconfiguration protocol under mobility + churn
 //! cbtc help       show usage
 //! ```
 
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
         "construct" => commands::construct(&args),
         "compare" => commands::compare(&args),
         "lifetime" => commands::lifetime(&args),
+        "churn" => commands::churn(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

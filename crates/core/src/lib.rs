@@ -33,6 +33,18 @@
 //!   short-edge paths, redundant-edge definition) used by tests and the
 //!   experiment harness.
 //!
+//! ## Paper map
+//!
+//! | module | implements |
+//! |--------|------------|
+//! | [`run_basic`] / [`run_centralized`] | §2, Figure 1: the growing phase, centralized reference |
+//! | [`opt::shrink_back`](opt) | §3.1, Theorem 3.1 |
+//! | [`opt::asymmetric`](opt) | §3.2, Theorem 3.2 (requires `α ≤ 2π/3`) |
+//! | [`opt::pairwise`](opt) | §3.3, Theorem 3.6 |
+//! | [`protocol`] | Figure 1 as a distributed message-passing protocol |
+//! | [`reconfig`] | §4: NDP beacons and the `join`/`leave`/`aChange` rules (driven at scale by `cbtc_workloads::churn`) |
+//! | [`theory`] | Lemma 2.2 / Corollary 2.3 / redundancy, as executable predicates |
+//!
 //! # Example
 //!
 //! ```

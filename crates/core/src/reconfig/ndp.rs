@@ -249,6 +249,49 @@ mod tests {
     }
 
     #[test]
+    fn expiry_boundary_is_exactly_past_miss_limit() {
+        // With interval 10 and miss limit 3 the timeout τ is 30 ticks: a
+        // neighbor last heard at t=0 has missed its 3rd beacon *window*
+        // only once the clock passes t=30. At exactly τ it must survive —
+        // the paper's "predefined number of beacons … for a certain time
+        // interval τ" is inclusive.
+        let mut t = NeighborTable::new();
+        let c = cfg();
+        t.observe(SimTime::new(0), n(1), Angle::new(0.0), 50.0, &c);
+        assert!(
+            t.expire(SimTime::new(c.expiry_ticks()), &c).is_empty(),
+            "still within τ at exactly miss_limit × interval"
+        );
+        assert_eq!(t.len(), 1);
+        let leaves = t.expire(SimTime::new(c.expiry_ticks() + 1), &c);
+        assert_eq!(leaves, vec![n(1)], "one tick past τ must expire");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reactivate_restores_the_original_entry() {
+        // Deactivation sheds a neighbor from coverage but must not lose
+        // its measurements: re-`activate` has to restore the exact entry
+        // (direction, distance, last_heard) into the active set.
+        let mut t = NeighborTable::new();
+        let c = cfg();
+        t.observe(SimTime::new(4), n(6), Angle::new(1.25), 130.0, &c);
+        let before = *t.entry(n(6)).expect("tracked");
+        t.deactivate(n(6));
+        assert!(!t.is_active(n(6)));
+        assert_eq!(t.active().count(), 0);
+        t.activate(n(6));
+        assert!(t.is_active(n(6)));
+        let after = *t.entry(n(6)).expect("still tracked");
+        assert_eq!(after.direction, before.direction);
+        assert_eq!(after.distance, before.distance);
+        assert_eq!(after.last_heard, before.last_heard);
+        let active: Vec<_> = t.active().map(|(id, _)| id).collect();
+        assert_eq!(active, vec![n(6)]);
+        assert_eq!(t.directions(), vec![Angle::new(1.25)]);
+    }
+
+    #[test]
     fn expiry_emits_leaves_for_active_only() {
         let mut t = NeighborTable::new();
         let c = cfg();

@@ -12,7 +12,10 @@
 //! * [`UndirectedGraph`] / [`DirectedGraph`] — adjacency structures with
 //!   [`DirectedGraph::symmetric_closure`] (`E_α`) and
 //!   [`DirectedGraph::symmetric_core`] (`E⁻_α`);
-//! * [`unit_disk::unit_disk_graph`] — `G_R` construction;
+//! * [`SpatialGrid`] — uniform-grid spatial index making range queries and
+//!   `G_R` construction `O(candidates)` instead of `O(n)`/`O(n²)`;
+//! * [`unit_disk::unit_disk_graph`] — `G_R` construction (grid-indexed;
+//!   [`unit_disk::unit_disk_graph_brute`] is the all-pairs oracle);
 //! * [`UnionFind`], [`traversal`], [`connectivity`] — components and the
 //!   connectivity-preservation predicate of Theorem 2.1;
 //! * [`metrics`] — average degree and average radius (Table 1's columns);
@@ -20,6 +23,19 @@
 //! * [`spanners`] — the related-work baselines the paper cites in §1:
 //!   relative neighborhood graph, Gabriel graph, Euclidean MST, k-nearest
 //!   neighbors.
+//!
+//! # Paper map
+//!
+//! | module | implements |
+//! |--------|------------|
+//! | [`unit_disk`] | §1: the max-power graph `G_R` |
+//! | [`DirectedGraph`] | §2: `N_α`, its closure `E_α` and core `E⁻_α` |
+//! | [`connectivity`], [`traversal`] | Theorem 2.1's connectivity-preservation predicate |
+//! | [`biconnectivity`] | cut vertices/bridges, for robustness analyses beyond §5 |
+//! | [`metrics`] | §5 Table 1: average degree and average radius |
+//! | [`paths`], [`load`] | §5: power/hop stretch, route load |
+//! | [`spanners`] | §1 related work: RNG, Gabriel, MST, k-NN |
+//! | [`spatial`] | scaling infrastructure (no paper analogue): the index that takes `G_R` construction and simulated beaconing to 10⁴–10⁵ nodes |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +52,7 @@ pub mod load;
 pub mod metrics;
 pub mod paths;
 pub mod spanners;
+pub mod spatial;
 pub mod traversal;
 pub mod unit_disk;
 
@@ -43,4 +60,5 @@ pub use digraph::DirectedGraph;
 pub use graph::UndirectedGraph;
 pub use layout::Layout;
 pub use node::NodeId;
+pub use spatial::SpatialGrid;
 pub use union_find::UnionFind;

@@ -1,12 +1,19 @@
 //! Unit-disk graph construction: the max-power graph `G_R`.
 
-use crate::{Layout, UndirectedGraph};
+use crate::spatial::CellList;
+use crate::{Layout, SpatialGrid, UndirectedGraph};
 
 /// Builds `G_R = (V, E)` with `E = {(u, v) : d(u, v) ≤ R}` — the graph
 /// induced when every node transmits at maximum power (§1).
 ///
 /// Co-located nodes (distance 0) are connected like any other pair within
 /// range.
+///
+/// Uses a spatial index with cell side `R` (a [`CellList`] sweep, or
+/// [`SpatialGrid`] queries when the layout is too sparse for a dense cell
+/// array), so construction costs `O(n + |E|)` for bounded-density layouts
+/// instead of the all-pairs `O(n²)` of [`unit_disk_graph_brute`] (which
+/// remains the oracle the property tests compare against).
 ///
 /// # Panics
 ///
@@ -28,6 +35,78 @@ use crate::{Layout, UndirectedGraph};
 /// assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
 /// ```
 pub fn unit_disk_graph(layout: &Layout, radius: f64) -> UndirectedGraph {
+    unit_disk_graph_where(layout, radius, |_| true)
+}
+
+/// [`unit_disk_graph`] restricted to the nodes where `keep` holds: edges
+/// are added only between kept nodes; the rest stay as isolated vertices
+/// of the same node set.
+///
+/// This is the online form the churn experiments probe continuously —
+/// `G_R` over the *live* (started, not crashed) population.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or not finite.
+pub fn unit_disk_graph_where(
+    layout: &Layout,
+    radius: f64,
+    keep: impl Fn(crate::NodeId) -> bool,
+) -> UndirectedGraph {
+    assert!(
+        radius.is_finite() && radius >= 0.0,
+        "radius must be finite and non-negative, got {radius}"
+    );
+    // A zero radius still connects co-located nodes; any positive cell
+    // side works for that query.
+    let cell = if radius > 0.0 { radius } else { 1.0 };
+    match CellList::try_from_layout(layout, cell) {
+        Some(list) => {
+            // The sweep yields each qualifying pair exactly once; build
+            // the adjacency in bulk rather than edge by edge.
+            let mut pairs = Vec::new();
+            list.for_each_pair_within(layout, radius, |u, v| {
+                if keep(u) && keep(v) {
+                    pairs.push((u, v));
+                }
+            });
+            UndirectedGraph::from_edges(layout.len(), pairs)
+        }
+        None => {
+            let mut g = UndirectedGraph::new(layout.len());
+            // Bounding box too sparse for a dense cell array: hash-grid
+            // per-node queries instead.
+            let grid = SpatialGrid::from_layout(layout, cell);
+            let r2 = radius * radius;
+            let mut candidates = Vec::new();
+            for (u, pu) in layout.iter() {
+                if !keep(u) {
+                    continue;
+                }
+                candidates.clear();
+                grid.candidates_within(pu, radius, &mut candidates);
+                for &v in &candidates {
+                    // Each unordered pair is seen from both endpoints.
+                    if u < v && keep(v) && pu.distance_squared(layout.position(v)) <= r2 {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            g
+        }
+    }
+}
+
+/// All-pairs `G_R` construction — the `O(n²)` reference implementation.
+///
+/// Semantically identical to [`unit_disk_graph`]; kept as the oracle for
+/// equivalence tests and as the baseline the `churn` benchmark measures
+/// the spatial index against.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or not finite.
+pub fn unit_disk_graph_brute(layout: &Layout, radius: f64) -> UndirectedGraph {
     assert!(
         radius.is_finite() && radius >= 0.0,
         "radius must be finite and non-negative, got {radius}"

@@ -5,7 +5,7 @@ use cbtc_graph::connectivity::preserves_connectivity;
 use cbtc_graph::paths::{dijkstra, hop_stretch};
 use cbtc_graph::spanners;
 use cbtc_graph::traversal::{bfs_distances, component_count, component_labels};
-use cbtc_graph::unit_disk::unit_disk_graph;
+use cbtc_graph::unit_disk::{unit_disk_graph, unit_disk_graph_brute, unit_disk_graph_where};
 use cbtc_graph::{DirectedGraph, Layout, NodeId, UndirectedGraph, UnionFind};
 use proptest::prelude::*;
 
@@ -13,6 +13,32 @@ fn layouts() -> impl Strategy<Value = Layout> {
     (1usize..40, 50.0f64..500.0).prop_flat_map(|(n, side)| {
         proptest::collection::vec((0.0..side, 0.0..side), n)
             .prop_map(|pts| Layout::new(pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect()))
+    })
+}
+
+/// Layouts engineered to stress the spatial index: every third point is
+/// snapped onto the cell lattice of pitch `cell` (distances land exactly
+/// on the radius boundary), and every seventh point duplicates its
+/// predecessor (co-located nodes).
+fn adversarial_layouts(cell: f64) -> impl Strategy<Value = Layout> {
+    (1usize..50, 50.0f64..600.0).prop_flat_map(move |(n, side)| {
+        proptest::collection::vec((0.0..side, 0.0..side), n).prop_map(move |pts| {
+            let mut points: Vec<Point2> = Vec::with_capacity(pts.len());
+            for (i, (x, y)) in pts.into_iter().enumerate() {
+                let p = if i % 3 == 0 {
+                    Point2::new((x / cell).round() * cell, (y / cell).round() * cell)
+                } else {
+                    Point2::new(x, y)
+                };
+                let p = if i % 7 == 0 && i > 0 {
+                    points[i - 1]
+                } else {
+                    p
+                };
+                points.push(p);
+            }
+            Layout::new(points)
+        })
     })
 }
 
@@ -111,6 +137,55 @@ proptest! {
             closure.edge_count(),
             core.edge_count() + d.asymmetric_edges().len()
         );
+    }
+
+    #[test]
+    fn grid_unit_disk_equals_brute_force(layout in layouts(), r in 1.0f64..600.0) {
+        prop_assert_eq!(
+            unit_disk_graph(&layout, r),
+            unit_disk_graph_brute(&layout, r)
+        );
+    }
+
+    #[test]
+    fn grid_unit_disk_equals_brute_on_boundary_and_colocated(
+        layout in adversarial_layouts(75.0),
+    ) {
+        // Cell side == radius == lattice pitch: snapped points sit exactly
+        // on cell boundaries and at exact-radius distances; duplicated
+        // points share buckets.
+        prop_assert_eq!(
+            unit_disk_graph(&layout, 75.0),
+            unit_disk_graph_brute(&layout, 75.0)
+        );
+        // A small radius relative to the field forces the sparse
+        // hash-grid fallback; it must agree too.
+        prop_assert_eq!(
+            unit_disk_graph(&layout, 4.0),
+            unit_disk_graph_brute(&layout, 4.0)
+        );
+    }
+
+    #[test]
+    fn filtered_unit_disk_is_the_induced_subgraph(
+        layout in layouts(),
+        r in 20.0f64..300.0,
+    ) {
+        // Keep every other node: the filtered construction must equal the
+        // full graph with the dropped nodes' edges removed.
+        let keep = |u: NodeId| u.raw().is_multiple_of(2);
+        let filtered = unit_disk_graph_where(&layout, r, keep);
+        let mut expected = unit_disk_graph(&layout, r);
+        let ids: Vec<NodeId> = expected.node_ids().collect();
+        for u in ids {
+            if !keep(u) {
+                let nbrs: Vec<NodeId> = expected.neighbors(u).collect();
+                for v in nbrs {
+                    expected.remove_edge(u, v);
+                }
+            }
+        }
+        prop_assert_eq!(filtered, expected);
     }
 
     #[test]

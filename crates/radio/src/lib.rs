@@ -23,6 +23,15 @@
 //! * [`DirectionSensor`] — angle-of-arrival sensing with an optional error
 //!   bound (the paper assumes perfect directional information; the noise
 //!   knob supports robustness experiments).
+//!
+//! # Paper map
+//!
+//! | item | implements |
+//! |------|------------|
+//! | [`PathLoss`], [`PowerLaw`] | §1: `p(d) = S·dⁿ`, `n ≥ 2`, maximum power `P = p(R)` |
+//! | [`PowerSchedule`] | Figure 1's `Increase` with the default `Increase(p) = 2p` |
+//! | [`estimate_required_power`] | §2's reception-power estimate of `p(d(u, v))` |
+//! | [`DirectionSensor`] | §2's angle-of-arrival assumption (exact or bounded-error) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

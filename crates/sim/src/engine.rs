@@ -1,7 +1,7 @@
 //! The discrete-event simulation engine.
 
 use cbtc_geom::Angle;
-use cbtc_graph::{Layout, NodeId};
+use cbtc_graph::{Layout, NodeId, SpatialGrid};
 use cbtc_radio::{DirectionSensor, PathLoss, Power};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +67,12 @@ pub enum QuiescenceResult {
 #[derive(Debug)]
 pub struct Engine<P: Node, M: PathLoss> {
     layout: Layout,
+    /// Spatial index over `layout`, cell side `R`: broadcast delivery
+    /// queries the 3×3 cell block around the sender instead of scanning
+    /// all nodes. Kept in sync by [`Engine::move_node`].
+    grid: SpatialGrid,
+    /// Scratch buffer for grid queries (reused across broadcasts).
+    scratch: Vec<NodeId>,
     model: M,
     sensor: DirectionSensor,
     config: FaultConfig,
@@ -116,6 +122,8 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
             );
         }
         Engine {
+            grid: SpatialGrid::from_layout(&layout, model.max_range()),
+            scratch: Vec::new(),
             layout,
             model,
             sensor: DirectionSensor::exact(),
@@ -145,7 +153,9 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
     /// in flight are delivered against the *new* geometry, matching a radio
     /// whose reception happens at arrival time.
     pub fn move_node(&mut self, node: NodeId, position: cbtc_geom::Point2) {
+        let from = self.layout.position(node);
         self.layout.set_position(node, position);
+        self.grid.update(node, from, position);
     }
 
     /// The current simulated time (time of the last processed event).
@@ -177,6 +187,12 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
     /// Whether `node` has not crashed.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.alive[node.index()]
+    }
+
+    /// Whether `node` has processed its start event (a node with a future
+    /// start time models a device that has not yet joined the network).
+    pub fn has_started(&self, node: NodeId) -> bool {
+        self.started[node.index()]
     }
 
     /// Execution statistics so far.
@@ -290,14 +306,29 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
                 Command::Broadcast { power, payload } => {
                     self.stats.broadcasts += 1;
                     self.charge(origin, power);
-                    let targets: Vec<NodeId> =
-                        self.layout.node_ids().filter(|&v| v != origin).collect();
-                    for v in targets {
+                    // Every node the transmission reaches lies within
+                    // range(power) of the sender, so the grid query plus
+                    // the exact `reaches` filter reproduces the all-nodes
+                    // scan. Sorting keeps delivery (and thus fault-RNG)
+                    // order identical to it.
+                    let mut targets = std::mem::take(&mut self.scratch);
+                    targets.clear();
+                    self.grid.candidates_within(
+                        self.layout.position(origin),
+                        self.model.range(power),
+                        &mut targets,
+                    );
+                    targets.sort_unstable();
+                    for &v in &targets {
+                        if v == origin {
+                            continue;
+                        }
                         let d = self.layout.distance(origin, v);
                         if self.model.reaches(power, d) {
                             self.enqueue_delivery(origin, v, power, d, payload.clone());
                         }
                     }
+                    self.scratch = targets;
                 }
                 Command::Send { power, payload, to } => {
                     self.stats.unicasts += 1;

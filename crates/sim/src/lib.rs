@@ -24,6 +24,22 @@
 //! Everything is deterministic: events are ordered by `(time, sequence)`,
 //! and all randomness (latency jitter, loss, duplication) flows from the
 //! seed in [`FaultConfig`].
+//!
+//! Broadcast delivery resolves its reception set through a
+//! [`cbtc_graph::SpatialGrid`] over the node layout (maintained
+//! incrementally under [`Engine::move_node`]), so a beacon costs
+//! `O(neighbors)` rather than `O(n)` — the change that makes §4-style
+//! beaconing simulable at 10⁴–10⁵ nodes.
+//!
+//! # Paper map
+//!
+//! | item | implements |
+//! |------|------------|
+//! | [`Engine`] | §2's synchronous rounds / §4's asynchronous execution |
+//! | [`Context`], [`Node`], [`Incoming`] | §2: `bcast`/`send`/`recv` and the reception-power + angle-of-arrival information model |
+//! | [`FaultConfig`] | §4: bounded latency, loss, duplication, crash-stop |
+//! | [`SimTime`] | the discrete clock both models share |
+//! | [`TraceStats`] | the message/energy accounting the §5-style experiments report |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

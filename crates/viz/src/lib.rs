@@ -1,7 +1,10 @@
 //! # cbtc-viz
 //!
 //! SVG rendering of network topologies, reproducing the style of the
-//! paper's Figure 6: labelled nodes with straight-line edges.
+//! paper's Figure 6 (§5): labelled nodes with straight-line edges. The
+//! `figure6` bench binary uses [`render_svg`] to regenerate all eight
+//! panels; the Figure 2 / Figure 5 constructions render through the same
+//! entry point.
 //!
 //! ```
 //! use cbtc_geom::Point2;

@@ -1,0 +1,640 @@
+//! Mobility-and-churn reconfiguration scenarios (`cbtc-churn`).
+//!
+//! The paper analyzes the reconfiguration protocol (§4) but evaluates only
+//! static layouts (§5). This module supplies the missing experiment: it
+//! drives [`ReconfigNode`] — NDP beacons plus the §4 `join`/`leave`/
+//! `aChange` rules — under continuous [`RandomWaypoint`] motion with
+//! scheduled node joins and crash-stops, and measures what the §4 guarantee
+//! promises:
+//!
+//! * **beacon overhead** — broadcasts per live node per beacon interval;
+//! * **reconvergence time** — ticks from each churn burst until the
+//!   maintained topology again preserves the partition of the live
+//!   max-power graph `G_R` (Theorem 2.1's predicate, applied online);
+//! * **degree/connectivity maintenance** — average degree and the fraction
+//!   of probes at which the partition is preserved;
+//! * **stretch over time** — sampled power/hop stretch of the maintained
+//!   topology versus the live `G_R`.
+//!
+//! The suite is built to run at 10⁴–10⁵ nodes: every geometric query goes
+//! through [`cbtc_graph::SpatialGrid`] (the simulator's broadcast delivery
+//! does too), so a probe costs `O(n + |E|)` rather than `O(n²)`.
+//!
+//! [`ReconfigNode`]: cbtc_core::reconfig::ReconfigNode
+
+use cbtc_core::protocol::GrowthConfig;
+use cbtc_core::reconfig::{collect_topology, NdpConfig, ReconfigNode};
+use cbtc_geom::Alpha;
+use cbtc_graph::connectivity::same_partition;
+use cbtc_graph::paths::{dijkstra, power_weight};
+use cbtc_graph::unit_disk::unit_disk_graph_where;
+use cbtc_graph::{Layout, NodeId, UndirectedGraph};
+use cbtc_radio::{PathLoss, Power, PowerLaw, PowerSchedule};
+use cbtc_sim::{Engine, FaultConfig, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{RandomPlacement, RandomWaypoint};
+
+/// Parameters of one churn experiment.
+///
+/// Timeline: `initial_nodes` start at tick 0 and run a `warmup` quiet
+/// period; then `cycles` churn *bursts* fire every `cycle_ticks`, each
+/// injecting its share of the `joins` (late node starts) and `crashes`
+/// (crash-stops). Mobility runs continuously throughout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnScenario {
+    /// Human-readable name, used in experiment output.
+    pub name: String,
+    /// Nodes live from tick 0.
+    pub initial_nodes: usize,
+    /// Nodes that join at churn bursts (total node count is
+    /// `initial_nodes + joins`).
+    pub joins: usize,
+    /// Crash-stops injected at churn bursts.
+    pub crashes: usize,
+    /// Field width.
+    pub width: f64,
+    /// Field height.
+    pub height: f64,
+    /// The cone angle α.
+    pub alpha: Alpha,
+    /// Ticks between NDP beacons.
+    pub beacon_interval: u64,
+    /// Missed beacons before a neighbor is declared gone.
+    pub miss_limit: u32,
+    /// Minimum waypoint speed (distance units per tick).
+    pub speed_min: f64,
+    /// Maximum waypoint speed (distance units per tick).
+    pub speed_max: f64,
+    /// Pause at each waypoint (ticks).
+    pub pause: f64,
+    /// Quiet ticks before the first churn burst.
+    pub warmup: u64,
+    /// Number of churn bursts.
+    pub cycles: u32,
+    /// Ticks between bursts (the settle window reconvergence is measured
+    /// within).
+    pub cycle_ticks: u64,
+    /// Ticks between mobility pushes into the simulator.
+    pub mobility_dt: u64,
+}
+
+impl ChurnScenario {
+    /// A scenario sized for `nodes` total nodes: the field is scaled so
+    /// the max-power graph keeps an average degree of ≈ 18 under the
+    /// paper's radio (`R = 500`), which keeps `G_R` connected with high
+    /// probability while staying sparse enough to stress reconfiguration.
+    ///
+    /// 10% of the nodes arrive as late joins and 10% crash during the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 10`.
+    pub fn sized(nodes: usize) -> Self {
+        assert!(nodes >= 10, "need at least 10 nodes, got {nodes}");
+        let range = PowerLaw::paper_default().max_range();
+        let target_degree = 18.0;
+        let side = (nodes as f64 * std::f64::consts::PI * range * range / target_degree).sqrt();
+        let joins = nodes / 10;
+        let crashes = nodes / 10;
+        ChurnScenario {
+            name: format!("churn-{nodes}"),
+            initial_nodes: nodes - joins,
+            joins,
+            crashes,
+            width: side,
+            height: side,
+            alpha: Alpha::FIVE_PI_SIXTHS,
+            beacon_interval: 10,
+            miss_limit: 3,
+            speed_min: 0.5,
+            speed_max: 2.0,
+            pause: 20.0,
+            warmup: 200,
+            cycles: 4,
+            cycle_ticks: 250,
+            mobility_dt: 5,
+        }
+    }
+
+    /// A tiny fast scenario for tests and doc examples.
+    pub fn smoke() -> Self {
+        ChurnScenario {
+            name: "churn-smoke".to_owned(),
+            initial_nodes: 24,
+            joins: 4,
+            crashes: 3,
+            width: 1100.0,
+            height: 1100.0,
+            cycles: 2,
+            cycle_ticks: 200,
+            warmup: 150,
+            ..ChurnScenario::sized(28)
+        }
+    }
+
+    /// Last tick of the run: `warmup + cycles·cycle_ticks`.
+    pub fn horizon(&self) -> u64 {
+        self.warmup + u64::from(self.cycles) * self.cycle_ticks
+    }
+
+    /// Total node count, including late joiners.
+    pub fn total_nodes(&self) -> usize {
+        self.initial_nodes + self.joins
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_nodes < 2 {
+            return Err("initial_nodes must be at least 2".into());
+        }
+        if self.crashes >= self.initial_nodes {
+            return Err("crashes must leave at least one initial node alive".into());
+        }
+        if !(self.width.is_finite()
+            && self.width > 0.0
+            && self.height.is_finite()
+            && self.height > 0.0)
+        {
+            return Err("field dimensions must be positive".into());
+        }
+        if self.cycles == 0 || self.cycle_ticks == 0 {
+            return Err("cycles and cycle_ticks must be positive".into());
+        }
+        if self.mobility_dt == 0 {
+            return Err("mobility_dt must be positive".into());
+        }
+        if self.beacon_interval == 0 || self.miss_limit == 0 {
+            return Err("beacon_interval and miss_limit must be positive".into());
+        }
+        if !(self.speed_min > 0.0 && self.speed_min <= self.speed_max) || self.pause < 0.0 {
+            return Err("need 0 < speed_min ≤ speed_max and pause ≥ 0".into());
+        }
+        Ok(())
+    }
+
+    /// Expands the scenario into a concrete churn plan for `seed`.
+    pub fn schedule(&self, seed: u64) -> ChurnSchedule {
+        let total = self.total_nodes();
+        let bursts: Vec<u64> = (0..self.cycles)
+            .map(|k| self.warmup + u64::from(k) * self.cycle_ticks)
+            .collect();
+        let mut start_ticks = vec![0u64; total];
+        for j in 0..self.joins {
+            start_ticks[self.initial_nodes + j] = bursts[j % bursts.len()];
+        }
+        // Distinct crash victims among the initial nodes (partial
+        // Fisher–Yates over the ID pool).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+        let mut pool: Vec<u32> = (0..self.initial_nodes as u32).collect();
+        let mut crashes = Vec::with_capacity(self.crashes);
+        for c in 0..self.crashes.min(pool.len()) {
+            let pick = rng.gen_range(c..pool.len());
+            pool.swap(c, pick);
+            crashes.push((NodeId::new(pool[c]), bursts[c % bursts.len()]));
+        }
+        ChurnSchedule {
+            start_ticks,
+            crashes,
+            bursts,
+            horizon: self.horizon(),
+        }
+    }
+}
+
+/// A concrete churn plan: who starts when, who crashes when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSchedule {
+    /// Start tick per node (0 for the initial population).
+    pub start_ticks: Vec<u64>,
+    /// `(victim, tick)` crash-stops.
+    pub crashes: Vec<(NodeId, u64)>,
+    /// Burst ticks (every join/crash happens at one of these).
+    pub bursts: Vec<u64>,
+    /// Last tick of the run.
+    pub horizon: u64,
+}
+
+/// One churn burst and how long the network took to recover from it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstOutcome {
+    /// The burst tick.
+    pub t: u64,
+    /// Nodes that joined at this burst.
+    pub joins: u32,
+    /// Nodes that crashed at this burst.
+    pub crashes: u32,
+    /// Ticks until the maintained topology again preserved the partition
+    /// of the live `G_R`; `None` if it never did before the horizon.
+    pub reconverged_after: Option<u64>,
+}
+
+/// One periodic probe of the maintained topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Probe tick.
+    pub t: u64,
+    /// Live (started, not crashed) nodes.
+    pub live: u32,
+    /// Edges of the maintained topology.
+    pub edges: u64,
+    /// Average degree over live nodes.
+    pub avg_degree: f64,
+    /// Whether the topology preserves the partition of the live `G_R`.
+    pub partition_preserved: bool,
+}
+
+/// Sampled stretch of the maintained topology versus the live `G_R`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StretchSample {
+    /// Probe tick.
+    pub t: u64,
+    /// Source nodes sampled.
+    pub sources: u32,
+    /// Destination pairs measured.
+    pub pairs: u64,
+    /// Mean power-stretch over measured pairs.
+    pub power_mean: f64,
+    /// Maximum power-stretch over measured pairs.
+    pub power_max: f64,
+    /// Pairs reachable in the live `G_R` but not in the topology (0 when
+    /// the partition is preserved).
+    pub unreachable: u64,
+}
+
+/// Aggregate message/energy accounting for the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnTraffic {
+    /// Broadcasts issued (Hellos + beacons).
+    pub broadcasts: u64,
+    /// Unicasts issued (Acks).
+    pub unicasts: u64,
+    /// Messages delivered to a handler.
+    pub deliveries: u64,
+    /// Broadcasts per live node per beacon interval — the beacon-overhead
+    /// headline (1.0 ≈ steady-state beaconing, excess is reconfiguration
+    /// traffic).
+    pub broadcasts_per_node_per_interval: f64,
+    /// Total transmission energy (linear power units).
+    pub energy_spent: f64,
+}
+
+/// The full result of one churn run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// The scenario that was run.
+    pub scenario: ChurnScenario,
+    /// The seed it was run under.
+    pub seed: u64,
+    /// Per-burst reconvergence outcomes.
+    pub bursts: Vec<BurstOutcome>,
+    /// Periodic topology probes.
+    pub samples: Vec<SamplePoint>,
+    /// Periodic stretch probes (one per cycle boundary).
+    pub stretch: Vec<StretchSample>,
+    /// Message and energy accounting.
+    pub traffic: ChurnTraffic,
+    /// Total growing-phase re-runs across all nodes (§4 event handling).
+    pub reruns: u64,
+    /// Live nodes at the horizon.
+    pub live_at_end: u32,
+    /// Fraction of probes at which the partition was preserved.
+    pub connectivity_fraction: f64,
+    /// Mean reconvergence ticks over bursts that reconverged.
+    pub mean_reconvergence: Option<f64>,
+}
+
+/// The engine type the churn suite drives.
+pub type ChurnEngine = Engine<ReconfigNode, PowerLaw>;
+
+/// Builds `G_R` restricted to the live nodes: edges of the unit-disk graph
+/// over the *current* positions whose endpoints are both live. Dead and
+/// not-yet-started nodes stay as isolated vertices, mirroring
+/// [`collect_topology`]'s treatment so the two graphs are comparable with
+/// [`same_partition`].
+pub fn live_unit_disk(layout: &Layout, radius: f64, live: &[bool]) -> UndirectedGraph {
+    assert_eq!(layout.len(), live.len(), "live mask size mismatch");
+    unit_disk_graph_where(layout, radius, |u| live[u.index()])
+}
+
+/// Runs one churn experiment and reports the measurements.
+///
+/// Deterministic in `(scenario, seed)`.
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`ChurnScenario::validate`].
+///
+/// # Example
+///
+/// ```
+/// use cbtc_workloads::churn::{run_churn, ChurnScenario};
+///
+/// let report = run_churn(&ChurnScenario::smoke(), 7);
+/// assert!(!report.samples.is_empty());
+/// assert!(report.traffic.broadcasts > 0);
+/// ```
+pub fn run_churn(scenario: &ChurnScenario, seed: u64) -> ChurnReport {
+    if let Err(e) = scenario.validate() {
+        panic!("invalid churn scenario: {e}");
+    }
+    let model = PowerLaw::paper_default();
+    let total = scenario.total_nodes();
+    let schedule = scenario.schedule(seed);
+
+    let layout = RandomPlacement::new(total, scenario.width, scenario.height, model.max_range())
+        .generate_layout(seed);
+    let growth = GrowthConfig {
+        alpha: scenario.alpha,
+        schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+        ack_timeout: 3,
+        model,
+    };
+    let ndp = NdpConfig::new(scenario.beacon_interval, scenario.miss_limit, 0.05);
+    let nodes: Vec<ReconfigNode> = (0..total).map(|_| ReconfigNode::new(growth, ndp)).collect();
+    let starts: Vec<SimTime> = schedule
+        .start_ticks
+        .iter()
+        .map(|&t| SimTime::new(t))
+        .collect();
+    let mut engine = ChurnEngine::with_start_times(
+        layout.clone(),
+        model,
+        nodes,
+        FaultConfig::reliable_synchronous(),
+        &starts,
+    );
+    for &(victim, t) in &schedule.crashes {
+        engine.schedule_crash(victim, SimTime::new(t));
+    }
+
+    let mut roaming = layout;
+    let mut mobility = RandomWaypoint::new(
+        scenario.width,
+        scenario.height,
+        scenario.speed_min,
+        scenario.speed_max,
+        scenario.pause,
+        total,
+        seed ^ 0x5EED_CAFE,
+    );
+
+    // Burst bookkeeping: joins/crashes per burst tick, pending
+    // reconvergence measurements.
+    let mut bursts: Vec<BurstOutcome> = schedule
+        .bursts
+        .iter()
+        .map(|&t| BurstOutcome {
+            t,
+            joins: schedule.start_ticks[scenario.initial_nodes..]
+                .iter()
+                .filter(|&&s| s == t)
+                .count() as u32,
+            crashes: schedule.crashes.iter().filter(|&&(_, c)| c == t).count() as u32,
+            reconverged_after: None,
+        })
+        .collect();
+    let mut pending: Vec<usize> = Vec::new();
+    let mut next_burst = 0usize;
+
+    let probe_interval = scenario.beacon_interval;
+    let step = scenario.mobility_dt;
+    let mut samples = Vec::new();
+    let mut stretch = Vec::new();
+    let mut next_probe = 0u64;
+    let mut next_stretch = schedule.horizon.min(scenario.warmup);
+    let mut live_ticks = 0f64;
+    let mut preserved_probes = 0u64;
+
+    let mut t = 0u64;
+    loop {
+        engine.run_until(SimTime::new(t));
+
+        // Register bursts whose tick has arrived (they just fired inside
+        // run_until) so the next preserved probe closes them out.
+        while next_burst < bursts.len() && bursts[next_burst].t <= t {
+            pending.push(next_burst);
+            next_burst += 1;
+        }
+
+        if t >= next_probe {
+            let live: Vec<bool> = (0..total as u32)
+                .map(NodeId::new)
+                .map(|u| engine.is_alive(u) && engine.has_started(u))
+                .collect();
+            let live_count = live.iter().filter(|&&l| l).count() as u32;
+            let topo = collect_topology(&engine);
+            let target = live_unit_disk(engine.layout(), model.max_range(), &live);
+            let preserved = same_partition(&topo, &target);
+            if preserved {
+                preserved_probes += 1;
+                for &b in &pending {
+                    bursts[b].reconverged_after = Some(t - bursts[b].t);
+                }
+                pending.clear();
+            }
+            samples.push(SamplePoint {
+                t,
+                live: live_count,
+                edges: topo.edge_count() as u64,
+                avg_degree: 2.0 * topo.edge_count() as f64 / f64::from(live_count.max(1)),
+                partition_preserved: preserved,
+            });
+            if t >= next_stretch {
+                stretch.push(sample_stretch(&topo, &target, engine.layout(), &live, t));
+                next_stretch = t + scenario.cycle_ticks;
+            }
+            next_probe = t + probe_interval;
+        }
+
+        if t >= schedule.horizon {
+            break;
+        }
+
+        // Advance mobility and push the new positions into the simulator
+        // (incremental spatial-index updates).
+        let dt = step.min(schedule.horizon - t);
+        mobility.advance(&mut roaming, dt as f64);
+        for (id, p) in roaming.iter() {
+            if p != engine.layout().position(id) {
+                engine.move_node(id, p);
+            }
+        }
+        let live_now = (0..total as u32)
+            .map(NodeId::new)
+            .filter(|&u| engine.is_alive(u) && engine.has_started(u))
+            .count();
+        live_ticks += live_now as f64 * dt as f64;
+        t += dt;
+    }
+
+    let stats = engine.stats();
+    let live_at_end = (0..total as u32)
+        .map(NodeId::new)
+        .filter(|&u| engine.is_alive(u) && engine.has_started(u))
+        .count() as u32;
+    let reruns: u64 = engine.nodes().iter().map(|n| u64::from(n.reruns())).sum();
+    let reconverged: Vec<u64> = bursts.iter().filter_map(|b| b.reconverged_after).collect();
+    ChurnReport {
+        scenario: scenario.clone(),
+        seed,
+        traffic: ChurnTraffic {
+            broadcasts: stats.broadcasts,
+            unicasts: stats.unicasts,
+            deliveries: stats.deliveries,
+            broadcasts_per_node_per_interval: stats.broadcasts as f64
+                / (live_ticks / scenario.beacon_interval as f64).max(1.0),
+            energy_spent: stats.energy_spent,
+        },
+        reruns,
+        live_at_end,
+        connectivity_fraction: preserved_probes as f64 / samples.len().max(1) as f64,
+        mean_reconvergence: if reconverged.is_empty() {
+            None
+        } else {
+            Some(reconverged.iter().sum::<u64>() as f64 / reconverged.len() as f64)
+        },
+        bursts,
+        samples,
+        stretch,
+    }
+}
+
+/// Power-stretch of `topo` versus `target` sampled from a few sources:
+/// Dijkstra under the power weight `d²` from each source in both graphs,
+/// ratio per destination reachable in both.
+fn sample_stretch(
+    topo: &UndirectedGraph,
+    target: &UndirectedGraph,
+    layout: &Layout,
+    live: &[bool],
+    t: u64,
+) -> StretchSample {
+    const SOURCES: usize = 4;
+    let exponent = 2.0;
+    let live_ids: Vec<NodeId> = layout.node_ids().filter(|u| live[u.index()]).collect();
+    let picked: Vec<NodeId> = (0..SOURCES.min(live_ids.len()))
+        .map(|i| live_ids[i * live_ids.len() / SOURCES.min(live_ids.len()).max(1)])
+        .collect();
+    let mut pairs = 0u64;
+    let mut unreachable = 0u64;
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    for &s in &picked {
+        let d_sub = dijkstra(topo, s, power_weight(layout, exponent));
+        let d_full = dijkstra(target, s, power_weight(layout, exponent));
+        for &v in &live_ids {
+            if v == s {
+                continue;
+            }
+            match (d_sub[v.index()], d_full[v.index()]) {
+                (Some(a), Some(b)) if b > 0.0 => {
+                    pairs += 1;
+                    let ratio = a / b;
+                    sum += ratio;
+                    max = max.max(ratio);
+                }
+                (None, Some(_)) => unreachable += 1,
+                _ => {}
+            }
+        }
+    }
+    StretchSample {
+        t,
+        sources: picked.len() as u32,
+        pairs,
+        power_mean: if pairs > 0 { sum / pairs as f64 } else { 1.0 },
+        power_max: if pairs > 0 { max } else { 1.0 },
+        unreachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenario_runs_and_reconverges() {
+        let report = run_churn(&ChurnScenario::smoke(), 3);
+        assert_eq!(report.bursts.len(), 2);
+        assert!(report.traffic.broadcasts > 0);
+        assert!(report.traffic.deliveries > 0);
+        assert!(!report.samples.is_empty());
+        assert!(report.live_at_end > 0);
+        // The run must spend most probes partition-preserving: the §4
+        // rules are supposed to maintain connectivity under churn.
+        assert!(
+            report.connectivity_fraction > 0.5,
+            "connectivity fraction {} too low",
+            report.connectivity_fraction
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_churn(&ChurnScenario::smoke(), 11);
+        let b = run_churn(&ChurnScenario::smoke(), 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_churn(&ChurnScenario::smoke(), 1);
+        let b = run_churn(&ChurnScenario::smoke(), 2);
+        assert_ne!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn schedule_spreads_churn_over_bursts() {
+        let scenario = ChurnScenario::smoke();
+        let schedule = scenario.schedule(9);
+        assert_eq!(schedule.bursts.len(), scenario.cycles as usize);
+        assert_eq!(schedule.start_ticks.len(), scenario.total_nodes());
+        // Joiners all start at burst ticks.
+        for j in 0..scenario.joins {
+            let s = schedule.start_ticks[scenario.initial_nodes + j];
+            assert!(schedule.bursts.contains(&s), "join at non-burst tick {s}");
+        }
+        // Crash victims are distinct initial nodes.
+        let mut victims: Vec<u32> = schedule.crashes.iter().map(|(v, _)| v.raw()).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), scenario.crashes);
+        assert!(victims
+            .iter()
+            .all(|&v| (v as usize) < scenario.initial_nodes));
+    }
+
+    #[test]
+    fn live_unit_disk_ignores_dead_nodes() {
+        use cbtc_geom::Point2;
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(100.0, 0.0),
+            Point2::new(200.0, 0.0),
+        ]);
+        let g = live_unit_disk(&layout, 150.0, &[true, false, true]);
+        assert_eq!(g.edge_count(), 0, "middle node is dead; ends are 200 apart");
+        let g2 = live_unit_disk(&layout, 250.0, &[true, false, true]);
+        assert!(g2.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected() {
+        let mut s = ChurnScenario::smoke();
+        s.crashes = s.initial_nodes;
+        assert!(s.validate().is_err());
+        let mut s = ChurnScenario::smoke();
+        s.mobility_dt = 0;
+        assert!(s.validate().is_err());
+        let mut s = ChurnScenario::smoke();
+        s.speed_min = 0.0;
+        assert!(s.validate().is_err());
+    }
+}

@@ -11,6 +11,15 @@
 //! supplies the mobility for §4 reconfiguration experiments.
 //!
 //! All generators are deterministic in their seed.
+//!
+//! # Paper map
+//!
+//! | item | implements |
+//! |------|------------|
+//! | [`Scenario`], [`RandomPlacement`] | §5's experimental setup (100 × 100 nodes, 1500², R = 500) |
+//! | [`GridPlacement`], [`ClusteredPlacement`] | the dense/sparse regimes §1 motivates, beyond §5 |
+//! | [`RandomWaypoint`] | the motion model for §4 reconfiguration experiments |
+//! | [`churn`] | the §4 protocol *measured* under sustained mobility, joins and crashes at 10k+ nodes (`cbtc-churn`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +30,9 @@ mod mobility;
 mod random;
 mod scenario;
 
+pub mod churn;
+
+pub use churn::{run_churn, ChurnReport, ChurnScenario};
 pub use clustered::ClusteredPlacement;
 pub use grid::GridPlacement;
 pub use mobility::RandomWaypoint;

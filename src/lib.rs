@@ -8,8 +8,9 @@
 //!
 //! * [`geom`] — planar geometry: angles, cones, α-gap tests, coverage;
 //! * [`radio`] — path-loss models, power schedules, channel impairments;
-//! * [`graph`] — graph substrate: unit-disk graphs, connectivity, metrics,
-//!   baseline spanners;
+//! * [`graph`] — graph substrate: unit-disk graphs, the uniform-grid
+//!   spatial index behind every 10k+-node experiment, connectivity,
+//!   metrics, baseline spanners;
 //! * [`sim`] — deterministic discrete-event simulator (synchronous rounds
 //!   and asynchronous operation with faults);
 //! * [`core`] — the CBTC algorithm itself: centralized reference,
@@ -52,6 +53,19 @@
 //! let cbtc = TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS));
 //! let report = LifetimeSim::new(network, cbtc, LifetimeConfig::smoke(), 7).run();
 //! assert!(report.first_death.is_some());
+//! ```
+//!
+//! # Reconfiguration under churn
+//!
+//! The [`workloads::churn`] suite runs the §4 reconfiguration protocol —
+//! NDP beacons plus the join/leave/angle-change rules — under continuous
+//! random-waypoint motion with node joins and crash-stops, at 10k+ nodes:
+//!
+//! ```
+//! use cbtc::workloads::churn::{run_churn, ChurnScenario};
+//!
+//! let report = run_churn(&ChurnScenario::smoke(), 7);
+//! assert!(report.connectivity_fraction > 0.0);
 //! ```
 
 pub use cbtc_core as core;
