@@ -1,15 +1,16 @@
-//! Criterion micro-benchmarks of the hot paths: the α-gap test, the
-//! centralized growing phase, the three optimizations, the baseline
-//! spanners, and a full distributed-protocol simulation.
+//! Criterion micro-benchmarks of the hot paths: the α-gap test (batch
+//! and incremental), the spatial shell query, the centralized growing
+//! phase, the three optimizations, the baseline spanners, and a full
+//! distributed-protocol simulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cbtc_core::opt::{pairwise_removal, shrink_back, PairwisePolicy};
 use cbtc_core::protocol::{CbtcNode, GrowthConfig};
 use cbtc_core::{run_basic, run_centralized, CbtcConfig, Network};
-use cbtc_geom::gap::has_alpha_gap;
+use cbtc_geom::gap::{has_alpha_gap, GapTracker};
 use cbtc_geom::{Alpha, Angle};
-use cbtc_graph::spanners;
+use cbtc_graph::{spanners, SpatialGrid};
 use cbtc_radio::{PathLoss, Power, PowerSchedule};
 use cbtc_sim::{Engine, FaultConfig};
 use cbtc_workloads::RandomPlacement;
@@ -29,6 +30,70 @@ fn bench_gap_detection(c: &mut Criterion) {
             b.iter(|| has_alpha_gap(std::hint::black_box(dirs), Alpha::FIVE_PI_SIXTHS));
         });
     }
+    group.finish();
+}
+
+fn bench_gap_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap_tracker");
+    for size in [8usize, 64, 512] {
+        let dirs: Vec<Angle> = (0..size)
+            .map(|i| Angle::new((i as f64 * 0.61803398875).fract() * std::f64::consts::TAU))
+            .collect();
+        // The growing-phase access pattern: insert one direction, ask for
+        // the α-gap, repeat — incremental vs re-running the batch scan.
+        group.bench_with_input(BenchmarkId::new("incremental", size), &dirs, |b, dirs| {
+            b.iter(|| {
+                let mut tracker = GapTracker::new();
+                let mut open = true;
+                for &d in std::hint::black_box(dirs) {
+                    tracker.insert(d);
+                    open &= tracker.has_alpha_gap(Alpha::FIVE_PI_SIXTHS);
+                }
+                open
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch", size), &dirs, |b, dirs| {
+            b.iter(|| {
+                let mut prefix: Vec<Angle> = Vec::with_capacity(dirs.len());
+                let mut open = true;
+                for &d in std::hint::black_box(dirs) {
+                    prefix.push(d);
+                    open &= has_alpha_gap(&prefix, Alpha::FIVE_PI_SIXTHS);
+                }
+                open
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shell_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shell_query");
+    group.sample_size(20);
+    let n = 10_000usize;
+    let side = 1500.0 * (n as f64 / 100.0).sqrt();
+    let network = RandomPlacement::new(n, side, side, 500.0).generate(13);
+    let layout = network.layout().clone();
+    let cell = cbtc_core::construction_cell(&layout, 500.0, n);
+    let grid = SpatialGrid::from_layout(&layout, cell);
+    let center = layout.position(cbtc_graph::NodeId::new(0));
+    // Nearest-first termination: how fast can the shell scan surface the
+    // first ~20 candidates, vs materializing the whole max-range disk.
+    group.bench_function("first_rings_10k", |b| {
+        b.iter(|| {
+            let mut scan = grid.shell_scan(std::hint::black_box(center), 500.0);
+            let mut out = Vec::new();
+            while out.len() < 20 && scan.scan_next(&mut out) {}
+            out.len()
+        });
+    });
+    group.bench_function("full_disk_10k", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            grid.candidates_within(std::hint::black_box(center), 500.0, &mut out);
+            out.len()
+        });
+    });
     group.finish();
 }
 
@@ -102,8 +167,7 @@ fn bench_analysis(c: &mut Criterion) {
     group.sample_size(20);
     let network = paper_network(100, 11);
     let graph = run_centralized(&network, &CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS))
-        .final_graph()
-        .clone();
+        .into_final_graph();
     group.bench_function("edge_betweenness_100", |b| {
         b.iter(|| cbtc_graph::load::edge_betweenness(std::hint::black_box(&graph)));
     });
@@ -149,6 +213,8 @@ fn bench_distributed(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gap_detection,
+    bench_gap_tracker,
+    bench_shell_query,
     bench_centralized,
     bench_optimizations,
     bench_spanners,

@@ -1,0 +1,243 @@
+//! Topology-construction benchmark: the output-sensitive, parallel
+//! growing phase against the all-pairs reference, plus the incremental
+//! survivor-reconfiguration path against the rebuild-everything path.
+//!
+//! ```sh
+//! cargo run --release -p cbtc-bench --bin construction \
+//!     [-- --sizes 1000,10000,50000 --deaths 60 --seed 0 --json BENCH_construction.json]
+//! ```
+//!
+//! Every engine's outcome is asserted equal to the brute-force oracle, so
+//! the small-`n` run doubles as the CI smoke check. Writes
+//! `BENCH_construction.json` (override with `--json PATH`, disable with
+//! `--no-json`) so the speedups are tracked across revisions.
+
+use std::time::Instant;
+
+use cbtc_bench::Args;
+use cbtc_core::{run_basic_with, CbtcConfig, ConstructionMode, Network};
+use cbtc_energy::{SurvivorTopology, TopologyPolicy};
+use cbtc_geom::Alpha;
+use cbtc_graph::NodeId;
+use cbtc_workloads::RandomPlacement;
+use serde::Serialize;
+
+/// One network size's growing-phase timings, all engines verified equal.
+#[derive(Debug, Serialize)]
+struct SizeRow {
+    nodes: usize,
+    /// Square field side, scaled to hold the paper's density (100 nodes
+    /// per 1500×1500 at R = 500).
+    side: f64,
+    /// Edges of the symmetric closure `G_α` (a fixed point of the run).
+    closure_edges: usize,
+    brute_seconds: f64,
+    grid_seconds: f64,
+    parallel_seconds: f64,
+    grid_speedup: f64,
+    parallel_speedup: f64,
+}
+
+/// Death-epoch reconfiguration cost, rebuild-everything vs incremental.
+#[derive(Debug, Serialize)]
+struct ReconfigRow {
+    nodes: usize,
+    deaths: usize,
+    full_ms_per_epoch: f64,
+    incremental_ms_per_epoch: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchDoc {
+    alpha: String,
+    threads: usize,
+    base_seed: u64,
+    sizes: Vec<SizeRow>,
+    reconfig: ReconfigRow,
+    wall_seconds: f64,
+}
+
+/// Best-of-`rounds` wall time of `f`.
+fn best_of<T>(rounds: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..rounds.max(1) {
+        let t = Instant::now();
+        last = Some(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, last.expect("rounds ≥ 1"))
+}
+
+fn bench_size(nodes: usize, alpha: Alpha, seed: u64) -> SizeRow {
+    let side = 1500.0 * (nodes as f64 / 100.0).sqrt();
+    let network: Network = RandomPlacement::new(nodes, side, side, 500.0).generate(seed);
+
+    // The O(n²) oracle gets fewer rounds at sizes where one round is
+    // already tens of seconds.
+    let brute_rounds = if nodes >= 20_000 { 1 } else { 2 };
+    let (brute_seconds, brute) = best_of(brute_rounds, || {
+        run_basic_with(&network, alpha, ConstructionMode::Brute)
+    });
+    let (grid_seconds, grid) = best_of(3, || {
+        run_basic_with(&network, alpha, ConstructionMode::Grid)
+    });
+    let (parallel_seconds, parallel) = best_of(3, || {
+        run_basic_with(&network, alpha, ConstructionMode::GridParallel)
+    });
+    assert_eq!(brute, grid, "grid engine diverged from oracle at n={nodes}");
+    assert_eq!(grid, parallel, "parallel engine diverged at n={nodes}");
+
+    SizeRow {
+        nodes,
+        side,
+        closure_edges: grid.symmetric_closure().edge_count(),
+        brute_seconds,
+        grid_seconds,
+        parallel_seconds,
+        grid_speedup: brute_seconds / grid_seconds.max(f64::MIN_POSITIVE),
+        parallel_speedup: brute_seconds / parallel_seconds.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// A deterministic death order: a fixed-stride walk over the node IDs.
+fn death_order(nodes: usize, deaths: usize) -> Vec<NodeId> {
+    let stride = 37 % nodes.max(1);
+    (0..deaths)
+        .map(|k| NodeId::new(((k * stride.max(1)) % nodes) as u32))
+        .scan(Vec::new(), |seen: &mut Vec<u32>, id| {
+            // Skip collisions by linear probing; the sequence is fixed.
+            let mut raw = id.raw();
+            while seen.contains(&raw) {
+                raw = (raw + 1) % nodes as u32;
+            }
+            seen.push(raw);
+            Some(NodeId::new(raw))
+        })
+        .collect()
+}
+
+fn bench_reconfig(deaths: usize, alpha: Alpha, seed: u64) -> ReconfigRow {
+    let nodes = 100usize;
+    let network: Network = RandomPlacement::new(nodes, 1500.0, 1500.0, 500.0).generate(seed);
+    let policy = TopologyPolicy::Cbtc(CbtcConfig::all_applicable(alpha));
+    let deaths = deaths.min(nodes - 2);
+    let order = death_order(nodes, deaths);
+
+    // Untimed verification pass: the incremental topology must equal the
+    // full survivor rebuild after every single death.
+    {
+        let mut topo = SurvivorTopology::new(&network, policy);
+        let mut alive = vec![true; nodes];
+        for &d in &order {
+            alive[d.index()] = false;
+            topo.kill(&network, &[d]);
+            assert_eq!(
+                topo.graph(),
+                &policy.build_on_survivors(&network, &alive),
+                "incremental reconfiguration diverged from the full rebuild"
+            );
+        }
+    }
+
+    // Rebuild-everything path: one full survivor reconstruction per
+    // death epoch, as PR 2's lifetime engine did.
+    let mut alive = vec![true; nodes];
+    let t = Instant::now();
+    for &d in &order {
+        alive[d.index()] = false;
+        std::hint::black_box(policy.build_on_survivors(&network, &alive));
+    }
+    let full_seconds = t.elapsed().as_secs_f64();
+
+    // Incremental path: patch the survivor topology in place.
+    let mut topo = SurvivorTopology::new(&network, policy);
+    let t = Instant::now();
+    for &d in &order {
+        std::hint::black_box(topo.kill(&network, &[d]));
+    }
+    let incremental_seconds = t.elapsed().as_secs_f64();
+
+    let per = |s: f64| s * 1e3 / deaths.max(1) as f64;
+    ReconfigRow {
+        nodes,
+        deaths,
+        full_ms_per_epoch: per(full_seconds),
+        incremental_ms_per_epoch: per(incremental_seconds),
+        speedup: full_seconds / incremental_seconds.max(f64::MIN_POSITIVE),
+    }
+}
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 0);
+    let deaths: usize = args.get("deaths", 60);
+    let sizes: Vec<usize> = args
+        .get("sizes", "1000,10000,50000".to_owned())
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .expect("--sizes takes a comma list of node counts")
+        })
+        .collect();
+    let alpha = Alpha::FIVE_PI_SIXTHS;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("construction — CBTC({alpha}) growing phase, {threads} thread(s) available\n");
+    println!(
+        "{:>8} {:>12} {:>11} {:>11} {:>11} {:>8} {:>8}",
+        "nodes", "G_α edges", "brute", "grid", "parallel", "grid×", "par×"
+    );
+
+    let start = Instant::now();
+    let mut rows = Vec::new();
+    for &nodes in &sizes {
+        let row = bench_size(nodes, alpha, seed);
+        println!(
+            "{:>8} {:>12} {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>7.1}x {:>7.1}x",
+            row.nodes,
+            row.closure_edges,
+            row.brute_seconds * 1e3,
+            row.grid_seconds * 1e3,
+            row.parallel_seconds * 1e3,
+            row.grid_speedup,
+            row.parallel_speedup,
+        );
+        rows.push(row);
+    }
+
+    let reconfig = bench_reconfig(deaths, alpha, seed);
+    println!(
+        "\nlifetime reconfiguration ({} nodes, {} death epochs): \
+         full rebuild {:.3} ms/epoch, incremental {:.3} ms/epoch — {:.1}x",
+        reconfig.nodes,
+        reconfig.deaths,
+        reconfig.full_ms_per_epoch,
+        reconfig.incremental_ms_per_epoch,
+        reconfig.speedup,
+    );
+    let wall = start.elapsed().as_secs_f64();
+    println!("\ncompleted in {wall:.2}s (all engines verified against the brute-force oracle)");
+
+    if !args.has("no-json") {
+        let path: String = args.get("json", "BENCH_construction.json".to_owned());
+        let doc = BenchDoc {
+            alpha: alpha.to_string(),
+            threads,
+            base_seed: seed,
+            sizes: rows,
+            reconfig,
+            wall_seconds: wall,
+        };
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -83,7 +83,7 @@ fn main() {
             Some(c) => {
                 let run = run_centralized(&network, c);
                 assert!(run.preserves_connectivity_of(&full), "panel {panel}");
-                run.final_graph().clone()
+                run.into_final_graph()
             }
         };
         let m = measure_graph(&network, &graph);

@@ -58,7 +58,7 @@ fn main() {
         for seed in scenario.seeds(base_seed) {
             let network = generator.generate(seed);
             let graph = match config {
-                Some(c) => run_centralized(&network, c).final_graph().clone(),
+                Some(c) => run_centralized(&network, c).into_final_graph(),
                 None if i == 0 => network.max_power_graph(),
                 None => euclidean_mst(network.layout(), network.max_range()),
             };

@@ -267,7 +267,7 @@ pub fn compare(args: &Args) -> Result<(), String> {
             Some(c) => {
                 let run = run_centralized(&network, &c);
                 let p = run.preserves_connectivity_of(&full);
-                (run.final_graph().clone(), p)
+                (run.into_final_graph(), p)
             }
         };
         println!(

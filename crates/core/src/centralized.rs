@@ -7,14 +7,37 @@
 //! directly from the geometry. It produces the precise `rad⁻_{u,α}` values
 //! whose averages the paper's Table 1 reports, and serves as the oracle the
 //! distributed protocol is validated against.
+//!
+//! ## Output-sensitive construction
+//!
+//! CBTC's defining property (§2) is locality: a node's decision depends
+//! only on neighbors out to its final grow radius. The default engine
+//! exploits that — each node runs an expanding shell scan over a
+//! [`SpatialGrid`] ([`cbtc_graph::spatial::ShellScan`]), consuming
+//! candidates in `(distance, id)` order from a min-heap and maintaining
+//! the α-gap incrementally with a [`cbtc_geom::gap::GapTracker`]. Most
+//! nodes stop after a handful of rings, so the far side of the layout is
+//! never even enumerated, and the per-node independence makes the whole
+//! phase a [`crate::parallel::par_map`]. The all-pairs scan survives as
+//! [`ConstructionMode::Brute`], the oracle the grid engine is
+//! property-tested against.
 
-use cbtc_geom::{gap::has_alpha_gap, Alpha, Angle};
-use cbtc_graph::{NodeId, UndirectedGraph};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use cbtc_geom::{gap::has_alpha_gap, gap::GapTracker, Alpha, Angle, Point2};
+use cbtc_graph::{Layout, NodeId, SpatialGrid, UndirectedGraph};
 use serde::{Deserialize, Serialize};
 
 use crate::opt::{self, PairwisePolicy};
+use crate::parallel::par_map;
 use crate::view::{BasicOutcome, Discovery, NodeView};
 use crate::{CbtcConfig, Network};
+
+/// Smallest per-thread slice of nodes worth a thread spawn in the
+/// parallel growing phase: below ~2× this many nodes, [`run_basic`] runs
+/// inline (the paper-scale 100-node networks never pay fan-out overhead).
+const PAR_MIN_CHUNK: usize = 128;
 
 /// Runs the growing phase of `CBTC(α)` for every node, with continuous
 /// power growth.
@@ -50,17 +73,236 @@ use crate::{CbtcConfig, Network};
 /// assert_eq!(outcome.view(NodeId::new(0)).grow_radius, 100.0);
 /// ```
 pub fn run_basic(network: &Network, alpha: Alpha) -> BasicOutcome {
+    run_basic_with(network, alpha, ConstructionMode::GridParallel)
+}
+
+/// Which engine [`run_basic_with`] grows the topology with.
+///
+/// All three produce **identical** outcomes (the property tests assert
+/// it); they differ only in cost. [`run_basic`] uses
+/// [`ConstructionMode::GridParallel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstructionMode {
+    /// The original all-pairs reference: every node scans all `n − 1`
+    /// candidates and re-runs the batch α-gap test per distance group.
+    /// `O(n²)` — the oracle the grid engines are validated against.
+    Brute,
+    /// Output-sensitive: per-node expanding shell scan over a
+    /// [`SpatialGrid`] with an incremental [`GapTracker`], single thread.
+    Grid,
+    /// [`ConstructionMode::Grid`] with the per-node loop fanned out over
+    /// scoped threads ([`crate::parallel::par_map`]).
+    GridParallel,
+}
+
+/// [`run_basic`] with an explicit [`ConstructionMode`] — the hook the
+/// `construction` benchmark and the equivalence tests use.
+pub fn run_basic_with(network: &Network, alpha: Alpha, mode: ConstructionMode) -> BasicOutcome {
     let layout = network.layout();
     let r = network.max_range();
-    let views = layout
-        .node_ids()
-        .map(|u| grow_node(network, u, alpha, r))
-        .collect();
+    let views = match mode {
+        ConstructionMode::Brute => layout
+            .node_ids()
+            .map(|u| grow_node_brute(layout, u, alpha, r))
+            .collect(),
+        ConstructionMode::Grid | ConstructionMode::GridParallel => {
+            let grid = SpatialGrid::from_layout(layout, construction_cell(layout, r, layout.len()));
+            let ids: Vec<NodeId> = layout.node_ids().collect();
+            let min_chunk = match mode {
+                ConstructionMode::Grid => usize::MAX,
+                _ => PAR_MIN_CHUNK,
+            };
+            par_map(&ids, min_chunk, |&u| {
+                grow_node_in_grid(layout, &grid, u, alpha, r)
+            })
+        }
+    };
     BasicOutcome::new(alpha, views)
 }
 
-fn grow_node(network: &Network, u: NodeId, alpha: Alpha, r: f64) -> NodeView {
+/// Runs the growing phase over the surviving subset of a network: nodes
+/// with `alive[i]` false take no part — they discover nothing, are
+/// discovered by nobody, and receive the placeholder view
+/// `{discoveries: [], boundary: false, grow_radius: 0}`.
+///
+/// This is the §4 reconfiguration primitive: survivors rerun `CBTC(α)`
+/// among themselves *in place*, with no sub-layout or sub-network
+/// allocated and no ID remapping. The outcome is position-for-position
+/// identical to extracting the survivors into a fresh network and running
+/// [`run_basic`] there.
+///
+/// # Panics
+///
+/// Panics if `alive.len()` differs from the network size.
+pub fn run_basic_masked(network: &Network, alpha: Alpha, alive: &[bool]) -> BasicOutcome {
     let layout = network.layout();
+    assert_eq!(alive.len(), layout.len(), "alive mask size mismatch");
+    let r = network.max_range();
+    let population = alive.iter().filter(|a| **a).count();
+    let mut grid = SpatialGrid::new(construction_cell(layout, r, population));
+    for (id, p) in layout.iter() {
+        if alive[id.index()] {
+            grid.insert(id, p);
+        }
+    }
+    let ids: Vec<NodeId> = layout.node_ids().collect();
+    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
+        if alive[u.index()] {
+            grow_node_in_grid(layout, &grid, u, alpha, r)
+        } else {
+            dead_view()
+        }
+    });
+    BasicOutcome::new(alpha, views)
+}
+
+/// The placeholder view of a node excluded by an alive mask: no
+/// discoveries, not a boundary node, zero radius.
+pub fn dead_view() -> NodeView {
+    NodeView {
+        discoveries: Vec::new(),
+        boundary: false,
+        grow_radius: 0.0,
+    }
+}
+
+/// The grid cell side the output-sensitive engine uses: sized for ~4
+/// nodes per cell at the layout's bounding-box density (so each shell
+/// ring inspects a handful of candidates), clamped to `[R/32, R]`.
+///
+/// `population` is the number of nodes that will actually be indexed —
+/// pass the survivor count when masking — so densities stay meaningful as
+/// nodes die.
+pub fn construction_cell(layout: &Layout, max_range: f64, population: usize) -> f64 {
+    let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for (_, p) in layout.iter() {
+        min = Point2::new(min.x.min(p.x), min.y.min(p.y));
+        max = Point2::new(max.x.max(p.x), max.y.max(p.y));
+    }
+    let area = ((max.x - min.x) * (max.y - min.y)).max(0.0);
+    let cell = (4.0 * area / population.max(1) as f64).sqrt();
+    if cell.is_finite() && cell > 0.0 {
+        cell.clamp(max_range / 32.0, max_range)
+    } else {
+        max_range
+    }
+}
+
+/// A candidate waiting in the grow heap, ordered by `(distance, id)` —
+/// the discovery order of continuous power growth.
+#[derive(Debug, PartialEq)]
+struct PendingCandidate {
+    distance: f64,
+    id: NodeId,
+}
+
+impl Eq for PendingCandidate {}
+
+impl Ord for PendingCandidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .total_cmp(&other.distance)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for PendingCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Grows one node output-sensitively over a prebuilt [`SpatialGrid`]
+/// (which must index exactly the participating nodes, `u` itself
+/// included or not — `u` is skipped either way).
+///
+/// Candidates stream in from expanding shell rings; a candidate is only
+/// *discovered* once the scan guarantees nothing nearer remains
+/// unenumerated, so discoveries happen in exact `(distance, id)` order
+/// and equidistant groups complete before the α-gap is tested — matching
+/// [`ConstructionMode::Brute`] bit for bit. Nodes that stop early never
+/// enumerate the rings beyond their grow radius.
+pub fn grow_node_in_grid(
+    layout: &Layout,
+    grid: &SpatialGrid,
+    u: NodeId,
+    alpha: Alpha,
+    max_range: f64,
+) -> NodeView {
+    let center = layout.position(u);
+    let mut scan = grid.shell_scan(center, max_range);
+    let mut heap: BinaryHeap<Reverse<PendingCandidate>> = BinaryHeap::new();
+    let mut ring = Vec::new();
+    let mut tracker = GapTracker::new();
+    let mut discoveries: Vec<Discovery> = Vec::new();
+
+    let discover =
+        |c: PendingCandidate, discoveries: &mut Vec<Discovery>, tracker: &mut GapTracker| {
+            let direction = layout.direction(u, c.id);
+            tracker.insert(direction);
+            discoveries.push(Discovery {
+                id: c.id,
+                distance: c.distance,
+                direction,
+            });
+        };
+
+    loop {
+        // Pull rings until the nearest pending candidate is certainly
+        // next in (distance, id) order: strictly inside the region the
+        // scan has completely enumerated.
+        while heap
+            .peek()
+            .is_none_or(|c| c.0.distance >= scan.guaranteed_radius())
+        {
+            ring.clear();
+            if !scan.scan_next(&mut ring) {
+                break;
+            }
+            for &v in &ring {
+                if v == u {
+                    continue;
+                }
+                let distance = layout.distance(u, v);
+                if distance <= max_range {
+                    heap.push(Reverse(PendingCandidate { distance, id: v }));
+                }
+            }
+        }
+        let Some(Reverse(first)) = heap.pop() else {
+            // Every in-range candidate is discovered and the α-gap never
+            // closed: boundary node at maximum power.
+            return NodeView {
+                discoveries,
+                boundary: true,
+                grow_radius: max_range,
+            };
+        };
+        // Discover the whole equidistant group simultaneously (all its
+        // members are already in the heap: their shared distance lies
+        // strictly inside the enumerated region).
+        let group_dist = first.distance;
+        discover(first, &mut discoveries, &mut tracker);
+        while heap.peek().is_some_and(|c| c.0.distance == group_dist) {
+            let Reverse(c) = heap.pop().expect("peeked non-empty");
+            discover(c, &mut discoveries, &mut tracker);
+        }
+        if !tracker.has_alpha_gap(alpha) {
+            // Coverage achieved: stop growing here.
+            return NodeView {
+                discoveries,
+                boundary: false,
+                grow_radius: group_dist,
+            };
+        }
+    }
+}
+
+/// The original all-pairs growing phase, kept as the validation oracle:
+/// scans every candidate, sorts, and re-tests the batch α-gap per
+/// distance group.
+fn grow_node_brute(layout: &Layout, u: NodeId, alpha: Alpha, r: f64) -> NodeView {
     // All candidates within max range, in discovery order.
     let mut candidates: Vec<Discovery> = layout
         .node_ids()
@@ -143,6 +385,13 @@ impl CbtcRun {
         &self.graph
     }
 
+    /// Consumes the run and returns the final topology without copying —
+    /// for callers that only want the graph (topology policies, plotting),
+    /// sparing the deep clone `final_graph().clone()` would cost.
+    pub fn into_final_graph(self) -> UndirectedGraph {
+        self.graph
+    }
+
     /// The edges dropped by pairwise removal (empty when op3 is off).
     pub fn pairwise_removed(&self) -> &[(NodeId, NodeId)] {
         &self.pairwise_removed
@@ -175,7 +424,31 @@ impl CbtcRun {
 /// assert!(run.preserves_connectivity_of(&net.max_power_graph()));
 /// ```
 pub fn run_centralized(network: &Network, config: &CbtcConfig) -> CbtcRun {
-    let basic = run_basic(network, config.alpha());
+    optimize(network, config, run_basic(network, config.alpha()))
+}
+
+/// [`run_centralized`] over the surviving subset of a network: the growth
+/// phase is [`run_basic_masked`], and the §3 optimizations see masked-out
+/// nodes as isolated (empty views contribute no edges and no pairwise
+/// witnesses). The resulting graph lives on the **original** node set with
+/// every dead node isolated — edge-for-edge what extracting the survivors
+/// into a fresh network, running [`run_centralized`], and mapping the IDs
+/// back would produce, minus all of those allocations.
+///
+/// # Panics
+///
+/// Panics if `alive.len()` differs from the network size.
+pub fn run_centralized_masked(network: &Network, config: &CbtcConfig, alive: &[bool]) -> CbtcRun {
+    optimize(
+        network,
+        config,
+        run_basic_masked(network, config.alpha(), alive),
+    )
+}
+
+/// The §3 optimization pipeline shared by the full and masked runs:
+/// shrink-back, then the symmetric core or closure, then pairwise removal.
+fn optimize(network: &Network, config: &CbtcConfig, basic: BasicOutcome) -> CbtcRun {
     let after_shrink = config.shrink_back().then(|| opt::shrink_back(&basic));
     let effective = after_shrink.as_ref().unwrap_or(&basic);
 

@@ -44,6 +44,9 @@
 //! | [`protocol`] | Figure 1 as a distributed message-passing protocol |
 //! | [`reconfig`] | §4: NDP beacons and the `join`/`leave`/`aChange` rules (driven at scale by `cbtc_workloads::churn`) |
 //! | [`theory`] | Lemma 2.2 / Corollary 2.3 / redundancy, as executable predicates |
+//! | [`grow_node_in_grid`] / [`ConstructionMode`] | scaling infrastructure (no paper analogue): output-sensitive shell-scan growth, validated against the all-pairs oracle |
+//! | [`run_basic_masked`] / [`run_centralized_masked`] | §4 at scale: survivor re-runs over an alive mask, no sub-network allocation |
+//! | [`parallel`] | scaling infrastructure: scoped-thread fan-out of the per-node growing phase |
 //!
 //! # Example
 //!
@@ -75,11 +78,15 @@ mod network;
 mod view;
 
 pub mod opt;
+pub mod parallel;
 pub mod protocol;
 pub mod reconfig;
 pub mod theory;
 
-pub use centralized::{run_basic, run_centralized, CbtcRun};
+pub use centralized::{
+    construction_cell, dead_view, grow_node_in_grid, run_basic, run_basic_masked, run_basic_with,
+    run_centralized, run_centralized_masked, CbtcRun, ConstructionMode,
+};
 pub use config::CbtcConfig;
 pub use error::CbtcError;
 pub use network::Network;

@@ -87,27 +87,51 @@ pub struct PairwiseOutcome {
     pub removed: Vec<(NodeId, NodeId)>,
 }
 
-/// Per-node directional redundancy: `result[u]` holds the neighbors `v`
-/// such that `(u, v)` is redundant *from u's perspective* (some other
-/// neighbor `w` of `u` witnesses Definition 3.5).
-fn directional_redundancy(g: &UndirectedGraph, layout: &Layout) -> Vec<BTreeSet<NodeId>> {
-    let mut from: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); g.node_count()];
-    for u in g.node_ids() {
-        let neighbors: Vec<NodeId> = g.neighbors(u).collect();
-        for &v in &neighbors {
-            let eid_uv = edge_id(layout, u, v);
-            let is_redundant = neighbors.iter().any(|&w| {
-                w != v
-                    && angle_at(layout.position(v), layout.position(u), layout.position(w))
-                        < FRAC_PI_3
-                    && eid_uv > edge_id(layout, u, w)
-            });
-            if is_redundant {
-                from[u.index()].insert(v);
-            }
+/// The neighbors `v` of `u` such that `(u, v)` is redundant *from u's
+/// perspective* (some other neighbor `w` of `u` witnesses Definition
+/// 3.5).
+///
+/// A function of `u`'s adjacency and the geometry alone — the locality
+/// that lets incremental reconfiguration re-derive pairwise decisions for
+/// only the nodes whose neighborhoods changed.
+pub fn node_redundancy(g: &UndirectedGraph, layout: &Layout, u: NodeId) -> BTreeSet<NodeId> {
+    let neighbors: Vec<NodeId> = g.neighbors(u).collect();
+    let mut from = BTreeSet::new();
+    for &v in &neighbors {
+        let eid_uv = edge_id(layout, u, v);
+        let is_redundant = neighbors.iter().any(|&w| {
+            w != v
+                && angle_at(layout.position(v), layout.position(u), layout.position(w)) < FRAC_PI_3
+                && eid_uv > edge_id(layout, u, w)
+        });
+        if is_redundant {
+            from.insert(v);
         }
     }
     from
+}
+
+/// The [`PairwisePolicy::PowerReducing`] floor at `u`: the length of its
+/// longest incident edge that is *not* redundant from `u`'s perspective
+/// (`0` when every incident edge is redundant or `u` is isolated). Like
+/// [`node_redundancy`], a function of `u`'s adjacency alone.
+pub fn node_floor(
+    g: &UndirectedGraph,
+    layout: &Layout,
+    u: NodeId,
+    redundant_from_u: &BTreeSet<NodeId>,
+) -> f64 {
+    g.neighbors(u)
+        .filter(|v| !redundant_from_u.contains(v))
+        .map(|v| layout.distance(u, v))
+        .fold(0.0, f64::max)
+}
+
+/// Per-node directional redundancy: `result[u]` = [`node_redundancy`].
+fn directional_redundancy(g: &UndirectedGraph, layout: &Layout) -> Vec<BTreeSet<NodeId>> {
+    g.node_ids()
+        .map(|u| node_redundancy(g, layout, u))
+        .collect()
 }
 
 /// Classifies every edge of `g` per Definition 3.5, returning the redundant

@@ -50,12 +50,15 @@ pub fn shrink_back(outcome: &BasicOutcome) -> BasicOutcome {
     let views = outcome
         .views()
         .iter()
-        .map(|view| shrink_view(view, alpha))
+        .map(|view| shrink_back_view(view, alpha))
         .collect();
     BasicOutcome::new(alpha, views)
 }
 
-fn shrink_view(view: &NodeView, alpha: cbtc_geom::Alpha) -> NodeView {
+/// Shrink-back of a single node's view — the per-node kernel of
+/// [`shrink_back`], exposed so incremental reconfiguration can re-shrink
+/// only the nodes whose growth actually changed.
+pub fn shrink_back_view(view: &NodeView, alpha: cbtc_geom::Alpha) -> NodeView {
     if view.discoveries.is_empty() {
         return view.clone();
     }

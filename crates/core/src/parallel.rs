@@ -1,0 +1,162 @@
+//! A minimal scoped-thread parallel map.
+//!
+//! The container has no rayon; the embarrassingly parallel loops in this
+//! workspace (per-node growth in [`crate::run_basic`], per-seed lifetime
+//! trials in `cbtc-energy`) need nothing more than a chunked fan-out over
+//! `std::thread::scope`, the same pattern `cbtc_energy::runner` already
+//! uses for multi-seed experiments. [`par_map`] packages it once:
+//! deterministic output order, graceful sequential fallback when the input
+//! is small or the machine has a single core, and panic propagation from
+//! worker threads.
+
+use std::cell::Cell;
+
+std::thread_local! {
+    /// Whether this thread is already inside a parallel fan-out; nested
+    /// [`par_map`] calls run inline instead of oversubscribing the CPU.
+    static IN_FAN_OUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Restores the thread's fan-out flag on drop (panic-safe).
+struct FanOutGuard(bool);
+
+impl FanOutGuard {
+    fn enter() -> Self {
+        FanOutGuard(IN_FAN_OUT.replace(true))
+    }
+}
+
+impl Drop for FanOutGuard {
+    fn drop(&mut self) {
+        IN_FAN_OUT.set(self.0);
+    }
+}
+
+/// Runs `f` with any [`par_map`] it calls on this thread forced inline.
+///
+/// For callers that hand-roll their own scoped-thread fan-out (the
+/// multi-seed lifetime runner): wrapping each worker's body keeps nested
+/// parallel maps from multiplying threads beyond the core count.
+pub fn without_nested_fan_out<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = FanOutGuard::enter();
+    f()
+}
+
+/// Maps `f` over `items`, splitting the work across OS threads when it is
+/// large enough to amortize thread spawns, and returns the results in
+/// input order.
+///
+/// `min_chunk` is the smallest slice worth giving a thread: the fan-out
+/// uses `min(available cores, items.len() / min_chunk)` workers, so inputs
+/// shorter than `2 × min_chunk` (and all inputs on a single-core host) run
+/// inline on the caller's thread. Calls made from inside another fan-out
+/// (a `par_map` worker, or a [`without_nested_fan_out`] scope) also run
+/// inline — the outer fan-out already owns the cores. Results are
+/// deterministic either way — output `i` is `f(&items[i])`.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the panic payload of the first failing
+/// worker).
+///
+/// # Example
+///
+/// ```
+/// use cbtc_core::parallel::par_map;
+///
+/// let squares = par_map(&[1u64, 2, 3, 4], 1, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, U, F>(items: &[T], min_chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = cores.min(items.len() / min_chunk.max(1)).max(1);
+    if threads <= 1 || IN_FAN_OUT.get() {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move || {
+                    without_nested_fan_out(|| chunk.iter().map(f).collect::<Vec<U>>())
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => results.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<u32> = (0..1000).collect();
+        let out = par_map(&items, 16, |&x| x + 1);
+        assert_eq!(out, (1..=1000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_run_inline() {
+        assert!(par_map::<u32, u32, _>(&[], 8, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 8, |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn zero_min_chunk_is_tolerated() {
+        let out = par_map(&[1u32, 2, 3], 0, |&x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..257).map(|i| i * 31).collect();
+        let parallel = par_map(&items, 4, |&x| x.wrapping_mul(x) ^ 0xabcd);
+        let sequential: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xabcd).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn nested_calls_run_inline_and_stay_correct() {
+        let outer: Vec<u32> = (0..512).collect();
+        let expected: Vec<u32> = outer.iter().map(|&x| x * 3).collect();
+        // par_map inside par_map, and inside an explicit no-fan-out
+        // scope: results must match the flat map either way.
+        let nested = par_map(&outer, 1, |&x| {
+            let inner = par_map(&[x; 4], 1, |&y| y);
+            inner[0] * 3
+        });
+        assert_eq!(nested, expected);
+        let scoped = without_nested_fan_out(|| par_map(&outer, 1, |&x| x * 3));
+        assert_eq!(scoped, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, 1, |&x| {
+            if x == 63 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

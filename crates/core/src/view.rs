@@ -92,6 +92,13 @@ impl BasicOutcome {
         &self.views
     }
 
+    /// Consumes the outcome and returns the views without copying — for
+    /// callers (incremental reconfiguration) that keep per-node views as
+    /// long-lived state.
+    pub fn into_views(self) -> Vec<NodeView> {
+        self.views
+    }
+
     /// The directed relation `N_α`.
     pub fn neighbor_relation(&self) -> DirectedGraph {
         let mut g = DirectedGraph::new(self.views.len());

@@ -36,7 +36,11 @@
 //! supplies that evaluation. Topology (re)construction inside the epoch
 //! loop goes through the grid-indexed
 //! [`unit_disk_graph`](cbtc_graph::unit_disk::unit_disk_graph) and the §3
-//! optimizations of [`cbtc_core::opt`].
+//! optimizations of [`cbtc_core::opt`]; death epochs take the §4
+//! reconfiguration as an *incremental patch* ([`SurvivorTopology`]) —
+//! only survivors in range of a dead node re-grow, and only the routing
+//! trees the edge delta can affect are recomputed, bit-for-bit equal to
+//! a full rebuild.
 //!
 //! # Example
 //!
@@ -66,12 +70,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod incremental;
 mod lifetime;
 mod model;
 mod policy;
 mod runner;
 mod traffic;
 
+pub use incremental::{SurvivorTopology, TopologyDelta};
 pub use lifetime::{LifetimeConfig, LifetimeReport, LifetimeSim};
 pub use model::{Battery, EnergyLedger, EnergyModel};
 pub use policy::TopologyPolicy;

@@ -16,14 +16,31 @@
 //!
 //! Everything is deterministic in the seed, so a lifetime trace can be
 //! replayed bit-for-bit.
+//!
+//! ## Steady-state and death-epoch costs
+//!
+//! The hot loop is engineered so that epochs without deaths do no
+//! per-node work beyond the drains themselves: per-edge transmission
+//! powers and hop costs are cached (`d(u,v)ⁿ` is priced once per edge per
+//! topology change, not once per packet-hop), routing trees persist per
+//! source, and the path walk reuses one buffer. Death epochs go through
+//! [`SurvivorTopology`]: the topology is patched in place, and only the
+//! routing trees the change can actually affect — those reaching a dead
+//! node, using a removed tree edge, or improvable by an added edge — are
+//! recomputed. Both mechanisms are bit-for-bit equivalent to the
+//! rebuild-everything path (`LifetimeConfig { incremental: false, .. }`),
+//! which the equivalence tests replay against.
 
 use cbtc_core::Network;
-use cbtc_graph::paths::dijkstra_parents;
+use cbtc_graph::paths::dijkstra_tree;
 use cbtc_graph::{NodeId, UndirectedGraph};
 use cbtc_radio::{PathLoss, Power};
 use serde::{Deserialize, Serialize};
 
-use crate::{Battery, EnergyLedger, EnergyModel, FlowGenerator, TopologyPolicy, TrafficPattern};
+use crate::{
+    Battery, EnergyLedger, EnergyModel, FlowGenerator, SurvivorTopology, TopologyDelta,
+    TopologyPolicy, TrafficPattern,
+};
 
 /// Parameters of a lifetime run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,6 +56,12 @@ pub struct LifetimeConfig {
     /// Whether survivors rerun the topology policy after deaths
     /// (reconfiguration). When off, the initial topology merely decays.
     pub reconfigure: bool,
+    /// Whether reconfiguration runs through the incremental survivor
+    /// path ([`SurvivorTopology`] + selective routing invalidation)
+    /// instead of rebuilding topology and routes from scratch each death
+    /// epoch. Results are bit-for-bit identical either way; `false`
+    /// exists for validation and benchmarking of the rebuild path.
+    pub incremental: bool,
     /// The radio energy price list.
     pub energy: EnergyModel,
 }
@@ -54,6 +77,7 @@ impl LifetimeConfig {
             pattern: TrafficPattern::Uniform,
             max_epochs: 40_000,
             reconfigure: true,
+            incremental: true,
             energy: EnergyModel::paper_default(),
         }
     }
@@ -128,37 +152,107 @@ impl LifetimeReport {
     }
 }
 
+/// One source's cached shortest-path tree: predecessors plus path costs
+/// (the costs decide whether a topology change can invalidate the tree).
+#[derive(Debug, Clone)]
+struct SpTree {
+    /// `parent[v]` is `v`'s predecessor on the cheapest path from the
+    /// source.
+    parent: Vec<Option<NodeId>>,
+    /// `dist[v]` is the cost of that path (`∞` when unreachable).
+    dist: Vec<f64>,
+}
+
 /// Minimum-energy routing state: one shortest-path tree per source,
-/// computed lazily the first time the source sends and kept until the
-/// topology changes.
+/// computed lazily the first time the source sends and kept until a
+/// topology change that can actually affect it.
 #[derive(Debug, Clone, Default)]
 struct RoutingTable {
-    /// `parent[s][v]` is `v`'s predecessor on the cheapest `s → v` path.
-    parent: Vec<Option<Vec<Option<NodeId>>>>,
+    trees: Vec<Option<SpTree>>,
 }
 
 impl RoutingTable {
     fn reset(&mut self, n: usize) {
-        self.parent.clear();
-        self.parent.resize(n, None);
+        self.trees.clear();
+        self.trees.resize(n, None);
     }
 
-    /// The node path `src → … → dst`, or `None` when unreachable.
-    fn path<F>(&mut self, src: NodeId, dst: NodeId, compute_tree: F) -> Option<Vec<NodeId>>
+    /// Writes the node path `src → … → dst` into `out`; returns `false`
+    /// (leaving `out` in an unspecified state) when unreachable.
+    fn path_into<F>(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        compute_tree: F,
+        out: &mut Vec<NodeId>,
+    ) -> bool
     where
-        F: FnOnce(NodeId) -> Vec<Option<NodeId>>,
+        F: FnOnce(NodeId) -> SpTree,
     {
-        let slot = &mut self.parent[src.index()];
+        let slot = &mut self.trees[src.index()];
         let tree = slot.get_or_insert_with(|| compute_tree(src));
-        let mut hops = vec![dst];
+        out.clear();
+        out.push(dst);
         let mut cursor = dst;
         while cursor != src {
-            cursor = (*tree.get(cursor.index())?)?;
-            hops.push(cursor);
+            match tree.parent.get(cursor.index()).copied().flatten() {
+                None => return false,
+                Some(prev) => {
+                    cursor = prev;
+                    out.push(cursor);
+                }
+            }
         }
-        hops.reverse();
-        Some(hops)
+        out.reverse();
+        true
     }
+
+    /// Drops exactly the cached trees a topology change can affect.
+    ///
+    /// A tree survives when (a) no dead node is reachable in it, (b) no
+    /// removed edge is one of its tree edges, and (c) no added edge
+    /// offers any node a path at most as cheap as its current one. Under
+    /// those conditions a recomputation would reproduce the tree
+    /// bit-for-bit (removed non-tree edges never won a relaxation, and
+    /// strictly-worse additions never will), so keeping it leaves the
+    /// simulation's arithmetic unchanged.
+    fn invalidate_after<W>(&mut self, dead: &[NodeId], delta: &TopologyDelta, weight: W)
+    where
+        W: Fn(NodeId, NodeId) -> f64,
+    {
+        for slot in &mut self.trees {
+            let Some(tree) = slot else { continue };
+            let reaches_dead = dead.iter().any(|d| tree.dist[d.index()].is_finite());
+            let lost_tree_edge = delta.removed.iter().any(|&(u, v)| {
+                tree.parent[v.index()] == Some(u) || tree.parent[u.index()] == Some(v)
+            });
+            let improvable = delta.added.iter().any(|&(a, b)| {
+                let (da, db) = (tree.dist[a.index()], tree.dist[b.index()]);
+                if !da.is_finite() && !db.is_finite() {
+                    return false;
+                }
+                let w = weight(a, b);
+                da + w <= db || db + w <= da
+            });
+            if reaches_dead || lost_tree_edge || improvable {
+                *slot = None;
+            }
+        }
+    }
+}
+
+/// Looks up the cached `(tx power, hop cost)` of edge `{u, v}` in `u`'s
+/// row.
+///
+/// # Panics
+///
+/// Panics when the edge is not priced — i.e. not in the current topology.
+fn edge_cost(edge_costs: &[Vec<(NodeId, Power, f64)>], u: NodeId, v: NodeId) -> (Power, f64) {
+    let row = &edge_costs[u.index()];
+    let i = row
+        .binary_search_by_key(&v, |e| e.0)
+        .expect("edge is in the topology and therefore priced");
+    (row[i].1, row[i].2)
 }
 
 /// A deterministic packet-level battery simulation over one network and
@@ -189,8 +283,22 @@ pub struct LifetimeSim {
     alive_count: u32,
     /// Cached list of alive node IDs (rebuilt on deaths).
     alive_ids: Vec<NodeId>,
+    /// The current topology for the rebuild/decay paths. An empty
+    /// placeholder when `reconfig` owns the topology instead — every
+    /// read goes through [`LifetimeSim::topology`] (or an equivalent
+    /// field-level borrow in the hot loop).
     topology: UndirectedGraph,
+    /// The incrementally maintained survivor topology (present when
+    /// `config.reconfigure && config.incremental`).
+    reconfig: Option<SurvivorTopology>,
     routes: RoutingTable,
+    /// Per-edge `(neighbor, tx power, hop cost)` rows mirroring
+    /// `topology`'s adjacency, so the packet loop never re-prices a link.
+    edge_costs: Vec<Vec<(NodeId, Power, f64)>>,
+    /// Scratch buffer for the per-packet path walk.
+    path_buf: Vec<NodeId>,
+    /// Scratch buffer for the per-epoch flow draw.
+    flow_buf: Vec<crate::Flow>,
     /// Per-node broadcast-radius power for the standby drain.
     radius_power: Vec<Power>,
 
@@ -216,7 +324,14 @@ impl LifetimeSim {
         seed: u64,
     ) -> Self {
         let n = network.len();
-        let topology = policy.build(&network);
+        let reconfig = (config.reconfigure && config.incremental)
+            .then(|| SurvivorTopology::new(&network, policy));
+        let topology = match &reconfig {
+            // The incremental state owns the topology; the field stays an
+            // empty placeholder (every read goes through `reconfig`).
+            Some(_) => UndirectedGraph::new(0),
+            None => policy.build(&network),
+        };
         let mut sim = LifetimeSim {
             flows: FlowGenerator::new(config.pattern, seed),
             seed,
@@ -224,7 +339,11 @@ impl LifetimeSim {
             alive: vec![true; n],
             alive_count: n as u32,
             alive_ids: (0..n as u32).map(NodeId::new).collect(),
+            reconfig,
             routes: RoutingTable::default(),
+            edge_costs: Vec::new(),
+            path_buf: Vec::new(),
+            flow_buf: Vec::new(),
             radius_power: vec![Power::ZERO; n],
             epoch: 0,
             first_death: None,
@@ -258,7 +377,9 @@ impl LifetimeSim {
 
     /// The current topology (dead nodes are isolated).
     pub fn topology(&self) -> &UndirectedGraph {
-        &self.topology
+        self.reconfig
+            .as_ref()
+            .map_or(&self.topology, SurvivorTopology::graph)
     }
 
     /// The per-node batteries.
@@ -276,49 +397,57 @@ impl LifetimeSim {
         if self.finished() {
             return false;
         }
-        let model = *self.network.model();
         let energy = self.config.energy;
-        let power_control = self.policy.power_controlled();
 
         // 1. + 2. Traffic: route each packet, drain tx/rx along the path.
         let mut delivered = 0u32;
         let mut dropped = 0u32;
-        let flows = self
-            .flows
-            .epoch_flows(&self.alive_ids, self.config.packets_per_epoch);
-        for flow in flows {
-            let topology = &self.topology;
+        let mut flow_buf = std::mem::take(&mut self.flow_buf);
+        self.flows.epoch_flows_into(
+            &self.alive_ids,
+            self.config.packets_per_epoch,
+            &mut flow_buf,
+        );
+        let mut path_buf = std::mem::take(&mut self.path_buf);
+        for &flow in &flow_buf {
+            let topology = self
+                .reconfig
+                .as_ref()
+                .map_or(&self.topology, SurvivorTopology::graph);
             let alive = &self.alive;
-            let layout = self.network.layout();
-            let path = self.routes.path(flow.src, flow.dst, |s| {
-                dijkstra_parents(
-                    topology,
-                    s,
-                    |u, v| {
-                        let d = layout.distance(u, v);
-                        energy.hop_cost(energy.hop_tx_power(&model, d, power_control))
-                    },
-                    |v| alive[v.index()],
-                )
-            });
-            match path {
-                None => dropped += 1,
-                Some(path) => {
-                    for hop in path.windows(2) {
-                        let (u, v) = (hop[0], hop[1]);
-                        let d = self.network.layout().distance(u, v);
-                        let tx_power = energy.hop_tx_power(&model, d, power_control);
-                        let tx = self.batteries[u.index()].drain(energy.tx_cost(tx_power));
-                        self.ledger.tx += tx;
-                        self.drained[u.index()] += tx;
-                        let rx = self.batteries[v.index()].drain(energy.rx_cost);
-                        self.ledger.rx += rx;
-                        self.drained[v.index()] += rx;
-                    }
-                    delivered += 1;
-                }
+            let edge_costs = &self.edge_costs;
+            let routed = self.routes.path_into(
+                flow.src,
+                flow.dst,
+                |s| {
+                    let (parent, dist) = dijkstra_tree(
+                        topology,
+                        s,
+                        |u, v| edge_cost(edge_costs, u, v).1,
+                        |v| alive[v.index()],
+                    );
+                    SpTree { parent, dist }
+                },
+                &mut path_buf,
+            );
+            if !routed {
+                dropped += 1;
+                continue;
             }
+            for hop in path_buf.windows(2) {
+                let (u, v) = (hop[0], hop[1]);
+                let (tx_power, _) = edge_cost(&self.edge_costs, u, v);
+                let tx = self.batteries[u.index()].drain(energy.tx_cost(tx_power));
+                self.ledger.tx += tx;
+                self.drained[u.index()] += tx;
+                let rx = self.batteries[v.index()].drain(energy.rx_cost);
+                self.ledger.rx += rx;
+                self.drained[v.index()] += rx;
+            }
+            delivered += 1;
         }
+        self.path_buf = path_buf;
+        self.flow_buf = flow_buf;
         self.delivered += delivered as u64;
         self.dropped += dropped as u64;
 
@@ -339,24 +468,37 @@ impl LifetimeSim {
         self.epoch += 1;
 
         // 4. Deaths and reconfiguration.
-        let mut any_death = false;
+        let mut newly_dead: Vec<NodeId> = Vec::new();
         for u in 0..self.batteries.len() {
             if self.alive[u] && !self.batteries[u].is_alive() {
-                self.alive[u] = false;
-                self.alive_count -= 1;
-                any_death = true;
+                newly_dead.push(NodeId::new(u as u32));
             }
         }
-        if any_death {
+        if !newly_dead.is_empty() {
+            self.alive_count -= newly_dead.len() as u32;
             if self.first_death.is_none() {
+                // The balance snapshot reads `drained`, not `alive`; the
+                // mask flip order is irrelevant to it.
                 self.first_death = Some(self.epoch);
                 self.balance_cv_at_first_death = Some(self.balance_cv());
             }
             if self.alive_count == 0 {
                 self.all_dead = Some(self.epoch);
             }
-            self.rebuild_topology();
-            self.refresh_routing_and_radii();
+            for &d in &newly_dead {
+                self.alive[d.index()] = false;
+            }
+            if self.reconfig.is_some() {
+                let delta = self
+                    .reconfig
+                    .as_mut()
+                    .expect("checked")
+                    .kill(&self.network, &newly_dead);
+                self.apply_topology_delta(&newly_dead, &delta);
+            } else {
+                self.rebuild_topology();
+                self.refresh_routing_and_radii();
+            }
             // 5. Milestones. Connectivity can only change when the
             // topology does, so the check lives inside the death branch.
             self.check_partition();
@@ -422,41 +564,78 @@ impl LifetimeSim {
         }
     }
 
-    /// Recomputes the alive-ID cache, the per-node maintenance radii and
-    /// invalidates the routing trees (only needed when the topology
-    /// changed; trees are recomputed lazily per sending source).
-    fn refresh_routing_and_radii(&mut self) {
+    /// The incremental aftermath of a death epoch: refresh only the state
+    /// the edge delta actually touches, and keep every routing tree the
+    /// change provably cannot affect.
+    fn apply_topology_delta(&mut self, newly_dead: &[NodeId], delta: &TopologyDelta) {
+        self.alive_ids.retain(|u| self.alive[u.index()]);
+        let mut touched: Vec<NodeId> = newly_dead.to_vec();
+        for &(u, v) in delta.removed.iter().chain(&delta.added) {
+            touched.push(u);
+            touched.push(v);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &u in &touched {
+            self.refresh_node_costs_and_radius(u);
+        }
+        let edge_costs = &self.edge_costs;
+        self.routes
+            .invalidate_after(newly_dead, delta, |u, v| edge_cost(edge_costs, u, v).1);
+    }
+
+    /// Rebuilds node `u`'s cached edge-cost row and maintenance radius
+    /// from the current topology.
+    fn refresh_node_costs_and_radius(&mut self, u: NodeId) {
         let model = *self.network.model();
+        let energy = self.config.energy;
         let power_control = self.policy.power_controlled();
+        let layout = self.network.layout();
+        let i = u.index();
+
+        let topology = self
+            .reconfig
+            .as_ref()
+            .map_or(&self.topology, SurvivorTopology::graph);
+        let row = &mut self.edge_costs[i];
+        row.clear();
+        let mut farthest: Option<f64> = None;
+        for v in topology.neighbors(u) {
+            if !self.alive[v.index()] {
+                continue;
+            }
+            let d = layout.distance(u, v);
+            let tx = energy.hop_tx_power(&model, d, power_control);
+            row.push((v, tx, energy.hop_cost(tx)));
+            farthest = Some(farthest.map_or(d, |a| a.max(d)));
+        }
+
+        // Maintenance radius: max power without topology control; the
+        // farthest kept alive neighbor (max power when isolated) with it.
+        self.radius_power[i] = if !self.alive[i] {
+            Power::ZERO
+        } else if power_control {
+            farthest.map_or(model.max_power(), |r| model.required_power(r))
+        } else {
+            model.max_power()
+        };
+    }
+
+    /// Recomputes the alive-ID cache, every node's edge costs and
+    /// maintenance radius, and drops all routing trees (they are
+    /// recomputed lazily per sending source) — the from-scratch refresh
+    /// used at start-up and by the non-incremental rebuild path.
+    fn refresh_routing_and_radii(&mut self) {
         self.alive_ids = self
             .network
             .layout()
             .node_ids()
             .filter(|u| self.alive[u.index()])
             .collect();
-
-        // Maintenance radius: max power without topology control; the
-        // farthest kept alive neighbor (max power when isolated) with it.
-        for u in self.network.layout().node_ids() {
-            let i = u.index();
-            if !self.alive[i] {
-                self.radius_power[i] = Power::ZERO;
-                continue;
-            }
-            self.radius_power[i] = if power_control {
-                self.topology
-                    .neighbors(u)
-                    .filter(|v| self.alive[v.index()])
-                    .map(|v| self.network.layout().distance(u, v))
-                    .fold(None, |acc: Option<f64>, d| {
-                        Some(acc.map_or(d, |a| a.max(d)))
-                    })
-                    .map_or(model.max_power(), |r| model.required_power(r))
-            } else {
-                model.max_power()
-            };
+        self.edge_costs.resize(self.network.len(), Vec::new());
+        for u in 0..self.network.len() as u32 {
+            self.refresh_node_costs_and_radius(NodeId::new(u));
         }
-
         // Shortest-path trees are computed per source on first use.
         self.routes.reset(self.network.len());
     }
@@ -487,7 +666,7 @@ impl LifetimeSim {
         let mut queue = std::collections::VecDeque::from([start]);
         let mut reached = 1usize;
         while let Some(u) = queue.pop_front() {
-            for v in self.topology.neighbors(u) {
+            for v in self.topology().neighbors(u) {
                 if self.alive[v.index()] && !seen[v.index()] {
                     seen[v.index()] = true;
                     reached += 1;

@@ -4,9 +4,9 @@
 //! same traffic can be replayed over the max-power graph and over any
 //! CBTC configuration, isolating what topology control buys.
 
-use cbtc_core::{run_centralized, CbtcConfig, Network};
-use cbtc_geom::Point2;
-use cbtc_graph::{Layout, NodeId, UndirectedGraph};
+use cbtc_core::{run_centralized, run_centralized_masked, CbtcConfig, Network};
+use cbtc_graph::unit_disk::unit_disk_graph_where;
+use cbtc_graph::UndirectedGraph;
 use serde::{Deserialize, Serialize};
 
 /// The topology-construction rule a network runs.
@@ -57,7 +57,7 @@ impl TopologyPolicy {
     pub fn build(&self, network: &Network) -> UndirectedGraph {
         match self {
             TopologyPolicy::MaxPower => network.max_power_graph(),
-            TopologyPolicy::Cbtc(config) => run_centralized(network, config).final_graph().clone(),
+            TopologyPolicy::Cbtc(config) => run_centralized(network, config).into_final_graph(),
         }
     }
 
@@ -66,37 +66,33 @@ impl TopologyPolicy {
     /// only nodes with `alive[i]` true. This is the reconfiguration step
     /// (§4): survivors rerun the protocol among themselves.
     ///
+    /// The run is masked in place ([`run_centralized_masked`]) — no
+    /// survivor layout, sub-network, or ID remap is allocated, so calling
+    /// this every death epoch costs the reconstruction itself and nothing
+    /// more. (The lifetime engine goes further still and patches its
+    /// topology incrementally; see [`crate::SurvivorTopology`].)
+    ///
     /// # Panics
     ///
     /// Panics if `alive.len()` differs from the network size.
     pub fn build_on_survivors(&self, network: &Network, alive: &[bool]) -> UndirectedGraph {
         assert_eq!(alive.len(), network.len(), "alive mask size mismatch");
-        let survivors: Vec<NodeId> = network
-            .layout()
-            .node_ids()
-            .filter(|u| alive[u.index()])
-            .collect();
-        let mut graph = UndirectedGraph::new(network.len());
-        if survivors.len() < 2 {
-            return graph;
+        match self {
+            TopologyPolicy::MaxPower => {
+                unit_disk_graph_where(network.layout(), network.max_range(), |u| alive[u.index()])
+            }
+            TopologyPolicy::Cbtc(config) => {
+                run_centralized_masked(network, config, alive).into_final_graph()
+            }
         }
-        let points: Vec<Point2> = survivors
-            .iter()
-            .map(|u| network.layout().position(*u))
-            .collect();
-        let sub_network = Network::new(Layout::new(points), *network.model());
-        let sub_graph = self.build(&sub_network);
-        for (a, b) in sub_graph.edges() {
-            graph.add_edge(survivors[a.index()], survivors[b.index()]);
-        }
-        graph
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbtc_geom::Alpha;
+    use cbtc_geom::{Alpha, Point2};
+    use cbtc_graph::{Layout, NodeId};
 
     fn line_network() -> Network {
         Network::with_paper_radio(Layout::new(vec![

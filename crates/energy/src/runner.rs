@@ -125,12 +125,16 @@ where
             .map(|chunk| {
                 let make_network = &make_network;
                 scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&seed| {
-                            LifetimeSim::new(make_network(seed), policy, config, seed).run()
-                        })
-                        .collect::<Vec<LifetimeReport>>()
+                    // This fan-out already claims every core; growth-phase
+                    // parallel maps inside each trial must not multiply it.
+                    cbtc_core::parallel::without_nested_fan_out(|| {
+                        chunk
+                            .iter()
+                            .map(|&seed| {
+                                LifetimeSim::new(make_network(seed), policy, config, seed).run()
+                            })
+                            .collect::<Vec<LifetimeReport>>()
+                    })
                 })
             })
             .collect();

@@ -152,8 +152,17 @@ impl FlowGenerator {
     /// (possibly zero) flows when the pattern cannot be realized — fewer
     /// than two alive nodes, or a dead sink.
     pub fn epoch_flows(&mut self, alive: &[NodeId], count: u32) -> Vec<Flow> {
+        let mut flows = Vec::new();
+        self.epoch_flows_into(alive, count, &mut flows);
+        flows
+    }
+
+    /// [`FlowGenerator::epoch_flows`] into a caller-owned buffer
+    /// (cleared first), so the per-epoch hot loop allocates nothing.
+    pub fn epoch_flows_into(&mut self, alive: &[NodeId], count: u32, flows: &mut Vec<Flow>) {
+        flows.clear();
         if alive.len() < 2 {
-            return Vec::new();
+            return;
         }
         // The alive set is fixed for the whole epoch: resolve the
         // pattern's liveness questions once, not per packet.
@@ -163,9 +172,9 @@ impl FlowGenerator {
             TrafficPattern::Hotspot { hotspot, .. } => (true, alive.contains(&hotspot)),
         };
         if !sink_alive {
-            return Vec::new(); // sink dead: service over
+            return; // sink dead: service over
         }
-        let mut flows = Vec::with_capacity(count as usize);
+        flows.reserve(count as usize);
         for _ in 0..count {
             let flow = match self.pattern {
                 TrafficPattern::Uniform => self.uniform_pair(alive),
@@ -184,7 +193,6 @@ impl FlowGenerator {
             };
             flows.extend(flow);
         }
-        flows
     }
 
     fn uniform_pair(&mut self, alive: &[NodeId]) -> Option<Flow> {

@@ -5,6 +5,7 @@
 //! By the observation in §2 of the paper this holds iff there is a cone of
 //! degree α centered at the node containing no discovered neighbor.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::f64::consts::TAU;
 
 use crate::{Alpha, Angle};
@@ -110,6 +111,143 @@ pub fn widest_gap(directions: &[Angle]) -> Option<(f64, Angle)> {
     Some((best_gap, best_start))
 }
 
+/// Incremental form of the `gap-α` test: maintains the sorted direction
+/// set and the multiset of consecutive-direction gaps under insertion.
+///
+/// The growing phase asks the same question after every discovery group:
+/// *does an α-gap remain?* Re-running [`max_gap`] costs `O(k log k)` per
+/// query over `k` directions — `O(k² log k)` across a node's whole growth.
+/// `GapTracker` answers each query from maintained state: an insertion
+/// splits exactly one gap into two (`O(log k)`), and the largest gap is the
+/// last key of the gap multiset.
+///
+/// The reported value is **bit-identical** to [`max_gap`] over the same
+/// multiset of directions: both reduce to the identical `ccw_to` spans
+/// between consecutive *distinct* directions (duplicates contribute
+/// zero-width gaps that can never be maximal, and a set with fewer than two
+/// distinct directions is a full `2π` sweep in both formulations).
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::{Alpha, Angle, gap::GapTracker};
+/// use std::f64::consts::TAU;
+///
+/// let mut t = GapTracker::new();
+/// assert!(t.has_alpha_gap(Alpha::TWO_PI_THIRDS));
+/// for k in 0..3 {
+///     t.insert(Angle::new(k as f64 * TAU / 3.0));
+/// }
+/// // Three directions 2π/3 apart: no gap of more than 2π/3 remains.
+/// assert!(!t.has_alpha_gap(Alpha::TWO_PI_THIRDS));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GapTracker {
+    /// Distinct directions in circular (normalized-value) order.
+    dirs: BTreeSet<Angle>,
+    /// Multiset of counter-clockwise gaps between consecutive distinct
+    /// directions (wrap-around included), keyed by the gap's `f64` bits —
+    /// monotone for the non-negative spans `ccw_to` produces — so the
+    /// largest gap is the last entry.
+    gaps: BTreeMap<u64, u32>,
+}
+
+impl GapTracker {
+    /// An empty tracker (full-circle gap).
+    pub fn new() -> Self {
+        GapTracker::default()
+    }
+
+    /// Number of *distinct* directions tracked.
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Whether no direction has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+
+    /// Forgets all directions.
+    pub fn clear(&mut self) {
+        self.dirs.clear();
+        self.gaps.clear();
+    }
+
+    fn gap_key(span: f64) -> u64 {
+        // `ccw_to` spans are non-negative, but fold a possible -0.0 to
+        // +0.0: the sign bit would otherwise sort it above every real gap.
+        span.max(0.0).to_bits()
+    }
+
+    fn add_gap(&mut self, span: f64) {
+        *self.gaps.entry(Self::gap_key(span)).or_insert(0) += 1;
+    }
+
+    fn remove_gap(&mut self, span: f64) {
+        let key = Self::gap_key(span);
+        let count = self
+            .gaps
+            .get_mut(&key)
+            .expect("gap multiset out of sync with direction set");
+        *count -= 1;
+        if *count == 0 {
+            self.gaps.remove(&key);
+        }
+    }
+
+    /// Inserts a direction. Duplicates of an already-tracked direction are
+    /// no-ops, mirroring their zero-width contribution in [`max_gap`].
+    pub fn insert(&mut self, dir: Angle) {
+        if self.dirs.contains(&dir) {
+            return;
+        }
+        match self.dirs.len() {
+            0 => {}
+            1 => {
+                let other = *self.dirs.iter().next().expect("len checked");
+                self.add_gap(other.ccw_to(dir));
+                self.add_gap(dir.ccw_to(other));
+            }
+            _ => {
+                // Circular predecessor / successor of the new direction.
+                let pred = *self
+                    .dirs
+                    .range(..dir)
+                    .next_back()
+                    .or_else(|| self.dirs.iter().next_back())
+                    .expect("non-empty");
+                let succ = *self
+                    .dirs
+                    .range(dir..)
+                    .next()
+                    .or_else(|| self.dirs.iter().next())
+                    .expect("non-empty");
+                self.remove_gap(pred.ccw_to(succ));
+                self.add_gap(pred.ccw_to(dir));
+                self.add_gap(dir.ccw_to(succ));
+            }
+        }
+        self.dirs.insert(dir);
+    }
+
+    /// The largest counter-clockwise gap between consecutive directions —
+    /// exactly [`max_gap`] over the inserted multiset.
+    pub fn max_gap(&self) -> f64 {
+        if self.dirs.len() < 2 {
+            return TAU;
+        }
+        let (&bits, _) = self.gaps.iter().next_back().expect("≥ 2 distinct dirs");
+        f64::from_bits(bits)
+    }
+
+    /// The incremental `gap-α(Du)` test — exactly [`has_alpha_gap`] over
+    /// the inserted multiset.
+    pub fn has_alpha_gap(&self, alpha: Alpha) -> bool {
+        self.max_gap() > alpha.radians() + crate::EPS
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +333,68 @@ mod tests {
         let g = max_gap(&dirs);
         let (wg, _) = widest_gap(&dirs).unwrap();
         assert!((g - wg).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tracker_matches_batch_on_every_prefix() {
+        // Pseudo-random direction stream with forced duplicates and a
+        // wrap-straddling pair; after every insertion the tracker must
+        // agree bit-for-bit with the batch scan over the prefix.
+        let mut stream: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.754_877_666_246_692_8).fract() * TAU)
+            .collect();
+        stream[10] = stream[3];
+        stream[20] = stream[3];
+        stream[30] = 350f64.to_radians();
+        stream[31] = 10f64.to_radians();
+        let mut tracker = GapTracker::new();
+        let mut prefix = Vec::new();
+        assert_eq!(tracker.max_gap(), TAU);
+        for (i, &raw) in stream.iter().enumerate() {
+            let dir = Angle::new(raw);
+            tracker.insert(dir);
+            prefix.push(dir);
+            assert_eq!(
+                tracker.max_gap().to_bits(),
+                max_gap(&prefix).to_bits(),
+                "prefix of {} directions",
+                i + 1
+            );
+            for alpha in [Alpha::FIVE_PI_SIXTHS, Alpha::TWO_PI_THIRDS] {
+                assert_eq!(tracker.has_alpha_gap(alpha), has_alpha_gap(&prefix, alpha));
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_handles_duplicates_and_identical_sets() {
+        let mut t = GapTracker::new();
+        assert!(t.is_empty());
+        t.insert(Angle::new(1.0));
+        t.insert(Angle::new(1.0));
+        t.insert(Angle::new(1.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.max_gap(), TAU, "all-identical directions are a 2π sweep");
+        t.insert(Angle::new(1.0 + PI));
+        assert_eq!(t.len(), 2);
+        assert!((t.max_gap() - PI).abs() < 1e-12);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.max_gap(), TAU);
+    }
+
+    #[test]
+    fn tracker_insertion_order_is_irrelevant() {
+        let dirs = angles(&[5.9, 0.1, 3.3, 2.2, 4.7, 1.6]);
+        let mut forward = GapTracker::new();
+        let mut backward = GapTracker::new();
+        for &d in &dirs {
+            forward.insert(d);
+        }
+        for &d in dirs.iter().rev() {
+            backward.insert(d);
+        }
+        assert_eq!(forward.max_gap().to_bits(), backward.max_gap().to_bits());
+        assert_eq!(forward.max_gap().to_bits(), max_gap(&dirs).to_bits());
     }
 }

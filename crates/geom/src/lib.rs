@@ -31,7 +31,7 @@
 //! | [`Point2`], [`Angle`] | §1 problem statement: nodes in the plane, `dir_u(v)` |
 //! | [`Alpha`] | the parameter `α` with the §2 (5π/6) and §3.2 (2π/3) thresholds |
 //! | [`cone`], [`triangle`], [`circle`] | the geometric objects of the §2 proofs (Lemma 2.2, Theorem 2.4) |
-//! | [`gap`] | the α-gap termination test of Figure 1 |
+//! | [`gap`] | the α-gap termination test of Figure 1 (batch, and incremental via [`gap::GapTracker`]) |
 //! | [`coverage`] | `coverα(dir)` of §3.1 (shrink-back) |
 //! | [`constructions`] | Example 2.1 / Figure 2 and Theorem 2.4 / Figure 5 |
 //!

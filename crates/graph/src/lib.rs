@@ -35,7 +35,7 @@
 //! | [`metrics`] | §5 Table 1: average degree and average radius |
 //! | [`paths`], [`load`] | §5: power/hop stretch, route load |
 //! | [`spanners`] | §1 related work: RNG, Gabriel, MST, k-NN |
-//! | [`spatial`] | scaling infrastructure (no paper analogue): the index that takes `G_R` construction and simulated beaconing to 10⁴–10⁵ nodes |
+//! | [`spatial`] | scaling infrastructure (no paper analogue): the index that takes `G_R` construction and simulated beaconing to 10⁴–10⁵ nodes; its ring/shell queries ([`SpatialGrid::shell_scan`]) drive the output-sensitive CBTC growing phase |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

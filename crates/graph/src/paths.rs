@@ -107,9 +107,28 @@ where
 pub fn dijkstra_parents<W, F>(
     g: &UndirectedGraph,
     source: NodeId,
+    weight: W,
+    include: F,
+) -> Vec<Option<NodeId>>
+where
+    W: FnMut(NodeId, NodeId) -> f64,
+    F: FnMut(NodeId) -> bool,
+{
+    dijkstra_tree(g, source, weight, include).0
+}
+
+/// Like [`dijkstra_parents`], but also returns each node's path cost from
+/// `source` (`f64::INFINITY` for unreachable or excluded nodes).
+///
+/// The cost array is what incremental routing caches need: whether a
+/// topology change can affect a cached tree is decided by comparing the
+/// change's endpoints' costs, without recomputing the tree.
+pub fn dijkstra_tree<W, F>(
+    g: &UndirectedGraph,
+    source: NodeId,
     mut weight: W,
     mut include: F,
-) -> Vec<Option<NodeId>>
+) -> (Vec<Option<NodeId>>, Vec<f64>)
 where
     W: FnMut(NodeId, NodeId) -> f64,
     F: FnMut(NodeId) -> bool,
@@ -144,7 +163,7 @@ where
             }
         }
     }
-    parent
+    (parent, dist)
 }
 
 /// The *power cost* of routing along an edge: `d(u,v)ⁿ` for path-loss

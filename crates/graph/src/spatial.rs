@@ -198,6 +198,89 @@ impl SpatialGrid {
         }
     }
 
+    /// Appends to `out` every indexed ID in a cell at Chebyshev distance
+    /// exactly `ring` from the cell containing `center` — the shell query
+    /// underlying output-sensitive neighbor enumeration. Ring `0` is the
+    /// center cell itself; ring `k ≥ 1` is the square annulus of `8k`
+    /// cells around it.
+    ///
+    /// Scanning rings `0, 1, 2, …` enumerates candidates in roughly
+    /// increasing distance: every node in a ring `> k` is at least
+    /// [`SpatialGrid::ring_min_distance`]`(center, k + 1)` away, so a
+    /// caller that consumes candidates nearest-first (see
+    /// [`SpatialGrid::shell_scan`]) can stop as soon as its query resolves
+    /// — without ever touching the farther cells.
+    pub fn candidates_in_ring(&self, center: Point2, ring: u32, out: &mut Vec<NodeId>) {
+        let (cx, cy) = self.cell_of(center);
+        let mut take = |x: i64, y: i64| {
+            if let Some(bucket) = self.buckets.get(&(x, y)) {
+                out.extend_from_slice(bucket);
+            }
+        };
+        if ring == 0 {
+            take(cx, cy);
+            return;
+        }
+        let k = i64::from(ring);
+        for x in (cx - k)..=(cx + k) {
+            take(x, cy - k);
+            take(x, cy + k);
+        }
+        for y in (cy - k + 1)..=(cy + k - 1) {
+            take(cx - k, y);
+            take(cx + k, y);
+        }
+    }
+
+    /// A lower bound on the distance from `center` to any point of any
+    /// cell in ring `ring` *or beyond*: the distance from `center` to the
+    /// boundary of the block of cells covered by rings `0..ring`.
+    ///
+    /// Monotone in `ring`; `0` for rings `0` and (when `center` sits on a
+    /// cell edge) `1`.
+    pub fn ring_min_distance(&self, center: Point2, ring: u32) -> f64 {
+        if ring == 0 {
+            return 0.0;
+        }
+        let (cx, cy) = self.cell_of(center);
+        let k = i64::from(ring) - 1;
+        let x_lo = (cx - k) as f64 * self.cell;
+        let x_hi = (cx + k + 1) as f64 * self.cell;
+        let y_lo = (cy - k) as f64 * self.cell;
+        let y_hi = (cy + k + 1) as f64 * self.cell;
+        (center.x - x_lo)
+            .min(x_hi - center.x)
+            .min(center.y - y_lo)
+            .min(y_hi - center.y)
+            .max(0.0)
+    }
+
+    /// The largest ring that can contain a node within `radius` of a
+    /// center point: rings beyond `⌊radius/cell⌋ + 1` lie entirely outside
+    /// the query disk.
+    pub fn rings_to_cover(&self, radius: f64) -> u32 {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "query radius must be finite and non-negative, got {radius}"
+        );
+        ((radius / self.cell).floor() as u32).saturating_add(1)
+    }
+
+    /// Starts an expanding shell scan: candidates within `radius` of
+    /// `center`, delivered ring by ring in roughly increasing distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `radius` is finite and non-negative.
+    pub fn shell_scan(&self, center: Point2, radius: f64) -> ShellScan<'_> {
+        ShellScan {
+            max_ring: self.rings_to_cover(radius),
+            grid: self,
+            center,
+            next_ring: 0,
+        }
+    }
+
     /// The IDs within exact distance `radius` of node `u` (excluding `u`
     /// itself), sorted by ID. Convenience wrapper over
     /// [`SpatialGrid::candidates_within`] + distance filtering against
@@ -214,6 +297,70 @@ impl SpatialGrid {
         out.retain(|&v| v != u && layout.position(v).distance_squared(center) <= r2);
         out.sort_unstable();
         out
+    }
+}
+
+/// An in-progress expanding shell (annulus) scan over a [`SpatialGrid`].
+///
+/// Created by [`SpatialGrid::shell_scan`]. Each [`ShellScan::scan_next`]
+/// call appends the candidates of the next Chebyshev ring;
+/// [`ShellScan::guaranteed_radius`] reports the distance below which the
+/// already-scanned rings are *complete* — every indexed node closer than
+/// that bound has been delivered. This is the contract the
+/// output-sensitive CBTC growing phase needs: consume candidates
+/// nearest-first, scan further rings only while the decision is still
+/// open, and never enumerate the far side of the layout at all.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::Point2;
+/// use cbtc_graph::{Layout, SpatialGrid};
+///
+/// let layout = Layout::new(vec![Point2::new(5.0, 5.0), Point2::new(95.0, 5.0)]);
+/// let grid = SpatialGrid::from_layout(&layout, 10.0);
+/// let mut scan = grid.shell_scan(Point2::new(5.0, 5.0), 100.0);
+/// let mut out = Vec::new();
+/// // Ring 0 finds the co-located node; the far node waits in ring 9.
+/// assert!(scan.scan_next(&mut out));
+/// assert_eq!(out.len(), 1);
+/// assert!(scan.guaranteed_radius() > 0.0);
+/// while scan.scan_next(&mut out) {}
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(scan.guaranteed_radius(), f64::INFINITY);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShellScan<'g> {
+    grid: &'g SpatialGrid,
+    center: Point2,
+    next_ring: u32,
+    max_ring: u32,
+}
+
+impl ShellScan<'_> {
+    /// Appends the next ring's candidates to `out`. Returns `false` once
+    /// every ring intersecting the query disk has been scanned (in which
+    /// case `out` is untouched).
+    pub fn scan_next(&mut self, out: &mut Vec<NodeId>) -> bool {
+        if self.next_ring > self.max_ring {
+            return false;
+        }
+        self.grid
+            .candidates_in_ring(self.center, self.next_ring, out);
+        self.next_ring += 1;
+        true
+    }
+
+    /// Every indexed node *within the query radius* and strictly closer
+    /// to the center than this bound has already been delivered by
+    /// [`ShellScan::scan_next`]. Infinite once the scan is exhausted (the
+    /// query disk is fully covered).
+    pub fn guaranteed_radius(&self) -> f64 {
+        if self.next_ring > self.max_ring {
+            f64::INFINITY
+        } else {
+            self.grid.ring_min_distance(self.center, self.next_ring)
+        }
     }
 }
 
@@ -621,5 +768,85 @@ mod tests {
         let g = SpatialGrid::new(1.0);
         let mut out = Vec::new();
         g.candidates_within(Point2::ORIGIN, f64::NAN, &mut out);
+    }
+
+    #[test]
+    fn rings_partition_the_plane() {
+        // Every indexed node appears in exactly one ring, and the union of
+        // rings 0..=k equals the (2k+1)² cell block query.
+        let layout = scattered(150, 120.0, 9);
+        let grid = SpatialGrid::from_layout(&layout, 10.0);
+        let center = Point2::new(60.0, 60.0);
+        let mut union = Vec::new();
+        for ring in 0..=12u32 {
+            let before = union.len();
+            grid.candidates_in_ring(center, ring, &mut union);
+            // Each ring's nodes are no closer than the bound for that ring.
+            let bound = grid.ring_min_distance(center, ring);
+            for &v in &union[before..] {
+                assert!(
+                    layout.position(v).distance(center) >= bound,
+                    "ring {ring} node {v} closer than bound {bound}"
+                );
+            }
+        }
+        let mut sorted = union.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(sorted.len(), before, "rings must not overlap");
+        assert_eq!(sorted.len(), 150, "rings 0..=12 cover the whole field");
+    }
+
+    #[test]
+    fn ring_min_distance_is_monotone_and_anchored() {
+        let grid = SpatialGrid::new(10.0);
+        let on_edge = Point2::new(20.0, 5.0); // x exactly on a cell edge
+        assert_eq!(grid.ring_min_distance(on_edge, 0), 0.0);
+        assert_eq!(grid.ring_min_distance(on_edge, 1), 0.0, "edge point");
+        let mut last = 0.0;
+        for ring in 0..10 {
+            let d = grid.ring_min_distance(on_edge, ring);
+            assert!(d >= last, "monotone in ring");
+            last = d;
+        }
+        // An interior point has a strictly positive ring-1 bound.
+        let interior = Point2::new(23.0, 5.0);
+        assert!(grid.ring_min_distance(interior, 1) > 0.0);
+        assert_eq!(grid.ring_min_distance(interior, 1), 3.0);
+    }
+
+    #[test]
+    fn shell_scan_delivers_everything_with_valid_guarantees() {
+        let layout = scattered(200, 250.0, 3);
+        let grid = SpatialGrid::from_layout(&layout, 15.0);
+        let center = layout.position(n(0));
+        let radius = 90.0;
+        let mut scan = grid.shell_scan(center, radius);
+        let mut seen = Vec::new();
+        loop {
+            let guaranteed = scan.guaranteed_radius();
+            // Everything within the radius and closer than the guarantee
+            // must already be delivered.
+            for (v, p) in layout.iter() {
+                let d = p.distance(center);
+                if d <= radius && d < guaranteed {
+                    assert!(seen.contains(&v), "node {v} at {d} missing at {guaranteed}");
+                }
+            }
+            if !scan.scan_next(&mut seen) {
+                break;
+            }
+        }
+        assert_eq!(scan.guaranteed_radius(), f64::INFINITY);
+        let mut expect: Vec<NodeId> = layout
+            .iter()
+            .filter(|(_, p)| p.distance(center) <= radius)
+            .map(|(v, _)| v)
+            .collect();
+        seen.retain(|&v| layout.position(v).distance(center) <= radius);
+        seen.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
     }
 }
