@@ -173,15 +173,7 @@ fn main() {
     let args = Args::capture();
     let seed: u64 = args.get("seed", 0);
     let deaths: usize = args.get("deaths", 60);
-    let sizes: Vec<usize> = args
-        .get("sizes", "1000,10000,50000".to_owned())
-        .split(',')
-        .map(|s| {
-            s.trim()
-                .parse()
-                .expect("--sizes takes a comma list of node counts")
-        })
-        .collect();
+    let sizes: Vec<usize> = args.get_list("sizes", &[1000, 10000, 50000]);
     let alpha = Alpha::FIVE_PI_SIXTHS;
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())

@@ -62,6 +62,26 @@ impl Args {
         let flag = format!("--{name}");
         self.raw.iter().any(|a| a == &flag)
     }
+
+    /// The comma-separated list following `--name`, parsed, or `default`
+    /// — the shared sweep-axis parser of the bench binaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when an entry fails to parse.
+    pub fn get_list<T: std::str::FromStr + Clone>(&self, name: &str, default: &[T]) -> Vec<T> {
+        let raw: String = self.get(name, String::new());
+        if raw.trim().is_empty() {
+            return default.to_vec();
+        }
+        raw.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("invalid entry for --{name}: {s}"))
+            })
+            .collect()
+    }
 }
 
 impl Default for Args {

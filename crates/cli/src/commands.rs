@@ -51,6 +51,14 @@ USAGE:
         population (10% arrive as late joins, 10% crash). Scales to 10k+
         nodes via the grid spatial index.
 
+    cbtc phy [--nodes N] [--sigmas 0,4,8] [--trials T] [--seed S]
+             [--alpha 2pi3|<radians>] [--protocol-nodes N] [--no-protocol]
+        Sweep log-normal shadowing σ (dB) over random networks: report how
+        often CBTC's final graph (after asymmetric-edge removal) preserves
+        the connectivity of the symmetric reach graph, link asymmetry,
+        power stretch, and the distributed protocol's Hello overhead under
+        the full stochastic stack (fading, soft PRR, SINR, CSMA).
+
     cbtc help
         Show this message.
 ";
@@ -498,6 +506,119 @@ pub fn churn(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a comma-separated `--name` list of floats, or the default.
+fn parse_float_list(args: &Args, name: &str, default: &[f64]) -> Result<Vec<f64>, String> {
+    match args.value_of(name) {
+        None => Ok(default.to_vec()),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid --{name} entry: {s}"))
+            })
+            .collect(),
+    }
+}
+
+/// `cbtc phy`
+pub fn phy(args: &Args) -> Result<(), String> {
+    use cbtc_workloads::{phy_construction_probe, phy_protocol_probe};
+
+    let nodes: usize = args.get("nodes", 100)?;
+    let trials: u32 = args.get("trials", 10)?;
+    let seed: u64 = args.get("seed", 0)?;
+    let protocol_nodes: usize = args.get("protocol-nodes", 60)?;
+    let sigmas = parse_float_list(args, "sigmas", &[0.0, 4.0, 8.0])?;
+    if nodes == 0 || trials == 0 {
+        return Err("--nodes and --trials must be positive".into());
+    }
+    if protocol_nodes == 0 && !args.has("no-protocol") {
+        return Err("--protocol-nodes must be positive (or pass --no-protocol)".into());
+    }
+    for &s in &sigmas {
+        if !s.is_finite() || s < 0.0 {
+            return Err(format!("--sigmas entries must be ≥ 0, got {s}"));
+        }
+    }
+    let alpha = match args.value_of("alpha") {
+        None => Alpha::TWO_PI_THIRDS,
+        Some(_) => args.alpha()?,
+    };
+    let config = CbtcConfig::all_applicable(alpha);
+    if !alpha.supports_asymmetric_removal() {
+        println!(
+            "note: α = {alpha} > 2π/3, so asymmetric-edge removal is off and the \
+             final graph is the symmetric closure\n"
+        );
+    }
+
+    let mut scenario = cbtc_workloads::Scenario::paper_default();
+    scenario.name = "cli-phy".to_owned();
+    scenario.node_count = nodes;
+    scenario.trials = trials;
+
+    println!(
+        "phy robustness — {nodes} nodes × {trials} trials, CBTC({alpha}) all optimizations, \
+         per-direction log-normal shadowing (seed {seed})\n"
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "σ (dB)", "base conn", "preserved", "asym %", "avg deg", "guarded", "stretch", "max"
+    );
+    for &sigma in &sigmas {
+        let stats = phy_construction_probe(&scenario, sigma, &config, seed);
+        println!(
+            "{:>6.1} {:>7}/{:<2} {:>7}/{:<2} {:>7.1}% {:>8.2} {:>9.2} {:>9.3} {:>9.2}",
+            sigma,
+            stats.base_connected,
+            stats.trials,
+            stats.preserved,
+            stats.trials,
+            stats.asymmetric_link_fraction * 100.0,
+            stats.mean_degree,
+            stats.pairwise_restored_mean,
+            stats.power_stretch_mean,
+            stats.power_stretch_max,
+        );
+    }
+    println!(
+        "\nbase conn = trials whose symmetric max-power reach graph is connected;\n\
+         preserved = trials where the final graph partitions nodes as the reach graph does;\n\
+         guarded   = mean redundant edges the pairwise connectivity guard restored per trial."
+    );
+
+    if !args.has("no-protocol") {
+        println!(
+            "\ndistributed growing phase under the full stack (fading, soft PRR, SINR, CSMA) — \
+             {protocol_nodes} nodes:"
+        );
+        println!(
+            "{:>6} {:>12} {:>12} {:>9} {:>9} {:>10} {:>10}",
+            "σ (dB)", "ideal bc/n", "phy bc/n", "overhead", "phy loss", "backoff/n", "preserved"
+        );
+        for &sigma in &sigmas {
+            let profile = cbtc_phy::PhyProfile::realistic(sigma, seed);
+            let stats = phy_protocol_probe(protocol_nodes, &scenario, &profile, seed);
+            println!(
+                "{:>6.1} {:>12.2} {:>12.2} {:>8.2}x {:>8.1}% {:>10.2} {:>10}",
+                sigma,
+                stats.ideal_broadcasts_per_node,
+                stats.phy_broadcasts_per_node,
+                stats.hello_overhead,
+                stats.phy_lost_fraction * 100.0,
+                stats.csma_deferrals_per_node,
+                if stats.connectivity_preserved {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,6 +715,31 @@ mod tests {
         assert!(doc["bursts"].is_array());
         assert!(doc["traffic"]["broadcasts"].as_u64().unwrap() > 0);
         fs::remove_file(json).ok();
+    }
+
+    #[test]
+    fn phy_runs_on_a_small_sweep() {
+        assert!(phy(&args(&[
+            "--nodes",
+            "25",
+            "--trials",
+            "2",
+            "--sigmas",
+            "0,6",
+            "--protocol-nodes",
+            "20",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn phy_rejects_bad_input() {
+        assert!(phy(&args(&["--nodes", "0"])).is_err());
+        assert!(phy(&args(&["--nodes", "20", "--sigmas", "abc"])).is_err());
+        assert!(phy(&args(&["--nodes", "20", "--sigmas", "-3"])).is_err());
+        assert!(phy(&args(&["--nodes", "20", "--alpha", "bogus"])).is_err());
+        let e = phy(&args(&["--nodes", "20", "--protocol-nodes", "0"])).unwrap_err();
+        assert!(e.contains("protocol-nodes"), "unexpected: {e}");
     }
 
     #[test]

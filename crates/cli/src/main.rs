@@ -7,6 +7,7 @@
 //! cbtc compare    compare optimization levels on one network
 //! cbtc lifetime   simulate traffic + battery drain, report lifetime factors
 //! cbtc churn      run the §4 reconfiguration protocol under mobility + churn
+//! cbtc phy        sweep shadowing σ: CBTC robustness off the unit disk
 //! cbtc help       show usage
 //! ```
 
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "compare" => commands::compare(&args),
         "lifetime" => commands::lifetime(&args),
         "churn" => commands::churn(&args),
+        "phy" => commands::phy(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -37,7 +37,7 @@ use crate::{CbtcConfig, Network};
 /// Smallest per-thread slice of nodes worth a thread spawn in the
 /// parallel growing phase: below ~2× this many nodes, [`run_basic`] runs
 /// inline (the paper-scale 100-node networks never pay fan-out overhead).
-const PAR_MIN_CHUNK: usize = 128;
+pub(crate) const PAR_MIN_CHUNK: usize = 128;
 
 /// Runs the growing phase of `CBTC(α)` for every node, with continuous
 /// power growth.

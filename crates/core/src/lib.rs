@@ -47,6 +47,7 @@
 //! | [`grow_node_in_grid`] / [`ConstructionMode`] | scaling infrastructure (no paper analogue): output-sensitive shell-scan growth, validated against the all-pairs oracle |
 //! | [`run_basic_masked`] / [`run_centralized_masked`] | §4 at scale: survivor re-runs over an alive mask, no sub-network allocation |
 //! | [`parallel`] | scaling infrastructure: scoped-thread fan-out of the per-node growing phase |
+//! | [`phy`] | beyond the paper: the same construction over a stochastic channel (per-link gains → effective distances), bit-identical to the ideal path when every gain is 1 |
 //!
 //! # Example
 //!
@@ -79,6 +80,7 @@ mod view;
 
 pub mod opt;
 pub mod parallel;
+pub mod phy;
 pub mod protocol;
 pub mod reconfig;
 pub mod theory;

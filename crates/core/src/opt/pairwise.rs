@@ -87,6 +87,47 @@ pub struct PairwiseOutcome {
     pub removed: Vec<(NodeId, NodeId)>,
 }
 
+/// The edge ID of `{u, v}` from `u`'s perspective under a directional
+/// length function — the generalization the stochastic-channel pipeline
+/// uses (`length(u, v)` is `u`'s cost to reach `v`; under asymmetric
+/// gains the two perspectives differ).
+fn edge_id_with<L>(length: &L, u: NodeId, v: NodeId) -> EdgeId
+where
+    L: Fn(NodeId, NodeId) -> f64,
+{
+    EdgeId {
+        length: length(u, v),
+        hi: u.raw().max(v.raw()),
+        lo: u.raw().min(v.raw()),
+    }
+}
+
+/// [`node_redundancy`] under a directional length function.
+fn node_redundancy_with<L>(
+    g: &UndirectedGraph,
+    layout: &Layout,
+    u: NodeId,
+    length: &L,
+) -> BTreeSet<NodeId>
+where
+    L: Fn(NodeId, NodeId) -> f64,
+{
+    let neighbors: Vec<NodeId> = g.neighbors(u).collect();
+    let mut from = BTreeSet::new();
+    for &v in &neighbors {
+        let eid_uv = edge_id_with(length, u, v);
+        let is_redundant = neighbors.iter().any(|&w| {
+            w != v
+                && angle_at(layout.position(v), layout.position(u), layout.position(w)) < FRAC_PI_3
+                && eid_uv > edge_id_with(length, u, w)
+        });
+        if is_redundant {
+            from.insert(v);
+        }
+    }
+    from
+}
+
 /// The neighbors `v` of `u` such that `(u, v)` is redundant *from u's
 /// perspective* (some other neighbor `w` of `u` witnesses Definition
 /// 3.5).
@@ -95,20 +136,7 @@ pub struct PairwiseOutcome {
 /// that lets incremental reconfiguration re-derive pairwise decisions for
 /// only the nodes whose neighborhoods changed.
 pub fn node_redundancy(g: &UndirectedGraph, layout: &Layout, u: NodeId) -> BTreeSet<NodeId> {
-    let neighbors: Vec<NodeId> = g.neighbors(u).collect();
-    let mut from = BTreeSet::new();
-    for &v in &neighbors {
-        let eid_uv = edge_id(layout, u, v);
-        let is_redundant = neighbors.iter().any(|&w| {
-            w != v
-                && angle_at(layout.position(v), layout.position(u), layout.position(w)) < FRAC_PI_3
-                && eid_uv > edge_id(layout, u, w)
-        });
-        if is_redundant {
-            from.insert(v);
-        }
-    }
-    from
+    node_redundancy_with(g, layout, u, &|a, b| layout.distance(a, b))
 }
 
 /// The [`PairwisePolicy::PowerReducing`] floor at `u`: the length of its
@@ -127,10 +155,17 @@ pub fn node_floor(
         .fold(0.0, f64::max)
 }
 
-/// Per-node directional redundancy: `result[u]` = [`node_redundancy`].
-fn directional_redundancy(g: &UndirectedGraph, layout: &Layout) -> Vec<BTreeSet<NodeId>> {
+/// Per-node directional redundancy under a length function.
+fn directional_redundancy_with<L>(
+    g: &UndirectedGraph,
+    layout: &Layout,
+    length: &L,
+) -> Vec<BTreeSet<NodeId>>
+where
+    L: Fn(NodeId, NodeId) -> f64,
+{
     g.node_ids()
-        .map(|u| node_redundancy(g, layout, u))
+        .map(|u| node_redundancy_with(g, layout, u, length))
         .collect()
 }
 
@@ -139,7 +174,11 @@ fn directional_redundancy(g: &UndirectedGraph, layout: &Layout) -> Vec<BTreeSet<
 /// pairs.
 pub fn redundant_edges(g: &UndirectedGraph, layout: &Layout) -> BTreeSet<(NodeId, NodeId)> {
     let mut redundant = BTreeSet::new();
-    for (u, set) in directional_redundancy(g, layout).into_iter().enumerate() {
+    let length = |a: NodeId, b: NodeId| layout.distance(a, b);
+    for (u, set) in directional_redundancy_with(g, layout, &length)
+        .into_iter()
+        .enumerate()
+    {
         let u = NodeId::new(u as u32);
         for v in set {
             redundant.insert((u.min(v), u.max(v)));
@@ -177,7 +216,34 @@ pub fn pairwise_removal(
     layout: &Layout,
     policy: PairwisePolicy,
 ) -> PairwiseOutcome {
-    let redundant = redundant_edges(g, layout);
+    pairwise_removal_with(g, layout, policy, |a, b| layout.distance(a, b))
+}
+
+/// [`pairwise_removal`] under a directional length function: `length(u,
+/// v)` is `u`'s cost to reach `v` (geometric distance on the ideal radio,
+/// the gain-adjusted effective distance on a stochastic channel, where
+/// the two directions may differ). Directions/angles stay geometric —
+/// Definition 3.5's cone test is about bearings, which shadowing does not
+/// move.
+///
+/// With `length = layout.distance` this is exactly [`pairwise_removal`].
+pub fn pairwise_removal_with<L>(
+    g: &UndirectedGraph,
+    layout: &Layout,
+    policy: PairwisePolicy,
+    length: L,
+) -> PairwiseOutcome
+where
+    L: Fn(NodeId, NodeId) -> f64,
+{
+    let mut redundant = BTreeSet::new();
+    let redundant_from = directional_redundancy_with(g, layout, &length);
+    for (u, set) in redundant_from.iter().enumerate() {
+        let u = NodeId::new(u as u32);
+        for &v in set {
+            redundant.insert((u.min(v), u.max(v)));
+        }
+    }
     let mut graph = g.clone();
     let mut removed = Vec::new();
 
@@ -190,25 +256,25 @@ pub fn pairwise_removal(
         }
         PairwisePolicy::PowerReducing => {
             // Definition 3.5 is directional: an endpoint `x` classifies its
-            // incident edges as redundant via ITS neighbors. Each node then
-            // removes, from its own perspective, the redundant edges longer
-            // than its longest non-redundant incident edge — the only
-            // removals that can lower its broadcast radius.
-            let redundant_from = directional_redundancy(g, layout);
+            // incident edges as redundant via ITS neighbors, measured at
+            // ITS cost to reach them. Each node then removes, from its own
+            // perspective, the redundant edges longer than its longest
+            // non-redundant incident edge — the only removals that can
+            // lower its broadcast radius.
             let mut floor = vec![0.0f64; g.node_count()];
             for (u, v) in g.edges() {
-                let d = layout.distance(u, v);
                 if !redundant_from[u.index()].contains(&v) {
-                    floor[u.index()] = floor[u.index()].max(d);
+                    floor[u.index()] = floor[u.index()].max(length(u, v));
                 }
                 if !redundant_from[v.index()].contains(&u) {
-                    floor[v.index()] = floor[v.index()].max(d);
+                    floor[v.index()] = floor[v.index()].max(length(v, u));
                 }
             }
             for &(u, v) in &redundant {
-                let d = layout.distance(u, v);
-                let u_drops = redundant_from[u.index()].contains(&v) && d > floor[u.index()];
-                let v_drops = redundant_from[v.index()].contains(&u) && d > floor[v.index()];
+                let u_drops =
+                    redundant_from[u.index()].contains(&v) && length(u, v) > floor[u.index()];
+                let v_drops =
+                    redundant_from[v.index()].contains(&u) && length(v, u) > floor[v.index()];
                 if u_drops || v_drops {
                     graph.remove_edge(u, v);
                     removed.push((u, v));

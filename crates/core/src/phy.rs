@@ -1,0 +1,652 @@
+//! `CBTC(α)` over a stochastic channel: the growing phase and the §3
+//! optimization pipeline with per-link gains.
+//!
+//! The centralized reference ([`crate::run_basic`]) grows each node
+//! through its neighbors in order of *distance*, because under the ideal
+//! radio `p(d) = S·dⁿ` the power needed to close a link is monotone in
+//! distance. Under a shadowed channel the link `u → v` closes at power
+//! `S·d̂ⁿ / g(u→v)` for a frozen per-link gain `g` — still a scalar per
+//! directed link, so the entire construction generalizes by replacing
+//! every distance with the **effective distance**
+//!
+//! ```text
+//! d_eff(u → v) = d̂(u, v) · g(u → v)^(-1/n)      (d̂ = near-field-clamped d)
+//! ```
+//!
+//! the distance at which the *ideal* radio would charge the same power.
+//! Discovery order, the α-gap test, grow radii, shrink-back and the
+//! symmetric core/closure all read effective distances; the geometry
+//! (directions) is untouched apart from optional angle-of-arrival error.
+//! With every gain exactly `1.0` the effective distance *is* the
+//! geometric distance, and this pipeline is **bit-identical** to
+//! [`crate::run_centralized`] — the workspace property tests pin that
+//! down.
+//!
+//! With independently drawn per-direction gains, `d_eff(u → v) ≠
+//! d_eff(v → u)`: links are genuinely asymmetric, a node may hear a
+//! neighbor it cannot reach back, and the §3.2 asymmetric-edge-removal
+//! guarantee is exercised off the unit disk — the regime the `cbtc phy`
+//! workload measures.
+//!
+//! ## The pairwise-removal connectivity guard
+//!
+//! Theorem 3.6's proof that *all* redundant edges can go at once leans on
+//! the unit-disk structure of `G_α` (short edges are present, Corollary
+//! 2.3). Off the unit disk that scaffolding is gone, so
+//! [`run_phy_centralized`] re-checks: any removed edge that still bridges
+//! two components of the pruned graph is restored (a union-find pass over
+//! the removal list). On an ideal channel the theorem holds and the guard
+//! provably restores nothing, preserving bit-identity; off it, the
+//! restored count is itself a measurement of how often §3.3 would have
+//! broken connectivity.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use cbtc_geom::{gap::GapTracker, Alpha};
+use cbtc_graph::{DirectedGraph, NodeId, SpatialGrid, UndirectedGraph, UnionFind};
+use cbtc_radio::{DirectionSensor, LinkGain, PowerLaw};
+
+use crate::centralized::{construction_cell, dead_view, PAR_MIN_CHUNK};
+use crate::opt::{self, PairwisePolicy};
+use crate::parallel::par_map;
+use crate::view::{BasicOutcome, Discovery, NodeView};
+use crate::{CbtcConfig, Network};
+
+/// The stochastic channel a phy construction runs against: the
+/// deterministic path-loss model plus a frozen link-gain field and an
+/// angle-of-arrival sensor.
+#[derive(Debug, Clone, Copy)]
+pub struct PhyChannel<'a> {
+    model: &'a PowerLaw,
+    gain: &'a (dyn LinkGain + Sync),
+    sensor: DirectionSensor,
+}
+
+impl<'a> PhyChannel<'a> {
+    /// Wraps a path-loss model and a gain field, with exact direction
+    /// sensing.
+    pub fn new(model: &'a PowerLaw, gain: &'a (dyn LinkGain + Sync)) -> Self {
+        PhyChannel {
+            model,
+            gain,
+            sensor: DirectionSensor::exact(),
+        }
+    }
+
+    /// Replaces the angle-of-arrival sensor (default: exact).
+    pub fn with_sensor(mut self, sensor: DirectionSensor) -> Self {
+        self.sensor = sensor;
+        self
+    }
+
+    /// The gain field.
+    pub fn gain(&self) -> &dyn LinkGain {
+        self.gain
+    }
+
+    /// The effective distance of the directed link `u → v` whose
+    /// geometric distance is `d`: the distance at which the ideal radio
+    /// would charge the power this link actually needs.
+    ///
+    /// Exactly `d` when the link's gain is exactly `1.0`, so an ideal
+    /// gain field reproduces the geometric construction bit for bit.
+    pub fn effective_distance(&self, u: NodeId, v: NodeId, d: f64) -> f64 {
+        let g = self.gain.link_gain(u.raw() as u64, v.raw() as u64);
+        if g == 1.0 {
+            d
+        } else {
+            d.max(1.0) * g.powf(-1.0 / self.model.exponent())
+        }
+    }
+
+    /// The factor by which the geometric search radius must expand so
+    /// that every link with `d_eff ≤ R` is enumerated: `max_gain^(1/n)`.
+    /// Exactly `1.0` for an ideal field.
+    fn reach_boost(&self) -> f64 {
+        let g = self.gain.max_gain();
+        if g == 1.0 {
+            1.0
+        } else {
+            g.powf(1.0 / self.model.exponent())
+        }
+    }
+
+    /// The direction `u` measures for `v`, with sensor error. The exact
+    /// sensor adds literally nothing (not even `+ 0.0`), preserving
+    /// bit-identity with the geometric pipeline.
+    fn direction(&self, layout: &cbtc_graph::Layout, u: NodeId, v: NodeId) -> cbtc_geom::Angle {
+        let true_bearing = layout.direction(u, v);
+        let e = self.sensor.perturbation(u.raw() as u64, v.raw() as u64);
+        if e == 0.0 {
+            true_bearing
+        } else {
+            true_bearing.rotated(e)
+        }
+    }
+}
+
+/// A candidate waiting in the phy grow heap, ordered by `(effective
+/// distance, id)` — discovery order of continuous power growth over the
+/// shadowed channel.
+#[derive(Debug, PartialEq)]
+struct PhyCandidate {
+    effective: f64,
+    id: NodeId,
+}
+
+impl Eq for PhyCandidate {}
+
+impl Ord for PhyCandidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.effective
+            .total_cmp(&other.effective)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for PhyCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Grows one node over the stochastic channel: an expanding shell scan in
+/// *geometric* space consuming candidates in *effective-distance* order.
+///
+/// The scan's completeness guarantee is geometric (every node nearer than
+/// `guaranteed_radius` has been enumerated); since an unenumerated node
+/// at geometric distance ≥ G has effective distance ≥ `G ·
+/// max_gain^(-1/n)`, the heap's head is safe to discover once its
+/// effective distance falls below that bound. With an ideal gain field
+/// both bounds collapse to the geometric ones and the walk replays
+/// [`crate::grow_node_in_grid`] exactly.
+fn grow_node_phy(
+    layout: &cbtc_graph::Layout,
+    grid: &SpatialGrid,
+    channel: &PhyChannel<'_>,
+    u: NodeId,
+    alpha: Alpha,
+    max_range: f64,
+) -> NodeView {
+    let center = layout.position(u);
+    let scan_radius = max_range * channel.reach_boost();
+    // Effective distance of the nearest unenumerated node is at least
+    // (geometric bound) × this factor.
+    let shrink = 1.0 / channel.reach_boost();
+    let mut scan = grid.shell_scan(center, scan_radius);
+    let mut heap: BinaryHeap<Reverse<PhyCandidate>> = BinaryHeap::new();
+    let mut ring = Vec::new();
+    let mut tracker = GapTracker::new();
+    let mut discoveries: Vec<Discovery> = Vec::new();
+
+    let discover = |c: PhyCandidate, discoveries: &mut Vec<Discovery>, tracker: &mut GapTracker| {
+        let direction = channel.direction(layout, u, c.id);
+        tracker.insert(direction);
+        discoveries.push(Discovery {
+            id: c.id,
+            distance: c.effective,
+            direction,
+        });
+    };
+
+    loop {
+        while heap
+            .peek()
+            .is_none_or(|c| c.0.effective >= scan.guaranteed_radius() * shrink)
+        {
+            ring.clear();
+            if !scan.scan_next(&mut ring) {
+                break;
+            }
+            for &v in &ring {
+                if v == u {
+                    continue;
+                }
+                let effective = channel.effective_distance(u, v, layout.distance(u, v));
+                if effective <= max_range {
+                    heap.push(Reverse(PhyCandidate { effective, id: v }));
+                }
+            }
+        }
+        let Some(Reverse(first)) = heap.pop() else {
+            return NodeView {
+                discoveries,
+                boundary: true,
+                grow_radius: max_range,
+            };
+        };
+        // Equal effective distances are discovered together, mirroring
+        // the geometric engine's equidistant groups.
+        let group = first.effective;
+        discover(first, &mut discoveries, &mut tracker);
+        while heap.peek().is_some_and(|c| c.0.effective == group) {
+            let Reverse(c) = heap.pop().expect("peeked non-empty");
+            discover(c, &mut discoveries, &mut tracker);
+        }
+        if !tracker.has_alpha_gap(alpha) {
+            return NodeView {
+                discoveries,
+                boundary: false,
+                grow_radius: group,
+            };
+        }
+    }
+}
+
+/// The growing phase of `CBTC(α)` over a stochastic channel, for every
+/// node. With an ideal gain field and exact sensor, bit-identical to
+/// [`crate::run_basic`].
+pub fn run_phy_basic(network: &Network, channel: &PhyChannel<'_>, alpha: Alpha) -> BasicOutcome {
+    let layout = network.layout();
+    let r = network.max_range();
+    let grid = SpatialGrid::from_layout(layout, construction_cell(layout, r, layout.len()));
+    let ids: Vec<NodeId> = layout.node_ids().collect();
+    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
+        grow_node_phy(layout, &grid, channel, u, alpha, r)
+    });
+    BasicOutcome::new(alpha, views)
+}
+
+/// [`run_phy_basic`] over the surviving subset of the network: masked-out
+/// nodes discover nothing and are discovered by nobody (the §4 survivor
+/// re-run, phy edition). With an ideal gain field, bit-identical to
+/// [`crate::run_basic_masked`].
+///
+/// # Panics
+///
+/// Panics if `alive.len()` differs from the network size.
+pub fn run_phy_basic_masked(
+    network: &Network,
+    channel: &PhyChannel<'_>,
+    alpha: Alpha,
+    alive: &[bool],
+) -> BasicOutcome {
+    let layout = network.layout();
+    assert_eq!(alive.len(), layout.len(), "alive mask size mismatch");
+    let r = network.max_range();
+    let population = alive.iter().filter(|a| **a).count();
+    let mut grid = SpatialGrid::new(construction_cell(layout, r, population));
+    for (id, p) in layout.iter() {
+        if alive[id.index()] {
+            grid.insert(id, p);
+        }
+    }
+    let ids: Vec<NodeId> = layout.node_ids().collect();
+    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
+        if alive[u.index()] {
+            grow_node_phy(layout, &grid, channel, u, alpha, r)
+        } else {
+            dead_view()
+        }
+    });
+    BasicOutcome::new(alpha, views)
+}
+
+/// The staged result of a full phy `CBTC(α)` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhyRun {
+    basic: BasicOutcome,
+    after_shrink: Option<BasicOutcome>,
+    graph: UndirectedGraph,
+    pairwise_removed: Vec<(NodeId, NodeId)>,
+    pairwise_restored: Vec<(NodeId, NodeId)>,
+}
+
+impl PhyRun {
+    /// The raw growing-phase outcome (effective distances in the views).
+    pub fn basic(&self) -> &BasicOutcome {
+        &self.basic
+    }
+
+    /// The outcome after shrink-back, if op1 was enabled.
+    pub fn after_shrink(&self) -> Option<&BasicOutcome> {
+        self.after_shrink.as_ref()
+    }
+
+    /// The outcome the final graph was derived from.
+    pub fn effective(&self) -> &BasicOutcome {
+        self.after_shrink.as_ref().unwrap_or(&self.basic)
+    }
+
+    /// The final topology after all configured optimizations.
+    pub fn final_graph(&self) -> &UndirectedGraph {
+        &self.graph
+    }
+
+    /// Consumes the run and returns the final topology without copying.
+    pub fn into_final_graph(self) -> UndirectedGraph {
+        self.graph
+    }
+
+    /// The edges pairwise removal dropped (empty when op3 is off).
+    pub fn pairwise_removed(&self) -> &[(NodeId, NodeId)] {
+        &self.pairwise_removed
+    }
+
+    /// The redundant edges the connectivity guard put back because their
+    /// removal would have split a component — always empty on an ideal
+    /// channel (Theorem 3.6 holds there), and a direct measurement of how
+    /// often §3.3 over-prunes off the unit disk.
+    pub fn pairwise_restored(&self) -> &[(NodeId, NodeId)] {
+        &self.pairwise_restored
+    }
+
+    /// Whether the final graph preserves the connectivity of `full`.
+    pub fn preserves_connectivity_of(&self, full: &UndirectedGraph) -> bool {
+        cbtc_graph::connectivity::preserves_connectivity(&self.graph, full)
+    }
+}
+
+/// Runs phy `CBTC(α)` centrally with the configured optimizations: grow,
+/// shrink-back, symmetric core/closure, connectivity-guarded pairwise
+/// removal. With an ideal gain field, bit-identical to
+/// [`crate::run_centralized`] (and the guard provably restores nothing).
+pub fn run_phy_centralized(
+    network: &Network,
+    channel: &PhyChannel<'_>,
+    config: &CbtcConfig,
+) -> PhyRun {
+    optimize_phy(
+        network,
+        channel,
+        config,
+        run_phy_basic(network, channel, config.alpha()),
+    )
+}
+
+/// [`run_phy_centralized`] over the surviving subset of the network.
+///
+/// # Panics
+///
+/// Panics if `alive.len()` differs from the network size.
+pub fn run_phy_centralized_masked(
+    network: &Network,
+    channel: &PhyChannel<'_>,
+    config: &CbtcConfig,
+    alive: &[bool],
+) -> PhyRun {
+    optimize_phy(
+        network,
+        channel,
+        config,
+        run_phy_basic_masked(network, channel, config.alpha(), alive),
+    )
+}
+
+/// The §3 optimization pipeline over a phy growing-phase outcome:
+/// identical to the ideal pipeline except that pairwise removal measures
+/// edges by *effective* distance (each endpoint's gain-adjusted cost to
+/// reach the other, the same metric the growth phase ordered by) and
+/// runs behind the connectivity guard.
+fn optimize_phy(
+    network: &Network,
+    channel: &PhyChannel<'_>,
+    config: &CbtcConfig,
+    basic: BasicOutcome,
+) -> PhyRun {
+    let after_shrink = config.shrink_back().then(|| opt::shrink_back(&basic));
+    let effective = after_shrink.as_ref().unwrap_or(&basic);
+
+    let mut graph = if config.asymmetric_removal() {
+        debug_assert!(config.alpha().supports_asymmetric_removal());
+        effective.symmetric_core()
+    } else {
+        effective.symmetric_closure()
+    };
+
+    let mut pairwise_removed = Vec::new();
+    let mut pairwise_restored = Vec::new();
+    if config.pairwise_removal() {
+        let layout = network.layout();
+        let outcome =
+            opt::pairwise_removal_with(&graph, layout, PairwisePolicy::PowerReducing, |a, b| {
+                channel.effective_distance(a, b, layout.distance(a, b))
+            });
+        graph = outcome.graph;
+        // The guard: an edge whose endpoints fell into different
+        // components of the pruned graph is a bridge Theorem 3.6's
+        // induction failed to cover — put it back. Union-find over the
+        // pruned graph, then one pass over the removal list in its
+        // deterministic order.
+        let mut uf = UnionFind::new(graph.node_count());
+        for (u, v) in graph.edges() {
+            uf.union(u, v);
+        }
+        for &(u, v) in &outcome.removed {
+            if uf.union(u, v) {
+                graph.add_edge(u, v);
+                pairwise_restored.push((u, v));
+            } else {
+                pairwise_removed.push((u, v));
+            }
+        }
+    }
+
+    PhyRun {
+        basic,
+        after_shrink,
+        graph,
+        pairwise_removed,
+        pairwise_restored,
+    }
+}
+
+/// The reachability digraph of the channel at maximum power: `u → v` iff
+/// a max-power transmission from `u` closes the link (`d_eff(u→v) ≤ R`).
+/// Asymmetric under per-direction gains.
+pub fn phy_reach_digraph(network: &Network, channel: &PhyChannel<'_>) -> DirectedGraph {
+    let layout = network.layout();
+    let r = network.max_range();
+    let grid = SpatialGrid::from_layout(layout, construction_cell(layout, r, layout.len()));
+    let scan_radius = r * channel.reach_boost();
+    let mut g = DirectedGraph::new(layout.len());
+    let mut candidates = Vec::new();
+    for (u, p) in layout.iter() {
+        candidates.clear();
+        grid.candidates_within(p, scan_radius, &mut candidates);
+        candidates.sort_unstable();
+        for &v in &candidates {
+            if v == u {
+                continue;
+            }
+            if channel.effective_distance(u, v, layout.distance(u, v)) <= r {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// The *symmetric* max-power reach graph: `{u, v}` iff both directions
+/// close at maximum power — the phy analogue of the paper's `G_R` and the
+/// baseline against which phy connectivity preservation is judged
+/// (CBTC's guarantee concerns bidirectional links).
+pub fn phy_reach_graph(network: &Network, channel: &PhyChannel<'_>) -> UndirectedGraph {
+    phy_reach_digraph(network, channel).symmetric_core()
+}
+
+/// [`phy_reach_graph`] restricted to the nodes where `keep` holds: edges
+/// touch only kept nodes (the phy analogue of
+/// [`cbtc_graph::unit_disk::unit_disk_graph_where`], for survivor
+/// rebuilds).
+pub fn phy_reach_graph_where<F>(
+    network: &Network,
+    channel: &PhyChannel<'_>,
+    keep: F,
+) -> UndirectedGraph
+where
+    F: Fn(NodeId) -> bool,
+{
+    let layout = network.layout();
+    let r = network.max_range();
+    let population = layout.node_ids().filter(|&u| keep(u)).count();
+    let mut grid = SpatialGrid::new(construction_cell(layout, r, population));
+    for (id, p) in layout.iter() {
+        if keep(id) {
+            grid.insert(id, p);
+        }
+    }
+    let scan_radius = r * channel.reach_boost();
+    let mut g = UndirectedGraph::new(layout.len());
+    let mut candidates = Vec::new();
+    for (u, p) in layout.iter() {
+        if !keep(u) {
+            continue;
+        }
+        candidates.clear();
+        grid.candidates_within(p, scan_radius, &mut candidates);
+        candidates.sort_unstable();
+        for &v in &candidates {
+            if v <= u {
+                continue;
+            }
+            let d = layout.distance(u, v);
+            if channel.effective_distance(u, v, d) <= r && channel.effective_distance(v, u, d) <= r
+            {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_basic, run_centralized};
+    use cbtc_geom::Point2;
+    use cbtc_graph::Layout;
+    use cbtc_radio::IdealGain;
+
+    fn scattered(count: usize, side: f64, seed: u64) -> Network {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        Network::with_paper_radio(Layout::new(
+            (0..count)
+                .map(|_| Point2::new(next() * side, next() * side))
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn ideal_channel_reproduces_run_basic_bitwise() {
+        for seed in [1, 5, 23] {
+            let network = scattered(60, 1400.0, seed);
+            let channel = PhyChannel::new(network.model(), &IdealGain);
+            for alpha in [Alpha::FIVE_PI_SIXTHS, Alpha::TWO_PI_THIRDS] {
+                let phy = run_phy_basic(&network, &channel, alpha);
+                let ideal = run_basic(&network, alpha);
+                assert_eq!(phy.views(), ideal.views(), "seed {seed}, α {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_channel_reproduces_run_centralized_bitwise() {
+        for seed in [2, 9] {
+            let network = scattered(50, 1200.0, seed);
+            let channel = PhyChannel::new(network.model(), &IdealGain);
+            for config in [
+                CbtcConfig::new(Alpha::FIVE_PI_SIXTHS),
+                CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
+                CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS),
+            ] {
+                let phy = run_phy_centralized(&network, &channel, &config);
+                let ideal = run_centralized(&network, &config);
+                assert_eq!(phy.final_graph(), ideal.final_graph(), "seed {seed}");
+                assert_eq!(phy.pairwise_removed(), ideal.pairwise_removed());
+                assert!(phy.pairwise_restored().is_empty(), "guard must be a no-op");
+                assert_eq!(phy.basic().views(), ideal.basic().views());
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_masked_matches_run_basic_masked_bitwise() {
+        let network = scattered(40, 1000.0, 7);
+        let channel = PhyChannel::new(network.model(), &IdealGain);
+        let alive: Vec<bool> = (0..network.len()).map(|i| i % 5 != 0).collect();
+        let phy = run_phy_basic_masked(&network, &channel, Alpha::TWO_PI_THIRDS, &alive);
+        let ideal = crate::run_basic_masked(&network, Alpha::TWO_PI_THIRDS, &alive);
+        assert_eq!(phy.views(), ideal.views());
+    }
+
+    #[test]
+    fn ideal_reach_graph_is_the_unit_disk() {
+        let network = scattered(40, 1200.0, 3);
+        let channel = PhyChannel::new(network.model(), &IdealGain);
+        let reach = phy_reach_graph(&network, &channel);
+        let disk = network.max_power_graph();
+        let a: Vec<_> = reach.edges().collect();
+        let b: Vec<_> = disk.edges().collect();
+        assert_eq!(a, b);
+    }
+
+    /// A deterministic asymmetric gain field for tests: u→v is attenuated
+    /// when (u+v) is odd in one direction.
+    #[derive(Debug)]
+    struct Lopsided;
+    impl LinkGain for Lopsided {
+        fn link_gain(&self, from: u64, to: u64) -> f64 {
+            if from < to {
+                0.5
+            } else {
+                1.5
+            }
+        }
+        fn max_gain(&self) -> f64 {
+            1.5
+        }
+    }
+
+    #[test]
+    fn asymmetric_gains_produce_asymmetric_reach() {
+        let network = Network::with_paper_radio(Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(450.0, 0.0),
+        ]));
+        let channel = PhyChannel::new(network.model(), &Lopsided);
+        let g = phy_reach_digraph(&network, &channel);
+        // 0→1 has gain 0.5: d_eff = 450·√2 ≈ 636 > 500, link open.
+        // 1→0 has gain 1.5: d_eff = 450/√1.5 ≈ 367 ≤ 500, link closed.
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+        // The symmetric reach graph therefore has no edge.
+        assert_eq!(phy_reach_graph(&network, &channel).edge_count(), 0);
+    }
+
+    #[test]
+    fn effective_distance_is_monotone_in_gain() {
+        let network = scattered(2, 100.0, 1);
+        let channel = PhyChannel::new(network.model(), &Lopsided);
+        let d = 300.0;
+        let attenuated = channel.effective_distance(NodeId::new(0), NodeId::new(1), d);
+        let boosted = channel.effective_distance(NodeId::new(1), NodeId::new(0), d);
+        assert!(attenuated > d, "gain < 1 must push the link out");
+        assert!(boosted < d, "gain > 1 must pull the link in");
+    }
+
+    #[test]
+    fn sensor_error_perturbs_directions_but_stays_deterministic() {
+        let network = scattered(30, 900.0, 4);
+        let noisy = DirectionSensor::with_error_bound_seeded(0.05, 9);
+        let channel = PhyChannel::new(network.model(), &IdealGain).with_sensor(noisy);
+        let a = run_phy_basic(&network, &channel, Alpha::TWO_PI_THIRDS);
+        let b = run_phy_basic(&network, &channel, Alpha::TWO_PI_THIRDS);
+        assert_eq!(a.views(), b.views(), "same sensor seed must replay");
+        let exact = run_basic(&network, Alpha::TWO_PI_THIRDS);
+        let moved = a
+            .views()
+            .iter()
+            .zip(exact.views())
+            .flat_map(|(x, y)| x.discoveries.iter().zip(&y.discoveries))
+            .any(|(x, y)| x.direction != y.direction);
+        assert!(moved, "bounded error must actually move some bearing");
+    }
+}

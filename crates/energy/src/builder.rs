@@ -1,0 +1,80 @@
+//! The lifetime engine's pluggable topology and link-reliability
+//! interfaces.
+//!
+//! [`TopologyPolicy`](crate::TopologyPolicy) covers the paper's two
+//! worlds (max power, CBTC over the ideal radio). The phy subsystem needs
+//! to run the *same* lifetime arithmetic over topologies built on a
+//! stochastic channel, and to charge energy for the retransmissions lossy
+//! links force. These two traits are that seam:
+//!
+//! * [`TopologyBuilder`] — how the network (re)builds its topology, over
+//!   everyone and over survivors;
+//! * [`LinkReliability`] — the expected number of transmission attempts a
+//!   packet needs per hop (ARQ with retransmit-until-delivered), which
+//!   multiplies both the hop's energy drains and its routing weight.
+//!
+//! [`IdealLinks`] returns the literal constant `1.0`, and multiplying by
+//! `1.0` is exact in IEEE 754 — so the default path through the lifetime
+//! engine is bit-identical to one with no reliability concept at all.
+
+use cbtc_core::Network;
+use cbtc_graph::{NodeId, UndirectedGraph};
+use cbtc_radio::Power;
+
+/// How a lifetime run builds (and rebuilds) its topology.
+///
+/// Implementations must be deterministic: both methods are pure functions
+/// of the network and the mask.
+pub trait TopologyBuilder: std::fmt::Debug + Send + Sync {
+    /// Builds the topology over the full network.
+    fn build(&self, network: &Network) -> UndirectedGraph;
+
+    /// Builds the topology over the surviving subset: a graph on the
+    /// original node set whose edges touch only nodes with `alive[i]`
+    /// true (the §4 reconfiguration step).
+    fn build_on_survivors(&self, network: &Network, alive: &[bool]) -> UndirectedGraph;
+
+    /// Whether nodes know link costs and can adapt per-packet
+    /// transmission power.
+    fn power_controlled(&self) -> bool;
+
+    /// Display label for tables and JSON output.
+    fn label(&self) -> String;
+}
+
+/// Expected transmission attempts per packet per directed link.
+///
+/// Under ARQ a packet over a link with delivery probability `p` takes
+/// `1/p` attempts in expectation; the sender pays that many
+/// transmissions and the receiver that many receptions. Implementations
+/// must be deterministic (a frozen channel) and return values `≥ 1`.
+pub trait LinkReliability: std::fmt::Debug + Send + Sync {
+    /// Expected attempts for one packet over `u → v` at `tx_power`,
+    /// where `distance` is the geometric link length. `1.0` = perfectly
+    /// reliable.
+    fn attempts(&self, u: NodeId, v: NodeId, tx_power: Power, distance: f64) -> f64;
+}
+
+/// The ideal channel: every link needs exactly one attempt.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealLinks;
+
+impl LinkReliability for IdealLinks {
+    fn attempts(&self, _u: NodeId, _v: NodeId, _tx_power: Power, _distance: f64) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_links_are_exactly_one() {
+        let r = IdealLinks;
+        assert_eq!(
+            r.attempts(NodeId::new(0), NodeId::new(1), Power::new(10.0), 42.0),
+            1.0
+        );
+    }
+}

@@ -70,16 +70,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod incremental;
 mod lifetime;
 mod model;
+pub mod phy;
 mod policy;
 mod runner;
 mod traffic;
 
+pub use builder::{IdealLinks, LinkReliability, TopologyBuilder};
 pub use incremental::{SurvivorTopology, TopologyDelta};
 pub use lifetime::{LifetimeConfig, LifetimeReport, LifetimeSim};
 pub use model::{Battery, EnergyLedger, EnergyModel};
+pub use phy::{phy_lifetime_experiment, PhyLinks, PhyPolicy};
 pub use policy::TopologyPolicy;
-pub use runner::{aggregate, lifetime_experiment, run_trials, LifetimeAggregate, Summary};
+pub use runner::{
+    aggregate, lifetime_experiment, run_trials, run_trials_with, LifetimeAggregate, Summary,
+};
 pub use traffic::{Flow, FlowGenerator, TrafficPattern};

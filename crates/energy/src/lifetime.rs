@@ -31,6 +31,8 @@
 //! rebuild-everything path (`LifetimeConfig { incremental: false, .. }`),
 //! which the equivalence tests replay against.
 
+use std::sync::Arc;
+
 use cbtc_core::Network;
 use cbtc_graph::paths::dijkstra_tree;
 use cbtc_graph::{NodeId, UndirectedGraph};
@@ -38,8 +40,8 @@ use cbtc_radio::{PathLoss, Power};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    Battery, EnergyLedger, EnergyModel, FlowGenerator, SurvivorTopology, TopologyDelta,
-    TopologyPolicy, TrafficPattern,
+    Battery, EnergyLedger, EnergyModel, FlowGenerator, IdealLinks, LinkReliability,
+    SurvivorTopology, TopologyBuilder, TopologyDelta, TopologyPolicy, TrafficPattern,
 };
 
 /// Parameters of a lifetime run.
@@ -241,18 +243,24 @@ impl RoutingTable {
     }
 }
 
-/// Looks up the cached `(tx power, hop cost)` of edge `{u, v}` in `u`'s
-/// row.
+/// Looks up the cached `(tx power, routing weight, expected attempts)` of
+/// edge `{u, v}` in `u`'s row. The weight is the attempt-scaled hop cost
+/// (with ideal links, attempts is exactly `1.0` and the weight is exactly
+/// the hop cost).
 ///
 /// # Panics
 ///
 /// Panics when the edge is not priced — i.e. not in the current topology.
-fn edge_cost(edge_costs: &[Vec<(NodeId, Power, f64)>], u: NodeId, v: NodeId) -> (Power, f64) {
+fn edge_cost(
+    edge_costs: &[Vec<(NodeId, Power, f64, f64)>],
+    u: NodeId,
+    v: NodeId,
+) -> (Power, f64, f64) {
     let row = &edge_costs[u.index()];
     let i = row
         .binary_search_by_key(&v, |e| e.0)
         .expect("edge is in the topology and therefore priced");
-    (row[i].1, row[i].2)
+    (row[i].1, row[i].2, row[i].3)
 }
 
 /// A deterministic packet-level battery simulation over one network and
@@ -273,7 +281,16 @@ fn edge_cost(edge_costs: &[Vec<(NodeId, Power, f64)>], u: NodeId, v: NodeId) -> 
 #[derive(Debug, Clone)]
 pub struct LifetimeSim {
     network: Network,
-    policy: TopologyPolicy,
+    /// How topologies are (re)built. For the classic constructor this is
+    /// the [`TopologyPolicy`] itself; [`LifetimeSim::with_builder`]
+    /// injects arbitrary builders (the phy subsystem's entry point).
+    builder: Arc<dyn TopologyBuilder>,
+    /// Expected per-link transmission attempts (ARQ). [`IdealLinks`]
+    /// multiplies by the literal `1.0` — bit-identical to no reliability
+    /// model at all.
+    reliability: Arc<dyn LinkReliability>,
+    /// Cached `builder.power_controlled()`.
+    power_controlled: bool,
     config: LifetimeConfig,
     flows: FlowGenerator,
     seed: u64,
@@ -292,9 +309,10 @@ pub struct LifetimeSim {
     /// `config.reconfigure && config.incremental`).
     reconfig: Option<SurvivorTopology>,
     routes: RoutingTable,
-    /// Per-edge `(neighbor, tx power, hop cost)` rows mirroring
-    /// `topology`'s adjacency, so the packet loop never re-prices a link.
-    edge_costs: Vec<Vec<(NodeId, Power, f64)>>,
+    /// Per-edge `(neighbor, tx power, routing weight, attempts)` rows
+    /// mirroring `topology`'s adjacency, so the packet loop never
+    /// re-prices a link.
+    edge_costs: Vec<Vec<(NodeId, Power, f64, f64)>>,
     /// Scratch buffer for the per-packet path walk.
     path_buf: Vec<NodeId>,
     /// Scratch buffer for the per-epoch flow draw.
@@ -323,15 +341,55 @@ impl LifetimeSim {
         config: LifetimeConfig,
         seed: u64,
     ) -> Self {
+        LifetimeSim::assemble(
+            network,
+            Arc::new(policy),
+            Arc::new(IdealLinks),
+            Some(policy),
+            config,
+            seed,
+        )
+    }
+
+    /// [`LifetimeSim::new`] with an injected topology builder and link
+    /// reliability — the phy subsystem's entry point.
+    ///
+    /// Generic builders cannot drive the incremental survivor machinery
+    /// (it is specific to [`TopologyPolicy`]), so reconfiguration runs
+    /// through the from-scratch rebuild path regardless of
+    /// `config.incremental`; the two paths are bit-for-bit equivalent, so
+    /// results are unaffected.
+    pub fn with_builder(
+        network: Network,
+        builder: Arc<dyn TopologyBuilder>,
+        reliability: Arc<dyn LinkReliability>,
+        config: LifetimeConfig,
+        seed: u64,
+    ) -> Self {
+        LifetimeSim::assemble(network, builder, reliability, None, config, seed)
+    }
+
+    fn assemble(
+        network: Network,
+        builder: Arc<dyn TopologyBuilder>,
+        reliability: Arc<dyn LinkReliability>,
+        survivor_policy: Option<TopologyPolicy>,
+        config: LifetimeConfig,
+        seed: u64,
+    ) -> Self {
         let n = network.len();
-        let reconfig = (config.reconfigure && config.incremental)
-            .then(|| SurvivorTopology::new(&network, policy));
+        let reconfig = match survivor_policy {
+            Some(policy) => (config.reconfigure && config.incremental)
+                .then(|| SurvivorTopology::new(&network, policy)),
+            None => None,
+        };
         let topology = match &reconfig {
             // The incremental state owns the topology; the field stays an
             // empty placeholder (every read goes through `reconfig`).
             Some(_) => UndirectedGraph::new(0),
-            None => policy.build(&network),
+            None => builder.build(&network),
         };
+        let power_controlled = builder.power_controlled();
         let mut sim = LifetimeSim {
             flows: FlowGenerator::new(config.pattern, seed),
             seed,
@@ -357,7 +415,9 @@ impl LifetimeSim {
             balance_cv_at_first_death: None,
             topology,
             network,
-            policy,
+            builder,
+            reliability,
+            power_controlled,
             config,
         };
         sim.refresh_routing_and_radii();
@@ -436,11 +496,14 @@ impl LifetimeSim {
             }
             for hop in path_buf.windows(2) {
                 let (u, v) = (hop[0], hop[1]);
-                let (tx_power, _) = edge_cost(&self.edge_costs, u, v);
-                let tx = self.batteries[u.index()].drain(energy.tx_cost(tx_power));
+                let (tx_power, _, attempts) = edge_cost(&self.edge_costs, u, v);
+                // ARQ: lossy links retransmit; sender and receiver both
+                // pay per attempt. With ideal links `attempts` is the
+                // literal 1.0 and the products are bit-exact.
+                let tx = self.batteries[u.index()].drain(attempts * energy.tx_cost(tx_power));
                 self.ledger.tx += tx;
                 self.drained[u.index()] += tx;
-                let rx = self.batteries[v.index()].drain(energy.rx_cost);
+                let rx = self.batteries[v.index()].drain(attempts * energy.rx_cost);
                 self.ledger.rx += rx;
                 self.drained[v.index()] += rx;
             }
@@ -512,7 +575,7 @@ impl LifetimeSim {
     pub fn run(mut self) -> LifetimeReport {
         while self.step() {}
         LifetimeReport {
-            policy: self.policy.label(),
+            policy: self.builder.label(),
             seed: self.seed,
             epochs_run: self.epoch,
             first_death: self.first_death,
@@ -546,7 +609,7 @@ impl LifetimeSim {
 
     fn rebuild_topology(&mut self) {
         if self.config.reconfigure {
-            self.topology = self.policy.build_on_survivors(&self.network, &self.alive);
+            self.topology = self.builder.build_on_survivors(&self.network, &self.alive);
         } else {
             // Decay only: strip edges touching the dead.
             let dead: Vec<NodeId> = self
@@ -589,8 +652,9 @@ impl LifetimeSim {
     fn refresh_node_costs_and_radius(&mut self, u: NodeId) {
         let model = *self.network.model();
         let energy = self.config.energy;
-        let power_control = self.policy.power_controlled();
+        let power_control = self.power_controlled;
         let layout = self.network.layout();
+        let reliability = &self.reliability;
         let i = u.index();
 
         let topology = self
@@ -606,7 +670,11 @@ impl LifetimeSim {
             }
             let d = layout.distance(u, v);
             let tx = energy.hop_tx_power(&model, d, power_control);
-            row.push((v, tx, energy.hop_cost(tx)));
+            // Routing minimizes *expected* energy: lossy links carry
+            // their retransmission factor in the weight, so the router
+            // prefers reliable links. Ideal links multiply by exactly 1.
+            let attempts = reliability.attempts(u, v, tx, d);
+            row.push((v, tx, attempts * energy.hop_cost(tx), attempts));
             farthest = Some(farthest.map_or(d, |a| a.max(d)));
         }
 

@@ -88,6 +88,24 @@ impl TopologyPolicy {
     }
 }
 
+impl crate::TopologyBuilder for TopologyPolicy {
+    fn build(&self, network: &Network) -> UndirectedGraph {
+        TopologyPolicy::build(self, network)
+    }
+
+    fn build_on_survivors(&self, network: &Network, alive: &[bool]) -> UndirectedGraph {
+        TopologyPolicy::build_on_survivors(self, network, alive)
+    }
+
+    fn power_controlled(&self) -> bool {
+        TopologyPolicy::power_controlled(self)
+    }
+
+    fn label(&self) -> String {
+        TopologyPolicy::label(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

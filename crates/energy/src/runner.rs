@@ -113,6 +113,24 @@ pub fn run_trials<F>(
 where
     F: Fn(u64) -> Network + Sync,
 {
+    run_trials_with(
+        make_network,
+        |network, seed| LifetimeSim::new(network, policy, config, seed),
+        seeds,
+    )
+}
+
+/// [`run_trials`] with an arbitrary per-trial simulation factory — the
+/// generalization the phy experiments use to inject
+/// [`crate::TopologyBuilder`]/[`crate::LinkReliability`] implementations.
+///
+/// `make_sim` must be deterministic in its inputs (it runs on worker
+/// threads in unspecified order; reports are returned in seed order).
+pub fn run_trials_with<F, S>(make_network: F, make_sim: S, seeds: &[u64]) -> Vec<LifetimeReport>
+where
+    F: Fn(u64) -> Network + Sync,
+    S: Fn(Network, u64) -> LifetimeSim + Sync,
+{
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -124,15 +142,14 @@ where
             .chunks(chunk_size)
             .map(|chunk| {
                 let make_network = &make_network;
+                let make_sim = &make_sim;
                 scope.spawn(move || {
                     // This fan-out already claims every core; growth-phase
                     // parallel maps inside each trial must not multiply it.
                     cbtc_core::parallel::without_nested_fan_out(|| {
                         chunk
                             .iter()
-                            .map(|&seed| {
-                                LifetimeSim::new(make_network(seed), policy, config, seed).run()
-                            })
+                            .map(|&seed| make_sim(make_network(seed), seed).run())
                             .collect::<Vec<LifetimeReport>>()
                     })
                 })

@@ -1,0 +1,158 @@
+//! Small-scale multipath fading: per-packet power gains.
+//!
+//! Where shadowing is frozen per link, multipath fading varies packet to
+//! packet: the superposition of reflected paths at the receiver adds a
+//! random amplitude per transmission. The two classical models:
+//!
+//! * **Rayleigh** — no line-of-sight component; the power gain is
+//!   exponentially distributed with mean 1 (deep fades are common);
+//! * **Rician(K)** — a line-of-sight path `K` times stronger than the
+//!   scattered energy; as `K → ∞` the channel hardens toward the ideal.
+//!
+//! Draws are deterministic in `(seed, link, packet token)` so that runs
+//! replay bit-for-bit; the token is supplied by the caller (the simulator
+//! numbers transmissions).
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{mix, unit_open};
+
+/// Floor on any fading power gain. A true Rayleigh fade can be
+/// arbitrarily deep; the floor (-40 dB) keeps logs and SINR arithmetic
+/// finite without visibly distorting the distribution.
+const FADING_FLOOR: f64 = 1e-4;
+
+/// Ceiling on any fading power gain (+13 dB), the upper-tail counterpart
+/// of the floor; it bounds the reach expansion a spatial query must cover.
+const FADING_CEIL: f64 = 20.0;
+
+/// A per-packet multipath fading model.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_phy::Fading;
+///
+/// let none = Fading::None;
+/// assert_eq!(none.packet_gain(1, 2, 99, 0), 1.0);
+///
+/// let rayleigh = Fading::Rayleigh;
+/// let g = rayleigh.packet_gain(1, 2, 99, 7);
+/// assert!(g > 0.0);
+/// assert_eq!(g, rayleigh.packet_gain(1, 2, 99, 7)); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fading {
+    /// No multipath fading: every packet gain is exactly 1.
+    None,
+    /// Rayleigh fading: power gain `~ Exp(1)`.
+    Rayleigh,
+    /// Rician fading with line-of-sight factor `k ≥ 0` (`k = 0` degrades
+    /// to Rayleigh; large `k` hardens toward no fading). Mean power 1.
+    Rician {
+        /// The K-factor: ratio of line-of-sight to scattered power.
+        k: f64,
+    },
+}
+
+impl Fading {
+    /// The per-packet power gain of the directed link for packet `token`,
+    /// drawn deterministically from `seed`.
+    pub fn packet_gain(&self, from: u64, to: u64, token: u64, seed: u64) -> f64 {
+        match *self {
+            Fading::None => 1.0,
+            Fading::Rayleigh => {
+                let u = unit_open(mix(seed, from ^ (to << 32), token, 0xFAD0));
+                (-u.ln()).clamp(FADING_FLOOR, FADING_CEIL)
+            }
+            Fading::Rician { k } => {
+                assert!(k.is_finite() && k >= 0.0, "Rician K must be ≥ 0, got {k}");
+                // Amplitude = |(ν + X) + iY| with ν² = K/(K+1) and
+                // X, Y ~ N(0, σ²), 2σ² = 1/(K+1): mean power exactly 1.
+                let nu = (k / (k + 1.0)).sqrt();
+                let sigma = (0.5 / (k + 1.0)).sqrt();
+                let x = sigma
+                    * crate::hash::clamped_normal(
+                        mix(seed, from ^ (to << 32), token, 0xFAD1),
+                        mix(seed, from ^ (to << 32), token, 0xFAD2),
+                        6.0,
+                    );
+                let y = sigma
+                    * crate::hash::clamped_normal(
+                        mix(seed, from ^ (to << 32), token, 0xFAD3),
+                        mix(seed, from ^ (to << 32), token, 0xFAD4),
+                        6.0,
+                    );
+                ((nu + x).powi(2) + y.powi(2)).clamp(FADING_FLOOR, FADING_CEIL)
+            }
+        }
+    }
+
+    /// An upper bound on [`Fading::packet_gain`].
+    pub fn max_gain(&self) -> f64 {
+        match self {
+            Fading::None => 1.0,
+            _ => FADING_CEIL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_exactly_unity() {
+        assert_eq!(Fading::None.packet_gain(1, 2, 3, 4), 1.0);
+        assert_eq!(Fading::None.max_gain(), 1.0);
+    }
+
+    #[test]
+    fn rayleigh_mean_power_is_one() {
+        let n = 20_000u64;
+        let mean = (0..n)
+            .map(|t| Fading::Rayleigh.packet_gain(1, 2, t, 9))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn rician_hardens_with_k() {
+        let spread = |fading: Fading| -> f64 {
+            let n = 5_000u64;
+            let samples: Vec<f64> = (0..n).map(|t| fading.packet_gain(1, 2, t, 9)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            (samples.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n as f64).sqrt()
+        };
+        let rayleigh = spread(Fading::Rayleigh);
+        let rician10 = spread(Fading::Rician { k: 10.0 });
+        assert!(
+            rician10 < rayleigh / 2.0,
+            "K=10 spread {rician10} vs Rayleigh {rayleigh}"
+        );
+        // Mean stays ≈ 1 regardless of K.
+        let n = 10_000u64;
+        let mean = (0..n)
+            .map(|t| Fading::Rician { k: 5.0 }.packet_gain(1, 2, t, 9))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "Rician mean {mean}");
+    }
+
+    #[test]
+    fn draws_vary_per_packet_but_replay() {
+        let f = Fading::Rayleigh;
+        assert_ne!(f.packet_gain(1, 2, 0, 9), f.packet_gain(1, 2, 1, 9));
+        assert_eq!(f.packet_gain(1, 2, 5, 9), f.packet_gain(1, 2, 5, 9));
+        assert_ne!(f.packet_gain(1, 2, 5, 9), f.packet_gain(1, 2, 5, 10));
+    }
+
+    #[test]
+    fn gains_stay_inside_clamp_band() {
+        for t in 0..2_000u64 {
+            let g = Fading::Rayleigh.packet_gain(3, 4, t, 1);
+            assert!((1e-4..=20.0).contains(&g), "gain {g}");
+        }
+    }
+}

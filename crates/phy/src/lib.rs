@@ -1,0 +1,60 @@
+//! # cbtc-phy
+//!
+//! A stochastic physical layer for the CBTC reproduction.
+//!
+//! The paper idealizes the radio as the deterministic power law
+//! `p(d) = S·dⁿ`: every link inside range succeeds and concurrent
+//! transmissions never collide. The paper's own structural results —
+//! asymmetric-edge removal preserving connectivity (§3.2) and the
+//! `α ≤ 5π/6` bound (§2) — are precisely the properties stressed when the
+//! unit-disk assumption breaks; related work (Sethu & Gerety on
+//! non-uniform path loss, Chu & Sethu on lifetime) shows non-ideal
+//! propagation is where cone-based schemes earn or lose their guarantees.
+//!
+//! This crate supplies the non-ideal channel, built entirely from
+//! **frozen deterministic fields** (pure functions of a seed and a link
+//! identity) so every run replays bit-for-bit at any thread count:
+//!
+//! * [`Shadowing`] — log-normal large-scale fading, frozen per link,
+//!   reciprocal or independently drawn per direction (genuinely
+//!   asymmetric links);
+//! * [`Fading`] — Rayleigh / Rician small-scale fading, drawn per packet;
+//! * [`PrrCurve`] — the packet-reception-rate curve over SNR margin
+//!   (hard ideal threshold, or a logistic transition region);
+//! * [`InterferenceField`] — the SINR engine: per-slot transmissions in a
+//!   spatial grid, per-receiver interference sums with a range cutoff
+//!   (output-sensitive at 10⁴+ nodes);
+//! * [`PhyProfile`] — the serializable description every consumer
+//!   (simulator, construction, lifetime engine, benchmarks) configures
+//!   itself from.
+//!
+//! The σ = 0 / perfect-PRR configuration ([`PhyProfile::ideal`]) is
+//! **exactly** the paper's radio: every gain is the literal constant
+//! `1.0` and thresholds compare identically, so the phy pipeline
+//! reproduces the ideal-radio code path bit for bit — the equivalence the
+//! workspace's property tests pin down.
+//!
+//! # Paper map
+//!
+//! | item | relation to the paper |
+//! |------|------------------------|
+//! | [`Shadowing`], [`Fading`] | beyond the paper: replaces §1's `p(d) = S·dⁿ` with a stochastic channel (Rappaport's log-normal + Rayleigh/Rician models) |
+//! | [`PrrCurve`] | beyond the paper: softens §2's reception set `{v : p(d(u,v)) ≤ p}` into a delivery probability |
+//! | [`InterferenceField`] | beyond the paper: §2 assumes collision-free broadcast; this adds SINR-based loss |
+//! | [`PhyProfile::ideal`] | §1–§2's radio exactly (the bit-identical baseline) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fading;
+pub mod hash;
+mod profile;
+mod prr;
+mod shadowing;
+mod sinr;
+
+pub use fading::Fading;
+pub use profile::{CsmaProfile, InterferenceProfile, PhyProfile, StochasticChannel};
+pub use prr::PrrCurve;
+pub use shadowing::{Shadowing, ShadowingMode, SHADOWING_CLAMP_SIGMAS};
+pub use sinr::InterferenceField;

@@ -1,0 +1,209 @@
+//! Log-normal shadowing: the frozen per-link gain field.
+//!
+//! Large-scale fading by obstacles multiplies each link's received power
+//! by a factor that is log-normally distributed across links — the
+//! standard model (Rappaport): `gain_dB ~ N(0, σ²)` with σ typically
+//! 4–12 dB outdoors. Crucially the factor is *frozen*: the obstacle field
+//! does not change during a run, so the gain is a deterministic function
+//! of the link identity and a seed, not a per-packet draw.
+//!
+//! Two reciprocity modes:
+//!
+//! * [`ShadowingMode::Reciprocal`] — `gain(u→v) = gain(v→u)`, the
+//!   physical default for a static channel (reciprocity theorem);
+//! * [`ShadowingMode::Independent`] — the two directions draw
+//!   independently, producing genuinely **asymmetric links**. This is the
+//!   regime that stresses CBTC's asymmetric-edge-removal optimization
+//!   (§3.2): a node may hear a neighbor it cannot reach back.
+
+use cbtc_radio::LinkGain;
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{clamped_normal, mix};
+
+/// Truncation of the shadowing normal, in standard deviations. Keeps
+/// every gain inside a finite band so spatial queries can bound their
+/// search radius; the discarded tail mass is < 0.2%.
+pub const SHADOWING_CLAMP_SIGMAS: f64 = 3.2;
+
+/// Whether the two directions of a link share one shadowing draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShadowingMode {
+    /// One draw per unordered pair: `gain(u→v) = gain(v→u)`.
+    Reciprocal,
+    /// Independent draws per ordered pair: links are asymmetric.
+    Independent,
+}
+
+/// A frozen log-normal shadowing field over directed links.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_phy::{Shadowing, ShadowingMode};
+/// use cbtc_radio::LinkGain;
+///
+/// let field = Shadowing::new(6.0, ShadowingMode::Reciprocal, 42);
+/// let g = field.link_gain(3, 9);
+/// assert_eq!(g, field.link_gain(9, 3)); // reciprocal
+/// assert!(g > 0.0 && g <= field.max_gain());
+///
+/// // σ = 0 is *exactly* the ideal radio.
+/// let ideal = Shadowing::new(0.0, ShadowingMode::Independent, 42);
+/// assert_eq!(ideal.link_gain(3, 9), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shadowing {
+    sigma_db: f64,
+    mode: ShadowingMode,
+    seed: u64,
+}
+
+impl Shadowing {
+    /// Creates a shadowing field with standard deviation `sigma_db`
+    /// (decibels) in the given reciprocity mode, frozen at `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma_db` is finite and non-negative.
+    pub fn new(sigma_db: f64, mode: ShadowingMode, seed: u64) -> Self {
+        assert!(
+            sigma_db.is_finite() && sigma_db >= 0.0,
+            "shadowing σ must be finite and non-negative, got {sigma_db}"
+        );
+        Shadowing {
+            sigma_db,
+            mode,
+            seed,
+        }
+    }
+
+    /// The ideal field: σ = 0, every gain exactly 1.
+    pub fn ideal() -> Self {
+        Shadowing::new(0.0, ShadowingMode::Reciprocal, 0)
+    }
+
+    /// The standard deviation in dB.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// The reciprocity mode.
+    pub fn mode(&self) -> ShadowingMode {
+        self.mode
+    }
+
+    /// The seed the field is frozen at.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shadowing deviation of the directed link in dB (the normal
+    /// draw scaled by σ, before conversion to a linear gain).
+    pub fn deviation_db(&self, from: u64, to: u64) -> f64 {
+        if self.sigma_db == 0.0 {
+            return 0.0;
+        }
+        let (a, b) = match self.mode {
+            ShadowingMode::Reciprocal => (from.min(to), from.max(to)),
+            ShadowingMode::Independent => (from, to),
+        };
+        let z = clamped_normal(
+            mix(self.seed, a, b, 0x5AD0),
+            mix(self.seed, a, b, 0x5AD1),
+            SHADOWING_CLAMP_SIGMAS,
+        );
+        self.sigma_db * z
+    }
+
+    /// The smallest gain the field can produce.
+    pub fn min_gain(&self) -> f64 {
+        if self.sigma_db == 0.0 {
+            1.0
+        } else {
+            10f64.powf(-self.sigma_db * SHADOWING_CLAMP_SIGMAS / 10.0)
+        }
+    }
+}
+
+impl LinkGain for Shadowing {
+    fn link_gain(&self, from: u64, to: u64) -> f64 {
+        if self.sigma_db == 0.0 {
+            return 1.0;
+        }
+        10f64.powf(self.deviation_db(from, to) / 10.0)
+    }
+
+    fn max_gain(&self) -> f64 {
+        if self.sigma_db == 0.0 {
+            1.0
+        } else {
+            10f64.powf(self.sigma_db * SHADOWING_CLAMP_SIGMAS / 10.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_zero_is_exactly_ideal() {
+        let s = Shadowing::ideal();
+        for (a, b) in [(0u64, 1u64), (5, 2), (1000, 1000)] {
+            assert_eq!(s.link_gain(a, b), 1.0);
+        }
+        assert_eq!(s.max_gain(), 1.0);
+        assert_eq!(s.min_gain(), 1.0);
+    }
+
+    #[test]
+    fn reciprocal_mode_is_symmetric() {
+        let s = Shadowing::new(8.0, ShadowingMode::Reciprocal, 3);
+        for i in 0..100u64 {
+            assert_eq!(s.link_gain(i, i + 7), s.link_gain(i + 7, i));
+        }
+    }
+
+    #[test]
+    fn independent_mode_is_asymmetric() {
+        let s = Shadowing::new(8.0, ShadowingMode::Independent, 3);
+        let asymmetric = (0..100u64).filter(|&i| s.link_gain(i, i + 7) != s.link_gain(i + 7, i));
+        assert!(asymmetric.count() > 90, "directions should rarely collide");
+    }
+
+    #[test]
+    fn gains_respect_bounds_and_determinism() {
+        let s = Shadowing::new(6.0, ShadowingMode::Independent, 11);
+        for i in 0..500u64 {
+            let g = s.link_gain(i, i + 1);
+            assert!(g >= s.min_gain() && g <= s.max_gain(), "gain {g}");
+            assert_eq!(g, s.link_gain(i, i + 1));
+        }
+    }
+
+    #[test]
+    fn deviation_statistics_match_sigma() {
+        let sigma = 6.0;
+        let s = Shadowing::new(sigma, ShadowingMode::Independent, 5);
+        let n = 10_000u64;
+        let devs: Vec<f64> = (0..n).map(|i| s.deviation_db(i, i + 13)).collect();
+        let mean = devs.iter().sum::<f64>() / n as f64;
+        let std = (devs.iter().map(|d| d * d).sum::<f64>() / n as f64).sqrt();
+        assert!(mean.abs() < 0.2, "mean {mean} dB");
+        assert!((std - sigma).abs() < 0.2, "std {std} dB vs σ {sigma}");
+    }
+
+    #[test]
+    fn seeds_select_different_fields() {
+        let a = Shadowing::new(6.0, ShadowingMode::Reciprocal, 1);
+        let b = Shadowing::new(6.0, ShadowingMode::Reciprocal, 2);
+        assert!((0..50u64).any(|i| a.link_gain(i, i + 1) != b.link_gain(i, i + 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "shadowing σ")]
+    fn negative_sigma_rejected() {
+        let _ = Shadowing::new(-1.0, ShadowingMode::Reciprocal, 0);
+    }
+}

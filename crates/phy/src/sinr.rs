@@ -1,0 +1,292 @@
+//! The SINR interference engine: per-receiver interference sums over the
+//! transmissions of one slot.
+//!
+//! When several nodes transmit in the same slot, each receiver sees the
+//! others' energy as noise: a packet is decoded when its
+//! signal-to-interference-plus-noise ratio clears the receiver threshold,
+//! i.e. when `signal ≥ S + ΣI` — equivalently, interference raises the
+//! effective threshold by the *relative interference* `ΣI / S`.
+//!
+//! [`InterferenceField`] holds the transmissions of one slot in a
+//! [`SpatialGrid`] keyed by transmission index, so a receiver's sum only
+//! visits transmitters within the configured interference cutoff — the
+//! query stays output-sensitive at 10⁴+ nodes exactly like broadcast
+//! delivery does. Energy from beyond the cutoff (bounded by
+//! `reception_power(P, cutoff)` per transmitter) is ignored, the standard
+//! bounded-interference approximation.
+
+use cbtc_geom::Point2;
+use cbtc_graph::{NodeId, SpatialGrid};
+use cbtc_radio::{LinkGain, PathLoss, Power};
+
+/// One registered transmission.
+#[derive(Debug, Clone, Copy)]
+struct Transmission {
+    origin: NodeId,
+    position: Point2,
+    power: Power,
+}
+
+/// The concurrent transmissions of one slot, spatially indexed for
+/// output-sensitive per-receiver interference queries.
+///
+/// The grid buckets *transmission indices* (not node IDs): a node that
+/// transmits twice in one slot contributes twice, and exclusion is by
+/// origin node at query time.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::Point2;
+/// use cbtc_graph::NodeId;
+/// use cbtc_phy::InterferenceField;
+/// use cbtc_radio::{IdealGain, Power, PowerLaw};
+///
+/// let model = PowerLaw::paper_default();
+/// let mut field = InterferenceField::new(500.0);
+/// field.register(NodeId::new(0), Point2::new(0.0, 0.0), Power::new(250_000.0));
+/// field.register(NodeId::new(1), Point2::new(100.0, 0.0), Power::new(250_000.0));
+///
+/// // Node 1's packet at receiver node 2, 50 units away, suffers node 0's
+/// // energy.
+/// let rel = field.relative_interference(
+///     &model, Point2::new(150.0, 0.0), NodeId::new(2), NodeId::new(1), 1000.0, &IdealGain);
+/// assert!(rel > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterferenceField {
+    grid: SpatialGrid,
+    transmissions: Vec<Transmission>,
+    scratch: Vec<NodeId>,
+}
+
+impl InterferenceField {
+    /// Creates an empty field whose spatial index uses square cells of
+    /// side `cell` (pick the dominant query radius, typically the
+    /// interference cutoff or the radio range).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell` is positive and finite.
+    pub fn new(cell: f64) -> Self {
+        InterferenceField {
+            grid: SpatialGrid::new(cell),
+            transmissions: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of registered transmissions.
+    pub fn len(&self) -> usize {
+        self.transmissions.len()
+    }
+
+    /// Whether the slot holds no transmissions.
+    pub fn is_empty(&self) -> bool {
+        self.transmissions.is_empty()
+    }
+
+    /// Forgets all transmissions (start of a new slot). Keeps allocations.
+    pub fn clear(&mut self) {
+        for (i, t) in self.transmissions.iter().enumerate() {
+            self.grid.remove(NodeId::new(i as u32), t.position);
+        }
+        self.transmissions.clear();
+    }
+
+    /// Registers a transmission by `origin` from `position` at `power`.
+    pub fn register(&mut self, origin: NodeId, position: Point2, power: Power) {
+        let index = NodeId::new(self.transmissions.len() as u32);
+        self.grid.insert(index, position);
+        self.transmissions.push(Transmission {
+            origin,
+            position,
+            power,
+        });
+    }
+
+    /// Whether any transmission by a node other than `origin` was
+    /// registered within `cs_range` of `position` — the carrier-sense
+    /// predicate of a listen-before-talk MAC.
+    pub fn carrier_busy(&mut self, position: Point2, origin: NodeId, cs_range: f64) -> bool {
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
+        self.grid
+            .candidates_within(position, cs_range, &mut candidates);
+        let r2 = cs_range * cs_range;
+        let busy = candidates.iter().any(|&i| {
+            let t = &self.transmissions[i.index()];
+            t.origin != origin && t.position.distance_squared(position) <= r2
+        });
+        self.scratch = candidates;
+        busy
+    }
+
+    /// The relative interference `ΣI / S` seen by `receiver` (at
+    /// `position`) for a packet whose wanted sender is `sender` — the sum
+    /// over every other slot transmission within `cutoff` of its received
+    /// power (after path loss and the interferer→receiver link gain),
+    /// divided by the model's sensitivity.
+    ///
+    /// The receiver's own node is not excluded from the sum — if it
+    /// transmitted in this slot, its own near-field energy drowns any
+    /// reception, which is exactly half-duplex behaviour — only the
+    /// wanted packet's sender is.
+    pub fn relative_interference<M: PathLoss>(
+        &mut self,
+        model: &M,
+        position: Point2,
+        receiver: NodeId,
+        sender: NodeId,
+        cutoff: f64,
+        gain: &dyn LinkGain,
+    ) -> f64 {
+        if self.transmissions.is_empty() {
+            return 0.0;
+        }
+        let sensitivity = model
+            .reception_power(model.max_power(), model.max_range())
+            .linear();
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
+        self.grid
+            .candidates_within(position, cutoff, &mut candidates);
+        // Deterministic accumulation order regardless of grid internals.
+        candidates.sort_unstable();
+        let r2 = cutoff * cutoff;
+        let mut sum = 0.0;
+        for &i in &candidates {
+            let t = &self.transmissions[i.index()];
+            if t.origin == sender {
+                continue;
+            }
+            let d2 = t.position.distance_squared(position);
+            if d2 > r2 {
+                continue;
+            }
+            let d = d2.sqrt();
+            let rx = model.reception_power(t.power, d).linear();
+            sum += rx * gain.link_gain(t.origin.raw() as u64, receiver.raw() as u64);
+        }
+        self.scratch = candidates;
+        if sensitivity > 0.0 {
+            sum / sensitivity
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbtc_radio::{IdealGain, PowerLaw};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn empty_field_is_silent() {
+        let model = PowerLaw::paper_default();
+        let mut f = InterferenceField::new(500.0);
+        assert!(f.is_empty());
+        assert_eq!(
+            f.relative_interference(&model, Point2::new(0.0, 0.0), n(9), n(0), 1e4, &IdealGain),
+            0.0
+        );
+        assert!(!f.carrier_busy(Point2::new(0.0, 0.0), n(0), 1e4));
+    }
+
+    #[test]
+    fn sum_matches_brute_force() {
+        let model = PowerLaw::paper_default();
+        let mut f = InterferenceField::new(500.0);
+        let txs = [
+            (0u32, Point2::new(0.0, 0.0), 250_000.0),
+            (1, Point2::new(300.0, 100.0), 90_000.0),
+            (2, Point2::new(-200.0, 50.0), 40_000.0),
+            (3, Point2::new(900.0, 900.0), 250_000.0),
+        ];
+        for &(id, p, pw) in &txs {
+            f.register(n(id), p, Power::new(pw));
+        }
+        let receiver = Point2::new(100.0, 0.0);
+        let cutoff = 5_000.0;
+        let got = f.relative_interference(&model, receiver, n(8), n(1), cutoff, &IdealGain);
+        let want: f64 = txs
+            .iter()
+            .filter(|&&(id, _, _)| id != 1)
+            .map(|&(_, p, pw)| {
+                model
+                    .reception_power(Power::new(pw), p.distance_squared(receiver).sqrt())
+                    .linear()
+            })
+            .sum::<f64>()
+            / 1.0; // sensitivity S = 1 under the paper radio
+        assert!((got - want).abs() < 1e-9 * want.max(1.0), "{got} vs {want}");
+    }
+
+    #[test]
+    fn cutoff_excludes_far_transmitters() {
+        let model = PowerLaw::paper_default();
+        let mut f = InterferenceField::new(500.0);
+        f.register(n(0), Point2::new(0.0, 0.0), Power::new(250_000.0));
+        f.register(n(1), Point2::new(10_000.0, 0.0), Power::new(250_000.0));
+        let rx = Point2::new(100.0, 0.0);
+        let near_only = f.relative_interference(&model, rx, n(8), n(9), 1_000.0, &IdealGain);
+        let with_far = f.relative_interference(&model, rx, n(8), n(9), 20_000.0, &IdealGain);
+        assert!(with_far > near_only, "far transmitter must be cut off");
+    }
+
+    #[test]
+    fn gain_is_evaluated_on_the_interferer_to_receiver_link() {
+        /// Attenuates only links *into* node 7 by 10×.
+        #[derive(Debug)]
+        struct Into7Quiet;
+        impl LinkGain for Into7Quiet {
+            fn link_gain(&self, _from: u64, to: u64) -> f64 {
+                if to == 7 {
+                    0.1
+                } else {
+                    1.0
+                }
+            }
+        }
+        let model = PowerLaw::paper_default();
+        let mut f = InterferenceField::new(500.0);
+        f.register(n(0), Point2::new(0.0, 0.0), Power::new(40_000.0));
+        let rx_pos = Point2::new(100.0, 0.0);
+        let loud = f.relative_interference(&model, rx_pos, n(8), n(1), 1_000.0, &Into7Quiet);
+        let quiet = f.relative_interference(&model, rx_pos, n(7), n(1), 1_000.0, &Into7Quiet);
+        assert!(
+            (quiet - loud * 0.1).abs() < 1e-12,
+            "interference must pass through the interferer→receiver gain: {quiet} vs {loud}"
+        );
+    }
+
+    #[test]
+    fn carrier_sense_and_clear() {
+        let mut f = InterferenceField::new(500.0);
+        f.register(n(0), Point2::new(0.0, 0.0), Power::new(1_000.0));
+        // Own transmission does not make the carrier busy for its origin.
+        assert!(!f.carrier_busy(Point2::new(10.0, 0.0), n(0), 100.0));
+        assert!(f.carrier_busy(Point2::new(10.0, 0.0), n(1), 100.0));
+        assert!(!f.carrier_busy(Point2::new(500.0, 0.0), n(1), 100.0));
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.carrier_busy(Point2::new(10.0, 0.0), n(1), 100.0));
+    }
+
+    #[test]
+    fn double_transmission_by_one_node_counts_twice() {
+        let model = PowerLaw::paper_default();
+        let mut f = InterferenceField::new(500.0);
+        f.register(n(0), Point2::new(0.0, 0.0), Power::new(40_000.0));
+        f.register(n(0), Point2::new(0.0, 0.0), Power::new(40_000.0));
+        let rx = Point2::new(100.0, 0.0);
+        let one = model.reception_power(Power::new(40_000.0), 100.0).linear();
+        let got = f.relative_interference(&model, rx, n(8), n(9), 1_000.0, &IdealGain);
+        assert!((got - 2.0 * one).abs() < 1e-9);
+    }
+}

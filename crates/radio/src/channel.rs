@@ -1,0 +1,125 @@
+//! Stochastic-channel trait extensions: per-link gains and packet
+//! reception rates.
+//!
+//! The paper's radio is the deterministic power law `p(d) = S·dⁿ`: every
+//! link inside range succeeds, every link outside fails. Real channels
+//! deviate in two ways the topology-control literature cares about
+//! (Sethu & Gerety's non-uniform path loss; Chu & Sethu's lifetime work):
+//!
+//! * **per-link gain** — shadowing by obstacles multiplies the received
+//!   power by a link-specific factor that is *frozen in time* (the
+//!   obstacle does not move) but varies across links, and may differ per
+//!   direction (different antenna environments at the two ends);
+//! * **soft reception** — near the sensitivity threshold, delivery is
+//!   probabilistic rather than a hard cut.
+//!
+//! [`LinkGain`] and [`Prr`] abstract exactly those two deviations, so the
+//! simulator and the construction pipeline can be written once and run
+//! against the ideal radio ([`IdealGain`] + [`PerfectPrr`], reproducing
+//! the paper's model bit for bit) or against the stochastic models of the
+//! `cbtc-phy` crate.
+
+use std::fmt::Debug;
+
+/// A frozen per-link power-gain field on top of deterministic path loss.
+///
+/// `link_gain(u, v)` multiplies the power received at `v` from `u`. The
+/// field must be **deterministic**: repeated queries of the same directed
+/// link return the same factor (a frozen shadowing environment), which is
+/// what makes runs reproducible and lets construction and simulation see
+/// the same world.
+pub trait LinkGain: Debug {
+    /// The power-gain multiplier of the directed link `from → to`
+    /// (`1.0` = exactly the deterministic path-loss model).
+    fn link_gain(&self, from: u64, to: u64) -> f64;
+
+    /// A finite upper bound on [`LinkGain::link_gain`] over all links,
+    /// used to bound spatial queries (a transmission can reach at most
+    /// `range(p · max_gain)`).
+    fn max_gain(&self) -> f64 {
+        1.0
+    }
+
+    /// The per-packet (fast-fading) power gain for the directed link,
+    /// deterministic in the packet `token`. `1.0` = no multipath fading.
+    fn packet_gain(&self, from: u64, to: u64, token: u64) -> f64 {
+        let _ = (from, to, token);
+        1.0
+    }
+
+    /// A finite upper bound on [`LinkGain::packet_gain`].
+    fn max_packet_gain(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A packet-reception-rate curve: the probability a packet is decoded
+/// given its received signal and the power the channel requires.
+///
+/// Both values arrive un-divided so that implementations with hard
+/// cutoffs (notably [`PerfectPrr`]) can compare them exactly — `signal ≥
+/// threshold` reproduces the paper's reception set `p(d) ≤ p` without a
+/// floating-point division in between. Interference raises `threshold`
+/// (an SINR requirement is a higher effective noise floor).
+pub trait Prr: Debug {
+    /// Probability in `[0, 1]` that a packet with received signal budget
+    /// `signal` is decoded when the channel requires `threshold`.
+    /// Implementations must return exactly `1.0` / `0.0` where delivery
+    /// is certain / impossible, so callers can skip random draws.
+    fn delivery_probability(&self, signal: f64, threshold: f64) -> f64;
+}
+
+/// The ideal channel: every link gain is exactly 1 (the paper's radio).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdealGain;
+
+impl LinkGain for IdealGain {
+    fn link_gain(&self, _from: u64, _to: u64) -> f64 {
+        1.0
+    }
+}
+
+/// The ideal reception curve: a hard threshold at `signal ≥ threshold`,
+/// reproducing the unit-disk reception set exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PerfectPrr;
+
+impl Prr for PerfectPrr {
+    fn delivery_probability(&self, signal: f64, threshold: f64) -> f64 {
+        if signal >= threshold {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_gain_is_unity() {
+        let g = IdealGain;
+        assert_eq!(g.link_gain(3, 9), 1.0);
+        assert_eq!(g.max_gain(), 1.0);
+        assert_eq!(g.packet_gain(3, 9, 42), 1.0);
+        assert_eq!(g.max_packet_gain(), 1.0);
+    }
+
+    #[test]
+    fn perfect_prr_is_a_step() {
+        let p = PerfectPrr;
+        assert_eq!(p.delivery_probability(2.0, 1.0), 1.0);
+        assert_eq!(p.delivery_probability(1.0, 1.0), 1.0);
+        assert_eq!(p.delivery_probability(0.999_999, 1.0), 0.0);
+    }
+
+    #[test]
+    fn traits_are_object_safe() {
+        let g: &dyn LinkGain = &IdealGain;
+        let p: &dyn Prr = &PerfectPrr;
+        assert_eq!(g.link_gain(0, 1), 1.0);
+        assert_eq!(p.delivery_probability(5.0, 1.0), 1.0);
+    }
+}

@@ -32,15 +32,18 @@
 //! | [`PowerSchedule`] | Figure 1's `Increase` with the default `Increase(p) = 2p` |
 //! | [`estimate_required_power`] | §2's reception-power estimate of `p(d(u, v))` |
 //! | [`DirectionSensor`] | §2's angle-of-arrival assumption (exact or bounded-error) |
+//! | [`LinkGain`], [`Prr`] | beyond the paper: the stochastic-channel interface (`cbtc-phy` supplies shadowing/fading/PRR implementations; [`IdealGain`] + [`PerfectPrr`] reproduce the paper's radio) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod channel;
 mod pathloss;
 mod power;
 mod schedule;
 mod sensing;
 
+pub use channel::{IdealGain, LinkGain, PerfectPrr, Prr};
 pub use pathloss::{InvalidModelError, PathLoss, PowerLaw};
 pub use power::Power;
 pub use schedule::{PowerSchedule, ScheduleKind};

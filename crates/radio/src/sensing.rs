@@ -13,10 +13,13 @@ use serde::{Deserialize, Serialize};
 
 /// An angle-of-arrival sensor with an optional bounded error.
 ///
-/// The error model is a deterministic, per-(sensor, link) perturbation
-/// uniformly distributed in `[-max_error, +max_error]`, derived by hashing
-/// the link identity — so repeated readings of the same link are
-/// consistent (a real antenna array's bias), and results are reproducible.
+/// The error model is a deterministic, per-(seed, sender, receiver)
+/// perturbation uniformly distributed in `[-max_error, +max_error]`,
+/// derived by hashing the link identity together with the sensor's seed —
+/// so repeated readings of the same link are consistent (a real antenna
+/// array's bias), results are reproducible regardless of execution order
+/// or thread count, and distinct seeds produce statistically independent
+/// error fields for multi-trial robustness experiments.
 ///
 /// # Example
 ///
@@ -30,30 +33,50 @@ use serde::{Deserialize, Serialize};
 /// let e = noisy.perturbation(1, 2);
 /// assert!(e.abs() <= 0.05);
 /// assert_eq!(e, noisy.perturbation(1, 2)); // consistent per link
+///
+/// // Different seeds give different (but equally bounded) error fields.
+/// let reseeded = DirectionSensor::with_error_bound_seeded(0.05, 7);
+/// assert_ne!(e, reseeded.perturbation(1, 2));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DirectionSensor {
     max_error: f64,
+    seed: u64,
 }
 
 impl DirectionSensor {
     /// A sensor with perfect angle-of-arrival estimation (the paper's
     /// model).
     pub fn exact() -> Self {
-        DirectionSensor { max_error: 0.0 }
+        DirectionSensor {
+            max_error: 0.0,
+            seed: 0,
+        }
     }
 
-    /// A sensor whose estimates err by at most `max_error` radians.
+    /// A sensor whose estimates err by at most `max_error` radians, with
+    /// the default error field (seed 0).
     ///
     /// # Panics
     ///
     /// Panics if `max_error` is negative or not finite.
     pub fn with_error_bound(max_error: f64) -> Self {
+        DirectionSensor::with_error_bound_seeded(max_error, 0)
+    }
+
+    /// A sensor whose estimates err by at most `max_error` radians, with
+    /// the error field drawn from `seed`. Two sensors with equal
+    /// `(max_error, seed)` read identically on every link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_error` is negative or not finite.
+    pub fn with_error_bound_seeded(max_error: f64, seed: u64) -> Self {
         assert!(
             max_error.is_finite() && max_error >= 0.0,
             "direction error bound must be finite and non-negative, got {max_error}"
         );
-        DirectionSensor { max_error }
+        DirectionSensor { max_error, seed }
     }
 
     /// The configured maximum error, in radians.
@@ -61,17 +84,27 @@ impl DirectionSensor {
         self.max_error
     }
 
+    /// The seed of the per-link error field.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The angular perturbation this sensor applies when node `observer`
     /// measures the bearing of node `source`, in radians within
     /// `[-max_error, +max_error]`.
+    ///
+    /// A pure function of `(seed, observer, source)` — never of call
+    /// order — so parallel runs are reproducible at any thread count.
     pub fn perturbation(&self, observer: u64, source: u64) -> f64 {
         if self.max_error == 0.0 {
             return 0.0;
         }
-        // SplitMix64 over the link identity: cheap, stateless, reproducible.
+        // SplitMix64 over the seeded link identity: cheap, stateless,
+        // reproducible. Seed 0 reproduces the historical unseeded field.
         let mut z = observer
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(source.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(self.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93))
             .wrapping_add(0x94D0_49BB_1331_11EB);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -138,5 +171,30 @@ mod tests {
     #[should_panic(expected = "error bound")]
     fn negative_bound_rejected() {
         let _ = DirectionSensor::with_error_bound(-0.1);
+    }
+
+    #[test]
+    fn seeds_select_independent_error_fields() {
+        let a = DirectionSensor::with_error_bound_seeded(0.1, 1);
+        let b = DirectionSensor::with_error_bound_seeded(0.1, 2);
+        assert_eq!(a.seed(), 1);
+        // Same seed → identical field; different seed → a different field
+        // on at least one link (overwhelmingly, on most links).
+        let a2 = DirectionSensor::with_error_bound_seeded(0.1, 1);
+        let differs = (0..50u64).any(|i| a.perturbation(i, i + 1) != b.perturbation(i, i + 1));
+        assert!(differs, "seeds 1 and 2 produced identical fields");
+        for i in 0..50u64 {
+            assert_eq!(a.perturbation(i, i + 1), a2.perturbation(i, i + 1));
+            assert!(b.perturbation(i, i + 1).abs() <= 0.1);
+        }
+    }
+
+    #[test]
+    fn default_seed_matches_unseeded_constructor() {
+        let unseeded = DirectionSensor::with_error_bound(0.2);
+        let seeded = DirectionSensor::with_error_bound_seeded(0.2, 0);
+        for (a, b) in [(0u64, 1u64), (7, 3), (100, 250)] {
+            assert_eq!(unseeded.perturbation(a, b), seeded.perturbation(a, b));
+        }
     }
 }

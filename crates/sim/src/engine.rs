@@ -1,14 +1,65 @@
 //! The discrete-event simulation engine.
 
+use std::collections::BTreeMap;
+
 use cbtc_geom::Angle;
 use cbtc_graph::{Layout, NodeId, SpatialGrid};
-use cbtc_radio::{DirectionSensor, PathLoss, Power};
+use cbtc_phy::{InterferenceField, InterferenceProfile, PhyProfile};
+use cbtc_radio::{DirectionSensor, LinkGain, PathLoss, Power, Prr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::event::{EventKind, EventQueue};
 use crate::runtime::{Command, Context, Incoming, Node};
 use crate::{FaultConfig, SimTime, TraceStats};
+
+/// Hard cap on the broadcast reach expansion a lossy profile can demand,
+/// as a multiple of the deterministic maximum range `R`. A candidate
+/// beyond it would need a combined shadowing + fading + PRR-tail gain
+/// above `REACH_FACTOR_CAP²ⁿ` in power (≈ +24 dB at n = 2) merely to hit
+/// the PRR floor — the bounded-reach approximation that keeps broadcasts
+/// output-sensitive under heavy shadowing profiles.
+const REACH_FACTOR_CAP: f64 = 4.0;
+
+/// The installed physical-layer pipeline: stochastic channel, reception
+/// curve, and the optional SINR/CSMA machinery with its per-slot
+/// transmission registry.
+///
+/// Everything here draws from fields frozen at [`Engine::set_phy`] time
+/// (the channel) or from the dedicated phy RNG (PRR coins, backoff), so
+/// installing a phy never perturbs the fault RNG stream — with the
+/// [`PhyProfile::ideal`] profile the run is bit-identical to no phy at
+/// all.
+#[derive(Debug)]
+struct PhyState {
+    profile: PhyProfile,
+    channel: cbtc_phy::StochasticChannel,
+    rng: StdRng,
+    /// Per-transmission fading token (transmission counter).
+    token: u64,
+    /// Slot start-time → that slot's transmissions, kept while deliveries
+    /// from the slot can still arrive. Only populated when interference
+    /// or CSMA is configured.
+    slots: BTreeMap<u64, InterferenceField>,
+    /// Cleared fields of pruned slots, recycled so steady-state ticks
+    /// allocate nothing.
+    field_pool: Vec<InterferenceField>,
+    /// Cell side for newly created slot fields.
+    field_cell: f64,
+}
+
+impl PhyState {
+    fn tracks_slots(&self) -> bool {
+        self.profile.interference.is_some() || self.profile.csma.is_some()
+    }
+
+    /// The combined worst-case factor by which gains and the PRR floor
+    /// can extend a transmission's reach beyond the deterministic range.
+    fn reach_expansion(&self) -> f64 {
+        self.channel.max_gain() * self.channel.max_packet_gain()
+            / self.profile.prr.min_viable_ratio()
+    }
+}
 
 /// Outcome of [`Engine::run_to_quiescence`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +134,8 @@ pub struct Engine<P: Node, M: PathLoss> {
     started: Vec<bool>,
     time: SimTime,
     stats: TraceStats,
+    /// The stochastic physical layer, when installed ([`Engine::set_phy`]).
+    phy: Option<PhyState>,
 }
 
 impl<P: Node, M: PathLoss> Engine<P, M> {
@@ -135,12 +188,51 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
             started: vec![false; n],
             time: SimTime::ZERO,
             stats: TraceStats::new(n),
+            phy: None,
         }
     }
 
     /// Replaces the angle-of-arrival sensor (default: exact).
     pub fn set_sensor(&mut self, sensor: DirectionSensor) {
         self.sensor = sensor;
+    }
+
+    /// Installs a stochastic physical layer: per-link shadowing gains,
+    /// per-packet fading, a PRR curve, and (per the profile) SINR
+    /// interference between same-slot transmissions plus slotted-CSMA
+    /// listen-before-talk. Install before the first event is processed.
+    ///
+    /// With [`PhyProfile::ideal`] the run is **bit-identical** to an
+    /// engine without a phy: every gain is the constant `1.0`, the hard
+    /// PRR threshold reproduces the `p(d) ≤ p` reception set exactly, and
+    /// no extra RNG draws occur.
+    ///
+    /// Half-duplex falls out of the SINR sum: a node that transmitted in
+    /// a slot sees its own (near-field, enormous) energy as interference
+    /// on anything it would receive in that slot.
+    pub fn set_phy(&mut self, profile: PhyProfile) {
+        if profile.aoa_error > 0.0 {
+            self.sensor = profile.sensor();
+        }
+        let cutoff_factor = profile
+            .interference
+            .map(|i| i.range_factor)
+            .unwrap_or(1.0)
+            .max(profile.csma.map(|c| c.cs_range_factor).unwrap_or(1.0));
+        self.phy = Some(PhyState {
+            channel: profile.channel(),
+            rng: StdRng::seed_from_u64(profile.seed ^ 0x5EED_F1E1),
+            token: 0,
+            slots: BTreeMap::new(),
+            field_pool: Vec::new(),
+            field_cell: (cutoff_factor * self.model.max_range()).max(1.0),
+            profile,
+        });
+    }
+
+    /// The installed phy profile, if any.
+    pub fn phy_profile(&self) -> Option<&PhyProfile> {
+        self.phy.as_ref().map(|p| &p.profile)
     }
 
     /// Schedules a crash-stop of `node` at `time`. From that moment the
@@ -212,6 +304,7 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
         };
         self.time = event.time;
         self.stats.last_event_time = event.time;
+        self.prune_slots();
         match event.kind {
             EventKind::Start { node } => {
                 if self.alive[node.index()] {
@@ -226,11 +319,18 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
                 from,
                 rx_power,
                 tx_power,
+                sent_at,
+                signal,
+                threshold,
                 payload,
             } => {
                 // A node that has not started yet (not powered on / not
                 // joined) receives nothing.
                 if self.alive[to.index()] && self.started[to.index()] {
+                    if !self.phy_accepts(to, from, sent_at, signal, threshold) {
+                        self.stats.phy_lost += 1;
+                        return true;
+                    }
                     self.stats.deliveries += 1;
                     let direction = self.bearing(to, from);
                     let incoming = Incoming {
@@ -243,6 +343,18 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
                     let mut ctx = Context::new(self.time, to);
                     self.nodes[to.index()].on_message(&mut ctx, incoming);
                     self.execute(to, ctx.into_commands());
+                }
+            }
+            EventKind::Transmit {
+                origin,
+                power,
+                to,
+                attempt,
+                payload,
+            } => {
+                // A node that crashed while backed off airs nothing.
+                if self.alive[origin.index()] {
+                    self.csma_transmit(origin, power, to, attempt, payload);
                 }
             }
             EventKind::Timer { node, id } => {
@@ -301,41 +413,42 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
     }
 
     fn execute(&mut self, origin: NodeId, commands: Vec<Command<P::Msg>>) {
+        let defer = self.phy.as_ref().is_some_and(|p| p.profile.csma.is_some());
         for command in commands {
             match command {
                 Command::Broadcast { power, payload } => {
-                    self.stats.broadcasts += 1;
-                    self.charge(origin, power);
-                    // Every node the transmission reaches lies within
-                    // range(power) of the sender, so the grid query plus
-                    // the exact `reaches` filter reproduces the all-nodes
-                    // scan. Sorting keeps delivery (and thus fault-RNG)
-                    // order identical to it.
-                    let mut targets = std::mem::take(&mut self.scratch);
-                    targets.clear();
-                    self.grid.candidates_within(
-                        self.layout.position(origin),
-                        self.model.range(power),
-                        &mut targets,
-                    );
-                    targets.sort_unstable();
-                    for &v in &targets {
-                        if v == origin {
-                            continue;
-                        }
-                        let d = self.layout.distance(origin, v);
-                        if self.model.reaches(power, d) {
-                            self.enqueue_delivery(origin, v, power, d, payload.clone());
-                        }
+                    if defer {
+                        // Listen-before-talk: the transmission becomes an
+                        // event so carrier sensing sees every same-slot
+                        // command, whatever handler order produced them.
+                        self.queue.push(
+                            self.time,
+                            EventKind::Transmit {
+                                origin,
+                                power,
+                                to: None,
+                                attempt: 0,
+                                payload,
+                            },
+                        );
+                    } else {
+                        self.transmit(origin, power, None, payload);
                     }
-                    self.scratch = targets;
                 }
                 Command::Send { power, payload, to } => {
-                    self.stats.unicasts += 1;
-                    self.charge(origin, power);
-                    let d = self.layout.distance(origin, to);
-                    if to != origin && self.model.reaches(power, d) {
-                        self.enqueue_delivery(origin, to, power, d, payload);
+                    if defer {
+                        self.queue.push(
+                            self.time,
+                            EventKind::Transmit {
+                                origin,
+                                power,
+                                to: Some(to),
+                                attempt: 0,
+                                payload,
+                            },
+                        );
+                    } else {
+                        self.transmit(origin, power, Some(to), payload);
                     }
                 }
                 Command::SetTimer { delay, id } => {
@@ -346,18 +459,243 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
         }
     }
 
+    /// A [`EventKind::Transmit`] fires: sense the carrier, then air or
+    /// back off. Slotted CSMA — "in progress" means "aired in this slot".
+    fn csma_transmit(
+        &mut self,
+        origin: NodeId,
+        power: Power,
+        to: Option<NodeId>,
+        attempt: u32,
+        payload: P::Msg,
+    ) {
+        let position = self.layout.position(origin);
+        let csma = match self.phy.as_ref().and_then(|phy| phy.profile.csma) {
+            Some(csma) => csma,
+            // A Transmit event without CSMA configured (phy swapped out
+            // mid-flight): air directly.
+            None => return self.transmit(origin, power, to, payload),
+        };
+        let cs_range = csma.cs_range_factor * self.model.max_range();
+        let now = self.time.ticks();
+        let phy = self.phy.as_mut().expect("csma implies a phy");
+        let busy = phy
+            .slots
+            .get_mut(&now)
+            .is_some_and(|field| field.carrier_busy(position, origin, cs_range));
+        if busy && attempt + 1 < csma.max_attempts {
+            self.stats.csma_deferrals += 1;
+            let phy = self.phy.as_mut().expect("csma implies a phy");
+            let backoff = 1 + phy.rng.gen_range(0..=csma.max_backoff);
+            self.queue.push(
+                self.time + backoff,
+                EventKind::Transmit {
+                    origin,
+                    power,
+                    to,
+                    attempt: attempt + 1,
+                    payload,
+                },
+            );
+        } else {
+            if busy {
+                self.stats.csma_forced += 1;
+            }
+            self.transmit(origin, power, to, payload);
+        }
+    }
+
+    /// Airs one transmission: accounts energy, registers it in the slot's
+    /// interference field, resolves the reception set, and enqueues
+    /// deliveries.
+    fn transmit(&mut self, origin: NodeId, power: Power, to: Option<NodeId>, payload: P::Msg) {
+        match to {
+            None => self.stats.broadcasts += 1,
+            Some(_) => self.stats.unicasts += 1,
+        }
+        self.charge(origin, power);
+        let position = self.layout.position(origin);
+        let now = self.time.ticks();
+        let token = match self.phy.as_mut() {
+            Some(phy) => {
+                let token = phy.token;
+                phy.token += 1;
+                if phy.tracks_slots() {
+                    let cell = phy.field_cell;
+                    let pool = &mut phy.field_pool;
+                    phy.slots
+                        .entry(now)
+                        .or_insert_with(|| {
+                            // Recycle a pruned slot's field (its grid and
+                            // buffers survive `clear`) before allocating.
+                            pool.pop().unwrap_or_else(|| InterferenceField::new(cell))
+                        })
+                        .register(origin, position, power);
+                }
+                token
+            }
+            None => 0,
+        };
+        match to {
+            None => {
+                // Every node the transmission can plausibly reach lies
+                // within range(power · worst-case gain) of the sender, so
+                // the shared shell-scan enumeration plus the exact
+                // per-candidate filter reproduces the all-nodes scan.
+                // Sorting keeps delivery (and thus fault-RNG) order
+                // identical to it. The worst-case expansion is capped at
+                // REACH_FACTOR_CAP × R — a combined shadowing+fading+PRR
+                // tail beyond that is vanishingly rare, and the cap is
+                // what keeps lossy-profile broadcasts output-sensitive
+                // (the bounded-reach counterpart of the interference
+                // cutoff). The cap never binds for the ideal profile.
+                let radius = match &self.phy {
+                    None => self.model.range(power),
+                    Some(phy) => self
+                        .model
+                        .range(power * phy.reach_expansion())
+                        .min(self.model.max_range() * REACH_FACTOR_CAP),
+                };
+                let mut targets = std::mem::take(&mut self.scratch);
+                targets.clear();
+                let mut scan = self.grid.shell_scan(self.layout.position(origin), radius);
+                while scan.scan_next(&mut targets) {}
+                targets.sort_unstable();
+                for &v in &targets {
+                    if v != origin {
+                        self.try_enqueue(origin, v, power, token, &payload);
+                    }
+                }
+                self.scratch = targets;
+            }
+            Some(v) => {
+                if v != origin {
+                    self.try_enqueue(origin, v, power, token, &payload);
+                }
+            }
+        }
+    }
+
+    /// Applies the per-link reception filter and enqueues the delivery.
+    /// The payload is only cloned once a delivery is actually enqueued,
+    /// so filtered-out candidates cost no allocation.
+    ///
+    /// Without a phy this is exactly the paper's reception set
+    /// `p(d(u,v)) ≤ p`. With one, the signal budget `p·g·f` (link gain
+    /// and this packet's fading draw, both frozen fields) is checked for
+    /// *possible* delivery now; the SINR/PRR coin is tossed at arrival,
+    /// when the slot's interference is known.
+    fn try_enqueue(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        power: Power,
+        token: u64,
+        payload: &P::Msg,
+    ) {
+        let distance = self.layout.distance(from, to);
+        let required = self.model.required_power(distance);
+        let (signal, gain, viable) = match &self.phy {
+            None => (power.linear(), 1.0, required <= power),
+            Some(phy) => {
+                let g = phy.channel.link_gain(from.raw() as u64, to.raw() as u64);
+                let f = phy
+                    .channel
+                    .packet_gain(from.raw() as u64, to.raw() as u64, token);
+                let signal = power.linear() * g * f;
+                let viable = phy
+                    .profile
+                    .prr
+                    .delivery_probability(signal, required.linear())
+                    > 0.0;
+                (signal, g * f, viable)
+            }
+        };
+        if !viable {
+            return;
+        }
+        self.enqueue_delivery(from, to, power, distance, gain, signal, required, payload);
+    }
+
     fn charge(&mut self, node: NodeId, power: Power) {
         self.stats.energy_spent += power.linear();
         self.stats.energy_per_node[node.index()] += power.linear();
     }
 
+    /// The arrival-time phy decision for one delivery: PRR over the SINR
+    /// margin, with the slot's interference raising the threshold.
+    /// Always `true` without a phy; with the ideal profile the
+    /// probability is exactly 1 and no RNG draw occurs.
+    fn phy_accepts(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        sent_at: SimTime,
+        signal: f64,
+        threshold: f64,
+    ) -> bool {
+        let Some(phy) = self.phy.as_mut() else {
+            return true;
+        };
+        let channel = phy.channel;
+        let interference = match phy.profile.interference {
+            None => 0.0,
+            Some(InterferenceProfile { range_factor }) => {
+                match phy.slots.get_mut(&sent_at.ticks()) {
+                    None => 0.0,
+                    Some(field) => field.relative_interference(
+                        &self.model,
+                        self.layout.position(to),
+                        to,
+                        from,
+                        range_factor * self.model.max_range(),
+                        &channel,
+                    ),
+                }
+            }
+        };
+        let probability = phy
+            .profile
+            .prr
+            .delivery_probability(signal, threshold * (1.0 + interference));
+        if probability >= 1.0 {
+            true
+        } else if probability <= 0.0 {
+            false
+        } else {
+            phy.rng.gen::<f64>() < probability
+        }
+    }
+
+    /// Drops slot interference registries no in-flight delivery can still
+    /// reference (slots older than the maximum latency plus the same-slot
+    /// margin).
+    fn prune_slots(&mut self) {
+        let now = self.time.ticks();
+        let (_, max_latency) = self.config.latency();
+        let Some(phy) = self.phy.as_mut() else { return };
+        while let Some(entry) = phy.slots.first_entry() {
+            if entry.key() + max_latency < now {
+                let mut field = entry.remove();
+                field.clear();
+                phy.field_pool.push(field);
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_delivery(
         &mut self,
         from: NodeId,
         to: NodeId,
         tx_power: Power,
         distance: f64,
-        payload: P::Msg,
+        gain: f64,
+        signal: f64,
+        required: Power,
+        payload: &P::Msg,
     ) {
         // Loss, duplication, then latency — all drawn deterministically.
         if self.config.loss_probability() > 0.0
@@ -374,7 +712,14 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
         } else {
             1
         };
-        let rx_power = self.model.reception_power(tx_power, distance);
+        // The protocol-visible reception power carries the same channel
+        // gains as the delivery decision, so the §2 attenuation estimate
+        // recovers the *effective* link cost (what it actually takes to
+        // close this link), not the geometric distance.
+        let rx_power = match &self.phy {
+            None => self.model.reception_power(tx_power, distance),
+            Some(_) => self.model.reception_power(tx_power, distance) * gain,
+        };
         for _ in 0..copies {
             let (lo, hi) = self.config.latency();
             let latency = if lo == hi {
@@ -389,6 +734,9 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
                     from,
                     rx_power,
                     tx_power,
+                    sent_at: self.time,
+                    signal,
+                    threshold: required.linear(),
                     payload: payload.clone(),
                 },
             );
@@ -681,6 +1029,175 @@ mod tests {
         // The in-flight TTL-3 lands despite the move; the echo chain then
         // runs over the new 300-unit geometry (still in range).
         assert_eq!(e.node(n(1)).received, vec![3, 1]);
+    }
+
+    #[test]
+    fn ideal_phy_is_bit_identical_to_no_phy() {
+        // Same seeds, same faults; the only difference is the installed
+        // ideal phy. Every observable must match exactly.
+        let config = FaultConfig::asynchronous(1, 3, 9)
+            .with_loss(0.2)
+            .with_duplication(0.1);
+        let mut plain = flood_engine(4, config);
+        let mut phy = flood_engine(4, config);
+        phy.set_phy(cbtc_phy::PhyProfile::ideal());
+        plain.run_to_quiescence(100_000);
+        phy.run_to_quiescence(100_000);
+        for i in 0..4 {
+            assert_eq!(plain.node(n(i)).received, phy.node(n(i)).received);
+        }
+        assert_eq!(plain.stats(), phy.stats());
+        assert_eq!(phy.stats().phy_lost, 0);
+    }
+
+    #[test]
+    fn shadowing_changes_the_reception_set() {
+        use cbtc_phy::{PhyProfile, ShadowingMode};
+        // A link right at the reception margin: nodes 499.99 apart with
+        // range 500. Under heavy per-direction shadowing some seeds close
+        // the link and some do not.
+        let layout = line_layout(499.99, 2);
+        let mut outcomes = Vec::new();
+        for seed in 0..12u64 {
+            let nodes = vec![Flood { received: vec![] }, Flood { received: vec![] }];
+            let mut e = Engine::new(
+                layout.clone(),
+                PowerLaw::paper_default(),
+                nodes,
+                FaultConfig::reliable_synchronous(),
+            );
+            let mut profile = PhyProfile::shadowed(8.0, seed);
+            profile.shadowing_mode = ShadowingMode::Independent;
+            e.set_phy(profile);
+            e.run_to_quiescence(1_000);
+            outcomes.push(!e.node(n(1)).received.is_empty());
+        }
+        assert!(
+            outcomes.iter().any(|&heard| heard),
+            "no seed ever delivered"
+        );
+        assert!(
+            outcomes.iter().any(|&heard| !heard),
+            "no seed ever faded out"
+        );
+    }
+
+    #[test]
+    fn same_slot_interference_drops_the_collision() {
+        use cbtc_phy::{InterferenceProfile, PhyProfile};
+        // Two senders flank a receiver at equal distance and broadcast in
+        // the same slot: under SINR each packet sees the other at equal
+        // power (SINR ≈ 1 ≪ required margin), so both are lost. The same
+        // geometry without interference delivers both.
+        #[derive(Debug, Default)]
+        struct Pulse {
+            got: u32,
+        }
+        impl Node for Pulse {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<()>) {
+                if ctx.self_id() != n(1) {
+                    ctx.broadcast(Power::new(250_000.0), ());
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<()>, _msg: Incoming<()>) {
+                self.got += 1;
+            }
+        }
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(400.0, 0.0),
+            Point2::new(800.0, 0.0),
+        ]);
+        let run = |interference: bool| -> (u32, u64) {
+            let nodes = vec![Pulse::default(), Pulse::default(), Pulse::default()];
+            let mut e = Engine::new(
+                layout.clone(),
+                PowerLaw::paper_default(),
+                nodes,
+                FaultConfig::reliable_synchronous(),
+            );
+            let mut profile = PhyProfile::ideal();
+            if interference {
+                profile.interference = Some(InterferenceProfile { range_factor: 4.0 });
+            }
+            e.set_phy(profile);
+            e.run_to_quiescence(1_000);
+            (e.node(n(1)).got, e.stats().phy_lost)
+        };
+        let (clean, lost_clean) = run(false);
+        assert_eq!(clean, 2);
+        assert_eq!(lost_clean, 0);
+        let (jammed, lost) = run(true);
+        assert_eq!(jammed, 0, "equal-power same-slot packets must collide");
+        assert!(lost >= 2);
+    }
+
+    #[test]
+    fn csma_defers_the_second_transmission() {
+        use cbtc_phy::{CsmaProfile, InterferenceProfile, PhyProfile};
+        // Same collision geometry, now with listen-before-talk: the later
+        // Transmit event senses the earlier one and backs off to another
+        // slot, so both packets get through.
+        #[derive(Debug, Default)]
+        struct Pulse {
+            got: u32,
+        }
+        impl Node for Pulse {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<()>) {
+                if ctx.self_id() != n(1) {
+                    ctx.broadcast(Power::new(250_000.0), ());
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<()>, _msg: Incoming<()>) {
+                self.got += 1;
+            }
+        }
+        let layout = Layout::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(400.0, 0.0),
+            Point2::new(800.0, 0.0),
+        ]);
+        let nodes = vec![Pulse::default(), Pulse::default(), Pulse::default()];
+        let mut e = Engine::new(
+            layout.clone(),
+            PowerLaw::paper_default(),
+            nodes,
+            FaultConfig::reliable_synchronous(),
+        );
+        let mut profile = PhyProfile::ideal();
+        profile.interference = Some(InterferenceProfile { range_factor: 4.0 });
+        profile.csma = Some(CsmaProfile {
+            cs_range_factor: 2.0,
+            max_backoff: 8,
+            max_attempts: 5,
+        });
+        e.set_phy(profile);
+        e.run_to_quiescence(1_000);
+        assert_eq!(e.node(n(1)).got, 2, "backoff must separate the slots");
+        assert_eq!(e.stats().csma_deferrals, 1);
+        assert_eq!(e.stats().phy_lost, 0);
+    }
+
+    #[test]
+    fn csma_runs_are_deterministic() {
+        use cbtc_phy::PhyProfile;
+        let run = || {
+            let mut e = flood_engine(4, FaultConfig::asynchronous(1, 2, 5).with_loss(0.05));
+            e.set_phy(PhyProfile::realistic(6.0, 3));
+            e.run_to_quiescence(100_000);
+            (
+                (0..4)
+                    .map(|i| e.node(n(i)).received.clone())
+                    .collect::<Vec<_>>(),
+                e.stats().clone(),
+            )
+        };
+        let (a_rx, a_stats) = run();
+        let (b_rx, b_stats) = run();
+        assert_eq!(a_rx, b_rx);
+        assert_eq!(a_stats, b_stats);
     }
 
     #[test]

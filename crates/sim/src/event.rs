@@ -19,6 +19,22 @@ pub(crate) enum EventKind<M> {
         from: NodeId,
         rx_power: Power,
         tx_power: Power,
+        /// The slot the transmission aired in (for same-slot SINR sums).
+        sent_at: SimTime,
+        /// Received signal budget `p·g·f` (linear), frozen at air time.
+        signal: f64,
+        /// The interference-free decoding threshold `p(d)` (linear).
+        threshold: f64,
+        payload: M,
+    },
+    /// A CSMA-deferred transmission airs (phy pipeline only): a broadcast
+    /// when `to` is `None`, a unicast otherwise.
+    Transmit {
+        origin: NodeId,
+        power: Power,
+        to: Option<NodeId>,
+        /// Carrier-sense attempts already made.
+        attempt: u32,
         payload: M,
     },
     /// A protocol timer fires at `node`.

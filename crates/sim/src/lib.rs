@@ -25,11 +25,22 @@
 //! and all randomness (latency jitter, loss, duplication) flows from the
 //! seed in [`FaultConfig`].
 //!
-//! Broadcast delivery resolves its reception set through a
-//! [`cbtc_graph::SpatialGrid`] over the node layout (maintained
-//! incrementally under [`Engine::move_node`]), so a beacon costs
-//! `O(neighbors)` rather than `O(n)` — the change that makes §4-style
-//! beaconing simulable at 10⁴–10⁵ nodes.
+//! Broadcast delivery resolves its reception set through an expanding
+//! [`cbtc_graph::SpatialGrid`] shell scan over the node layout
+//! (maintained incrementally under [`Engine::move_node`]), so a beacon
+//! costs `O(neighbors)` rather than `O(n)` — the change that makes
+//! §4-style beaconing simulable at 10⁴–10⁵ nodes. The same enumeration
+//! path serves the physical layer's per-slot interference registry.
+//!
+//! # Beyond the paper: the stochastic physical layer
+//!
+//! [`Engine::set_phy`] installs a [`cbtc_phy::PhyProfile`]: per-link
+//! log-normal shadowing gains, per-packet Rayleigh/Rician fading, a
+//! PRR curve over the SINR margin, same-slot interference sums, and a
+//! slotted-CSMA listen-before-talk MAC. The ideal profile
+//! ([`cbtc_phy::PhyProfile::ideal`]) reproduces the paper's radio — and
+//! the faultless code path — **bit for bit**; the engine's property
+//! tests pin that equivalence down.
 //!
 //! # Paper map
 //!
@@ -40,6 +51,7 @@
 //! | [`FaultConfig`] | §4: bounded latency, loss, duplication, crash-stop |
 //! | [`SimTime`] | the discrete clock both models share |
 //! | [`TraceStats`] | the message/energy accounting the §5-style experiments report |
+//! | [`Engine::set_phy`] | beyond the paper: shadowing/fading/PRR delivery, SINR interference, slotted CSMA |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -21,6 +21,15 @@ pub struct TraceStats {
     pub lost: u64,
     /// Extra deliveries injected by the duplication fault.
     pub duplicated: u64,
+    /// Deliveries suppressed by the physical layer (failed PRR/SINR
+    /// draws); 0 when no phy pipeline is installed.
+    pub phy_lost: u64,
+    /// Transmissions deferred by CSMA carrier sensing (each backoff
+    /// counts once).
+    pub csma_deferrals: u64,
+    /// Transmissions that aired despite a busy carrier after exhausting
+    /// their sense attempts.
+    pub csma_forced: u64,
     /// Timer firings.
     pub timer_firings: u64,
     /// Sum over transmissions of the transmission power (linear units).

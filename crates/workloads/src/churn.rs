@@ -341,6 +341,28 @@ pub fn live_unit_disk(layout: &Layout, radius: f64, live: &[bool]) -> Undirected
 /// assert!(report.traffic.broadcasts > 0);
 /// ```
 pub fn run_churn(scenario: &ChurnScenario, seed: u64) -> ChurnReport {
+    run_churn_with(scenario, seed, None)
+}
+
+/// [`run_churn`] with an optional stochastic physical layer installed on
+/// the engine ([`cbtc_sim::Engine::set_phy`]). With
+/// [`cbtc_phy::PhyProfile::ideal`] the report is **bit-identical** to
+/// [`run_churn`]; with a lossy profile the NDP beacons, Hellos and Acks
+/// experience shadowing, fading, PRR loss and (per the profile) SINR
+/// collisions and CSMA backoff.
+///
+/// Note the probes still judge reconvergence against the *geometric*
+/// live `G_R` — the measurement is how well §4 maintenance tracks the
+/// ideal topology when its control traffic is lossy.
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`ChurnScenario::validate`].
+pub fn run_churn_with(
+    scenario: &ChurnScenario,
+    seed: u64,
+    phy: Option<&cbtc_phy::PhyProfile>,
+) -> ChurnReport {
     if let Err(e) = scenario.validate() {
         panic!("invalid churn scenario: {e}");
     }
@@ -370,6 +392,9 @@ pub fn run_churn(scenario: &ChurnScenario, seed: u64) -> ChurnReport {
         FaultConfig::reliable_synchronous(),
         &starts,
     );
+    if let Some(profile) = phy {
+        engine.set_phy(*profile);
+    }
     for &(victim, t) in &schedule.crashes {
         engine.schedule_crash(victim, SimTime::new(t));
     }
@@ -581,6 +606,30 @@ mod tests {
         let a = run_churn(&ChurnScenario::smoke(), 11);
         let b = run_churn(&ChurnScenario::smoke(), 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ideal_phy_churn_is_bit_identical() {
+        let ideal = cbtc_phy::PhyProfile::ideal();
+        let a = run_churn(&ChurnScenario::smoke(), 11);
+        let b = run_churn_with(&ChurnScenario::smoke(), 11, Some(&ideal));
+        assert_eq!(a, b, "σ = 0 / PRR = 1 churn must replay the ideal run");
+    }
+
+    #[test]
+    fn lossy_phy_churn_still_mostly_reconverges() {
+        let profile = cbtc_phy::PhyProfile::realistic(4.0, 3);
+        let report = run_churn_with(&ChurnScenario::smoke(), 3, Some(&profile));
+        assert!(report.traffic.broadcasts > 0);
+        // Lossy control traffic degrades but must not collapse §4
+        // maintenance on the small smoke scenario.
+        assert!(
+            report.connectivity_fraction > 0.3,
+            "connectivity fraction {} under lossy phy",
+            report.connectivity_fraction
+        );
+        let ideal = run_churn(&ChurnScenario::smoke(), 3);
+        assert_ne!(report, ideal, "a lossy channel must change the run");
     }
 
     #[test]

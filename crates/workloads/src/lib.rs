@@ -31,10 +31,12 @@ mod random;
 mod scenario;
 
 pub mod churn;
+pub mod phy;
 
-pub use churn::{run_churn, ChurnReport, ChurnScenario};
+pub use churn::{run_churn, run_churn_with, ChurnReport, ChurnScenario};
 pub use clustered::ClusteredPlacement;
 pub use grid::GridPlacement;
 pub use mobility::RandomWaypoint;
+pub use phy::{phy_construction_probe, phy_protocol_probe, PhyConstructionStats, PhyProtocolStats};
 pub use random::RandomPlacement;
 pub use scenario::Scenario;

@@ -11,8 +11,12 @@
 //! * [`graph`] — graph substrate: unit-disk graphs, the uniform-grid
 //!   spatial index behind every 10k+-node experiment, connectivity,
 //!   metrics, baseline spanners;
+//! * [`phy`] — the stochastic physical layer: frozen log-normal
+//!   shadowing fields, Rayleigh/Rician fading, PRR curves, and the SINR
+//!   interference engine (all seed-deterministic);
 //! * [`sim`] — deterministic discrete-event simulator (synchronous rounds
-//!   and asynchronous operation with faults);
+//!   and asynchronous operation with faults), with an optional phy
+//!   delivery pipeline and slotted CSMA;
 //! * [`core`] — the CBTC algorithm itself: centralized reference,
 //!   distributed protocol, the three optimizations and reconfiguration;
 //! * [`workloads`] — scenario generators (the paper's random networks,
@@ -67,11 +71,35 @@
 //! let report = run_churn(&ChurnScenario::smoke(), 7);
 //! assert!(report.connectivity_fraction > 0.0);
 //! ```
+//!
+//! # Robustness off the unit disk
+//!
+//! The [`phy`] layer replaces the ideal `p(d) = S·dⁿ` radio with a
+//! stochastic channel; the same constructions then run on *effective
+//! distances* and the simulator's deliveries go through
+//! shadowing/fading/PRR/SINR. The ideal profile is bit-identical to the
+//! paper's model:
+//!
+//! ```
+//! use cbtc::core::phy::{run_phy_centralized, PhyChannel};
+//! use cbtc::core::{run_centralized, CbtcConfig};
+//! use cbtc::geom::Alpha;
+//! use cbtc::radio::IdealGain;
+//! use cbtc::workloads::{RandomPlacement, Scenario};
+//!
+//! let network = RandomPlacement::from_scenario(&Scenario::smoke()).generate(3);
+//! let config = CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS);
+//! let channel = PhyChannel::new(network.model(), &IdealGain);
+//! let phy = run_phy_centralized(&network, &channel, &config);
+//! let ideal = run_centralized(&network, &config);
+//! assert_eq!(phy.final_graph(), ideal.final_graph());
+//! ```
 
 pub use cbtc_core as core;
 pub use cbtc_energy as energy;
 pub use cbtc_geom as geom;
 pub use cbtc_graph as graph;
+pub use cbtc_phy as phy;
 pub use cbtc_radio as radio;
 pub use cbtc_sim as sim;
 pub use cbtc_viz as viz;
