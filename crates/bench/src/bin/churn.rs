@@ -1,7 +1,10 @@
 //! Churn-at-scale benchmark: the §4 reconfiguration protocol under
-//! RandomWaypoint mobility with joins and crashes at 10k+ nodes, plus a
-//! micro-benchmark of the grid spatial index against the all-pairs `G_R`
-//! construction it replaces.
+//! RandomWaypoint mobility with joins and crashes at 10k+ nodes, plus
+//! two micro-benchmarks: the grid spatial index against the all-pairs
+//! `G_R` construction it replaces, and the **incremental centralized
+//! probe** — per-burst join/crash batches through
+//! [`cbtc_core::reconfig::DeltaTopology`] against a from-scratch masked
+//! `CBTC(α)` rebuild (graphs asserted equal edge for edge).
 //!
 //! ```sh
 //! cargo run --release -p cbtc-bench --bin churn \
@@ -14,6 +17,8 @@
 use std::time::Instant;
 
 use cbtc_bench::Args;
+use cbtc_core::reconfig::{DeltaTopology, GeometricMetric, NodeEvent};
+use cbtc_core::{run_centralized_masked, CbtcConfig, Network};
 use cbtc_graph::unit_disk::{unit_disk_graph, unit_disk_graph_brute};
 use cbtc_radio::{PathLoss, PowerLaw};
 use cbtc_workloads::{run_churn, ChurnReport, ChurnScenario, RandomPlacement};
@@ -29,11 +34,106 @@ struct IndexBench {
     speedup: f64,
 }
 
+/// One burst's centralized-probe timing: the same join/crash batch
+/// through the incremental engine and through a from-scratch masked
+/// rebuild, graphs asserted identical.
+#[derive(Debug, Serialize)]
+struct ProbeBench {
+    burst_t: u64,
+    events: usize,
+    live: usize,
+    /// Nodes the incremental update re-grew (from-scratch re-grows
+    /// every live node).
+    regrown: usize,
+    /// Of those, how many needed a spatial-grid scan (the §4 "α-gap
+    /// opened" case); the rest replayed from their cached prefix.
+    grid_scans: usize,
+    incremental_seconds: f64,
+    from_scratch_seconds: f64,
+    speedup: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchDoc {
     report: ChurnReport,
     index: IndexBench,
+    probe: Vec<ProbeBench>,
     wall_seconds: f64,
+}
+
+/// Times the suite's centralized `G_α` probe per burst on the scenario's
+/// own churn schedule (static positions isolate the event cost):
+/// incremental [`DeltaTopology`] update vs from-scratch
+/// [`run_centralized_masked`], asserting edge-for-edge equality.
+fn bench_probe(scenario: &ChurnScenario, seed: u64) -> Vec<ProbeBench> {
+    let model = PowerLaw::paper_default();
+    let total = scenario.total_nodes();
+    let layout = RandomPlacement::new(total, scenario.width, scenario.height, model.max_range())
+        .generate_layout(seed);
+    let schedule = scenario.schedule(seed);
+    let config = CbtcConfig::new(scenario.alpha);
+    let mut active: Vec<bool> = schedule.start_ticks.iter().map(|&t| t == 0).collect();
+    let mut delta = DeltaTopology::new(
+        layout.clone(),
+        active.clone(),
+        model.max_range(),
+        config,
+        false,
+        GeometricMetric,
+    );
+    let network = Network::new(layout.clone(), model);
+
+    let mut rows = Vec::new();
+    for &bt in &schedule.bursts {
+        let mut events: Vec<NodeEvent> = Vec::new();
+        for &(victim, ct) in &schedule.crashes {
+            if ct == bt && active[victim.index()] {
+                active[victim.index()] = false;
+                events.push(NodeEvent::Death(victim));
+            }
+        }
+        // Joiners occupy the slots above the initial population (a
+        // crash victim freed above must not re-join as a "starter").
+        for (u, &st) in schedule
+            .start_ticks
+            .iter()
+            .enumerate()
+            .skip(scenario.initial_nodes)
+        {
+            if st == bt && !active[u] {
+                active[u] = true;
+                let id = cbtc_graph::NodeId::new(u as u32);
+                events.push(NodeEvent::Join(id, layout.position(id)));
+            }
+        }
+        if events.is_empty() {
+            continue;
+        }
+        let t0 = Instant::now();
+        delta.apply(&events);
+        let incremental_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let full = run_centralized_masked(&network, &config, &active).into_final_graph();
+        let from_scratch_seconds = t1.elapsed().as_secs_f64();
+        assert_eq!(
+            delta.graph(),
+            &full,
+            "incremental probe must equal the from-scratch rebuild"
+        );
+
+        rows.push(ProbeBench {
+            burst_t: bt,
+            events: events.len(),
+            live: active.iter().filter(|a| **a).count(),
+            regrown: delta.last_regrown(),
+            grid_scans: delta.last_grid_scans(),
+            incremental_seconds,
+            from_scratch_seconds,
+            speedup: from_scratch_seconds / incremental_seconds.max(f64::MIN_POSITIVE),
+        });
+    }
+    rows
 }
 
 fn bench_index(scenario: &ChurnScenario, seed: u64) -> IndexBench {
@@ -107,6 +207,27 @@ fn main() {
         index.speedup,
     );
 
+    let probe = bench_probe(&scenario, seed);
+    println!(
+        "centralized G_α probe per burst — DeltaTopology vs from-scratch masked rebuild \
+         (graphs asserted equal):"
+    );
+    for p in &probe {
+        println!(
+            "  burst t={:<6} {:>4} events, {:>6} live → re-grew {:>6} ({} grid scans): \
+             incremental {:>7.1} ms vs scratch {:>7.1} ms ({:.1}×)",
+            p.burst_t,
+            p.events,
+            p.live,
+            p.regrown,
+            p.grid_scans,
+            p.incremental_seconds * 1e3,
+            p.from_scratch_seconds * 1e3,
+            p.speedup,
+        );
+    }
+    println!();
+
     let start = Instant::now();
     let report = run_churn(&scenario, seed);
     let wall = start.elapsed().as_secs_f64();
@@ -121,6 +242,22 @@ fn main() {
                 Some(d) => format!("{d} ticks"),
                 None => "—".to_owned(),
             }
+        );
+    }
+    for r in &report.reference {
+        println!(
+            "  G_α ref t={:<6} {:>4} events → {:>6} view recomputations ({} live), {} edges, \
+             settle-window partition {}",
+            r.t,
+            r.events,
+            r.regrown,
+            r.live,
+            r.edges,
+            if r.preserved {
+                "preserved"
+            } else {
+                "NOT preserved"
+            },
         );
     }
     println!(
@@ -155,6 +292,7 @@ fn main() {
         let doc = BenchDoc {
             report,
             index,
+            probe,
             wall_seconds: wall,
         };
         std::fs::write(

@@ -9,16 +9,22 @@
 //!         --ideal-trials 100 --seed 0 --json BENCH_phy.json]
 //! ```
 //!
-//! Four sections:
+//! Five sections:
 //!
 //! * `construction` — P(final graph preserves reach-graph connectivity)
 //!   per (σ, n), plus link asymmetry, degree, the pairwise-guard rate and
 //!   power stretch;
 //! * `protocol` — distributed Hello/Ack overhead under the full
-//!   stochastic stack (fading, soft PRR, SINR interference, CSMA);
+//!   stochastic stack (fading, soft PRR, SINR interference, CSMA),
+//!   with desynchronized-start columns showing how much collision loss
+//!   and backoff per-node start jitter removes;
 //! * `lifetime` — lifetime aggregates with retransmission energy charged,
 //!   per σ (the σ = 0 row uses the soft-PRR lossy profile at zero
 //!   shadowing; links at the margin already retransmit);
+//! * `margin` — the link-margin sweep at `--margin-sigma` dB shadowing:
+//!   the measured answer to the margin-free 0.04× lifetime collapse —
+//!   each row prices every power-controlled hop `+m` dB above its
+//!   minimum and reports the first-death/partition factors vs max power;
 //! * `ideal_check` — the **σ = 0 / PRR = 1** configuration run through
 //!   the entire phy pipeline on the exact `BENCH_lifetime.json` setup
 //!   (paper scenario, same five policies, same seeds): its aggregates
@@ -57,14 +63,43 @@ struct IdealCheckRow {
 }
 
 #[derive(Debug, Serialize)]
+struct MarginRow {
+    margin_db: f64,
+    sigma_db: f64,
+    aggregate: LifetimeAggregate,
+    /// First-death factor versus the same margin's max-power row.
+    first_death_factor: f64,
+    partition_factor: f64,
+}
+
+/// Wall-clock of the same shadowed lifetime trials through the
+/// incremental survivor tracker vs from-scratch rebuilds (statistics
+/// asserted bit-identical).
+#[derive(Debug, Serialize)]
+struct ReconfigBench {
+    sigma_db: f64,
+    trials: u32,
+    incremental_seconds: f64,
+    from_scratch_seconds: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchDoc {
     seed: u64,
     alpha: String,
     construction_trials: u32,
     construction: Vec<PhyConstructionStats>,
+    protocol_jitter: u64,
     protocol: Vec<PhyProtocolStats>,
     lifetime_scenario: Scenario,
     lifetime: Vec<LifetimeRow>,
+    margin_sigma_db: f64,
+    /// The shared max-power baseline of the margin sweep (hop power is
+    /// already maximal there, so the margin cannot change it).
+    margin_baseline: Option<LifetimeAggregate>,
+    margin: Vec<MarginRow>,
+    reconfig: Option<ReconfigBench>,
     ideal_check_trials: u32,
     /// Must match `BENCH_lifetime.json`'s `configs[*].aggregate`
     /// bit-for-bit when run with the same trials/seed.
@@ -82,6 +117,10 @@ fn main() {
     let protocol_seeds: u64 = args.get("protocol-seeds", 2);
     let lifetime_sigmas = args.get_list("lifetime-sigmas", &[0.0, 4.0, 8.0]);
     let lifetime_trials: u32 = args.get("lifetime-trials", 10);
+    let margins = args.get_list("margins", &[0.0, 3.0, 6.0, 9.0]);
+    let margin_sigma: f64 = args.get("margin-sigma", 8.0);
+    let jitter: u64 = args.get("jitter", 16);
+    let hello_margin: f64 = args.get("hello-margin", 0.0);
     let ideal_trials: u32 = args.get("ideal-trials", 100);
 
     let alpha = Alpha::TWO_PI_THIRDS;
@@ -122,20 +161,35 @@ fn main() {
     // ── distributed-protocol overhead ───────────────────────────────
     println!(
         "\nprotocol overhead — {protocol_nodes} nodes, full stack (fading, soft PRR, SINR, \
-         CSMA), {protocol_seeds} seeds/σ\n"
+         CSMA), {protocol_seeds} seeds/σ; jit columns = ±{jitter}-tick start jitter\n"
     );
     println!(
-        "{:>6} {:>6} {:>12} {:>12} {:>9} {:>9} {:>10}",
-        "σ", "seed", "ideal bc/n", "phy bc/n", "overhead", "phy loss", "backoff/n"
+        "{:>6} {:>6} {:>12} {:>12} {:>9} {:>9} {:>10} {:>9} {:>10}",
+        "σ",
+        "seed",
+        "ideal bc/n",
+        "phy bc/n",
+        "overhead",
+        "phy loss",
+        "backoff/n",
+        "jit loss",
+        "jit bkf/n"
     );
     let mut protocol = Vec::new();
     let protocol_scenario = Scenario::paper_default();
     for &sigma in &sigmas {
         for s in 0..protocol_seeds {
             let profile = PhyProfile::realistic(sigma, seed ^ s);
-            let stats = phy_protocol_probe(protocol_nodes, &protocol_scenario, &profile, seed + s);
+            let stats = phy_protocol_probe(
+                protocol_nodes,
+                &protocol_scenario,
+                &profile,
+                jitter,
+                hello_margin,
+                seed + s,
+            );
             println!(
-                "{:>6.1} {:>6} {:>12.2} {:>12.2} {:>8.2}x {:>8.1}% {:>10.2}",
+                "{:>6.1} {:>6} {:>12.2} {:>12.2} {:>8.2}x {:>8.1}% {:>10.2} {:>8.1}% {:>10.2}",
                 sigma,
                 seed + s,
                 stats.ideal_broadcasts_per_node,
@@ -143,6 +197,8 @@ fn main() {
                 stats.hello_overhead,
                 stats.phy_lost_fraction * 100.0,
                 stats.csma_deferrals_per_node,
+                stats.jitter_phy_lost_fraction * 100.0,
+                stats.jitter_csma_deferrals_per_node,
             );
             protocol.push(stats);
         }
@@ -153,10 +209,11 @@ fn main() {
     lifetime_scenario.name = "phy-lifetime".to_owned();
     lifetime_scenario.trials = lifetime_trials;
     let lifetime_config = LifetimeConfig::paper_default();
-    let lifetime_policies = [
-        TopologyPolicy::MaxPower,
-        TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS)),
-    ];
+    // The one CBTC configuration the lifetime table, the margin sweep
+    // and the reconfiguration bench all exercise — named once so the
+    // three sections can never drift apart.
+    let cbtc_policy = TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS));
+    let lifetime_policies = [TopologyPolicy::MaxPower, cbtc_policy];
     println!(
         "\nlifetime with retransmission energy — {} nodes × {lifetime_trials} trials, soft PRR\n",
         lifetime_scenario.node_count
@@ -201,6 +258,117 @@ fn main() {
             });
         }
     }
+
+    // ── the link-margin sweep ───────────────────────────────────────
+    // The margin-free rows above show CBTC's power control inverting its
+    // lifetime advantage under a soft PRR (links parked at PRR ≈ 0.5).
+    // Here every power-controlled hop is priced `+m` dB above its
+    // minimum. The max-power baseline ignores the margin entirely (hops
+    // already use max power), so it is computed once and shared by every
+    // row.
+    let mut margin = Vec::new();
+    let mut margin_baseline = None;
+    if !margins.is_empty() && lifetime_trials > 0 {
+        println!(
+            "\nlink-margin sweep — σ = {margin_sigma} dB shadowing, soft PRR, \
+             {lifetime_trials} trials/margin\n"
+        );
+        println!(
+            "{:>8} {:<28} {:>16} {:>7} {:>16} {:>7}",
+            "margin", "configuration", "first death", "×", "partition", "×"
+        );
+        let mut profile = PhyProfile::shadowed(margin_sigma, seed);
+        profile.prr = PrrCurve::paper_transition();
+        let baseline = phy_lifetime_experiment(
+            &lifetime_scenario,
+            &[TopologyPolicy::MaxPower],
+            profile,
+            lifetime_config,
+            seed,
+        )
+        .pop()
+        .expect("max power row");
+        println!(
+            "{:>8} {:<28} {:>9.1} ±{:<5.1} {:>6.2}x {:>9.1} ±{:<5.1} {:>6.2}x",
+            "any",
+            baseline.policy,
+            baseline.first_death.mean,
+            baseline.first_death.std,
+            1.0,
+            baseline.partition.mean,
+            baseline.partition.std,
+            1.0,
+        );
+        let cbtc_only = [cbtc_policy];
+        for &m in &margins {
+            let mut config = lifetime_config;
+            config.energy = config.energy.with_link_margin_db(m);
+            let aggregates =
+                phy_lifetime_experiment(&lifetime_scenario, &cbtc_only, profile, config, seed);
+            for aggregate in aggregates {
+                let first_death_factor =
+                    aggregate.first_death.mean / baseline.first_death.mean.max(1.0);
+                let partition_factor = aggregate.partition.mean / baseline.partition.mean.max(1.0);
+                println!(
+                    "{:>6.1}dB {:<28} {:>9.1} ±{:<5.1} {:>6.2}x {:>9.1} ±{:<5.1} {:>6.2}x",
+                    m,
+                    aggregate.policy,
+                    aggregate.first_death.mean,
+                    aggregate.first_death.std,
+                    first_death_factor,
+                    aggregate.partition.mean,
+                    aggregate.partition.std,
+                    partition_factor,
+                );
+                margin.push(MarginRow {
+                    margin_db: m,
+                    sigma_db: margin_sigma,
+                    aggregate,
+                    first_death_factor,
+                    partition_factor,
+                });
+            }
+        }
+        margin_baseline = Some(baseline);
+    }
+
+    // ── incremental vs from-scratch phy reconfiguration ─────────────
+    // The phy lifetime path used to rebuild the survivor topology from
+    // scratch every death epoch; it now rides the incremental engine.
+    // Same trials both ways, statistics asserted bit-identical.
+    let reconfig = (lifetime_trials > 0).then(|| {
+        let sigma = 8.0;
+        let mut profile = PhyProfile::shadowed(sigma, seed);
+        profile.prr = PrrCurve::paper_transition();
+        let cbtc_only = [cbtc_policy];
+        let mut config = lifetime_config;
+        config.incremental = true;
+        let t0 = Instant::now();
+        let inc = phy_lifetime_experiment(&lifetime_scenario, &cbtc_only, profile, config, seed);
+        let incremental_seconds = t0.elapsed().as_secs_f64();
+        config.incremental = false;
+        let t1 = Instant::now();
+        let scratch =
+            phy_lifetime_experiment(&lifetime_scenario, &cbtc_only, profile, config, seed);
+        let from_scratch_seconds = t1.elapsed().as_secs_f64();
+        assert_eq!(
+            inc, scratch,
+            "incremental phy lifetime must be bit-identical"
+        );
+        let bench = ReconfigBench {
+            sigma_db: sigma,
+            trials: lifetime_trials,
+            incremental_seconds,
+            from_scratch_seconds,
+            speedup: from_scratch_seconds / incremental_seconds.max(f64::MIN_POSITIVE),
+        };
+        println!(
+            "\nphy reconfiguration — σ = {sigma} dB, {lifetime_trials} trials: incremental \
+             {:.2}s vs from-scratch {:.2}s ({:.1}×), statistics bit-identical",
+            bench.incremental_seconds, bench.from_scratch_seconds, bench.speedup
+        );
+        bench
+    });
 
     // ── the σ = 0 / PRR = 1 ideal check ─────────────────────────────
     let mut ideal_check = Vec::new();
@@ -265,9 +433,14 @@ fn main() {
             alpha: format!("{alpha}"),
             construction_trials: trials,
             construction,
+            protocol_jitter: jitter,
             protocol,
             lifetime_scenario,
             lifetime,
+            margin_sigma_db: margin_sigma,
+            margin_baseline,
+            margin,
+            reconfig,
             ideal_check_trials: ideal_trials,
             ideal_check,
             wall_seconds: wall,

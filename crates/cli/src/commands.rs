@@ -529,6 +529,11 @@ pub fn phy(args: &Args) -> Result<(), String> {
     let trials: u32 = args.get("trials", 10)?;
     let seed: u64 = args.get("seed", 0)?;
     let protocol_nodes: usize = args.get("protocol-nodes", 60)?;
+    let jitter: u64 = args.get("jitter", 16)?;
+    let hello_margin: f64 = args.get("hello-margin", 0.0)?;
+    if !(hello_margin.is_finite() && hello_margin >= 0.0) {
+        return Err("--hello-margin must be a finite non-negative dB value".into());
+    }
     let sigmas = parse_float_list(args, "sigmas", &[0.0, 4.0, 8.0])?;
     if nodes == 0 || trials == 0 {
         return Err("--nodes and --trials must be positive".into());
@@ -591,17 +596,32 @@ pub fn phy(args: &Args) -> Result<(), String> {
     if !args.has("no-protocol") {
         println!(
             "\ndistributed growing phase under the full stack (fading, soft PRR, SINR, CSMA) — \
-             {protocol_nodes} nodes:"
+             {protocol_nodes} nodes, desynchronized columns use ±{jitter}-tick start jitter:"
         );
         println!(
-            "{:>6} {:>12} {:>12} {:>9} {:>9} {:>10} {:>10}",
-            "σ (dB)", "ideal bc/n", "phy bc/n", "overhead", "phy loss", "backoff/n", "preserved"
+            "{:>6} {:>12} {:>12} {:>9} {:>9} {:>10} {:>10} {:>11} {:>10}",
+            "σ (dB)",
+            "ideal bc/n",
+            "phy bc/n",
+            "overhead",
+            "phy loss",
+            "backoff/n",
+            "preserved",
+            "jit loss",
+            "jit bkf/n"
         );
         for &sigma in &sigmas {
             let profile = cbtc_phy::PhyProfile::realistic(sigma, seed);
-            let stats = phy_protocol_probe(protocol_nodes, &scenario, &profile, seed);
+            let stats = phy_protocol_probe(
+                protocol_nodes,
+                &scenario,
+                &profile,
+                jitter,
+                hello_margin,
+                seed,
+            );
             println!(
-                "{:>6.1} {:>12.2} {:>12.2} {:>8.2}x {:>8.1}% {:>10.2} {:>10}",
+                "{:>6.1} {:>12.2} {:>12.2} {:>8.2}x {:>8.1}% {:>10.2} {:>10} {:>10.1}% {:>10.2}",
                 sigma,
                 stats.ideal_broadcasts_per_node,
                 stats.phy_broadcasts_per_node,
@@ -612,7 +632,9 @@ pub fn phy(args: &Args) -> Result<(), String> {
                     "yes"
                 } else {
                     "NO"
-                }
+                },
+                stats.jitter_phy_lost_fraction * 100.0,
+                stats.jitter_csma_deferrals_per_node,
             );
         }
     }

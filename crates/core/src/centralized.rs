@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::opt::{self, PairwisePolicy};
 use crate::parallel::par_map;
+use crate::reconfig::{GeometricMetric, LinkMetric};
 use crate::view::{BasicOutcome, Discovery, NodeView};
 use crate::{CbtcConfig, Network};
 
@@ -230,8 +231,36 @@ pub fn grow_node_in_grid(
     alpha: Alpha,
     max_range: f64,
 ) -> NodeView {
+    grow_node_metric(layout, grid, &GeometricMetric, u, alpha, max_range)
+}
+
+/// [`grow_node_in_grid`] over an arbitrary [`LinkMetric`]: an expanding
+/// shell scan in *geometric* space consuming candidates in *metric-cost*
+/// order — the one growing-phase kernel behind the ideal construction,
+/// the phy construction ([`crate::phy`]) and the incremental
+/// [`crate::reconfig::DeltaTopology`] engine.
+///
+/// The scan's completeness guarantee is geometric (every node nearer than
+/// `guaranteed_radius` has been enumerated); since an unenumerated node
+/// at geometric distance ≥ G has cost ≥ `G / reach_boost`, the heap's
+/// head is safe to discover once its cost falls below that bound. With
+/// [`GeometricMetric`] both bounds collapse to the geometric ones and
+/// this is bit-identical to the classic grid walk.
+pub fn grow_node_metric<M: LinkMetric + ?Sized>(
+    layout: &Layout,
+    grid: &SpatialGrid,
+    metric: &M,
+    u: NodeId,
+    alpha: Alpha,
+    max_range: f64,
+) -> NodeView {
     let center = layout.position(u);
-    let mut scan = grid.shell_scan(center, max_range);
+    let scan_radius = max_range * metric.reach_boost();
+    // The cost of the nearest unenumerated node is at least (geometric
+    // bound) × this factor. Exactly 1.0 for the geometric metric, so the
+    // multiplications below are exact there.
+    let shrink = 1.0 / metric.reach_boost();
+    let mut scan = grid.shell_scan(center, scan_radius);
     let mut heap: BinaryHeap<Reverse<PendingCandidate>> = BinaryHeap::new();
     let mut ring = Vec::new();
     let mut tracker = GapTracker::new();
@@ -239,7 +268,7 @@ pub fn grow_node_in_grid(
 
     let discover =
         |c: PendingCandidate, discoveries: &mut Vec<Discovery>, tracker: &mut GapTracker| {
-            let direction = layout.direction(u, c.id);
+            let direction = metric.direction(layout, u, c.id);
             tracker.insert(direction);
             discoveries.push(Discovery {
                 id: c.id,
@@ -250,11 +279,11 @@ pub fn grow_node_in_grid(
 
     loop {
         // Pull rings until the nearest pending candidate is certainly
-        // next in (distance, id) order: strictly inside the region the
-        // scan has completely enumerated.
+        // next in (cost, id) order: strictly inside the region the scan
+        // has completely enumerated.
         while heap
             .peek()
-            .is_none_or(|c| c.0.distance >= scan.guaranteed_radius())
+            .is_none_or(|c| c.0.distance >= scan.guaranteed_radius() * shrink)
         {
             ring.clear();
             if !scan.scan_next(&mut ring) {
@@ -264,7 +293,7 @@ pub fn grow_node_in_grid(
                 if v == u {
                     continue;
                 }
-                let distance = layout.distance(u, v);
+                let distance = metric.cost(u, v, layout.distance(u, v));
                 if distance <= max_range {
                     heap.push(Reverse(PendingCandidate { distance, id: v }));
                 }
@@ -280,7 +309,7 @@ pub fn grow_node_in_grid(
             };
         };
         // Discover the whole equidistant group simultaneously (all its
-        // members are already in the heap: their shared distance lies
+        // members are already in the heap: their shared cost lies
         // strictly inside the enumerated region).
         let group_dist = first.distance;
         discover(first, &mut discoveries, &mut tracker);

@@ -43,6 +43,8 @@
 //! | [`opt::pairwise`](opt) | §3.3, Theorem 3.6 |
 //! | [`protocol`] | Figure 1 as a distributed message-passing protocol |
 //! | [`reconfig`] | §4: NDP beacons and the `join`/`leave`/`aChange` rules (driven at scale by `cbtc_workloads::churn`) |
+//! | [`reconfig::DeltaTopology`] | §4 centralized mirror: a maintained `CBTC(α)` run under death/join/move streams, generic over a [`reconfig::LinkMetric`] (ideal or phy effective distance), affected sets from the reverse discovery relation, grid-free cached-prefix replay when no α-gap opens |
+//! | [`reconfig::routing`] | scaling infrastructure: which cached shortest-path trees a topology delta can invalidate (shared by the lifetime engine and the churn stretch probes) |
 //! | [`theory`] | Lemma 2.2 / Corollary 2.3 / redundancy, as executable predicates |
 //! | [`grow_node_in_grid`] / [`ConstructionMode`] | scaling infrastructure (no paper analogue): output-sensitive shell-scan growth, validated against the all-pairs oracle |
 //! | [`run_basic_masked`] / [`run_centralized_masked`] | §4 at scale: survivor re-runs over an alive mask, no sub-network allocation |

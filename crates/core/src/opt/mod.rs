@@ -13,7 +13,7 @@ mod shrink_back;
 
 pub use asymmetric::asymmetric_removal;
 pub use pairwise::{
-    edge_id, node_floor, node_redundancy, pairwise_removal, pairwise_removal_with, redundant_edges,
-    EdgeId, PairwiseOutcome, PairwisePolicy,
+    edge_id, node_floor, node_floor_with, node_redundancy, node_redundancy_with, pairwise_removal,
+    pairwise_removal_with, redundant_edges, EdgeId, PairwiseOutcome, PairwisePolicy,
 };
 pub use shrink_back::{shrink_back, shrink_back_view};

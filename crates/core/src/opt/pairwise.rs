@@ -102,8 +102,11 @@ where
     }
 }
 
-/// [`node_redundancy`] under a directional length function.
-fn node_redundancy_with<L>(
+/// [`node_redundancy`] under a directional length function: `length(u,
+/// v)` is `u`'s cost to reach `v` (the [`crate::reconfig::LinkMetric`]
+/// generalization). With `length = layout.distance` this is exactly
+/// [`node_redundancy`].
+pub fn node_redundancy_with<L>(
     g: &UndirectedGraph,
     layout: &Layout,
     u: NodeId,
@@ -149,9 +152,24 @@ pub fn node_floor(
     u: NodeId,
     redundant_from_u: &BTreeSet<NodeId>,
 ) -> f64 {
+    node_floor_with(g, u, redundant_from_u, &|a, b| layout.distance(a, b))
+}
+
+/// [`node_floor`] under a directional length function (`length(u, v)` is
+/// `u`'s cost to reach `v`). With `length = layout.distance` this is
+/// exactly [`node_floor`].
+pub fn node_floor_with<L>(
+    g: &UndirectedGraph,
+    u: NodeId,
+    redundant_from_u: &BTreeSet<NodeId>,
+    length: &L,
+) -> f64
+where
+    L: Fn(NodeId, NodeId) -> f64,
+{
     g.neighbors(u)
         .filter(|v| !redundant_from_u.contains(v))
-        .map(|v| layout.distance(u, v))
+        .map(|v| length(u, v))
         .fold(0.0, f64::max)
 }
 

@@ -40,17 +40,15 @@
 //! restored count is itself a measurement of how often §3.3 would have
 //! broken connectivity.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
-
-use cbtc_geom::{gap::GapTracker, Alpha};
+use cbtc_geom::Alpha;
 use cbtc_graph::{DirectedGraph, NodeId, SpatialGrid, UndirectedGraph, UnionFind};
 use cbtc_radio::{DirectionSensor, LinkGain, PowerLaw};
 
-use crate::centralized::{construction_cell, dead_view, PAR_MIN_CHUNK};
+use crate::centralized::{construction_cell, dead_view, grow_node_metric, PAR_MIN_CHUNK};
 use crate::opt::{self, PairwisePolicy};
 use crate::parallel::par_map;
-use crate::view::{BasicOutcome, Discovery, NodeView};
+use crate::reconfig::LinkMetric;
+use crate::view::{BasicOutcome, NodeView};
 use crate::{CbtcConfig, Network};
 
 /// The stochastic channel a phy construction runs against: the
@@ -99,10 +97,19 @@ impl<'a> PhyChannel<'a> {
             d.max(1.0) * g.powf(-1.0 / self.model.exponent())
         }
     }
+}
 
-    /// The factor by which the geometric search radius must expand so
-    /// that every link with `d_eff ≤ R` is enumerated: `max_gain^(1/n)`.
-    /// Exactly `1.0` for an ideal field.
+/// A [`PhyChannel`] *is* a [`LinkMetric`]: cost is the effective distance
+/// `d·g^(−1/n)`, reach boost is `max_gain^(1/n)`, and directions carry
+/// the configured angle-of-arrival error. This is the seam through which
+/// the incremental [`crate::reconfig::DeltaTopology`] engine runs the
+/// same maintenance algorithm over the stochastic channel that it runs
+/// over the ideal radio.
+impl LinkMetric for PhyChannel<'_> {
+    fn cost(&self, u: NodeId, v: NodeId, d: f64) -> f64 {
+        self.effective_distance(u, v, d)
+    }
+
     fn reach_boost(&self) -> f64 {
         let g = self.gain.max_gain();
         if g == 1.0 {
@@ -126,41 +133,10 @@ impl<'a> PhyChannel<'a> {
     }
 }
 
-/// A candidate waiting in the phy grow heap, ordered by `(effective
-/// distance, id)` — discovery order of continuous power growth over the
-/// shadowed channel.
-#[derive(Debug, PartialEq)]
-struct PhyCandidate {
-    effective: f64,
-    id: NodeId,
-}
-
-impl Eq for PhyCandidate {}
-
-impl Ord for PhyCandidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.effective
-            .total_cmp(&other.effective)
-            .then(self.id.cmp(&other.id))
-    }
-}
-
-impl PartialOrd for PhyCandidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Grows one node over the stochastic channel: an expanding shell scan in
-/// *geometric* space consuming candidates in *effective-distance* order.
-///
-/// The scan's completeness guarantee is geometric (every node nearer than
-/// `guaranteed_radius` has been enumerated); since an unenumerated node
-/// at geometric distance ≥ G has effective distance ≥ `G ·
-/// max_gain^(-1/n)`, the heap's head is safe to discover once its
-/// effective distance falls below that bound. With an ideal gain field
-/// both bounds collapse to the geometric ones and the walk replays
-/// [`crate::grow_node_in_grid`] exactly.
+/// Grows one node over the stochastic channel: the shared
+/// [`grow_node_metric`] kernel with the channel as the metric. With an
+/// ideal gain field both bounds collapse to the geometric ones and the
+/// walk replays [`crate::grow_node_in_grid`] exactly.
 fn grow_node_phy(
     layout: &cbtc_graph::Layout,
     grid: &SpatialGrid,
@@ -169,69 +145,7 @@ fn grow_node_phy(
     alpha: Alpha,
     max_range: f64,
 ) -> NodeView {
-    let center = layout.position(u);
-    let scan_radius = max_range * channel.reach_boost();
-    // Effective distance of the nearest unenumerated node is at least
-    // (geometric bound) × this factor.
-    let shrink = 1.0 / channel.reach_boost();
-    let mut scan = grid.shell_scan(center, scan_radius);
-    let mut heap: BinaryHeap<Reverse<PhyCandidate>> = BinaryHeap::new();
-    let mut ring = Vec::new();
-    let mut tracker = GapTracker::new();
-    let mut discoveries: Vec<Discovery> = Vec::new();
-
-    let discover = |c: PhyCandidate, discoveries: &mut Vec<Discovery>, tracker: &mut GapTracker| {
-        let direction = channel.direction(layout, u, c.id);
-        tracker.insert(direction);
-        discoveries.push(Discovery {
-            id: c.id,
-            distance: c.effective,
-            direction,
-        });
-    };
-
-    loop {
-        while heap
-            .peek()
-            .is_none_or(|c| c.0.effective >= scan.guaranteed_radius() * shrink)
-        {
-            ring.clear();
-            if !scan.scan_next(&mut ring) {
-                break;
-            }
-            for &v in &ring {
-                if v == u {
-                    continue;
-                }
-                let effective = channel.effective_distance(u, v, layout.distance(u, v));
-                if effective <= max_range {
-                    heap.push(Reverse(PhyCandidate { effective, id: v }));
-                }
-            }
-        }
-        let Some(Reverse(first)) = heap.pop() else {
-            return NodeView {
-                discoveries,
-                boundary: true,
-                grow_radius: max_range,
-            };
-        };
-        // Equal effective distances are discovered together, mirroring
-        // the geometric engine's equidistant groups.
-        let group = first.effective;
-        discover(first, &mut discoveries, &mut tracker);
-        while heap.peek().is_some_and(|c| c.0.effective == group) {
-            let Reverse(c) = heap.pop().expect("peeked non-empty");
-            discover(c, &mut discoveries, &mut tracker);
-        }
-        if !tracker.has_alpha_gap(alpha) {
-            return NodeView {
-                discoveries,
-                boundary: false,
-                grow_radius: group,
-            };
-        }
-    }
+    grow_node_metric(layout, grid, channel, u, alpha, max_range)
 }
 
 /// The growing phase of `CBTC(α)` over a stochastic channel, for every

@@ -1,0 +1,1168 @@
+//! The metric-generic incremental reconfiguration engine.
+//!
+//! The paper's §4 protocol repairs the topology *locally* after a join,
+//! leave, or angle change; this module is the centralized mirror of that
+//! locality. [`DeltaTopology`] maintains a full `CBTC(α)` construction —
+//! per-node views, the discovery relation, the pre-pairwise graph and the
+//! optimized final graph — under a stream of [`NodeEvent`]s, re-growing
+//! only the nodes an event can actually reach and emitting the exact
+//! edge delta. It is parameterized over a [`LinkMetric`], so the same
+//! maintenance algorithm serves the ideal radio ([`GeometricMetric`])
+//! and the stochastic channel of [`crate::phy`] (effective distances
+//! `d·g^(−1/n)` via [`crate::phy::PhyChannel`]).
+//!
+//! ## Paper map (§4 reconfiguration rules → code)
+//!
+//! | §4 rule | here |
+//! |---------|------|
+//! | `leave_u(v)`: re-run growth if dropping `v` opens an α-gap | [`NodeEvent::Death`] → exactly the nodes whose discovery prefix contained the deceased re-grow ([`DeltaTopology::apply`]) |
+//! | `join_u(v)`: add `v`, then shed | [`NodeEvent::Join`] → nodes whose grow radius reaches the newcomer re-grow; shrink-back re-runs per re-grown view |
+//! | `aChange_u(v)` under mobility | [`NodeEvent::Move`] = leave at the old position + join at the new one, fused |
+//! | Theorem 4.1 (result equals a full re-run) | the maintained graph is **edge-for-edge identical** to a from-scratch masked run; property-tested for every event kind on both metrics |
+//!
+//! ## Affected sets
+//!
+//! A node's view is a function of the *candidate set* it can reach, so an
+//! event at `x` changes `u`'s view iff it changes `u`'s discovery prefix:
+//!
+//! * a **death** of `x` affects exactly the nodes whose prefix contained
+//!   `x` — the reverse discovery relation, maintained incrementally;
+//! * a **join** at position `p` affects exactly the nodes whose grow
+//!   radius covers the newcomer's cost (`cost(u→x) ≤ rad⁻_u`, where
+//!   boundary nodes have `rad⁻_u = R`);
+//! * a **move** is both rules at once.
+//!
+//! Everything else — every view, every edge between unaffected survivors
+//! — is provably unchanged and never touched. Pairwise-removal state is
+//! refreshed only at nodes whose pre-pairwise adjacency changed, plus
+//! (under moves) nodes adjacent to a mover, whose edge *lengths* changed.
+
+use std::collections::BTreeSet;
+
+use cbtc_geom::{gap::GapTracker, Point2};
+use cbtc_graph::{Layout, NodeId, SpatialGrid, UndirectedGraph, UnionFind};
+
+use crate::centralized::{construction_cell, dead_view, grow_node_metric, PAR_MIN_CHUNK};
+use crate::opt::{
+    node_floor_with, node_redundancy_with, pairwise_removal_with, shrink_back_view, PairwisePolicy,
+};
+use crate::parallel::par_map;
+use crate::view::Discovery;
+use crate::view::NodeView;
+use crate::CbtcConfig;
+
+#[cfg(test)]
+use super::metric::GeometricMetric;
+use super::metric::LinkMetric;
+
+/// One membership or geometry change fed to [`DeltaTopology::apply`].
+///
+/// Node IDs index a fixed slot space chosen at construction time (a
+/// joining node occupies a pre-allocated inactive slot, mirroring how
+/// the churn suite pre-allocates late joiners).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeEvent {
+    /// The node leaves (crash-stop / battery death). Must be active.
+    Death(NodeId),
+    /// The node joins at the given position. Must be inactive.
+    Join(NodeId, Point2),
+    /// The node moves to the given position. Must be active.
+    Move(NodeId, Point2),
+}
+
+impl NodeEvent {
+    /// The node the event concerns.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            NodeEvent::Death(u) | NodeEvent::Join(u, _) | NodeEvent::Move(u, _) => u,
+        }
+    }
+}
+
+/// The edges by which one [`DeltaTopology::apply`] changed the final
+/// graph — what routing caches need to decide which trees survive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopologyDelta {
+    /// Edges present before the events and absent after, as `(min, max)`.
+    pub removed: Vec<(NodeId, NodeId)>,
+    /// Edges absent before the events and present after, as `(min, max)`.
+    pub added: Vec<(NodeId, NodeId)>,
+}
+
+impl TopologyDelta {
+    /// Whether the events changed no edge at all.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+}
+
+/// The exact edge difference between two graphs on the same node set, as
+/// canonical sorted `(min, max)` pairs — the delta a consumer that only
+/// sees graph snapshots (e.g. the churn suite's maintained topology) can
+/// still drive routing-tree invalidation with.
+///
+/// # Panics
+///
+/// Panics if the node counts differ.
+pub fn graph_delta(before: &UndirectedGraph, after: &UndirectedGraph) -> TopologyDelta {
+    assert_eq!(
+        before.node_count(),
+        after.node_count(),
+        "graph delta needs a shared node set"
+    );
+    let mut delta = TopologyDelta::default();
+    for u in before.node_ids() {
+        let mut old = before.neighbors(u).filter(|v| *v > u).peekable();
+        let mut new = after.neighbors(u).filter(|v| *v > u).peekable();
+        loop {
+            match (old.peek().copied(), new.peek().copied()) {
+                (None, None) => break,
+                (Some(a), Some(b)) if a == b => {
+                    old.next();
+                    new.next();
+                }
+                (Some(a), b) if b.is_none_or(|b| a < b) => {
+                    delta.removed.push((u, a));
+                    old.next();
+                }
+                (_, Some(b)) => {
+                    delta.added.push((u, b));
+                    new.next();
+                }
+                _ => unreachable!("peeked arms are exhaustive"),
+            }
+        }
+    }
+    delta
+}
+
+/// Per-node [`PairwisePolicy::PowerReducing`] state over the
+/// pre-pairwise graph. Both fields are functions of one node's adjacency
+/// plus the (current) geometry measured through the metric, which is
+/// exactly why pairwise removal can be re-derived for only the nodes
+/// whose neighborhoods or incident lengths changed.
+#[derive(Debug, Clone)]
+struct PairwiseState {
+    /// `redundant_from[u]` = [`node_redundancy_with`] at `u`.
+    redundant_from: Vec<BTreeSet<NodeId>>,
+    /// `floor[u]` = [`node_floor_with`] at `u`.
+    floor: Vec<f64>,
+}
+
+impl PairwiseState {
+    fn over<L>(graph: &UndirectedGraph, layout: &Layout, length: &L) -> Self
+    where
+        L: Fn(NodeId, NodeId) -> f64,
+    {
+        let redundant_from: Vec<BTreeSet<NodeId>> = graph
+            .node_ids()
+            .map(|u| node_redundancy_with(graph, layout, u, length))
+            .collect();
+        let floor = graph
+            .node_ids()
+            .map(|u| node_floor_with(graph, u, &redundant_from[u.index()], length))
+            .collect();
+        PairwiseState {
+            redundant_from,
+            floor,
+        }
+    }
+
+    fn refresh<L>(&mut self, graph: &UndirectedGraph, layout: &Layout, u: NodeId, length: &L)
+    where
+        L: Fn(NodeId, NodeId) -> f64,
+    {
+        self.redundant_from[u.index()] = node_redundancy_with(graph, layout, u, length);
+        self.floor[u.index()] = node_floor_with(graph, u, &self.redundant_from[u.index()], length);
+    }
+
+    /// Whether the power-reducing policy removes edge `{u, v}`.
+    fn drops<L>(&self, u: NodeId, v: NodeId, length: &L) -> bool
+    where
+        L: Fn(NodeId, NodeId) -> f64,
+    {
+        (self.redundant_from[u.index()].contains(&v) && length(u, v) > self.floor[u.index()])
+            || (self.redundant_from[v.index()].contains(&u) && length(v, u) > self.floor[v.index()])
+    }
+}
+
+/// How the final graph is derived from the maintained pre-pairwise graph.
+#[derive(Debug, Clone)]
+enum FinalStage {
+    /// No pairwise removal: the final graph *is* the pre-pairwise graph.
+    Closure,
+    /// §3.3 pairwise removal, re-judged locally at dirty nodes (sound on
+    /// the unit disk, where Theorem 3.6 needs no guard).
+    Pairwise(PairwiseState),
+    /// §3.3 pairwise removal behind the union-find connectivity guard of
+    /// [`crate::phy::run_phy_centralized`]: the guard's restorations are
+    /// global, so the stage recomputes from the (incrementally
+    /// maintained) pre-pairwise graph and diffs — still far cheaper than
+    /// re-growing every node.
+    Guarded,
+}
+
+/// A full `CBTC(α)` construction over the active subset of a fixed node
+/// slot space, maintained incrementally under deaths, joins and moves —
+/// the centralized counterpart of the paper's §4 reconfiguration,
+/// generic over the [`LinkMetric`] the construction measures links with.
+///
+/// The maintained [`DeltaTopology::graph`] is edge-for-edge identical to
+/// a from-scratch masked run over the current membership and geometry
+/// ([`crate::run_centralized_masked`] on the geometric metric,
+/// [`crate::phy::run_phy_centralized_masked`] on a phy channel with
+/// `guard = true`); the workspace property tests pin this down for every
+/// event kind on both metrics.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_core::reconfig::{DeltaTopology, GeometricMetric, NodeEvent};
+/// use cbtc_core::CbtcConfig;
+/// use cbtc_geom::{Alpha, Point2};
+/// use cbtc_graph::{Layout, NodeId};
+///
+/// let layout = Layout::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(300.0, 0.0),
+///     Point2::new(600.0, 0.0),
+/// ]);
+/// let config = CbtcConfig::new(Alpha::FIVE_PI_SIXTHS);
+/// let mut topo = DeltaTopology::new(
+///     layout,
+///     vec![true, true, true],
+///     500.0,
+///     config,
+///     false,
+///     GeometricMetric,
+/// );
+/// assert_eq!(topo.graph().edge_count(), 2);
+///
+/// // The middle node dies: both its edges go, the ends are out of range.
+/// let delta = topo.apply(&[NodeEvent::Death(NodeId::new(1))]);
+/// assert_eq!(delta.removed.len(), 2);
+/// assert_eq!(topo.graph().edge_count(), 0);
+///
+/// // It comes back as a join, halfway: the chain re-forms.
+/// let delta = topo.apply(&[NodeEvent::Join(NodeId::new(1), Point2::new(250.0, 0.0))]);
+/// assert_eq!(delta.added.len(), 2);
+/// assert_eq!(topo.graph().edge_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaTopology<M: LinkMetric> {
+    metric: M,
+    config: CbtcConfig,
+    max_range: f64,
+    /// Positions of every slot (joins/moves update it in place).
+    layout: Layout,
+    active: Vec<bool>,
+    /// Index over the *active* slots only.
+    grid: SpatialGrid,
+    /// Raw growing-phase views over the active nodes; inactive slots
+    /// hold [`dead_view`].
+    basic: Vec<NodeView>,
+    /// Post-shrink-back views — the views the graph stages are derived
+    /// from. **Empty when op1 is off**: the effective views are then the
+    /// basic views themselves, and maintaining a second copy would be
+    /// pure duplication (every reader goes through the shrink-aware
+    /// selectors below).
+    effective: Vec<NodeView>,
+    /// Reverse discovery over the *basic* views: `discovered_by_basic[x]`
+    /// holds every `u` whose growing-phase prefix contains `x`, sorted.
+    /// This is the exact death/move affected set.
+    discovered_by_basic: Vec<Vec<NodeId>>,
+    /// Reverse discovery over the *effective* views — what edge
+    /// reconstruction at an affected node consults. Empty when op1 is
+    /// off (aliasing `discovered_by_basic`).
+    discovered_by: Vec<Vec<NodeId>>,
+    /// The symmetric closure/core before pairwise removal.
+    pre_pairwise: UndirectedGraph,
+    stage: FinalStage,
+    /// The final graph after all configured optimizations.
+    graph: UndirectedGraph,
+    /// Nodes re-grown by the most recent [`DeltaTopology::apply`].
+    last_regrown: usize,
+    /// Of those, how many needed a spatial-grid scan (the §4 "re-run
+    /// the growing phase" case: an α-gap opened, or the node itself
+    /// moved/joined); the rest replayed from their cached prefix.
+    last_grid_scans: usize,
+}
+
+impl<M: LinkMetric> DeltaTopology<M> {
+    /// Builds the initial construction over the active subset of
+    /// `layout`. `guard` enables the pairwise connectivity guard (use it
+    /// whenever the metric is not a unit-disk geometric metric — Theorem
+    /// 3.6's scaffolding does not survive off the unit disk; it is a
+    /// provable no-op on the geometric metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len()` differs from the layout size.
+    pub fn new(
+        layout: Layout,
+        active: Vec<bool>,
+        max_range: f64,
+        config: CbtcConfig,
+        guard: bool,
+        metric: M,
+    ) -> Self {
+        assert_eq!(active.len(), layout.len(), "active mask size mismatch");
+        let population = active.iter().filter(|a| **a).count();
+        let mut grid = SpatialGrid::new(construction_cell(&layout, max_range, population));
+        for (id, p) in layout.iter() {
+            if active[id.index()] {
+                grid.insert(id, p);
+            }
+        }
+        let ids: Vec<NodeId> = layout.node_ids().collect();
+        let basic: Vec<NodeView> = par_map(&ids, PAR_MIN_CHUNK, |&u| {
+            if active[u.index()] {
+                grow_node_metric(&layout, &grid, &metric, u, config.alpha(), max_range)
+            } else {
+                dead_view()
+            }
+        });
+        let effective: Vec<NodeView> = if config.shrink_back() {
+            basic
+                .iter()
+                .map(|v| shrink_back_view(v, config.alpha()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let discovered_by_basic = reverse_discoveries(&basic);
+        let discovered_by = if config.shrink_back() {
+            reverse_discoveries(&effective)
+        } else {
+            Vec::new()
+        };
+        let (eff_views, eff_reverse) = if config.shrink_back() {
+            (&effective, &discovered_by)
+        } else {
+            (&basic, &discovered_by_basic)
+        };
+        let pre_pairwise = graph_from_views(eff_views, eff_reverse, &config);
+
+        let (stage, graph) = if !config.pairwise_removal() {
+            (FinalStage::Closure, pre_pairwise.clone())
+        } else if guard {
+            (
+                FinalStage::Guarded,
+                guarded_pairwise(&pre_pairwise, &layout, &metric),
+            )
+        } else {
+            let length = |a: NodeId, b: NodeId| metric.cost(a, b, layout.distance(a, b));
+            let state = PairwiseState::over(&pre_pairwise, &layout, &length);
+            let outcome = pairwise_removal_with(
+                &pre_pairwise,
+                &layout,
+                PairwisePolicy::PowerReducing,
+                length,
+            );
+            (FinalStage::Pairwise(state), outcome.graph)
+        };
+
+        DeltaTopology {
+            stage,
+            graph,
+            last_regrown: 0,
+            last_grid_scans: 0,
+            metric,
+            config,
+            max_range,
+            layout,
+            active,
+            grid,
+            basic,
+            effective,
+            discovered_by_basic,
+            discovered_by,
+            pre_pairwise,
+        }
+    }
+
+    /// The current topology: edges only between active nodes, inactive
+    /// slots isolated, on the full slot space.
+    pub fn graph(&self) -> &UndirectedGraph {
+        &self.graph
+    }
+
+    /// The maintained pre-pairwise graph (the symmetric closure, or core
+    /// under op2).
+    pub fn pre_pairwise(&self) -> &UndirectedGraph {
+        &self.pre_pairwise
+    }
+
+    /// The membership mask this construction currently reflects.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// The positions this construction currently reflects.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The position of a slot.
+    pub fn position(&self, u: NodeId) -> Point2 {
+        self.layout.position(u)
+    }
+
+    /// How many nodes the most recent [`DeltaTopology::apply`] re-grew —
+    /// the observable cost of an incremental update (a from-scratch run
+    /// re-grows every active node).
+    pub fn last_regrown(&self) -> usize {
+        self.last_regrown
+    }
+
+    /// Of [`DeltaTopology::last_regrown`], how many needed a
+    /// spatial-grid scan — the §4 "re-run the growing phase" case: the
+    /// node itself moved or joined, or a departure opened an α-gap its
+    /// cached prefix cannot close. The remainder replayed their new view
+    /// from the cached prefix without touching the grid.
+    pub fn last_grid_scans(&self) -> usize {
+        self.last_grid_scans
+    }
+
+    /// Applies a batch of events and reconfigures incrementally,
+    /// returning the final graph's exact edge delta.
+    ///
+    /// Only nodes whose discovery prefix an event can change re-run
+    /// their growth; everyone else's view — and therefore every edge
+    /// between unaffected nodes — is provably unchanged and not touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event's membership precondition fails (dead node
+    /// dying again, active node joining, inactive node moving) or if two
+    /// events in the batch concern the same node.
+    pub fn apply(&mut self, events: &[NodeEvent]) -> TopologyDelta {
+        // ── A. Classify and validate. ───────────────────────────────
+        let mut deaths: Vec<NodeId> = Vec::new();
+        let mut joins: Vec<(NodeId, Point2)> = Vec::new();
+        let mut moves: Vec<(NodeId, Point2)> = Vec::new();
+        for event in events {
+            match *event {
+                NodeEvent::Death(u) => {
+                    assert!(self.active[u.index()], "node {u} is already dead");
+                    deaths.push(u);
+                }
+                NodeEvent::Join(u, p) => {
+                    assert!(!self.active[u.index()], "node {u} is already active");
+                    joins.push((u, p));
+                }
+                NodeEvent::Move(u, p) => {
+                    assert!(self.active[u.index()], "cannot move inactive node {u}");
+                    moves.push((u, p));
+                }
+            }
+        }
+        {
+            let mut seen: Vec<NodeId> = events.iter().map(NodeEvent::node).collect();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            assert_eq!(before, seen.len(), "a node may appear in one event only");
+        }
+
+        // ── B. Affected nodes of removals: exactly those whose basic
+        //       discovery prefix contains the deceased/mover. Each pair
+        //       `(observer, departed)` is also a cached-prefix edit. ───
+        let mut removal_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        for &d in &deaths {
+            for &u in &self.discovered_by_basic[d.index()] {
+                removal_pairs.push((u, d));
+            }
+        }
+        for &(m, _) in &moves {
+            for &u in &self.discovered_by_basic[m.index()] {
+                removal_pairs.push((u, m));
+            }
+        }
+
+        // ── C. Commit membership and geometry. ──────────────────────
+        let mut full_regrow = vec![false; self.layout.len()];
+        for &d in &deaths {
+            self.grid.remove(d, self.layout.position(d));
+            self.active[d.index()] = false;
+        }
+        for &(m, p) in &moves {
+            let from = self.layout.position(m);
+            self.grid.update(m, from, p);
+            self.layout.set_position(m, p);
+            full_regrow[m.index()] = true;
+        }
+        for &(j, p) in &joins {
+            self.layout.set_position(j, p);
+            self.grid.insert(j, p);
+            self.active[j.index()] = true;
+            full_regrow[j.index()] = true;
+        }
+
+        // ── D. Affected nodes of insertions: exactly those whose grow
+        //       radius covers the newcomer's cost at its new position.
+        //       Each pair `(observer, newcomer, cost)` is a cached-
+        //       prefix edit. ─────────────────────────────────────────
+        let scan_radius = self.max_range * self.metric.reach_boost();
+        let mut candidates = Vec::new();
+        let mut insertion_pairs: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        for &(x, p) in joins.iter().chain(&moves) {
+            candidates.clear();
+            self.grid.candidates_within(p, scan_radius, &mut candidates);
+            for &u in &candidates {
+                if u == x {
+                    continue;
+                }
+                let d = self.layout.distance(u, x);
+                let cost = self.metric.cost(u, x, d);
+                if cost <= self.basic[u.index()].grow_radius {
+                    insertion_pairs.push((u, x, cost));
+                }
+            }
+        }
+        let mut affected: Vec<NodeId> = removal_pairs
+            .iter()
+            .map(|&(u, _)| u)
+            .chain(insertion_pairs.iter().map(|&(u, _, _)| u))
+            .collect();
+        for &(m, _) in &moves {
+            affected.push(m);
+        }
+        for &(j, _) in &joins {
+            affected.push(j);
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        affected.retain(|u| self.active[u.index()]);
+        self.last_regrown = affected.len();
+        self.last_grid_scans = 0;
+        removal_pairs.sort_unstable();
+        insertion_pairs.sort_by_key(|&(u, x, _)| (u, x));
+
+        // ── E. Retire the dead nodes' views and reverse entries. ─────
+        let shrink = self.config.shrink_back();
+        for &d in &deaths {
+            for v in self.basic[d.index()].neighbor_ids() {
+                remove_sorted(&mut self.discovered_by_basic[v.index()], d);
+            }
+            self.discovered_by_basic[d.index()].clear();
+            self.basic[d.index()] = dead_view();
+            if shrink {
+                for v in self.effective[d.index()].neighbor_ids() {
+                    remove_sorted(&mut self.discovered_by[v.index()], d);
+                }
+                self.discovered_by[d.index()].clear();
+                self.effective[d.index()] = dead_view();
+            }
+        }
+
+        // ── F. Recompute the affected views: replay from the cached
+        //       prefix when the §4 rules allow it, grid-scan otherwise —
+        //       and refresh both reverse relations. A view whose id
+        //       sequence is exactly the old one minus the deceased
+        //       changes no reverse entry (retirement already erased the
+        //       dead) and no edge between survivors, so both updates are
+        //       skipped; `patch` keeps only the genuinely edge-relevant
+        //       nodes. ────────────────────────────────────────────────
+        let mut is_dead = vec![false; self.layout.len()];
+        for &d in &deaths {
+            is_dead[d.index()] = true;
+        }
+        let mut patch: Vec<NodeId> = Vec::new();
+        let mut removal_cursor = 0usize;
+        let mut insertion_cursor = 0usize;
+        for &u in &affected {
+            // The (sorted) slices of this node's prefix edits.
+            while removal_cursor < removal_pairs.len() && removal_pairs[removal_cursor].0 < u {
+                removal_cursor += 1;
+            }
+            let removals_end = removal_pairs[removal_cursor..]
+                .iter()
+                .take_while(|&&(o, _)| o == u)
+                .count()
+                + removal_cursor;
+            while insertion_cursor < insertion_pairs.len()
+                && insertion_pairs[insertion_cursor].0 < u
+            {
+                insertion_cursor += 1;
+            }
+            let insertions_end = insertion_pairs[insertion_cursor..]
+                .iter()
+                .take_while(|&&(o, _, _)| o == u)
+                .count()
+                + insertion_cursor;
+
+            let basic = if full_regrow[u.index()] {
+                None
+            } else {
+                self.replay_cached(
+                    u,
+                    &removal_pairs[removal_cursor..removals_end],
+                    &insertion_pairs[insertion_cursor..insertions_end],
+                )
+            };
+            let basic = basic.unwrap_or_else(|| {
+                self.last_grid_scans += 1;
+                grow_node_metric(
+                    &self.layout,
+                    &self.grid,
+                    &self.metric,
+                    u,
+                    self.config.alpha(),
+                    self.max_range,
+                )
+            });
+            removal_cursor = removals_end;
+            insertion_cursor = insertions_end;
+            let basic_changed = !ids_equal_minus_dead(&self.basic[u.index()], &basic, &is_dead);
+            if basic_changed {
+                for v in self.basic[u.index()].neighbor_ids() {
+                    remove_sorted(&mut self.discovered_by_basic[v.index()], u);
+                }
+                for v in basic.neighbor_ids() {
+                    insert_sorted(&mut self.discovered_by_basic[v.index()], u);
+                }
+            }
+            if shrink {
+                let effective = shrink_back_view(&basic, self.config.alpha());
+                if !ids_equal_minus_dead(&self.effective[u.index()], &effective, &is_dead) {
+                    for v in self.effective[u.index()].neighbor_ids() {
+                        remove_sorted(&mut self.discovered_by[v.index()], u);
+                    }
+                    for v in effective.neighbor_ids() {
+                        insert_sorted(&mut self.discovered_by[v.index()], u);
+                    }
+                    patch.push(u);
+                }
+                self.effective[u.index()] = effective;
+            } else if basic_changed {
+                patch.push(u);
+            }
+            self.basic[u.index()] = basic;
+        }
+
+        // ── G. Patch the pre-pairwise graph: drop every edge at a dead
+        //       or edge-relevant re-grown node, then rebuild the latter
+        //       nodes' edges from their new views plus the reverse
+        //       relation. Edges between two unaffected (or affected but
+        //       edge-neutral) nodes are untouched — neither endpoint's
+        //       id set changed. Removals cancelled by a re-add net out,
+        //       so the recorded events are the exact delta. ────────────
+        let mut pre_removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut pre_added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for &x in deaths.iter().chain(&patch) {
+            let neighbors: Vec<NodeId> = self.pre_pairwise.neighbors(x).collect();
+            for v in neighbors {
+                if self.pre_pairwise.remove_edge(x, v) {
+                    pre_removed.insert((x.min(v), x.max(v)));
+                }
+            }
+        }
+        let asymmetric = self.config.asymmetric_removal();
+        for &u in &patch {
+            let views: &[NodeView] = if shrink { &self.effective } else { &self.basic };
+            let reverse: &[Vec<NodeId>] = if shrink {
+                &self.discovered_by
+            } else {
+                &self.discovered_by_basic
+            };
+            let mut connect = Vec::new();
+            for v in views[u.index()].neighbor_ids() {
+                if !asymmetric || views[v.index()].discovered(u) {
+                    connect.push(v);
+                }
+            }
+            for &v in &reverse[u.index()] {
+                if !asymmetric || views[u.index()].discovered(v) {
+                    connect.push(v);
+                }
+            }
+            for v in connect {
+                if !self.pre_pairwise.has_edge(u, v) {
+                    self.pre_pairwise.add_edge(u, v);
+                    let e = (u.min(v), u.max(v));
+                    if !pre_removed.remove(&e) {
+                        pre_added.insert(e);
+                    }
+                }
+            }
+        }
+
+        // ── H. Re-derive the final graph from the delta alone. ───────
+        let movers: Vec<NodeId> = moves.iter().map(|&(m, _)| m).collect();
+        self.finalize(&movers, pre_removed, pre_added)
+    }
+
+    /// The §4 fast path: recomputes `u`'s view *from its cached prefix*
+    /// instead of a grid scan, applying the given departure and arrival
+    /// edits. Returns `None` when only a grid scan can answer — a
+    /// departure opened an α-gap that survives the whole cached prefix,
+    /// so growth must continue past the cached radius (the paper's
+    /// "re-run the growing phase" case).
+    ///
+    /// Sound because a cached non-boundary prefix is *complete* up to
+    /// its grow radius (discovery proceeds through whole cost groups):
+    /// departures can only push the stop radius outward, arrivals can
+    /// only pull it inward, so any stop found within the edited prefix
+    /// is the true stop, bit-identical to a full re-growth.
+    fn replay_cached(
+        &self,
+        u: NodeId,
+        removals: &[(NodeId, NodeId)],
+        insertions: &[(NodeId, NodeId, f64)],
+    ) -> Option<NodeView> {
+        let old = &self.basic[u.index()];
+        let mut entries: Vec<Discovery> = old
+            .discoveries
+            .iter()
+            .filter(|d| removals.iter().all(|&(_, x)| x != d.id))
+            .copied()
+            .collect();
+        for &(_, x, cost) in insertions {
+            let entry = Discovery {
+                id: x,
+                distance: cost,
+                direction: self.metric.direction(&self.layout, u, x),
+            };
+            let at = entries
+                .binary_search_by(|e| {
+                    e.distance
+                        .total_cmp(&entry.distance)
+                        .then(e.id.cmp(&entry.id))
+                })
+                .unwrap_err();
+            entries.insert(at, entry);
+        }
+
+        // Replay continuous growth over the edited prefix: whole cost
+        // groups at a time, α-gap after each — the in-memory mirror of
+        // the grid walk, bit-identical by the GapTracker equivalence.
+        let alpha = self.config.alpha();
+        let mut tracker = GapTracker::new();
+        let mut idx = 0;
+        while idx < entries.len() {
+            let group = entries[idx].distance;
+            let mut end = idx;
+            while end < entries.len() && entries[end].distance == group {
+                tracker.insert(entries[end].direction);
+                end += 1;
+            }
+            if !tracker.has_alpha_gap(alpha) {
+                entries.truncate(end);
+                return Some(NodeView {
+                    discoveries: entries,
+                    boundary: false,
+                    grow_radius: group,
+                });
+            }
+            idx = end;
+        }
+        if old.boundary {
+            // A boundary prefix covers everything in range; edits keep
+            // it complete, and the gap persisting to max power keeps the
+            // node a boundary node.
+            Some(NodeView {
+                discoveries: entries,
+                boundary: true,
+                grow_radius: self.max_range,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The final-stage update: closure verbatim, local pairwise
+    /// re-judging, or the guarded recomputation.
+    fn finalize(
+        &mut self,
+        movers: &[NodeId],
+        pre_removed: BTreeSet<(NodeId, NodeId)>,
+        pre_added: BTreeSet<(NodeId, NodeId)>,
+    ) -> TopologyDelta {
+        // Field-disjoint borrows: the stage is mutated while the metric,
+        // layout and pre-pairwise graph are read.
+        let DeltaTopology {
+            metric,
+            layout,
+            pre_pairwise,
+            stage,
+            graph,
+            ..
+        } = self;
+        match stage {
+            FinalStage::Closure => {
+                // No op3: the final graph *is* the pre-pairwise graph, so
+                // the events apply verbatim.
+                for &(u, v) in &pre_removed {
+                    graph.remove_edge(u, v);
+                }
+                for &(u, v) in &pre_added {
+                    graph.add_edge(u, v);
+                }
+                TopologyDelta {
+                    removed: pre_removed.into_iter().collect(),
+                    added: pre_added.into_iter().collect(),
+                }
+            }
+            FinalStage::Pairwise(pairwise) => {
+                // Pairwise decisions are functions of an endpoint's
+                // adjacency and its incident lengths: nodes whose
+                // pre-pairwise adjacency changed are dirty, and — under
+                // moves — so are the movers and their neighbors, whose
+                // incident lengths/angles changed under their feet.
+                // (Dead endpoints stay dirty: their now-empty adjacency
+                // refreshes to nothing and the row rewrite below strips
+                // their final-graph edges.)
+                let mut dirty: Vec<NodeId> = pre_removed
+                    .iter()
+                    .chain(&pre_added)
+                    .flat_map(|&(u, v)| [u, v])
+                    .collect();
+                for &m in movers {
+                    dirty.push(m);
+                    dirty.extend(pre_pairwise.neighbors(m));
+                }
+                dirty.sort_unstable();
+                dirty.dedup();
+                let length = |a: NodeId, b: NodeId| metric.cost(a, b, layout.distance(a, b));
+                for &x in &dirty {
+                    pairwise.refresh(pre_pairwise, layout, x, &length);
+                }
+                let old_rows: Vec<(NodeId, Vec<NodeId>)> = dirty
+                    .iter()
+                    .map(|&x| (x, graph.neighbors(x).collect()))
+                    .collect();
+                for (x, row) in &old_rows {
+                    for &v in row {
+                        graph.remove_edge(*x, v);
+                    }
+                }
+                for &x in &dirty {
+                    let neighbors: Vec<NodeId> = pre_pairwise.neighbors(x).collect();
+                    for v in neighbors {
+                        if !pairwise.drops(x, v, &length) {
+                            graph.add_edge(x, v);
+                        }
+                    }
+                }
+                let mut removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+                let mut added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+                for (x, old_row) in &old_rows {
+                    for &v in old_row {
+                        if !graph.has_edge(*x, v) {
+                            removed.insert((*x.min(&v), *x.max(&v)));
+                        }
+                    }
+                    for v in graph.neighbors(*x) {
+                        if old_row.binary_search(&v).is_err() {
+                            added.insert((*x.min(&v), *x.max(&v)));
+                        }
+                    }
+                }
+                TopologyDelta {
+                    removed: removed.into_iter().collect(),
+                    added: added.into_iter().collect(),
+                }
+            }
+            FinalStage::Guarded => {
+                // The guard's restorations depend on global connectivity,
+                // so re-derive the optimization tail from the maintained
+                // pre-pairwise graph and diff. The expensive part — the
+                // growth phase — stayed incremental.
+                let next = guarded_pairwise(pre_pairwise, layout, metric);
+                let delta = graph_delta(graph, &next);
+                *graph = next;
+                delta
+            }
+        }
+    }
+}
+
+/// §3.3 pairwise removal measured through the metric, behind the
+/// union-find connectivity guard — byte-for-byte the optimization tail of
+/// [`crate::phy::run_phy_centralized`].
+fn guarded_pairwise<M: LinkMetric>(
+    pre_pairwise: &UndirectedGraph,
+    layout: &Layout,
+    metric: &M,
+) -> UndirectedGraph {
+    let outcome = pairwise_removal_with(
+        pre_pairwise,
+        layout,
+        PairwisePolicy::PowerReducing,
+        |a, b| metric.cost(a, b, layout.distance(a, b)),
+    );
+    let mut graph = outcome.graph;
+    let mut uf = UnionFind::new(graph.node_count());
+    for (u, v) in graph.edges() {
+        uf.union(u, v);
+    }
+    for &(u, v) in &outcome.removed {
+        if uf.union(u, v) {
+            graph.add_edge(u, v);
+        }
+    }
+    graph
+}
+
+/// Whether `new`'s discovery id *sequence* is exactly `old`'s with the
+/// dead entries dropped. When true, the node's reverse-relation entries
+/// are already correct (retirement erased the dead) and its edges to
+/// survivors cannot have changed — edges are a function of neighbor id
+/// sets only, never of the cached distances or bearings.
+fn ids_equal_minus_dead(old: &NodeView, new: &NodeView, is_dead: &[bool]) -> bool {
+    let mut new_ids = new.discoveries.iter().map(|d| d.id);
+    for d in &old.discoveries {
+        if is_dead[d.id.index()] {
+            continue;
+        }
+        if new_ids.next() != Some(d.id) {
+            return false;
+        }
+    }
+    new_ids.next().is_none()
+}
+
+/// `reverse[x]` = sorted list of nodes whose view discovers `x`.
+fn reverse_discoveries(views: &[NodeView]) -> Vec<Vec<NodeId>> {
+    let mut reverse: Vec<Vec<NodeId>> = vec![Vec::new(); views.len()];
+    for (i, view) in views.iter().enumerate() {
+        let u = NodeId::new(i as u32);
+        for d in &view.discoveries {
+            reverse[d.id.index()].push(u);
+        }
+    }
+    for list in &mut reverse {
+        list.sort_unstable();
+    }
+    reverse
+}
+
+/// The symmetric closure (or, under op2, core) of the effective views.
+fn graph_from_views(
+    views: &[NodeView],
+    discovered_by: &[Vec<NodeId>],
+    config: &CbtcConfig,
+) -> UndirectedGraph {
+    let asymmetric = config.asymmetric_removal();
+    let edges = views.iter().enumerate().flat_map(|(i, view)| {
+        let u = NodeId::new(i as u32);
+        view.discoveries
+            .iter()
+            .filter(move |d| !asymmetric || discovered_by[i].binary_search(&d.id).is_ok())
+            .map(move |d| (u, d.id))
+    });
+    UndirectedGraph::from_edges(views.len(), edges)
+}
+
+fn insert_sorted(list: &mut Vec<NodeId>, v: NodeId) {
+    if let Err(i) = list.binary_search(&v) {
+        list.insert(i, v);
+    }
+}
+
+fn remove_sorted(list: &mut Vec<NodeId>, v: NodeId) {
+    if let Ok(i) = list.binary_search(&v) {
+        list.remove(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_centralized_masked, Network};
+    use cbtc_geom::Alpha;
+    use cbtc_graph::Layout;
+    use cbtc_radio::PowerLaw;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn scattered(count: usize, side: f64, seed: u64) -> Layout {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        Layout::new(
+            (0..count)
+                .map(|_| Point2::new(next() * side, next() * side))
+                .collect(),
+        )
+    }
+
+    fn configs() -> Vec<CbtcConfig> {
+        vec![
+            CbtcConfig::new(Alpha::FIVE_PI_SIXTHS),
+            CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
+            CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS),
+        ]
+    }
+
+    /// From-scratch reference over the engine's current state.
+    fn reference(topo: &DeltaTopology<GeometricMetric>, config: &CbtcConfig) -> UndirectedGraph {
+        let network = Network::new(topo.layout().clone(), PowerLaw::paper_default());
+        run_centralized_masked(&network, config, topo.active()).into_final_graph()
+    }
+
+    #[test]
+    fn event_stream_matches_from_scratch_at_every_step() {
+        let layout = scattered(30, 1200.0, 9);
+        let events: Vec<Vec<NodeEvent>> = vec![
+            vec![NodeEvent::Death(n(3))],
+            vec![NodeEvent::Move(n(7), Point2::new(40.0, 900.0))],
+            vec![
+                NodeEvent::Death(n(11)),
+                NodeEvent::Join(n(3), Point2::new(600.0, 600.0)),
+            ],
+            vec![
+                NodeEvent::Move(n(0), Point2::new(1100.0, 80.0)),
+                NodeEvent::Move(n(20), Point2::new(500.0, 420.0)),
+                NodeEvent::Death(n(25)),
+            ],
+            vec![NodeEvent::Join(n(11), Point2::new(111.0, 222.0))],
+        ];
+        for config in configs() {
+            let mut topo = DeltaTopology::new(
+                layout.clone(),
+                vec![true; layout.len()],
+                500.0,
+                config,
+                false,
+                GeometricMetric,
+            );
+            assert_eq!(topo.graph(), &reference(&topo, &config), "initial build");
+            for batch in &events {
+                let before = topo.graph().clone();
+                let delta = topo.apply(batch);
+                assert_eq!(
+                    topo.graph(),
+                    &reference(&topo, &config),
+                    "config {config:?} diverged after {batch:?}"
+                );
+                // The delta must be the exact difference.
+                assert_eq!(delta, graph_delta(&before, topo.graph()), "exact delta");
+            }
+        }
+    }
+
+    #[test]
+    fn join_far_away_touches_nothing_else() {
+        let layout = scattered(12, 400.0, 4);
+        let config = CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS);
+        let mut active = vec![true; 12];
+        active[5] = false;
+        let mut topo = DeltaTopology::new(
+            layout.clone(),
+            active,
+            500.0,
+            config,
+            false,
+            GeometricMetric,
+        );
+        let before = topo.graph().clone();
+        let delta = topo.apply(&[NodeEvent::Join(n(5), Point2::new(50_000.0, 0.0))]);
+        assert!(delta.is_empty(), "an out-of-range joiner changes no edge");
+        assert_eq!(topo.last_regrown(), 1, "only the joiner grows");
+        assert_eq!(topo.graph(), &before);
+        assert_eq!(topo.graph(), &reference(&topo, &config));
+    }
+
+    #[test]
+    fn death_affects_only_reverse_discoverers() {
+        let layout = scattered(60, 2500.0, 17);
+        let config = CbtcConfig::new(Alpha::FIVE_PI_SIXTHS);
+        let mut topo = DeltaTopology::new(
+            layout.clone(),
+            vec![true; 60],
+            500.0,
+            config,
+            false,
+            GeometricMetric,
+        );
+        let expected = topo.discovered_by_basic[13].len();
+        topo.apply(&[NodeEvent::Death(n(13))]);
+        assert_eq!(
+            topo.last_regrown(),
+            expected,
+            "the affected set is exactly the reverse discovery set"
+        );
+        assert_eq!(topo.graph(), &reference(&topo, &config));
+    }
+
+    #[test]
+    fn small_move_is_cheap_and_exact() {
+        let layout = scattered(80, 3000.0, 23);
+        let config = CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS);
+        let mut topo = DeltaTopology::new(
+            layout.clone(),
+            vec![true; 80],
+            500.0,
+            config,
+            false,
+            GeometricMetric,
+        );
+        let from = layout.position(n(40));
+        topo.apply(&[NodeEvent::Move(
+            n(40),
+            Point2::new(from.x + 3.0, from.y - 2.0),
+        )]);
+        assert!(
+            topo.last_regrown() < 80 / 2,
+            "a small move must stay local (re-grew {})",
+            topo.last_regrown()
+        );
+        assert_eq!(topo.graph(), &reference(&topo, &config));
+    }
+
+    #[test]
+    #[should_panic(expected = "already dead")]
+    fn double_death_panics() {
+        let layout = scattered(5, 300.0, 2);
+        let mut topo = DeltaTopology::new(
+            layout,
+            vec![true; 5],
+            500.0,
+            CbtcConfig::new(Alpha::FIVE_PI_SIXTHS),
+            false,
+            GeometricMetric,
+        );
+        topo.apply(&[NodeEvent::Death(n(0))]);
+        topo.apply(&[NodeEvent::Death(n(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one event only")]
+    fn duplicate_node_in_batch_panics() {
+        let layout = scattered(5, 300.0, 2);
+        let mut topo = DeltaTopology::new(
+            layout,
+            vec![true; 5],
+            500.0,
+            CbtcConfig::new(Alpha::FIVE_PI_SIXTHS),
+            false,
+            GeometricMetric,
+        );
+        topo.apply(&[
+            NodeEvent::Move(n(1), Point2::new(1.0, 1.0)),
+            NodeEvent::Move(n(1), Point2::new(2.0, 2.0)),
+        ]);
+    }
+
+    #[test]
+    fn graph_delta_reports_exact_difference() {
+        let mut a = UndirectedGraph::new(4);
+        a.add_edge(n(0), n(1));
+        a.add_edge(n(1), n(2));
+        let mut b = UndirectedGraph::new(4);
+        b.add_edge(n(1), n(2));
+        b.add_edge(n(2), n(3));
+        let delta = graph_delta(&a, &b);
+        assert_eq!(delta.removed, vec![(n(0), n(1))]);
+        assert_eq!(delta.added, vec![(n(2), n(3))]);
+        assert!(graph_delta(&a, &a).is_empty());
+    }
+}

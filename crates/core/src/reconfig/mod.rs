@@ -20,9 +20,23 @@
 //! the power needed to reach everything it must stay reconnectable to —
 //! `max(p_{u,α}, power to reach every Hello-sender)` — *not* the
 //! shrink-back-reduced power (the §4 partition-healing argument).
+//!
+//! Alongside the distributed protocol, this module hosts the
+//! *centralized incremental engine* the experiment harnesses use to
+//! track the construction under the same three events at scale:
+//! [`DeltaTopology`] maintains a full `CBTC(α)` run under
+//! [`NodeEvent`]`::{Death, Join, Move}` streams, generic over a
+//! [`LinkMetric`] (geometric or phy effective distance), and
+//! [`routing`] decides which cached shortest-path trees a
+//! [`TopologyDelta`] can actually invalidate.
 
+mod delta;
+mod metric;
 mod ndp;
 mod node;
+pub mod routing;
 
+pub use delta::{graph_delta, DeltaTopology, NodeEvent, TopologyDelta};
+pub use metric::{GeometricMetric, LinkMetric};
 pub use ndp::{NdpConfig, NeighborEntry, NeighborEvent, NeighborTable};
 pub use node::{collect_topology, ReconfigNode};

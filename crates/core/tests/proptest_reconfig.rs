@@ -1,0 +1,218 @@
+//! Property tests of the metric-generic incremental reconfiguration
+//! engine: after every batch of deaths, joins and moves, the maintained
+//! [`DeltaTopology`] must equal a from-scratch masked construction over
+//! the current membership and geometry — on the **geometric** metric
+//! (against `run_centralized_masked`) and on a **shadowed
+//! effective-distance** metric with genuinely asymmetric links (against
+//! the guarded `run_phy_centralized_masked`).
+
+use cbtc_core::phy::{run_phy_centralized_masked, PhyChannel};
+use cbtc_core::reconfig::{DeltaTopology, GeometricMetric, LinkMetric, NodeEvent};
+use cbtc_core::{run_centralized_masked, CbtcConfig, Network};
+use cbtc_geom::{Alpha, Point2};
+use cbtc_graph::{Layout, NodeId, UndirectedGraph};
+use cbtc_phy::{Shadowing, ShadowingMode};
+use cbtc_radio::PowerLaw;
+use proptest::prelude::*;
+
+/// An owning effective-distance metric for the tests: constructs the
+/// borrowing [`PhyChannel`] per call, so the arithmetic is exactly what
+/// the from-scratch phy reference computes.
+#[derive(Debug, Clone)]
+struct ShadowedMetric {
+    model: PowerLaw,
+    shadowing: Shadowing,
+}
+
+impl ShadowedMetric {
+    fn channel(&self) -> PhyChannel<'_> {
+        PhyChannel::new(&self.model, &self.shadowing)
+    }
+}
+
+impl LinkMetric for ShadowedMetric {
+    fn cost(&self, u: NodeId, v: NodeId, d: f64) -> f64 {
+        self.channel().cost(u, v, d)
+    }
+
+    fn reach_boost(&self) -> f64 {
+        self.channel().reach_boost()
+    }
+}
+
+/// Random distinct-point layouts.
+fn layouts() -> impl Strategy<Value = Layout> {
+    (6usize..36, 400.0f64..1600.0).prop_flat_map(|(n, side)| {
+        proptest::collection::vec((0.0..side, 0.0..side), n).prop_map(|pts| {
+            let mut points: Vec<Point2> = Vec::with_capacity(pts.len());
+            for (x, y) in pts {
+                let mut p = Point2::new(x, y);
+                while points.contains(&p) {
+                    p = Point2::new(p.x + 0.25, p.y);
+                }
+                points.push(p);
+            }
+            Layout::new(points)
+        })
+    })
+}
+
+fn configs() -> [CbtcConfig; 3] {
+    [
+        CbtcConfig::new(Alpha::FIVE_PI_SIXTHS),
+        CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS),
+        CbtcConfig::all_applicable(Alpha::TWO_PI_THIRDS),
+    ]
+}
+
+/// A deterministic stream of event batches over `n` slots inside a
+/// `side × side` field: deaths (keeping ≥ 2 alive), joins of previously
+/// departed slots, and moves — every kind exercised, at most one event
+/// per node per batch.
+fn event_batches(n: usize, side: f64, seed: u64) -> Vec<Vec<NodeEvent>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut active = vec![true; n];
+    let mut alive_count = n;
+    let mut batches = Vec::new();
+    for _ in 0..6 {
+        let mut batch: Vec<NodeEvent> = Vec::new();
+        let mut used = vec![false; n];
+        for _ in 0..1 + (next() as usize % 3) {
+            let kind = next() % 3;
+            let pick =
+                |pred: &dyn Fn(usize) -> bool, next: &mut dyn FnMut() -> u64| -> Option<usize> {
+                    let candidates: Vec<usize> = (0..n).filter(|&i| pred(i)).collect();
+                    if candidates.is_empty() {
+                        None
+                    } else {
+                        Some(candidates[next() as usize % candidates.len()])
+                    }
+                };
+            match kind {
+                0 if alive_count > 2 => {
+                    if let Some(i) = pick(&|i| active[i] && !used[i], &mut next) {
+                        active[i] = false;
+                        alive_count -= 1;
+                        used[i] = true;
+                        batch.push(NodeEvent::Death(NodeId::new(i as u32)));
+                    }
+                }
+                1 => {
+                    if let Some(i) = pick(&|i| !active[i] && !used[i], &mut next) {
+                        active[i] = true;
+                        alive_count += 1;
+                        used[i] = true;
+                        let p = Point2::new(
+                            next() as f64 / u64::MAX as f64 * side,
+                            next() as f64 / u64::MAX as f64 * side,
+                        );
+                        batch.push(NodeEvent::Join(NodeId::new(i as u32), p));
+                    }
+                }
+                _ => {
+                    if let Some(i) = pick(&|i| active[i] && !used[i], &mut next) {
+                        used[i] = true;
+                        let p = Point2::new(
+                            next() as f64 / u64::MAX as f64 * side,
+                            next() as f64 / u64::MAX as f64 * side,
+                        );
+                        batch.push(NodeEvent::Move(NodeId::new(i as u32), p));
+                    }
+                }
+            }
+        }
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
+    }
+    batches
+}
+
+/// The field side of a layout (for placing joins/moves inside it).
+fn side_of(layout: &Layout) -> f64 {
+    layout
+        .positions()
+        .iter()
+        .fold(0.0f64, |m, p| m.max(p.x).max(p.y))
+        .max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Geometric metric: incremental ≡ from-scratch for every event
+    /// kind, at every optimization level, after every batch.
+    #[test]
+    fn geometric_events_match_from_scratch(
+        layout in layouts(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let side = side_of(&layout);
+        let batches = event_batches(layout.len(), side, seed);
+        for config in configs() {
+            let mut topo = DeltaTopology::new(
+                layout.clone(),
+                vec![true; layout.len()],
+                500.0,
+                config,
+                false,
+                GeometricMetric,
+            );
+            for batch in &batches {
+                topo.apply(batch);
+                let network = Network::new(topo.layout().clone(), PowerLaw::paper_default());
+                let full: UndirectedGraph =
+                    run_centralized_masked(&network, &config, topo.active()).into_final_graph();
+                prop_assert_eq!(
+                    topo.graph(), &full,
+                    "config {:?} diverged after {:?}", config, batch
+                );
+            }
+        }
+    }
+
+    /// Shadowed effective-distance metric (per-direction gains, so
+    /// genuinely asymmetric costs), guarded pipeline: incremental ≡
+    /// from-scratch for every event kind after every batch.
+    #[test]
+    fn shadowed_events_match_from_scratch(
+        layout in layouts(),
+        seed in 0u64..u64::MAX,
+        sigma in 1.0f64..8.0,
+    ) {
+        let side = side_of(&layout);
+        let batches = event_batches(layout.len(), side, seed);
+        let model = PowerLaw::paper_default();
+        let metric = ShadowedMetric {
+            model,
+            shadowing: Shadowing::new(sigma, ShadowingMode::Independent, seed ^ 0xD1CE),
+        };
+        for config in configs() {
+            let mut topo = DeltaTopology::new(
+                layout.clone(),
+                vec![true; layout.len()],
+                500.0,
+                config,
+                true,
+                metric.clone(),
+            );
+            for batch in &batches {
+                topo.apply(batch);
+                let network = Network::new(topo.layout().clone(), model);
+                let channel = PhyChannel::new(network.model(), &metric.shadowing);
+                let full = run_phy_centralized_masked(&network, &channel, &config, topo.active())
+                    .into_final_graph();
+                prop_assert_eq!(
+                    topo.graph(), &full,
+                    "config {:?}, σ {} diverged after {:?}", config, sigma, batch
+                );
+            }
+        }
+    }
+}

@@ -17,9 +17,37 @@
 //! `1.0` is exact in IEEE 754 — so the default path through the lifetime
 //! engine is bit-identical to one with no reliability concept at all.
 
+use cbtc_core::reconfig::TopologyDelta;
 use cbtc_core::Network;
 use cbtc_graph::{NodeId, UndirectedGraph};
 use cbtc_radio::Power;
+
+/// An incrementally maintained survivor topology: the stateful
+/// counterpart of [`TopologyBuilder::build_on_survivors`], patched per
+/// death epoch instead of rebuilt.
+///
+/// Implementations must stay **edge-for-edge identical** to the
+/// from-scratch rebuild at every alive mask — the lifetime engine
+/// treats the two paths as interchangeable and the equivalence tests
+/// replay whole simulations across them.
+pub trait SurvivorTracker: std::fmt::Debug + Send {
+    /// The current topology (dead nodes isolated, original node set).
+    fn graph(&self) -> &UndirectedGraph;
+
+    /// Kills `dead` and reconfigures incrementally, returning the final
+    /// graph's exact edge delta.
+    fn kill(&mut self, network: &Network, dead: &[NodeId]) -> TopologyDelta;
+
+    /// Clones the tracker behind the object seam (lifetime simulations
+    /// are `Clone`).
+    fn clone_box(&self) -> Box<dyn SurvivorTracker>;
+}
+
+impl Clone for Box<dyn SurvivorTracker> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
 
 /// How a lifetime run builds (and rebuilds) its topology.
 ///
@@ -33,6 +61,16 @@ pub trait TopologyBuilder: std::fmt::Debug + Send + Sync {
     /// original node set whose edges touch only nodes with `alive[i]`
     /// true (the §4 reconfiguration step).
     fn build_on_survivors(&self, network: &Network, alive: &[bool]) -> UndirectedGraph;
+
+    /// An incremental survivor tracker whose maintained graph is
+    /// bit-equal to [`TopologyBuilder::build_on_survivors`] at every
+    /// mask, when the builder supports one. The lifetime engine prefers
+    /// it over from-scratch rebuilds (`LifetimeConfig { incremental:
+    /// true, .. }`); `None` falls back to rebuilding.
+    fn survivor_tracker(&self, network: &Network) -> Option<Box<dyn SurvivorTracker>> {
+        let _ = network;
+        None
+    }
 
     /// Whether nodes know link costs and can adapt per-packet
     /// transmission power.

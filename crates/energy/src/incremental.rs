@@ -1,114 +1,122 @@
 //! Incremental survivor reconfiguration: the §4 re-run as a patch, not a
 //! rebuild.
 //!
-//! The lifetime engine used to respond to every death epoch by
-//! reconstructing the topology from scratch — a fresh survivor layout, a
-//! full `CBTC(α)` run, and a wholesale routing reset. But a node death is
-//! a *local* event: only survivors with the dead node inside maximum
-//! range can see their candidate set change, so only their growth can
-//! change, and therefore only their edges. [`SurvivorTopology`] maintains
-//! the per-node views, the discovery relation, and the optimized graph
-//! across deaths, re-growing exactly the affected survivors over a
-//! persistent [`SpatialGrid`] and patching the graph in place. The result
-//! is **edge-for-edge identical** to
-//! [`TopologyPolicy::build_on_survivors`] (the property tests assert it);
-//! only the cost changes — from `O(n²)` per death epoch to
-//! `O(affected · local density)`.
+//! The affected-set machinery that used to live here was promoted to the
+//! metric-generic [`cbtc_core::reconfig::DeltaTopology`] engine, which
+//! also handles joins, moves and stochastic channels. What remains is
+//! the lifetime engine's *death-only adapter*: [`SurvivorTopology`]
+//! narrows the engine to the death streams a battery simulation
+//! produces, keeps the view-free max-power fast path (stripping the dead
+//! nodes' edges is the whole update), and stays **edge-for-edge
+//! identical** to [`TopologyPolicy::build_on_survivors`] — the property
+//! tests replay both paths against each other, and a whole lifetime run
+//! is bitwise equal either way.
 
-use std::collections::BTreeSet;
+use cbtc_core::reconfig::{DeltaTopology, GeometricMetric, LinkMetric, NodeEvent};
+use cbtc_core::Network;
+use cbtc_graph::{NodeId, UndirectedGraph};
 
-use cbtc_core::opt::{
-    node_floor, node_redundancy, pairwise_removal, shrink_back_view, PairwisePolicy,
-};
-use cbtc_core::{construction_cell, dead_view, grow_node_in_grid, CbtcConfig, Network, NodeView};
-use cbtc_graph::{Layout, NodeId, SpatialGrid, UndirectedGraph};
-
+use crate::builder::SurvivorTracker;
 use crate::TopologyPolicy;
 
-/// The edges by which one [`SurvivorTopology::kill`] changed the final
-/// graph — what routing caches need to decide which trees survive.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct TopologyDelta {
-    /// Edges present before the deaths and absent after, as `(min, max)`.
-    pub removed: Vec<(NodeId, NodeId)>,
-    /// Edges absent before the deaths and present after, as `(min, max)`.
-    pub added: Vec<(NodeId, NodeId)>,
-}
+pub use cbtc_core::reconfig::TopologyDelta;
 
-impl TopologyDelta {
-    /// Whether the deaths changed no edge at all.
-    pub fn is_empty(&self) -> bool {
-        self.removed.is_empty() && self.added.is_empty()
-    }
-}
-
-/// Per-node [`PairwisePolicy::PowerReducing`] state over the
-/// pre-pairwise graph. Both fields are functions of one node's adjacency
-/// plus the (static) geometry, which is exactly why pairwise removal can
-/// be re-derived for only the nodes whose neighborhoods changed.
+/// The one death-only adapter behind every [`SurvivorTracker`]: either a
+/// [`DeltaTopology`] engine over some metric (CBTC policies), or a bare
+/// graph whose survivor topology is the induced subgraph (view-free
+/// max-power style policies, where a death strips exactly the dead
+/// node's edges). [`SurvivorTopology`] instantiates it on the geometric
+/// metric; the phy subsystem on the effective-distance metric.
 #[derive(Debug, Clone)]
-struct PairwiseState {
-    /// `redundant_from[u]` = [`node_redundancy`] at `u`.
-    redundant_from: Vec<BTreeSet<NodeId>>,
-    /// `floor[u]` = [`node_floor`] at `u`.
-    floor: Vec<f64>,
+pub(crate) struct MetricSurvivorTopology<M: LinkMetric> {
+    alive: Vec<bool>,
+    /// The CBTC engine; `None` for the view-free policies.
+    cbtc: Option<DeltaTopology<M>>,
+    /// The full topology for the view-free fast path (unused when the
+    /// engine owns the topology).
+    graph: UndirectedGraph,
 }
 
-impl PairwiseState {
-    fn over(graph: &UndirectedGraph, layout: &Layout) -> Self {
-        let redundant_from: Vec<BTreeSet<NodeId>> = graph
-            .node_ids()
-            .map(|u| node_redundancy(graph, layout, u))
-            .collect();
-        let floor = graph
-            .node_ids()
-            .map(|u| node_floor(graph, layout, u, &redundant_from[u.index()]))
-            .collect();
-        PairwiseState {
-            redundant_from,
-            floor,
+impl<M: LinkMetric> MetricSurvivorTopology<M> {
+    /// An adapter over the incremental engine.
+    pub(crate) fn engine(engine: DeltaTopology<M>) -> Self {
+        MetricSurvivorTopology {
+            alive: vec![true; engine.active().len()],
+            cbtc: Some(engine),
+            graph: UndirectedGraph::new(0),
         }
     }
 
-    fn refresh(&mut self, graph: &UndirectedGraph, layout: &Layout, u: NodeId) {
-        self.redundant_from[u.index()] = node_redundancy(graph, layout, u);
-        self.floor[u.index()] = node_floor(graph, layout, u, &self.redundant_from[u.index()]);
+    /// An adapter over an induced-subgraph topology (every node alive).
+    pub(crate) fn induced(graph: UndirectedGraph) -> Self {
+        MetricSurvivorTopology {
+            alive: vec![true; graph.node_count()],
+            cbtc: None,
+            graph,
+        }
     }
 
-    /// Whether the power-reducing policy removes edge `{u, v}`.
-    fn drops(&self, layout: &Layout, u: NodeId, v: NodeId) -> bool {
-        let d = layout.distance(u, v);
-        (self.redundant_from[u.index()].contains(&v) && d > self.floor[u.index()])
-            || (self.redundant_from[v.index()].contains(&u) && d > self.floor[v.index()])
+    pub(crate) fn graph(&self) -> &UndirectedGraph {
+        self.cbtc.as_ref().map_or(&self.graph, DeltaTopology::graph)
+    }
+
+    pub(crate) fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Kills `dead` and reconfigures incrementally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node in `dead` is already dead.
+    pub(crate) fn kill(&mut self, dead: &[NodeId]) -> TopologyDelta {
+        match &mut self.cbtc {
+            Some(engine) => {
+                let events: Vec<NodeEvent> = dead.iter().map(|&d| NodeEvent::Death(d)).collect();
+                let delta = engine.apply(&events);
+                for &d in dead {
+                    self.alive[d.index()] = false;
+                }
+                delta
+            }
+            None => {
+                let mut delta = TopologyDelta::default();
+                for &d in dead {
+                    assert!(self.alive[d.index()], "node {d} is already dead");
+                    self.alive[d.index()] = false;
+                    let neighbors: Vec<NodeId> = self.graph.neighbors(d).collect();
+                    for v in neighbors {
+                        self.graph.remove_edge(d, v);
+                        delta.removed.push((d.min(v), d.max(v)));
+                    }
+                }
+                delta.removed.sort_unstable();
+                delta.removed.dedup();
+                delta
+            }
+        }
     }
 }
 
-/// Per-node CBTC state kept between death epochs (absent for the
-/// view-free max-power policy).
-#[derive(Debug, Clone)]
-struct CbtcState {
-    config: CbtcConfig,
-    /// Index over the *alive* nodes only.
-    grid: SpatialGrid,
-    /// Raw growing-phase views over the current survivors; dead nodes
-    /// hold [`dead_view`].
-    basic: Vec<NodeView>,
-    /// Post-shrink-back views (equal to `basic` when op1 is off) — the
-    /// views the graph stages are derived from.
-    effective: Vec<NodeView>,
-    /// Reverse discovery relation over effective views:
-    /// `discovered_by[u]` holds every `v` whose effective view discovers
-    /// `u`, sorted. Lets an affected node rebuild its closure/core edges
-    /// without consulting any unaffected view.
-    discovered_by: Vec<Vec<NodeId>>,
-    /// The symmetric closure/core before pairwise removal.
-    pre_pairwise: UndirectedGraph,
-    /// Pairwise-removal state over `pre_pairwise` (op3 only).
-    pairwise: Option<PairwiseState>,
+impl<M: LinkMetric + std::fmt::Debug + Clone + Send + 'static> SurvivorTracker
+    for MetricSurvivorTopology<M>
+{
+    fn graph(&self) -> &UndirectedGraph {
+        MetricSurvivorTopology::graph(self)
+    }
+
+    fn kill(&mut self, _network: &Network, dead: &[NodeId]) -> TopologyDelta {
+        MetricSurvivorTopology::kill(self, dead)
+    }
+
+    fn clone_box(&self) -> Box<dyn SurvivorTracker> {
+        Box::new(self.clone())
+    }
 }
 
 /// The current CBTC (or max-power) topology over the survivors of a
-/// fixed network, maintained incrementally under node deaths.
+/// fixed network, maintained incrementally under node deaths — a
+/// death-only adapter over [`DeltaTopology`].
 ///
 /// # Example
 ///
@@ -137,334 +145,74 @@ struct CbtcState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SurvivorTopology {
-    policy: TopologyPolicy,
-    alive: Vec<bool>,
-    cbtc: Option<CbtcState>,
-    /// The final graph after all configured optimizations.
-    graph: UndirectedGraph,
+    inner: MetricSurvivorTopology<GeometricMetric>,
 }
 
 impl SurvivorTopology {
     /// Builds the initial (everyone-alive) topology for `policy`.
     pub fn new(network: &Network, policy: TopologyPolicy) -> Self {
-        let n = network.len();
-        let alive = vec![true; n];
-        match policy {
-            TopologyPolicy::MaxPower => SurvivorTopology {
-                policy,
-                alive,
-                cbtc: None,
-                graph: network.max_power_graph(),
-            },
-            TopologyPolicy::Cbtc(config) => {
-                let layout = network.layout();
-                let r = network.max_range();
-                let grid =
-                    SpatialGrid::from_layout(layout, construction_cell(layout, r, layout.len()));
-                // The initial growth is the ordinary (output-sensitive,
-                // parallel) engine; only the *maintenance* below is
-                // specific to the incremental path.
-                let basic: Vec<NodeView> =
-                    cbtc_core::run_basic(network, config.alpha()).into_views();
-                let effective: Vec<NodeView> = if config.shrink_back() {
-                    basic
-                        .iter()
-                        .map(|v| shrink_back_view(v, config.alpha()))
-                        .collect()
-                } else {
-                    basic.clone()
-                };
-                let discovered_by = reverse_discoveries(&effective);
-                let pre_pairwise = graph_from_views(&effective, &discovered_by, &config);
-                let (graph, pairwise) = if config.pairwise_removal() {
-                    (
-                        pairwise_removal(&pre_pairwise, layout, PairwisePolicy::PowerReducing)
-                            .graph,
-                        Some(PairwiseState::over(&pre_pairwise, layout)),
-                    )
-                } else {
-                    (pre_pairwise.clone(), None)
-                };
-                SurvivorTopology {
-                    policy,
-                    alive,
-                    cbtc: Some(CbtcState {
-                        config,
-                        grid,
-                        basic,
-                        effective,
-                        discovered_by,
-                        pre_pairwise,
-                        pairwise,
-                    }),
-                    graph,
-                }
-            }
-        }
+        let inner = match policy {
+            // Max power never re-grows: survivors keep broadcasting at
+            // `P`, so the survivor topology is the induced subgraph.
+            TopologyPolicy::MaxPower => MetricSurvivorTopology::induced(network.max_power_graph()),
+            TopologyPolicy::Cbtc(config) => MetricSurvivorTopology::engine(DeltaTopology::new(
+                network.layout().clone(),
+                vec![true; network.len()],
+                network.max_range(),
+                config,
+                false,
+                GeometricMetric,
+            )),
+        };
+        SurvivorTopology { inner }
     }
 
     /// The current topology: edges only between survivors, dead nodes
     /// isolated, on the original node set.
     pub fn graph(&self) -> &UndirectedGraph {
-        &self.graph
+        self.inner.graph()
     }
 
     /// The alive mask this topology currently reflects.
     pub fn alive(&self) -> &[bool] {
-        &self.alive
+        self.inner.alive()
     }
 
     /// Kills `dead` and reconfigures the survivors incrementally,
     /// returning the final graph's edge delta.
     ///
-    /// Only survivors within maximum range of a dead node re-run their
-    /// growth; everyone else's view — and therefore every edge between
-    /// unaffected survivors — is provably unchanged and is not touched.
+    /// Only survivors whose discovery prefix contained a dead node
+    /// re-run their growth; everyone else's view — and therefore every
+    /// edge between unaffected survivors — is provably unchanged and is
+    /// not touched.
     ///
     /// # Panics
     ///
-    /// Panics if a node in `dead` is already dead (the grid and views
+    /// Panics if a node in `dead` is already dead (the engine's views
     /// would desynchronize from the mask).
-    pub fn kill(&mut self, network: &Network, dead: &[NodeId]) -> TopologyDelta {
-        for &d in dead {
-            assert!(self.alive[d.index()], "node {d} is already dead");
-            self.alive[d.index()] = false;
-        }
-        match self.policy {
-            TopologyPolicy::MaxPower => self.kill_max_power(dead),
-            TopologyPolicy::Cbtc(_) => self.kill_cbtc(network, dead),
-        }
-    }
-
-    /// Max power never re-grows: survivors keep broadcasting at `P`, so
-    /// the update is exactly "strip the dead nodes' edges".
-    fn kill_max_power(&mut self, dead: &[NodeId]) -> TopologyDelta {
-        let mut delta = TopologyDelta::default();
-        for &d in dead {
-            let neighbors: Vec<NodeId> = self.graph.neighbors(d).collect();
-            for v in neighbors {
-                self.graph.remove_edge(d, v);
-                delta.removed.push((d.min(v), d.max(v)));
-            }
-        }
-        delta.removed.sort_unstable();
-        delta.removed.dedup();
-        delta
-    }
-
-    fn kill_cbtc(&mut self, network: &Network, dead: &[NodeId]) -> TopologyDelta {
-        let state = self.cbtc.as_mut().expect("CBTC policy has CBTC state");
-        let layout = network.layout();
-        let r = network.max_range();
-
-        // 1. Deindex the dead, then find the affected survivors: those
-        //    with a dead node inside maximum range (a superset of "those
-        //    whose growth can change").
-        for &d in dead {
-            state.grid.remove(d, layout.position(d));
-        }
-        let mut affected: Vec<NodeId> = Vec::new();
-        let mut candidates = Vec::new();
-        for &d in dead {
-            let p = layout.position(d);
-            candidates.clear();
-            state.grid.candidates_within(p, r, &mut candidates);
-            for &u in &candidates {
-                if layout.position(u).distance_squared(p) <= r * r {
-                    affected.push(u);
-                }
-            }
-        }
-        affected.sort_unstable();
-        affected.dedup();
-
-        // 2. Retire the dead nodes' views and reverse-discovery entries.
-        for &d in dead {
-            for v in state.effective[d.index()].neighbor_ids() {
-                remove_sorted(&mut state.discovered_by[v.index()], d);
-            }
-            state.discovered_by[d.index()].clear();
-            state.basic[d.index()] = dead_view();
-            state.effective[d.index()] = dead_view();
-        }
-
-        // 3. Re-grow the affected survivors over the survivor-only grid
-        //    and refresh the reverse relation.
-        for &u in &affected {
-            let basic = grow_node_in_grid(layout, &state.grid, u, state.config.alpha(), r);
-            let effective = if state.config.shrink_back() {
-                shrink_back_view(&basic, state.config.alpha())
-            } else {
-                basic.clone()
-            };
-            for v in state.effective[u.index()].neighbor_ids() {
-                remove_sorted(&mut state.discovered_by[v.index()], u);
-            }
-            for v in effective.neighbor_ids() {
-                insert_sorted(&mut state.discovered_by[v.index()], u);
-            }
-            state.basic[u.index()] = basic;
-            state.effective[u.index()] = effective;
-        }
-
-        // 4. Patch the pre-pairwise graph: drop every edge at a dead or
-        //    affected node, then rebuild the affected nodes' edges from
-        //    their new views plus the reverse relation. Edges between two
-        //    unaffected survivors are untouched — neither endpoint's view
-        //    changed. Removals cancelled by a re-add net out, so the
-        //    recorded events are the graph's exact edge delta.
-        let mut pre_removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-        let mut pre_added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-        for &x in dead.iter().chain(&affected) {
-            let neighbors: Vec<NodeId> = state.pre_pairwise.neighbors(x).collect();
-            for v in neighbors {
-                if state.pre_pairwise.remove_edge(x, v) {
-                    pre_removed.insert((x.min(v), x.max(v)));
-                }
-            }
-        }
-        let asymmetric = state.config.asymmetric_removal();
-        for &u in &affected {
-            let mut connect = Vec::new();
-            for v in state.effective[u.index()].neighbor_ids() {
-                if !asymmetric || state.effective[v.index()].discovered(u) {
-                    connect.push(v);
-                }
-            }
-            for &v in &state.discovered_by[u.index()] {
-                if !asymmetric || state.effective[u.index()].discovered(v) {
-                    connect.push(v);
-                }
-            }
-            for v in connect {
-                if !state.pre_pairwise.has_edge(u, v) {
-                    state.pre_pairwise.add_edge(u, v);
-                    let e = (u.min(v), u.max(v));
-                    if !pre_removed.remove(&e) {
-                        pre_added.insert(e);
-                    }
-                }
-            }
-        }
-
-        // 5. Re-derive the final graph from the delta alone.
-        match &mut state.pairwise {
-            None => {
-                // No op3: the final graph *is* the pre-pairwise graph, so
-                // the events apply verbatim.
-                for &(u, v) in &pre_removed {
-                    self.graph.remove_edge(u, v);
-                }
-                for &(u, v) in &pre_added {
-                    self.graph.add_edge(u, v);
-                }
-                TopologyDelta {
-                    removed: pre_removed.into_iter().collect(),
-                    added: pre_added.into_iter().collect(),
-                }
-            }
-            Some(pairwise) => {
-                // Pairwise decisions are local to an edge's endpoints:
-                // only nodes whose pre-pairwise adjacency changed can
-                // decide differently, so refresh exactly those and
-                // re-judge exactly their incident edges.
-                let mut dirty: Vec<NodeId> = pre_removed
-                    .iter()
-                    .chain(&pre_added)
-                    .flat_map(|&(u, v)| [u, v])
-                    .collect();
-                dirty.sort_unstable();
-                dirty.dedup();
-                for &x in &dirty {
-                    pairwise.refresh(&state.pre_pairwise, layout, x);
-                }
-                let old_rows: Vec<(NodeId, Vec<NodeId>)> = dirty
-                    .iter()
-                    .map(|&x| (x, self.graph.neighbors(x).collect()))
-                    .collect();
-                for (x, row) in &old_rows {
-                    for &v in row {
-                        self.graph.remove_edge(*x, v);
-                    }
-                }
-                for &x in &dirty {
-                    let neighbors: Vec<NodeId> = state.pre_pairwise.neighbors(x).collect();
-                    for v in neighbors {
-                        if !pairwise.drops(layout, x, v) {
-                            self.graph.add_edge(x, v);
-                        }
-                    }
-                }
-                let mut removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-                let mut added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-                for (x, old_row) in &old_rows {
-                    for &v in old_row {
-                        if !self.graph.has_edge(*x, v) {
-                            removed.insert((*x.min(&v), *x.max(&v)));
-                        }
-                    }
-                    for v in self.graph.neighbors(*x) {
-                        if old_row.binary_search(&v).is_err() {
-                            added.insert((*x.min(&v), *x.max(&v)));
-                        }
-                    }
-                }
-                TopologyDelta {
-                    removed: removed.into_iter().collect(),
-                    added: added.into_iter().collect(),
-                }
-            }
-        }
+    pub fn kill(&mut self, _network: &Network, dead: &[NodeId]) -> TopologyDelta {
+        self.inner.kill(dead)
     }
 }
 
-/// `discovered_by[u]` = sorted list of nodes whose view discovers `u`.
-fn reverse_discoveries(views: &[NodeView]) -> Vec<Vec<NodeId>> {
-    let mut reverse: Vec<Vec<NodeId>> = vec![Vec::new(); views.len()];
-    for (i, view) in views.iter().enumerate() {
-        let u = NodeId::new(i as u32);
-        for d in &view.discoveries {
-            reverse[d.id.index()].push(u);
-        }
+impl SurvivorTracker for SurvivorTopology {
+    fn graph(&self) -> &UndirectedGraph {
+        SurvivorTopology::graph(self)
     }
-    for list in &mut reverse {
-        list.sort_unstable();
+
+    fn kill(&mut self, network: &Network, dead: &[NodeId]) -> TopologyDelta {
+        SurvivorTopology::kill(self, network, dead)
     }
-    reverse
-}
 
-/// The symmetric closure (or, under op2, core) of the effective views.
-fn graph_from_views(
-    views: &[NodeView],
-    discovered_by: &[Vec<NodeId>],
-    config: &CbtcConfig,
-) -> UndirectedGraph {
-    let asymmetric = config.asymmetric_removal();
-    let edges = views.iter().enumerate().flat_map(|(i, view)| {
-        let u = NodeId::new(i as u32);
-        view.discoveries
-            .iter()
-            .filter(move |d| !asymmetric || discovered_by[i].binary_search(&d.id).is_ok())
-            .map(move |d| (u, d.id))
-    });
-    UndirectedGraph::from_edges(views.len(), edges)
-}
-
-fn insert_sorted(list: &mut Vec<NodeId>, v: NodeId) {
-    if let Err(i) = list.binary_search(&v) {
-        list.insert(i, v);
-    }
-}
-
-fn remove_sorted(list: &mut Vec<NodeId>, v: NodeId) {
-    if let Ok(i) = list.binary_search(&v) {
-        list.remove(i);
+    fn clone_box(&self) -> Box<dyn SurvivorTracker> {
+        Box::new(self.clone())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cbtc_core::CbtcConfig;
     use cbtc_geom::{Alpha, Point2};
     use cbtc_graph::Layout;
 

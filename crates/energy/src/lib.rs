@@ -37,10 +37,14 @@
 //! loop goes through the grid-indexed
 //! [`unit_disk_graph`](cbtc_graph::unit_disk::unit_disk_graph) and the §3
 //! optimizations of [`cbtc_core::opt`]; death epochs take the §4
-//! reconfiguration as an *incremental patch* ([`SurvivorTopology`]) —
-//! only survivors in range of a dead node re-grow, and only the routing
-//! trees the edge delta can affect are recomputed, bit-for-bit equal to
-//! a full rebuild.
+//! reconfiguration as an *incremental patch*: the builder's
+//! [`SurvivorTracker`] ([`SurvivorTopology`] on the ideal radio, a
+//! phy-channel tracker under [`phy`]) adapts the metric-generic
+//! [`cbtc_core::reconfig::DeltaTopology`] engine — only nodes whose
+//! discovery prefix contained the deceased re-grow, and only the routing
+//! trees the edge delta can affect are recomputed
+//! ([`cbtc_core::reconfig::routing`]), bit-for-bit equal to a full
+//! rebuild.
 //!
 //! # Example
 //!
@@ -79,7 +83,7 @@ mod policy;
 mod runner;
 mod traffic;
 
-pub use builder::{IdealLinks, LinkReliability, TopologyBuilder};
+pub use builder::{IdealLinks, LinkReliability, SurvivorTracker, TopologyBuilder};
 pub use incremental::{SurvivorTopology, TopologyDelta};
 pub use lifetime::{LifetimeConfig, LifetimeReport, LifetimeSim};
 pub use model::{Battery, EnergyLedger, EnergyModel};

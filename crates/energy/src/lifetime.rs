@@ -24,24 +24,28 @@
 //! powers and hop costs are cached (`d(u,v)ⁿ` is priced once per edge per
 //! topology change, not once per packet-hop), routing trees persist per
 //! source, and the path walk reuses one buffer. Death epochs go through
-//! [`SurvivorTopology`]: the topology is patched in place, and only the
-//! routing trees the change can actually affect — those reaching a dead
-//! node, using a removed tree edge, or improvable by an added edge — are
-//! recomputed. Both mechanisms are bit-for-bit equivalent to the
-//! rebuild-everything path (`LifetimeConfig { incremental: false, .. }`),
-//! which the equivalence tests replay against.
+//! the builder's [`SurvivorTracker`] (the ideal-radio
+//! [`crate::SurvivorTopology`] or the phy tracker, both thin adapters
+//! over [`cbtc_core::reconfig::DeltaTopology`]): the topology is patched
+//! in place, and only the routing trees the change can actually affect —
+//! those reaching a dead node, using a removed tree edge, or improvable
+//! by an added edge — are recomputed. Both mechanisms are bit-for-bit
+//! equivalent to the rebuild-everything path
+//! (`LifetimeConfig { incremental: false, .. }`), which the equivalence
+//! tests replay against.
 
 use std::sync::Arc;
 
+use cbtc_core::reconfig::routing::{tree_reusable, SpTree};
 use cbtc_core::Network;
-use cbtc_graph::paths::dijkstra_tree;
 use cbtc_graph::{NodeId, UndirectedGraph};
 use cbtc_radio::{PathLoss, Power};
 use serde::{Deserialize, Serialize};
 
+use crate::builder::SurvivorTracker;
 use crate::{
     Battery, EnergyLedger, EnergyModel, FlowGenerator, IdealLinks, LinkReliability,
-    SurvivorTopology, TopologyBuilder, TopologyDelta, TopologyPolicy, TrafficPattern,
+    TopologyBuilder, TopologyDelta, TopologyPolicy, TrafficPattern,
 };
 
 /// Parameters of a lifetime run.
@@ -59,10 +63,11 @@ pub struct LifetimeConfig {
     /// (reconfiguration). When off, the initial topology merely decays.
     pub reconfigure: bool,
     /// Whether reconfiguration runs through the incremental survivor
-    /// path ([`SurvivorTopology`] + selective routing invalidation)
-    /// instead of rebuilding topology and routes from scratch each death
-    /// epoch. Results are bit-for-bit identical either way; `false`
-    /// exists for validation and benchmarking of the rebuild path.
+    /// path (the builder's [`SurvivorTracker`] + selective routing
+    /// invalidation) instead of rebuilding topology and routes from
+    /// scratch each death epoch. Results are bit-for-bit identical
+    /// either way; `false` exists for validation and benchmarking of
+    /// the rebuild path.
     pub incremental: bool,
     /// The radio energy price list.
     pub energy: EnergyModel,
@@ -154,17 +159,6 @@ impl LifetimeReport {
     }
 }
 
-/// One source's cached shortest-path tree: predecessors plus path costs
-/// (the costs decide whether a topology change can invalidate the tree).
-#[derive(Debug, Clone)]
-struct SpTree {
-    /// `parent[v]` is `v`'s predecessor on the cheapest path from the
-    /// source.
-    parent: Vec<Option<NodeId>>,
-    /// `dist[v]` is the cost of that path (`∞` when unreachable).
-    dist: Vec<f64>,
-}
-
 /// Minimum-energy routing state: one shortest-path tree per source,
 /// computed lazily the first time the source sends and kept until a
 /// topology change that can actually affect it.
@@ -209,14 +203,11 @@ impl RoutingTable {
         true
     }
 
-    /// Drops exactly the cached trees a topology change can affect.
-    ///
-    /// A tree survives when (a) no dead node is reachable in it, (b) no
-    /// removed edge is one of its tree edges, and (c) no added edge
-    /// offers any node a path at most as cheap as its current one. Under
-    /// those conditions a recomputation would reproduce the tree
-    /// bit-for-bit (removed non-tree edges never won a relaxation, and
-    /// strictly-worse additions never will), so keeping it leaves the
+    /// Drops exactly the cached trees a topology change can affect — the
+    /// [`tree_reusable`] keep rules (no reachable death, no lost tree
+    /// edge, no improvable addition; positions never change here, so the
+    /// moved-node rule is vacuous). A kept tree is provably what a
+    /// recomputation would produce bit-for-bit, so keeping it leaves the
     /// simulation's arithmetic unchanged.
     fn invalidate_after<W>(&mut self, dead: &[NodeId], delta: &TopologyDelta, weight: W)
     where
@@ -224,19 +215,7 @@ impl RoutingTable {
     {
         for slot in &mut self.trees {
             let Some(tree) = slot else { continue };
-            let reaches_dead = dead.iter().any(|d| tree.dist[d.index()].is_finite());
-            let lost_tree_edge = delta.removed.iter().any(|&(u, v)| {
-                tree.parent[v.index()] == Some(u) || tree.parent[u.index()] == Some(v)
-            });
-            let improvable = delta.added.iter().any(|&(a, b)| {
-                let (da, db) = (tree.dist[a.index()], tree.dist[b.index()]);
-                if !da.is_finite() && !db.is_finite() {
-                    return false;
-                }
-                let w = weight(a, b);
-                da + w <= db || db + w <= da
-            });
-            if reaches_dead || lost_tree_edge || improvable {
+            if !tree_reusable(tree, dead, &[], delta, &weight) {
                 *slot = None;
             }
         }
@@ -306,8 +285,9 @@ pub struct LifetimeSim {
     /// field-level borrow in the hot loop).
     topology: UndirectedGraph,
     /// The incrementally maintained survivor topology (present when
-    /// `config.reconfigure && config.incremental`).
-    reconfig: Option<SurvivorTopology>,
+    /// `config.reconfigure && config.incremental` and the builder
+    /// supplies a [`SurvivorTracker`]).
+    reconfig: Option<Box<dyn SurvivorTracker>>,
     routes: RoutingTable,
     /// Per-edge `(neighbor, tx power, routing weight, attempts)` rows
     /// mirroring `topology`'s adjacency, so the packet loop never
@@ -341,11 +321,10 @@ impl LifetimeSim {
         config: LifetimeConfig,
         seed: u64,
     ) -> Self {
-        LifetimeSim::assemble(
+        LifetimeSim::with_builder(
             network,
             Arc::new(policy),
             Arc::new(IdealLinks),
-            Some(policy),
             config,
             seed,
         )
@@ -354,11 +333,11 @@ impl LifetimeSim {
     /// [`LifetimeSim::new`] with an injected topology builder and link
     /// reliability — the phy subsystem's entry point.
     ///
-    /// Generic builders cannot drive the incremental survivor machinery
-    /// (it is specific to [`TopologyPolicy`]), so reconfiguration runs
-    /// through the from-scratch rebuild path regardless of
-    /// `config.incremental`; the two paths are bit-for-bit equivalent, so
-    /// results are unaffected.
+    /// Builders that supply a [`TopologyBuilder::survivor_tracker`]
+    /// (both [`TopologyPolicy`] and the phy subsystem's
+    /// [`crate::PhyPolicy`] do) drive the incremental survivor machinery;
+    /// others fall back to from-scratch rebuilds. The two paths are
+    /// bit-for-bit equivalent, so results are unaffected either way.
     pub fn with_builder(
         network: Network,
         builder: Arc<dyn TopologyBuilder>,
@@ -366,22 +345,11 @@ impl LifetimeSim {
         config: LifetimeConfig,
         seed: u64,
     ) -> Self {
-        LifetimeSim::assemble(network, builder, reliability, None, config, seed)
-    }
-
-    fn assemble(
-        network: Network,
-        builder: Arc<dyn TopologyBuilder>,
-        reliability: Arc<dyn LinkReliability>,
-        survivor_policy: Option<TopologyPolicy>,
-        config: LifetimeConfig,
-        seed: u64,
-    ) -> Self {
         let n = network.len();
-        let reconfig = match survivor_policy {
-            Some(policy) => (config.reconfigure && config.incremental)
-                .then(|| SurvivorTopology::new(&network, policy)),
-            None => None,
+        let reconfig = if config.reconfigure && config.incremental {
+            builder.survivor_tracker(&network)
+        } else {
+            None
         };
         let topology = match &reconfig {
             // The incremental state owns the topology; the field stays an
@@ -437,9 +405,7 @@ impl LifetimeSim {
 
     /// The current topology (dead nodes are isolated).
     pub fn topology(&self) -> &UndirectedGraph {
-        self.reconfig
-            .as_ref()
-            .map_or(&self.topology, SurvivorTopology::graph)
+        self.reconfig.as_ref().map_or(&self.topology, |t| t.graph())
     }
 
     /// The per-node batteries.
@@ -470,23 +436,19 @@ impl LifetimeSim {
         );
         let mut path_buf = std::mem::take(&mut self.path_buf);
         for &flow in &flow_buf {
-            let topology = self
-                .reconfig
-                .as_ref()
-                .map_or(&self.topology, SurvivorTopology::graph);
+            let topology = self.reconfig.as_ref().map_or(&self.topology, |t| t.graph());
             let alive = &self.alive;
             let edge_costs = &self.edge_costs;
             let routed = self.routes.path_into(
                 flow.src,
                 flow.dst,
                 |s| {
-                    let (parent, dist) = dijkstra_tree(
+                    SpTree::compute(
                         topology,
                         s,
                         |u, v| edge_cost(edge_costs, u, v).1,
                         |v| alive[v.index()],
-                    );
-                    SpTree { parent, dist }
+                    )
                 },
                 &mut path_buf,
             );
@@ -657,10 +619,7 @@ impl LifetimeSim {
         let reliability = &self.reliability;
         let i = u.index();
 
-        let topology = self
-            .reconfig
-            .as_ref()
-            .map_or(&self.topology, SurvivorTopology::graph);
+        let topology = self.reconfig.as_ref().map_or(&self.topology, |t| t.graph());
         let row = &mut self.edge_costs[i];
         row.clear();
         let mut farthest: Option<f64> = None;

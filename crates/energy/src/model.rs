@@ -117,12 +117,21 @@ pub struct EnergyModel {
     /// Topology-maintenance duty cycle: fraction of an epoch spent
     /// beaconing at the node's broadcast-radius power.
     pub maintenance_duty: f64,
+    /// Link margin in dB added on top of a power-controlled hop's
+    /// minimum required transmission power (capped at the radio's
+    /// maximum). `0.0` is the paper's margin-free power control — which
+    /// `BENCH_phy.json` shows collapsing under a soft PRR (links parked
+    /// at PRR ≈ 0.5); a few dB of margin buys delivery probability at
+    /// the cost of radiated energy, the classic reliability-vs-energy
+    /// tradeoff the `phy` benchmark sweeps.
+    pub link_margin_db: f64,
 }
 
 impl EnergyModel {
     /// Defaults tuned for the paper's radio (`R = 500`, `p(d) = d²`):
     /// standby costs dominate per-packet costs, as in sensor-network
-    /// deployments where idle listening is the main energy sink.
+    /// deployments where idle listening is the main energy sink. No link
+    /// margin (the paper's exact power control).
     pub fn paper_default() -> Self {
         EnergyModel {
             tx_electronics: 50.0,
@@ -130,7 +139,23 @@ impl EnergyModel {
             rx_cost: 25.0,
             idle_per_epoch: 1_000.0,
             maintenance_duty: 0.05,
+            link_margin_db: 0.0,
         }
+    }
+
+    /// The same model with a link margin, builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `margin_db` is finite and non-negative (a negative
+    /// margin would price hops *below* the power that closes them).
+    pub fn with_link_margin_db(mut self, margin_db: f64) -> Self {
+        assert!(
+            margin_db.is_finite() && margin_db >= 0.0,
+            "link margin must be a finite non-negative dB value, got {margin_db}"
+        );
+        self.link_margin_db = margin_db;
+        self
     }
 
     /// Energy to transmit one packet at `tx_power`.
@@ -151,12 +176,22 @@ impl EnergyModel {
     }
 
     /// The transmission power a hop over distance `distance` uses under
-    /// this model: the link's required power when `power_control` is on
-    /// (the node knows its neighbor distances), the radio's maximum
-    /// otherwise.
+    /// this model: the link's required power — boosted by
+    /// [`EnergyModel::link_margin_db`] and capped at the radio's maximum
+    /// — when `power_control` is on (the node knows its neighbor
+    /// distances), the radio's maximum otherwise.
+    ///
+    /// With a zero margin no arithmetic is applied at all, so the
+    /// margin-free model is bit-identical to the pre-margin engine.
     pub fn hop_tx_power(&self, radio: &PowerLaw, distance: f64, power_control: bool) -> Power {
         if power_control {
-            radio.required_power(distance)
+            let required = radio.required_power(distance);
+            if self.link_margin_db == 0.0 {
+                required
+            } else {
+                let boosted = required.linear() * 10f64.powf(self.link_margin_db / 10.0);
+                Power::new(boosted).min(radio.max_power())
+            }
         } else {
             radio.max_power()
         }
@@ -233,6 +268,32 @@ mod tests {
         assert_eq!(
             m.hop_tx_power(&radio, 100.0, true),
             radio.required_power(100.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "link margin")]
+    fn negative_margin_rejected() {
+        let _ = EnergyModel::paper_default().with_link_margin_db(-3.0);
+    }
+
+    #[test]
+    fn link_margin_boosts_hops_and_caps_at_max() {
+        let radio = PowerLaw::paper_default();
+        let m = EnergyModel::paper_default().with_link_margin_db(3.0);
+        // +3 dB ≈ ×1.995 in linear power.
+        let boosted = m.hop_tx_power(&radio, 100.0, true).linear();
+        let required = radio.required_power(100.0).linear();
+        assert!((boosted / required - 10f64.powf(0.3)).abs() < 1e-12);
+        // Near the maximum range the margin cannot exceed max power.
+        assert_eq!(m.hop_tx_power(&radio, 499.0, true), radio.max_power());
+        // Without power control the margin is irrelevant (already max).
+        assert_eq!(m.hop_tx_power(&radio, 100.0, false), radio.max_power());
+        // The zero-margin path applies no arithmetic at all.
+        let z = EnergyModel::paper_default();
+        assert_eq!(
+            z.hop_tx_power(&radio, 123.0, true),
+            radio.required_power(123.0)
         );
     }
 

@@ -25,12 +25,15 @@ use cbtc_core::phy::{
     phy_reach_graph, phy_reach_graph_where, run_phy_centralized, run_phy_centralized_masked,
     PhyChannel,
 };
+use cbtc_core::reconfig::{DeltaTopology, LinkMetric};
 use cbtc_core::Network;
 use cbtc_graph::{NodeId, UndirectedGraph};
 use cbtc_phy::{PhyProfile, PrrCurve, Shadowing};
-use cbtc_radio::{LinkGain, PathLoss, Power, PowerLaw, Prr};
+use cbtc_radio::{DirectionSensor, LinkGain, PathLoss, Power, PowerLaw, Prr};
 use cbtc_workloads::{RandomPlacement, Scenario};
 
+use crate::builder::SurvivorTracker;
+use crate::incremental::MetricSurvivorTopology;
 use crate::runner::run_trials_with;
 use crate::{
     aggregate, LifetimeAggregate, LifetimeConfig, LifetimeSim, LinkReliability, TopologyBuilder,
@@ -84,6 +87,10 @@ impl TopologyBuilder for PhyPolicy {
         }
     }
 
+    fn survivor_tracker(&self, network: &Network) -> Option<Box<dyn SurvivorTracker>> {
+        Some(Box::new(phy_survivor_topology(network, *self)))
+    }
+
     fn power_controlled(&self) -> bool {
         self.policy.power_controlled()
     }
@@ -93,6 +100,70 @@ impl TopologyBuilder for PhyPolicy {
         // reported alongside, and the σ = 0 ideal check compares output
         // documents field-for-field against the ideal-radio benchmark.
         self.policy.label()
+    }
+}
+
+/// An owning [`LinkMetric`] over a [`PhyProfile`]'s frozen channel: the
+/// effective distance `d·g^(−1/n)` with the profile's angle-of-arrival
+/// sensor. Every call constructs the borrowing [`PhyChannel`] on the
+/// spot, so the arithmetic is *the same code* the from-scratch
+/// [`run_phy_centralized_masked`] runs — bit-identity by construction.
+#[derive(Debug, Clone)]
+struct PhyMetric {
+    model: PowerLaw,
+    shadowing: Shadowing,
+    sensor: DirectionSensor,
+}
+
+impl PhyMetric {
+    fn channel(&self) -> PhyChannel<'_> {
+        PhyChannel::new(&self.model, &self.shadowing).with_sensor(self.sensor)
+    }
+}
+
+impl LinkMetric for PhyMetric {
+    fn cost(&self, u: NodeId, v: NodeId, d: f64) -> f64 {
+        self.channel().cost(u, v, d)
+    }
+
+    fn reach_boost(&self) -> f64 {
+        self.channel().reach_boost()
+    }
+
+    fn direction(&self, layout: &cbtc_graph::Layout, u: NodeId, v: NodeId) -> cbtc_geom::Angle {
+        self.channel().direction(layout, u, v)
+    }
+}
+
+/// The incrementally maintained phy survivor topology: the same
+/// death-only adapter as [`crate::SurvivorTopology`], instantiated on
+/// the effective-distance metric with the pairwise connectivity guard
+/// (Theorem 3.6's scaffolding does not survive off the unit disk).
+/// Edge-for-edge identical to [`PhyPolicy::build_on_survivors`] at
+/// every alive mask. Reach is a per-pair predicate, so the max-power
+/// variant is the induced-subgraph fast path.
+fn phy_survivor_topology(
+    network: &Network,
+    policy: PhyPolicy,
+) -> MetricSurvivorTopology<PhyMetric> {
+    let metric = PhyMetric {
+        model: *network.model(),
+        shadowing: policy.profile.shadowing(),
+        sensor: policy.profile.sensor(),
+    };
+    match policy.policy {
+        TopologyPolicy::MaxPower => {
+            let channel = metric.channel();
+            MetricSurvivorTopology::induced(phy_reach_graph(network, &channel))
+        }
+        TopologyPolicy::Cbtc(config) => MetricSurvivorTopology::engine(DeltaTopology::new(
+            network.layout().clone(),
+            vec![true; network.len()],
+            network.max_range(),
+            config,
+            true,
+            metric,
+        )),
     }
 }
 

@@ -97,6 +97,13 @@ impl crate::TopologyBuilder for TopologyPolicy {
         TopologyPolicy::build_on_survivors(self, network, alive)
     }
 
+    fn survivor_tracker(
+        &self,
+        network: &Network,
+    ) -> Option<Box<dyn crate::builder::SurvivorTracker>> {
+        Some(Box::new(crate::SurvivorTopology::new(network, *self)))
+    }
+
     fn power_controlled(&self) -> bool {
         TopologyPolicy::power_controlled(self)
     }

@@ -2,12 +2,18 @@
 //! death batch, the patched [`SurvivorTopology`] must equal a
 //! from-scratch [`TopologyPolicy::build_on_survivors`], and a whole
 //! lifetime simulation run incrementally must reproduce the
-//! rebuild-everything run bit for bit.
+//! rebuild-everything run bit for bit — on the ideal radio *and*
+//! through the phy pipeline (shadowed channel, retransmission energy).
+
+use std::sync::Arc;
 
 use cbtc_core::{CbtcConfig, Network};
-use cbtc_energy::{LifetimeConfig, LifetimeSim, SurvivorTopology, TopologyPolicy};
+use cbtc_energy::{
+    LifetimeConfig, LifetimeSim, PhyLinks, PhyPolicy, SurvivorTopology, TopologyPolicy,
+};
 use cbtc_geom::{Alpha, Point2};
 use cbtc_graph::{Layout, NodeId};
+use cbtc_phy::PhyProfile;
 use proptest::prelude::*;
 
 fn policies() -> Vec<TopologyPolicy> {
@@ -132,6 +138,59 @@ fn lifetime_sim_is_bitwise_equal_across_paths() {
             let a = LifetimeSim::new(network.clone(), policy, incremental, seed).run();
             let b = LifetimeSim::new(network.clone(), policy, full, seed).run();
             assert_eq!(a, b, "policy {} seed {seed}", policy.label());
+            assert!(a.first_death.is_some(), "the run must exercise deaths");
+        }
+    }
+}
+
+/// The phy lifetime path regained the incremental survivor machinery:
+/// a whole shadowed, soft-PRR lifetime run through the incremental
+/// tracker must reproduce the from-scratch-rebuild run bit for bit —
+/// same milestones, same drains, same delivered counts, same
+/// everything. (The σ = 0 ideal profile is additionally pinned to the
+/// ideal experiment by the in-crate phy tests.)
+#[test]
+fn phy_lifetime_sim_is_bitwise_equal_across_paths() {
+    let mut pts = Vec::new();
+    let mut state = 0xFEED_5EEDu64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..35 {
+        pts.push(Point2::new(next() * 900.0, next() * 900.0));
+    }
+    let network = Network::with_paper_radio(Layout::new(pts));
+    let incremental = LifetimeConfig {
+        initial_energy: 150_000.0,
+        packets_per_epoch: 20,
+        max_epochs: 3_000,
+        ..LifetimeConfig::paper_default()
+    };
+    let full = LifetimeConfig {
+        incremental: false,
+        ..incremental
+    };
+    let mut profile = PhyProfile::shadowed(6.0, 11);
+    profile.prr = cbtc_phy::PrrCurve::paper_transition();
+    for policy in policies() {
+        for seed in [3u64, 17] {
+            let run = |config: LifetimeConfig| {
+                let links = PhyLinks::new(*network.model(), &profile);
+                LifetimeSim::with_builder(
+                    network.clone(),
+                    Arc::new(PhyPolicy { policy, profile }),
+                    Arc::new(links),
+                    config,
+                    seed,
+                )
+                .run()
+            };
+            let a = run(incremental);
+            let b = run(full);
+            assert_eq!(a, b, "phy policy {} seed {seed}", policy.label());
             assert!(a.first_death.is_some(), "the run must exercise deaths");
         }
     }

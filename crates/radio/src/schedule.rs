@@ -46,6 +46,10 @@ pub struct PowerSchedule {
     initial: Power,
     max: Power,
     kind: ScheduleKind,
+    /// Link margin in dB applied to every emitted level (capped at `P`).
+    /// Zero by default: the emitted sequence is then exactly the raw
+    /// growth sequence, bit for bit.
+    margin_db: f64,
 }
 
 impl PowerSchedule {
@@ -84,7 +88,35 @@ impl PowerSchedule {
                 )
             }
         }
-        PowerSchedule { initial, max, kind }
+        PowerSchedule {
+            initial,
+            max,
+            kind,
+            margin_db: 0.0,
+        }
+    }
+
+    /// The same schedule with a link margin: every broadcast level is
+    /// boosted by `margin_db` dB (capped at `P`), so each Hello round
+    /// reaches the neighbors its nominal power would *just* reach plus a
+    /// reliability cushion — the protocol-side counterpart of the
+    /// lifetime model's data-plane link margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `margin_db` is finite and non-negative.
+    pub fn with_margin_db(mut self, margin_db: f64) -> Self {
+        assert!(
+            margin_db.is_finite() && margin_db >= 0.0,
+            "link margin must be a finite non-negative dB value, got {margin_db}"
+        );
+        self.margin_db = margin_db;
+        self
+    }
+
+    /// The configured link margin in dB (0 unless set).
+    pub fn margin_db(&self) -> f64 {
+        self.margin_db
     }
 
     /// The initial power `p0`.
@@ -138,12 +170,20 @@ impl Iterator for Levels {
 
     fn next(&mut self) -> Option<Power> {
         let current = self.next?;
-        if current >= self.schedule.max {
+        // The margin boosts the *emitted* level; the underlying growth
+        // sequence is untouched, so termination still mirrors Figure 1's
+        // `while pu < P`. A zero margin applies no arithmetic at all.
+        let emitted = if self.schedule.margin_db == 0.0 {
+            current
+        } else {
+            (current * 10f64.powf(self.schedule.margin_db / 10.0)).min(self.schedule.max)
+        };
+        if emitted >= self.schedule.max {
             self.next = None;
             return Some(self.schedule.max);
         }
         self.next = Some(self.schedule.increase(current));
-        Some(current)
+        Some(emitted)
     }
 }
 
@@ -239,5 +279,34 @@ mod tests {
         // 1,2,4,...,2^20 → 21 rounds.
         let s = PowerSchedule::doubling(Power::new(1.0), Power::new((1u64 << 20) as f64));
         assert_eq!(s.round_count(), 21);
+    }
+
+    #[test]
+    fn margin_boosts_levels_and_shortens_the_tail() {
+        let base = PowerSchedule::doubling(Power::new(1.0), Power::new(10.0));
+        let margined = base.with_margin_db(3.0);
+        assert_eq!(margined.margin_db(), 3.0);
+        let factor = 10f64.powf(0.3);
+        let levels: Vec<f64> = margined.levels().map(|p| p.linear()).collect();
+        // 1·m ≈ 2.0, 2·m ≈ 4.0, 4·m ≈ 8.0, 8·m ≈ 16 → capped at 10, stop.
+        assert_eq!(levels.len(), 4);
+        for (i, &l) in levels.iter().enumerate().take(3) {
+            assert!((l - (1 << i) as f64 * factor).abs() < 1e-12);
+        }
+        assert_eq!(*levels.last().unwrap(), 10.0);
+        // Still strictly increasing and ending exactly at P.
+        for w in levels.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Zero margin is the identity (bit for bit).
+        let plain: Vec<Power> = base.levels().collect();
+        let zero: Vec<Power> = base.with_margin_db(0.0).levels().collect();
+        assert_eq!(plain, zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "link margin")]
+    fn negative_margin_rejected() {
+        let _ = PowerSchedule::doubling(Power::new(1.0), Power::new(10.0)).with_margin_db(-1.0);
     }
 }

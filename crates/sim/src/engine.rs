@@ -152,6 +152,14 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
     /// Creates an engine with per-node start times (later starts model
     /// nodes joining an already-running network).
     ///
+    /// When the fault configuration carries a
+    /// [`FaultConfig::with_start_jitter`], each start is additionally
+    /// delayed by a seeded uniform draw from `[0, jitter]` ticks —
+    /// desynchronizing the otherwise slot-aligned first Hello rounds.
+    /// The jitter RNG is dedicated (`seed ^ 0x5EED_1A57`), so enabling
+    /// jitter never perturbs the fault stream, and a zero jitter draws
+    /// nothing at all.
+    ///
     /// # Panics
     ///
     /// Panics if the node, layout and start counts disagree.
@@ -166,7 +174,14 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
         assert_eq!(nodes.len(), starts.len(), "one start time per node");
         let n = nodes.len();
         let mut queue = EventQueue::new();
+        let jitter = config.start_jitter();
+        let mut jitter_rng =
+            (jitter > 0).then(|| StdRng::seed_from_u64(config.seed() ^ 0x5EED_1A57));
         for (i, &t) in starts.iter().enumerate() {
+            let t = match &mut jitter_rng {
+                Some(rng) => t + rng.gen_range(0..=jitter),
+                None => t,
+            };
             queue.push(
                 t,
                 EventKind::Start {
@@ -1198,6 +1213,29 @@ mod tests {
         let (b_rx, b_stats) = run();
         assert_eq!(a_rx, b_rx);
         assert_eq!(a_stats, b_stats);
+    }
+
+    #[test]
+    fn start_jitter_scatters_starts_deterministically() {
+        // Jitter delays node starts reproducibly; zero jitter is the
+        // bit-identical default.
+        let base = FaultConfig::reliable_synchronous().with_seed(5);
+        let mut plain = flood_engine(4, base);
+        let mut zero = flood_engine(4, base.with_start_jitter(0));
+        plain.run_to_quiescence(1_000);
+        zero.run_to_quiescence(1_000);
+        assert_eq!(plain.stats(), zero.stats());
+
+        let jittered = || {
+            let mut e = flood_engine(4, base.with_start_jitter(16));
+            e.run_to_quiescence(1_000);
+            (e.now(), e.stats().clone())
+        };
+        let (t1, s1) = jittered();
+        let (t2, s2) = jittered();
+        assert_eq!(t1, t2, "jitter must be seeded");
+        assert_eq!(s1, s2);
+        assert!(t1 > plain.now(), "scattered starts shift the timeline");
     }
 
     #[test]

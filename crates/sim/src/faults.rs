@@ -30,6 +30,7 @@ pub struct FaultConfig {
     loss_probability: f64,
     duplication_probability: f64,
     seed: u64,
+    start_jitter: u64,
 }
 
 impl FaultConfig {
@@ -42,6 +43,7 @@ impl FaultConfig {
             loss_probability: 0.0,
             duplication_probability: 0.0,
             seed: 0,
+            start_jitter: 0,
         }
     }
 
@@ -64,7 +66,20 @@ impl FaultConfig {
             loss_probability: 0.0,
             duplication_probability: 0.0,
             seed,
+            start_jitter: 0,
         }
+    }
+
+    /// Adds a per-node random start jitter: each node's start event is
+    /// delayed by a seeded uniform draw from `[0, max_jitter]` ticks — a
+    /// real MAC's association scatter. Synchronized protocol drivers
+    /// (everyone's first Hello in the same slot) are the worst case for
+    /// SINR collisions and CSMA backoff; jitter desynchronizes the
+    /// rounds. `0` (the default) adds no delay and draws nothing, so
+    /// existing runs replay bit for bit.
+    pub fn with_start_jitter(mut self, max_jitter: u64) -> Self {
+        self.start_jitter = max_jitter;
+        self
     }
 
     /// Sets the independent per-delivery loss probability.
@@ -120,6 +135,12 @@ impl FaultConfig {
     /// The random seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The maximum per-node start jitter in ticks (0 = synchronized
+    /// starts).
+    pub fn start_jitter(&self) -> u64 {
+        self.start_jitter
     }
 
     /// An upper bound on one message round trip (request out, reply back),

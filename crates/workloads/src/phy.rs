@@ -179,7 +179,8 @@ pub fn phy_construction_probe(
 }
 
 /// Distributed growing-phase overhead at one sweep point: the same
-/// layout run over the ideal radio and over a stochastic profile.
+/// layout run over the ideal radio and over a stochastic profile, with
+/// and without per-node start jitter.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PhyProtocolStats {
     /// Nodes in the network.
@@ -203,19 +204,46 @@ pub struct PhyProtocolStats {
     /// the frozen-shadowing reach, so this is partition agreement, not a
     /// subgraph check).
     pub connectivity_preserved: bool,
+    /// Link margin (dB) applied to every Hello broadcast level
+    /// ([`PowerSchedule::with_margin_db`]): each round reaches its
+    /// nominal neighbors plus a reliability cushion. `0` is the paper's
+    /// exact schedule, bit for bit.
+    pub hello_margin_db: f64,
+    /// The per-node random start jitter (ticks) of the desynchronized
+    /// run below; `0` means the jittered columns replay the synchronized
+    /// run.
+    pub jitter_ticks: u64,
+    /// Hello/Ack broadcasts per node with jittered starts.
+    pub jitter_broadcasts_per_node: f64,
+    /// Fraction of deliveries killed by PRR/SINR draws with jittered
+    /// starts — synchronized first rounds are the SINR worst case, so
+    /// the gap to `phy_lost_fraction` is the collision loss jitter
+    /// removes.
+    pub jitter_phy_lost_fraction: f64,
+    /// CSMA backoffs per node with jittered starts.
+    pub jitter_csma_deferrals_per_node: f64,
 }
 
 /// Runs the distributed CBTC growing phase (Figure 1 over the simulator)
-/// on one random layout, ideal vs. `profile`, and reports the overhead
-/// the stochastic channel induces.
+/// on one random layout — ideal vs. `profile` with slot-aligned starts,
+/// plus a third run with per-node start jitter of `jitter` ticks — and
+/// reports the overhead the stochastic channel induces and how much of
+/// it desynchronization removes. A `jitter` of 0 skips the third
+/// simulation and copies the synchronized columns. `hello_margin_db`
+/// boosts every Hello broadcast level
+/// ([`PowerSchedule::with_margin_db`]); `0.0` is the paper's exact
+/// schedule.
 ///
 /// # Panics
 ///
-/// Panics if either run fails to quiesce within the event budget.
+/// Panics if a run fails to quiesce within the event budget, or if the
+/// margin is negative or non-finite.
 pub fn phy_protocol_probe(
     nodes: usize,
     scenario: &Scenario,
     profile: &PhyProfile,
+    jitter: u64,
+    hello_margin_db: f64,
     seed: u64,
 ) -> PhyProtocolStats {
     let model = PowerLaw::paper_default();
@@ -227,17 +255,20 @@ pub fn phy_protocol_probe(
     let ack_timeout = 3 + profile.csma.map(|c| 2 * c.max_backoff).unwrap_or(0);
     let growth = GrowthConfig {
         alpha: cbtc_geom::Alpha::TWO_PI_THIRDS,
-        schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power()),
+        schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power())
+            .with_margin_db(hello_margin_db),
         ack_timeout,
         model,
     };
-    let run = |phy: Option<&PhyProfile>| -> (Engine<CbtcNode, PowerLaw>, f64) {
+    let run = |phy: Option<&PhyProfile>, jitter: u64| -> (Engine<CbtcNode, PowerLaw>, f64) {
         let protocol_nodes = (0..nodes).map(|_| CbtcNode::new(growth, false)).collect();
         let mut engine = Engine::new(
             layout.clone(),
             model,
             protocol_nodes,
-            FaultConfig::reliable_synchronous().with_seed(seed),
+            FaultConfig::reliable_synchronous()
+                .with_seed(seed)
+                .with_start_jitter(jitter),
         );
         if let Some(p) = phy {
             engine.set_phy(*p);
@@ -250,8 +281,27 @@ pub fn phy_protocol_probe(
         let per_node = engine.stats().broadcasts as f64 / nodes.max(1) as f64;
         (engine, per_node)
     };
-    let (_, ideal_per_node) = run(None);
-    let (phy_engine, phy_per_node) = run(Some(profile));
+    let (_, ideal_per_node) = run(None, 0);
+    let (phy_engine, phy_per_node) = run(Some(profile), 0);
+    let lost_fraction = |stats: &cbtc_sim::TraceStats| {
+        stats.phy_lost as f64 / (stats.deliveries + stats.phy_lost).max(1) as f64
+    };
+    let (jitter_per_node, jitter_lost, jitter_deferrals) = if jitter > 0 {
+        let (jitter_engine, per_node) = run(Some(profile), jitter);
+        let stats = jitter_engine.stats();
+        (
+            per_node,
+            lost_fraction(stats),
+            stats.csma_deferrals as f64 / nodes.max(1) as f64,
+        )
+    } else {
+        let stats = phy_engine.stats();
+        (
+            phy_per_node,
+            lost_fraction(stats),
+            stats.csma_deferrals as f64 / nodes.max(1) as f64,
+        )
+    };
 
     let stats = phy_engine.stats();
     let shadowing = profile.shadowing();
@@ -265,11 +315,15 @@ pub fn phy_protocol_probe(
         ideal_broadcasts_per_node: ideal_per_node,
         phy_broadcasts_per_node: phy_per_node,
         hello_overhead: phy_per_node / ideal_per_node.max(f64::MIN_POSITIVE),
-        phy_lost_fraction: stats.phy_lost as f64
-            / (stats.deliveries + stats.phy_lost).max(1) as f64,
+        phy_lost_fraction: lost_fraction(stats),
         csma_deferrals_per_node: stats.csma_deferrals as f64 / nodes.max(1) as f64,
         csma_forced: stats.csma_forced,
         connectivity_preserved: same_partition(&closure, &reach),
+        hello_margin_db,
+        jitter_ticks: jitter,
+        jitter_broadcasts_per_node: jitter_per_node,
+        jitter_phy_lost_fraction: jitter_lost,
+        jitter_csma_deferrals_per_node: jitter_deferrals,
     }
 }
 
@@ -329,7 +383,7 @@ mod tests {
     #[test]
     fn protocol_probe_reports_overhead() {
         let scenario = small_scenario(25, 1);
-        let stats = phy_protocol_probe(25, &scenario, &PhyProfile::realistic(6.0, 2), 3);
+        let stats = phy_protocol_probe(25, &scenario, &PhyProfile::realistic(6.0, 2), 16, 0.0, 3);
         assert!(stats.ideal_broadcasts_per_node > 0.0);
         assert!(
             stats.hello_overhead >= 1.0,
@@ -337,14 +391,54 @@ mod tests {
             stats.hello_overhead
         );
         assert!(stats.phy_lost_fraction >= 0.0 && stats.phy_lost_fraction < 1.0);
+        assert_eq!(stats.jitter_ticks, 16);
+        assert!(stats.jitter_phy_lost_fraction >= 0.0 && stats.jitter_phy_lost_fraction < 1.0);
+    }
+
+    #[test]
+    fn start_jitter_removes_collision_loss_and_backoff() {
+        // Synchronized first rounds are the SINR worst case: scattering
+        // starts must cut both the collision loss and the carrier-sense
+        // deferrals on the full stochastic stack.
+        let scenario = small_scenario(30, 1);
+        let stats = phy_protocol_probe(30, &scenario, &PhyProfile::realistic(4.0, 5), 16, 0.0, 5);
+        assert!(
+            stats.jitter_phy_lost_fraction < stats.phy_lost_fraction,
+            "jitter must remove collision loss: {} vs {}",
+            stats.jitter_phy_lost_fraction,
+            stats.phy_lost_fraction
+        );
+        assert!(
+            stats.jitter_csma_deferrals_per_node < stats.csma_deferrals_per_node,
+            "jitter must remove backoff burden: {} vs {}",
+            stats.jitter_csma_deferrals_per_node,
+            stats.csma_deferrals_per_node
+        );
+    }
+
+    #[test]
+    fn zero_jitter_copies_the_synchronized_columns() {
+        let scenario = small_scenario(20, 1);
+        let stats = phy_protocol_probe(20, &scenario, &PhyProfile::realistic(4.0, 2), 0, 0.0, 3);
+        assert_eq!(stats.jitter_ticks, 0);
+        assert_eq!(
+            stats.jitter_broadcasts_per_node,
+            stats.phy_broadcasts_per_node
+        );
+        assert_eq!(stats.jitter_phy_lost_fraction, stats.phy_lost_fraction);
+        assert_eq!(
+            stats.jitter_csma_deferrals_per_node,
+            stats.csma_deferrals_per_node
+        );
     }
 
     #[test]
     fn protocol_probe_with_ideal_profile_is_overhead_free() {
         let scenario = small_scenario(20, 1);
-        let stats = phy_protocol_probe(20, &scenario, &PhyProfile::ideal(), 7);
+        let stats = phy_protocol_probe(20, &scenario, &PhyProfile::ideal(), 16, 0.0, 7);
         assert_eq!(stats.hello_overhead, 1.0);
         assert_eq!(stats.phy_lost_fraction, 0.0);
+        assert_eq!(stats.jitter_phy_lost_fraction, 0.0);
         assert_eq!(stats.csma_forced, 0);
         assert!(stats.connectivity_preserved);
     }
@@ -359,8 +453,8 @@ mod tests {
         );
         let p = PhyProfile::realistic(4.0, 11);
         assert_eq!(
-            phy_protocol_probe(20, &scenario, &p, 1),
-            phy_protocol_probe(20, &scenario, &p, 1)
+            phy_protocol_probe(20, &scenario, &p, 16, 0.0, 1),
+            phy_protocol_probe(20, &scenario, &p, 16, 0.0, 1)
         );
     }
 }
