@@ -21,7 +21,8 @@ use cbtc_core::reconfig::{DeltaTopology, GeometricMetric, NodeEvent};
 use cbtc_core::{run_centralized_masked, CbtcConfig, Network};
 use cbtc_graph::unit_disk::{unit_disk_graph, unit_disk_graph_brute};
 use cbtc_radio::{PathLoss, PowerLaw};
-use cbtc_workloads::{run_churn, ChurnReport, ChurnScenario, RandomPlacement};
+use cbtc_trace::TraceHandle;
+use cbtc_workloads::{run_churn, run_churn_traced, ChurnReport, ChurnScenario, RandomPlacement};
 use serde::Serialize;
 
 /// Grid-vs-brute `G_R` construction timing on the scenario's layout.
@@ -53,12 +54,58 @@ struct ProbeBench {
     speedup: f64,
 }
 
+/// Observability overhead: the same churn run with and without the
+/// streaming JSONL trace sink installed (wall-clock timing on), reports
+/// asserted bit-identical.
+#[derive(Debug, Serialize)]
+struct TraceBench {
+    trace_off_seconds: f64,
+    trace_on_seconds: f64,
+    /// `on/off - 1`; the acceptance target is under 0.05.
+    overhead_fraction: f64,
+    events_recorded: u64,
+    trace_bytes: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchDoc {
     report: ChurnReport,
     index: IndexBench,
     probe: Vec<ProbeBench>,
+    trace: TraceBench,
     wall_seconds: f64,
+}
+
+/// Re-runs the scenario with a JSONL trace streaming to a temp file and
+/// asserts the report is bit-identical to the untraced `reference`.
+fn bench_trace(
+    scenario: &ChurnScenario,
+    seed: u64,
+    reference: &ChurnReport,
+    trace_off_seconds: f64,
+) -> TraceBench {
+    let path = std::env::temp_dir().join("cbtc_bench_churn_trace.jsonl");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let handle = TraceHandle::to_file(path_str)
+        .unwrap_or_else(|e| panic!("creating {path_str}: {e}"))
+        .with_timing(true);
+    let t = Instant::now();
+    let traced = run_churn_traced(scenario, seed, None, &handle);
+    let trace_on_seconds = t.elapsed().as_secs_f64();
+    handle.flush();
+    assert_eq!(
+        reference, &traced,
+        "tracing must not perturb the simulation"
+    );
+    let bytes = std::fs::read(&path).unwrap_or_default();
+    std::fs::remove_file(&path).ok();
+    TraceBench {
+        trace_off_seconds,
+        trace_on_seconds,
+        overhead_fraction: trace_on_seconds / trace_off_seconds.max(f64::MIN_POSITIVE) - 1.0,
+        events_recorded: bytes.iter().filter(|&&c| c == b'\n').count() as u64,
+        trace_bytes: bytes.len() as u64,
+    }
 }
 
 /// Times the suite's centralized `G_α` probe per burst on the scenario's
@@ -287,12 +334,24 @@ fn main() {
         scenario.total_nodes()
     );
 
+    let trace = bench_trace(&scenario, seed, &report, wall);
+    println!(
+        "trace overhead: off {:.1}s vs on {:.1}s ({:+.1}%) — {} events, {:.1} MB JSONL, \
+         reports bit-identical",
+        trace.trace_off_seconds,
+        trace.trace_on_seconds,
+        trace.overhead_fraction * 100.0,
+        trace.events_recorded,
+        trace.trace_bytes as f64 / 1e6,
+    );
+
     if !args.has("no-json") {
         let path = args.get("json", "BENCH_churn.json".to_owned());
         let doc = BenchDoc {
             report,
             index,
             probe,
+            trace,
             wall_seconds: wall,
         };
         std::fs::write(

@@ -38,6 +38,22 @@ impl Args {
         self.raw.iter().any(|a| a == &flag)
     }
 
+    /// The first free-standing argument: not a `--flag`, and not
+    /// immediately after one (that slot is the flag's value).
+    pub fn positional(&self) -> Option<&str> {
+        let mut after_flag = false;
+        for a in &self.raw {
+            if a.starts_with("--") {
+                after_flag = true;
+            } else if after_flag {
+                after_flag = false;
+            } else {
+                return Some(a);
+            }
+        }
+        None
+    }
+
     /// Parses the `--alpha` flag: `5pi6` (default), `2pi3`, or radians.
     pub fn alpha(&self) -> Result<cbtc_geom::Alpha, String> {
         match self.value_of("alpha").unwrap_or("5pi6") {
@@ -75,6 +91,21 @@ mod tests {
     fn invalid_value_is_an_error() {
         let a = args(&["--nodes", "abc"]);
         assert!(a.get("nodes", 1usize).is_err());
+    }
+
+    #[test]
+    fn positional_skips_flags_and_their_values() {
+        assert_eq!(args(&["trace.jsonl"]).positional(), Some("trace.jsonl"));
+        assert_eq!(
+            args(&["--out", "x.html", "trace.jsonl"]).positional(),
+            Some("trace.jsonl")
+        );
+        assert_eq!(
+            args(&["trace.jsonl", "--out", "x.html"]).positional(),
+            Some("trace.jsonl")
+        );
+        assert_eq!(args(&["--out", "x.html"]).positional(), None);
+        assert_eq!(args(&[]).positional(), None);
     }
 
     #[test]

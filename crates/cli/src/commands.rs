@@ -10,7 +10,8 @@ use cbtc_graph::load::path_stats;
 use cbtc_graph::metrics::{average_degree, average_radius};
 use cbtc_graph::traversal::component_count;
 use cbtc_graph::Layout;
-use cbtc_viz::{render_svg, SvgOptions};
+use cbtc_trace::{TraceEvent, TraceHandle};
+use cbtc_viz::{render_replay_html, render_replay_svg, render_svg, ReplayFrame, SvgOptions};
 use cbtc_workloads::RandomPlacement;
 
 use crate::args::Args;
@@ -45,11 +46,28 @@ USAGE:
     cbtc churn [--nodes N] [--cycles C] [--cycle-ticks T] [--warmup W]
                [--beacon-interval B] [--miss-limit M] [--seed S]
                [--speed-min V] [--speed-max V] [--pause P] [--json FILE]
+               [--phy-sigma DB] [--trace FILE]
         Run the §4 reconfiguration protocol under RandomWaypoint mobility
         with node joins and crashes; report beacon overhead, reconvergence
         time, connectivity maintenance and stretch. --nodes is the total
         population (10% arrive as late joins, 10% crash). Scales to 10k+
-        nodes via the grid spatial index.
+        nodes via the grid spatial index. --phy-sigma installs the
+        realistic stochastic channel at that shadowing σ; --trace streams
+        the run as JSONL trace events for cbtc replay / cbtc analyze.
+
+    cbtc replay <trace.jsonl> [--svg FILE] [--html FILE] [--max-frames N]
+                [--image-width PX]
+        Reconstruct the topology timeline of a recorded trace and render
+        it as an animated SVG (SMIL, one frame per topology epoch) and/or
+        a standalone HTML canvas player with play/pause and scrubbing.
+        Writes <trace>.replay.html when no output is named.
+
+    cbtc analyze <trace.jsonl> [--json FILE]
+        Validate a recorded trace and summarize it: event counts, the
+        topology-epoch timeline, the final connection matrix (bucketed
+        above 24 nodes), per-node degree and power, churn and
+        reconvergence outcomes, and p50/p99/max per-event reconfiguration
+        latency.
 
     cbtc phy [--nodes N] [--sigmas 0,4,8] [--trials T] [--seed S]
              [--alpha 2pi3|<radians>] [--protocol-nodes N] [--no-protocol]
@@ -405,6 +423,18 @@ pub fn churn(args: &Args) -> Result<(), String> {
     scenario.pause = args.get("pause", scenario.pause)?;
     scenario.validate()?;
     let seed: u64 = args.get("seed", 0)?;
+    let phy = match args.value_of("phy-sigma") {
+        None => None,
+        Some(raw) => {
+            let sigma: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid --phy-sigma: {raw}"))?;
+            if !sigma.is_finite() || sigma < 0.0 {
+                return Err("--phy-sigma must be a finite non-negative dB value".into());
+            }
+            Some(cbtc_phy::PhyProfile::realistic(sigma, seed))
+        }
+    };
 
     println!(
         "churn — {} nodes ({} initial + {} joins, {} crashes), {:.0}×{:.0} field, \
@@ -429,7 +459,15 @@ pub fn churn(args: &Args) -> Result<(), String> {
     );
 
     let start = std::time::Instant::now();
-    let report = cbtc_workloads::run_churn(&scenario, seed);
+    let report = match args.value_of("trace") {
+        None => cbtc_workloads::run_churn_with(&scenario, seed, phy.as_ref()),
+        Some(path) => {
+            let trace = TraceHandle::to_file(path)
+                .map_err(|e| format!("creating trace {path}: {e}"))?
+                .with_timing(true);
+            cbtc_workloads::run_churn_traced(&scenario, seed, phy.as_ref(), &trace)
+        }
+    };
     let wall = start.elapsed().as_secs_f64();
 
     println!(
@@ -480,6 +518,10 @@ pub fn churn(args: &Args) -> Result<(), String> {
         report.traffic.deliveries
     );
     println!(
+        "channel: {} phy-lost deliveries, {} CSMA deferrals, {} forced transmissions",
+        report.traffic.phy_lost, report.traffic.csma_deferrals, report.traffic.csma_forced,
+    );
+    println!(
         "connectivity preserved at {:.1}% of probes; {} growing-phase re-runs; \
          mean reconvergence {}",
         report.connectivity_fraction * 100.0,
@@ -502,6 +544,9 @@ pub fn churn(args: &Args) -> Result<(), String> {
         )
         .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
+    }
+    if let Some(path) = args.value_of("trace") {
+        println!("wrote trace {path} (replay/analyze it with cbtc replay / cbtc analyze)");
     }
     Ok(())
 }
@@ -610,6 +655,7 @@ pub fn phy(args: &Args) -> Result<(), String> {
             "jit loss",
             "jit bkf/n"
         );
+        let mut channel_rows = Vec::new();
         for &sigma in &sigmas {
             let profile = cbtc_phy::PhyProfile::realistic(sigma, seed);
             let stats = phy_protocol_probe(
@@ -636,7 +682,281 @@ pub fn phy(args: &Args) -> Result<(), String> {
                 stats.jitter_phy_lost_fraction * 100.0,
                 stats.jitter_csma_deferrals_per_node,
             );
+            channel_rows.push((
+                sigma,
+                stats.phy_lost,
+                stats.csma_deferrals,
+                stats.csma_forced,
+            ));
         }
+        println!("\nraw channel counters (synchronized run):");
+        println!(
+            "{:>6} {:>10} {:>11} {:>8}",
+            "σ (dB)", "phy lost", "deferrals", "forced"
+        );
+        for (sigma, phy_lost, deferrals, forced) in channel_rows {
+            println!("{sigma:>6.1} {phy_lost:>10} {deferrals:>11} {forced:>8}");
+        }
+    }
+    Ok(())
+}
+
+/// The `Meta` header's run name and world bounds, if the trace has one
+/// (the analyzer guarantees it for validated traces).
+fn trace_header(events: &[TraceEvent]) -> (String, Option<(f64, f64, f64, f64)>) {
+    match events.first() {
+        Some(TraceEvent::Meta {
+            run, width, height, ..
+        }) => {
+            let bounds = (*width > 0.0 && *height > 0.0).then_some((0.0, 0.0, *width, *height));
+            (run.clone(), bounds)
+        }
+        _ => (String::new(), None),
+    }
+}
+
+/// `cbtc replay`
+pub fn replay(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional()
+        .ok_or("usage: cbtc replay <trace.jsonl> [--svg FILE] [--html FILE]")?
+        .to_owned();
+    let max_frames: usize = args.get("max-frames", 240)?;
+    let image_width: f64 = args.get("image-width", 760.0)?;
+    if max_frames == 0 {
+        return Err("--max-frames must be positive".into());
+    }
+    if !image_width.is_finite() || image_width < 64.0 {
+        return Err("--image-width must be at least 64 pixels".into());
+    }
+
+    let events = cbtc_trace::read_trace(&path).map_err(|e| e.to_string())?;
+    let frames = cbtc_trace::timeline(&events).map_err(|e| e.to_string())?;
+    if frames.is_empty() {
+        return Err(format!(
+            "{path}: no TopologyEpoch events — nothing to replay"
+        ));
+    }
+    let (run, bounds) = trace_header(&events);
+
+    // Sample evenly down to the frame budget, always keeping the final
+    // frame so the replay ends on the trace's last topology.
+    let stride = frames.len().div_ceil(max_frames);
+    let last = frames.len() - 1;
+    let sampled: Vec<ReplayFrame> = frames
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i == last)
+        .map(|(_, f)| ReplayFrame {
+            time: f.time,
+            positions: f.positions.clone(),
+            alive: f.alive.clone(),
+            edges: f.edges.clone(),
+        })
+        .collect();
+
+    let options = SvgOptions {
+        image_width,
+        labels: false,
+        node_radius: 2.5,
+        caption: Some(run),
+        bounds,
+        ..SvgOptions::default()
+    };
+    println!(
+        "replay — {} topology epochs in {path}, {} frames rendered",
+        frames.len(),
+        sampled.len()
+    );
+    if let Some(out) = args.value_of("svg") {
+        fs::write(out, render_replay_svg(&sampled, &options))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("  wrote {out}");
+    }
+    let html_out = match args.value_of("html") {
+        Some(out) => Some(out.to_owned()),
+        None => args
+            .value_of("svg")
+            .is_none()
+            .then(|| format!("{path}.replay.html")),
+    };
+    if let Some(out) = html_out {
+        fs::write(&out, render_replay_html(&sampled, &options))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("  wrote {out}");
+    }
+    Ok(())
+}
+
+/// `cbtc analyze`
+pub fn analyze(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional()
+        .ok_or("usage: cbtc analyze <trace.jsonl> [--json FILE]")?;
+    let events = cbtc_trace::read_trace(path).map_err(|e| e.to_string())?;
+    let a = cbtc_trace::analyze(&events).map_err(|e| e.to_string())?;
+
+    println!(
+        "trace {path} — run \"{}\" (schema v{}), {} nodes, seed {}",
+        a.run, a.version, a.nodes, a.seed
+    );
+    println!("{} events over t = 0..{}:", events.len(), a.span);
+    for (kind, count) in &a.kind_counts {
+        println!("  {kind:<16} {count:>8}");
+    }
+
+    println!("\ntopology epochs ({}):", a.epoch_timeline.len());
+    println!("{:>10} {:>6} {:>8} {:>9}", "t", "live", "edges", "avg deg");
+    let total = a.epoch_timeline.len();
+    for (i, (t, live, edges)) in a.epoch_timeline.iter().enumerate() {
+        if total > 12 && i == 6 {
+            println!("{:>10}", "…");
+        }
+        if total > 12 && (6..total - 6).contains(&i) {
+            continue;
+        }
+        let avg = 2.0 * *edges as f64 / (*live).max(1) as f64;
+        println!("{t:>10} {live:>6} {edges:>8} {avg:>9.2}");
+    }
+
+    let degrees = a.final_degrees();
+    let (dmin, dmax) = degrees
+        .iter()
+        .fold((u32::MAX, 0), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+    let dmean = 2.0 * a.final_edges.len() as f64 / degrees.len().max(1) as f64;
+    println!(
+        "\nfinal topology: {} edges; degree min {} / mean {:.2} / max {}",
+        a.final_edges.len(),
+        if degrees.is_empty() { 0 } else { dmin },
+        dmean,
+        dmax
+    );
+
+    let n = a.nodes as usize;
+    if n <= 24 {
+        println!("connection matrix ({n}×{n}):");
+        for (i, row) in a.connection_matrix().iter().enumerate() {
+            let cells: String = row.iter().map(|&c| if c { '#' } else { '·' }).collect();
+            println!("  {i:>3} {cells}");
+        }
+    } else {
+        let k = 16;
+        println!(
+            "connection matrix (bucketed {k}×{k}, ≈{} node IDs per bucket, cells are edge counts):",
+            n.div_ceil(k)
+        );
+        for row in a.bucketed_matrix(k) {
+            let cells: String = row.iter().map(|c| format!("{c:>5}")).collect();
+            println!("  {cells}");
+        }
+    }
+
+    let changed = a.power_per_node.iter().filter(|(c, _)| *c > 0).count();
+    if changed > 0 {
+        let powers: Vec<f64> = a
+            .power_per_node
+            .iter()
+            .filter(|(c, _)| *c > 0)
+            .map(|&(_, p)| p)
+            .collect();
+        let (pmin, pmax) = powers.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &p| {
+            (lo.min(p), hi.max(p))
+        });
+        let pmean = powers.iter().sum::<f64>() / powers.len() as f64;
+        println!(
+            "power: {changed} nodes recorded changes; last power min {pmin:.1} / mean {pmean:.1} / max {pmax:.1}"
+        );
+    }
+
+    println!(
+        "churn: {} deaths, {} joins, {} moves",
+        a.deaths, a.joins, a.moves
+    );
+    if !a.reconvergence.is_empty() {
+        let mean =
+            a.reconvergence.iter().map(|(_, d)| d).sum::<f64>() / a.reconvergence.len() as f64;
+        println!(
+            "reconvergence: {} bursts reconverged, mean {:.0} after the burst",
+            a.reconvergence.len(),
+            mean
+        );
+        for (burst, after) in &a.reconvergence {
+            println!("  burst t={burst:<8} reconverged after {after}");
+        }
+    }
+
+    let latency = a.reconfig_latency();
+    if latency.count > 0 {
+        let regrown: u64 = a.reconfig_regrown.iter().map(|&r| u64::from(r)).sum();
+        if a.has_latency_samples() {
+            println!(
+                "reconfiguration: {} incremental updates, {regrown} nodes re-grown; \
+                 latency p50 {:.1} µs / p99 {:.1} µs / max {:.1} µs",
+                latency.count,
+                latency.p50 / 1_000.0,
+                latency.p99 / 1_000.0,
+                latency.max / 1_000.0
+            );
+        } else {
+            println!(
+                "reconfiguration: {} incremental updates, {regrown} nodes re-grown \
+                 (trace recorded without timing; no latency samples)",
+                latency.count
+            );
+        }
+    }
+
+    if let Some((t, energy)) = &a.last_energy {
+        let remaining: f64 = energy.iter().sum();
+        let low = energy.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "energy at t={t}: {remaining:.0} total across {} nodes (poorest node {low:.0})",
+            energy.len()
+        );
+    }
+    if let Some((t, delivered, lost, prr)) = a.last_prr {
+        println!(
+            "delivery at t={t}: {delivered} delivered, {lost} lost — PRR {:.2}%",
+            prr * 100.0
+        );
+    }
+
+    if let Some(out) = args.value_of("json") {
+        let kinds: Vec<serde_json::Value> = a
+            .kind_counts
+            .iter()
+            .map(|(k, c)| serde_json::json!({ "kind": k, "count": c }))
+            .collect();
+        let regrown: u64 = a.reconfig_regrown.iter().map(|&r| u64::from(r)).sum();
+        let reconfig = serde_json::json!({
+            "count": latency.count,
+            "regrown": regrown,
+            "p50_nanos": latency.p50,
+            "p99_nanos": latency.p99,
+            "max_nanos": latency.max,
+        });
+        let doc = serde_json::json!({
+            "trace": path,
+            "version": a.version,
+            "run": a.run,
+            "nodes": a.nodes,
+            "seed": a.seed,
+            "span": a.span,
+            "events": kinds,
+            "epochs": a.epoch_timeline.len(),
+            "final_edges": a.final_edges.len(),
+            "deaths": a.deaths,
+            "joins": a.joins,
+            "moves": a.moves,
+            "reconvergence": a.reconvergence,
+            "reconfig": reconfig,
+        });
+        fs::write(
+            out,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )
+        .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
     }
     Ok(())
 }
@@ -769,6 +1089,81 @@ mod tests {
         assert!(churn(&args(&["--nodes", "5"])).is_err());
         assert!(churn(&args(&["--nodes", "30", "--cycles", "0"])).is_err());
         assert!(churn(&args(&["--nodes", "30", "--speed-min", "0"])).is_err());
+        assert!(churn(&args(&["--nodes", "30", "--phy-sigma", "abc"])).is_err());
+        assert!(churn(&args(&["--nodes", "30", "--phy-sigma", "-1"])).is_err());
+    }
+
+    #[test]
+    fn traced_churn_feeds_analyze_and_replay() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("cbtc_cli_trace_test.jsonl");
+        let trace_str = trace.to_str().unwrap();
+        assert!(churn(&args(&[
+            "--nodes",
+            "30",
+            "--cycles",
+            "2",
+            "--cycle-ticks",
+            "150",
+            "--warmup",
+            "120",
+            "--phy-sigma",
+            "4",
+            "--trace",
+            trace_str,
+        ]))
+        .is_ok());
+        // The trace is valid JSONL with the Meta header first.
+        let first = fs::read_to_string(&trace)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_owned();
+        assert!(first.contains("\"Meta\""), "first line: {first}");
+
+        let json = dir.join("cbtc_cli_trace_test_analysis.json");
+        assert!(analyze(&args(&[trace_str, "--json", json.to_str().unwrap()])).is_ok());
+        let doc: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(doc["nodes"].as_u64(), Some(30));
+        assert!(doc["epochs"].as_u64().unwrap() > 0);
+        assert!(doc["reconfig"]["max_nanos"].as_f64().unwrap() > 0.0);
+
+        let svg = dir.join("cbtc_cli_trace_test.svg");
+        let html = dir.join("cbtc_cli_trace_test.html");
+        assert!(replay(&args(&[
+            trace_str,
+            "--svg",
+            svg.to_str().unwrap(),
+            "--html",
+            html.to_str().unwrap(),
+            "--max-frames",
+            "8",
+        ]))
+        .is_ok());
+        assert!(fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+        assert!(fs::read_to_string(&html)
+            .unwrap()
+            .starts_with("<!DOCTYPE html>"));
+        for f in [&trace, &json, &svg, &html] {
+            fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn replay_and_analyze_reject_bad_input() {
+        assert!(replay(&args(&[])).unwrap_err().contains("usage"));
+        assert!(analyze(&args(&[])).unwrap_err().contains("usage"));
+        assert!(replay(&args(&["/nonexistent/trace.jsonl"])).is_err());
+        assert!(analyze(&args(&["/nonexistent/trace.jsonl"])).is_err());
+        let dir = std::env::temp_dir();
+        let bad = dir.join("cbtc_cli_bad_trace.jsonl");
+        fs::write(&bad, "not json\n").unwrap();
+        let e = analyze(&args(&[bad.to_str().unwrap()])).unwrap_err();
+        assert!(e.contains("line 1"), "unexpected: {e}");
+        assert!(replay(&args(&[bad.to_str().unwrap(), "--max-frames", "0"])).is_err());
+        fs::remove_file(bad).ok();
     }
 
     #[test]

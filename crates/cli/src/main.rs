@@ -8,6 +8,8 @@
 //! cbtc lifetime   simulate traffic + battery drain, report lifetime factors
 //! cbtc churn      run the §4 reconfiguration protocol under mobility + churn
 //! cbtc phy        sweep shadowing σ: CBTC robustness off the unit disk
+//! cbtc replay     render a recorded trace as an animated SVG / HTML player
+//! cbtc analyze    validate and summarize a recorded trace
 //! cbtc help       show usage
 //! ```
 
@@ -30,6 +32,8 @@ fn main() -> ExitCode {
         "lifetime" => commands::lifetime(&args),
         "churn" => commands::churn(&args),
         "phy" => commands::phy(&args),
+        "replay" => commands::replay(&args),
+        "analyze" => commands::analyze(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

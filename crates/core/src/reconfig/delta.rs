@@ -41,6 +41,7 @@ use std::collections::BTreeSet;
 
 use cbtc_geom::{gap::GapTracker, Point2};
 use cbtc_graph::{Layout, NodeId, SpatialGrid, UndirectedGraph, UnionFind};
+use cbtc_trace::{TraceEvent, TraceHandle};
 
 use crate::centralized::{construction_cell, dead_view, grow_node_metric, PAR_MIN_CHUNK};
 use crate::opt::{
@@ -286,6 +287,13 @@ pub struct DeltaTopology<M: LinkMetric> {
     /// the growing phase" case: an α-gap opened, or the node itself
     /// moved/joined); the rest replayed from their cached prefix.
     last_grid_scans: usize,
+    /// Observability hooks: when installed, every [`DeltaTopology::apply`]
+    /// records a [`TraceEvent::Reconfig`] sample. Absent by default —
+    /// the untraced path pays one `Option` check per batch.
+    trace: Option<TraceHandle>,
+    /// The caller-maintained clock stamped onto recorded samples
+    /// (`DeltaTopology` itself has no notion of time).
+    trace_clock: f64,
 }
 
 impl<M: LinkMetric> DeltaTopology<M> {
@@ -367,6 +375,8 @@ impl<M: LinkMetric> DeltaTopology<M> {
             graph,
             last_regrown: 0,
             last_grid_scans: 0,
+            trace: None,
+            trace_clock: 0.0,
             metric,
             config,
             max_range,
@@ -424,6 +434,22 @@ impl<M: LinkMetric> DeltaTopology<M> {
         self.last_grid_scans
     }
 
+    /// Installs observability hooks: every subsequent
+    /// [`DeltaTopology::apply`] records a [`TraceEvent::Reconfig`] sample
+    /// to `trace`. The hooks only observe already-computed state — a
+    /// traced run is bit-identical to an untraced one.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Advances the clock stamped onto recorded [`TraceEvent::Reconfig`]
+    /// samples. Call before [`DeltaTopology::apply`] with the driving
+    /// engine's current time; a no-op burden-wise when no trace is
+    /// installed.
+    pub fn set_trace_clock(&mut self, time: f64) {
+        self.trace_clock = time;
+    }
+
     /// Applies a batch of events and reconfigures incrementally,
     /// returning the final graph's exact edge delta.
     ///
@@ -437,6 +463,25 @@ impl<M: LinkMetric> DeltaTopology<M> {
     /// dying again, active node joining, inactive node moving) or if two
     /// events in the batch concern the same node.
     pub fn apply(&mut self, events: &[NodeEvent]) -> TopologyDelta {
+        match self.trace.clone() {
+            None => self.apply_inner(events),
+            Some(trace) => {
+                let (delta, nanos) = trace.timed(|| self.apply_inner(events));
+                trace.record(TraceEvent::Reconfig {
+                    time: self.trace_clock,
+                    events: events.len() as u32,
+                    regrown: self.last_regrown as u32,
+                    grid_scans: self.last_grid_scans as u32,
+                    added: delta.added.len() as u32,
+                    removed: delta.removed.len() as u32,
+                    nanos,
+                });
+                delta
+            }
+        }
+    }
+
+    fn apply_inner(&mut self, events: &[NodeEvent]) -> TopologyDelta {
         // ── A. Classify and validate. ───────────────────────────────
         let mut deaths: Vec<NodeId> = Vec::new();
         let mut joins: Vec<(NodeId, Point2)> = Vec::new();

@@ -38,6 +38,19 @@ pub trait SurvivorTracker: std::fmt::Debug + Send {
     /// graph's exact edge delta.
     fn kill(&mut self, network: &Network, dead: &[NodeId]) -> TopologyDelta;
 
+    /// Installs observability hooks on the underlying incremental engine,
+    /// so every [`SurvivorTracker::kill`] records a per-batch
+    /// reconfiguration sample. The default is a no-op (view-free
+    /// trackers have no engine to instrument).
+    fn set_trace(&mut self, trace: cbtc_trace::TraceHandle) {
+        let _ = trace;
+    }
+
+    /// Advances the clock stamped onto recorded reconfiguration samples.
+    fn set_trace_clock(&mut self, time: f64) {
+        let _ = time;
+    }
+
     /// Clones the tracker behind the object seam (lifetime simulations
     /// are `Clone`).
     fn clone_box(&self) -> Box<dyn SurvivorTracker>;

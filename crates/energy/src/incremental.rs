@@ -64,6 +64,21 @@ impl<M: LinkMetric> MetricSurvivorTopology<M> {
         &self.alive
     }
 
+    /// Installs observability hooks on the CBTC engine; a no-op for the
+    /// view-free fast path (whose kills are trivial edge strips).
+    pub(crate) fn set_trace(&mut self, trace: cbtc_trace::TraceHandle) {
+        if let Some(engine) = &mut self.cbtc {
+            engine.set_trace(trace);
+        }
+    }
+
+    /// Advances the engine's trace clock.
+    pub(crate) fn set_trace_clock(&mut self, time: f64) {
+        if let Some(engine) = &mut self.cbtc {
+            engine.set_trace_clock(time);
+        }
+    }
+
     /// Kills `dead` and reconfigures incrementally.
     ///
     /// # Panics
@@ -107,6 +122,14 @@ impl<M: LinkMetric + std::fmt::Debug + Clone + Send + 'static> SurvivorTracker
 
     fn kill(&mut self, _network: &Network, dead: &[NodeId]) -> TopologyDelta {
         MetricSurvivorTopology::kill(self, dead)
+    }
+
+    fn set_trace(&mut self, trace: cbtc_trace::TraceHandle) {
+        MetricSurvivorTopology::set_trace(self, trace);
+    }
+
+    fn set_trace_clock(&mut self, time: f64) {
+        MetricSurvivorTopology::set_trace_clock(self, time);
     }
 
     fn clone_box(&self) -> Box<dyn SurvivorTracker> {
@@ -202,6 +225,14 @@ impl SurvivorTracker for SurvivorTopology {
 
     fn kill(&mut self, network: &Network, dead: &[NodeId]) -> TopologyDelta {
         SurvivorTopology::kill(self, network, dead)
+    }
+
+    fn set_trace(&mut self, trace: cbtc_trace::TraceHandle) {
+        self.inner.set_trace(trace);
+    }
+
+    fn set_trace_clock(&mut self, time: f64) {
+        self.inner.set_trace_clock(time);
     }
 
     fn clone_box(&self) -> Box<dyn SurvivorTracker> {

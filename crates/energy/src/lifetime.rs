@@ -36,10 +36,12 @@
 
 use std::sync::Arc;
 
+use cbtc_core::reconfig::graph_delta;
 use cbtc_core::reconfig::routing::{tree_reusable, SpTree};
 use cbtc_core::Network;
 use cbtc_graph::{NodeId, UndirectedGraph};
 use cbtc_radio::{PathLoss, Power};
+use cbtc_trace::{TraceEvent, TraceHandle, TRACE_VERSION};
 use serde::{Deserialize, Serialize};
 
 use crate::builder::SurvivorTracker;
@@ -300,6 +302,13 @@ pub struct LifetimeSim {
     /// Per-node broadcast-radius power for the standby drain.
     radius_power: Vec<Power>,
 
+    /// Observability hooks: when installed, death epochs record
+    /// [`TraceEvent`]s (deaths, topology deltas, power changes, energy
+    /// snapshots). Absent by default — one `Option` check per epoch.
+    trace: Option<TraceHandle>,
+    /// Monotone counter of emitted [`TraceEvent::TopologyEpoch`] frames.
+    trace_epoch: u32,
+
     epoch: u32,
     first_death: Option<u32>,
     partition: Option<u32>,
@@ -371,6 +380,8 @@ impl LifetimeSim {
             path_buf: Vec::new(),
             flow_buf: Vec::new(),
             radius_power: vec![Power::ZERO; n],
+            trace: None,
+            trace_epoch: 0,
             epoch: 0,
             first_death: None,
             partition: None,
@@ -411,6 +422,68 @@ impl LifetimeSim {
     /// The per-node batteries.
     pub fn batteries(&self) -> &[Battery] {
         &self.batteries
+    }
+
+    /// Installs observability hooks and emits the trace preamble: the
+    /// run header, the initial positions/topology/power/energy state.
+    /// Subsequent death epochs record their deaths, exact edge deltas,
+    /// power changes and energy snapshots.
+    ///
+    /// The hooks only observe already-computed state and draw no
+    /// randomness — a traced run is bit-identical to an untraced one.
+    /// Times are epochs (the engine's native unit).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        if let Some(tracker) = &mut self.reconfig {
+            tracker.set_trace(trace.clone());
+            tracker.set_trace_clock(self.epoch as f64);
+        }
+        let layout = self.network.layout();
+        let (mut width, mut height) = (0.0f64, 0.0f64);
+        for (_, p) in layout.iter() {
+            width = width.max(p.x);
+            height = height.max(p.y);
+        }
+        trace.record(TraceEvent::Meta {
+            version: TRACE_VERSION,
+            run: format!("lifetime/{}", self.builder.label()),
+            nodes: self.network.len() as u32,
+            seed: self.seed,
+            alpha: 0.0,
+            width,
+            height,
+        });
+        let time = self.epoch as f64;
+        trace.record(TraceEvent::Positions {
+            time,
+            xs: layout.iter().map(|(_, p)| p.x).collect(),
+            ys: layout.iter().map(|(_, p)| p.y).collect(),
+            alive: self.alive.clone(),
+        });
+        let topology = self.reconfig.as_ref().map_or(&self.topology, |t| t.graph());
+        trace.record(TraceEvent::TopologyEpoch {
+            time,
+            epoch: self.trace_epoch,
+            live: self.alive_count,
+            edges: topology.edge_count() as u64,
+            added: topology
+                .edges()
+                .map(|(u, v)| (u.raw().min(v.raw()), u.raw().max(v.raw())))
+                .collect(),
+            removed: Vec::new(),
+        });
+        self.trace_epoch += 1;
+        for (i, p) in self.radius_power.iter().enumerate() {
+            trace.record(TraceEvent::PowerChange {
+                time,
+                node: i as u32,
+                power: p.linear(),
+            });
+        }
+        trace.record(TraceEvent::EnergySnapshot {
+            time,
+            energy: self.batteries.iter().map(Battery::remaining).collect(),
+        });
+        self.trace = Some(trace);
     }
 
     /// Whether the run is over (battery exhaustion or the epoch cap).
@@ -500,6 +573,18 @@ impl LifetimeSim {
             }
         }
         if !newly_dead.is_empty() {
+            let time = self.epoch as f64;
+            if let Some(trace) = &self.trace {
+                for &d in &newly_dead {
+                    trace.record(TraceEvent::Death {
+                        time,
+                        node: d.raw(),
+                    });
+                }
+            }
+            // Pre-death radii, so power changes can be diffed after the
+            // reconfiguration refresh (only when traced).
+            let old_radii = self.trace.is_some().then(|| self.radius_power.clone());
             self.alive_count -= newly_dead.len() as u32;
             if self.first_death.is_none() {
                 // The balance snapshot reads `drained`, not `alive`; the
@@ -513,16 +598,22 @@ impl LifetimeSim {
             for &d in &newly_dead {
                 self.alive[d.index()] = false;
             }
-            if self.reconfig.is_some() {
-                let delta = self
-                    .reconfig
-                    .as_mut()
-                    .expect("checked")
-                    .kill(&self.network, &newly_dead);
+            let delta = if self.reconfig.is_some() {
+                let tracker = self.reconfig.as_mut().expect("checked");
+                tracker.set_trace_clock(time);
+                let delta = tracker.kill(&self.network, &newly_dead);
                 self.apply_topology_delta(&newly_dead, &delta);
+                delta
             } else {
+                // The rebuild path has no engine-produced delta; diff
+                // the graphs when an observer needs one.
+                let before = self.trace.as_ref().map(|_| self.topology().clone());
                 self.rebuild_topology();
                 self.refresh_routing_and_radii();
+                before.map_or_else(TopologyDelta::default, |b| graph_delta(&b, self.topology()))
+            };
+            if let Some(old) = old_radii {
+                self.record_death_epoch(time, &delta, &old);
             }
             // 5. Milestones. Connectivity can only change when the
             // topology does, so the check lives inside the death branch.
@@ -536,6 +627,9 @@ impl LifetimeSim {
     /// Runs to completion and summarizes.
     pub fn run(mut self) -> LifetimeReport {
         while self.step() {}
+        if let Some(trace) = &self.trace {
+            trace.flush();
+        }
         LifetimeReport {
             policy: self.builder.label(),
             seed: self.seed,
@@ -553,6 +647,43 @@ impl LifetimeSim {
                 .balance_cv_at_first_death
                 .unwrap_or_else(|| self.balance_cv()),
         }
+    }
+
+    /// Emits a death epoch's observable aftermath: the exact topology
+    /// delta, every maintenance-radius change, and an energy snapshot.
+    fn record_death_epoch(&mut self, time: f64, delta: &TopologyDelta, old_radii: &[Power]) {
+        let Some(trace) = &self.trace else { return };
+        let canonical = |pairs: &[(NodeId, NodeId)]| {
+            let mut out: Vec<(u32, u32)> = pairs
+                .iter()
+                .map(|&(u, v)| (u.raw().min(v.raw()), u.raw().max(v.raw())))
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let topology = self.reconfig.as_ref().map_or(&self.topology, |t| t.graph());
+        trace.record(TraceEvent::TopologyEpoch {
+            time,
+            epoch: self.trace_epoch,
+            live: self.alive_count,
+            edges: topology.edge_count() as u64,
+            added: canonical(&delta.added),
+            removed: canonical(&delta.removed),
+        });
+        for (i, (old, new)) in old_radii.iter().zip(&self.radius_power).enumerate() {
+            if old != new {
+                trace.record(TraceEvent::PowerChange {
+                    time,
+                    node: i as u32,
+                    power: new.linear(),
+                });
+            }
+        }
+        trace.record(TraceEvent::EnergySnapshot {
+            time,
+            energy: self.batteries.iter().map(Battery::remaining).collect(),
+        });
+        self.trace_epoch += 1;
     }
 
     /// Coefficient of variation (σ/μ) of per-node drained energy.

@@ -6,6 +6,7 @@ use cbtc_geom::Angle;
 use cbtc_graph::{Layout, NodeId, SpatialGrid};
 use cbtc_phy::{InterferenceField, InterferenceProfile, PhyProfile};
 use cbtc_radio::{DirectionSensor, LinkGain, PathLoss, Power, Prr};
+use cbtc_trace::{TraceEvent, TraceHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -136,6 +137,9 @@ pub struct Engine<P: Node, M: PathLoss> {
     stats: TraceStats,
     /// The stochastic physical layer, when installed ([`Engine::set_phy`]).
     phy: Option<PhyState>,
+    /// Observability hooks, when installed ([`Engine::set_trace`]). With
+    /// none, recording is a single `Option` check per lifecycle event.
+    trace: Option<TraceHandle>,
 }
 
 impl<P: Node, M: PathLoss> Engine<P, M> {
@@ -204,6 +208,7 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
             time: SimTime::ZERO,
             stats: TraceStats::new(n),
             phy: None,
+            trace: None,
         }
     }
 
@@ -248,6 +253,16 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
     /// The installed phy profile, if any.
     pub fn phy_profile(&self) -> Option<&PhyProfile> {
         self.phy.as_ref().map(|p| &p.profile)
+    }
+
+    /// Installs observability hooks: the engine records a
+    /// [`TraceEvent::Death`] when a crash-stop fires and a
+    /// [`TraceEvent::Join`] when a node with a late start time powers
+    /// on. Hooks only *observe* already-computed state — they draw no
+    /// randomness and schedule nothing, so a traced run is bit-identical
+    /// to an untraced one.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     /// Schedules a crash-stop of `node` at `time`. From that moment the
@@ -324,6 +339,17 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
             EventKind::Start { node } => {
                 if self.alive[node.index()] {
                     self.started[node.index()] = true;
+                    if self.time > SimTime::ZERO {
+                        if let Some(trace) = &self.trace {
+                            let p = self.layout.position(node);
+                            trace.record(TraceEvent::Join {
+                                time: self.time.ticks() as f64,
+                                node: node.raw(),
+                                x: p.x,
+                                y: p.y,
+                            });
+                        }
+                    }
                     let mut ctx = Context::new(self.time, node);
                     self.nodes[node.index()].on_start(&mut ctx);
                     self.execute(node, ctx.into_commands());
@@ -381,6 +407,14 @@ impl<P: Node, M: PathLoss> Engine<P, M> {
                 }
             }
             EventKind::Crash { node } => {
+                if self.alive[node.index()] {
+                    if let Some(trace) = &self.trace {
+                        trace.record(TraceEvent::Death {
+                            time: self.time.ticks() as f64,
+                            node: node.raw(),
+                        });
+                    }
+                }
                 self.alive[node.index()] = false;
             }
         }

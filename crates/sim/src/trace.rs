@@ -53,6 +53,29 @@ impl TraceStats {
     pub fn transmissions(&self) -> u64 {
         self.broadcasts + self.unicasts
     }
+
+    /// Total transmission energy as the sum of [`TraceStats::energy_per_node`]
+    /// — the one sanctioned way to total per-node energy.
+    ///
+    /// Both tallies are fed by the same charge (the whole-run total and
+    /// the sender's slot), so conservation must hold up to float
+    /// summation order; the assertion catches any future accounting path
+    /// that updates one tally but not the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sum disagrees with [`TraceStats::energy_spent`]
+    /// beyond summation-order rounding.
+    pub fn energy_total(&self) -> f64 {
+        let total: f64 = self.energy_per_node.iter().sum();
+        let tolerance = 1e-9 * total.abs().max(self.energy_spent.abs()).max(1.0);
+        assert!(
+            (total - self.energy_spent).abs() <= tolerance,
+            "energy accounting leak: per-node sum {total} vs energy_spent {}",
+            self.energy_spent
+        );
+        total
+    }
 }
 
 #[cfg(test)]
@@ -75,5 +98,27 @@ mod tests {
             ..TraceStats::new(1)
         };
         assert_eq!(t.transmissions(), 7);
+    }
+
+    #[test]
+    fn energy_total_sums_per_node() {
+        let t = TraceStats {
+            energy_spent: 6.0,
+            energy_per_node: vec![1.0, 2.0, 3.0],
+            ..TraceStats::default()
+        };
+        assert_eq!(t.energy_total(), 6.0);
+        assert_eq!(TraceStats::new(4).energy_total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy accounting leak")]
+    fn energy_total_catches_leaks() {
+        let t = TraceStats {
+            energy_spent: 10.0,
+            energy_per_node: vec![1.0, 2.0],
+            ..TraceStats::default()
+        };
+        let _ = t.energy_total();
     }
 }

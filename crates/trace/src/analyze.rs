@@ -1,0 +1,631 @@
+//! Reading, validating and summarizing traces.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{TraceEvent, TRACE_VERSION};
+
+/// A malformed trace: where and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based JSONL line (0 for whole-trace problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "trace: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a JSONL trace. Blank lines are tolerated; anything else that
+/// fails to parse as a [`TraceEvent`] is an error naming the line.
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: TraceEvent = serde_json::from_str(line)
+            .map_err(|e| err(i + 1, format!("not a trace event: {e:?}")))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Reads and parses a trace file.
+///
+/// # Errors
+///
+/// Returns I/O problems (as a line-0 [`TraceError`]) or the first
+/// malformed line.
+pub fn read_trace(path: &str) -> Result<Vec<TraceEvent>, TraceError> {
+    let text = std::fs::read_to_string(path).map_err(|e| err(0, format!("reading {path}: {e}")))?;
+    parse_trace(&text)
+}
+
+/// The value at quantile `q ∈ [0, 1]` of an ascending-sorted sample
+/// (nearest-rank). Returns `0.0` for an empty sample.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// p50/p99/max of a latency sample (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Samples observed.
+    pub count: usize,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a sample (order irrelevant).
+    pub fn of(samples: &[u64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().map(|&n| n as f64).collect();
+        sorted.sort_by(f64::total_cmp);
+        LatencyStats {
+            count: sorted.len(),
+            p50: percentile(&sorted, 0.50),
+            p99: percentile(&sorted, 0.99),
+            max: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Everything the analyzer derives from one validated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// The header's schema version.
+    pub version: u32,
+    /// Run name from the header.
+    pub run: String,
+    /// Node-slot count from the header.
+    pub nodes: u32,
+    /// Seed from the header.
+    pub seed: u64,
+    /// `(kind, count)` in first-appearance order — the validation
+    /// summary.
+    pub kind_counts: Vec<(&'static str, usize)>,
+    /// Greatest event time.
+    pub span: f64,
+    /// `(time, live, edges)` per topology epoch.
+    pub epoch_timeline: Vec<(f64, u32, u64)>,
+    /// The final topology's canonical `(min, max)` edges, accumulated
+    /// from the epoch deltas.
+    pub final_edges: Vec<(u32, u32)>,
+    /// Death events.
+    pub deaths: usize,
+    /// Join events.
+    pub joins: usize,
+    /// Move events.
+    pub moves: usize,
+    /// `(changes, last power)` per node, from
+    /// [`TraceEvent::PowerChange`].
+    pub power_per_node: Vec<(u32, f64)>,
+    /// `(burst, after)` reconvergence latencies, in trace time units.
+    pub reconvergence: Vec<(f64, f64)>,
+    /// Per-event `DeltaTopology` wall-clock samples (nanoseconds; all
+    /// zero when the trace was recorded with timing off).
+    pub reconfig_nanos: Vec<u64>,
+    /// Nodes re-grown per reconfiguration event.
+    pub reconfig_regrown: Vec<u32>,
+    /// The last energy snapshot, if any: `(time, per-node energy)`.
+    pub last_energy: Option<(f64, Vec<f64>)>,
+    /// The last PRR snapshot, if any: `(time, delivered, lost + phy
+    /// lost, prr)`.
+    pub last_prr: Option<(f64, u64, u64, f64)>,
+}
+
+impl TraceAnalysis {
+    /// Per-event reconfiguration latency percentiles.
+    pub fn reconfig_latency(&self) -> LatencyStats {
+        LatencyStats::of(&self.reconfig_nanos)
+    }
+
+    /// Whether the trace carries real wall-clock latency samples (it
+    /// was recorded with [`crate::TraceHandle::with_timing`] on).
+    pub fn has_latency_samples(&self) -> bool {
+        self.reconfig_nanos.iter().any(|&n| n > 0)
+    }
+
+    /// Final degree of each node, from [`TraceAnalysis::final_edges`].
+    pub fn final_degrees(&self) -> Vec<u32> {
+        let mut degrees = vec![0u32; self.nodes as usize];
+        for &(u, v) in &self.final_edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        degrees
+    }
+
+    /// The dense 0/1 connection matrix of the final topology. Meant for
+    /// small `n` (the CLI buckets above 24 nodes).
+    pub fn connection_matrix(&self) -> Vec<Vec<bool>> {
+        let n = self.nodes as usize;
+        let mut m = vec![vec![false; n]; n];
+        for &(u, v) in &self.final_edges {
+            m[u as usize][v as usize] = true;
+            m[v as usize][u as usize] = true;
+        }
+        m
+    }
+
+    /// A `k×k` block connection matrix: node IDs are bucketed into `k`
+    /// contiguous ranges and each cell counts final edges between two
+    /// buckets — the 10k-node rendering of the connection matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn bucketed_matrix(&self, k: usize) -> Vec<Vec<u64>> {
+        assert!(k > 0, "need at least one bucket");
+        let n = (self.nodes as usize).max(1);
+        let bucket = |id: u32| ((id as usize * k) / n).min(k - 1);
+        let mut m = vec![vec![0u64; k]; k];
+        for &(u, v) in &self.final_edges {
+            let (a, b) = (bucket(u), bucket(v));
+            m[a][b] += 1;
+            if a != b {
+                m[b][a] += 1;
+            }
+        }
+        m
+    }
+}
+
+fn canonical(u: u32, v: u32) -> (u32, u32) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Validates a trace and derives the analyzer's summary.
+///
+/// Validation checks: the first event is a [`TraceEvent::Meta`] of a
+/// supported version, node IDs stay within the header's node count,
+/// snapshot vectors have the right length, and epoch edge deltas apply
+/// cleanly (no double-add, no removal of an absent edge).
+///
+/// # Errors
+///
+/// Returns the first violated rule with its 1-based event index.
+pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
+    let Some(first) = events.first() else {
+        return Err(err(0, "empty trace"));
+    };
+    let &TraceEvent::Meta {
+        version,
+        ref run,
+        nodes,
+        seed,
+        ..
+    } = first
+    else {
+        return Err(err(1, "first event must be the Meta header"));
+    };
+    if version != TRACE_VERSION {
+        return Err(err(
+            1,
+            format!("unsupported trace version {version} (reader supports {TRACE_VERSION})"),
+        ));
+    }
+
+    let mut kind_counts: Vec<(&'static str, usize)> = Vec::new();
+    let mut span = 0.0f64;
+    let mut epoch_timeline = Vec::new();
+    let mut edge_set: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut deaths = 0usize;
+    let mut joins = 0usize;
+    let mut moves = 0usize;
+    let mut power_per_node = vec![(0u32, 0.0f64); nodes as usize];
+    let mut reconvergence = Vec::new();
+    let mut reconfig_nanos = Vec::new();
+    let mut reconfig_regrown = Vec::new();
+    let mut last_energy = None;
+    let mut last_prr = None;
+
+    let check_node = |line: usize, node: u32| -> Result<(), TraceError> {
+        if node >= nodes {
+            return Err(err(
+                line,
+                format!("node {node} out of range (header says {nodes} nodes)"),
+            ));
+        }
+        Ok(())
+    };
+    let check_len = |line: usize, what: &str, len: usize| -> Result<(), TraceError> {
+        if len != nodes as usize {
+            return Err(err(
+                line,
+                format!("{what} has {len} entries, header says {nodes} nodes"),
+            ));
+        }
+        Ok(())
+    };
+
+    for (i, event) in events.iter().enumerate() {
+        let line = i + 1;
+        if line > 1 && matches!(event, TraceEvent::Meta { .. }) {
+            return Err(err(line, "duplicate Meta header"));
+        }
+        match kind_counts.iter_mut().find(|(k, _)| *k == event.kind()) {
+            Some((_, count)) => *count += 1,
+            None => kind_counts.push((event.kind(), 1)),
+        }
+        span = span.max(event.time());
+        match event {
+            TraceEvent::Meta { .. } => {}
+            TraceEvent::Positions { xs, ys, alive, .. } => {
+                check_len(line, "Positions.xs", xs.len())?;
+                check_len(line, "Positions.ys", ys.len())?;
+                check_len(line, "Positions.alive", alive.len())?;
+            }
+            TraceEvent::TopologyEpoch {
+                time,
+                live,
+                edges,
+                added,
+                removed,
+                ..
+            } => {
+                for &(u, v) in removed {
+                    check_node(line, u)?;
+                    check_node(line, v)?;
+                    if !edge_set.remove(&canonical(u, v)) {
+                        return Err(err(line, format!("removed absent edge ({u}, {v})")));
+                    }
+                }
+                for &(u, v) in added {
+                    check_node(line, u)?;
+                    check_node(line, v)?;
+                    if !edge_set.insert(canonical(u, v)) {
+                        return Err(err(line, format!("added duplicate edge ({u}, {v})")));
+                    }
+                }
+                if edge_set.len() as u64 != *edges {
+                    return Err(err(
+                        line,
+                        format!(
+                            "epoch says {edges} edges but the deltas accumulate to {}",
+                            edge_set.len()
+                        ),
+                    ));
+                }
+                epoch_timeline.push((*time, *live, *edges));
+            }
+            TraceEvent::PowerChange { node, power, .. } => {
+                check_node(line, *node)?;
+                let slot = &mut power_per_node[*node as usize];
+                slot.0 += 1;
+                slot.1 = *power;
+            }
+            TraceEvent::Death { node, .. } => {
+                check_node(line, *node)?;
+                deaths += 1;
+            }
+            TraceEvent::Join { node, .. } => {
+                check_node(line, *node)?;
+                joins += 1;
+            }
+            TraceEvent::Move { node, .. } => {
+                check_node(line, *node)?;
+                moves += 1;
+            }
+            TraceEvent::Burst { .. } | TraceEvent::Beacon { .. } => {}
+            TraceEvent::Reconverged { burst, after, .. } => {
+                reconvergence.push((*burst, *after));
+            }
+            TraceEvent::Reconfig { regrown, nanos, .. } => {
+                reconfig_nanos.push(*nanos);
+                reconfig_regrown.push(*regrown);
+            }
+            TraceEvent::EnergySnapshot { time, energy } => {
+                check_len(line, "EnergySnapshot.energy", energy.len())?;
+                last_energy = Some((*time, energy.clone()));
+            }
+            TraceEvent::PrrSnapshot {
+                time,
+                delivered,
+                lost,
+                phy_lost,
+                prr,
+                ..
+            } => {
+                last_prr = Some((*time, *delivered, lost + phy_lost, *prr));
+            }
+        }
+    }
+
+    Ok(TraceAnalysis {
+        version,
+        run: run.clone(),
+        nodes,
+        seed,
+        kind_counts,
+        span,
+        epoch_timeline,
+        final_edges: edge_set.into_iter().collect(),
+        deaths,
+        joins,
+        moves,
+        power_per_node,
+        reconvergence,
+        reconfig_nanos,
+        reconfig_regrown,
+        last_energy,
+        last_prr,
+    })
+}
+
+/// One replay frame: full world state at one topology epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineFrame {
+    /// Frame time.
+    pub time: f64,
+    /// Per-node positions.
+    pub positions: Vec<(f64, f64)>,
+    /// Per-node live flags.
+    pub alive: Vec<bool>,
+    /// Canonical `(min, max)` edges of the maintained topology.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Replays a trace into frames — one per [`TraceEvent::TopologyEpoch`]
+/// — carrying the most recent positions and liveness at that instant.
+///
+/// # Errors
+///
+/// Propagates [`analyze`]-style validation failures.
+pub fn timeline(events: &[TraceEvent]) -> Result<Vec<TimelineFrame>, TraceError> {
+    // Validate first so the replay below can assume indices in range
+    // and clean deltas.
+    let analysis = analyze(events)?;
+    let n = analysis.nodes as usize;
+    let mut positions = vec![(0.0, 0.0); n];
+    let mut alive = vec![false; n];
+    let mut edge_set: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut frames = Vec::new();
+    for event in events {
+        match event {
+            TraceEvent::Positions {
+                xs, ys, alive: a, ..
+            } => {
+                for (slot, (&x, &y)) in positions.iter_mut().zip(xs.iter().zip(ys)) {
+                    *slot = (x, y);
+                }
+                alive.copy_from_slice(a);
+            }
+            TraceEvent::Join { node, x, y, .. } => {
+                positions[*node as usize] = (*x, *y);
+                alive[*node as usize] = true;
+            }
+            TraceEvent::Move { node, x, y, .. } => {
+                positions[*node as usize] = (*x, *y);
+            }
+            TraceEvent::Death { node, .. } => {
+                alive[*node as usize] = false;
+            }
+            TraceEvent::TopologyEpoch {
+                time,
+                added,
+                removed,
+                ..
+            } => {
+                for &(u, v) in removed {
+                    edge_set.remove(&canonical(u, v));
+                }
+                for &(u, v) in added {
+                    edge_set.insert(canonical(u, v));
+                }
+                frames.push(TimelineFrame {
+                    time: *time,
+                    positions: positions.clone(),
+                    alive: alive.clone(),
+                    edges: edge_set.iter().copied().collect(),
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(nodes: u32) -> TraceEvent {
+        TraceEvent::Meta {
+            version: TRACE_VERSION,
+            run: "test".to_owned(),
+            nodes,
+            seed: 1,
+            alpha: 2.6,
+            width: 10.0,
+            height: 10.0,
+        }
+    }
+
+    #[test]
+    fn analyze_accumulates_edges_and_counts() {
+        let events = vec![
+            meta(4),
+            TraceEvent::Positions {
+                time: 0.0,
+                xs: vec![0.0; 4],
+                ys: vec![0.0; 4],
+                alive: vec![true; 4],
+            },
+            TraceEvent::TopologyEpoch {
+                time: 0.0,
+                epoch: 0,
+                live: 4,
+                edges: 2,
+                added: vec![(0, 1), (2, 3)],
+                removed: vec![],
+            },
+            TraceEvent::Death { time: 5.0, node: 3 },
+            TraceEvent::TopologyEpoch {
+                time: 10.0,
+                epoch: 1,
+                live: 3,
+                edges: 1,
+                added: vec![],
+                removed: vec![(2, 3)],
+            },
+            TraceEvent::Reconfig {
+                time: 10.0,
+                events: 1,
+                regrown: 2,
+                grid_scans: 0,
+                added: 0,
+                removed: 1,
+                nanos: 0,
+            },
+        ];
+        let a = analyze(&events).unwrap();
+        assert_eq!(a.final_edges, vec![(0, 1)]);
+        assert_eq!(a.deaths, 1);
+        assert_eq!(a.epoch_timeline.len(), 2);
+        assert_eq!(a.span, 10.0);
+        assert_eq!(a.final_degrees(), vec![1, 1, 0, 0]);
+        assert!(!a.has_latency_samples());
+        assert_eq!(a.reconfig_latency().count, 1);
+        assert!(a.connection_matrix()[0][1]);
+        let buckets = a.bucketed_matrix(2);
+        assert_eq!(buckets[0][0], 1, "edge (0,1) lands in bucket (0,0)");
+    }
+
+    #[test]
+    fn analyze_rejects_malformed_traces() {
+        assert!(analyze(&[]).is_err());
+        assert!(analyze(&[TraceEvent::Beacon { time: 0.0 }]).is_err());
+        let bad_version = TraceEvent::Meta {
+            version: TRACE_VERSION + 1,
+            run: "v".to_owned(),
+            nodes: 1,
+            seed: 0,
+            alpha: 2.6,
+            width: 1.0,
+            height: 1.0,
+        };
+        assert!(analyze(&[bad_version]).is_err());
+        let out_of_range = vec![meta(2), TraceEvent::Death { time: 1.0, node: 5 }];
+        assert!(analyze(&out_of_range).is_err());
+        let bad_delta = vec![
+            meta(2),
+            TraceEvent::TopologyEpoch {
+                time: 0.0,
+                epoch: 0,
+                live: 2,
+                edges: 0,
+                added: vec![],
+                removed: vec![(0, 1)],
+            },
+        ];
+        let e = analyze(&bad_delta).unwrap_err();
+        assert!(e.to_string().contains("absent edge"), "{e}");
+        let dup_meta = vec![meta(2), meta(2)];
+        assert!(analyze(&dup_meta).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let text = format!("{}\nnot json\n", serde_json::to_string(&meta(1)).unwrap());
+        let e = parse_trace(&text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_trace("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let stats = LatencyStats::of(&[10, 20, 30]);
+        assert_eq!(stats.p50, 20.0);
+        assert_eq!(stats.max, 30.0);
+        assert_eq!(stats.count, 3);
+    }
+
+    #[test]
+    fn timeline_replays_positions_and_edges() {
+        let events = vec![
+            meta(3),
+            TraceEvent::Positions {
+                time: 0.0,
+                xs: vec![0.0, 1.0, 2.0],
+                ys: vec![0.0, 0.0, 0.0],
+                alive: vec![true, true, false],
+            },
+            TraceEvent::TopologyEpoch {
+                time: 0.0,
+                epoch: 0,
+                live: 2,
+                edges: 1,
+                added: vec![(0, 1)],
+                removed: vec![],
+            },
+            TraceEvent::Join {
+                time: 4.0,
+                node: 2,
+                x: 5.0,
+                y: 5.0,
+            },
+            TraceEvent::Move {
+                time: 6.0,
+                node: 0,
+                x: -1.0,
+                y: 0.0,
+            },
+            TraceEvent::TopologyEpoch {
+                time: 10.0,
+                epoch: 1,
+                live: 3,
+                edges: 2,
+                added: vec![(1, 2)],
+                removed: vec![],
+            },
+        ];
+        let frames = timeline(&events).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].edges, vec![(0, 1)]);
+        assert!(!frames[0].alive[2]);
+        assert!(frames[1].alive[2]);
+        assert_eq!(frames[1].positions[2], (5.0, 5.0));
+        assert_eq!(frames[1].positions[0], (-1.0, 0.0));
+        assert_eq!(frames[1].edges, vec![(0, 1), (1, 2)]);
+    }
+}

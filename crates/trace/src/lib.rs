@@ -1,0 +1,81 @@
+//! # cbtc-trace
+//!
+//! Streaming observability for CBTC runs: a versioned [`TraceEvent`]
+//! schema, pluggable [`TraceSink`]s (no-op, in-memory, buffered JSONL),
+//! and a reader/analyzer for the emitted traces. The simulator
+//! (`cbtc-sim`), the lifetime engine (`cbtc-energy`), the incremental
+//! reconfiguration engine (`cbtc_core::reconfig::DeltaTopology`) and the
+//! churn workload all accept an optional [`TraceHandle`]; with none
+//! installed the hooks are a single `Option` check and record nothing.
+//!
+//! ## Paper map
+//!
+//! The paper's claims (Li, Halpern, Bahl, Wang, Wattenhofer — PODC 2001)
+//! are temporal, and each event kind records one of its quantities over
+//! time:
+//!
+//! * [`TraceEvent::TopologyEpoch`] — the maintained `G_α` as an edge
+//!   delta per epoch: the §4 reconfiguration protocol's output, whose
+//!   connectivity Theorem 2.1 (§2) guarantees and §5 measures (edges,
+//!   average degree over time).
+//! * [`TraceEvent::Death`] / [`TraceEvent::Join`] / [`TraceEvent::Move`]
+//!   — the §4 event model (`leave`, `join`, `aChange` triggers): the
+//!   churn the reconfiguration rules must absorb.
+//! * [`TraceEvent::Beacon`] / [`TraceEvent::Reconverged`] — §4's
+//!   Neighbor Discovery Protocol heartbeat and the reconvergence claim:
+//!   how long after a churn burst the maintained topology again
+//!   partitions the live nodes as the max-power graph `G_R` does.
+//! * [`TraceEvent::Reconfig`] — per-event cost of the incremental §4
+//!   update (nodes re-grown, grid scans, wall-clock nanos), the
+//!   "rerun the growing phase" work the paper bounds per event.
+//! * [`TraceEvent::PowerChange`] — per-node broadcast-radius power: §5's
+//!   "power usage" metric (Figure 8) as a time series instead of an
+//!   endpoint.
+//! * [`TraceEvent::EnergySnapshot`] — residual (or cumulatively spent)
+//!   energy per node: the §5 lifetime experiments' state, sampled so
+//!   energy-balance collapse is visible as it unfolds.
+//! * [`TraceEvent::PrrSnapshot`] — delivery/loss counters of the
+//!   stochastic physical layer under the §5 workloads.
+//!
+//! ## Format
+//!
+//! A trace is JSON Lines: one externally-tagged [`TraceEvent`] per line,
+//! first line a [`TraceEvent::Meta`] header carrying
+//! [`TRACE_VERSION`]. Serialization is deterministic (struct fields in
+//! declaration order, floats in shortest round-trip form), so two runs
+//! of the same seed produce byte-identical traces — the equivalence
+//! tests rely on it.
+//!
+//! ```
+//! use cbtc_trace::{analyze, parse_trace, MemorySink, TraceEvent, TraceHandle};
+//!
+//! let (handle, sink) = TraceHandle::in_memory();
+//! handle.record(TraceEvent::Meta {
+//!     version: cbtc_trace::TRACE_VERSION,
+//!     run: "doc".to_owned(),
+//!     nodes: 2,
+//!     seed: 7,
+//!     alpha: 2.6,
+//!     width: 100.0,
+//!     height: 100.0,
+//! });
+//! handle.record(TraceEvent::Death { time: 3.0, node: 1 });
+//! let jsonl = MemorySink::to_jsonl(&sink.lock().unwrap());
+//! let events = parse_trace(&jsonl).unwrap();
+//! let analysis = analyze(&events).unwrap();
+//! assert_eq!(analysis.deaths, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod event;
+mod sink;
+
+pub use analyze::{
+    analyze, parse_trace, percentile, read_trace, timeline, LatencyStats, TimelineFrame,
+    TraceAnalysis, TraceError,
+};
+pub use event::{TraceEvent, TRACE_VERSION};
+pub use sink::{JsonlSink, MemorySink, NullSink, TraceHandle, TraceSink};

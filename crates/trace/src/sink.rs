@@ -1,0 +1,279 @@
+//! Trace sinks and the shared recording handle.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::TraceEvent;
+
+/// A destination for trace events.
+///
+/// Implementations must be cheap per call: engines record from their hot
+/// loops (at epoch granularity) and expect a buffered write or less.
+pub trait TraceSink: Send {
+    /// Consumes one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output (a no-op for unbuffered sinks).
+    fn flush(&mut self) {}
+}
+
+/// The zero-cost default: discards every event.
+///
+/// Engines treat an absent handle (`Option::None`) as this sink without
+/// even a virtual call; `NullSink` exists for call sites that want a
+/// sink *object* regardless.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Collects events in memory (tests, the analyzer's round-trips).
+///
+/// The event buffer is shared: clone the [`MemorySink::events`] handle
+/// before installing the sink, then read it after the run.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The shared event buffer.
+    pub fn events(&self) -> Arc<Mutex<Vec<TraceEvent>>> {
+        Arc::clone(&self.events)
+    }
+
+    /// Serializes a recorded event buffer to JSONL — byte-identical to
+    /// what a [`JsonlSink`] would have written for the same events.
+    pub fn to_jsonl(events: &[TraceEvent]) -> String {
+        let mut out = String::new();
+        for e in events {
+            out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("trace buffer poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Buffered streaming JSONL writer: one compact JSON object per line,
+/// flushed on [`TraceSink::flush`] and on drop.
+pub struct JsonlSink<W: Write + Send> {
+    out: BufWriter<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer in a buffered JSONL sink.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            out: BufWriter::new(writer),
+        }
+    }
+}
+
+impl JsonlSink<File> {
+    /// Creates (truncating) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(JsonlSink::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        let line = serde_json::to_string(event).expect("trace events serialize");
+        // Trace writes are best-effort: an exhausted disk must not panic
+        // the simulation it is observing.
+        let _ = self.out.write_all(line.as_bytes());
+        let _ = self.out.write_all(b"\n");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A cloneable, thread-safe handle to one shared [`TraceSink`] —
+/// the form the engines accept.
+///
+/// The handle also carries the *timing* switch: when off (the default),
+/// [`TraceHandle::timed`] reports `0` nanoseconds, so same-seed traces
+/// are byte-identical regardless of machine, load, or thread count.
+/// Turn it on to record real wall-clock latency samples.
+#[derive(Clone)]
+pub struct TraceHandle {
+    sink: Arc<Mutex<Box<dyn TraceSink>>>,
+    timing: bool,
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("timing", &self.timing)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceHandle {
+    /// Wraps a sink in a shared handle (timing off).
+    pub fn new(sink: impl TraceSink + 'static) -> Self {
+        TraceHandle {
+            sink: Arc::new(Mutex::new(Box::new(sink))),
+            timing: false,
+        }
+    }
+
+    /// Creates a buffered JSONL file handle (timing off).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn to_file(path: &str) -> io::Result<Self> {
+        Ok(TraceHandle::new(JsonlSink::create(path)?))
+    }
+
+    /// Creates an in-memory handle plus the shared buffer to read the
+    /// recorded events back from.
+    pub fn in_memory() -> (Self, Arc<Mutex<Vec<TraceEvent>>>) {
+        let sink = MemorySink::new();
+        let events = sink.events();
+        (TraceHandle::new(sink), events)
+    }
+
+    /// Returns the handle with wall-clock timing switched `on`.
+    ///
+    /// Copies of the handle made *before* this call keep their own
+    /// setting; share the sink, not the flag.
+    #[must_use]
+    pub fn with_timing(mut self, on: bool) -> Self {
+        self.timing = on;
+        self
+    }
+
+    /// Whether [`TraceHandle::timed`] measures wall-clock time.
+    pub fn timing(&self) -> bool {
+        self.timing
+    }
+
+    /// Records one event.
+    pub fn record(&self, event: TraceEvent) {
+        self.sink
+            .lock()
+            .expect("trace sink poisoned")
+            .record(&event);
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        self.sink.lock().expect("trace sink poisoned").flush();
+    }
+
+    /// Runs `f`, returning its result and the elapsed nanoseconds —
+    /// `0` when timing is off, keeping traces deterministic.
+    pub fn timed<R>(&self, f: impl FnOnce() -> R) -> (R, u64) {
+        if self.timing {
+            let start = Instant::now();
+            let result = f();
+            let nanos = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            (result, nanos)
+        } else {
+            (f(), 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_discards() {
+        let handle = TraceHandle::new(NullSink);
+        handle.record(TraceEvent::Beacon { time: 1.0 });
+        handle.flush();
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let (handle, events) = TraceHandle::in_memory();
+        handle.record(TraceEvent::Beacon { time: 1.0 });
+        let clone = handle.clone();
+        clone.record(TraceEvent::Death { time: 2.0, node: 4 });
+        let recorded = events.lock().unwrap();
+        assert_eq!(recorded.len(), 2);
+        assert_eq!(recorded[0].time(), 1.0);
+        assert_eq!(recorded[1].kind(), "Death");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = Arc::new(Mutex::new(buf));
+        struct Tee(Arc<Mutex<Vec<u8>>>);
+        impl Write for Tee {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let handle = TraceHandle::new(JsonlSink::new(Tee(Arc::clone(&shared))));
+        handle.record(TraceEvent::Beacon { time: 10.0 });
+        handle.record(TraceEvent::Death {
+            time: 11.0,
+            node: 2,
+        });
+        handle.flush();
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"Beacon\""));
+        assert!(lines[1].contains("\"Death\""));
+    }
+
+    #[test]
+    fn timing_off_reports_zero_nanos() {
+        let handle = TraceHandle::new(NullSink);
+        let (value, nanos) = handle.timed(|| 42);
+        assert_eq!((value, nanos), (42, 0));
+        let timed = handle.clone().with_timing(true);
+        let (_, nanos) = timed.timed(|| std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(nanos > 0);
+    }
+
+    #[test]
+    fn memory_jsonl_matches_jsonl_sink() {
+        let (handle, events) = TraceHandle::in_memory();
+        handle.record(TraceEvent::Join {
+            time: 5.0,
+            node: 1,
+            x: 1.25,
+            y: -2.5,
+        });
+        let jsonl = MemorySink::to_jsonl(&events.lock().unwrap());
+        assert!(jsonl.ends_with('\n'));
+        assert_eq!(jsonl.lines().count(), 1);
+    }
+}

@@ -26,6 +26,10 @@ use std::fmt::Write as _;
 
 use cbtc_graph::{Layout, UndirectedGraph};
 
+pub mod replay;
+
+pub use replay::{render_replay_html, render_replay_svg, ReplayFrame};
+
 /// Rendering options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SvgOptions {
@@ -41,6 +45,10 @@ pub struct SvgOptions {
     pub node_color: String,
     /// Optional caption rendered under the figure.
     pub caption: Option<String>,
+    /// Fixed world viewport `(min_x, min_y, max_x, max_y)`. `None` fits
+    /// the viewport to the layout's bounding box; replay rendering pins
+    /// it so frames share one coordinate system.
+    pub bounds: Option<(f64, f64, f64, f64)>,
 }
 
 impl Default for SvgOptions {
@@ -52,6 +60,7 @@ impl Default for SvgOptions {
             edge_color: "#444444".to_owned(),
             node_color: "#1f6feb".to_owned(),
             caption: None,
+            bounds: None,
         }
     }
 }
@@ -67,7 +76,7 @@ pub fn render_svg(layout: &Layout, graph: &UndirectedGraph, options: &SvgOptions
         graph.node_count(),
         "layout and graph node counts differ"
     );
-    let (min_x, min_y, max_x, max_y) = bounding_box(layout);
+    let (min_x, min_y, max_x, max_y) = options.bounds.unwrap_or_else(|| bounding_box(layout));
     let span_x = (max_x - min_x).max(1.0);
     let span_y = (max_y - min_y).max(1.0);
     let margin = 0.05 * span_x.max(span_y);
@@ -217,7 +226,7 @@ fn bounding_box(layout: &Layout) -> (f64, f64, f64, f64) {
     }
 }
 
-fn xml_escape(s: &str) -> String {
+pub(crate) fn xml_escape(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")

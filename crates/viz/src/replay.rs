@@ -1,0 +1,321 @@
+//! Animated replay of recorded topology timelines.
+//!
+//! A replay is a sequence of [`ReplayFrame`]s — typically one per
+//! `TopologyEpoch` of a trace, reconstructed by the trace crate's
+//! timeline builder. Two renderers share the static renderer's styling:
+//!
+//! * [`render_replay_svg`] — a self-contained animated SVG (SMIL): every
+//!   frame is a group made visible for its slot of a master loop, so the
+//!   file plays in any browser with no scripting;
+//! * [`render_replay_html`] — a canvas player with play/pause and a
+//!   scrub slider, for long traces where one `<g>` per frame would make
+//!   the SVG unwieldy.
+
+use std::fmt::Write as _;
+
+use crate::{xml_escape, SvgOptions};
+
+/// One topology keyframe of a replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayFrame {
+    /// The frame's time in the trace's native unit (ticks or epochs).
+    pub time: f64,
+    /// Per-node positions.
+    pub positions: Vec<(f64, f64)>,
+    /// Per-node liveness; dead nodes render hollow and keep no edges.
+    pub alive: Vec<bool>,
+    /// Edges as canonical `(min, max)` node-index pairs.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Seconds each frame stays visible in the SMIL animation.
+const FRAME_SECONDS: f64 = 0.5;
+
+/// World bounds over every frame of the replay (every node slot ever
+/// rendered contributes, so the viewport never jumps between frames).
+fn replay_bounds(frames: &[ReplayFrame]) -> (f64, f64, f64, f64) {
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for frame in frames {
+        for &(x, y) in &frame.positions {
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+    }
+    if min_x.is_finite() {
+        (min_x, min_y, max_x, max_y)
+    } else {
+        (0.0, 0.0, 1.0, 1.0)
+    }
+}
+
+/// Renders a frame sequence as one self-contained animated SVG.
+///
+/// All frames share a fixed viewport ([`SvgOptions::bounds`], or the
+/// bounding box over *every* frame) and loop forever: frame `i` is
+/// visible during `[i·0.5 s, (i+1)·0.5 s)` of each pass. Labels are
+/// never drawn (animations are dense); captions come from the frame
+/// times plus the optional [`SvgOptions::caption`] prefix.
+pub fn render_replay_svg(frames: &[ReplayFrame], options: &SvgOptions) -> String {
+    let (min_x, min_y, max_x, max_y) = options.bounds.unwrap_or_else(|| replay_bounds(frames));
+    let span_x = (max_x - min_x).max(1.0);
+    let span_y = (max_y - min_y).max(1.0);
+    let margin = 0.05 * span_x.max(span_y);
+    let scale = options.image_width / (span_x + 2.0 * margin);
+    let width = options.image_width;
+    let height = (span_y + 2.0 * margin) * scale + 24.0;
+    let tx = |x: f64| (x - min_x + margin) * scale;
+    let ty = |y: f64| (max_y - y + margin) * scale;
+
+    let total = FRAME_SECONDS * frames.len().max(1) as f64;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    // The master clock: an invisible animation whose end restarts every
+    // frame's visibility window (`begin="loop.begin+offset"`).
+    let _ = writeln!(
+        svg,
+        r#"<rect width="0" height="0"><animate id="loop" attributeName="width" from="0" to="0" begin="0s;loop.end" dur="{total:.1}s"/></rect>"#
+    );
+    for (i, frame) in frames.iter().enumerate() {
+        let begin = i as f64 * FRAME_SECONDS;
+        let _ = writeln!(svg, r#"<g visibility="hidden">"#);
+        let _ = writeln!(
+            svg,
+            r#"<set attributeName="visibility" to="visible" begin="loop.begin+{begin:.1}s" dur="{FRAME_SECONDS:.1}s"/>"#
+        );
+        for &(u, v) in &frame.edges {
+            let (ux, uy) = frame.positions[u as usize];
+            let (vx, vy) = frame.positions[v as usize];
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="{}" stroke-width="1"/>"#,
+                tx(ux),
+                ty(uy),
+                tx(vx),
+                ty(vy),
+                options.edge_color
+            );
+        }
+        for (n, &(x, y)) in frame.positions.iter().enumerate() {
+            if frame.alive.get(n).copied().unwrap_or(false) {
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="{}" fill="{}"/>"#,
+                    tx(x),
+                    ty(y),
+                    options.node_radius,
+                    options.node_color
+                );
+            } else {
+                let _ = writeln!(
+                    svg,
+                    r##"<circle cx="{:.2}" cy="{:.2}" r="{}" fill="none" stroke="#bbbbbb"/>"##,
+                    tx(x),
+                    ty(y),
+                    options.node_radius
+                );
+            }
+        }
+        let prefix = options.caption.as_deref().unwrap_or("");
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.2}" y="{:.2}" font-size="14" text-anchor="middle" fill="#000">{} t = {}</text>"##,
+            width / 2.0,
+            height - 8.0,
+            xml_escape(prefix),
+            frame.time
+        );
+        let _ = writeln!(svg, "</g>");
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Formats a float sequence as a JS array literal.
+fn js_array(values: impl Iterator<Item = f64>) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v:?}");
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a frame sequence as a standalone HTML canvas player with
+/// play/pause and a scrub slider. The frame data is embedded as JS
+/// literals, so the file is self-contained and any browser plays it.
+pub fn render_replay_html(frames: &[ReplayFrame], options: &SvgOptions) -> String {
+    let (min_x, min_y, max_x, max_y) = options.bounds.unwrap_or_else(|| replay_bounds(frames));
+    let title = options.caption.as_deref().unwrap_or("CBTC replay");
+
+    // frames = [{t, xs, ys, alive, edges}, ...]
+    let mut data = String::from("[");
+    for (i, frame) in frames.iter().enumerate() {
+        if i > 0 {
+            data.push(',');
+        }
+        let _ = write!(
+            data,
+            "{{t:{:?},xs:{},ys:{},alive:[{}],edges:[{}]}}",
+            frame.time,
+            js_array(frame.positions.iter().map(|p| p.0)),
+            js_array(frame.positions.iter().map(|p| p.1)),
+            frame
+                .alive
+                .iter()
+                .map(|a| if *a { "1" } else { "0" })
+                .collect::<Vec<_>>()
+                .join(","),
+            frame
+                .edges
+                .iter()
+                .map(|&(u, v)| format!("[{u},{v}]"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    data.push(']');
+
+    format!(
+        r#"<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>body{{font-family:sans-serif;margin:16px}}canvas{{border:1px solid #ccc}}</style>
+</head><body>
+<h3>{title}</h3>
+<canvas id="c" width="{w}" height="{h}"></canvas>
+<div>
+<button id="play">pause</button>
+<input id="scrub" type="range" min="0" max="{last}" value="0" style="width:60%">
+<span id="label"></span>
+</div>
+<script>
+const frames = {data};
+const bounds = [{min_x:?},{min_y:?},{max_x:?},{max_y:?}];
+const canvas = document.getElementById('c'), ctx = canvas.getContext('2d');
+const scrub = document.getElementById('scrub'), label = document.getElementById('label');
+const playBtn = document.getElementById('play');
+const spanX = Math.max(bounds[2]-bounds[0], 1), spanY = Math.max(bounds[3]-bounds[1], 1);
+const margin = 0.05*Math.max(spanX, spanY);
+const scale = canvas.width/(spanX+2*margin);
+const tx = x => (x-bounds[0]+margin)*scale;
+const ty = y => (bounds[3]-y+margin)*scale;
+let frame = 0, playing = frames.length > 1;
+function draw(i) {{
+  const f = frames[i];
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  ctx.strokeStyle = '{edge_color}';
+  ctx.beginPath();
+  for (const [u, v] of f.edges) {{
+    ctx.moveTo(tx(f.xs[u]), ty(f.ys[u]));
+    ctx.lineTo(tx(f.xs[v]), ty(f.ys[v]));
+  }}
+  ctx.stroke();
+  for (let n = 0; n < f.xs.length; n++) {{
+    ctx.beginPath();
+    ctx.arc(tx(f.xs[n]), ty(f.ys[n]), {r}, 0, 2*Math.PI);
+    if (f.alive[n]) {{ ctx.fillStyle = '{node_color}'; ctx.fill(); }}
+    else {{ ctx.strokeStyle = '#bbbbbb'; ctx.stroke(); }}
+  }}
+  label.textContent = 't = ' + f.t + ' (' + (i+1) + '/' + frames.length + ')';
+  scrub.value = i;
+}}
+playBtn.onclick = () => {{ playing = !playing; playBtn.textContent = playing ? 'pause' : 'play'; }};
+scrub.oninput = () => {{ playing = false; playBtn.textContent = 'play'; frame = +scrub.value; draw(frame); }};
+setInterval(() => {{ if (playing && frames.length) {{ frame = (frame+1)%frames.length; draw(frame); }} }}, 400);
+if (frames.length) draw(0);
+</script>
+</body></html>
+"#,
+        title = xml_escape(title),
+        w = options.image_width as u32,
+        h = (options.image_width * 0.78) as u32,
+        last = frames.len().saturating_sub(1),
+        data = data,
+        edge_color = options.edge_color,
+        node_color = options.node_color,
+        r = options.node_radius,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<ReplayFrame> {
+        vec![
+            ReplayFrame {
+                time: 0.0,
+                positions: vec![(0.0, 0.0), (100.0, 0.0), (50.0, 80.0)],
+                alive: vec![true, true, true],
+                edges: vec![(0, 1), (1, 2)],
+            },
+            ReplayFrame {
+                time: 10.0,
+                positions: vec![(0.0, 5.0), (100.0, 0.0), (50.0, 80.0)],
+                alive: vec![true, false, true],
+                edges: vec![(0, 2)],
+            },
+        ]
+    }
+
+    #[test]
+    fn animated_svg_has_one_group_per_frame() {
+        let svg = render_replay_svg(&frames(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<set attributeName=\"visibility\"").count(), 2);
+        assert_eq!(svg.matches("id=\"loop\"").count(), 1);
+        // 2 + 1 edges, 3 nodes per frame.
+        assert_eq!(svg.matches("<line").count(), 3);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        // The dead node renders hollow in frame 2.
+        assert_eq!(svg.matches("fill=\"none\"").count(), 1);
+    }
+
+    #[test]
+    fn fixed_bounds_pin_the_viewport() {
+        let options = SvgOptions {
+            bounds: Some((0.0, 0.0, 1000.0, 1000.0)),
+            ..SvgOptions::default()
+        };
+        let a = render_replay_svg(&frames()[..1], &options);
+        let b = render_replay_svg(&frames()[1..], &options);
+        // Same transform: node 2 (unmoved) lands at identical pixels.
+        let coord = |svg: &str| {
+            svg.lines()
+                .find(|l| l.starts_with("<circle") && l.contains("fill=\"#1f6feb\""))
+                .map(str::to_owned)
+        };
+        assert!(coord(&a).is_some());
+        // Frame sizing is identical regardless of content.
+        assert_eq!(a.lines().next(), b.lines().next());
+    }
+
+    #[test]
+    fn empty_replay_renders() {
+        let svg = render_replay_svg(&[], &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        let html = render_replay_html(&[], &SvgOptions::default());
+        assert!(html.contains("const frames = []"));
+    }
+
+    #[test]
+    fn html_player_embeds_frames() {
+        let html = render_replay_html(&frames(), &SvgOptions::default());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("edges:[[0,1],[1,2]]"));
+        assert!(html.contains("alive:[1,0,1]"));
+        assert!(html.contains("canvas"));
+    }
+}

@@ -46,6 +46,7 @@ use cbtc_graph::unit_disk::unit_disk_graph_where;
 use cbtc_graph::{Layout, NodeId, UndirectedGraph};
 use cbtc_radio::{PathLoss, Power, PowerLaw, PowerSchedule};
 use cbtc_sim::{Engine, FaultConfig, SimTime};
+use cbtc_trace::{TraceEvent, TraceHandle, TRACE_VERSION};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -330,6 +331,14 @@ pub struct ChurnTraffic {
     /// headline (1.0 ≈ steady-state beaconing, excess is reconfiguration
     /// traffic).
     pub broadcasts_per_node_per_interval: f64,
+    /// Deliveries suppressed by the physical layer (failed PRR/SINR
+    /// draws); 0 without a phy profile.
+    pub phy_lost: u64,
+    /// Transmissions deferred by CSMA carrier sensing.
+    pub csma_deferrals: u64,
+    /// Transmissions that aired despite a busy carrier after exhausting
+    /// their sense attempts.
+    pub csma_forced: u64,
     /// Total transmission energy (linear power units).
     pub energy_spent: f64,
 }
@@ -415,7 +424,35 @@ pub fn run_churn_with(
     seed: u64,
     phy: Option<&cbtc_phy::PhyProfile>,
 ) -> ChurnReport {
-    run_churn_impl(scenario, seed, phy, true)
+    run_churn_impl(scenario, seed, phy, true, None)
+}
+
+/// [`run_churn_with`] with observability hooks installed: the run streams
+/// [`TraceEvent`]s to `trace` — the `Meta` header, per-probe
+/// `Beacon`/`TopologyEpoch` edge deltas and `PrrSnapshot` counters,
+/// engine `Join`/`Death` lifecycle events, `Burst`/`Reconverged` markers,
+/// per-batch `Reconfig` latency samples from the incremental `G_α`
+/// reference, and periodic `Positions`/`EnergySnapshot` keyframes.
+///
+/// The hooks only observe computed state and draw no randomness: the
+/// returned report is **bit-identical** to [`run_churn_with`], and —
+/// with the handle's timing off — the recorded trace is byte-identical
+/// across machines and thread counts.
+///
+/// Position/energy keyframes follow the trace-size policy: every probe
+/// tick up to 2048 total nodes, else only at start, bursts and the
+/// horizon (a 10k-node trace stays tens of megabytes, not gigabytes).
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`ChurnScenario::validate`].
+pub fn run_churn_traced(
+    scenario: &ChurnScenario,
+    seed: u64,
+    phy: Option<&cbtc_phy::PhyProfile>,
+    trace: &TraceHandle,
+) -> ChurnReport {
+    run_churn_impl(scenario, seed, phy, true, Some(trace))
 }
 
 /// The suite body, with the centralized-probe strategy explicit:
@@ -430,6 +467,7 @@ fn run_churn_impl(
     seed: u64,
     phy: Option<&cbtc_phy::PhyProfile>,
     incremental_probes: bool,
+    trace: Option<&TraceHandle>,
 ) -> ChurnReport {
     if let Err(e) = scenario.validate() {
         panic!("invalid churn scenario: {e}");
@@ -466,6 +504,20 @@ fn run_churn_impl(
     for &(victim, t) in &schedule.crashes {
         engine.schedule_crash(victim, SimTime::new(t));
     }
+    if let Some(trace) = trace {
+        trace.record(TraceEvent::Meta {
+            version: TRACE_VERSION,
+            run: scenario.name.clone(),
+            nodes: total as u32,
+            seed,
+            alpha: scenario.alpha.radians(),
+            width: scenario.width,
+            height: scenario.height,
+        });
+        // Engine lifecycle hooks: late starts → `Join`, crash-stops →
+        // `Death`, both at their exact simulation tick.
+        engine.set_trace(trace.clone());
+    }
 
     // The centralized G_α reference: live nodes at current positions,
     // under the scenario's α with no optional optimizations — maintained
@@ -495,6 +547,11 @@ fn run_churn_impl(
             .into_final_graph(),
         }
     };
+    if let Some(trace) = trace {
+        // Incremental-reference hooks: every `DeltaTopology::apply`
+        // batch records a `Reconfig` cost sample.
+        ref_track.set_trace(trace.clone());
+    }
     let mut ref_active = ref_active;
     let mut reference: Vec<ReferenceSample> = Vec::new();
 
@@ -537,9 +594,18 @@ fn run_churn_impl(
     let mut live_ticks = 0f64;
     let mut preserved_probes = 0u64;
 
+    // Trace-size policy: position/energy keyframes at every probe tick
+    // for small runs, only at start/bursts/horizon for large ones.
+    let snap_every_probe = total <= 2048;
+    let mut traced_prev: Option<UndirectedGraph> = None;
+    let mut trace_epoch = 0u32;
+
     let mut t = 0u64;
     loop {
         engine.run_until(SimTime::new(t));
+        if trace.is_some() {
+            ref_track.set_trace_clock(t as f64);
+        }
 
         // Register bursts whose tick has arrived (they just fired inside
         // run_until) so the next preserved probe closes them out, and
@@ -591,6 +657,16 @@ fn run_churn_impl(
                 // next burst tick or the horizon).
                 preserved: false,
             });
+            if let Some(trace) = trace {
+                trace.record(TraceEvent::Burst {
+                    time: bt as f64,
+                    joins: bursts[next_burst].joins,
+                    crashes: bursts[next_burst].crashes,
+                });
+                if !snap_every_probe {
+                    record_keyframes(trace, &engine, total, t as f64);
+                }
+            }
             pending.push(next_burst);
             next_burst += 1;
         }
@@ -606,6 +682,15 @@ fn run_churn_impl(
             let preserved = same_partition(&topo, &target);
             if preserved {
                 preserved_probes += 1;
+                if let Some(trace) = trace {
+                    for &b in &pending {
+                        trace.record(TraceEvent::Reconverged {
+                            time: t as f64,
+                            burst: bursts[b].t as f64,
+                            after: (t - bursts[b].t) as f64,
+                        });
+                    }
+                }
                 for &b in &pending {
                     bursts[b].reconverged_after = Some(t - bursts[b].t);
                 }
@@ -618,6 +703,44 @@ fn run_churn_impl(
                 avg_degree: 2.0 * topo.edge_count() as f64 / f64::from(live_count.max(1)),
                 partition_preserved: preserved,
             });
+            if let Some(trace) = trace {
+                trace.record(TraceEvent::Beacon { time: t as f64 });
+                let prev = traced_prev
+                    .take()
+                    .unwrap_or_else(|| UndirectedGraph::new(total));
+                let delta = graph_delta(&prev, &topo);
+                let pairs = |edges: &[(NodeId, NodeId)]| -> Vec<(u32, u32)> {
+                    edges.iter().map(|&(u, v)| (u.raw(), v.raw())).collect()
+                };
+                trace.record(TraceEvent::TopologyEpoch {
+                    time: t as f64,
+                    epoch: trace_epoch,
+                    live: live_count,
+                    edges: topo.edge_count() as u64,
+                    added: pairs(&delta.added),
+                    removed: pairs(&delta.removed),
+                });
+                trace_epoch += 1;
+                traced_prev = Some(topo.clone());
+                let stats = engine.stats();
+                let attempted = stats.deliveries + stats.lost + stats.phy_lost;
+                trace.record(TraceEvent::PrrSnapshot {
+                    time: t as f64,
+                    delivered: stats.deliveries,
+                    lost: stats.lost,
+                    phy_lost: stats.phy_lost,
+                    csma_deferrals: stats.csma_deferrals,
+                    csma_forced: stats.csma_forced,
+                    prr: if attempted == 0 {
+                        1.0
+                    } else {
+                        stats.deliveries as f64 / attempted as f64
+                    },
+                });
+                if snap_every_probe || t == 0 {
+                    record_keyframes(trace, &engine, total, t as f64);
+                }
+            }
             if t >= next_stretch {
                 stretch.push(prober.sample(&topo, &target, engine.layout(), &live, t));
                 next_stretch = t + scenario.cycle_ticks;
@@ -635,6 +758,12 @@ fn run_churn_impl(
             );
             if let Some(prev) = reference.last_mut() {
                 prev.preserved = same_partition(&collect_topology(&engine), ref_track.graph());
+            }
+            if let Some(trace) = trace {
+                if !snap_every_probe {
+                    record_keyframes(trace, &engine, total, t as f64);
+                }
+                trace.flush();
             }
             break;
         }
@@ -672,7 +801,12 @@ fn run_churn_impl(
             deliveries: stats.deliveries,
             broadcasts_per_node_per_interval: stats.broadcasts as f64
                 / (live_ticks / scenario.beacon_interval as f64).max(1.0),
-            energy_spent: stats.energy_spent,
+            phy_lost: stats.phy_lost,
+            csma_deferrals: stats.csma_deferrals,
+            csma_forced: stats.csma_forced,
+            // Through the conservation assertion: per-node energy must
+            // sum to the whole-run tally.
+            energy_spent: stats.energy_total(),
         },
         reruns,
         live_at_end,
@@ -687,6 +821,34 @@ fn run_churn_impl(
         samples,
         stretch,
     }
+}
+
+/// Emits one `Positions` + `EnergySnapshot` keyframe pair from the
+/// engine's current state. Positions are quantized to 0.01 distance
+/// units — enough for replay rendering, and it keeps large traces from
+/// drowning in 17-digit waypoint coordinates.
+fn record_keyframes(trace: &TraceHandle, engine: &ChurnEngine, total: usize, time: f64) {
+    let quant = |v: f64| (v * 100.0).round() / 100.0;
+    let mut xs = Vec::with_capacity(total);
+    let mut ys = Vec::with_capacity(total);
+    for (_, p) in engine.layout().iter() {
+        xs.push(quant(p.x));
+        ys.push(quant(p.y));
+    }
+    let alive: Vec<bool> = (0..total as u32)
+        .map(NodeId::new)
+        .map(|u| engine.is_alive(u) && engine.has_started(u))
+        .collect();
+    trace.record(TraceEvent::Positions {
+        time,
+        xs,
+        ys,
+        alive,
+    });
+    trace.record(TraceEvent::EnergySnapshot {
+        time,
+        energy: engine.stats().energy_per_node.clone(),
+    });
 }
 
 /// Syncs the reference with waypoint drift: feeds a `Move` event for
@@ -764,6 +926,21 @@ impl RefTrack {
         match self {
             RefTrack::Incremental(engine) => engine.graph(),
             RefTrack::Scratch { graph, .. } => graph,
+        }
+    }
+
+    /// Installs observability hooks on the incremental engine (the
+    /// scratch mode has no per-batch cost to sample).
+    fn set_trace(&mut self, trace: TraceHandle) {
+        if let RefTrack::Incremental(engine) = self {
+            engine.set_trace(trace);
+        }
+    }
+
+    /// Advances the clock stamped onto recorded `Reconfig` samples.
+    fn set_trace_clock(&mut self, time: f64) {
+        if let RefTrack::Incremental(engine) = self {
+            engine.set_trace_clock(time);
         }
     }
 }
@@ -955,8 +1132,8 @@ mod tests {
                 }
                 r
             };
-            let inc = strip(run_churn_impl(&scenario, seed, None, true));
-            let scratch = strip(run_churn_impl(&scenario, seed, None, false));
+            let inc = strip(run_churn_impl(&scenario, seed, None, true, None));
+            let scratch = strip(run_churn_impl(&scenario, seed, None, false, None));
             assert_eq!(inc, scratch, "seed {seed}");
         }
     }

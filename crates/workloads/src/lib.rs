@@ -33,7 +33,7 @@ mod scenario;
 pub mod churn;
 pub mod phy;
 
-pub use churn::{run_churn, run_churn_with, ChurnReport, ChurnScenario};
+pub use churn::{run_churn, run_churn_traced, run_churn_with, ChurnReport, ChurnScenario};
 pub use clustered::ClusteredPlacement;
 pub use grid::GridPlacement;
 pub use mobility::RandomWaypoint;

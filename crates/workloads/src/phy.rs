@@ -195,8 +195,13 @@ pub struct PhyProtocolStats {
     pub hello_overhead: f64,
     /// Fraction of phy deliveries killed by PRR/SINR draws.
     pub phy_lost_fraction: f64,
+    /// Raw count of deliveries killed by PRR/SINR draws (the numerator
+    /// of [`PhyProtocolStats::phy_lost_fraction`]).
+    pub phy_lost: u64,
     /// CSMA backoffs per node.
     pub csma_deferrals_per_node: f64,
+    /// Raw count of CSMA carrier-sense backoffs.
+    pub csma_deferrals: u64,
     /// Transmissions forced out after exhausting carrier-sense attempts.
     pub csma_forced: u64,
     /// Whether the phy run's symmetric closure partitions the node set
@@ -316,7 +321,9 @@ pub fn phy_protocol_probe(
         phy_broadcasts_per_node: phy_per_node,
         hello_overhead: phy_per_node / ideal_per_node.max(f64::MIN_POSITIVE),
         phy_lost_fraction: lost_fraction(stats),
+        phy_lost: stats.phy_lost,
         csma_deferrals_per_node: stats.csma_deferrals as f64 / nodes.max(1) as f64,
+        csma_deferrals: stats.csma_deferrals,
         csma_forced: stats.csma_forced,
         connectivity_preserved: same_partition(&closure, &reach),
         hello_margin_db,

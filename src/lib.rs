@@ -24,7 +24,11 @@
 //! * [`energy`] — packet-level traffic and network-lifetime simulation:
 //!   batteries, tx/rx/standby costs, seeded flow generators, the epoch
 //!   lifetime engine and a parallel multi-seed experiment runner;
-//! * [`viz`] — SVG rendering of topologies (Figure 6).
+//! * [`trace`] — the observability layer: a versioned JSONL trace-event
+//!   schema, streaming/in-memory sinks, and the replay/analysis toolkit
+//!   behind `cbtc replay` and `cbtc analyze`;
+//! * [`viz`] — SVG rendering of topologies (Figure 6) and animated
+//!   replay of recorded traces.
 //!
 //! # Quickstart
 //!
@@ -102,5 +106,6 @@ pub use cbtc_graph as graph;
 pub use cbtc_phy as phy;
 pub use cbtc_radio as radio;
 pub use cbtc_sim as sim;
+pub use cbtc_trace as trace;
 pub use cbtc_viz as viz;
 pub use cbtc_workloads as workloads;
