@@ -9,7 +9,7 @@
 //!         --ideal-trials 100 --seed 0 --json BENCH_phy.json]
 //! ```
 //!
-//! Five sections:
+//! Six sections:
 //!
 //! * `construction` — P(final graph preserves reach-graph connectivity)
 //!   per (σ, n), plus link asymmetry, degree, the pairwise-guard rate and
@@ -25,6 +25,13 @@
 //!   the measured answer to the margin-free 0.04× lifetime collapse —
 //!   each row prices every power-controlled hop `+m` dB above its
 //!   minimum and reports the first-death/partition factors vs max power;
+//! * `measured_pricing` — the same sweep re-priced on
+//!   `PowerBasis::Measured` (per-hop power from the channel's effective
+//!   distance instead of the geometric one), sharing the max-power
+//!   baseline; also runs a reduced-scale ideal-channel drift check
+//!   (measured ≡ geometric bit for bit, aborts on drift) and, with
+//!   `--comparison-table PATH`, writes a geometric-vs-measured markdown
+//!   table for artifact upload;
 //! * `ideal_check` — the **σ = 0 / PRR = 1** configuration run through
 //!   the entire phy pipeline on the exact `BENCH_lifetime.json` setup
 //!   (paper scenario, same five policies, same seeds): its aggregates
@@ -40,6 +47,7 @@ use cbtc_core::CbtcConfig;
 use cbtc_energy::{phy_lifetime_experiment, LifetimeAggregate, LifetimeConfig, TopologyPolicy};
 use cbtc_geom::Alpha;
 use cbtc_phy::{PhyProfile, PrrCurve};
+use cbtc_radio::PowerBasis;
 use cbtc_workloads::{
     phy_construction_probe, phy_protocol_probe, PhyConstructionStats, PhyProtocolStats, Scenario,
 };
@@ -72,6 +80,18 @@ struct MarginRow {
     partition_factor: f64,
 }
 
+/// The measured-pricing re-run of the margin sweep: every
+/// power-controlled hop priced from the *effective* distance the channel
+/// reported instead of the geometric one, same max-power baseline.
+#[derive(Debug, Serialize)]
+struct MeasuredPricingSection {
+    sigma_db: f64,
+    /// Whether the reduced-scale ideal-channel drift check ran (it
+    /// asserts measured ≡ geometric bit-for-bit and aborts on drift).
+    ideal_drift_checked: bool,
+    rows: Vec<MarginRow>,
+}
+
 /// Wall-clock of the same shadowed lifetime trials through the
 /// incremental survivor tracker vs from-scratch rebuilds (statistics
 /// asserted bit-identical).
@@ -99,6 +119,9 @@ struct BenchDoc {
     /// already maximal there, so the margin cannot change it).
     margin_baseline: Option<LifetimeAggregate>,
     margin: Vec<MarginRow>,
+    /// Margin sweep re-priced on [`PowerBasis::Measured`]; shares
+    /// `margin_baseline` (max power ignores the pricing basis).
+    measured_pricing: Option<MeasuredPricingSection>,
     reconfig: Option<ReconfigBench>,
     ideal_check_trials: u32,
     /// Must match `BENCH_lifetime.json`'s `configs[*].aggregate`
@@ -186,6 +209,7 @@ fn main() {
                 &profile,
                 jitter,
                 hello_margin,
+                PowerBasis::Geometric,
                 seed + s,
             );
             println!(
@@ -267,6 +291,7 @@ fn main() {
     // already use max power), so it is computed once and shared by every
     // row.
     let mut margin = Vec::new();
+    let mut measured_pricing = None;
     let mut margin_baseline = None;
     if !margins.is_empty() && lifetime_trials > 0 {
         println!(
@@ -300,35 +325,142 @@ fn main() {
             1.0,
         );
         let cbtc_only = [cbtc_policy];
-        for &m in &margins {
-            let mut config = lifetime_config;
-            config.energy = config.energy.with_link_margin_db(m);
-            let aggregates =
-                phy_lifetime_experiment(&lifetime_scenario, &cbtc_only, profile, config, seed);
-            for aggregate in aggregates {
-                let first_death_factor =
-                    aggregate.first_death.mean / baseline.first_death.mean.max(1.0);
-                let partition_factor = aggregate.partition.mean / baseline.partition.mean.max(1.0);
-                println!(
-                    "{:>6.1}dB {:<28} {:>9.1} ±{:<5.1} {:>6.2}x {:>9.1} ±{:<5.1} {:>6.2}x",
-                    m,
-                    aggregate.policy,
-                    aggregate.first_death.mean,
-                    aggregate.first_death.std,
-                    first_death_factor,
-                    aggregate.partition.mean,
-                    aggregate.partition.std,
-                    partition_factor,
-                );
-                margin.push(MarginRow {
-                    margin_db: m,
-                    sigma_db: margin_sigma,
-                    aggregate,
-                    first_death_factor,
-                    partition_factor,
-                });
+        // The same sweep under either pricing basis; the max-power
+        // baseline prices nothing (hops already run at max power), so
+        // both sweeps share it.
+        let sweep = |basis: PowerBasis| -> Vec<MarginRow> {
+            let mut rows = Vec::new();
+            for &m in &margins {
+                let mut config = lifetime_config;
+                config.energy = config.energy.with_link_margin_db(m).with_power_basis(basis);
+                let aggregates =
+                    phy_lifetime_experiment(&lifetime_scenario, &cbtc_only, profile, config, seed);
+                for aggregate in aggregates {
+                    let first_death_factor =
+                        aggregate.first_death.mean / baseline.first_death.mean.max(1.0);
+                    let partition_factor =
+                        aggregate.partition.mean / baseline.partition.mean.max(1.0);
+                    println!(
+                        "{:>6.1}dB {:<28} {:>9.1} ±{:<5.1} {:>6.2}x {:>9.1} ±{:<5.1} {:>6.2}x",
+                        m,
+                        aggregate.policy,
+                        aggregate.first_death.mean,
+                        aggregate.first_death.std,
+                        first_death_factor,
+                        aggregate.partition.mean,
+                        aggregate.partition.std,
+                        partition_factor,
+                    );
+                    rows.push(MarginRow {
+                        margin_db: m,
+                        sigma_db: margin_sigma,
+                        aggregate,
+                        first_death_factor,
+                        partition_factor,
+                    });
+                }
             }
+            rows
+        };
+        margin = sweep(PowerBasis::Geometric);
+
+        // ── measured pricing: same field, same traffic, hops priced on
+        // the effective distance the channel actually demanded ─────────
+        println!(
+            "\nmeasured-pricing margin sweep — σ = {margin_sigma} dB shadowing, soft PRR, \
+             {lifetime_trials} trials/margin (same max-power baseline)\n"
+        );
+        println!(
+            "{:>8} {:<28} {:>16} {:>7} {:>16} {:>7}",
+            "margin", "configuration", "first death", "×", "partition", "×"
+        );
+        let measured_rows = sweep(PowerBasis::Measured);
+
+        // Reduced-scale ideal-channel drift check: measured pricing on
+        // the ideal channel must reproduce geometric pricing **bit for
+        // bit** (the exact-×1 contract the pricing seam is built on).
+        // Cheap enough to run on every invocation, including CI smoke.
+        let drift_scenario = Scenario {
+            name: "ideal-drift".to_owned(),
+            node_count: 25,
+            trials: 3,
+            ..Scenario::paper_default()
+        };
+        let drift_config = |basis: PowerBasis| {
+            let mut config = LifetimeConfig {
+                initial_energy: 150_000.0,
+                packets_per_epoch: 20,
+                max_epochs: 3_000,
+                ..LifetimeConfig::paper_default()
+            };
+            config.energy = config.energy.with_power_basis(basis);
+            config
+        };
+        let drift_policies = [TopologyPolicy::MaxPower, cbtc_policy];
+        let geo = phy_lifetime_experiment(
+            &drift_scenario,
+            &drift_policies,
+            PhyProfile::ideal(),
+            drift_config(PowerBasis::Geometric),
+            seed,
+        );
+        let mea = phy_lifetime_experiment(
+            &drift_scenario,
+            &drift_policies,
+            PhyProfile::ideal(),
+            drift_config(PowerBasis::Measured),
+            seed,
+        );
+        assert_eq!(
+            geo, mea,
+            "measured pricing drifted from geometric on the ideal channel"
+        );
+        println!("\nideal-channel drift check — measured ≡ geometric: ok");
+
+        // Optional side-by-side σ-comparison table (markdown, for CI
+        // artifact upload).
+        let table_path: String = args.get("comparison-table", String::new());
+        if !table_path.is_empty() {
+            let mut table = String::new();
+            table.push_str(&format!(
+                "# Geometric vs measured pricing — σ = {margin_sigma} dB shadowing, soft PRR, \
+                 {lifetime_trials} trials/margin\n\n"
+            ));
+            table.push_str(&format!(
+                "Max-power baseline: first death {:.1} ± {:.1}, partition {:.1} ± {:.1}\n\n",
+                baseline.first_death.mean,
+                baseline.first_death.std,
+                baseline.partition.mean,
+                baseline.partition.std,
+            ));
+            table.push_str(
+                "| margin (dB) | geo first death | geo × | meas first death | meas × | \
+                 geo partition | meas partition |\n\
+                 |---:|---:|---:|---:|---:|---:|---:|\n",
+            );
+            for (g, m) in margin.iter().zip(&measured_rows) {
+                table.push_str(&format!(
+                    "| {:.1} | {:.1} ± {:.1} | {:.2}x | {:.1} ± {:.1} | {:.2}x | {:.1} | {:.1} |\n",
+                    g.margin_db,
+                    g.aggregate.first_death.mean,
+                    g.aggregate.first_death.std,
+                    g.first_death_factor,
+                    m.aggregate.first_death.mean,
+                    m.aggregate.first_death.std,
+                    m.first_death_factor,
+                    g.aggregate.partition.mean,
+                    m.aggregate.partition.mean,
+                ));
+            }
+            std::fs::write(&table_path, table).expect("write comparison table");
+            println!("wrote {table_path}");
         }
+
+        measured_pricing = Some(MeasuredPricingSection {
+            sigma_db: margin_sigma,
+            ideal_drift_checked: true,
+            rows: measured_rows,
+        });
         margin_baseline = Some(baseline);
     }
 
@@ -440,6 +572,7 @@ fn main() {
             margin_sigma_db: margin_sigma,
             margin_baseline,
             margin,
+            measured_pricing,
             reconfig,
             ideal_check_trials: ideal_trials,
             ideal_check,

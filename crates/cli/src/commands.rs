@@ -10,6 +10,7 @@ use cbtc_graph::load::path_stats;
 use cbtc_graph::metrics::{average_degree, average_radius};
 use cbtc_graph::traversal::component_count;
 use cbtc_graph::Layout;
+use cbtc_radio::PowerBasis;
 use cbtc_trace::{TraceEvent, TraceHandle};
 use cbtc_viz::{render_replay_html, render_replay_svg, render_svg, ReplayFrame, SvgOptions};
 use cbtc_workloads::RandomPlacement;
@@ -38,10 +39,13 @@ USAGE:
     cbtc lifetime [--nodes N] [--width W] [--height H] [--range R]
                   [--trials T] [--seed S] [--packets P] [--epochs E]
                   [--energy J] [--pattern uniform|convergecast[:SINK]|hotspot[:NODE]]
-                  [--no-reconfig]
+                  [--no-reconfig] [--basis geometric|measured]
         Simulate packet traffic and battery drain over random networks and
         report lifetime factors (first death, partition) of CBTC
-        configurations versus max power.
+        configurations versus max power. --basis selects the pricing of
+        per-hop transmission powers: geometric distance (the paper's
+        model) or the §2 measured effective distance (identical on the
+        ideal channel).
 
     cbtc churn [--nodes N] [--cycles C] [--cycle-ticks T] [--warmup W]
                [--beacon-interval B] [--miss-limit M] [--seed S]
@@ -71,11 +75,14 @@ USAGE:
 
     cbtc phy [--nodes N] [--sigmas 0,4,8] [--trials T] [--seed S]
              [--alpha 2pi3|<radians>] [--protocol-nodes N] [--no-protocol]
+             [--basis geometric|measured]
         Sweep log-normal shadowing σ (dB) over random networks: report how
         often CBTC's final graph (after asymmetric-edge removal) preserves
         the connectivity of the symmetric reach graph, link asymmetry,
         power stretch, and the distributed protocol's Hello overhead under
         the full stochastic stack (fading, soft PRR, SINR, CSMA).
+        --basis measured makes protocol repliers carry the forward §2
+        measurement in a max-power MeasuredAck (measured-power pricing).
 
     cbtc help
         Show this message.
@@ -98,6 +105,15 @@ fn build_config(args: &Args, alpha: Alpha) -> Result<CbtcConfig, String> {
         config = config.with_pairwise_removal();
     }
     Ok(config)
+}
+
+/// Parses `--basis` into a [`PowerBasis`] (geometric when absent).
+fn parse_basis(args: &Args) -> Result<PowerBasis, String> {
+    match args.value_of("basis") {
+        None => Ok(PowerBasis::Geometric),
+        Some(raw) => PowerBasis::parse(raw)
+            .ok_or_else(|| format!("invalid --basis: {raw} (expected geometric or measured)")),
+    }
 }
 
 fn generate_network(args: &Args) -> Result<Network, String> {
@@ -330,6 +346,7 @@ pub fn lifetime(args: &Args) -> Result<(), String> {
     config.max_epochs = args.get("epochs", config.max_epochs)?;
     config.initial_energy = args.get("energy", config.initial_energy)?;
     config.reconfigure = !args.has("no-reconfig");
+    config.energy = config.energy.with_power_basis(parse_basis(args)?);
     if !config.initial_energy.is_finite() || config.initial_energy <= 0.0 {
         return Err("--energy must be positive".into());
     }
@@ -369,10 +386,11 @@ pub fn lifetime(args: &Args) -> Result<(), String> {
 
     println!("network lifetime — {nodes} nodes × {trials} trials, {width}×{height}, R = {range}");
     println!(
-        "traffic: {} × {} packets/epoch, reconfigure: {}\n",
+        "traffic: {} × {} packets/epoch, reconfigure: {}, pricing: {}\n",
         config.pattern.label(),
         config.packets_per_epoch,
-        if config.reconfigure { "yes" } else { "no" }
+        if config.reconfigure { "yes" } else { "no" },
+        config.energy.power_basis,
     );
     println!(
         "{:<28} {:>16} {:>7} {:>16} {:>7} {:>10} {:>9}",
@@ -575,6 +593,7 @@ pub fn phy(args: &Args) -> Result<(), String> {
     let seed: u64 = args.get("seed", 0)?;
     let protocol_nodes: usize = args.get("protocol-nodes", 60)?;
     let jitter: u64 = args.get("jitter", 16)?;
+    let basis = parse_basis(args)?;
     let hello_margin: f64 = args.get("hello-margin", 0.0)?;
     if !(hello_margin.is_finite() && hello_margin >= 0.0) {
         return Err("--hello-margin must be a finite non-negative dB value".into());
@@ -641,7 +660,8 @@ pub fn phy(args: &Args) -> Result<(), String> {
     if !args.has("no-protocol") {
         println!(
             "\ndistributed growing phase under the full stack (fading, soft PRR, SINR, CSMA) — \
-             {protocol_nodes} nodes, desynchronized columns use ±{jitter}-tick start jitter:"
+             {protocol_nodes} nodes, {basis} pricing, desynchronized columns use \
+             ±{jitter}-tick start jitter:"
         );
         println!(
             "{:>6} {:>12} {:>12} {:>9} {:>9} {:>10} {:>10} {:>11} {:>10}",
@@ -664,6 +684,7 @@ pub fn phy(args: &Args) -> Result<(), String> {
                 &profile,
                 jitter,
                 hello_margin,
+                basis,
                 seed,
             );
             println!(
@@ -797,8 +818,8 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     let a = cbtc_trace::analyze(&events).map_err(|e| e.to_string())?;
 
     println!(
-        "trace {path} — run \"{}\" (schema v{}), {} nodes, seed {}",
-        a.run, a.version, a.nodes, a.seed
+        "trace {path} — run \"{}\" (schema v{}, {} pricing), {} nodes, seed {}",
+        a.run, a.version, a.pricing, a.nodes, a.seed
     );
     println!("{} events over t = 0..{}:", events.len(), a.span);
     for (kind, count) in &a.kind_counts {
@@ -863,8 +884,13 @@ pub fn analyze(args: &Args) -> Result<(), String> {
             (lo.min(p), hi.max(p))
         });
         let pmean = powers.iter().sum::<f64>() / powers.len() as f64;
+        // Name the pricing basis: under measured pricing these radius
+        // powers are effective-distance prices, not geometric ones, and
+        // the old unqualified label misread as geometric units.
         println!(
-            "power: {changed} nodes recorded changes; last power min {pmin:.1} / mean {pmean:.1} / max {pmax:.1}"
+            "power ({} pricing): {changed} nodes recorded changes; \
+             last power min {pmin:.1} / mean {pmean:.1} / max {pmax:.1}",
+            a.pricing
         );
     }
 
@@ -941,6 +967,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
             "run": a.run,
             "nodes": a.nodes,
             "seed": a.seed,
+            "pricing": a.pricing,
             "span": a.span,
             "events": kinds,
             "epochs": a.epoch_timeline.len(),
@@ -1023,7 +1050,31 @@ mod tests {
     }
 
     #[test]
+    fn lifetime_accepts_measured_basis() {
+        assert!(lifetime(&args(&[
+            "--nodes",
+            "15",
+            "--width",
+            "700",
+            "--height",
+            "700",
+            "--trials",
+            "1",
+            "--packets",
+            "10",
+            "--energy",
+            "150000",
+            "--epochs",
+            "3000",
+            "--basis",
+            "measured",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
     fn lifetime_rejects_bad_input() {
+        assert!(lifetime(&args(&["--nodes", "10", "--basis", "bogus"])).is_err());
         assert!(lifetime(&args(&["--trials", "0"])).is_err());
         assert!(lifetime(&args(&["--nodes", "5", "--pattern", "bogus"])).is_err());
         assert!(lifetime(&args(&["--range", "0.5"])).is_err());
@@ -1075,8 +1126,26 @@ mod tests {
     }
 
     #[test]
+    fn phy_runs_with_measured_basis() {
+        assert!(phy(&args(&[
+            "--nodes",
+            "20",
+            "--trials",
+            "1",
+            "--sigmas",
+            "0",
+            "--protocol-nodes",
+            "15",
+            "--basis",
+            "measured",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
     fn phy_rejects_bad_input() {
         assert!(phy(&args(&["--nodes", "0"])).is_err());
+        assert!(phy(&args(&["--nodes", "20", "--basis", "bogus"])).is_err());
         assert!(phy(&args(&["--nodes", "20", "--sigmas", "abc"])).is_err());
         assert!(phy(&args(&["--nodes", "20", "--sigmas", "-3"])).is_err());
         assert!(phy(&args(&["--nodes", "20", "--alpha", "bogus"])).is_err());

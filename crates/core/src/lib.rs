@@ -50,6 +50,7 @@
 //! | [`run_basic_masked`] / [`run_centralized_masked`] | §4 at scale: survivor re-runs over an alive mask, no sub-network allocation |
 //! | [`parallel`] | scaling infrastructure: scoped-thread fan-out of the per-node growing phase |
 //! | [`phy`] | beyond the paper: the same construction over a stochastic channel (per-link gains → effective distances), bit-identical to the ideal path when every gain is 1 |
+//! | [`phy::AckGatedChannel`] / [`phy::run_phy_gated_centralized`] | §2's measurement assumption made honest off the ideal channel: the link cost a *distributed* measured-power node can learn (forward effective distance, gated on the reply closing at max power) — the centralized reference the measured-pricing differential oracle tests against |
 //!
 //! # Example
 //!

@@ -197,6 +197,154 @@ pub fn run_phy_basic_masked(
     BasicOutcome::new(alpha, views)
 }
 
+/// The feedback-gated effective-distance metric: what a *distributed*
+/// measured-power node can actually learn about its links.
+///
+/// The §2 measurement assumption lets `v` estimate the forward cost
+/// `d_eff(u → v)` from a received Hello — but that estimate only reaches
+/// `u` if `v`'s reply crosses the *reverse* channel, and the best any
+/// reply can do is maximum power, which closes the reverse link iff
+/// `d_eff(v → u) ≤ R`. So the link cost the distributed protocol
+/// discovers is the forward effective distance *gated on reverse
+/// reachability*:
+///
+/// ```text
+/// cost(u → v) = d_eff(u → v)   if d_eff(v → u) ≤ R
+///               ∞              otherwise (no feedback can ever arrive)
+/// ```
+///
+/// Under reciprocal shadowing the gate never fires for any discoverable
+/// link (`d_eff(v → u) = d_eff(u → v) ≤ grow radius ≤ R`), so this
+/// metric coincides with the plain [`PhyChannel`]; under per-direction
+/// gains it is the honest centralized reference for the distributed
+/// measured-power protocol, which the differential oracle tests compare
+/// against.
+#[derive(Debug, Clone, Copy)]
+pub struct AckGatedChannel<'a> {
+    channel: &'a PhyChannel<'a>,
+    max_range: f64,
+}
+
+impl<'a> AckGatedChannel<'a> {
+    /// Gates `channel` on reverse reachability at maximum power, i.e. at
+    /// effective distance `max_range`.
+    pub fn new(channel: &'a PhyChannel<'a>, max_range: f64) -> Self {
+        AckGatedChannel { channel, max_range }
+    }
+}
+
+impl LinkMetric for AckGatedChannel<'_> {
+    fn cost(&self, u: NodeId, v: NodeId, d: f64) -> f64 {
+        if self.channel.effective_distance(v, u, d) <= self.max_range {
+            self.channel.effective_distance(u, v, d)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn reach_boost(&self) -> f64 {
+        self.channel.reach_boost()
+    }
+
+    fn direction(&self, layout: &cbtc_graph::Layout, u: NodeId, v: NodeId) -> cbtc_geom::Angle {
+        LinkMetric::direction(self.channel, layout, u, v)
+    }
+}
+
+/// The growing phase over the feedback-gated metric of
+/// [`AckGatedChannel`]: the centralized reference for the distributed
+/// measured-power protocol. With reciprocal (or ideal) gains,
+/// bit-identical to [`run_phy_basic`].
+pub fn run_phy_gated_basic(
+    network: &Network,
+    channel: &PhyChannel<'_>,
+    alpha: Alpha,
+) -> BasicOutcome {
+    let layout = network.layout();
+    let r = network.max_range();
+    let gated = AckGatedChannel::new(channel, r);
+    let grid = SpatialGrid::from_layout(layout, construction_cell(layout, r, layout.len()));
+    let ids: Vec<NodeId> = layout.node_ids().collect();
+    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
+        grow_node_metric(layout, &grid, &gated, u, alpha, r)
+    });
+    BasicOutcome::new(alpha, views)
+}
+
+/// [`run_phy_gated_basic`] followed by the standard §3 pipeline
+/// ([`optimize_phy`]). Every edge of the symmetric core/closure has both
+/// directions closable (`cost` finite both ways), so the ungated
+/// effective distances the pipeline prices pairwise removal with agree
+/// with the gated ones on every edge it can see.
+pub fn run_phy_gated_centralized(
+    network: &Network,
+    channel: &PhyChannel<'_>,
+    config: &CbtcConfig,
+) -> PhyRun {
+    optimize_phy(
+        network,
+        channel,
+        config,
+        run_phy_gated_basic(network, channel, config.alpha()),
+    )
+}
+
+/// [`run_phy_gated_basic`] over the surviving subset of the network —
+/// the §4 survivor re-run of the measured-power construction. With
+/// reciprocal (or ideal) gains, bit-identical to
+/// [`run_phy_basic_masked`].
+///
+/// # Panics
+///
+/// Panics if `alive.len()` differs from the network size.
+pub fn run_phy_gated_basic_masked(
+    network: &Network,
+    channel: &PhyChannel<'_>,
+    alpha: Alpha,
+    alive: &[bool],
+) -> BasicOutcome {
+    let layout = network.layout();
+    assert_eq!(alive.len(), layout.len(), "alive mask size mismatch");
+    let r = network.max_range();
+    let gated = AckGatedChannel::new(channel, r);
+    let population = alive.iter().filter(|a| **a).count();
+    let mut grid = SpatialGrid::new(construction_cell(layout, r, population));
+    for (id, p) in layout.iter() {
+        if alive[id.index()] {
+            grid.insert(id, p);
+        }
+    }
+    let ids: Vec<NodeId> = layout.node_ids().collect();
+    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
+        if alive[u.index()] {
+            grow_node_metric(layout, &grid, &gated, u, alpha, r)
+        } else {
+            dead_view()
+        }
+    });
+    BasicOutcome::new(alpha, views)
+}
+
+/// [`run_phy_gated_centralized`] over the surviving subset of the
+/// network.
+///
+/// # Panics
+///
+/// Panics if `alive.len()` differs from the network size.
+pub fn run_phy_gated_centralized_masked(
+    network: &Network,
+    channel: &PhyChannel<'_>,
+    config: &CbtcConfig,
+    alive: &[bool],
+) -> PhyRun {
+    optimize_phy(
+        network,
+        channel,
+        config,
+        run_phy_gated_basic_masked(network, channel, config.alpha(), alive),
+    )
+}
+
 /// The staged result of a full phy `CBTC(α)` run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhyRun {
@@ -293,7 +441,11 @@ pub fn run_phy_centralized_masked(
 /// edges by *effective* distance (each endpoint's gain-adjusted cost to
 /// reach the other, the same metric the growth phase ordered by) and
 /// runs behind the connectivity guard.
-fn optimize_phy(
+///
+/// Public so differential oracles can push a growing-phase outcome
+/// obtained elsewhere (e.g. from the distributed protocol's views)
+/// through exactly this pipeline.
+pub fn optimize_phy(
     network: &Network,
     channel: &PhyChannel<'_>,
     config: &CbtcConfig,

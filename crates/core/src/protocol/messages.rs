@@ -1,18 +1,29 @@
 //! Protocol messages.
 
+use cbtc_radio::Power;
 use serde::{Deserialize, Serialize};
 
 /// The CBTC wire protocol.
 ///
 /// The transmission power the paper embeds in each message travels in the
-/// simulator's delivery envelope ([`cbtc_sim::Incoming::tx_power`]), so the
-/// payloads themselves are plain markers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// simulator's delivery envelope ([`cbtc_sim::Incoming::tx_power`]), so
+/// most payloads are plain markers. [`CbtcMsg::MeasuredAck`] is the
+/// exception: under measured-power pricing the replier's own §2
+/// attenuation measurement is the datum the asker needs, and on an
+/// asymmetric channel the reverse path cannot reproduce it, so it rides
+/// in the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum CbtcMsg {
     /// The growing-phase discovery broadcast ("Hello" in Figure 1).
     Hello,
     /// Reply to a Hello, sent with just enough power to reach the asker.
     Ack,
+    /// Reply to a Hello under `PowerBasis::Measured`: carries the
+    /// replier's §2 estimate of the power the *asker* needs to reach it
+    /// (measured on the forward channel from the Hello's attenuation),
+    /// and is sent at maximum power so it survives any reverse channel
+    /// that can be closed at all.
+    MeasuredAck(Power),
     /// §3.2 notification: the sender acked the receiver's Hello during the
     /// growing phase but did **not** keep the receiver in its own `N_α`;
     /// the receiver must drop the sender when building `E⁻_α`.
@@ -30,5 +41,9 @@ mod tests {
         assert_eq!(CbtcMsg::Hello, CbtcMsg::Hello.clone());
         assert_ne!(CbtcMsg::Hello, CbtcMsg::Ack);
         assert_ne!(CbtcMsg::RemoveMe, CbtcMsg::Beacon);
+        let m = CbtcMsg::MeasuredAck(Power::new(2.0));
+        assert_eq!(m, m.clone());
+        assert_ne!(m, CbtcMsg::MeasuredAck(Power::new(3.0)));
+        assert_ne!(m, CbtcMsg::Ack);
     }
 }

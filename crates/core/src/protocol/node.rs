@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use cbtc_geom::Alpha;
 use cbtc_graph::{NodeId, UndirectedGraph};
-use cbtc_radio::{estimate_required_power, PathLoss, Power};
+use cbtc_radio::{estimate_required_power, PathLoss, Power, PowerBasis};
 use cbtc_sim::{Context, Engine, Incoming, Node};
 
 use crate::protocol::{CbtcMsg, GrowthAction, GrowthConfig, GrowthState};
@@ -136,17 +136,44 @@ impl Node for CbtcNode {
         let model = self.growth.config().model;
         match msg.payload {
             CbtcMsg::Hello => {
-                // Reply with just enough power to reach the asker
-                // (estimated from attenuation, §2). The relative margin
-                // absorbs floating-point rounding in the estimate chain —
-                // a real radio adds a link margin for the same reason.
+                // §2: estimate the power the *asker* needs to reach us
+                // from the Hello's attenuation. On a stochastic channel
+                // this measures the forward channel's effective cost —
+                // gains ride in the delivered reception power.
                 let needed = estimate_required_power(&model, msg.tx_power, msg.rx_power);
-                let reply = (needed * (1.0 + 1e-9)).min(model.max_power());
-                self.acked_to.insert(msg.from, reply);
-                ctx.send(reply, CbtcMsg::Ack, msg.from);
+                match self.growth.config().schedule.basis() {
+                    PowerBasis::Geometric => {
+                        // Reply with just enough power to reach the asker.
+                        // The relative margin absorbs floating-point
+                        // rounding in the estimate chain — a real radio
+                        // adds a link margin for the same reason.
+                        let reply = (needed * (1.0 + 1e-9)).min(model.max_power());
+                        self.acked_to.insert(msg.from, reply);
+                        ctx.send(reply, CbtcMsg::Ack, msg.from);
+                    }
+                    PowerBasis::Measured => {
+                        // Measured pricing: the forward measurement itself
+                        // is the datum — an asymmetric reverse channel
+                        // cannot reproduce it, so it rides in the payload,
+                        // at maximum power (the only level guaranteed to
+                        // close any closable reverse link).
+                        self.acked_to.insert(msg.from, model.max_power());
+                        ctx.send(
+                            model.max_power(),
+                            CbtcMsg::MeasuredAck(needed.min(model.max_power())),
+                            msg.from,
+                        );
+                    }
+                }
             }
             CbtcMsg::Ack => {
                 let needed = estimate_required_power(&model, msg.tx_power, msg.rx_power);
+                self.growth.record_ack(msg.from, needed, msg.direction);
+            }
+            CbtcMsg::MeasuredAck(needed) => {
+                // The replier measured the forward channel for us; trust
+                // it instead of re-estimating over the (possibly
+                // different) reverse channel the ack itself crossed.
                 self.growth.record_ack(msg.from, needed, msg.direction);
             }
             CbtcMsg::RemoveMe => {

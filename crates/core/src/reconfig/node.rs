@@ -244,6 +244,14 @@ impl Node for ReconfigNode {
                     self.growth.record_ack(msg.from, needed, msg.direction);
                 }
             }
+            CbtcMsg::MeasuredAck(needed) => {
+                // Measured-basis reply: record the carried forward
+                // measurement directly (the reconfiguration protocol runs
+                // over the ideal radio, where it equals the Ack estimate).
+                if self.phase == Phase::Growing {
+                    self.growth.record_ack(msg.from, needed, msg.direction);
+                }
+            }
             CbtcMsg::Beacon => {
                 let needed = estimate_required_power(&model, msg.tx_power, msg.rx_power);
                 let distance = model.range(needed);

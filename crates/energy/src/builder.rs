@@ -104,6 +104,16 @@ pub trait LinkReliability: std::fmt::Debug + Send + Sync {
     /// where `distance` is the geometric link length. `1.0` = perfectly
     /// reliable.
     fn attempts(&self, u: NodeId, v: NodeId, tx_power: Power, distance: f64) -> f64;
+
+    /// The distance the §2 measurement assumption would report for
+    /// `u → v`: the effective distance `d·g^(−1/n)` on a stochastic
+    /// channel, the geometric `distance` itself (returned literally, no
+    /// arithmetic) on the ideal one. The lifetime engine prices hops by
+    /// this value under `PowerBasis::Measured`.
+    fn priced_distance(&self, u: NodeId, v: NodeId, distance: f64) -> f64 {
+        let _ = (u, v);
+        distance
+    }
 }
 
 /// The ideal channel: every link needs exactly one attempt.

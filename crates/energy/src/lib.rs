@@ -44,7 +44,14 @@
 //! discovery prefix contained the deceased re-grow, and only the routing
 //! trees the edge delta can affect are recomputed
 //! ([`cbtc_core::reconfig::routing`]), bit-for-bit equal to a full
-//! rebuild.
+//! rebuild. Hop powers follow §2's measurement assumption through
+//! [`cbtc_radio::PowerBasis`]: under `Measured`, drains, routing
+//! weights and broadcast radii are priced from the channel's effective
+//! distance (what the received Hello reports) instead of the geometric
+//! one, and the phy construction switches to the feedback-gated
+//! reference ([`cbtc_core::phy::AckGatedChannel`]) — exactly ×1 on the
+//! ideal channel, and the close of the σ = 8 dB lifetime collapse on a
+//! shadowed one.
 //!
 //! # Example
 //!

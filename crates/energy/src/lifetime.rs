@@ -40,7 +40,7 @@ use cbtc_core::reconfig::graph_delta;
 use cbtc_core::reconfig::routing::{tree_reusable, SpTree};
 use cbtc_core::Network;
 use cbtc_graph::{NodeId, UndirectedGraph};
-use cbtc_radio::{PathLoss, Power};
+use cbtc_radio::{PathLoss, Power, PowerBasis};
 use cbtc_trace::{TraceEvent, TraceHandle, TRACE_VERSION};
 use serde::{Deserialize, Serialize};
 
@@ -451,6 +451,7 @@ impl LifetimeSim {
             alpha: 0.0,
             width,
             height,
+            pricing: self.config.energy.power_basis.label().to_owned(),
         });
         let time = self.epoch as f64;
         trace.record(TraceEvent::Positions {
@@ -751,6 +752,7 @@ impl LifetimeSim {
         let i = u.index();
 
         let topology = self.reconfig.as_ref().map_or(&self.topology, |t| t.graph());
+        let measured = energy.power_basis == PowerBasis::Measured;
         let row = &mut self.edge_costs[i];
         row.clear();
         let mut farthest: Option<f64> = None;
@@ -759,13 +761,29 @@ impl LifetimeSim {
                 continue;
             }
             let d = layout.distance(u, v);
-            let tx = energy.hop_tx_power(&model, d, power_control);
-            // Routing minimizes *expected* energy: lossy links carry
-            // their retransmission factor in the weight, so the router
-            // prefers reliable links. Ideal links multiply by exactly 1.
-            let attempts = reliability.attempts(u, v, tx, d);
-            row.push((v, tx, attempts * energy.hop_cost(tx), attempts));
-            farthest = Some(farthest.map_or(d, |a| a.max(d)));
+            if measured {
+                // §2 measured pricing: the hop pays for the effective
+                // distance the channel presents, so the receiver gets
+                // exactly `p(d̂)` instead of `p(d)·g`. Capped at `P` —
+                // a node cannot exceed its maximum power. Attempts
+                // still take the geometric distance (the channel
+                // re-applies its own gain to the delivered power).
+                let pd = reliability.priced_distance(u, v, d);
+                let tx = energy
+                    .hop_tx_power(&model, pd, power_control)
+                    .min(model.max_power());
+                let attempts = reliability.attempts(u, v, tx, d);
+                row.push((v, tx, attempts * energy.hop_cost(tx), attempts));
+                farthest = Some(farthest.map_or(pd, |a| a.max(pd)));
+            } else {
+                let tx = energy.hop_tx_power(&model, d, power_control);
+                // Routing minimizes *expected* energy: lossy links carry
+                // their retransmission factor in the weight, so the router
+                // prefers reliable links. Ideal links multiply by exactly 1.
+                let attempts = reliability.attempts(u, v, tx, d);
+                row.push((v, tx, attempts * energy.hop_cost(tx), attempts));
+                farthest = Some(farthest.map_or(d, |a| a.max(d)));
+            }
         }
 
         // Maintenance radius: max power without topology control; the
@@ -773,7 +791,13 @@ impl LifetimeSim {
         self.radius_power[i] = if !self.alive[i] {
             Power::ZERO
         } else if power_control {
-            farthest.map_or(model.max_power(), |r| model.required_power(r))
+            if measured {
+                farthest.map_or(model.max_power(), |r| {
+                    model.required_power(r).min(model.max_power())
+                })
+            } else {
+                farthest.map_or(model.max_power(), |r| model.required_power(r))
+            }
         } else {
             model.max_power()
         };

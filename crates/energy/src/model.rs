@@ -13,7 +13,7 @@
 //! All energies are in the same arbitrary units as [`Power`] × epoch-time;
 //! one epoch is the unit of time.
 
-use cbtc_radio::{PathLoss, Power, PowerLaw};
+use cbtc_radio::{PathLoss, Power, PowerBasis, PowerLaw};
 use serde::{Deserialize, Serialize};
 
 /// A node's battery: a finite energy reserve drained by radio activity.
@@ -125,6 +125,16 @@ pub struct EnergyModel {
     /// the cost of radiated energy, the classic reliability-vs-energy
     /// tradeoff the `phy` benchmark sweeps.
     pub link_margin_db: f64,
+    /// What distance per-hop transmission powers are priced against:
+    /// geometric distance (the default, the paper's idealized radio) or
+    /// the §2 *measured* attenuation, i.e. the effective distance
+    /// `d_eff = d·g^(−1/n)` the channel actually presents. Under
+    /// shadowing, geometric pricing delivers `p(d)·g` at the receiver —
+    /// deeply shadowed links then retransmit hundreds of times and the
+    /// CBTC lifetime advantage inverts (the σ = 8 dB collapse in
+    /// `BENCH_phy.json`); measured pricing delivers exactly `p(d̂)`. On
+    /// the ideal channel `g ≡ 1` and the two are bit-identical.
+    pub power_basis: PowerBasis,
 }
 
 impl EnergyModel {
@@ -140,6 +150,7 @@ impl EnergyModel {
             idle_per_epoch: 1_000.0,
             maintenance_duty: 0.05,
             link_margin_db: 0.0,
+            power_basis: PowerBasis::Geometric,
         }
     }
 
@@ -155,6 +166,16 @@ impl EnergyModel {
             "link margin must be a finite non-negative dB value, got {margin_db}"
         );
         self.link_margin_db = margin_db;
+        self
+    }
+
+    /// The same model with an explicit power-pricing basis,
+    /// builder-style. [`PowerBasis::Measured`] makes the lifetime
+    /// engine price every power-controlled hop (and each node's
+    /// broadcast-radius upkeep) by the link's measured effective
+    /// distance instead of its geometric distance.
+    pub fn with_power_basis(mut self, basis: PowerBasis) -> Self {
+        self.power_basis = basis;
         self
     }
 

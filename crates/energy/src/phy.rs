@@ -23,13 +23,13 @@ use std::sync::Arc;
 
 use cbtc_core::phy::{
     phy_reach_graph, phy_reach_graph_where, run_phy_centralized, run_phy_centralized_masked,
-    PhyChannel,
+    run_phy_gated_centralized, run_phy_gated_centralized_masked, PhyChannel,
 };
 use cbtc_core::reconfig::{DeltaTopology, LinkMetric};
 use cbtc_core::Network;
 use cbtc_graph::{NodeId, UndirectedGraph};
 use cbtc_phy::{PhyProfile, PrrCurve, Shadowing};
-use cbtc_radio::{DirectionSensor, LinkGain, PathLoss, Power, PowerLaw, Prr};
+use cbtc_radio::{DirectionSensor, LinkGain, PathLoss, Power, PowerBasis, PowerLaw, Prr};
 use cbtc_workloads::{RandomPlacement, Scenario};
 
 use crate::builder::SurvivorTracker;
@@ -57,6 +57,26 @@ pub struct PhyPolicy {
     pub policy: TopologyPolicy,
     /// The channel it runs over.
     pub profile: PhyProfile,
+    /// The power-pricing basis the lifetime engine will run under.
+    ///
+    /// Under [`PowerBasis::Measured`] the CBTC construction is
+    /// *feedback-gated* ([`cbtc_core::phy::AckGatedChannel`]): a link
+    /// only enters the topology if its reverse direction closes at
+    /// maximum power, because that is the only way the §2 measurement
+    /// can ever reach the asker. On the ideal channel the gate never
+    /// fires, preserving bit-identity with the geometric construction.
+    pub basis: PowerBasis,
+}
+
+impl PhyPolicy {
+    /// A policy over `profile` priced on the geometric basis.
+    pub fn geometric(policy: TopologyPolicy, profile: PhyProfile) -> Self {
+        PhyPolicy {
+            policy,
+            profile,
+            basis: PowerBasis::Geometric,
+        }
+    }
 }
 
 impl TopologyBuilder for PhyPolicy {
@@ -64,10 +84,13 @@ impl TopologyBuilder for PhyPolicy {
         let shadowing = self.profile.shadowing();
         let channel =
             PhyChannel::new(network.model(), &shadowing).with_sensor(self.profile.sensor());
-        match self.policy {
-            TopologyPolicy::MaxPower => phy_reach_graph(network, &channel),
-            TopologyPolicy::Cbtc(config) => {
+        match (self.policy, self.basis) {
+            (TopologyPolicy::MaxPower, _) => phy_reach_graph(network, &channel),
+            (TopologyPolicy::Cbtc(config), PowerBasis::Geometric) => {
                 run_phy_centralized(network, &channel, &config).into_final_graph()
+            }
+            (TopologyPolicy::Cbtc(config), PowerBasis::Measured) => {
+                run_phy_gated_centralized(network, &channel, &config).into_final_graph()
             }
         }
     }
@@ -77,12 +100,16 @@ impl TopologyBuilder for PhyPolicy {
         let shadowing = self.profile.shadowing();
         let channel =
             PhyChannel::new(network.model(), &shadowing).with_sensor(self.profile.sensor());
-        match self.policy {
-            TopologyPolicy::MaxPower => {
+        match (self.policy, self.basis) {
+            (TopologyPolicy::MaxPower, _) => {
                 phy_reach_graph_where(network, &channel, |u| alive[u.index()])
             }
-            TopologyPolicy::Cbtc(config) => {
+            (TopologyPolicy::Cbtc(config), PowerBasis::Geometric) => {
                 run_phy_centralized_masked(network, &channel, &config, alive).into_final_graph()
+            }
+            (TopologyPolicy::Cbtc(config), PowerBasis::Measured) => {
+                run_phy_gated_centralized_masked(network, &channel, &config, alive)
+                    .into_final_graph()
             }
         }
     }
@@ -113,6 +140,12 @@ struct PhyMetric {
     model: PowerLaw,
     shadowing: Shadowing,
     sensor: DirectionSensor,
+    /// `Some(max_range)` under measured pricing: the same reverse-
+    /// reachability gate as [`cbtc_core::phy::AckGatedChannel`], so the
+    /// incremental survivor topology maintains exactly the graph
+    /// [`run_phy_gated_centralized_masked`] rebuilds. `None` leaves the
+    /// historical ungated arithmetic untouched.
+    gate: Option<f64>,
 }
 
 impl PhyMetric {
@@ -123,7 +156,11 @@ impl PhyMetric {
 
 impl LinkMetric for PhyMetric {
     fn cost(&self, u: NodeId, v: NodeId, d: f64) -> f64 {
-        self.channel().cost(u, v, d)
+        let channel = self.channel();
+        match self.gate {
+            Some(max_range) if channel.effective_distance(v, u, d) > max_range => f64::INFINITY,
+            _ => channel.cost(u, v, d),
+        }
     }
 
     fn reach_boost(&self) -> f64 {
@@ -150,6 +187,7 @@ fn phy_survivor_topology(
         model: *network.model(),
         shadowing: policy.profile.shadowing(),
         sensor: policy.profile.sensor(),
+        gate: (policy.basis == PowerBasis::Measured).then(|| network.max_range()),
     };
     match policy.policy {
         TopologyPolicy::MaxPower => {
@@ -204,6 +242,20 @@ impl LinkReliability for PhyLinks {
             1.0 / p.max(MIN_LINK_PRR)
         }
     }
+
+    fn priced_distance(&self, u: NodeId, v: NodeId, distance: f64) -> f64 {
+        // The same arithmetic as `PhyChannel::effective_distance`, on the
+        // same frozen gains: `d·g^(−1/n)` with the near-field clamp, and
+        // the literal geometric distance when the gain is exactly 1 (the
+        // ideal channel) — so measured pricing over σ = 0 is bit-identical
+        // to geometric pricing.
+        let gain = self.shadowing.link_gain(u.raw() as u64, v.raw() as u64);
+        if gain == 1.0 {
+            distance
+        } else {
+            distance.max(1.0) * gain.powf(-1.0 / self.model.exponent())
+        }
+    }
 }
 
 /// Runs a lifetime experiment through the phy pipeline: every policy is
@@ -236,6 +288,7 @@ pub fn phy_lifetime_experiment(
                         Arc::new(PhyPolicy {
                             policy,
                             profile: trial_profile,
+                            basis: config.energy.power_basis,
                         }),
                         Arc::new(links),
                         config,
@@ -312,10 +365,7 @@ mod tests {
             let links = PhyLinks::new(*network.model(), &profile);
             LifetimeSim::with_builder(
                 network.clone(),
-                Arc::new(PhyPolicy {
-                    policy: TopologyPolicy::MaxPower,
-                    profile,
-                }),
+                Arc::new(PhyPolicy::geometric(TopologyPolicy::MaxPower, profile)),
                 Arc::new(links),
                 config,
                 5,

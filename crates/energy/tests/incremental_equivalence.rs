@@ -181,7 +181,7 @@ fn phy_lifetime_sim_is_bitwise_equal_across_paths() {
                 let links = PhyLinks::new(*network.model(), &profile);
                 LifetimeSim::with_builder(
                     network.clone(),
-                    Arc::new(PhyPolicy { policy, profile }),
+                    Arc::new(PhyPolicy::geometric(policy, profile)),
                     Arc::new(links),
                     config,
                     seed,

@@ -1,0 +1,85 @@
+//! What "required power" is computed *from*: geometry or measurement.
+
+use serde::{Deserialize, Serialize};
+
+/// The distance a power computation is priced against.
+///
+/// The paper's §2 measurement assumption — "given the transmission power
+/// `p` and the reception power `p′`, `u` can estimate `p(d(u, v))`" —
+/// means a real node never sees geometric distance at all: it sees the
+/// *attenuation* of the channel, which under shadowing corresponds to
+/// the effective distance `d_eff = d·g^(−1/n)`, not `d`. Sethu & Gerety
+/// (arXiv:0709.0961) show topology control must order and price links
+/// by that measured cost. [`PowerBasis`] selects which of the two a
+/// pipeline uses:
+///
+/// * [`PowerBasis::Geometric`] — price links by geometric distance, as
+///   every pre-existing path does. On a stochastic channel this
+///   *under*-prices shadowed links (the transmitter pays `p(d)` while
+///   the channel demands `p(d_eff)`), which is exactly the σ = 8 dB
+///   lifetime collapse measured in `BENCH_phy.json`.
+/// * [`PowerBasis::Measured`] — price links by the §2 attenuation
+///   estimate, i.e. by `d_eff`. On the ideal channel `g ≡ 1` so
+///   `d_eff = d` bit-for-bit and every σ = 0 result is unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerBasis {
+    /// Price transmissions by geometric distance (the idealized radio).
+    #[default]
+    Geometric,
+    /// Price transmissions by the §2 measured attenuation (`d_eff`).
+    Measured,
+}
+
+impl PowerBasis {
+    /// A short lowercase label (`"geometric"` / `"measured"`) — the form
+    /// used by CLI flags and trace headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerBasis::Geometric => "geometric",
+            PowerBasis::Measured => "measured",
+        }
+    }
+
+    /// Parses the CLI/trace label, case-insensitively.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.to_ascii_lowercase().as_str() {
+            "geometric" | "geo" => Some(PowerBasis::Geometric),
+            "measured" | "eff" | "effective" => Some(PowerBasis::Measured),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PowerBasis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_geometric() {
+        assert_eq!(PowerBasis::default(), PowerBasis::Geometric);
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for basis in [PowerBasis::Geometric, PowerBasis::Measured] {
+            assert_eq!(PowerBasis::parse(basis.label()), Some(basis));
+            assert_eq!(format!("{basis}"), basis.label());
+        }
+        assert_eq!(PowerBasis::parse("MEASURED"), Some(PowerBasis::Measured));
+        assert_eq!(PowerBasis::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn serializes_as_the_variant_tag() {
+        let json = serde_json::to_string(&PowerBasis::Measured).unwrap();
+        assert_eq!(json, "\"Measured\"");
+        let back: PowerBasis = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, PowerBasis::Measured);
+    }
+}

@@ -31,18 +31,21 @@
 //! | [`PathLoss`], [`PowerLaw`] | §1: `p(d) = S·dⁿ`, `n ≥ 2`, maximum power `P = p(R)` |
 //! | [`PowerSchedule`] | Figure 1's `Increase` with the default `Increase(p) = 2p` |
 //! | [`estimate_required_power`] | §2's reception-power estimate of `p(d(u, v))` |
+//! | [`PowerBasis`] | §2's measurement assumption as a pricing mode: compute powers from geometry or from the measured attenuation |
 //! | [`DirectionSensor`] | §2's angle-of-arrival assumption (exact or bounded-error) |
 //! | [`LinkGain`], [`Prr`] | beyond the paper: the stochastic-channel interface (`cbtc-phy` supplies shadowing/fading/PRR implementations; [`IdealGain`] + [`PerfectPrr`] reproduce the paper's radio) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod basis;
 mod channel;
 mod pathloss;
 mod power;
 mod schedule;
 mod sensing;
 
+pub use basis::PowerBasis;
 pub use channel::{IdealGain, LinkGain, PerfectPrr, Prr};
 pub use pathloss::{InvalidModelError, PathLoss, PowerLaw};
 pub use power::Power;

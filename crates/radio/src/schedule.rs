@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::Power;
+use crate::{Power, PowerBasis};
 
 /// How the power grows from one "Hello" round to the next.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,6 +50,11 @@ pub struct PowerSchedule {
     /// Zero by default: the emitted sequence is then exactly the raw
     /// growth sequence, bit for bit.
     margin_db: f64,
+    /// What the protocol prices replies against: geometry (the default)
+    /// or the §2 measured attenuation. The schedule's own levels are
+    /// unaffected; the distributed protocol reads this to decide how a
+    /// node answers a Hello (see `cbtc_core::protocol`).
+    basis: PowerBasis,
 }
 
 impl PowerSchedule {
@@ -93,6 +98,7 @@ impl PowerSchedule {
             max,
             kind,
             margin_db: 0.0,
+            basis: PowerBasis::Geometric,
         }
     }
 
@@ -117,6 +123,22 @@ impl PowerSchedule {
     /// The configured link margin in dB (0 unless set).
     pub fn margin_db(&self) -> f64 {
         self.margin_db
+    }
+
+    /// The same schedule with an explicit power-pricing basis. With
+    /// [`PowerBasis::Measured`] the distributed protocol answers Hellos
+    /// with the §2 attenuation measurement itself rather than a
+    /// geometric estimate; on the ideal channel the two coincide bit
+    /// for bit.
+    pub fn with_basis(mut self, basis: PowerBasis) -> Self {
+        self.basis = basis;
+        self
+    }
+
+    /// The configured pricing basis ([`PowerBasis::Geometric`] unless
+    /// set).
+    pub fn basis(&self) -> PowerBasis {
+        self.basis
     }
 
     /// The initial power `p0`.
@@ -302,6 +324,18 @@ mod tests {
         let plain: Vec<Power> = base.levels().collect();
         let zero: Vec<Power> = base.with_margin_db(0.0).levels().collect();
         assert_eq!(plain, zero);
+    }
+
+    #[test]
+    fn basis_defaults_to_geometric_and_is_carried() {
+        let s = PowerSchedule::doubling(Power::new(1.0), Power::new(10.0));
+        assert_eq!(s.basis(), PowerBasis::Geometric);
+        let measured = s.with_basis(PowerBasis::Measured);
+        assert_eq!(measured.basis(), PowerBasis::Measured);
+        // The emitted level sequence is independent of the basis.
+        let a: Vec<Power> = s.levels().collect();
+        let b: Vec<Power> = measured.levels().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -111,6 +111,10 @@ pub struct TraceAnalysis {
     pub nodes: u32,
     /// Seed from the header.
     pub seed: u64,
+    /// The run's power-pricing basis from the header (`"geometric"` or
+    /// `"measured"`) — what the power columns of the summary are
+    /// denominated in.
+    pub pricing: String,
     /// `(kind, count)` in first-appearance order — the validation
     /// summary.
     pub kind_counts: Vec<(&'static str, usize)>,
@@ -228,6 +232,7 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
         ref run,
         nodes,
         seed,
+        ref pricing,
         ..
     } = first
     else {
@@ -237,6 +242,12 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
         return Err(err(
             1,
             format!("unsupported trace version {version} (reader supports {TRACE_VERSION})"),
+        ));
+    }
+    if pricing != "geometric" && pricing != "measured" {
+        return Err(err(
+            1,
+            format!("unknown pricing basis {pricing:?} (expected \"geometric\" or \"measured\")"),
         ));
     }
 
@@ -371,6 +382,7 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
         run: run.clone(),
         nodes,
         seed,
+        pricing: pricing.clone(),
         kind_counts,
         span,
         epoch_timeline,
@@ -473,6 +485,7 @@ mod tests {
             alpha: 2.6,
             width: 10.0,
             height: 10.0,
+            pricing: "geometric".to_owned(),
         }
     }
 
@@ -538,6 +551,7 @@ mod tests {
             alpha: 2.6,
             width: 1.0,
             height: 1.0,
+            pricing: "geometric".to_owned(),
         };
         assert!(analyze(&[bad_version]).is_err());
         let out_of_range = vec![meta(2), TraceEvent::Death { time: 1.0, node: 5 }];

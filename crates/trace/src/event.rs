@@ -5,7 +5,12 @@ use serde::{Deserialize, Serialize};
 /// Schema version written into every [`TraceEvent::Meta`] header and
 /// checked by the reader. Bump on any incompatible change to
 /// [`TraceEvent`].
-pub const TRACE_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial schema; 2 — `Meta` gains the `pricing`
+/// field recording the run's power-pricing basis (`"geometric"` /
+/// `"measured"`), so the analyzer can label energy summaries honestly
+/// for phy traces.
+pub const TRACE_VERSION: u32 = 2;
 
 /// One line of a trace: everything an observer needs to replay a run.
 ///
@@ -32,6 +37,10 @@ pub enum TraceEvent {
         width: f64,
         /// Field height.
         height: f64,
+        /// The power-pricing basis of the run: `"geometric"` for the
+        /// idealized radio, `"measured"` when powers are priced by the
+        /// §2 attenuation measurement (effective distance).
+        pricing: String,
     },
     /// Full position/liveness snapshot (mobility keyframe).
     Positions {
@@ -224,6 +233,7 @@ mod tests {
                 alpha: 2.617_993_877_991_494,
                 width: 100.0,
                 height: 50.0,
+                pricing: "measured".to_owned(),
             },
             TraceEvent::TopologyEpoch {
                 time: 10.0,

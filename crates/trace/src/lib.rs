@@ -58,6 +58,7 @@
 //!     alpha: 2.6,
 //!     width: 100.0,
 //!     height: 100.0,
+//!     pricing: "geometric".to_owned(),
 //! });
 //! handle.record(TraceEvent::Death { time: 3.0, node: 1 });
 //! let jsonl = MemorySink::to_jsonl(&sink.lock().unwrap());

@@ -513,6 +513,8 @@ fn run_churn_impl(
             alpha: scenario.alpha.radians(),
             width: scenario.width,
             height: scenario.height,
+            // The churn engine's energy probe charges geometric powers.
+            pricing: "geometric".to_owned(),
         });
         // Engine lifecycle hooks: late starts → `Join`, crash-stops →
         // `Death`, both at their exact simulation tick.

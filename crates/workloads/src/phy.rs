@@ -25,7 +25,7 @@ use cbtc_graph::metrics::average_degree;
 use cbtc_graph::paths::{dijkstra, power_weight};
 use cbtc_graph::{Layout, NodeId, UndirectedGraph};
 use cbtc_phy::PhyProfile;
-use cbtc_radio::{PathLoss, Power, PowerLaw, PowerSchedule};
+use cbtc_radio::{PathLoss, Power, PowerBasis, PowerLaw, PowerSchedule};
 use cbtc_sim::{Engine, FaultConfig, QuiescenceResult};
 use serde::{Deserialize, Serialize};
 
@@ -227,6 +227,11 @@ pub struct PhyProtocolStats {
     pub jitter_phy_lost_fraction: f64,
     /// CSMA backoffs per node with jittered starts.
     pub jitter_csma_deferrals_per_node: f64,
+    /// The pricing basis the Hello/Ack exchange ran under
+    /// ([`PowerBasis::label`]): `"geometric"` replies with the reverse
+    /// estimate, `"measured"` carries the forward §2 measurement in a
+    /// max-power `MeasuredAck`.
+    pub pricing: String,
 }
 
 /// Runs the distributed CBTC growing phase (Figure 1 over the simulator)
@@ -237,7 +242,10 @@ pub struct PhyProtocolStats {
 /// simulation and copies the synchronized columns. `hello_margin_db`
 /// boosts every Hello broadcast level
 /// ([`PowerSchedule::with_margin_db`]); `0.0` is the paper's exact
-/// schedule.
+/// schedule. `basis` selects how discovered links are priced:
+/// [`PowerBasis::Measured`] makes repliers carry the forward §2
+/// measurement in a max-power `MeasuredAck` instead of echoing a
+/// reverse-channel estimate (bit-identical on the ideal radio).
 ///
 /// # Panics
 ///
@@ -249,6 +257,7 @@ pub fn phy_protocol_probe(
     profile: &PhyProfile,
     jitter: u64,
     hello_margin_db: f64,
+    basis: PowerBasis,
     seed: u64,
 ) -> PhyProtocolStats {
     let model = PowerLaw::paper_default();
@@ -261,7 +270,8 @@ pub fn phy_protocol_probe(
     let growth = GrowthConfig {
         alpha: cbtc_geom::Alpha::TWO_PI_THIRDS,
         schedule: PowerSchedule::doubling(Power::new(100.0), model.max_power())
-            .with_margin_db(hello_margin_db),
+            .with_margin_db(hello_margin_db)
+            .with_basis(basis),
         ack_timeout,
         model,
     };
@@ -331,6 +341,7 @@ pub fn phy_protocol_probe(
         jitter_broadcasts_per_node: jitter_per_node,
         jitter_phy_lost_fraction: jitter_lost,
         jitter_csma_deferrals_per_node: jitter_deferrals,
+        pricing: basis.label().to_owned(),
     }
 }
 
@@ -390,7 +401,15 @@ mod tests {
     #[test]
     fn protocol_probe_reports_overhead() {
         let scenario = small_scenario(25, 1);
-        let stats = phy_protocol_probe(25, &scenario, &PhyProfile::realistic(6.0, 2), 16, 0.0, 3);
+        let stats = phy_protocol_probe(
+            25,
+            &scenario,
+            &PhyProfile::realistic(6.0, 2),
+            16,
+            0.0,
+            PowerBasis::Geometric,
+            3,
+        );
         assert!(stats.ideal_broadcasts_per_node > 0.0);
         assert!(
             stats.hello_overhead >= 1.0,
@@ -408,7 +427,15 @@ mod tests {
         // starts must cut both the collision loss and the carrier-sense
         // deferrals on the full stochastic stack.
         let scenario = small_scenario(30, 1);
-        let stats = phy_protocol_probe(30, &scenario, &PhyProfile::realistic(4.0, 5), 16, 0.0, 5);
+        let stats = phy_protocol_probe(
+            30,
+            &scenario,
+            &PhyProfile::realistic(4.0, 5),
+            16,
+            0.0,
+            PowerBasis::Geometric,
+            5,
+        );
         assert!(
             stats.jitter_phy_lost_fraction < stats.phy_lost_fraction,
             "jitter must remove collision loss: {} vs {}",
@@ -426,7 +453,15 @@ mod tests {
     #[test]
     fn zero_jitter_copies_the_synchronized_columns() {
         let scenario = small_scenario(20, 1);
-        let stats = phy_protocol_probe(20, &scenario, &PhyProfile::realistic(4.0, 2), 0, 0.0, 3);
+        let stats = phy_protocol_probe(
+            20,
+            &scenario,
+            &PhyProfile::realistic(4.0, 2),
+            0,
+            0.0,
+            PowerBasis::Geometric,
+            3,
+        );
         assert_eq!(stats.jitter_ticks, 0);
         assert_eq!(
             stats.jitter_broadcasts_per_node,
@@ -442,11 +477,40 @@ mod tests {
     #[test]
     fn protocol_probe_with_ideal_profile_is_overhead_free() {
         let scenario = small_scenario(20, 1);
-        let stats = phy_protocol_probe(20, &scenario, &PhyProfile::ideal(), 16, 0.0, 7);
+        let stats = phy_protocol_probe(
+            20,
+            &scenario,
+            &PhyProfile::ideal(),
+            16,
+            0.0,
+            PowerBasis::Geometric,
+            7,
+        );
         assert_eq!(stats.hello_overhead, 1.0);
         assert_eq!(stats.phy_lost_fraction, 0.0);
         assert_eq!(stats.jitter_phy_lost_fraction, 0.0);
         assert_eq!(stats.csma_forced, 0);
+        assert!(stats.connectivity_preserved);
+    }
+
+    #[test]
+    fn measured_basis_probe_is_overhead_free_on_ideal() {
+        // The MeasuredAck path on the ideal radio carries exactly the
+        // estimate the geometric path re-derives, so the probe stays
+        // overhead-free and connectivity-preserving.
+        let scenario = small_scenario(20, 1);
+        let stats = phy_protocol_probe(
+            20,
+            &scenario,
+            &PhyProfile::ideal(),
+            0,
+            0.0,
+            PowerBasis::Measured,
+            7,
+        );
+        assert_eq!(stats.hello_overhead, 1.0);
+        assert_eq!(stats.phy_lost_fraction, 0.0);
+        assert_eq!(stats.pricing, "measured");
         assert!(stats.connectivity_preserved);
     }
 
@@ -460,8 +524,8 @@ mod tests {
         );
         let p = PhyProfile::realistic(4.0, 11);
         assert_eq!(
-            phy_protocol_probe(20, &scenario, &p, 16, 0.0, 1),
-            phy_protocol_probe(20, &scenario, &p, 16, 0.0, 1)
+            phy_protocol_probe(20, &scenario, &p, 16, 0.0, PowerBasis::Geometric, 1),
+            phy_protocol_probe(20, &scenario, &p, 16, 0.0, PowerBasis::Geometric, 1)
         );
     }
 }

@@ -141,6 +141,12 @@ fn events() -> impl Strategy<Value = TraceEvent> {
                     alpha: time,
                     width: f(0),
                     height: f(1),
+                    pricing: if node % 2 == 0 {
+                        "geometric"
+                    } else {
+                        "measured"
+                    }
+                    .to_owned(),
                 },
                 1 => TraceEvent::Positions {
                     time,
