@@ -1,26 +1,57 @@
 //! Topology-construction benchmark: the output-sensitive, parallel
-//! growing phase against the all-pairs reference, plus the incremental
-//! survivor-reconfiguration path against the rebuild-everything path.
+//! growing phase against the all-pairs reference — with per-phase
+//! timings (grid build / grow / pairwise), a thread-scaling table, and
+//! million-node rows — plus the incremental survivor-reconfiguration
+//! path against the rebuild-everything path.
 //!
 //! ```sh
 //! cargo run --release -p cbtc-bench --bin construction \
-//!     [-- --sizes 1000,10000,50000 --deaths 60 --seed 0 --json BENCH_construction.json]
+//!     [-- --sizes 1000,10000,100000,1000000 --brute-max 20000 \
+//!          --deaths 60 --seed 0 --json BENCH_construction.json]
 //! ```
 //!
-//! Every engine's outcome is asserted equal to the brute-force oracle, so
-//! the small-`n` run doubles as the CI smoke check. Writes
-//! `BENCH_construction.json` (override with `--json PATH`, disable with
-//! `--no-json`) so the speedups are tracked across revisions.
+//! Honesty rules, enforced at runtime:
+//!
+//! * the brute-force oracle runs at every size up to `--brute-max` and
+//!   its outcome is asserted equal to the grid engine's;
+//! * the parallel engine's outcome is asserted **bit-identical** to the
+//!   single-thread grid engine's at every size, 1M included;
+//! * the detected core count and the thread count each mode actually
+//!   plans are recorded in the JSON, and the run **aborts** if the
+//!   machine has multiple cores but the parallel mode would run
+//!   single-threaded (a silent single-thread "parallel" row would fake
+//!   the scaling story); on a single-core host the scaling table
+//!   degenerates to its 1-thread row and says so.
+//!
+//! Writes `BENCH_construction.json` (override with `--json PATH`,
+//! disable with `--no-json`) so the speedups are tracked across
+//! revisions.
 
 use std::time::Instant;
 
 use cbtc_bench::Args;
-use cbtc_core::{run_basic_with, CbtcConfig, ConstructionMode, Network};
+use cbtc_core::opt::{pairwise_removal, PairwisePolicy};
+use cbtc_core::parallel::{detected_cores, planned_threads, set_thread_cap};
+use cbtc_core::reconfig::GeometricMetric;
+use cbtc_core::{
+    construction_cell, grow_node_metric_scratch, run_basic_with, BasicOutcome, CbtcConfig,
+    ConstructionMode, GrowScratch, Network, PAR_MIN_CHUNK,
+};
 use cbtc_energy::{SurvivorTopology, TopologyPolicy};
 use cbtc_geom::Alpha;
-use cbtc_graph::NodeId;
+use cbtc_graph::{NodeId, SpatialGrid};
 use cbtc_workloads::RandomPlacement;
 use serde::Serialize;
+
+/// Where the construction time goes, measured on the parallel engine:
+/// spatial-grid build, per-node growing phase, and the §3.3 pairwise
+/// pass (symmetric closure + redundant-edge removal) on the result.
+#[derive(Debug, Serialize)]
+struct PhaseSeconds {
+    grid_build: f64,
+    grow: f64,
+    pairwise: f64,
+}
 
 /// One network size's growing-phase timings, all engines verified equal.
 #[derive(Debug, Serialize)]
@@ -31,11 +62,39 @@ struct SizeRow {
     side: f64,
     /// Edges of the symmetric closure `G_α` (a fixed point of the run).
     closure_edges: usize,
-    brute_seconds: f64,
+    /// `None` above `--brute-max`: the O(n²) oracle is gated, and the
+    /// grid↔parallel bit-identity assertion carries the verification.
+    brute_seconds: Option<f64>,
     grid_seconds: f64,
     parallel_seconds: f64,
-    grid_speedup: f64,
+    /// Brute / grid when the oracle ran.
+    grid_speedup: Option<f64>,
+    /// Grid / parallel — the multi-core win (1.0 on one core).
     parallel_speedup: f64,
+    /// Worker threads the parallel mode planned for this size.
+    parallel_threads: usize,
+    grid_us_per_node: f64,
+    parallel_us_per_node: f64,
+    phases: PhaseSeconds,
+}
+
+/// One row of the thread-scaling table: the same parallel construction
+/// under an explicit thread cap.
+#[derive(Debug, Serialize)]
+struct ThreadRow {
+    threads: usize,
+    seconds: f64,
+    /// Wall-time ratio against the 1-thread row.
+    speedup_vs_one: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ThreadScaling {
+    nodes: usize,
+    rows: Vec<ThreadRow>,
+    max_speedup: f64,
+    /// Set on single-core hosts, where no multi-thread row can exist.
+    note: Option<String>,
 }
 
 /// Death-epoch reconfiguration cost, rebuild-everything vs incremental.
@@ -50,10 +109,12 @@ struct ReconfigRow {
 
 #[derive(Debug, Serialize)]
 struct BenchDoc {
+    schema_version: u32,
     alpha: String,
-    threads: usize,
+    detected_cores: usize,
     base_seed: u64,
     sizes: Vec<SizeRow>,
+    thread_scaling: ThreadScaling,
     reconfig: ReconfigRow,
     wall_seconds: f64,
 }
@@ -70,24 +131,82 @@ fn best_of<T>(rounds: u32, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("rounds ≥ 1"))
 }
 
-fn bench_size(nodes: usize, alpha: Alpha, seed: u64) -> SizeRow {
+fn paper_density_network(nodes: usize, seed: u64) -> (Network, f64) {
     let side = 1500.0 * (nodes as f64 / 100.0).sqrt();
-    let network: Network = RandomPlacement::new(nodes, side, side, 500.0).generate(seed);
+    let network = RandomPlacement::new(nodes, side, side, 500.0).generate(seed);
+    (network, side)
+}
 
-    // The O(n²) oracle gets fewer rounds at sizes where one round is
-    // already tens of seconds.
-    let brute_rounds = if nodes >= 20_000 { 1 } else { 2 };
-    let (brute_seconds, brute) = best_of(brute_rounds, || {
-        run_basic_with(&network, alpha, ConstructionMode::Brute)
-    });
-    let (grid_seconds, grid) = best_of(3, || {
+/// The parallel construction split into its phases, timed separately.
+/// The assembled outcome is returned so the caller can assert it equals
+/// the engine's own (the decomposition must not drift from
+/// `run_basic_with`).
+fn phased_parallel_run(network: &Network, alpha: Alpha) -> (PhaseSeconds, BasicOutcome) {
+    let layout = network.layout();
+    let r = network.max_range();
+
+    let t = Instant::now();
+    let grid = SpatialGrid::from_layout(layout, construction_cell(layout, r, layout.len()));
+    let grid_build = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let ids: Vec<NodeId> = layout.node_ids().collect();
+    let views =
+        cbtc_core::parallel::par_map_with(&ids, PAR_MIN_CHUNK, GrowScratch::new, |scratch, &u| {
+            grow_node_metric_scratch(layout, &grid, &GeometricMetric, u, alpha, r, scratch)
+        });
+    let outcome = BasicOutcome::new(alpha, views);
+    let grow = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let closure = outcome.symmetric_closure();
+    std::hint::black_box(pairwise_removal(
+        &closure,
+        layout,
+        PairwisePolicy::PowerReducing,
+    ));
+    let pairwise = t.elapsed().as_secs_f64();
+
+    (
+        PhaseSeconds {
+            grid_build,
+            grow,
+            pairwise,
+        },
+        outcome,
+    )
+}
+
+fn bench_size(nodes: usize, alpha: Alpha, seed: u64, brute_max: usize) -> SizeRow {
+    let (network, side) = paper_density_network(nodes, seed);
+    // Big sizes get one timing round (a round is already seconds); small
+    // ones best-of to damp scheduler noise.
+    let rounds = if nodes >= 100_000 { 1 } else { 3 };
+
+    let (grid_seconds, grid) = best_of(rounds, || {
         run_basic_with(&network, alpha, ConstructionMode::Grid)
     });
-    let (parallel_seconds, parallel) = best_of(3, || {
+    let (parallel_seconds, parallel) = best_of(rounds, || {
         run_basic_with(&network, alpha, ConstructionMode::GridParallel)
     });
-    assert_eq!(brute, grid, "grid engine diverged from oracle at n={nodes}");
-    assert_eq!(grid, parallel, "parallel engine diverged at n={nodes}");
+    assert_eq!(
+        grid, parallel,
+        "parallel engine diverged from single-thread grid at n={nodes}"
+    );
+
+    let brute_seconds = (nodes <= brute_max).then(|| {
+        let (brute_seconds, brute) = best_of(1, || {
+            run_basic_with(&network, alpha, ConstructionMode::Brute)
+        });
+        assert_eq!(brute, grid, "grid engine diverged from oracle at n={nodes}");
+        brute_seconds
+    });
+
+    let (phases, phased) = phased_parallel_run(&network, alpha);
+    assert_eq!(
+        phased, parallel,
+        "phase decomposition diverged from run_basic_with at n={nodes}"
+    );
 
     SizeRow {
         nodes,
@@ -96,8 +215,58 @@ fn bench_size(nodes: usize, alpha: Alpha, seed: u64) -> SizeRow {
         brute_seconds,
         grid_seconds,
         parallel_seconds,
-        grid_speedup: brute_seconds / grid_seconds.max(f64::MIN_POSITIVE),
-        parallel_speedup: brute_seconds / parallel_seconds.max(f64::MIN_POSITIVE),
+        grid_speedup: brute_seconds.map(|b| b / grid_seconds.max(f64::MIN_POSITIVE)),
+        parallel_speedup: grid_seconds / parallel_seconds.max(f64::MIN_POSITIVE),
+        parallel_threads: planned_threads(nodes, PAR_MIN_CHUNK),
+        grid_us_per_node: grid_seconds * 1e6 / nodes as f64,
+        parallel_us_per_node: parallel_seconds * 1e6 / nodes as f64,
+        phases,
+    }
+}
+
+/// The same parallel construction under explicit thread caps 1, 2, 4, …
+/// up to the detected core count. Every capped outcome is asserted
+/// bit-identical to the uncapped one.
+fn bench_thread_scaling(nodes: usize, alpha: Alpha, seed: u64) -> ThreadScaling {
+    let (network, _) = paper_density_network(nodes, seed);
+    let reference = run_basic_with(&network, alpha, ConstructionMode::GridParallel);
+
+    let cores = detected_cores();
+    let mut caps = vec![1usize];
+    let mut k = 2;
+    while k < cores {
+        caps.push(k);
+        k *= 2;
+    }
+    if cores > 1 {
+        caps.push(cores);
+    }
+
+    let mut rows: Vec<ThreadRow> = Vec::new();
+    for &cap in &caps {
+        set_thread_cap(Some(cap));
+        let (seconds, outcome) = best_of(if nodes >= 100_000 { 1 } else { 3 }, || {
+            run_basic_with(&network, alpha, ConstructionMode::GridParallel)
+        });
+        assert_eq!(outcome, reference, "outcome changed under thread cap {cap}");
+        let one = rows.first().map_or(seconds, |r: &ThreadRow| r.seconds);
+        rows.push(ThreadRow {
+            threads: cap,
+            seconds,
+            speedup_vs_one: one / seconds.max(f64::MIN_POSITIVE),
+        });
+    }
+    set_thread_cap(None);
+
+    let max_speedup = rows.iter().map(|r| r.speedup_vs_one).fold(1.0f64, f64::max);
+    ThreadScaling {
+        nodes,
+        rows,
+        max_speedup,
+        note: (cores == 1).then(|| {
+            "single-core host: no multi-thread row is possible, scaling not demonstrable here"
+                .to_owned()
+        }),
     }
 }
 
@@ -173,33 +342,79 @@ fn main() {
     let args = Args::capture();
     let seed: u64 = args.get("seed", 0);
     let deaths: usize = args.get("deaths", 60);
-    let sizes: Vec<usize> = args.get_list("sizes", &[1000, 10000, 50000]);
+    let sizes: Vec<usize> = args.get_list("sizes", &[1000, 10_000, 100_000, 1_000_000]);
+    let brute_max: usize = args.get("brute-max", 20_000);
+    let scaling_nodes: usize = args.get("scaling-nodes", 100_000);
     let alpha = Alpha::FIVE_PI_SIXTHS;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = detected_cores();
 
-    println!("construction — CBTC({alpha}) growing phase, {threads} thread(s) available\n");
+    // Honesty gate: "parallel" rows from a machine that can fan out but
+    // whose fan-out collapsed to one thread would silently misreport the
+    // engine. Refuse to produce them.
+    let representative = sizes.iter().copied().max().unwrap_or(0);
+    if cores >= 2 && planned_threads(representative.max(2 * PAR_MIN_CHUNK), PAR_MIN_CHUNK) < 2 {
+        eprintln!(
+            "abort: {cores} cores detected but the parallel mode would run single-threaded \
+             (thread cap or nested fan-out?); parallel rows would be meaningless"
+        );
+        std::process::exit(1);
+    }
+    if cores == 1 {
+        eprintln!(
+            "warning: single core detected — parallel rows will match grid rows and the \
+             thread-scaling table degenerates to its 1-thread row"
+        );
+    }
+
+    println!("construction — CBTC({alpha}) growing phase, {cores} core(s) detected\n");
     println!(
-        "{:>8} {:>12} {:>11} {:>11} {:>11} {:>8} {:>8}",
-        "nodes", "G_α edges", "brute", "grid", "parallel", "grid×", "par×"
+        "{:>9} {:>13} {:>11} {:>11} {:>11} {:>7} {:>6} {:>9}",
+        "nodes", "G_α edges", "brute", "grid", "parallel", "grid×", "par×", "µs/node"
     );
 
     let start = Instant::now();
     let mut rows = Vec::new();
     for &nodes in &sizes {
-        let row = bench_size(nodes, alpha, seed);
+        let row = bench_size(nodes, alpha, seed, brute_max);
         println!(
-            "{:>8} {:>12} {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>7.1}x {:>7.1}x",
+            "{:>9} {:>13} {:>11} {:>10.1}ms {:>10.1}ms {:>7} {:>5.1}x {:>9.2}",
             row.nodes,
             row.closure_edges,
-            row.brute_seconds * 1e3,
+            row.brute_seconds
+                .map_or_else(|| "—".to_owned(), |s| format!("{:.1}ms", s * 1e3)),
             row.grid_seconds * 1e3,
             row.parallel_seconds * 1e3,
-            row.grid_speedup,
+            row.grid_speedup
+                .map_or_else(|| "—".to_owned(), |s| format!("{s:.1}x")),
             row.parallel_speedup,
+            row.parallel_us_per_node,
+        );
+        println!(
+            "{:>9} phases: grid build {:.1}ms · grow {:.1}ms · pairwise {:.1}ms · {} thread(s)",
+            "",
+            row.phases.grid_build * 1e3,
+            row.phases.grow * 1e3,
+            row.phases.pairwise * 1e3,
+            row.parallel_threads,
         );
         rows.push(row);
+    }
+
+    let scaling = bench_thread_scaling(scaling_nodes.min(representative.max(1)), alpha, seed);
+    println!(
+        "\nthread scaling at n={} (grid+grow, bit-identical under every cap):",
+        scaling.nodes
+    );
+    for r in &scaling.rows {
+        println!(
+            "  {:>3} thread(s): {:>10.1}ms  ({:.2}x vs 1)",
+            r.threads,
+            r.seconds * 1e3,
+            r.speedup_vs_one
+        );
+    }
+    if let Some(note) = &scaling.note {
+        println!("  note: {note}");
     }
 
     let reconfig = bench_reconfig(deaths, alpha, seed);
@@ -213,15 +428,19 @@ fn main() {
         reconfig.speedup,
     );
     let wall = start.elapsed().as_secs_f64();
-    println!("\ncompleted in {wall:.2}s (all engines verified against the brute-force oracle)");
+    println!(
+        "\ncompleted in {wall:.2}s (oracle ≤ {brute_max} nodes; grid ≡ parallel at every size)"
+    );
 
     if !args.has("no-json") {
         let path: String = args.get("json", "BENCH_construction.json".to_owned());
         let doc = BenchDoc {
+            schema_version: 2,
             alpha: alpha.to_string(),
-            threads,
+            detected_cores: cores,
             base_seed: seed,
             sizes: rows,
+            thread_scaling: scaling,
             reconfig,
             wall_seconds: wall,
         };

@@ -15,22 +15,24 @@
 //! exploits that — each node runs an expanding shell scan over a
 //! [`SpatialGrid`] ([`cbtc_graph::spatial::ShellScan`]), consuming
 //! candidates in `(distance, id)` order from a min-heap and maintaining
-//! the α-gap incrementally with a [`cbtc_geom::gap::GapTracker`]. Most
-//! nodes stop after a handful of rings, so the far side of the layout is
-//! never even enumerated, and the per-node independence makes the whole
-//! phase a [`crate::parallel::par_map`]. The all-pairs scan survives as
+//! the α-gap incrementally with a flat, allocation-free
+//! [`cbtc_geom::gap::FlatGapTracker`]. Most nodes stop after a handful of
+//! rings, so the far side of the layout is never even enumerated; all
+//! transient buffers live in a per-worker [`GrowScratch`], and the
+//! per-node independence makes the whole phase a
+//! [`crate::parallel::par_map_with`]. The all-pairs scan survives as
 //! [`ConstructionMode::Brute`], the oracle the grid engine is
 //! property-tested against.
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
-use cbtc_geom::{gap::has_alpha_gap, gap::GapTracker, Alpha, Angle, Point2};
+use cbtc_geom::{gap::has_alpha_gap, gap::FlatGapTracker, Alpha, Angle, Point2};
 use cbtc_graph::{Layout, NodeId, SpatialGrid, UndirectedGraph};
 use serde::{Deserialize, Serialize};
 
 use crate::opt::{self, PairwisePolicy};
-use crate::parallel::par_map;
+use crate::parallel::par_map_with;
 use crate::reconfig::{GeometricMetric, LinkMetric};
 use crate::view::{BasicOutcome, Discovery, NodeView};
 use crate::{CbtcConfig, Network};
@@ -38,7 +40,9 @@ use crate::{CbtcConfig, Network};
 /// Smallest per-thread slice of nodes worth a thread spawn in the
 /// parallel growing phase: below ~2× this many nodes, [`run_basic`] runs
 /// inline (the paper-scale 100-node networks never pay fan-out overhead).
-pub(crate) const PAR_MIN_CHUNK: usize = 128;
+/// Public so the construction benchmark can report the exact thread
+/// count [`crate::parallel::planned_threads`] derives from it.
+pub const PAR_MIN_CHUNK: usize = 128;
 
 /// Runs the growing phase of `CBTC(α)` for every node, with continuous
 /// power growth.
@@ -89,7 +93,8 @@ pub enum ConstructionMode {
     /// `O(n²)` — the oracle the grid engines are validated against.
     Brute,
     /// Output-sensitive: per-node expanding shell scan over a
-    /// [`SpatialGrid`] with an incremental [`GapTracker`], single thread.
+    /// [`SpatialGrid`] with an incremental
+    /// [`FlatGapTracker`](cbtc_geom::gap::FlatGapTracker), single thread.
     Grid,
     /// [`ConstructionMode::Grid`] with the per-node loop fanned out over
     /// scoped threads ([`crate::parallel::par_map`]).
@@ -113,8 +118,8 @@ pub fn run_basic_with(network: &Network, alpha: Alpha, mode: ConstructionMode) -
                 ConstructionMode::Grid => usize::MAX,
                 _ => PAR_MIN_CHUNK,
             };
-            par_map(&ids, min_chunk, |&u| {
-                grow_node_in_grid(layout, &grid, u, alpha, r)
+            par_map_with(&ids, min_chunk, GrowScratch::new, |scratch, &u| {
+                grow_node_metric_scratch(layout, &grid, &GeometricMetric, u, alpha, r, scratch)
             })
         }
     };
@@ -147,9 +152,9 @@ pub fn run_basic_masked(network: &Network, alpha: Alpha, alive: &[bool]) -> Basi
         }
     }
     let ids: Vec<NodeId> = layout.node_ids().collect();
-    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
+    let views = par_map_with(&ids, PAR_MIN_CHUNK, GrowScratch::new, |scratch, &u| {
         if alive[u.index()] {
-            grow_node_in_grid(layout, &grid, u, alpha, r)
+            grow_node_metric_scratch(layout, &grid, &GeometricMetric, u, alpha, r, scratch)
         } else {
             dead_view()
         }
@@ -234,18 +239,43 @@ pub fn grow_node_in_grid(
     grow_node_metric(layout, grid, &GeometricMetric, u, alpha, max_range)
 }
 
+/// Reusable buffers for the growing kernel: the candidate min-heap, the
+/// shell-ring staging vec, the incremental α-gap tracker and the
+/// discovery accumulator.
+///
+/// One growth allocates all four; a scratch threaded through many growths
+/// ([`grow_node_metric_scratch`]) allocates only on high-water-mark
+/// increases, so per-node heap traffic drops to the output `Vec` alone.
+/// [`run_basic_with`] keeps one scratch per worker thread
+/// ([`crate::parallel::par_map_with`]); the incremental
+/// [`crate::reconfig::DeltaTopology`] engine keeps one per event batch.
+///
+/// A scratch carries no information between nodes — every buffer is
+/// cleared (capacity retained) at the top of each growth, so results are
+/// independent of which scratch, and which previous nodes, it served.
+#[derive(Debug, Default)]
+pub struct GrowScratch {
+    heap: BinaryHeap<Reverse<PendingCandidate>>,
+    ring: Vec<NodeId>,
+    tracker: Option<FlatGapTracker>,
+    discoveries: Vec<Discovery>,
+}
+
+impl GrowScratch {
+    /// Fresh, empty scratch buffers.
+    pub fn new() -> Self {
+        GrowScratch::default()
+    }
+}
+
 /// [`grow_node_in_grid`] over an arbitrary [`LinkMetric`]: an expanding
 /// shell scan in *geometric* space consuming candidates in *metric-cost*
 /// order — the one growing-phase kernel behind the ideal construction,
 /// the phy construction ([`crate::phy`]) and the incremental
 /// [`crate::reconfig::DeltaTopology`] engine.
 ///
-/// The scan's completeness guarantee is geometric (every node nearer than
-/// `guaranteed_radius` has been enumerated); since an unenumerated node
-/// at geometric distance ≥ G has cost ≥ `G / reach_boost`, the heap's
-/// head is safe to discover once its cost falls below that bound. With
-/// [`GeometricMetric`] both bounds collapse to the geometric ones and
-/// this is bit-identical to the classic grid walk.
+/// Allocates a fresh [`GrowScratch`] per call; loops over many nodes
+/// should use [`grow_node_metric_scratch`] directly.
 pub fn grow_node_metric<M: LinkMetric + ?Sized>(
     layout: &Layout,
     grid: &SpatialGrid,
@@ -254,6 +284,38 @@ pub fn grow_node_metric<M: LinkMetric + ?Sized>(
     alpha: Alpha,
     max_range: f64,
 ) -> NodeView {
+    grow_node_metric_scratch(
+        layout,
+        grid,
+        metric,
+        u,
+        alpha,
+        max_range,
+        &mut GrowScratch::new(),
+    )
+}
+
+/// The scratch-reusing growing kernel: `grow_node_metric` with all
+/// transient state borrowed from a caller-owned [`GrowScratch`].
+///
+/// The scan's completeness guarantee is geometric (every node nearer than
+/// `guaranteed_radius` has been enumerated); since an unenumerated node
+/// at geometric distance ≥ G has cost ≥ `G / reach_boost`, the heap's
+/// head is safe to discover once its cost falls below that bound. With
+/// [`GeometricMetric`] both bounds collapse to the geometric ones and
+/// this is bit-identical to the classic grid walk. The α-gap verdict
+/// comes from a radian-keyed [`FlatGapTracker`], whose spans are the
+/// same `ccw_to` arithmetic the historical `GapTracker` ran — outputs
+/// are bit-identical to every earlier engine, with near-zero allocation.
+pub fn grow_node_metric_scratch<M: LinkMetric + ?Sized>(
+    layout: &Layout,
+    grid: &SpatialGrid,
+    metric: &M,
+    u: NodeId,
+    alpha: Alpha,
+    max_range: f64,
+    scratch: &mut GrowScratch,
+) -> NodeView {
     let center = layout.position(u);
     let scan_radius = max_range * metric.reach_boost();
     // The cost of the nearest unenumerated node is at least (geometric
@@ -261,13 +323,25 @@ pub fn grow_node_metric<M: LinkMetric + ?Sized>(
     // multiplications below are exact there.
     let shrink = 1.0 / metric.reach_boost();
     let mut scan = grid.shell_scan(center, scan_radius);
-    let mut heap: BinaryHeap<Reverse<PendingCandidate>> = BinaryHeap::new();
-    let mut ring = Vec::new();
-    let mut tracker = GapTracker::new();
-    let mut discoveries: Vec<Discovery> = Vec::new();
+    let GrowScratch {
+        heap,
+        ring,
+        tracker,
+        discoveries,
+    } = scratch;
+    heap.clear();
+    ring.clear();
+    discoveries.clear();
+    let tracker = match tracker {
+        Some(t) => {
+            t.reset(alpha);
+            t
+        }
+        None => tracker.insert(FlatGapTracker::new(alpha)),
+    };
 
     let discover =
-        |c: PendingCandidate, discoveries: &mut Vec<Discovery>, tracker: &mut GapTracker| {
+        |c: PendingCandidate, discoveries: &mut Vec<Discovery>, tracker: &mut FlatGapTracker| {
             let direction = metric.direction(layout, u, c.id);
             tracker.insert(direction);
             discoveries.push(Discovery {
@@ -286,10 +360,10 @@ pub fn grow_node_metric<M: LinkMetric + ?Sized>(
             .is_none_or(|c| c.0.distance >= scan.guaranteed_radius() * shrink)
         {
             ring.clear();
-            if !scan.scan_next(&mut ring) {
+            if !scan.scan_next(ring) {
                 break;
             }
-            for &v in &ring {
+            for &v in ring.iter() {
                 if v == u {
                     continue;
                 }
@@ -303,7 +377,7 @@ pub fn grow_node_metric<M: LinkMetric + ?Sized>(
             // Every in-range candidate is discovered and the α-gap never
             // closed: boundary node at maximum power.
             return NodeView {
-                discoveries,
+                discoveries: discoveries.clone(),
                 boundary: true,
                 grow_radius: max_range,
             };
@@ -312,15 +386,15 @@ pub fn grow_node_metric<M: LinkMetric + ?Sized>(
         // members are already in the heap: their shared cost lies
         // strictly inside the enumerated region).
         let group_dist = first.distance;
-        discover(first, &mut discoveries, &mut tracker);
+        discover(first, discoveries, tracker);
         while heap.peek().is_some_and(|c| c.0.distance == group_dist) {
             let Reverse(c) = heap.pop().expect("peeked non-empty");
-            discover(c, &mut discoveries, &mut tracker);
+            discover(c, discoveries, tracker);
         }
-        if !tracker.has_alpha_gap(alpha) {
+        if !tracker.has_open_gap() {
             // Coverage achieved: stop growing here.
             return NodeView {
-                discoveries,
+                discoveries: discoveries.clone(),
                 boundary: false,
                 grow_radius: group_dist,
             };

@@ -48,7 +48,8 @@
 //! | [`theory`] | Lemma 2.2 / Corollary 2.3 / redundancy, as executable predicates |
 //! | [`grow_node_in_grid`] / [`ConstructionMode`] | scaling infrastructure (no paper analogue): output-sensitive shell-scan growth, validated against the all-pairs oracle |
 //! | [`run_basic_masked`] / [`run_centralized_masked`] | §4 at scale: survivor re-runs over an alive mask, no sub-network allocation |
-//! | [`parallel`] | scaling infrastructure: scoped-thread fan-out of the per-node growing phase |
+//! | [`parallel`] | scaling infrastructure: scoped-thread fan-out of the per-node growing phase, with per-worker scratch state and an adaptive work-stealing chunker |
+//! | [`grow_node_metric_scratch`] / [`GrowScratch`] | §2's growing phase as an allocation-free kernel: one reusable heap/ring/gap-tracker/discovery buffer set serves every node a worker grows, bit-identical to the allocating path |
 //! | [`phy`] | beyond the paper: the same construction over a stochastic channel (per-link gains → effective distances), bit-identical to the ideal path when every gain is 1 |
 //! | [`phy::AckGatedChannel`] / [`phy::run_phy_gated_centralized`] | §2's measurement assumption made honest off the ideal channel: the link cost a *distributed* measured-power node can learn (forward effective distance, gated on the reply closing at max power) — the centralized reference the measured-pricing differential oracle tests against |
 //!
@@ -89,8 +90,9 @@ pub mod reconfig;
 pub mod theory;
 
 pub use centralized::{
-    construction_cell, dead_view, grow_node_in_grid, run_basic, run_basic_masked, run_basic_with,
-    run_centralized, run_centralized_masked, CbtcRun, ConstructionMode,
+    construction_cell, dead_view, grow_node_in_grid, grow_node_metric_scratch, run_basic,
+    run_basic_masked, run_basic_with, run_centralized, run_centralized_masked, CbtcRun,
+    ConstructionMode, GrowScratch, PAR_MIN_CHUNK,
 };
 pub use config::CbtcConfig;
 pub use error::CbtcError;

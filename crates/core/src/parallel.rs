@@ -10,6 +10,52 @@
 //! worker threads.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Session-wide cap on worker threads; `0` means "no cap" (use every
+/// detected core). Set by [`set_thread_cap`] — the hook the construction
+/// benchmark's thread-scaling sweep uses.
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads every subsequent [`par_map`] /
+/// [`par_map_with`] may use (`None` removes the cap). Caps above the
+/// detected core count are clamped to it — oversubscribing cores never
+/// demonstrates real scaling.
+pub fn set_thread_cap(cap: Option<usize>) {
+    THREAD_CAP.store(cap.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The current cap, if any — see [`set_thread_cap`].
+pub fn thread_cap() -> Option<usize> {
+    match THREAD_CAP.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// The number of hardware cores the fan-out can see.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The worker-thread budget after applying the [`set_thread_cap`] cap:
+/// `min(detected cores, cap)`.
+pub fn effective_parallelism() -> usize {
+    let cores = detected_cores();
+    match thread_cap() {
+        Some(cap) => cores.min(cap).max(1),
+        None => cores,
+    }
+}
+
+/// How many worker threads a [`par_map`] over `len` items with this
+/// `min_chunk` would use right now — the number the benchmarks record.
+/// (A call made from inside another fan-out runs inline regardless.)
+pub fn planned_threads(len: usize, min_chunk: usize) -> usize {
+    effective_parallelism().min(len / min_chunk.max(1)).max(1)
+}
 
 std::thread_local! {
     /// Whether this thread is already inside a parallel fan-out; nested
@@ -73,33 +119,78 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let threads = cores.min(items.len() / min_chunk.max(1)).max(1);
+    par_map_with(items, min_chunk, || (), move |(), t| f(t))
+}
+
+/// How many work chunks each worker thread should see on average: more
+/// chunks than workers lets the atomic-cursor stealing loop absorb skew
+/// in per-item cost (boundary nodes scan many more grid rings than
+/// interior ones), at the price of one `fetch_add` per chunk.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// [`par_map`] with per-worker scratch state: `init` runs once on each
+/// worker thread (and once for an inline run), and `f` receives that
+/// worker's `&mut` state alongside each item.
+///
+/// This is the allocation-amortizing form the construction hot loop
+/// uses — a [`crate::GrowScratch`] per worker instead of fresh buffers
+/// per node. Chunking is adaptive: the input is carved into roughly
+/// `CHUNKS_PER_THREAD` × threads chunks (never smaller than
+/// `min_chunk`) which workers pull from a shared atomic cursor, so a
+/// worker that lands on cheap items simply pulls more chunks. Output
+/// order is deterministic regardless of which worker computes what —
+/// output `i` is `f(state, &items[i])` — but *which* worker's state an
+/// item sees is not; `f` must not smuggle cross-item information through
+/// the state beyond reusable buffers.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the panic payload of the first failing
+/// worker).
+pub fn par_map_with<T, U, S, I, F>(items: &[T], min_chunk: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    let threads = planned_threads(items.len(), min_chunk);
     if threads <= 1 || IN_FAN_OUT.get() {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|t| f(&mut state, t)).collect();
     }
-    let chunk_size = items.len().div_ceil(threads);
-    let mut results: Vec<Vec<U>> = Vec::with_capacity(threads);
+    let chunk_size = (items.len() / (threads * CHUNKS_PER_THREAD)).max(min_chunk.max(1));
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<(usize, Vec<U>)> = Vec::with_capacity(chunks.len());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_size)
-            .map(|chunk| {
-                let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (f, init, chunks, cursor) = (&f, &init, &chunks, &cursor);
                 scope.spawn(move || {
-                    without_nested_fan_out(|| chunk.iter().map(f).collect::<Vec<U>>())
+                    without_nested_fan_out(|| {
+                        let mut state = init();
+                        let mut done: Vec<(usize, Vec<U>)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(chunk) = chunks.get(i) else { break };
+                            done.push((i, chunk.iter().map(|t| f(&mut state, t)).collect()));
+                        }
+                        done
+                    })
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(part) => results.push(part),
+                Ok(done) => parts.extend(done),
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
-    results.into_iter().flatten().collect()
+    parts.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(parts.len(), chunks.len(), "every chunk claimed once");
+    parts.into_iter().flat_map(|(_, part)| part).collect()
 }
 
 #[cfg(test)]
@@ -146,6 +237,44 @@ mod tests {
         assert_eq!(nested, expected);
         let scoped = without_nested_fan_out(|| par_map(&outer, 1, |&x| x * 3));
         assert_eq!(scoped, expected);
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_state() {
+        // The per-worker buffer must not leak data between items: each
+        // item clears and refills it, so results are order-exact.
+        let items: Vec<u32> = (0..500).collect();
+        let out = par_map_with(&items, 8, Vec::<u32>::new, |buf, &x| {
+            buf.clear();
+            buf.extend(0..=x % 7);
+            buf.iter().sum::<u32>() + x
+        });
+        let expected: Vec<u32> = items
+            .iter()
+            .map(|&x| (0..=x % 7).sum::<u32>() + x)
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn thread_cap_clamps_planned_threads() {
+        assert!(detected_cores() >= 1);
+        assert_eq!(planned_threads(0, 8), 1);
+        assert_eq!(planned_threads(10_000, usize::MAX), 1);
+        set_thread_cap(Some(1));
+        assert_eq!(thread_cap(), Some(1));
+        assert_eq!(effective_parallelism(), 1);
+        assert_eq!(planned_threads(10_000, 1), 1);
+        // Capped to one thread, the map still runs (inline) and is exact.
+        let out = par_map(&[1u32, 2, 3], 1, |&x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        set_thread_cap(None);
+        assert_eq!(thread_cap(), None);
+        assert_eq!(effective_parallelism(), detected_cores());
+        // A cap above the core count clamps down to it.
+        set_thread_cap(Some(usize::MAX));
+        assert_eq!(effective_parallelism(), detected_cores());
+        set_thread_cap(None);
     }
 
     #[test]

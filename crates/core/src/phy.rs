@@ -44,9 +44,11 @@ use cbtc_geom::Alpha;
 use cbtc_graph::{DirectedGraph, NodeId, SpatialGrid, UndirectedGraph, UnionFind};
 use cbtc_radio::{DirectionSensor, LinkGain, PowerLaw};
 
-use crate::centralized::{construction_cell, dead_view, grow_node_metric, PAR_MIN_CHUNK};
+use crate::centralized::{
+    construction_cell, dead_view, grow_node_metric_scratch, GrowScratch, PAR_MIN_CHUNK,
+};
 use crate::opt::{self, PairwisePolicy};
-use crate::parallel::par_map;
+use crate::parallel::par_map_with;
 use crate::reconfig::LinkMetric;
 use crate::view::{BasicOutcome, NodeView};
 use crate::{CbtcConfig, Network};
@@ -134,9 +136,9 @@ impl LinkMetric for PhyChannel<'_> {
 }
 
 /// Grows one node over the stochastic channel: the shared
-/// [`grow_node_metric`] kernel with the channel as the metric. With an
-/// ideal gain field both bounds collapse to the geometric ones and the
-/// walk replays [`crate::grow_node_in_grid`] exactly.
+/// [`grow_node_metric_scratch`] kernel with the channel as the metric.
+/// With an ideal gain field both bounds collapse to the geometric ones
+/// and the walk replays [`crate::grow_node_in_grid`] exactly.
 fn grow_node_phy(
     layout: &cbtc_graph::Layout,
     grid: &SpatialGrid,
@@ -144,8 +146,9 @@ fn grow_node_phy(
     u: NodeId,
     alpha: Alpha,
     max_range: f64,
+    scratch: &mut GrowScratch,
 ) -> NodeView {
-    grow_node_metric(layout, grid, channel, u, alpha, max_range)
+    grow_node_metric_scratch(layout, grid, channel, u, alpha, max_range, scratch)
 }
 
 /// The growing phase of `CBTC(α)` over a stochastic channel, for every
@@ -156,8 +159,8 @@ pub fn run_phy_basic(network: &Network, channel: &PhyChannel<'_>, alpha: Alpha) 
     let r = network.max_range();
     let grid = SpatialGrid::from_layout(layout, construction_cell(layout, r, layout.len()));
     let ids: Vec<NodeId> = layout.node_ids().collect();
-    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
-        grow_node_phy(layout, &grid, channel, u, alpha, r)
+    let views = par_map_with(&ids, PAR_MIN_CHUNK, GrowScratch::new, |scratch, &u| {
+        grow_node_phy(layout, &grid, channel, u, alpha, r, scratch)
     });
     BasicOutcome::new(alpha, views)
 }
@@ -187,9 +190,9 @@ pub fn run_phy_basic_masked(
         }
     }
     let ids: Vec<NodeId> = layout.node_ids().collect();
-    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
+    let views = par_map_with(&ids, PAR_MIN_CHUNK, GrowScratch::new, |scratch, &u| {
         if alive[u.index()] {
-            grow_node_phy(layout, &grid, channel, u, alpha, r)
+            grow_node_phy(layout, &grid, channel, u, alpha, r, scratch)
         } else {
             dead_view()
         }
@@ -265,8 +268,8 @@ pub fn run_phy_gated_basic(
     let gated = AckGatedChannel::new(channel, r);
     let grid = SpatialGrid::from_layout(layout, construction_cell(layout, r, layout.len()));
     let ids: Vec<NodeId> = layout.node_ids().collect();
-    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
-        grow_node_metric(layout, &grid, &gated, u, alpha, r)
+    let views = par_map_with(&ids, PAR_MIN_CHUNK, GrowScratch::new, |scratch, &u| {
+        grow_node_metric_scratch(layout, &grid, &gated, u, alpha, r, scratch)
     });
     BasicOutcome::new(alpha, views)
 }
@@ -315,9 +318,9 @@ pub fn run_phy_gated_basic_masked(
         }
     }
     let ids: Vec<NodeId> = layout.node_ids().collect();
-    let views = par_map(&ids, PAR_MIN_CHUNK, |&u| {
+    let views = par_map_with(&ids, PAR_MIN_CHUNK, GrowScratch::new, |scratch, &u| {
         if alive[u.index()] {
-            grow_node_metric(layout, &grid, &gated, u, alpha, r)
+            grow_node_metric_scratch(layout, &grid, &gated, u, alpha, r, scratch)
         } else {
             dead_view()
         }

@@ -39,15 +39,17 @@
 
 use std::collections::BTreeSet;
 
-use cbtc_geom::{gap::GapTracker, Point2};
+use cbtc_geom::{gap::FlatGapTracker, Point2};
 use cbtc_graph::{Layout, NodeId, SpatialGrid, UndirectedGraph, UnionFind};
 use cbtc_trace::{TraceEvent, TraceHandle};
 
-use crate::centralized::{construction_cell, dead_view, grow_node_metric, PAR_MIN_CHUNK};
+use crate::centralized::{
+    construction_cell, dead_view, grow_node_metric_scratch, GrowScratch, PAR_MIN_CHUNK,
+};
 use crate::opt::{
     node_floor_with, node_redundancy_with, pairwise_removal_with, shrink_back_view, PairwisePolicy,
 };
-use crate::parallel::par_map;
+use crate::parallel::par_map_with;
 use crate::view::Discovery;
 use crate::view::NodeView;
 use crate::CbtcConfig;
@@ -323,11 +325,22 @@ impl<M: LinkMetric> DeltaTopology<M> {
             }
         }
         let ids: Vec<NodeId> = layout.node_ids().collect();
-        let basic: Vec<NodeView> = par_map(&ids, PAR_MIN_CHUNK, |&u| {
-            if active[u.index()] {
-                grow_node_metric(&layout, &grid, &metric, u, config.alpha(), max_range)
-            } else {
-                dead_view()
+        let basic: Vec<NodeView> = par_map_with(&ids, PAR_MIN_CHUNK, GrowScratch::new, {
+            let (layout, grid, metric, active) = (&layout, &grid, &metric, &active);
+            move |scratch, &u| {
+                if active[u.index()] {
+                    grow_node_metric_scratch(
+                        layout,
+                        grid,
+                        metric,
+                        u,
+                        config.alpha(),
+                        max_range,
+                        scratch,
+                    )
+                } else {
+                    dead_view()
+                }
             }
         });
         let effective: Vec<NodeView> = if config.shrink_back() {
@@ -616,6 +629,12 @@ impl<M: LinkMetric> DeltaTopology<M> {
         let mut patch: Vec<NodeId> = Vec::new();
         let mut removal_cursor = 0usize;
         let mut insertion_cursor = 0usize;
+        // One scratch (heap/ring/tracker/discovery buffers) serves every
+        // grid scan in this apply, and one flat tracker every replay —
+        // the affected-set loop allocates nothing per node beyond the
+        // views it returns.
+        let mut scratch = GrowScratch::new();
+        let mut replay_tracker = FlatGapTracker::new(self.config.alpha());
         for &u in &affected {
             // The (sorted) slices of this node's prefix edits.
             while removal_cursor < removal_pairs.len() && removal_pairs[removal_cursor].0 < u {
@@ -644,17 +663,19 @@ impl<M: LinkMetric> DeltaTopology<M> {
                     u,
                     &removal_pairs[removal_cursor..removals_end],
                     &insertion_pairs[insertion_cursor..insertions_end],
+                    &mut replay_tracker,
                 )
             };
             let basic = basic.unwrap_or_else(|| {
                 self.last_grid_scans += 1;
-                grow_node_metric(
+                grow_node_metric_scratch(
                     &self.layout,
                     &self.grid,
                     &self.metric,
                     u,
                     self.config.alpha(),
                     self.max_range,
+                    &mut scratch,
                 )
             });
             removal_cursor = removals_end;
@@ -686,32 +707,42 @@ impl<M: LinkMetric> DeltaTopology<M> {
             self.basic[u.index()] = basic;
         }
 
-        // ── G. Patch the pre-pairwise graph: drop every edge at a dead
-        //       or edge-relevant re-grown node, then rebuild the latter
-        //       nodes' edges from their new views plus the reverse
-        //       relation. Edges between two unaffected (or affected but
-        //       edge-neutral) nodes are untouched — neither endpoint's
-        //       id set changed. Removals cancelled by a re-add net out,
-        //       so the recorded events are the exact delta. ────────────
+        // ── G. Patch the pre-pairwise graph by whole rows: a dead
+        //       node's new row is empty, and an edge-relevant re-grown
+        //       node's new row is exactly its `connect` set (symmetric
+        //       links from its new view plus the reverse relation —
+        //       symmetric in `u, v` by construction, so sequential
+        //       per-node rebuilds agree and each changed edge is
+        //       reported by exactly one endpoint). `rebuild_row` diffs
+        //       old against new in one merge pass, so edges a node
+        //       keeps cost zero neighbor-row edits, where the previous
+        //       remove-all-then-re-add loop paid two binary-search
+        //       memmoves per kept edge. Edges between two unaffected
+        //       (or affected but edge-neutral) nodes are untouched —
+        //       neither endpoint's id set changed. Removals cancelled
+        //       by a re-add net out, so the recorded events are the
+        //       exact delta. ─────────────────────────────────────────
         let mut pre_removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let mut pre_added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-        for &x in deaths.iter().chain(&patch) {
-            let neighbors: Vec<NodeId> = self.pre_pairwise.neighbors(x).collect();
-            for v in neighbors {
-                if self.pre_pairwise.remove_edge(x, v) {
-                    pre_removed.insert((x.min(v), x.max(v)));
-                }
+        let (mut row_removed, mut row_added) = (Vec::new(), Vec::new());
+        for &d in &deaths {
+            self.pre_pairwise
+                .rebuild_row(d, &[], &mut row_removed, &mut row_added);
+            for &v in &row_removed {
+                pre_removed.insert((d.min(v), d.max(v)));
             }
+            debug_assert!(row_added.is_empty());
         }
         let asymmetric = self.config.asymmetric_removal();
+        let views: &[NodeView] = if shrink { &self.effective } else { &self.basic };
+        let reverse: &[Vec<NodeId>] = if shrink {
+            &self.discovered_by
+        } else {
+            &self.discovered_by_basic
+        };
+        let mut connect = Vec::new();
         for &u in &patch {
-            let views: &[NodeView] = if shrink { &self.effective } else { &self.basic };
-            let reverse: &[Vec<NodeId>] = if shrink {
-                &self.discovered_by
-            } else {
-                &self.discovered_by_basic
-            };
-            let mut connect = Vec::new();
+            connect.clear();
             for v in views[u.index()].neighbor_ids() {
                 if !asymmetric || views[v.index()].discovered(u) {
                     connect.push(v);
@@ -722,13 +753,20 @@ impl<M: LinkMetric> DeltaTopology<M> {
                     connect.push(v);
                 }
             }
-            for v in connect {
-                if !self.pre_pairwise.has_edge(u, v) {
-                    self.pre_pairwise.add_edge(u, v);
-                    let e = (u.min(v), u.max(v));
-                    if !pre_removed.remove(&e) {
-                        pre_added.insert(e);
-                    }
+            connect.sort_unstable();
+            connect.dedup();
+            self.pre_pairwise
+                .rebuild_row(u, &connect, &mut row_removed, &mut row_added);
+            for &v in &row_removed {
+                let e = (u.min(v), u.max(v));
+                if !pre_added.remove(&e) {
+                    pre_removed.insert(e);
+                }
+            }
+            for &v in &row_added {
+                let e = (u.min(v), u.max(v));
+                if !pre_removed.remove(&e) {
+                    pre_added.insert(e);
                 }
             }
         }
@@ -755,6 +793,7 @@ impl<M: LinkMetric> DeltaTopology<M> {
         u: NodeId,
         removals: &[(NodeId, NodeId)],
         insertions: &[(NodeId, NodeId, f64)],
+        tracker: &mut FlatGapTracker,
     ) -> Option<NodeView> {
         let old = &self.basic[u.index()];
         let mut entries: Vec<Discovery> = old
@@ -781,9 +820,10 @@ impl<M: LinkMetric> DeltaTopology<M> {
 
         // Replay continuous growth over the edited prefix: whole cost
         // groups at a time, α-gap after each — the in-memory mirror of
-        // the grid walk, bit-identical by the GapTracker equivalence.
-        let alpha = self.config.alpha();
-        let mut tracker = GapTracker::new();
+        // the grid walk, bit-identical by the [`FlatGapTracker`]
+        // equivalence. The caller's tracker is re-armed and reused so a
+        // burst of replays allocates its direction buffer once.
+        tracker.reset(self.config.alpha());
         let mut idx = 0;
         while idx < entries.len() {
             let group = entries[idx].distance;
@@ -792,7 +832,7 @@ impl<M: LinkMetric> DeltaTopology<M> {
                 tracker.insert(entries[end].direction);
                 end += 1;
             }
-            if !tracker.has_alpha_gap(alpha) {
+            if !tracker.has_open_gap() {
                 entries.truncate(end);
                 return Some(NodeView {
                     discoveries: entries,

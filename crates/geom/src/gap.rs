@@ -248,6 +248,161 @@ impl GapTracker {
     }
 }
 
+/// The flat, allocation-free form of [`GapTracker`] the construction hot
+/// loop runs: a sorted `Vec` of normalized radians plus an O(1)-per-insert
+/// count of the spans that exceed the α-gap threshold.
+///
+/// [`GapTracker`] maintains the *maximum* gap in a `BTreeMap` multiset —
+/// `O(log k)` pointer-chasing inserts and two heap allocations per
+/// tracker. But the growing phase never asks for the maximum: it asks one
+/// fixed question per node, *does any gap exceed `α +`[`crate::EPS`]?*,
+/// for a single α known up front. `FlatGapTracker` therefore fixes the
+/// threshold at construction and maintains only `open`, the number of
+/// consecutive-direction spans exceeding it. An insertion splits exactly
+/// one span into two: decrement `open` if the removed span was open,
+/// increment per new open span — three comparisons, no tree. The sorted
+/// direction vec is the only storage, and [`FlatGapTracker::reset`] keeps
+/// its capacity so a reused tracker allocates nothing at steady state.
+///
+/// ## Bit-identity with the `Angle` path
+///
+/// Spans are computed by the *same* expression as [`Angle::ccw_to`] over
+/// the same normalized radians, directions deduplicate by the same
+/// total-order bits as the `BTreeSet<Angle>`, and the threshold is the
+/// same `α + EPS` sum — so
+/// [`has_open_gap`](FlatGapTracker::has_open_gap) equals
+/// `GapTracker::has_alpha_gap(α)` (equivalently
+/// `max_gap() > α + EPS`) **bit for bit** on every insertion prefix; the
+/// tests assert it exhaustively. For the trig-free variant keyed on
+/// pseudo-angles (equivalent but not bit-identical), see
+/// [`crate::pseudo::PseudoGapTracker`].
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::{Alpha, Angle, gap::FlatGapTracker};
+/// use std::f64::consts::TAU;
+///
+/// let mut t = FlatGapTracker::new(Alpha::TWO_PI_THIRDS);
+/// assert!(t.has_open_gap());
+/// for k in 0..3 {
+///     t.insert(Angle::new(k as f64 * TAU / 3.0));
+/// }
+/// // Three directions 2π/3 apart: no gap of more than 2π/3 remains.
+/// assert!(!t.has_open_gap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatGapTracker {
+    /// Distinct normalized radians in `f64::total_cmp` order — the same
+    /// order (and the same dedup rule) as [`GapTracker`]'s
+    /// `BTreeSet<Angle>`.
+    dirs: Vec<f64>,
+    /// `α + EPS`, fixed at construction/reset.
+    threshold: f64,
+    /// Number of consecutive-direction spans (wrap-around included)
+    /// strictly exceeding `threshold`; meaningful when `dirs.len() ≥ 2`.
+    open: usize,
+}
+
+impl FlatGapTracker {
+    /// An empty tracker armed for the strict α-gap threshold
+    /// `α +`[`crate::EPS`].
+    pub fn new(alpha: Alpha) -> Self {
+        FlatGapTracker {
+            dirs: Vec::new(),
+            threshold: alpha.radians() + crate::EPS,
+            open: 0,
+        }
+    }
+
+    /// Forgets all directions and re-arms for `alpha`, keeping the
+    /// direction buffer's capacity — the scratch-reuse entry point.
+    pub fn reset(&mut self, alpha: Alpha) {
+        self.dirs.clear();
+        self.threshold = alpha.radians() + crate::EPS;
+        self.open = 0;
+    }
+
+    /// Number of *distinct* directions tracked.
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Whether no direction has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+
+    /// The counter-clockwise span from `a` to `b` — the exact expression
+    /// of [`Angle::ccw_to`], kept textually in sync for bit-identity.
+    fn span(a: f64, b: f64) -> f64 {
+        let d = b - a;
+        if d < 0.0 {
+            d + TAU
+        } else {
+            d
+        }
+    }
+
+    /// Inserts a direction. Duplicates of an already-tracked direction
+    /// are no-ops, mirroring their zero-width contribution in
+    /// [`max_gap`].
+    pub fn insert(&mut self, dir: Angle) {
+        let r = dir.radians();
+        let i = self
+            .dirs
+            .partition_point(|x| x.total_cmp(&r) == std::cmp::Ordering::Less);
+        if self.dirs.get(i).is_some_and(|x| x.to_bits() == r.to_bits()) {
+            return;
+        }
+        match self.dirs.len() {
+            0 => {}
+            1 => {
+                let other = self.dirs[0];
+                self.open = usize::from(Self::span(other, r) > self.threshold)
+                    + usize::from(Self::span(r, other) > self.threshold);
+            }
+            n => {
+                let pred = if i == 0 {
+                    self.dirs[n - 1]
+                } else {
+                    self.dirs[i - 1]
+                };
+                let succ = if i == n { self.dirs[0] } else { self.dirs[i] };
+                self.open -= usize::from(Self::span(pred, succ) > self.threshold);
+                self.open += usize::from(Self::span(pred, r) > self.threshold);
+                self.open += usize::from(Self::span(r, succ) > self.threshold);
+            }
+        }
+        self.dirs.insert(i, r);
+    }
+
+    /// The incremental `gap-α(Du)` verdict: exactly
+    /// [`GapTracker::has_alpha_gap`] (and [`has_alpha_gap`]) for the α
+    /// the tracker was armed with, over the inserted multiset.
+    pub fn has_open_gap(&self) -> bool {
+        if self.dirs.len() < 2 {
+            TAU > self.threshold
+        } else {
+            self.open > 0
+        }
+    }
+
+    /// The largest counter-clockwise gap between consecutive directions —
+    /// exactly [`max_gap`] over the inserted multiset. `O(k)`; kept for
+    /// diagnostics and the bit-identity tests, not used by the hot loop.
+    pub fn max_gap(&self) -> f64 {
+        if self.dirs.len() < 2 {
+            return TAU;
+        }
+        let mut largest: f64 = 0.0;
+        for w in self.dirs.windows(2) {
+            largest = largest.max(Self::span(w[0], w[1]));
+        }
+        largest.max(Self::span(self.dirs[self.dirs.len() - 1], self.dirs[0]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +536,80 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.max_gap(), TAU);
+    }
+
+    #[test]
+    fn flat_tracker_is_bit_identical_to_btree_tracker_on_every_prefix() {
+        // The same stress stream as `tracker_matches_batch_on_every_prefix`:
+        // duplicates, a wrap-straddling pair, and 64 pseudo-random
+        // directions. The flat tracker's verdict and max gap must agree
+        // bit-for-bit with both the BTree tracker and the batch scan.
+        let mut stream: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.754_877_666_246_692_8).fract() * TAU)
+            .collect();
+        stream[10] = stream[3];
+        stream[20] = stream[3];
+        stream[30] = 350f64.to_radians();
+        stream[31] = 10f64.to_radians();
+        for alpha in [Alpha::FIVE_PI_SIXTHS, Alpha::TWO_PI_THIRDS] {
+            let mut flat = FlatGapTracker::new(alpha);
+            let mut btree = GapTracker::new();
+            let mut prefix = Vec::new();
+            assert_eq!(flat.max_gap(), TAU);
+            assert!(flat.is_empty());
+            for (i, &raw) in stream.iter().enumerate() {
+                let dir = Angle::new(raw);
+                flat.insert(dir);
+                btree.insert(dir);
+                prefix.push(dir);
+                assert_eq!(flat.len(), btree.len());
+                assert_eq!(
+                    flat.max_gap().to_bits(),
+                    btree.max_gap().to_bits(),
+                    "prefix of {} directions",
+                    i + 1
+                );
+                assert_eq!(flat.max_gap().to_bits(), max_gap(&prefix).to_bits());
+                assert_eq!(flat.has_open_gap(), btree.has_alpha_gap(alpha));
+                assert_eq!(flat.has_open_gap(), has_alpha_gap(&prefix, alpha));
+            }
+        }
+    }
+
+    #[test]
+    fn flat_tracker_reset_reuses_and_rearms() {
+        let mut t = FlatGapTracker::new(Alpha::TWO_PI_THIRDS);
+        for k in 0..3 {
+            t.insert(Angle::new(k as f64 * TAU / 3.0));
+        }
+        assert!(!t.has_open_gap());
+        // Re-armed for a tighter alpha, the same directions leave a gap.
+        t.reset(Alpha::new(FRAC_PI_2).unwrap());
+        assert!(t.is_empty());
+        assert!(t.has_open_gap(), "empty tracker is a full 2π sweep");
+        for k in 0..3 {
+            t.insert(Angle::new(k as f64 * TAU / 3.0));
+        }
+        assert!(t.has_open_gap(), "2π/3 gaps exceed π/2");
+    }
+
+    #[test]
+    fn flat_tracker_strict_at_exact_alpha_and_full_circle() {
+        // Gap exactly α: not an α-gap (strict test with EPS absorption).
+        let mut t = FlatGapTracker::new(Alpha::TWO_PI_THIRDS);
+        t.insert(Angle::new(0.0));
+        t.insert(Angle::new(TAU / 3.0));
+        t.insert(Angle::new(2.0 * TAU / 3.0));
+        assert!(!t.has_open_gap());
+        // α = 2π: even the empty tracker's full sweep does not exceed it.
+        let full = FlatGapTracker::new(Alpha::new(TAU).unwrap());
+        assert!(!full.has_open_gap());
+        // Duplicates are no-ops.
+        let mut d = FlatGapTracker::new(Alpha::FIVE_PI_SIXTHS);
+        d.insert(Angle::new(1.0));
+        d.insert(Angle::new(1.0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.max_gap(), TAU);
     }
 
     #[test]

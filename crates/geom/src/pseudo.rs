@@ -1,0 +1,572 @@
+//! Trig-free circular ordering and cone tests: pseudo-angles.
+//!
+//! The CBTC growing phase (§3, Figure 1) asks two angular questions per
+//! discovery: *where does this direction sit among the ones already seen*
+//! (ordering), and *does the counter-clockwise span between two
+//! consecutive directions exceed α* (the cone / α-gap test). Both are
+//! usually answered by materializing real angles with `atan2` — the
+//! single most expensive instruction in the construction hot loop.
+//!
+//! This module answers both questions **without trigonometry**:
+//!
+//! * [`PseudoAngle`] — the "diamond angle": a monotone, order-preserving
+//!   map of a direction vector onto `[0, 4)` costing one divide, used to
+//!   *sort* directions exactly as their `atan2` angles would sort;
+//! * [`ConeTest`] — the §3 cone test `∠ccw(u→v) > θ` evaluated from the
+//!   cross/dot products' sign-quadrant plus one linear form in
+//!   `(cos θ, sin θ)` (precomputed once per α), used to *compare a span
+//!   against α* with two multiplies;
+//! * [`PseudoGapTracker`] — the incremental α-gap test of the growing
+//!   phase built from the two: a flat direction set sorted by
+//!   pseudo-angle whose consecutive spans are classified by [`ConeTest`],
+//!   so a node's entire growth runs zero `atan2` calls.
+//!
+//! Real angles stay available lazily — callers that need `dir_u(v)` for
+//! the protocol layer (angle-of-arrival, coverage, serialization) compute
+//! them where needed via [`crate::Vec2::angle`].
+//!
+//! ## Equivalence to the `Angle` path, and its limits
+//!
+//! Mathematically the diamond map is strictly increasing in the true
+//! angle and the cone test computes the exact sign of `sin(φ − θ)`, so
+//! both agree with the `atan2`-based formulation *exactly* — the
+//! property tests in `tests/proptest_pseudo.rs` exercise ordering,
+//! verdicts, axis/diagonal boundaries and collinear ties. In floating
+//! point each side rounds differently, so verdicts can differ for spans
+//! within ~1 ulp of the threshold. The default construction keys its
+//! flat tracker on radians ([`crate::gap::FlatGapTracker`]) precisely so
+//! the shipped statistics stay *bit-identical* to the historical path;
+//! this kernel is the measured trig-free alternative (see the
+//! `hot_paths` microbenches) whose verdicts agree everywhere outside
+//! that ulp band — which the [`crate::EPS`] tolerance (1e-9, ~10⁷ ulps
+//! at π) keeps empty in practice.
+
+use std::cmp::Ordering;
+use std::f64::consts::TAU;
+
+use crate::{Alpha, Vec2};
+
+/// A pseudo-angle ("diamond angle"): the direction of a non-zero vector
+/// mapped monotonically onto `[0, 4)`, quadrant by quadrant, with one
+/// divide and no trigonometry.
+///
+/// The map sends the positive x-axis to `0`, the positive y-axis to `1`,
+/// the negative x-axis to `2` and the negative y-axis to `3`; within each
+/// quadrant it is a strictly increasing rational function of the true
+/// angle, so sorting by pseudo-angle sorts by angle.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::pseudo::PseudoAngle;
+/// use cbtc_geom::Vec2;
+///
+/// let east = PseudoAngle::from_vector(Vec2::new(1.0, 0.0));
+/// let north = PseudoAngle::from_vector(Vec2::new(0.0, 1.0));
+/// let west = PseudoAngle::from_vector(Vec2::new(-2.0, 0.0));
+/// assert_eq!(east.value(), 0.0);
+/// assert_eq!(north.value(), 1.0);
+/// assert_eq!(west.value(), 2.0);
+/// assert!(east < north && north < west);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PseudoAngle(f64);
+
+impl PseudoAngle {
+    /// The pseudo-angle of the direction `(dx, dy)`.
+    ///
+    /// Scale-invariant: `(2dx, 2dy)` maps to the same value up to
+    /// rounding of the single divide.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on the zero vector (its direction is
+    /// undefined, exactly as for [`crate::Vec2::angle`]).
+    pub fn from_components(dx: f64, dy: f64) -> Self {
+        debug_assert!(
+            dx != 0.0 || dy != 0.0,
+            "pseudo-angle of the zero vector is undefined"
+        );
+        // Quadrant assignment matches `atan2`'s: boundaries (the axes)
+        // belong to the quadrant they open, so each axis maps exactly to
+        // an integer and the branches cover every non-zero vector.
+        let value = if dx > 0.0 && dy >= 0.0 {
+            dy / (dx + dy)
+        } else if dx <= 0.0 && dy > 0.0 {
+            1.0 + (-dx) / (dy - dx)
+        } else if dx < 0.0 && dy <= 0.0 {
+            2.0 + (-dy) / (-dx - dy)
+        } else {
+            3.0 + dx / (dx - dy)
+        };
+        PseudoAngle(value)
+    }
+
+    /// The pseudo-angle of a displacement vector.
+    pub fn from_vector(v: Vec2) -> Self {
+        Self::from_components(v.x, v.y)
+    }
+
+    /// The raw value in `[0, 4)`.
+    ///
+    /// Pseudo-units are *not* radians: only the order (and the quadrant
+    /// integer part) carries meaning.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The quadrant of the direction, `0..=3`, counting counter-clockwise
+    /// from the positive x-axis (axes included in the quadrant they
+    /// open).
+    pub fn quadrant(self) -> u8 {
+        self.0 as u8
+    }
+
+    /// Total order on pseudo-angle values (the values are always finite).
+    pub fn total_cmp(&self, other: &PseudoAngle) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Eq for PseudoAngle {}
+
+impl PartialOrd for PseudoAngle {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PseudoAngle {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+/// The §3 cone test with a precomputed threshold: *is the
+/// counter-clockwise angle from one direction to another strictly greater
+/// than θ?* — evaluated per pair from two products and a sign, with no
+/// trigonometry after construction.
+///
+/// Construction computes `(cos θ, sin θ)` once (the only trig calls) and
+/// classifies θ into a quadrant by their signs using the same convention
+/// as the query side. A query computes `c = cross(a, b)` and
+/// `d = dot(a, b)`, reads the quadrant of the ccw angle `φ ∈ [0, 2π)`
+/// from the signs of `(c, d)`, and resolves same-quadrant cases by the
+/// sign of `c·cos θ − d·sin θ = |a||b|·sin(φ − θ)` (exact within a
+/// quadrant, where `|φ − θ| < π/2`).
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::pseudo::ConeTest;
+/// use cbtc_geom::Vec2;
+/// use std::f64::consts::FRAC_PI_2;
+///
+/// let quarter = ConeTest::new(FRAC_PI_2);
+/// let east = Vec2::new(1.0, 0.0);
+/// assert!(!quarter.exceeded_by(east, Vec2::new(0.0, 1.0))); // exactly π/2
+/// assert!(quarter.exceeded_by(east, Vec2::new(-1.0, 1.0))); // 3π/4
+/// assert!(!quarter.exceeded_by(east, Vec2::new(1.0, 1.0))); // π/4
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ConeTest {
+    cos: f64,
+    sin: f64,
+    /// Quadrant of θ under the query-side sign convention.
+    quadrant: u8,
+    /// θ ≥ 2π can never be exceeded by a ccw angle in `[0, 2π)`.
+    never: bool,
+}
+
+impl ConeTest {
+    /// A cone test for the threshold `theta` radians, `theta ∈ (0, 2π]`
+    /// (values ≥ 2π are never exceeded; the α-gap callers reach them for
+    /// `α = 2π`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is not finite or not positive — a non-positive
+    /// threshold would make the zero span `φ = 0` "exceed", which no
+    /// caller of a cone test means.
+    pub fn new(theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta > 0.0,
+            "cone threshold must be finite and positive, got {theta}"
+        );
+        if theta >= TAU {
+            return ConeTest {
+                cos: 1.0,
+                sin: 0.0,
+                quadrant: 3,
+                never: true,
+            };
+        }
+        // Snap the representable axis constants to exact unit vectors:
+        // `sin(π)` rounds to +1.2e-16, which would shift an exactly-axial
+        // threshold into the previous quadrant by ~1 ulp. Cone thresholds
+        // of exactly π/2, π or 3π/2 are common in tests and theory code.
+        const THREE_HALVES_PI: f64 = 3.0 * std::f64::consts::FRAC_PI_2;
+        let (sin, cos) = if theta == std::f64::consts::FRAC_PI_2 {
+            (1.0, 0.0)
+        } else if theta == std::f64::consts::PI {
+            (0.0, -1.0)
+        } else if theta == THREE_HALVES_PI {
+            (-1.0, 0.0)
+        } else {
+            theta.sin_cos()
+        };
+        // Same sign convention as `quadrant_of(c, d)` with c = sin θ,
+        // d = cos θ. Residual near-axis rounding of non-snapped
+        // thresholds stays self-consistent: the effective threshold is
+        // the angle of the computed (cos, sin) pair, and both the
+        // quadrant and the linear form below are exact for it.
+        let quadrant = Self::quadrant_of(sin, cos);
+        ConeTest {
+            cos,
+            sin,
+            quadrant,
+            never: false,
+        }
+    }
+
+    /// The cone test for the strict α-gap threshold `α +`[`crate::EPS`] —
+    /// the trig-free counterpart of [`crate::gap::has_alpha_gap`]'s
+    /// comparison.
+    pub fn for_alpha(alpha: Alpha) -> Self {
+        Self::new(alpha.radians() + crate::EPS)
+    }
+
+    /// Quadrant in `0..=3` of the ccw angle whose sine has the sign of
+    /// `c` and cosine the sign of `d` (both zero never happens for
+    /// non-zero vectors). Boundaries: an angle on an axis belongs to the
+    /// quadrant it opens, matching [`PseudoAngle::quadrant`].
+    fn quadrant_of(c: f64, d: f64) -> u8 {
+        if c >= 0.0 && d > 0.0 {
+            0
+        } else if c > 0.0 && d <= 0.0 {
+            1
+        } else if c <= 0.0 && d < 0.0 {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Whether the counter-clockwise angle from `from` to `to` strictly
+    /// exceeds the threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if either vector is zero.
+    pub fn exceeded_by(self, from: Vec2, to: Vec2) -> bool {
+        debug_assert!(from != Vec2::ZERO && to != Vec2::ZERO);
+        self.exceeded(from.cross(to), from.dot(to))
+    }
+
+    /// [`ConeTest::exceeded_by`] from a precomputed cross product `c` and
+    /// dot product `d` — for callers that already have them.
+    pub fn exceeded(self, c: f64, d: f64) -> bool {
+        if self.never {
+            return false;
+        }
+        let q = Self::quadrant_of(c, d);
+        match q.cmp(&self.quadrant) {
+            Ordering::Less => false,
+            Ordering::Greater => true,
+            // Same quadrant: sign of |a||b|·sin(φ − θ), exact there.
+            Ordering::Equal => c * self.cos - d * self.sin > 0.0,
+        }
+    }
+}
+
+/// The incremental α-gap test of the growing phase with **zero `atan2`
+/// calls**: directions are kept sorted by [`PseudoAngle`], and each
+/// consecutive span is classified against α by one [`ConeTest`].
+///
+/// This is the trig-free sibling of [`crate::gap::FlatGapTracker`]: the
+/// same flat sorted-vec layout and the same O(1) open-gap count per
+/// insertion (an insertion splits exactly one span into two), but keyed
+/// on pseudo-angles with spans judged from cross/dot signs instead of
+/// radian differences. Verdicts agree with the `Angle` path except for
+/// spans within ~1 ulp of the threshold (see the module docs); the
+/// property suite checks agreement across random and exact-boundary
+/// layouts.
+///
+/// Directions are deduplicated by pseudo-angle bits — the same rule as
+/// the `Angle` trackers' dedup by normalized-radian bits, transported
+/// through the diamond map.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_geom::pseudo::PseudoGapTracker;
+/// use cbtc_geom::{Alpha, Vec2};
+///
+/// let mut t = PseudoGapTracker::new(Alpha::TWO_PI_THIRDS);
+/// assert!(t.has_open_gap());
+/// for (x, y) in [(1.0, 0.0), (-0.5, 0.866_025_403_784_438_7), (-0.5, -0.866_025_403_784_438_7)] {
+///     t.insert(Vec2::new(x, y));
+/// }
+/// // Three directions 2π/3 apart: no gap of more than 2π/3 remains.
+/// assert!(!t.has_open_gap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PseudoGapTracker {
+    /// Distinct directions in ccw order: `(pseudo-angle bits, vector)`.
+    dirs: Vec<(u64, Vec2)>,
+    cone: ConeTest,
+    /// Number of consecutive-direction spans (wrap-around included)
+    /// exceeding the threshold; meaningful when `dirs.len() ≥ 2`.
+    open: usize,
+    /// Whether the full-circle gap of an empty/singleton set exceeds α.
+    full_circle_open: bool,
+}
+
+impl PseudoGapTracker {
+    /// An empty tracker for the strict α-gap threshold `α +`
+    /// [`crate::EPS`].
+    pub fn new(alpha: Alpha) -> Self {
+        let mut t = PseudoGapTracker {
+            dirs: Vec::new(),
+            cone: ConeTest::for_alpha(alpha),
+            open: 0,
+            full_circle_open: false,
+        };
+        t.reset(alpha);
+        t
+    }
+
+    /// Forgets all directions and re-arms for `alpha`, keeping the
+    /// allocation — the scratch-reuse entry point.
+    pub fn reset(&mut self, alpha: Alpha) {
+        self.dirs.clear();
+        self.cone = ConeTest::for_alpha(alpha);
+        self.open = 0;
+        // A full 2π sweep exceeds α + EPS for every α < 2π; mirrors
+        // `TAU > α + EPS` on the radian path (false only for α = 2π).
+        self.full_circle_open = TAU > alpha.radians() + crate::EPS;
+    }
+
+    /// Number of *distinct* directions tracked.
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Whether no direction has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+
+    /// Inserts a direction vector. Duplicates (by pseudo-angle) are
+    /// no-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on the zero vector.
+    pub fn insert(&mut self, dir: Vec2) {
+        let key = PseudoAngle::from_vector(dir).value().to_bits();
+        let i = self.dirs.partition_point(|&(k, _)| k < key);
+        if self.dirs.get(i).is_some_and(|&(k, _)| k == key) {
+            return;
+        }
+        match self.dirs.len() {
+            0 => {}
+            1 => {
+                let other = self.dirs[0].1;
+                self.open = usize::from(self.cone.exceeded_by(other, dir))
+                    + usize::from(self.cone.exceeded_by(dir, other));
+            }
+            n => {
+                let pred = if i == 0 {
+                    self.dirs[n - 1].1
+                } else {
+                    self.dirs[i - 1].1
+                };
+                let succ = if i == n {
+                    self.dirs[0].1
+                } else {
+                    self.dirs[i].1
+                };
+                self.open -= usize::from(self.cone.exceeded_by(pred, succ));
+                self.open += usize::from(self.cone.exceeded_by(pred, dir));
+                self.open += usize::from(self.cone.exceeded_by(dir, succ));
+            }
+        }
+        self.dirs.insert(i, (key, dir));
+    }
+
+    /// The incremental `gap-α(Du)` verdict: `true` iff some cone of
+    /// degree α around the node contains no inserted direction.
+    pub fn has_open_gap(&self) -> bool {
+        if self.dirs.len() < 2 {
+            self.full_circle_open
+        } else {
+            self.open > 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap::GapTracker;
+    use crate::Point2;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_3, PI};
+
+    #[test]
+    fn axes_map_to_integers() {
+        for (v, expect) in [
+            (Vec2::new(1.0, 0.0), 0.0),
+            (Vec2::new(0.0, 1.0), 1.0),
+            (Vec2::new(-1.0, 0.0), 2.0),
+            (Vec2::new(0.0, -1.0), 3.0),
+            (Vec2::new(3.0, 3.0), 0.5),
+            (Vec2::new(-2.0, 2.0), 1.5),
+            (Vec2::new(-5.0, -5.0), 2.5),
+            (Vec2::new(4.0, -4.0), 3.5),
+        ] {
+            assert_eq!(PseudoAngle::from_vector(v).value(), expect, "{v}");
+        }
+    }
+
+    #[test]
+    fn scale_invariant_on_representable_scalings() {
+        let v = Vec2::new(3.0, -7.0);
+        let a = PseudoAngle::from_vector(v);
+        let b = PseudoAngle::from_vector(v * 4.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordering_matches_atan2_on_a_fan() {
+        // 96 directions spread over the full circle, deliberately
+        // including near-axis rays.
+        let vectors: Vec<Vec2> = (0..96)
+            .map(|k| {
+                let a = k as f64 * TAU / 96.0 + 1e-3;
+                Vec2::new(a.cos(), a.sin())
+            })
+            .collect();
+        let mut by_pseudo = vectors.clone();
+        by_pseudo.sort_by(|a, b| PseudoAngle::from_vector(*a).cmp(&PseudoAngle::from_vector(*b)));
+        let mut by_angle = vectors;
+        by_angle.sort_by(|a, b| a.angle().total_cmp(&b.angle()));
+        assert_eq!(by_pseudo, by_angle);
+    }
+
+    #[test]
+    fn quadrants_agree_with_angle() {
+        // Exact integer vectors, one interior ray and one opening axis
+        // per quadrant — no trig rounding on either side.
+        for (v, expect) in [
+            (Vec2::new(1.0, 0.0), 0),
+            (Vec2::new(2.0, 1.0), 0),
+            (Vec2::new(0.0, 1.0), 1),
+            (Vec2::new(-1.0, 2.0), 1),
+            (Vec2::new(-1.0, 0.0), 2),
+            (Vec2::new(-2.0, -1.0), 2),
+            (Vec2::new(0.0, -1.0), 3),
+            (Vec2::new(1.0, -2.0), 3),
+        ] {
+            assert_eq!(PseudoAngle::from_vector(v).quadrant(), expect, "{v}");
+            let q_true = (v.angle().radians() / FRAC_PI_2) as u8 % 4;
+            assert_eq!(PseudoAngle::from_vector(v).quadrant(), q_true, "{v}");
+        }
+    }
+
+    #[test]
+    fn cone_test_matches_ccw_to_away_from_ties() {
+        let thetas = [0.3, FRAC_PI_2, FRAC_PI_3, 2.0, PI, 4.0, 6.0];
+        for &theta in &thetas {
+            let cone = ConeTest::new(theta);
+            for i in 0..40 {
+                for j in 0..40 {
+                    let (a, b) = (i as f64 * TAU / 40.0, j as f64 * TAU / 40.0 + 0.013);
+                    let (va, vb) = (Vec2::new(a.cos(), a.sin()), Vec2::new(b.cos(), b.sin()));
+                    let gap = va.angle().ccw_to(vb.angle());
+                    if (gap - theta).abs() < 1e-9 {
+                        continue; // ulp-band: the two formulations may differ
+                    }
+                    assert_eq!(
+                        cone.exceeded_by(va, vb),
+                        gap > theta,
+                        "theta={theta} a={a} b={b} gap={gap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cone_test_exact_at_axis_boundaries() {
+        let half = ConeTest::new(PI);
+        let east = Vec2::new(1.0, 0.0);
+        assert!(!half.exceeded_by(east, Vec2::new(-1.0, 0.0))); // exactly π
+        assert!(half.exceeded_by(east, Vec2::new(-1.0, -1e-9))); // just past π
+        assert!(!half.exceeded_by(east, Vec2::new(-1.0, 1e-9))); // just short
+        let full = ConeTest::new(TAU);
+        assert!(!full.exceeded_by(east, Vec2::new(0.0, -1.0)));
+        assert!(!full.exceeded_by(east, Vec2::new(1.0, -1e-12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let _ = ConeTest::new(0.0);
+    }
+
+    #[test]
+    fn tracker_matches_angle_tracker_on_a_stream() {
+        // Pseudo-random unit vectors; after every insertion the pseudo
+        // tracker's verdict must match the radian tracker's.
+        let alpha = Alpha::FIVE_PI_SIXTHS;
+        let mut pseudo = PseudoGapTracker::new(alpha);
+        let mut radian = GapTracker::new();
+        let origin = Point2::ORIGIN;
+        for i in 0..128 {
+            let a = (i as f64 * 0.754_877_666_246_692_8).fract() * TAU;
+            let p = Point2::new(a.cos() * 10.0, a.sin() * 10.0);
+            pseudo.insert(p - origin);
+            radian.insert(origin.direction_to(p));
+            assert_eq!(
+                pseudo.has_open_gap(),
+                radian.has_alpha_gap(alpha),
+                "after {} insertions",
+                i + 1
+            );
+            assert_eq!(pseudo.len(), radian.len());
+        }
+    }
+
+    #[test]
+    fn tracker_exact_three_cover_and_reset() {
+        let alpha = Alpha::TWO_PI_THIRDS;
+        let mut t = PseudoGapTracker::new(alpha);
+        assert!(t.is_empty() && t.has_open_gap());
+        let third = TAU / 3.0;
+        for k in 0..3 {
+            let a = k as f64 * third;
+            t.insert(Vec2::new(a.cos(), a.sin()));
+        }
+        assert_eq!(t.len(), 3);
+        assert!(!t.has_open_gap(), "gaps of exactly 2π/3 are not α-gaps");
+        t.reset(alpha);
+        assert!(t.is_empty() && t.has_open_gap());
+        // Duplicates are no-ops.
+        t.insert(Vec2::new(1.0, 0.0));
+        t.insert(Vec2::new(1.0, 0.0));
+        assert_eq!(t.len(), 1);
+        assert!(t.has_open_gap(), "a single direction leaves a 2π sweep");
+    }
+
+    #[test]
+    fn full_circle_alpha_never_opens() {
+        let tau_alpha = Alpha::new(TAU).unwrap();
+        let mut t = PseudoGapTracker::new(tau_alpha);
+        assert!(!t.has_open_gap(), "no gap can exceed 2π");
+        t.insert(Vec2::new(1.0, 0.0));
+        assert!(!t.has_open_gap());
+        t.insert(Vec2::new(0.0, 1.0));
+        assert!(!t.has_open_gap());
+    }
+}

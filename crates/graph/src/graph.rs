@@ -152,6 +152,91 @@ impl UndirectedGraph {
         }
     }
 
+    /// Replaces `u`'s entire adjacency row with `new_row` in one pass,
+    /// fixing the affected neighbor rows and reporting the net edge delta.
+    ///
+    /// `new_row` must be strictly sorted, free of `u`, and in range. The
+    /// neighbors dropped from the row are appended to `removed` and the new
+    /// ones to `added` (both are cleared first), each in increasing ID
+    /// order; neighbors present in both the old and new row are untouched —
+    /// their rows see **zero** edits, where a remove-all-then-re-add loop
+    /// would binary-search and memmove every one of them twice.
+    ///
+    /// This is the batched form of per-edge [`Self::remove_edge`] /
+    /// [`Self::add_edge`] that incremental reconfiguration uses when it
+    /// already knows a node's complete new neighborhood: `u`'s row is
+    /// diffed and rewritten once (`O(deg)`) instead of edited edge by edge
+    /// (`O(deg²)` memmoves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or any entry of `new_row` is out of range, or if
+    /// `new_row` contains `u` or is not strictly sorted.
+    pub fn rebuild_row(
+        &mut self,
+        u: NodeId,
+        new_row: &[NodeId],
+        removed: &mut Vec<NodeId>,
+        added: &mut Vec<NodeId>,
+    ) {
+        removed.clear();
+        added.clear();
+        assert!(
+            u.index() < self.adj.len(),
+            "node {u} out of range for {} nodes",
+            self.adj.len()
+        );
+        assert!(
+            new_row.windows(2).all(|w| w[0] < w[1]),
+            "new row for {u} must be strictly sorted"
+        );
+        if let Some(&v) = new_row.last() {
+            assert!(
+                v.index() < self.adj.len(),
+                "neighbor {v} out of range for {} nodes",
+                self.adj.len()
+            );
+        }
+        assert!(new_row.binary_search(&u).is_err(), "self-loop {u} rejected");
+        // Merge-diff the sorted old and new rows into the two delta lists.
+        let mut old = std::mem::take(&mut self.adj[u.index()]);
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < new_row.len() {
+            match old[i].cmp(&new_row[j]) {
+                std::cmp::Ordering::Less => {
+                    removed.push(old[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    added.push(new_row[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        removed.extend_from_slice(&old[i..]);
+        added.extend_from_slice(&new_row[j..]);
+        // Fix the far side of each changed edge; unchanged neighbors are
+        // never touched.
+        for &v in removed.iter() {
+            let row = &mut self.adj[v.index()];
+            let k = row.binary_search(&u).expect("adjacency out of sync");
+            row.remove(k);
+        }
+        for &v in added.iter() {
+            let row = &mut self.adj[v.index()];
+            let k = row.binary_search(&u).expect_err("adjacency out of sync");
+            row.insert(k, u);
+        }
+        // Rewrite u's row in place, reusing its allocation.
+        old.clear();
+        old.extend_from_slice(new_row);
+        self.adj[u.index()] = old;
+    }
+
     /// Whether the edge `{u, v}` is present.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.adj[u.index()].binary_search(&v).is_ok()
@@ -344,6 +429,51 @@ mod tests {
             Value::Seq(vec![Value::Seq(vec![Value::UInt(9)])]),
         )]);
         assert!(UndirectedGraph::from_value(&out_of_range).is_err());
+    }
+
+    #[test]
+    fn rebuild_row_matches_per_edge_edits() {
+        let mut g = UndirectedGraph::new(6);
+        for (a, b) in [(0, 1), (0, 2), (0, 4), (3, 4), (1, 2)] {
+            g.add_edge(n(a), n(b));
+        }
+        // Per-edge reference: remove all of 0's edges, re-add the new set.
+        let mut reference = g.clone();
+        for v in [1, 2, 4] {
+            reference.remove_edge(n(0), n(v));
+        }
+        for v in [2, 3, 5] {
+            reference.add_edge(n(0), n(v));
+        }
+        let (mut removed, mut added) = (Vec::new(), Vec::new());
+        g.rebuild_row(n(0), &[n(2), n(3), n(5)], &mut removed, &mut added);
+        assert_eq!(g, reference);
+        assert_eq!(removed, vec![n(1), n(4)], "kept neighbor 2 not reported");
+        assert_eq!(added, vec![n(3), n(5)]);
+        // Rebuild to empty: clears the row and both far sides.
+        g.rebuild_row(n(0), &[], &mut removed, &mut added);
+        assert_eq!(removed, vec![n(2), n(3), n(5)]);
+        assert!(added.is_empty());
+        assert_eq!(g.degree(n(0)), 0);
+        assert!(!g.has_edge(n(3), n(0)));
+        assert!(g.has_edge(n(3), n(4)), "unrelated edge untouched");
+        // No-op rebuild reports no deltas.
+        g.rebuild_row(n(3), &[n(4)], &mut removed, &mut added);
+        assert!(removed.is_empty() && added.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rebuild_row_rejects_self_loop() {
+        let mut g = UndirectedGraph::new(2);
+        g.rebuild_row(n(0), &[n(0), n(1)], &mut Vec::new(), &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn rebuild_row_rejects_unsorted_input() {
+        let mut g = UndirectedGraph::new(3);
+        g.rebuild_row(n(0), &[n(2), n(1)], &mut Vec::new(), &mut Vec::new());
     }
 
     #[test]
