@@ -31,7 +31,9 @@ use std::time::Instant;
 
 use cbtc_bench::Args;
 use cbtc_core::opt::{pairwise_removal, PairwisePolicy};
-use cbtc_core::parallel::{detected_cores, planned_threads, set_thread_cap};
+use cbtc_core::parallel::{
+    detected_cores, install_metrics, planned_threads, set_thread_cap, uninstall_metrics,
+};
 use cbtc_core::reconfig::GeometricMetric;
 use cbtc_core::{
     construction_cell, grow_node_metric_scratch, run_basic_with, BasicOutcome, CbtcConfig,
@@ -40,6 +42,7 @@ use cbtc_core::{
 use cbtc_energy::{SurvivorTopology, TopologyPolicy};
 use cbtc_geom::Alpha;
 use cbtc_graph::{NodeId, SpatialGrid};
+use cbtc_metrics::MetricsRegistry;
 use cbtc_workloads::RandomPlacement;
 use serde::Serialize;
 
@@ -51,6 +54,45 @@ struct PhaseSeconds {
     grid_build: f64,
     grow: f64,
     pairwise: f64,
+}
+
+/// What the fan-out workers did during one (untimed) instrumented
+/// parallel construction, read off the `par.*` metrics series: how many
+/// fan-outs the run executed, per-worker wall-clock busy time, and the
+/// chunks each worker pulled from the shared cursor — its steal count,
+/// the load-balance signal (all-equal chunk counts mean the cursor
+/// degenerated to a static split).
+#[derive(Debug, Serialize)]
+struct WorkerStats {
+    fan_outs: u64,
+    /// Worker samples across all fan-outs (one per worker per fan-out).
+    worker_samples: u64,
+    busy_p50_nanos: u64,
+    busy_max_nanos: u64,
+    chunks_p50: u64,
+    chunks_max: u64,
+}
+
+/// Runs one instrumented parallel construction and distills the
+/// `par.*` series. The outcome is returned so the caller can assert the
+/// instrumented run stayed bit-identical to the timed one.
+fn observe_workers(network: &Network, alpha: Alpha) -> (WorkerStats, BasicOutcome) {
+    let registry = MetricsRegistry::enabled();
+    install_metrics(&registry);
+    let outcome = run_basic_with(network, alpha, ConstructionMode::GridParallel);
+    uninstall_metrics();
+    let snap = registry.snapshot();
+    let busy = snap.histogram("par.worker_busy_nanos");
+    let chunks = snap.histogram("par.worker_chunks");
+    let stats = WorkerStats {
+        fan_outs: snap.counter("par.fan_outs").unwrap_or(0),
+        worker_samples: busy.map_or(0, |h| h.count),
+        busy_p50_nanos: busy.map_or(0, |h| h.p50),
+        busy_max_nanos: busy.map_or(0, |h| h.max),
+        chunks_p50: chunks.map_or(0, |h| h.p50),
+        chunks_max: chunks.map_or(0, |h| h.max),
+    };
+    (stats, outcome)
 }
 
 /// One network size's growing-phase timings, all engines verified equal.
@@ -76,6 +118,9 @@ struct SizeRow {
     grid_us_per_node: f64,
     parallel_us_per_node: f64,
     phases: PhaseSeconds,
+    /// Worker-level observability from a separate instrumented run (the
+    /// timed rows above stay uninstrumented).
+    workers: WorkerStats,
 }
 
 /// One row of the thread-scaling table: the same parallel construction
@@ -208,6 +253,12 @@ fn bench_size(nodes: usize, alpha: Alpha, seed: u64, brute_max: usize) -> SizeRo
         "phase decomposition diverged from run_basic_with at n={nodes}"
     );
 
+    let (workers, observed) = observe_workers(&network, alpha);
+    assert_eq!(
+        observed, parallel,
+        "instrumented run diverged from the uninstrumented one at n={nodes}"
+    );
+
     SizeRow {
         nodes,
         side,
@@ -221,6 +272,7 @@ fn bench_size(nodes: usize, alpha: Alpha, seed: u64, brute_max: usize) -> SizeRo
         grid_us_per_node: grid_seconds * 1e6 / nodes as f64,
         parallel_us_per_node: parallel_seconds * 1e6 / nodes as f64,
         phases,
+        workers,
     }
 }
 
@@ -397,6 +449,19 @@ fn main() {
             row.phases.pairwise * 1e3,
             row.parallel_threads,
         );
+        if row.workers.worker_samples > 0 {
+            println!(
+                "{:>9} workers: {} sample(s) over {} fan-out(s) · busy p50 {:.1}ms max {:.1}ms · \
+                 chunks p50 {} max {}",
+                "",
+                row.workers.worker_samples,
+                row.workers.fan_outs,
+                row.workers.busy_p50_nanos as f64 / 1e6,
+                row.workers.busy_max_nanos as f64 / 1e6,
+                row.workers.chunks_p50,
+                row.workers.chunks_max,
+            );
+        }
         rows.push(row);
     }
 
@@ -435,7 +500,7 @@ fn main() {
     if !args.has("no-json") {
         let path: String = args.get("json", "BENCH_construction.json".to_owned());
         let doc = BenchDoc {
-            schema_version: 2,
+            schema_version: 3,
             alpha: alpha.to_string(),
             detected_cores: cores,
             base_seed: seed,

@@ -84,6 +84,18 @@ USAGE:
         --basis measured makes protocol repliers carry the forward §2
         measurement in a max-power MeasuredAck (measured-power pricing).
 
+    cbtc serve [--nodes N] [--events E] [--seed S] [--alpha 5pi6|<radians>]
+               [--death-per-mille D] [--join-per-mille J] [--max-step L]
+               [--trace FILE] [--json FILE]
+        Stream a sustained churn workload (moves, joins, crashes) through
+        the §4 incremental engine one event at a time, like a long-running
+        reconfiguration service. Reports sustained events/s and p50/p99/max
+        per-event latency per event kind, verifies the maintained graph is
+        bit-identical to a from-scratch construction, and fails on any
+        integrity violation. --json writes the full report (histograms +
+        metrics snapshot); --trace streams the run as JSONL ending with a
+        schema-v3 metrics record.
+
     cbtc help
         Show this message.
 ";
@@ -809,6 +821,126 @@ pub fn replay(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cbtc serve`: stream a sustained churn workload through the
+/// incremental engine one event at a time and report it like a
+/// production service — throughput, per-kind latency percentiles, and
+/// hard integrity gates (from-scratch bit-identity, monotone
+/// percentiles) that fail the command when violated.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let nodes: usize = args.get("nodes", 10_000)?;
+    if nodes < 10 {
+        return Err("--nodes must be at least 10".into());
+    }
+    let events: u64 = args.get("events", 1_000_000)?;
+    if events == 0 {
+        return Err("--events must be positive".into());
+    }
+    let seed: u64 = args.get("seed", 1)?;
+    let mut config = cbtc_workloads::ServiceConfig::sized(nodes, events);
+    config.alpha = args.alpha()?;
+    config.death_per_mille = args.get("death-per-mille", config.death_per_mille)?;
+    config.join_per_mille = args.get("join-per-mille", config.join_per_mille)?;
+    if config.death_per_mille + config.join_per_mille > 1000 {
+        return Err("--death-per-mille + --join-per-mille must not exceed 1000".into());
+    }
+    config.max_step = args.get("max-step", config.max_step)?;
+
+    println!(
+        "serve — {nodes} node slots on a {:.0}×{:.0} field (α = {:.4}), \
+         streaming {events} events (mix ‰: {} death / {} join / {} move; seed {seed})",
+        config.width,
+        config.height,
+        config.alpha.radians(),
+        config.death_per_mille,
+        config.join_per_mille,
+        1000 - config.death_per_mille - config.join_per_mille,
+    );
+
+    let registry = cbtc_metrics::MetricsRegistry::enabled();
+    // The initial construction fans out through par_map_with; surface
+    // detected cores / planned threads / worker busy time in the same
+    // snapshot.
+    cbtc_core::parallel::install_metrics(&registry);
+    let trace = match args.value_of("trace") {
+        None => None,
+        Some(path) => Some(
+            TraceHandle::to_file(path)
+                .map_err(|e| format!("creating trace {path}: {e}"))?
+                .with_timing(true),
+        ),
+    };
+    let report = cbtc_workloads::run_service_observed(&config, seed, &registry, trace.as_ref());
+    cbtc_core::parallel::uninstall_metrics();
+    if let Some(trace) = &trace {
+        trace.flush();
+    }
+
+    println!(
+        "\n{:>6} {:>9} {:>10} {:>10} {:>10}",
+        "kind", "events", "p50 µs", "p99 µs", "max µs"
+    );
+    let us = |nanos: u64| nanos as f64 / 1_000.0;
+    for h in &report.latency {
+        println!(
+            "{:>6} {:>9} {:>10.1} {:>10.1} {:>10.1}",
+            h.name,
+            h.count,
+            us(h.p50),
+            us(h.p99),
+            us(h.max),
+        );
+    }
+    println!(
+        "\nthroughput: {:.0} events/s sustained over {:.2} s \
+         ({} moves, {} joins, {} deaths)",
+        report.events_per_sec, report.elapsed_secs, report.moves, report.joins, report.deaths,
+    );
+    println!(
+        "final: {} active nodes, {} edges; from-scratch bit-identity: {}",
+        report.final_active,
+        report.final_edges,
+        if report.matches_scratch { "yes" } else { "NO" },
+    );
+    // The par.* gauges are only set when a construction actually fans
+    // out; small populations build serially and have nothing to report.
+    if report.metrics.counter("par.fan_outs").unwrap_or(0) > 0 {
+        if let (Some(cores), Some(planned)) = (
+            report.metrics.gauge("par.detected_cores"),
+            report.metrics.gauge("par.planned_threads"),
+        ) {
+            println!(
+                "parallel: {cores:.0} cores detected, {planned:.0} threads planned (construction)"
+            );
+        }
+    }
+
+    // Production gates — the CI smoke run relies on these failing loud.
+    if !report.matches_scratch {
+        return Err("maintained graph diverged from the from-scratch construction".into());
+    }
+    if report.events_per_sec <= 0.0 || report.events_per_sec.is_nan() {
+        return Err("throughput must be positive".into());
+    }
+    for h in &report.latency {
+        if !(h.p50 <= h.p99 && h.p99 <= h.max) {
+            return Err(format!(
+                "non-monotone percentiles in the `{}` series",
+                h.name
+            ));
+        }
+    }
+
+    if let Some(path) = args.value_of("json") {
+        fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("serializable"),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 /// `cbtc analyze`
 pub fn analyze(args: &Args) -> Result<(), String> {
     let path = args
@@ -913,7 +1045,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
 
     let latency = a.reconfig_latency();
     if latency.count > 0 {
-        let regrown: u64 = a.reconfig_regrown.iter().map(|&r| u64::from(r)).sum();
+        let regrown: u64 = a.reconfig_regrown.sum();
         if a.has_latency_samples() {
             println!(
                 "reconfiguration: {} incremental updates, {regrown} nodes re-grown; \
@@ -953,7 +1085,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
             .iter()
             .map(|(k, c)| serde_json::json!({ "kind": k, "count": c }))
             .collect();
-        let regrown: u64 = a.reconfig_regrown.iter().map(|&r| u64::from(r)).sum();
+        let regrown: u64 = a.reconfig_regrown.sum();
         let reconfig = serde_json::json!({
             "count": latency.count,
             "regrown": regrown,

@@ -8,6 +8,7 @@
 //! cbtc lifetime   simulate traffic + battery drain, report lifetime factors
 //! cbtc churn      run the §4 reconfiguration protocol under mobility + churn
 //! cbtc phy        sweep shadowing σ: CBTC robustness off the unit disk
+//! cbtc serve      stream churn events through the incremental engine, report latency percentiles
 //! cbtc replay     render a recorded trace as an animated SVG / HTML player
 //! cbtc analyze    validate and summarize a recorded trace
 //! cbtc help       show usage
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "lifetime" => commands::lifetime(&args),
         "churn" => commands::churn(&args),
         "phy" => commands::phy(&args),
+        "serve" => commands::serve(&args),
         "replay" => commands::replay(&args),
         "analyze" => commands::analyze(&args),
         "help" | "--help" | "-h" => {

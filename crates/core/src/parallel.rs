@@ -10,7 +10,11 @@
 //! worker threads.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cbtc_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Session-wide cap on worker threads; `0` means "no cap" (use every
 /// detected core). Set by [`set_thread_cap`] — the hook the construction
@@ -30,6 +34,66 @@ pub fn thread_cap() -> Option<usize> {
     match THREAD_CAP.load(Ordering::Relaxed) {
         0 => None,
         n => Some(n),
+    }
+}
+
+/// Fast-path flag for [`install_metrics`]: an uninstrumented fan-out
+/// pays one relaxed load, never the mutex.
+static PAR_METRICS_ON: AtomicBool = AtomicBool::new(false);
+
+/// The installed fan-out instruments (pre-resolved handles).
+static PAR_METRICS: Mutex<Option<ParMetrics>> = Mutex::new(None);
+
+#[derive(Clone)]
+struct ParMetrics {
+    /// Parallel fan-outs executed.
+    fan_outs: Counter,
+    /// Per-worker wall-clock busy time, one sample per worker per
+    /// fan-out.
+    busy: Histogram,
+    /// Chunks each worker pulled from the shared cursor (its "steal
+    /// count"), one sample per worker per fan-out.
+    chunks: Histogram,
+    /// Hardware cores visible to the fan-out.
+    cores: Gauge,
+    /// Workers the most recent fan-out planned.
+    planned: Gauge,
+}
+
+/// Installs process-wide fan-out instruments: every subsequent parallel
+/// [`par_map`] / [`par_map_with`] records its worker busy times and
+/// chunk (steal) counts to `registry`, and publishes
+/// `par.detected_cores` / `par.planned_threads` gauges. A disabled
+/// registry uninstalls (same as [`uninstall_metrics`]). The hooks only
+/// time workers — results are unchanged, so instrumented runs stay
+/// bit-identical.
+pub fn install_metrics(registry: &MetricsRegistry) {
+    if !registry.is_enabled() {
+        uninstall_metrics();
+        return;
+    }
+    let instruments = ParMetrics {
+        fan_outs: registry.counter("par.fan_outs"),
+        busy: registry.histogram("par.worker_busy_nanos"),
+        chunks: registry.histogram("par.worker_chunks"),
+        cores: registry.gauge("par.detected_cores"),
+        planned: registry.gauge("par.planned_threads"),
+    };
+    *PAR_METRICS.lock().expect("par metrics poisoned") = Some(instruments);
+    PAR_METRICS_ON.store(true, Ordering::Release);
+}
+
+/// Removes the instruments installed by [`install_metrics`].
+pub fn uninstall_metrics() {
+    PAR_METRICS_ON.store(false, Ordering::Release);
+    *PAR_METRICS.lock().expect("par metrics poisoned") = None;
+}
+
+fn par_metrics() -> Option<ParMetrics> {
+    if PAR_METRICS_ON.load(Ordering::Acquire) {
+        PAR_METRICS.lock().expect("par metrics poisoned").clone()
+    } else {
+        None
     }
 }
 
@@ -162,19 +226,33 @@ where
     let chunk_size = (items.len() / (threads * CHUNKS_PER_THREAD)).max(min_chunk.max(1));
     let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
     let cursor = AtomicUsize::new(0);
+    let metrics = par_metrics();
+    if let Some(m) = &metrics {
+        m.fan_outs.inc();
+        m.cores.set(detected_cores() as f64);
+        m.planned.set(threads as f64);
+    }
     let mut parts: Vec<(usize, Vec<U>)> = Vec::with_capacity(chunks.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                let (f, init, chunks, cursor) = (&f, &init, &chunks, &cursor);
+                let (f, init, chunks, cursor, metrics) = (&f, &init, &chunks, &cursor, &metrics);
                 scope.spawn(move || {
                     without_nested_fan_out(|| {
+                        let start = metrics.as_ref().map(|_| Instant::now());
                         let mut state = init();
+                        let mut pulled = 0u64;
                         let mut done: Vec<(usize, Vec<U>)> = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(chunk) = chunks.get(i) else { break };
+                            pulled += 1;
                             done.push((i, chunk.iter().map(|t| f(&mut state, t)).collect()));
+                        }
+                        if let (Some(start), Some(m)) = (start, metrics) {
+                            let nanos = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                            m.busy.record(nanos);
+                            m.chunks.record(pulled);
                         }
                         done
                     })
@@ -275,6 +353,37 @@ mod tests {
         set_thread_cap(Some(usize::MAX));
         assert_eq!(effective_parallelism(), detected_cores());
         set_thread_cap(None);
+    }
+
+    #[test]
+    fn installed_metrics_observe_fan_outs_without_changing_results() {
+        let registry = MetricsRegistry::enabled();
+        install_metrics(&registry);
+        let items: Vec<u32> = (0..4096).collect();
+        let out = par_map(&items, 1, |&x| x ^ 0x55);
+        uninstall_metrics();
+        let expected: Vec<u32> = items.iter().map(|&x| x ^ 0x55).collect();
+        assert_eq!(out, expected, "instrumentation never perturbs results");
+        let snap = registry.snapshot();
+        // Single-core hosts (or a concurrent test holding the thread
+        // cap) run inline and record nothing — only assert the details
+        // when a parallel fan-out actually happened.
+        if snap.counter("par.fan_outs").unwrap_or(0) >= 1 {
+            let busy = snap.histogram("par.worker_busy_nanos").unwrap();
+            assert!(busy.count >= 2, "one busy sample per worker");
+            let chunks = snap.histogram("par.worker_chunks").unwrap();
+            assert_eq!(chunks.count, busy.count);
+            assert!(snap.gauge("par.detected_cores").unwrap() >= 1.0);
+            assert!(snap.gauge("par.planned_threads").unwrap() >= 2.0);
+        }
+        // After uninstall, nothing further is recorded.
+        let before = registry.snapshot().counter("par.fan_outs");
+        let _ = par_map(&items, 1, |&x| x);
+        assert_eq!(registry.snapshot().counter("par.fan_outs"), before);
+        // A disabled registry is an uninstall, not an error.
+        install_metrics(&MetricsRegistry::disabled());
+        let _ = par_map(&items, 1, |&x| x);
+        assert_eq!(registry.snapshot().counter("par.fan_outs"), before);
     }
 
     #[test]

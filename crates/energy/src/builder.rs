@@ -51,6 +51,14 @@ pub trait SurvivorTracker: std::fmt::Debug + Send {
         let _ = time;
     }
 
+    /// Installs a metrics registry on the underlying incremental engine,
+    /// so every [`SurvivorTracker::kill`] feeds the per-event-kind
+    /// latency histograms and replay counters. The default is a no-op
+    /// (view-free trackers have no engine to instrument).
+    fn set_metrics(&mut self, registry: &cbtc_metrics::MetricsRegistry) {
+        let _ = registry;
+    }
+
     /// Clones the tracker behind the object seam (lifetime simulations
     /// are `Clone`).
     fn clone_box(&self) -> Box<dyn SurvivorTracker>;

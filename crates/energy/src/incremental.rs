@@ -79,6 +79,14 @@ impl<M: LinkMetric> MetricSurvivorTopology<M> {
         }
     }
 
+    /// Installs a metrics registry on the CBTC engine; a no-op for the
+    /// view-free fast path (whose kills are trivial edge strips).
+    pub(crate) fn set_metrics(&mut self, registry: &cbtc_metrics::MetricsRegistry) {
+        if let Some(engine) = &mut self.cbtc {
+            engine.set_metrics(registry);
+        }
+    }
+
     /// Kills `dead` and reconfigures incrementally.
     ///
     /// # Panics
@@ -130,6 +138,10 @@ impl<M: LinkMetric + std::fmt::Debug + Clone + Send + 'static> SurvivorTracker
 
     fn set_trace_clock(&mut self, time: f64) {
         MetricSurvivorTopology::set_trace_clock(self, time);
+    }
+
+    fn set_metrics(&mut self, registry: &cbtc_metrics::MetricsRegistry) {
+        MetricSurvivorTopology::set_metrics(self, registry);
     }
 
     fn clone_box(&self) -> Box<dyn SurvivorTracker> {
@@ -233,6 +245,10 @@ impl SurvivorTracker for SurvivorTopology {
 
     fn set_trace_clock(&mut self, time: f64) {
         self.inner.set_trace_clock(time);
+    }
+
+    fn set_metrics(&mut self, registry: &cbtc_metrics::MetricsRegistry) {
+        self.inner.set_metrics(registry);
     }
 
     fn clone_box(&self) -> Box<dyn SurvivorTracker> {

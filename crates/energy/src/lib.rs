@@ -84,6 +84,7 @@
 mod builder;
 mod incremental;
 mod lifetime;
+mod mobile;
 mod model;
 pub mod phy;
 mod policy;
@@ -93,6 +94,7 @@ mod traffic;
 pub use builder::{IdealLinks, LinkReliability, SurvivorTracker, TopologyBuilder};
 pub use incremental::{SurvivorTopology, TopologyDelta};
 pub use lifetime::{LifetimeConfig, LifetimeReport, LifetimeSim};
+pub use mobile::{MobileLifetimeConfig, MobileLifetimeReport, MobileLifetimeSim};
 pub use model::{Battery, EnergyLedger, EnergyModel};
 pub use phy::{phy_lifetime_experiment, PhyLinks, PhyPolicy};
 pub use policy::TopologyPolicy;

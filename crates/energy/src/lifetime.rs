@@ -35,11 +35,13 @@
 //! tests replay against.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use cbtc_core::reconfig::graph_delta;
 use cbtc_core::reconfig::routing::{tree_reusable, SpTree};
 use cbtc_core::Network;
 use cbtc_graph::{NodeId, UndirectedGraph};
+use cbtc_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use cbtc_radio::{PathLoss, Power, PowerBasis};
 use cbtc_trace::{TraceEvent, TraceHandle, TRACE_VERSION};
 use serde::{Deserialize, Serialize};
@@ -224,6 +226,59 @@ impl RoutingTable {
     }
 }
 
+/// Pre-resolved lifetime-engine instruments (see [`LifetimeSim::set_metrics`]):
+/// per-epoch phase timings, outcome counters, and the accumulated expected
+/// ARQ attempts. Resolved once at install so the epoch loop never touches
+/// the registry's name map.
+#[derive(Debug, Clone)]
+struct LifetimeMetrics {
+    /// Wall-clock nanos of the traffic phase (routing + tx/rx drains).
+    nanos_traffic: Histogram,
+    /// Wall-clock nanos of the standby-drain phase.
+    nanos_standby: Histogram,
+    /// Wall-clock nanos of a death epoch's reconfiguration (tracker kill
+    /// or from-scratch rebuild, plus routing invalidation).
+    nanos_reconfig: Histogram,
+    /// Wall-clock nanos of the post-death connectivity check.
+    nanos_partition: Histogram,
+    epochs: Counter,
+    deaths: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    /// Total expected transmission attempts across all delivered hops
+    /// (ARQ retransmissions included; exactly the hop count on ideal
+    /// links).
+    arq_attempts: Gauge,
+}
+
+impl LifetimeMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        LifetimeMetrics {
+            nanos_traffic: registry.histogram("lifetime.nanos.traffic"),
+            nanos_standby: registry.histogram("lifetime.nanos.standby"),
+            nanos_reconfig: registry.histogram("lifetime.nanos.reconfig"),
+            nanos_partition: registry.histogram("lifetime.nanos.partition"),
+            epochs: registry.counter("lifetime.epochs"),
+            deaths: registry.counter("lifetime.deaths"),
+            delivered: registry.counter("lifetime.delivered"),
+            dropped: registry.counter("lifetime.dropped"),
+            arq_attempts: registry.gauge("lifetime.arq_attempts"),
+        }
+    }
+}
+
+/// Records the nanos since `*start` and resets `*start` to now, so
+/// consecutive phases chain without gaps.
+fn lap(start: &mut Instant) -> u64 {
+    let now = Instant::now();
+    let nanos = now
+        .duration_since(*start)
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64;
+    *start = now;
+    nanos
+}
+
 /// Looks up the cached `(tx power, routing weight, expected attempts)` of
 /// edge `{u, v}` in `u`'s row. The weight is the attempt-scaled hop cost
 /// (with ideal links, attempts is exactly `1.0` and the weight is exactly
@@ -308,6 +363,10 @@ pub struct LifetimeSim {
     trace: Option<TraceHandle>,
     /// Monotone counter of emitted [`TraceEvent::TopologyEpoch`] frames.
     trace_epoch: u32,
+    /// Pre-resolved metrics instruments; `None` (one `Option` check per
+    /// epoch) unless [`LifetimeSim::set_metrics`] installed an enabled
+    /// registry.
+    metrics: Option<LifetimeMetrics>,
 
     epoch: u32,
     first_death: Option<u32>,
@@ -382,6 +441,7 @@ impl LifetimeSim {
             radius_power: vec![Power::ZERO; n],
             trace: None,
             trace_epoch: 0,
+            metrics: None,
             epoch: 0,
             first_death: None,
             partition: None,
@@ -487,6 +547,25 @@ impl LifetimeSim {
         self.trace = Some(trace);
     }
 
+    /// Installs metrics instruments: per-epoch phase timings
+    /// (`lifetime.nanos.{traffic,standby,reconfig,partition}`), outcome
+    /// counters (`lifetime.{epochs,deaths,delivered,dropped}`), the
+    /// accumulated expected ARQ attempts (`lifetime.arq_attempts`), and —
+    /// through the survivor tracker — the incremental engine's per-batch
+    /// `reconfig.*` series. A disabled registry uninstalls.
+    ///
+    /// Like [`LifetimeSim::set_trace`], the instruments only observe
+    /// already-computed state: a metered run is bit-identical to an
+    /// unmetered one.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        if let Some(tracker) = &mut self.reconfig {
+            tracker.set_metrics(registry);
+        }
+        self.metrics = registry
+            .is_enabled()
+            .then(|| LifetimeMetrics::resolve(registry));
+    }
+
     /// Whether the run is over (battery exhaustion or the epoch cap).
     pub fn finished(&self) -> bool {
         self.alive_count == 0 || self.epoch >= self.config.max_epochs
@@ -498,6 +577,11 @@ impl LifetimeSim {
             return false;
         }
         let energy = self.config.energy;
+        // Phase clock (metered runs only): each phase records the nanos
+        // since the previous one's end, so the phases tile the epoch.
+        let mut phase_start = self.metrics.as_ref().map(|_| Instant::now());
+        let metrics_on = self.metrics.is_some();
+        let mut arq_attempts = 0.0f64;
 
         // 1. + 2. Traffic: route each packet, drain tx/rx along the path.
         let mut delivered = 0u32;
@@ -542,6 +626,9 @@ impl LifetimeSim {
                 let rx = self.batteries[v.index()].drain(attempts * energy.rx_cost);
                 self.ledger.rx += rx;
                 self.drained[v.index()] += rx;
+                if metrics_on {
+                    arq_attempts += attempts;
+                }
             }
             delivered += 1;
         }
@@ -549,6 +636,13 @@ impl LifetimeSim {
         self.flow_buf = flow_buf;
         self.delivered += delivered as u64;
         self.dropped += dropped as u64;
+        if let (Some(m), Some(start)) = (&self.metrics, &mut phase_start) {
+            m.nanos_traffic.record(lap(start));
+            m.epochs.inc();
+            m.delivered.add(delivered as u64);
+            m.dropped.add(dropped as u64);
+            m.arq_attempts.add(arq_attempts);
+        }
 
         // 3. Standby: idle + maintenance beaconing at radius power.
         for u in 0..self.batteries.len() {
@@ -562,6 +656,9 @@ impl LifetimeSim {
                 self.batteries[u].drain(energy.maintenance_duty * self.radius_power[u].linear());
             self.ledger.maintenance += beacons;
             self.drained[u] += beacons;
+        }
+        if let (Some(m), Some(start)) = (&self.metrics, &mut phase_start) {
+            m.nanos_standby.record(lap(start));
         }
 
         self.epoch += 1;
@@ -599,6 +696,12 @@ impl LifetimeSim {
             for &d in &newly_dead {
                 self.alive[d.index()] = false;
             }
+            if let (Some(m), Some(start)) = (&self.metrics, &mut phase_start) {
+                m.deaths.add(newly_dead.len() as u64);
+                // Reset so trace bookkeeping above stays out of the
+                // reconfiguration timing.
+                *start = Instant::now();
+            }
             let delta = if self.reconfig.is_some() {
                 let tracker = self.reconfig.as_mut().expect("checked");
                 tracker.set_trace_clock(time);
@@ -613,12 +716,21 @@ impl LifetimeSim {
                 self.refresh_routing_and_radii();
                 before.map_or_else(TopologyDelta::default, |b| graph_delta(&b, self.topology()))
             };
+            if let (Some(m), Some(start)) = (&self.metrics, &mut phase_start) {
+                m.nanos_reconfig.record(lap(start));
+            }
             if let Some(old) = old_radii {
                 self.record_death_epoch(time, &delta, &old);
             }
             // 5. Milestones. Connectivity can only change when the
             // topology does, so the check lives inside the death branch.
+            if let Some(start) = &mut phase_start {
+                *start = Instant::now();
+            }
             self.check_partition();
+            if let (Some(m), Some(start)) = (&self.metrics, &mut phase_start) {
+                m.nanos_partition.record(lap(start));
+            }
         }
 
         self.alive_curve.push(self.alive_count);
@@ -935,6 +1047,54 @@ mod tests {
         );
         let sum = |sim: &LifetimeSim| -> f64 { sim.radius_power.iter().map(|p| p.linear()).sum() };
         assert!(sum(&cbtc) < sum(&max_power) / 2.0);
+    }
+
+    #[test]
+    fn metrics_count_the_run_without_perturbing_it() {
+        let network = chain(100.0, 10);
+        let policy = TopologyPolicy::Cbtc(CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS));
+        let plain = LifetimeSim::new(network.clone(), policy, quick_config(), 5).run();
+
+        let registry = MetricsRegistry::enabled();
+        let mut sim = LifetimeSim::new(network, policy, quick_config(), 5);
+        sim.set_metrics(&registry);
+        let report = sim.run();
+        assert_eq!(report, plain, "metered run must be bit-identical");
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("lifetime.epochs"),
+            Some(u64::from(report.epochs_run))
+        );
+        assert_eq!(snap.counter("lifetime.delivered"), Some(report.delivered));
+        assert_eq!(snap.counter("lifetime.dropped"), Some(report.dropped));
+        let dead = 10 - u64::from(*report.alive_curve.last().unwrap());
+        assert_eq!(snap.counter("lifetime.deaths"), Some(dead));
+        assert!(dead > 0, "the scenario must exercise deaths");
+        assert!(snap.gauge("lifetime.arq_attempts").unwrap() > 0.0);
+        let hist = |name: &str| snap.histogram(name).map_or(0, |h| h.count);
+        assert_eq!(hist("lifetime.nanos.traffic"), u64::from(report.epochs_run));
+        assert_eq!(hist("lifetime.nanos.standby"), u64::from(report.epochs_run));
+        assert!(hist("lifetime.nanos.reconfig") > 0);
+        assert_eq!(
+            hist("lifetime.nanos.reconfig"),
+            hist("lifetime.nanos.partition")
+        );
+        // The survivor tracker forwards to the incremental engine's
+        // per-batch reconfiguration series.
+        assert!(snap.counter("reconfig.batches").unwrap() > 0);
+        assert_eq!(
+            snap.counter("reconfig.events.death"),
+            snap.counter("lifetime.deaths")
+        );
+
+        // A disabled registry uninstalls and records nothing further.
+        let registry2 = MetricsRegistry::enabled();
+        let mut sim2 = LifetimeSim::new(chain(100.0, 4), policy, quick_config(), 5);
+        sim2.set_metrics(&registry2);
+        sim2.set_metrics(&MetricsRegistry::disabled());
+        sim2.step();
+        assert_eq!(registry2.snapshot().counter("lifetime.epochs"), Some(0));
     }
 
     #[test]

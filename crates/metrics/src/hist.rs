@@ -1,0 +1,384 @@
+//! The log-bucketed latency histogram.
+
+use std::fmt;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantization
+/// error of any recorded value by `2^-SUB_BITS` (≈ 3.1%).
+const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range: the linear range
+/// `0..SUB` plus `64 - SUB_BITS` octaves of `SUB` sub-buckets each.
+const BUCKETS: usize = SUB * (64 - SUB_BITS as usize + 1);
+
+/// An HDR-style log-bucketed histogram of `u64` samples (nanoseconds, set
+/// sizes, counts — any non-negative magnitude).
+///
+/// Values below `32` land in exact unit-width buckets; above, each
+/// power-of-two octave is split into 32 linear sub-buckets, so every
+/// quantile is exact to within one sub-bucket (≤ 3.1% relative). The
+/// recorded maximum and minimum are tracked exactly and quantiles are
+/// clamped to them, so [`LogHistogram::max`] and the `q = 1.0` quantile
+/// are always exact. Storage is one fixed `Vec` of bucket counts,
+/// allocated at construction — recording is two adds and a `min`/`max`,
+/// never an allocation.
+///
+/// Histograms [`merge`](LogHistogram::merge): per-worker shards recorded
+/// independently and merged afterwards are bit-identical to one histogram
+/// that saw every sample.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_metrics::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in [10, 20, 30] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.quantile(0.5), 20);
+/// assert_eq!(h.max(), 30);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    /// Saturating sum of all recorded values (for the mean).
+    sum: u64,
+    /// Exact extremes; `min > max` encodes "empty".
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+/// The bucket a value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let exp = (63 - v.leading_zeros()) - SUB_BITS;
+        ((exp as usize + 1) << SUB_BITS) + ((v >> exp) as usize & (SUB - 1))
+    }
+}
+
+/// The smallest value mapping to bucket `i`.
+fn bucket_low(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let exp = (i >> SUB_BITS) as u32 - 1;
+        ((SUB + (i & (SUB - 1))) as u64) << exp
+    }
+}
+
+/// The largest value mapping to bucket `i`.
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let exp = (i >> SUB_BITS) as u32 - 1;
+        // Parenthesized so the top bucket (low = 2^64 - 2^exp) reaches
+        // u64::MAX without the intermediate sum overflowing.
+        bucket_low(i) + ((1u64 << exp) - 1)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (one bucket-array allocation, nothing after).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram (a per-worker shard) into this one —
+    /// bit-identical to having recorded the other's samples here.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (slot, &c) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest sample (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (nearest-rank over the bucket
+    /// counts): the upper bound of the bucket holding the rank, clamped
+    /// to the exact recorded extremes. Returns `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// The non-empty buckets as `(lowest value of bucket, count)`, in
+    /// ascending value order — the compact serialized form.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_low(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_ordered() {
+        // Every bucket's low is its own index's low, highs touch the next
+        // low, and the value→bucket map is monotone.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_low(i)), i, "low of bucket {i}");
+            assert_eq!(bucket_index(bucket_high(i)), i, "high of bucket {i}");
+            assert_eq!(
+                bucket_high(i) + 1,
+                bucket_low(i + 1),
+                "gap between buckets {i} and {}",
+                i + 1
+            );
+        }
+        // The last bucket covers the top of the u64 range.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+        // Exact unit buckets below the sub-bucket count.
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_low(bucket_index(v)), v);
+            assert_eq!(bucket_high(bucket_index(v)), v);
+        }
+        // Spot checks at octave boundaries.
+        for v in [31u64, 32, 33, 63, 64, 65, 127, 128, 1 << 20, (1 << 20) + 1] {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v && v <= bucket_high(i), "{v}");
+        }
+    }
+
+    #[test]
+    fn small_values_have_exact_quantiles() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.p50(), 20);
+        assert_eq!(h.quantile(1.0), 30);
+        assert_eq!(h.max(), 30);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.sum(), 60);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_within_one_subbucket() {
+        // 1..=10_000 recorded once each: every quantile must land within
+        // one sub-bucket (≤ 2^-5 relative) of the true order statistic.
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for q in [0.01f64, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = ((q * 10_000.0).ceil() as u64).clamp(1, 10_000);
+            let approx = h.quantile(q);
+            let err = approx.abs_diff(exact) as f64 / exact as f64;
+            assert!(
+                err <= 1.0 / SUB as f64,
+                "q={q}: exact {exact}, got {approx} (err {err})"
+            );
+            assert!(approx >= exact, "bucket-high convention never undershoots");
+        }
+        assert_eq!(h.quantile(1.0), 10_000, "max is exact");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LogHistogram::new();
+        let mut state = 9u64;
+        for _ in 0..5_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(state >> 40);
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {vals:?}");
+        }
+        assert_eq!(*vals.last().unwrap(), h.max());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let samples: Vec<u64> = (0..2_000u64).map(|i| i * i % 77_777).collect();
+        let mut whole = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merged shards equal the single histogram");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn record_n_and_extremes() {
+        let mut h = LogHistogram::new();
+        h.record_n(1_000, 99);
+        h.record(5_000_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 5_000_000);
+        // p99 is still in the 1_000 bucket (rank 99 of 100)…
+        let p99 = h.p99();
+        assert!((1_000..1_100).contains(&p99), "p99 = {p99}");
+        // …and the top quantile reports the exact outlier.
+        assert_eq!(h.quantile(1.0), 5_000_000);
+        h.record_n(7, 0);
+        assert_eq!(h.count(), 100, "recording zero samples is a no-op");
+    }
+
+    #[test]
+    fn nonzero_buckets_round_trip_bucket_identity() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 31, 32, 1_000, 123_456_789] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        for &(low, _) in &buckets {
+            assert_eq!(
+                bucket_low(bucket_index(low)),
+                low,
+                "a bucket low is its own bucket's low"
+            );
+        }
+        let lows: Vec<u64> = buckets.iter().map(|&(l, _)| l).collect();
+        assert!(lows.windows(2).all(|w| w[0] < w[1]), "ascending");
+    }
+}

@@ -1,0 +1,380 @@
+//! The registry and its instrument handles.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::hist::LogHistogram;
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// A monotonic event counter.
+///
+/// Disabled handles (from [`MetricsRegistry::disabled`]) carry no storage
+/// and every operation is a no-op — the hot-loop cost of an uninstalled
+/// counter is one `Option` check.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total (`0` for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A last-value (plus accumulate) gauge over `f64`.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Overwrites the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulates `delta` (a compare-exchange loop; gauges are updated
+    /// at epoch granularity, not per event).
+    pub fn add(&self, delta: f64) {
+        let Some(cell) = &self.0 else { return };
+        let mut current = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current value (`0.0` for a disabled handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// A shared handle to one registered [`LogHistogram`].
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<Mutex<LogHistogram>>>);
+
+impl Histogram {
+    /// Whether this handle records anywhere (it came from an enabled
+    /// registry). Callers use this to skip the wall-clock reads that
+    /// produce the samples in the first place.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(hist) = &self.0 {
+            hist.lock().expect("histogram poisoned").record(v);
+        }
+    }
+
+    /// Folds a locally recorded shard in — the per-worker pattern: record
+    /// into an owned [`LogHistogram`] with no lock traffic, merge once.
+    pub fn merge_shard(&self, shard: &LogHistogram) {
+        if let Some(hist) = &self.0 {
+            hist.lock().expect("histogram poisoned").merge(shard);
+        }
+    }
+
+    /// Runs `f`; when enabled, records the elapsed nanoseconds.
+    #[inline]
+    pub fn timed<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.0 {
+            None => f(),
+            Some(hist) => {
+                let start = Instant::now();
+                let result = f();
+                let nanos = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                hist.lock().expect("histogram poisoned").record(nanos);
+                result
+            }
+        }
+    }
+
+    /// A copy of the current histogram (empty for a disabled handle).
+    pub fn load(&self) -> LogHistogram {
+        self.0
+            .as_ref()
+            .map_or_else(LogHistogram::new, |h| h.lock().expect("poisoned").clone())
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            None => write!(f, "Histogram(disabled)"),
+            Some(h) => write!(f, "Histogram({:?})", h.lock().expect("poisoned")),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Store {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<Mutex<LogHistogram>>>,
+}
+
+/// A cloneable handle to one shared metrics store — the form the engines
+/// accept, mirroring `cbtc_trace::TraceHandle`.
+///
+/// The default ([`MetricsRegistry::disabled`]) registry is a no-op: every
+/// instrument it hands out carries no storage, records nothing, and
+/// reads no clock, so a run with metrics disabled is *bit-identical* to
+/// one with no metrics code at all (the workspace property tests pin
+/// this down across the churn, lifetime and phy paths). Instruments are
+/// resolved by name once, at installation time — the hot loops touch
+/// only the pre-resolved handles, never the name map.
+///
+/// # Example
+///
+/// ```
+/// use cbtc_metrics::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::enabled();
+/// let events = registry.counter("service.events");
+/// let latency = registry.histogram("service.nanos");
+/// events.inc();
+/// latency.record(1_250);
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.counter("service.events"), Some(1));
+/// assert_eq!(snap.histogram("service.nanos").unwrap().count, 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Mutex<Store>>>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// The no-op registry (the default): hands out disabled instruments.
+    pub fn disabled() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    /// A live registry backed by shared storage.
+    pub fn enabled() -> Self {
+        MetricsRegistry {
+            inner: Some(Arc::new(Mutex::new(Store::default()))),
+        }
+    }
+
+    /// Whether instruments from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The counter registered under `name` (created on first use;
+    /// subsequent calls share the same cell).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .lock()
+                    .expect("metrics store poisoned")
+                    .counters
+                    .entry(name.to_owned())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// The gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .lock()
+                    .expect("metrics store poisoned")
+                    .gauges
+                    .entry(name.to_owned())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// The histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .lock()
+                    .expect("metrics store poisoned")
+                    .histograms
+                    .entry(name.to_owned())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// A point-in-time copy of every registered instrument, names sorted
+    /// — deterministic for a deterministic run. A disabled registry
+    /// snapshots to the empty [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let store = inner.lock().expect("metrics store poisoned");
+        MetricsSnapshot {
+            counters: store
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: store
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: store
+                .histograms
+                .iter()
+                .map(|(k, h)| HistogramSnapshot::of(k, &h.lock().expect("histogram poisoned")))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let registry = MetricsRegistry::disabled();
+        assert!(!registry.is_enabled());
+        let c = registry.counter("x");
+        let g = registry.gauge("y");
+        let h = registry.histogram("z");
+        c.add(7);
+        g.set(1.5);
+        g.add(2.5);
+        h.record(100);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert!(!h.enabled());
+        assert!(h.load().is_empty());
+        assert_eq!(h.timed(|| 42), 42);
+        assert_eq!(registry.snapshot(), MetricsSnapshot::default());
+        assert_eq!(
+            MetricsRegistry::default().snapshot(),
+            MetricsSnapshot::default(),
+            "the default registry is the disabled one"
+        );
+    }
+
+    #[test]
+    fn instruments_share_storage_by_name() {
+        let registry = MetricsRegistry::enabled();
+        registry.counter("events").add(2);
+        registry.counter("events").inc();
+        assert_eq!(registry.counter("events").get(), 3);
+        registry.gauge("cores").set(8.0);
+        registry.gauge("cores").add(-2.0);
+        assert_eq!(registry.gauge("cores").get(), 6.0);
+        registry.histogram("lat").record(10);
+        registry.histogram("lat").record(30);
+        let h = registry.histogram("lat").load();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 30);
+    }
+
+    #[test]
+    fn timed_records_positive_nanos_when_enabled() {
+        let registry = MetricsRegistry::enabled();
+        let h = registry.histogram("t");
+        assert!(h.enabled());
+        let out = h.timed(|| std::hint::black_box((0..1000).sum::<u64>()));
+        assert_eq!(out, 499_500);
+        let loaded = h.load();
+        assert_eq!(loaded.count(), 1);
+        assert!(loaded.max() > 0);
+    }
+
+    #[test]
+    fn merge_shard_folds_local_recordings() {
+        let registry = MetricsRegistry::enabled();
+        let h = registry.histogram("busy");
+        let mut shard = LogHistogram::new();
+        shard.record(5);
+        shard.record(500);
+        h.merge_shard(&shard);
+        let loaded = h.load();
+        assert_eq!(loaded.count(), 2);
+        assert_eq!(loaded.min(), 5);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let registry = MetricsRegistry::enabled();
+        registry.counter("b.count").inc();
+        registry.counter("a.count").add(4);
+        registry.gauge("g").set(2.25);
+        registry.histogram("h").record(64);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.count".to_owned(), 4), ("b.count".to_owned(), 1)]
+        );
+        assert_eq!(snap.gauges, vec![("g".to_owned(), 2.25)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].name, "h");
+        assert_eq!(snap.histograms[0].count, 1);
+        assert_eq!(snap.counter("a.count"), Some(4));
+        assert_eq!(snap.counter("missing"), None);
+        assert!(snap.histogram("h").is_some());
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let registry = MetricsRegistry::enabled();
+        let clone = registry.clone();
+        clone.counter("shared").inc();
+        assert_eq!(registry.counter("shared").get(), 1);
+    }
+}

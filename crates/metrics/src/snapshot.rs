@@ -1,0 +1,177 @@
+//! Point-in-time serializable views of a registry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::LogHistogram;
+
+/// The summary of one histogram at snapshot time.
+///
+/// `buckets` lists only occupied buckets as `(bucket_low, count)` pairs,
+/// so the full distribution survives serialization without the ~2k
+/// zero-bucket dead weight; percentiles are precomputed so consumers
+/// (bench JSON, trace analyzers) never need the bucket layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registered instrument name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest recorded sample (`0` when empty).
+    pub min: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+    /// Median (nearest-rank over log buckets, ≤3.1% relative error).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Occupied buckets as `(bucket_low, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Summarizes `hist` under `name`.
+    pub fn of(name: &str, hist: &LogHistogram) -> Self {
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count: hist.count(),
+            sum: hist.sum(),
+            min: hist.min(),
+            max: hist.max(),
+            p50: hist.p50(),
+            p99: hist.p99(),
+            p999: hist.p999(),
+            buckets: hist.nonzero_buckets(),
+        }
+    }
+
+    /// Arithmetic mean of the recorded samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every instrument in a [`MetricsRegistry`],
+/// sorted by name — the unit that lands in `BENCH_reconfig.json` and,
+/// as a final JSONL record, in schema-v3 traces.
+///
+/// [`MetricsRegistry`]: crate::MetricsRegistry
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` for every counter, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, ascending by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Every histogram summary, ascending by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when no instrument was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The counter total registered under `name`, if any.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The gauge value registered under `name`, if any.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram summary registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot(values: &[u64]) -> MetricsSnapshot {
+        let mut hist = LogHistogram::new();
+        for &v in values {
+            hist.record(v);
+        }
+        MetricsSnapshot {
+            counters: vec![("events".to_owned(), values.len() as u64)],
+            gauges: vec![("cores".to_owned(), 8.5)],
+            histograms: vec![HistogramSnapshot::of("latency", &hist)],
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_summarizes_faithfully() {
+        let mut hist = LogHistogram::new();
+        for v in [1, 2, 3, 1000, 5000] {
+            hist.record(v);
+        }
+        let snap = HistogramSnapshot::of("x", &hist);
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 6006);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 5000);
+        assert_eq!(snap.p50, hist.p50());
+        assert_eq!(snap.p999, hist.p999());
+        assert_eq!(
+            snap.buckets.iter().map(|&(_, c)| c).sum::<u64>(),
+            5,
+            "bucket counts cover every sample"
+        );
+        assert!((snap.mean() - 6006.0 / 5.0).abs() < 1e-9);
+        assert_eq!(HistogramSnapshot::of("e", &LogHistogram::new()).mean(), 0.0);
+    }
+
+    #[test]
+    fn lookup_helpers_find_by_name() {
+        let snap = sample_snapshot(&[10, 20, 30]);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.counter("events"), Some(3));
+        assert_eq!(snap.counter("nope"), None);
+        assert_eq!(snap.gauge("cores"), Some(8.5));
+        assert_eq!(snap.gauge("nope"), None);
+        assert_eq!(snap.histogram("latency").unwrap().count, 3);
+        assert!(snap.histogram("nope").is_none());
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = sample_snapshot(&[1, 31, 32, 33, 1_000_000, u64::MAX / 3]);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn snapshot_json_round_trip(values in proptest::collection::vec(0u64..u64::MAX, 0..200)) {
+            let snap = sample_snapshot(&values);
+            let json = serde_json::to_string(&snap).expect("serialize");
+            let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+            proptest::prop_assert_eq!(back, snap);
+        }
+    }
+}

@@ -3,6 +3,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use cbtc_metrics::{LogHistogram, MetricsSnapshot};
+
 use crate::{TraceEvent, TRACE_VERSION};
 
 /// A malformed trace: where and why.
@@ -87,7 +89,9 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Summarizes a sample (order irrelevant).
+    /// Summarizes a sample held in memory (order irrelevant). Prefer
+    /// [`LatencyStats::from_histogram`] when samples arrive streaming —
+    /// a million-event trace needs no million-entry buffer.
     pub fn of(samples: &[u64]) -> Self {
         let mut sorted: Vec<f64> = samples.iter().map(|&n| n as f64).collect();
         sorted.sort_by(f64::total_cmp);
@@ -96,6 +100,18 @@ impl LatencyStats {
             p50: percentile(&sorted, 0.50),
             p99: percentile(&sorted, 0.99),
             max: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Summarizes a [`LogHistogram`] — constant memory regardless of
+    /// sample count; p50/p99 are exact to one sub-bucket (≤3.1%), max is
+    /// exact.
+    pub fn from_histogram(hist: &LogHistogram) -> Self {
+        LatencyStats {
+            count: hist.count() as usize,
+            p50: hist.p50() as f64,
+            p99: hist.p99() as f64,
+            max: hist.max() as f64,
         }
     }
 }
@@ -137,10 +153,14 @@ pub struct TraceAnalysis {
     /// `(burst, after)` reconvergence latencies, in trace time units.
     pub reconvergence: Vec<(f64, f64)>,
     /// Per-event `DeltaTopology` wall-clock samples (nanoseconds; all
-    /// zero when the trace was recorded with timing off).
-    pub reconfig_nanos: Vec<u64>,
-    /// Nodes re-grown per reconfiguration event.
-    pub reconfig_regrown: Vec<u32>,
+    /// zero when the trace was recorded with timing off), accumulated
+    /// streaming into a fixed-size histogram — analyzing a million-event
+    /// trace costs no per-event memory.
+    pub reconfig_nanos: LogHistogram,
+    /// Nodes re-grown per reconfiguration event, as a histogram.
+    pub reconfig_regrown: LogHistogram,
+    /// The run's attached [`TraceEvent::Metrics`] snapshot, if any.
+    pub metrics: Option<MetricsSnapshot>,
     /// The last energy snapshot, if any: `(time, per-node energy)`.
     pub last_energy: Option<(f64, Vec<f64>)>,
     /// The last PRR snapshot, if any: `(time, delivered, lost + phy
@@ -151,13 +171,13 @@ pub struct TraceAnalysis {
 impl TraceAnalysis {
     /// Per-event reconfiguration latency percentiles.
     pub fn reconfig_latency(&self) -> LatencyStats {
-        LatencyStats::of(&self.reconfig_nanos)
+        LatencyStats::from_histogram(&self.reconfig_nanos)
     }
 
     /// Whether the trace carries real wall-clock latency samples (it
     /// was recorded with [`crate::TraceHandle::with_timing`] on).
     pub fn has_latency_samples(&self) -> bool {
-        self.reconfig_nanos.iter().any(|&n| n > 0)
+        self.reconfig_nanos.max() > 0
     }
 
     /// Final degree of each node, from [`TraceAnalysis::final_edges`].
@@ -260,8 +280,9 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
     let mut moves = 0usize;
     let mut power_per_node = vec![(0u32, 0.0f64); nodes as usize];
     let mut reconvergence = Vec::new();
-    let mut reconfig_nanos = Vec::new();
-    let mut reconfig_regrown = Vec::new();
+    let mut reconfig_nanos = LogHistogram::new();
+    let mut reconfig_regrown = LogHistogram::new();
+    let mut metrics = None;
     let mut last_energy = None;
     let mut last_prr = None;
 
@@ -357,8 +378,14 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
                 reconvergence.push((*burst, *after));
             }
             TraceEvent::Reconfig { regrown, nanos, .. } => {
-                reconfig_nanos.push(*nanos);
-                reconfig_regrown.push(*regrown);
+                reconfig_nanos.record(*nanos);
+                reconfig_regrown.record(u64::from(*regrown));
+            }
+            TraceEvent::Metrics { snapshot, .. } => {
+                if metrics.is_some() {
+                    return Err(err(line, "duplicate Metrics record"));
+                }
+                metrics = Some(snapshot.clone());
             }
             TraceEvent::EnergySnapshot { time, energy } => {
                 check_len(line, "EnergySnapshot.energy", energy.len())?;
@@ -394,6 +421,7 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
         reconvergence,
         reconfig_nanos,
         reconfig_regrown,
+        metrics,
         last_energy,
         last_prr,
     })
@@ -525,6 +553,14 @@ mod tests {
                 removed: 1,
                 nanos: 0,
             },
+            TraceEvent::Metrics {
+                time: 10.0,
+                snapshot: {
+                    let registry = cbtc_metrics::MetricsRegistry::enabled();
+                    registry.counter("reconfig.events").inc();
+                    registry.snapshot()
+                },
+            },
         ];
         let a = analyze(&events).unwrap();
         assert_eq!(a.final_edges, vec![(0, 1)]);
@@ -534,6 +570,11 @@ mod tests {
         assert_eq!(a.final_degrees(), vec![1, 1, 0, 0]);
         assert!(!a.has_latency_samples());
         assert_eq!(a.reconfig_latency().count, 1);
+        assert_eq!(a.reconfig_regrown.sum(), 2, "regrown total survives");
+        assert_eq!(
+            a.metrics.as_ref().unwrap().counter("reconfig.events"),
+            Some(1)
+        );
         assert!(a.connection_matrix()[0][1]);
         let buckets = a.bucketed_matrix(2);
         assert_eq!(buckets[0][0], 1, "edge (0,1) lands in bucket (0,0)");
@@ -571,6 +612,13 @@ mod tests {
         assert!(e.to_string().contains("absent edge"), "{e}");
         let dup_meta = vec![meta(2), meta(2)];
         assert!(analyze(&dup_meta).is_err());
+        let metrics_record = TraceEvent::Metrics {
+            time: 1.0,
+            snapshot: cbtc_metrics::MetricsSnapshot::default(),
+        };
+        let dup_metrics = vec![meta(2), metrics_record.clone(), metrics_record];
+        let e = analyze(&dup_metrics).unwrap_err();
+        assert!(e.to_string().contains("duplicate Metrics"), "{e}");
     }
 
     #[test]
@@ -592,6 +640,19 @@ mod tests {
         assert_eq!(stats.p50, 20.0);
         assert_eq!(stats.max, 30.0);
         assert_eq!(stats.count, 3);
+    }
+
+    #[test]
+    fn latency_stats_from_histogram_matches_exact_small_samples() {
+        let mut hist = LogHistogram::new();
+        for v in [10u64, 20, 30] {
+            hist.record(v);
+        }
+        let stats = LatencyStats::from_histogram(&hist);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.p50, 20.0, "values < 32 are bucketed exactly");
+        assert_eq!(stats.max, 30.0);
+        assert_eq!(LatencyStats::from_histogram(&LogHistogram::new()).count, 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The versioned trace event schema.
 
+use cbtc_metrics::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Schema version written into every [`TraceEvent::Meta`] header and
@@ -9,8 +10,10 @@ use serde::{Deserialize, Serialize};
 /// Version history: 1 — initial schema; 2 — `Meta` gains the `pricing`
 /// field recording the run's power-pricing basis (`"geometric"` /
 /// `"measured"`), so the analyzer can label energy summaries honestly
-/// for phy traces.
-pub const TRACE_VERSION: u32 = 2;
+/// for phy traces; 3 — new [`TraceEvent::Metrics`] record attaching a
+/// run's final `MetricsSnapshot` (counters, gauges, latency histograms)
+/// to the trace.
+pub const TRACE_VERSION: u32 = 3;
 
 /// One line of a trace: everything an observer needs to replay a run.
 ///
@@ -149,6 +152,14 @@ pub enum TraceEvent {
         /// handle's timing is off (deterministic traces).
         nanos: u64,
     },
+    /// The run's metrics registry, dumped as a snapshot — written once,
+    /// as the final record of a metrics-enabled run.
+    Metrics {
+        /// Snapshot time (the engine's trace clock at shutdown).
+        time: f64,
+        /// Every registered counter, gauge and histogram.
+        snapshot: MetricsSnapshot,
+    },
     /// Per-node energy snapshot: battery remaining (lifetime traces) or
     /// cumulative transmission energy spent (churn traces), linear
     /// units.
@@ -193,6 +204,7 @@ impl TraceEvent {
             TraceEvent::Beacon { .. } => "Beacon",
             TraceEvent::Reconverged { .. } => "Reconverged",
             TraceEvent::Reconfig { .. } => "Reconfig",
+            TraceEvent::Metrics { .. } => "Metrics",
             TraceEvent::EnergySnapshot { .. } => "EnergySnapshot",
             TraceEvent::PrrSnapshot { .. } => "PrrSnapshot",
         }
@@ -212,6 +224,7 @@ impl TraceEvent {
             | TraceEvent::Beacon { time }
             | TraceEvent::Reconverged { time, .. }
             | TraceEvent::Reconfig { time, .. }
+            | TraceEvent::Metrics { time, .. }
             | TraceEvent::EnergySnapshot { time, .. }
             | TraceEvent::PrrSnapshot { time, .. } => time,
         }
@@ -251,6 +264,16 @@ mod tests {
                 added: 2,
                 removed: 0,
                 nanos: 0,
+            },
+            TraceEvent::Metrics {
+                time: 10.0,
+                snapshot: {
+                    let registry = cbtc_metrics::MetricsRegistry::enabled();
+                    registry.counter("reconfig.events").add(2);
+                    registry.gauge("par.detected_cores").set(4.0);
+                    registry.histogram("reconfig.nanos").record(12_345);
+                    registry.snapshot()
+                },
             },
         ];
         for e in &events {

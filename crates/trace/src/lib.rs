@@ -36,6 +36,10 @@
 //!   energy-balance collapse is visible as it unfolds.
 //! * [`TraceEvent::PrrSnapshot`] — delivery/loss counters of the
 //!   stochastic physical layer under the §5 workloads.
+//! * [`TraceEvent::Metrics`] — the run's final `cbtc-metrics` snapshot
+//!   (per-event-kind latency histograms, replay/grid-scan counters,
+//!   worker busy time): the serving-grade cost profile of the §4
+//!   maintenance loop, attached as the trace's last record.
 //!
 //! ## Format
 //!

@@ -44,6 +44,7 @@ use cbtc_graph::connectivity::same_partition;
 use cbtc_graph::paths::power_weight;
 use cbtc_graph::unit_disk::unit_disk_graph_where;
 use cbtc_graph::{Layout, NodeId, UndirectedGraph};
+use cbtc_metrics::MetricsRegistry;
 use cbtc_radio::{PathLoss, Power, PowerLaw, PowerSchedule};
 use cbtc_sim::{Engine, FaultConfig, SimTime};
 use cbtc_trace::{TraceEvent, TraceHandle, TRACE_VERSION};
@@ -424,7 +425,26 @@ pub fn run_churn_with(
     seed: u64,
     phy: Option<&cbtc_phy::PhyProfile>,
 ) -> ChurnReport {
-    run_churn_impl(scenario, seed, phy, true, None)
+    run_churn_impl(scenario, seed, phy, true, None, None)
+}
+
+/// [`run_churn_with`] with a metrics registry installed on the
+/// incremental `G_α` reference: every burst's event batch lands in the
+/// engine's `reconfig.*` series (per-kind latency, affected-set sizes,
+/// replay-vs-grid-scan counters) — the same names the lifetime engine
+/// and the reconfiguration service report through. Purely
+/// observational: the report is **bit-identical** to [`run_churn_with`].
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`ChurnScenario::validate`].
+pub fn run_churn_metered(
+    scenario: &ChurnScenario,
+    seed: u64,
+    phy: Option<&cbtc_phy::PhyProfile>,
+    registry: &MetricsRegistry,
+) -> ChurnReport {
+    run_churn_impl(scenario, seed, phy, true, None, Some(registry))
 }
 
 /// [`run_churn_with`] with observability hooks installed: the run streams
@@ -452,7 +472,7 @@ pub fn run_churn_traced(
     phy: Option<&cbtc_phy::PhyProfile>,
     trace: &TraceHandle,
 ) -> ChurnReport {
-    run_churn_impl(scenario, seed, phy, true, Some(trace))
+    run_churn_impl(scenario, seed, phy, true, Some(trace), None)
 }
 
 /// The suite body, with the centralized-probe strategy explicit:
@@ -468,6 +488,7 @@ fn run_churn_impl(
     phy: Option<&cbtc_phy::PhyProfile>,
     incremental_probes: bool,
     trace: Option<&TraceHandle>,
+    metrics: Option<&MetricsRegistry>,
 ) -> ChurnReport {
     if let Err(e) = scenario.validate() {
         panic!("invalid churn scenario: {e}");
@@ -553,6 +574,9 @@ fn run_churn_impl(
         // Incremental-reference hooks: every `DeltaTopology::apply`
         // batch records a `Reconfig` cost sample.
         ref_track.set_trace(trace.clone());
+    }
+    if let Some(registry) = metrics {
+        ref_track.set_metrics(registry);
     }
     let mut ref_active = ref_active;
     let mut reference: Vec<ReferenceSample> = Vec::new();
@@ -945,6 +969,14 @@ impl RefTrack {
             engine.set_trace_clock(time);
         }
     }
+
+    /// Installs metrics on the incremental engine (the scratch mode has
+    /// no per-batch cost to sample).
+    fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        if let RefTrack::Incremental(engine) = self {
+            engine.set_metrics(registry);
+        }
+    }
 }
 
 /// One graph's cached shortest-path trees at the last stretch probe.
@@ -1119,6 +1151,28 @@ mod tests {
     }
 
     #[test]
+    fn metered_churn_is_bit_identical_and_counts_burst_events() {
+        let plain = run_churn(&ChurnScenario::smoke(), 3);
+        let registry = MetricsRegistry::enabled();
+        let metered = run_churn_metered(&ChurnScenario::smoke(), 3, None, &registry);
+        assert_eq!(plain, metered, "metrics must not perturb the run");
+        let snap = registry.snapshot();
+        let batches = snap.counter("reconfig.batches").unwrap();
+        assert!(batches > 0, "the reference absorbed no batches");
+        // Every sampled burst event is in the engine's counters; the
+        // final horizon settle adds drift moves beyond the samples.
+        let total_events = plain
+            .reference
+            .iter()
+            .map(|s| u64::from(s.events))
+            .sum::<u64>();
+        let counted = snap.counter("reconfig.events.move").unwrap()
+            + snap.counter("reconfig.events.join").unwrap()
+            + snap.counter("reconfig.events.death").unwrap();
+        assert!(counted >= total_events, "{counted} < {total_events}");
+    }
+
+    #[test]
     fn incremental_probes_match_from_scratch_probes() {
         // The G_α reference through DeltaTopology and the stretch
         // dijkstras through the tree cache must reproduce the
@@ -1134,8 +1188,8 @@ mod tests {
                 }
                 r
             };
-            let inc = strip(run_churn_impl(&scenario, seed, None, true, None));
-            let scratch = strip(run_churn_impl(&scenario, seed, None, false, None));
+            let inc = strip(run_churn_impl(&scenario, seed, None, true, None, None));
+            let scratch = strip(run_churn_impl(&scenario, seed, None, false, None, None));
             assert_eq!(inc, scratch, "seed {seed}");
         }
     }
@@ -1167,6 +1221,24 @@ mod tests {
         let a = run_churn(&ChurnScenario::smoke(), 11);
         let b = run_churn_with(&ChurnScenario::smoke(), 11, Some(&ideal));
         assert_eq!(a, b, "σ = 0 / PRR = 1 churn must replay the ideal run");
+    }
+
+    #[test]
+    fn metered_lossy_phy_churn_is_bit_identical() {
+        // The metrics hooks must stay invisible on the stochastic stack
+        // too: a lossy channel reorders packet fates, and an instrument
+        // that drew from any of the run's RNG streams — or perturbed
+        // the burst/settle schedule — would show up here.
+        let profile = cbtc_phy::PhyProfile::realistic(4.0, 3);
+        let plain = run_churn_with(&ChurnScenario::smoke(), 7, Some(&profile));
+        let registry = MetricsRegistry::enabled();
+        let metered = run_churn_metered(&ChurnScenario::smoke(), 7, Some(&profile), &registry);
+        assert_eq!(plain, metered, "metrics must not perturb the lossy run");
+        let snap = registry.snapshot();
+        assert!(
+            snap.counter("reconfig.batches").unwrap() > 0,
+            "the reference absorbed no batches under phy"
+        );
     }
 
     #[test]

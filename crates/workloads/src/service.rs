@@ -1,0 +1,374 @@
+//! The event-granular reconfiguration service: a sustained churn stream
+//! through one [`DeltaTopology`], measured like a production system.
+//!
+//! ROADMAP item 3's serving story. The churn suite batches events per
+//! burst; this driver feeds the engine **one event at a time** — the §4
+//! model's actual arrival process — and reports throughput (events/s)
+//! and per-event wall-clock latency percentiles (p50/p99/max, by event
+//! kind) from the same log-bucketed histograms (`cbtc-metrics`) the
+//! rest of the stack uses. At the end the maintained graph is judged
+//! bit-for-bit against a from-scratch `CBTC(α)` construction over the
+//! final membership and positions, so a throughput number can never be
+//! bought with drift.
+//!
+//! The stream is deterministic in the seed: a weighted mix of `Move`
+//! (bounded random displacement of an active node), `Death` (random
+//! active node, floored so the population never collapses), and `Join`
+//! (random standby slot re-entering at a fresh position). Deaths feed
+//! the standby pool and joins drain it, so membership hovers around its
+//! starting point for the whole run — every event hits a live,
+//! realistic topology.
+
+use std::time::Instant;
+
+use cbtc_core::reconfig::{DeltaTopology, GeometricMetric, NodeEvent};
+use cbtc_core::{run_centralized_masked, CbtcConfig, Network};
+use cbtc_geom::{Alpha, Point2};
+use cbtc_graph::NodeId;
+use cbtc_metrics::{HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnapshot};
+use cbtc_radio::{PathLoss, PowerLaw};
+use cbtc_trace::{TraceEvent, TraceHandle, TRACE_VERSION};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::RandomPlacement;
+
+/// Parameters of a reconfiguration-service run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Node slots (active population plus the standby join pool).
+    pub nodes: usize,
+    /// Events to stream, one `apply` per event.
+    pub events: u64,
+    /// Field width.
+    pub width: f64,
+    /// Field height.
+    pub height: f64,
+    /// The cone angle α of the maintained topology.
+    pub alpha: Alpha,
+    /// `Death` events per 1000 (the rest after deaths + joins are
+    /// `Move`s). Deaths are skipped (demoted to `Move`) when the active
+    /// population has fallen to half the slots.
+    pub death_per_mille: u32,
+    /// `Join` events per 1000. Joins are demoted to `Move` when the
+    /// standby pool is empty.
+    pub join_per_mille: u32,
+    /// Maximum per-axis displacement of one `Move` event.
+    pub max_step: f64,
+    /// Fraction of slots that start in the standby pool (inactive,
+    /// available to `Join`).
+    pub standby_fraction: f64,
+}
+
+impl ServiceConfig {
+    /// A run sized for `nodes` slots and `events` events: the field is
+    /// scaled so the max-power graph keeps an average degree of ≈ 18
+    /// under the paper's radio (`R = 500`) — the same density the churn
+    /// suite uses — with a 5 % standby pool and a 90/5/5 move/death/join
+    /// mix.
+    pub fn sized(nodes: usize, events: u64) -> Self {
+        let range = PowerLaw::paper_default().max_range();
+        let side = (nodes as f64 * std::f64::consts::PI * range * range / 18.0).sqrt();
+        ServiceConfig {
+            nodes,
+            events,
+            width: side,
+            height: side,
+            alpha: Alpha::FIVE_PI_SIXTHS,
+            death_per_mille: 50,
+            join_per_mille: 50,
+            max_step: 50.0,
+            standby_fraction: 0.05,
+        }
+    }
+}
+
+/// The outcome of a service run: throughput, per-kind latency
+/// percentiles, final-state integrity, and the full metrics snapshot.
+/// This is the `BENCH_reconfig.json` schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Schema version of this report.
+    pub schema_version: u32,
+    /// Node slots in the run.
+    pub nodes: u32,
+    /// Events streamed.
+    pub events: u64,
+    /// Wall-clock seconds spent in the event loop.
+    pub elapsed_secs: f64,
+    /// Sustained single-stream throughput.
+    pub events_per_sec: f64,
+    /// `Move` events applied.
+    pub moves: u64,
+    /// `Join` events applied.
+    pub joins: u64,
+    /// `Death` events applied.
+    pub deaths: u64,
+    /// Per-event latency histograms: one per event kind (named `move`,
+    /// `join`, `death`) plus the combined `all` series, each with exact
+    /// count/min/max and p50/p99/p999 plus the full nonzero buckets.
+    pub latency: Vec<HistogramSnapshot>,
+    /// Active nodes at the end of the stream.
+    pub final_active: u32,
+    /// Edges of the final maintained topology.
+    pub final_edges: u64,
+    /// Whether the final maintained graph is bit-identical to a
+    /// from-scratch construction over the final membership/positions.
+    pub matches_scratch: bool,
+    /// The installed registry's final snapshot (empty when the service
+    /// ran without metrics).
+    pub metrics: MetricsSnapshot,
+}
+
+impl ServiceReport {
+    /// The named latency series, if present.
+    pub fn latency_for(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.latency.iter().find(|h| h.name == name)
+    }
+}
+
+/// Runs the service stream without external observability installed
+/// (the report's own latency series are always measured).
+pub fn run_service(config: &ServiceConfig, seed: u64) -> ServiceReport {
+    run_service_observed(config, seed, &MetricsRegistry::disabled(), None)
+}
+
+/// [`run_service`] with observability: the engine's `reconfig.*` series
+/// land in `registry` (and in the report's `metrics` snapshot), and —
+/// when a trace is supplied — the run streams a `Meta` header, the
+/// engine's per-batch `Reconfig` samples, and (metrics enabled) the
+/// final [`TraceEvent::Metrics`] record.
+///
+/// The hooks only observe: the maintained graph, the event stream, and
+/// every report field except the wall-clock timings are bit-identical
+/// whether or not a registry or trace is installed.
+///
+/// # Panics
+///
+/// Panics on a config with no nodes, no events, non-positive field
+/// dimensions, or an event mix exceeding 1000 per mille.
+pub fn run_service_observed(
+    config: &ServiceConfig,
+    seed: u64,
+    registry: &MetricsRegistry,
+    trace: Option<&TraceHandle>,
+) -> ServiceReport {
+    assert!(config.nodes >= 2, "need at least two node slots");
+    assert!(config.events > 0, "need at least one event");
+    assert!(
+        config.width > 0.0 && config.height > 0.0,
+        "field dimensions must be positive"
+    );
+    assert!(
+        config.death_per_mille + config.join_per_mille <= 1000,
+        "event mix exceeds 1000 per mille"
+    );
+    assert!(
+        (0.0..1.0).contains(&config.standby_fraction),
+        "standby fraction must be in [0, 1)"
+    );
+
+    let model = PowerLaw::paper_default();
+    let cbtc = CbtcConfig::new(config.alpha);
+    let layout = RandomPlacement::new(config.nodes, config.width, config.height, model.max_range())
+        .generate_layout(seed);
+    // The standby pool is the tail of the slot space; joins re-enter at
+    // fresh positions, so which slots start inactive is immaterial.
+    let standby = ((config.nodes as f64 * config.standby_fraction) as usize).min(config.nodes - 2);
+    let first_standby = config.nodes - standby;
+    let active: Vec<bool> = (0..config.nodes).map(|i| i < first_standby).collect();
+    let mut topo = DeltaTopology::new(
+        layout,
+        active,
+        model.max_range(),
+        cbtc,
+        false,
+        GeometricMetric,
+    );
+    topo.set_metrics(registry);
+    if let Some(trace) = trace {
+        trace.record(TraceEvent::Meta {
+            version: TRACE_VERSION,
+            run: format!("serve/{}-nodes", config.nodes),
+            nodes: config.nodes as u32,
+            seed,
+            alpha: config.alpha.radians(),
+            width: config.width,
+            height: config.height,
+            pricing: "geometric".to_owned(),
+        });
+        topo.set_trace(trace.clone());
+    }
+
+    let mut active_ids: Vec<NodeId> = (0..first_standby as u32).map(NodeId::new).collect();
+    let mut standby_ids: Vec<NodeId> = (first_standby as u32..config.nodes as u32)
+        .map(NodeId::new)
+        .collect();
+    let min_active = config.nodes / 2;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E7C_E0D5);
+
+    let mut hist_move = LogHistogram::new();
+    let mut hist_join = LogHistogram::new();
+    let mut hist_death = LogHistogram::new();
+    let mut hist_all = LogHistogram::new();
+    let (mut moves, mut joins, mut deaths) = (0u64, 0u64, 0u64);
+
+    let loop_start = Instant::now();
+    for i in 0..config.events {
+        let roll: u32 = rng.gen_range(0..1000);
+        let death_cut = config.death_per_mille;
+        let join_cut = death_cut + config.join_per_mille;
+        let (event, hist) = if roll < death_cut && active_ids.len() > min_active {
+            let victim = active_ids.swap_remove(rng.gen_range(0..active_ids.len()));
+            standby_ids.push(victim);
+            deaths += 1;
+            (NodeEvent::Death(victim), &mut hist_death)
+        } else if roll < join_cut && !standby_ids.is_empty() {
+            let joiner = standby_ids.swap_remove(rng.gen_range(0..standby_ids.len()));
+            active_ids.push(joiner);
+            joins += 1;
+            let p = Point2::new(
+                rng.gen_range(0.0..config.width),
+                rng.gen_range(0.0..config.height),
+            );
+            (NodeEvent::Join(joiner, p), &mut hist_join)
+        } else {
+            let mover = active_ids[rng.gen_range(0..active_ids.len())];
+            let p = topo.layout().position(mover);
+            let p = Point2::new(
+                (p.x + rng.gen_range(-config.max_step..config.max_step)).clamp(0.0, config.width),
+                (p.y + rng.gen_range(-config.max_step..config.max_step)).clamp(0.0, config.height),
+            );
+            moves += 1;
+            (NodeEvent::Move(mover, p), &mut hist_move)
+        };
+        if trace.is_some() {
+            topo.set_trace_clock(i as f64);
+        }
+        let t0 = Instant::now();
+        topo.apply(std::slice::from_ref(&event));
+        let nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        hist.record(nanos);
+        hist_all.record(nanos);
+    }
+    let elapsed_secs = loop_start.elapsed().as_secs_f64();
+
+    let network = Network::new(topo.layout().clone(), model);
+    let scratch = run_centralized_masked(&network, &cbtc, topo.active()).into_final_graph();
+    let matches_scratch = *topo.graph() == scratch;
+
+    let snapshot = registry.snapshot();
+    if let (Some(trace), true) = (trace, registry.is_enabled()) {
+        trace.record(TraceEvent::Metrics {
+            time: config.events as f64,
+            snapshot: snapshot.clone(),
+        });
+    }
+
+    ServiceReport {
+        schema_version: 1,
+        nodes: config.nodes as u32,
+        events: config.events,
+        elapsed_secs,
+        events_per_sec: config.events as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
+        moves,
+        joins,
+        deaths,
+        latency: vec![
+            HistogramSnapshot::of("move", &hist_move),
+            HistogramSnapshot::of("join", &hist_join),
+            HistogramSnapshot::of("death", &hist_death),
+            HistogramSnapshot::of("all", &hist_all),
+        ],
+        final_active: active_ids.len() as u32,
+        final_edges: topo.graph().edge_count() as u64,
+        matches_scratch,
+        metrics: snapshot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbtc_trace::MemorySink;
+
+    fn small() -> ServiceConfig {
+        ServiceConfig {
+            events: 400,
+            ..ServiceConfig::sized(60, 400)
+        }
+    }
+
+    /// Strips the wall-clock fields, leaving only the deterministic
+    /// part of a report.
+    fn deterministic(report: &ServiceReport) -> ServiceReport {
+        let mut r = report.clone();
+        r.elapsed_secs = 0.0;
+        r.events_per_sec = 0.0;
+        r.latency.clear();
+        r
+    }
+
+    #[test]
+    fn stream_mixes_kinds_and_matches_scratch() {
+        let report = run_service(&small(), 9);
+        assert_eq!(report.moves + report.joins + report.deaths, 400);
+        assert!(report.moves > 0 && report.joins > 0 && report.deaths > 0);
+        assert!(report.matches_scratch, "maintained graph drifted");
+        assert_eq!(report.latency_for("all").unwrap().count, 400);
+        let h = report.latency_for("move").unwrap();
+        assert_eq!(h.count, report.moves);
+        assert!(h.p50 <= h.p99 && h.p99 <= h.max, "percentiles not monotone");
+        assert!(h.max > 0, "moves must cost nonzero time");
+        // Membership conservation: every slot is active or standby.
+        assert!(report.final_active >= (small().nodes / 2) as u32);
+    }
+
+    #[test]
+    fn observed_run_is_deterministically_identical_and_counts_events() {
+        let plain = run_service(&small(), 4);
+
+        let registry = MetricsRegistry::enabled();
+        let (handle, sink) = TraceHandle::in_memory();
+        let report = run_service_observed(&small(), 4, &registry, Some(&handle));
+        assert_eq!(deterministic(&report), {
+            let mut p = deterministic(&plain);
+            p.metrics = report.metrics.clone();
+            p
+        });
+
+        // The engine counted exactly the stream's events.
+        assert_eq!(
+            report.metrics.counter("reconfig.events.move"),
+            Some(report.moves)
+        );
+        assert_eq!(
+            report.metrics.counter("reconfig.events.join"),
+            Some(report.joins)
+        );
+        assert_eq!(
+            report.metrics.counter("reconfig.events.death"),
+            Some(report.deaths)
+        );
+        assert_eq!(report.metrics.counter("reconfig.batches"), Some(400));
+
+        // The trace ends with the Metrics record carrying that snapshot.
+        let jsonl = MemorySink::to_jsonl(&sink.lock().unwrap());
+        let events = cbtc_trace::parse_trace(&jsonl).unwrap();
+        match events.last() {
+            Some(TraceEvent::Metrics { snapshot, .. }) => {
+                assert_eq!(snapshot, &report.metrics);
+            }
+            other => panic!("expected final Metrics record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = run_service(&small(), 2);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ServiceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

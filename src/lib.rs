@@ -27,6 +27,9 @@
 //! * [`trace`] — the observability layer: a versioned JSONL trace-event
 //!   schema, streaming/in-memory sinks, and the replay/analysis toolkit
 //!   behind `cbtc replay` and `cbtc analyze`;
+//! * [`metrics`] — the quantitative observability layer: counters,
+//!   gauges, log-bucketed latency histograms (p50/p99/p999/max) and
+//!   serializable snapshots, no-ops when disabled;
 //! * [`viz`] — SVG rendering of topologies (Figure 6) and animated
 //!   replay of recorded traces.
 //!
@@ -76,6 +79,25 @@
 //! assert!(report.connectivity_fraction > 0.0);
 //! ```
 //!
+//! # Serving reconfiguration with live latency percentiles
+//!
+//! The [`workloads::service`] driver streams a sustained churn mix
+//! through one maintained topology **one event at a time** and reports
+//! it like a production service — the library form of `cbtc serve`:
+//!
+//! ```
+//! use cbtc::metrics::MetricsRegistry;
+//! use cbtc::workloads::{run_service_observed, ServiceConfig};
+//!
+//! let registry = MetricsRegistry::enabled();
+//! let config = ServiceConfig::sized(60, 300);
+//! let report = run_service_observed(&config, 7, &registry, None);
+//! assert!(report.matches_scratch, "maintained graph must track scratch");
+//! let all = report.latency_for("all").unwrap();
+//! assert!(all.p50 <= all.p99 && all.p99 <= all.max);
+//! assert_eq!(registry.snapshot().counter("reconfig.batches"), Some(300));
+//! ```
+//!
 //! # Robustness off the unit disk
 //!
 //! The [`phy`] layer replaces the ideal `p(d) = S·dⁿ` radio with a
@@ -103,6 +125,7 @@ pub use cbtc_core as core;
 pub use cbtc_energy as energy;
 pub use cbtc_geom as geom;
 pub use cbtc_graph as graph;
+pub use cbtc_metrics as metrics;
 pub use cbtc_phy as phy;
 pub use cbtc_radio as radio;
 pub use cbtc_sim as sim;
