@@ -70,8 +70,10 @@ USAGE:
         Validate a recorded trace and summarize it: event counts, the
         topology-epoch timeline, the final connection matrix (bucketed
         above 24 nodes), per-node degree and power, churn and
-        reconvergence outcomes, and p50/p99/max per-event reconfiguration
-        latency.
+        reconvergence outcomes, p50/p99/max per-event reconfiguration
+        latency, and — when the trace carries periodic metrics
+        checkpoints (serve --metrics-every) — the live percentile
+        timeline.
 
     cbtc phy [--nodes N] [--sigmas 0,4,8] [--trials T] [--seed S]
              [--alpha 2pi3|<radians>] [--protocol-nodes N] [--no-protocol]
@@ -86,15 +88,25 @@ USAGE:
 
     cbtc serve [--nodes N] [--events E] [--seed S] [--alpha 5pi6|<radians>]
                [--death-per-mille D] [--join-per-mille J] [--max-step L]
-               [--trace FILE] [--json FILE]
+               [--streams S] [--batch-max N] [--batch-wait-us T]
+               [--metrics-every K] [--trace FILE] [--json FILE]
         Stream a sustained churn workload (moves, joins, crashes) through
-        the §4 incremental engine one event at a time, like a long-running
-        reconfiguration service. Reports sustained events/s and p50/p99/max
-        per-event latency per event kind, verifies the maintained graph is
-        bit-identical to a from-scratch construction, and fails on any
-        integrity violation. --json writes the full report (histograms +
-        metrics snapshot); --trace streams the run as JSONL ending with a
-        schema-v3 metrics record.
+        the §4 incremental engine, like a long-running reconfiguration
+        service. --streams shards the field into S spatial strips, each
+        served by its own engine (own worker threads on multi-core
+        hosts). --batch-max / --batch-wait-us turn on group commit: up to
+        N events coalesce per engine commit while the admission window
+        (T µs) is open, taking the engine's mixed-batch path; T = 0 keeps
+        the event-at-a-time service. Batching and sharding never change
+        outcomes — every stream's final graph is verified bit-identical
+        to a from-scratch construction, and the run fails on any
+        integrity violation. Reports aggregate and per-stream events/s,
+        p50/p99/p999 latency per event kind, batch-size distribution and
+        worker utilization. --json writes the full v2 report (per-stream
+        histograms + merged metrics snapshot); --trace streams the run as
+        JSONL, with a metrics checkpoint every K local events per stream
+        (--metrics-every, the live percentile timeline cbtc analyze
+        renders) and a final merged metrics record.
 
     cbtc help
         Show this message.
@@ -844,6 +856,19 @@ pub fn serve(args: &Args) -> Result<(), String> {
         return Err("--death-per-mille + --join-per-mille must not exceed 1000".into());
     }
     config.max_step = args.get("max-step", config.max_step)?;
+    config.streams = args.get("streams", config.streams)?;
+    if config.streams == 0 {
+        return Err("--streams must be at least 1".into());
+    }
+    config.batch_max = args.get("batch-max", config.batch_max)?;
+    if config.batch_max == 0 {
+        return Err("--batch-max must be at least 1".into());
+    }
+    config.batch_wait_us = args.get("batch-wait-us", config.batch_wait_us)?;
+    config.metrics_every = args.get("metrics-every", config.metrics_every)?;
+    if config.metrics_every > 0 && args.value_of("trace").is_none() {
+        return Err("--metrics-every requires --trace (checkpoints are trace records)".into());
+    }
 
     println!(
         "serve — {nodes} node slots on a {:.0}×{:.0} field (α = {:.4}), \
@@ -854,6 +879,19 @@ pub fn serve(args: &Args) -> Result<(), String> {
         config.death_per_mille,
         config.join_per_mille,
         1000 - config.death_per_mille - config.join_per_mille,
+    );
+    println!(
+        "        {} stream{} (spatial shards), group-commit batches of up to {} \
+         (window {} µs{})",
+        config.streams,
+        if config.streams == 1 { "" } else { "s" },
+        config.batch_max,
+        config.batch_wait_us,
+        if config.batch_wait_us == 0 {
+            "; zero window = one event per commit"
+        } else {
+            ""
+        },
     );
 
     let registry = cbtc_metrics::MetricsRegistry::enabled();
@@ -876,24 +914,74 @@ pub fn serve(args: &Args) -> Result<(), String> {
     }
 
     println!(
-        "\n{:>6} {:>9} {:>10} {:>10} {:>10}",
-        "kind", "events", "p50 µs", "p99 µs", "max µs"
+        "\n{:>10} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "kind", "events", "p50 µs", "p99 µs", "p999 µs", "max µs"
     );
     let us = |nanos: u64| nanos as f64 / 1_000.0;
-    for h in &report.latency {
+    // `batch_size` counts events per commit, not nanoseconds — it gets
+    // its own line below instead of a row in the µs table.
+    for h in report.latency.iter().filter(|h| h.name != "batch_size") {
         println!(
-            "{:>6} {:>9} {:>10.1} {:>10.1} {:>10.1}",
+            "{:>10} {:>9} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
             h.name,
             h.count,
             us(h.p50),
             us(h.p99),
+            us(h.p999),
             us(h.max),
         );
     }
+    if let Some(sizes) = report.latency_for("batch_size") {
+        if sizes.count > 0 {
+            println!(
+                "\nbatching: {} group commits; batch size min {} / p50 {} / p99 {} / max {} events",
+                report.batches, sizes.min, sizes.p50, sizes.p99, sizes.max,
+            );
+        }
+    }
+    if report.per_stream.len() > 1 {
+        println!(
+            "\n{:>6} {:>6} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "stream",
+            "nodes",
+            "events",
+            "batches",
+            "events/s",
+            "p50 µs",
+            "p99 µs",
+            "p999 µs",
+            "scratch"
+        );
+        for s in &report.per_stream {
+            let all = s
+                .latency
+                .iter()
+                .find(|h| h.name == "all")
+                .cloned()
+                .unwrap_or_default();
+            println!(
+                "{:>6} {:>6} {:>9} {:>9} {:>10.0} {:>10.1} {:>10.1} {:>10.1} {:>8}",
+                s.stream,
+                s.nodes,
+                s.events,
+                s.batches,
+                s.events_per_sec,
+                us(all.p50),
+                us(all.p99),
+                us(all.p999),
+                if s.matches_scratch { "ok" } else { "DRIFT" },
+            );
+        }
+    }
     println!(
         "\nthroughput: {:.0} events/s sustained over {:.2} s \
-         ({} moves, {} joins, {} deaths)",
-        report.events_per_sec, report.elapsed_secs, report.moves, report.joins, report.deaths,
+         ({} moves, {} joins, {} deaths; {} commits)",
+        report.events_per_sec,
+        report.elapsed_secs,
+        report.moves,
+        report.joins,
+        report.deaths,
+        report.batches,
     );
     println!(
         "final: {} active nodes, {} edges; from-scratch bit-identity: {}",
@@ -901,33 +989,76 @@ pub fn serve(args: &Args) -> Result<(), String> {
         report.final_edges,
         if report.matches_scratch { "yes" } else { "NO" },
     );
-    // The par.* gauges are only set when a construction actually fans
-    // out; small populations build serially and have nothing to report.
+    println!(
+        "workers: {} core{} detected, {} stream worker{} ({})",
+        report.detected_cores,
+        if report.detected_cores == 1 { "" } else { "s" },
+        report.stream_workers,
+        if report.stream_workers == 1 { "" } else { "s" },
+        if report.stream_workers > 1 {
+            "streams ran on their own threads"
+        } else if report.streams > 1 {
+            "single worker — streams ran sequentially, outcome bit-identical"
+        } else {
+            "one stream, one worker"
+        },
+    );
+    // The par.* series are only populated when a re-grow actually fans
+    // out; serial hosts and small affected sets have nothing to report.
     if report.metrics.counter("par.fan_outs").unwrap_or(0) > 0 {
-        if let (Some(cores), Some(planned)) = (
-            report.metrics.gauge("par.detected_cores"),
-            report.metrics.gauge("par.planned_threads"),
-        ) {
-            println!(
-                "parallel: {cores:.0} cores detected, {planned:.0} threads planned (construction)"
-            );
-        }
+        let busy_ms =
+            report.metrics.counter("par.worker_busy_nanos").unwrap_or(0) as f64 / 1_000_000.0;
+        println!(
+            "parallel: {} fan-outs, {} worker chunks, {busy_ms:.1} ms total worker busy time \
+             ({:.0} threads planned)",
+            report.metrics.counter("par.fan_outs").unwrap_or(0),
+            report.metrics.counter("par.worker_chunks").unwrap_or(0),
+            report.metrics.gauge("par.planned_threads").unwrap_or(1.0),
+        );
     }
 
     // Production gates — the CI smoke run relies on these failing loud.
     if !report.matches_scratch {
         return Err("maintained graph diverged from the from-scratch construction".into());
     }
+    for s in &report.per_stream {
+        if !s.matches_scratch {
+            return Err(format!(
+                "stream {} diverged from its from-scratch construction",
+                s.stream
+            ));
+        }
+    }
     if report.events_per_sec <= 0.0 || report.events_per_sec.is_nan() {
         return Err("throughput must be positive".into());
     }
     for h in &report.latency {
-        if !(h.p50 <= h.p99 && h.p99 <= h.max) {
+        if !(h.p50 <= h.p99 && h.p99 <= h.p999 && h.p999 <= h.max) {
             return Err(format!(
                 "non-monotone percentiles in the `{}` series",
                 h.name
             ));
         }
+    }
+    for s in &report.per_stream {
+        for h in &s.latency {
+            if !(h.p50 <= h.p99 && h.p99 <= h.p999 && h.p999 <= h.max) {
+                return Err(format!(
+                    "non-monotone percentiles in stream {}'s `{}` series",
+                    s.stream, h.name
+                ));
+            }
+        }
+    }
+    // Honesty gate: a multi-core host asked for multiple streams must
+    // actually plan multiple workers — a silent sequential fallback
+    // would publish parallel-looking numbers measured serially.
+    if report.detected_cores >= 2 && report.streams >= 2 && report.stream_workers < 2 {
+        return Err(format!(
+            "{} cores detected but only {} stream worker planned — refusing to \
+             report a sequential run as a multi-stream benchmark",
+            report.detected_cores, report.stream_workers
+        ));
     }
 
     if let Some(path) = args.value_of("json") {
@@ -1061,6 +1192,58 @@ pub fn analyze(args: &Args) -> Result<(), String> {
                  (trace recorded without timing; no latency samples)",
                 latency.count
             );
+        }
+    }
+
+    // The live percentile timeline: periodic Metrics checkpoints from a
+    // `cbtc serve --metrics-every` run. Each checkpoint is one stream's
+    // metrics shard; the final record is the run's merged snapshot.
+    if a.metrics_timeline.len() > 1 {
+        println!(
+            "\nlive metrics timeline ({} checkpoints):",
+            a.metrics_timeline.len()
+        );
+        println!(
+            "{:>10} {:>7} {:>9} {:>9} {:>10} {:>10} {:>10}",
+            "t", "stream", "events", "commits", "p50 µs", "p99 µs", "p999 µs"
+        );
+        let last = a.metrics_timeline.len() - 1;
+        for (i, (t, snap)) in a.metrics_timeline.iter().enumerate() {
+            // Merge the per-kind reconfig.nanos.* shards into one
+            // distribution per checkpoint — exact, via the log buckets.
+            let mut merged: Option<cbtc_metrics::HistogramSnapshot> = None;
+            for h in &snap.histograms {
+                if h.name.starts_with("reconfig.nanos") {
+                    match merged.as_mut() {
+                        None => merged = Some(h.clone()),
+                        Some(m) => m.merge(h),
+                    }
+                }
+            }
+            let stream = if i == last {
+                "final".to_owned()
+            } else {
+                match snap.gauge("serve.stream") {
+                    Some(s) => format!("{s:.0}"),
+                    None => "-".to_owned(),
+                }
+            };
+            let events = snap.counter("reconfig.events.move").unwrap_or(0)
+                + snap.counter("reconfig.events.join").unwrap_or(0)
+                + snap.counter("reconfig.events.death").unwrap_or(0);
+            let commits = snap.counter("reconfig.batches").unwrap_or(0);
+            match merged {
+                Some(m) if m.count > 0 => println!(
+                    "{t:>10} {stream:>7} {events:>9} {commits:>9} {:>10.1} {:>10.1} {:>10.1}",
+                    m.p50 as f64 / 1_000.0,
+                    m.p99 as f64 / 1_000.0,
+                    m.p999 as f64 / 1_000.0,
+                ),
+                _ => println!(
+                    "{t:>10} {stream:>7} {events:>9} {commits:>9} {:>10} {:>10} {:>10}",
+                    "-", "-", "-"
+                ),
+            }
         }
     }
 

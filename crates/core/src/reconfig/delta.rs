@@ -40,7 +40,7 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-use cbtc_geom::{gap::FlatGapTracker, Point2};
+use cbtc_geom::{gap::FlatGapTracker, Alpha, Point2};
 use cbtc_graph::{Layout, NodeId, SpatialGrid, UndirectedGraph, UnionFind};
 use cbtc_metrics::{Counter, Histogram, MetricsRegistry};
 use cbtc_trace::{TraceEvent, TraceHandle};
@@ -734,16 +734,13 @@ impl<M: LinkMetric> DeltaTopology<M> {
             is_dead[d.index()] = true;
         }
         let mut patch: Vec<NodeId> = Vec::new();
+
+        // F1: one sequential cursor walk turns the sorted pair lists into
+        // per-node slice ranges, so each re-grow job is self-contained.
+        let mut jobs: Vec<RegrowJob> = Vec::with_capacity(affected.len());
         let mut removal_cursor = 0usize;
         let mut insertion_cursor = 0usize;
-        // One scratch (heap/ring/tracker/discovery buffers) serves every
-        // grid scan in this apply, and one flat tracker every replay —
-        // the affected-set loop allocates nothing per node beyond the
-        // views it returns.
-        let mut scratch = GrowScratch::new();
-        let mut replay_tracker = FlatGapTracker::new(self.config.alpha());
         for &u in &affected {
-            // The (sorted) slices of this node's prefix edits.
             while removal_cursor < removal_pairs.len() && removal_pairs[removal_cursor].0 < u {
                 removal_cursor += 1;
             }
@@ -762,31 +759,69 @@ impl<M: LinkMetric> DeltaTopology<M> {
                 .take_while(|&&(o, _, _)| o == u)
                 .count()
                 + insertion_cursor;
-
-            let basic = if full_regrow[u.index()] {
-                None
-            } else {
-                self.replay_cached(
-                    u,
-                    &removal_pairs[removal_cursor..removals_end],
-                    &insertion_pairs[insertion_cursor..insertions_end],
-                    &mut replay_tracker,
-                )
-            };
-            let basic = basic.unwrap_or_else(|| {
-                self.last_grid_scans += 1;
-                grow_node_metric_scratch(
-                    &self.layout,
-                    &self.grid,
-                    &self.metric,
-                    u,
-                    self.config.alpha(),
-                    self.max_range,
-                    &mut scratch,
-                )
+            jobs.push(RegrowJob {
+                node: u,
+                removals: (removal_cursor, removals_end),
+                insertions: (insertion_cursor, insertions_end),
             });
             removal_cursor = removals_end;
             insertion_cursor = insertions_end;
+        }
+
+        // F2: fan the re-grows out. Each job reads only pre-F state (the
+        // old views, the committed layout/grid/membership and the sorted
+        // pair lists), so jobs are independent; per-worker scratch keeps
+        // the fan-out allocation-free, exactly like construction. Output
+        // order is the affected order, so the sequential merge below is
+        // bit-identical to the old fused loop. On one core (or inside an
+        // outer fan-out, e.g. a sharded serve's stream threads) this runs
+        // inline with a single scratch — the pre-refactor behavior.
+        let computed: Vec<(NodeView, bool)> = {
+            let (basic, layout, grid, metric) =
+                (&self.basic, &self.layout, &self.grid, &self.metric);
+            let (alpha, max_range) = (self.config.alpha(), self.max_range);
+            let (removal_pairs, insertion_pairs, full_regrow) =
+                (&removal_pairs, &insertion_pairs, &full_regrow);
+            par_map_with(
+                &jobs,
+                REGROW_MIN_CHUNK,
+                || (GrowScratch::new(), FlatGapTracker::new(alpha)),
+                move |(scratch, tracker), job| {
+                    let u = job.node;
+                    let replayed = if full_regrow[u.index()] {
+                        None
+                    } else {
+                        replay_view(
+                            &basic[u.index()],
+                            layout,
+                            metric,
+                            alpha,
+                            max_range,
+                            u,
+                            &removal_pairs[job.removals.0..job.removals.1],
+                            &insertion_pairs[job.insertions.0..job.insertions.1],
+                            tracker,
+                        )
+                    };
+                    match replayed {
+                        Some(view) => (view, false),
+                        None => (
+                            grow_node_metric_scratch(
+                                layout, grid, metric, u, alpha, max_range, scratch,
+                            ),
+                            true,
+                        ),
+                    }
+                },
+            )
+        };
+
+        // F3: merge in deterministic (affected) node order — the merge
+        // body is the old sequential loop's, byte for byte.
+        for (&u, (basic, grid_scanned)) in affected.iter().zip(computed) {
+            if grid_scanned {
+                self.last_grid_scans += 1;
+            }
             let basic_changed = !ids_equal_minus_dead(&self.basic[u.index()], &basic, &is_dead);
             if basic_changed {
                 for v in self.basic[u.index()].neighbor_ids() {
@@ -881,86 +916,6 @@ impl<M: LinkMetric> DeltaTopology<M> {
         // ── H. Re-derive the final graph from the delta alone. ───────
         let movers: Vec<NodeId> = moves.iter().map(|&(m, _)| m).collect();
         self.finalize(&movers, pre_removed, pre_added)
-    }
-
-    /// The §4 fast path: recomputes `u`'s view *from its cached prefix*
-    /// instead of a grid scan, applying the given departure and arrival
-    /// edits. Returns `None` when only a grid scan can answer — a
-    /// departure opened an α-gap that survives the whole cached prefix,
-    /// so growth must continue past the cached radius (the paper's
-    /// "re-run the growing phase" case).
-    ///
-    /// Sound because a cached non-boundary prefix is *complete* up to
-    /// its grow radius (discovery proceeds through whole cost groups):
-    /// departures can only push the stop radius outward, arrivals can
-    /// only pull it inward, so any stop found within the edited prefix
-    /// is the true stop, bit-identical to a full re-growth.
-    fn replay_cached(
-        &self,
-        u: NodeId,
-        removals: &[(NodeId, NodeId)],
-        insertions: &[(NodeId, NodeId, f64)],
-        tracker: &mut FlatGapTracker,
-    ) -> Option<NodeView> {
-        let old = &self.basic[u.index()];
-        let mut entries: Vec<Discovery> = old
-            .discoveries
-            .iter()
-            .filter(|d| removals.iter().all(|&(_, x)| x != d.id))
-            .copied()
-            .collect();
-        for &(_, x, cost) in insertions {
-            let entry = Discovery {
-                id: x,
-                distance: cost,
-                direction: self.metric.direction(&self.layout, u, x),
-            };
-            let at = entries
-                .binary_search_by(|e| {
-                    e.distance
-                        .total_cmp(&entry.distance)
-                        .then(e.id.cmp(&entry.id))
-                })
-                .unwrap_err();
-            entries.insert(at, entry);
-        }
-
-        // Replay continuous growth over the edited prefix: whole cost
-        // groups at a time, α-gap after each — the in-memory mirror of
-        // the grid walk, bit-identical by the [`FlatGapTracker`]
-        // equivalence. The caller's tracker is re-armed and reused so a
-        // burst of replays allocates its direction buffer once.
-        tracker.reset(self.config.alpha());
-        let mut idx = 0;
-        while idx < entries.len() {
-            let group = entries[idx].distance;
-            let mut end = idx;
-            while end < entries.len() && entries[end].distance == group {
-                tracker.insert(entries[end].direction);
-                end += 1;
-            }
-            if !tracker.has_open_gap() {
-                entries.truncate(end);
-                return Some(NodeView {
-                    discoveries: entries,
-                    boundary: false,
-                    grow_radius: group,
-                });
-            }
-            idx = end;
-        }
-        if old.boundary {
-            // A boundary prefix covers everything in range; edits keep
-            // it complete, and the gap persisting to max power keeps the
-            // node a boundary node.
-            Some(NodeView {
-                discoveries: entries,
-                boundary: true,
-                grow_radius: self.max_range,
-            })
-        } else {
-            None
-        }
     }
 
     /// The final-stage update: closure verbatim, local pairwise
@@ -1095,6 +1050,110 @@ fn guarded_pairwise<M: LinkMetric>(
         }
     }
     graph
+}
+
+/// The smallest slice of affected nodes worth handing a re-grow worker.
+/// Re-grows are heavier than construction grows on average (a replay
+/// still walks the cached prefix) but batches are smaller, so the chunk
+/// floor sits well below [`PAR_MIN_CHUNK`]: a 64-node affected set can
+/// already fan out on two cores.
+const REGROW_MIN_CHUNK: usize = 32;
+
+/// One affected node's re-grow work order: its id plus the half-open
+/// ranges of the batch's sorted `removal_pairs` / `insertion_pairs`
+/// that concern it (precomputed sequentially so workers only index).
+struct RegrowJob {
+    node: NodeId,
+    removals: (usize, usize),
+    insertions: (usize, usize),
+}
+
+/// The §4 fast path: recomputes `u`'s view *from its cached prefix*
+/// instead of a grid scan, applying the given departure and arrival
+/// edits. Returns `None` when only a grid scan can answer — a
+/// departure opened an α-gap that survives the whole cached prefix,
+/// so growth must continue past the cached radius (the paper's
+/// "re-run the growing phase" case).
+///
+/// Sound because a cached non-boundary prefix is *complete* up to
+/// its grow radius (discovery proceeds through whole cost groups):
+/// departures can only push the stop radius outward, arrivals can
+/// only pull it inward, so any stop found within the edited prefix
+/// is the true stop, bit-identical to a full re-growth.
+///
+/// A free function over the engine's immutable pre-merge state (`old`
+/// view, layout, metric) rather than a method, so batch apply can fan
+/// replays across workers while the engine is merely borrowed.
+#[allow(clippy::too_many_arguments)]
+fn replay_view<M: LinkMetric>(
+    old: &NodeView,
+    layout: &Layout,
+    metric: &M,
+    alpha: Alpha,
+    max_range: f64,
+    u: NodeId,
+    removals: &[(NodeId, NodeId)],
+    insertions: &[(NodeId, NodeId, f64)],
+    tracker: &mut FlatGapTracker,
+) -> Option<NodeView> {
+    let mut entries: Vec<Discovery> = old
+        .discoveries
+        .iter()
+        .filter(|d| removals.iter().all(|&(_, x)| x != d.id))
+        .copied()
+        .collect();
+    for &(_, x, cost) in insertions {
+        let entry = Discovery {
+            id: x,
+            distance: cost,
+            direction: metric.direction(layout, u, x),
+        };
+        let at = entries
+            .binary_search_by(|e| {
+                e.distance
+                    .total_cmp(&entry.distance)
+                    .then(e.id.cmp(&entry.id))
+            })
+            .unwrap_err();
+        entries.insert(at, entry);
+    }
+
+    // Replay continuous growth over the edited prefix: whole cost
+    // groups at a time, α-gap after each — the in-memory mirror of
+    // the grid walk, bit-identical by the [`FlatGapTracker`]
+    // equivalence. The worker's tracker is re-armed and reused so a
+    // burst of replays allocates its direction buffer once.
+    tracker.reset(alpha);
+    let mut idx = 0;
+    while idx < entries.len() {
+        let group = entries[idx].distance;
+        let mut end = idx;
+        while end < entries.len() && entries[end].distance == group {
+            tracker.insert(entries[end].direction);
+            end += 1;
+        }
+        if !tracker.has_open_gap() {
+            entries.truncate(end);
+            return Some(NodeView {
+                discoveries: entries,
+                boundary: false,
+                grow_radius: group,
+            });
+        }
+        idx = end;
+    }
+    if old.boundary {
+        // A boundary prefix covers everything in range; edits keep
+        // it complete, and the gap persisting to max power keeps the
+        // node a boundary node.
+        Some(NodeView {
+            discoveries: entries,
+            boundary: true,
+            grow_radius: max_range,
+        })
+    } else {
+        None
+    }
 }
 
 /// Whether `new`'s discovery id *sequence* is exactly `old`'s with the

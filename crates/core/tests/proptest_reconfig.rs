@@ -40,6 +40,31 @@ impl LinkMetric for ShadowedMetric {
     }
 }
 
+/// The feedback-gated effective-distance metric, owning its channel
+/// state: forward cost gated on the reverse link closing at max power —
+/// the [`cbtc_core::phy::AckGatedChannel`] arithmetic, owned so it can
+/// live inside a [`DeltaTopology`].
+#[derive(Debug, Clone)]
+struct GatedMetric {
+    inner: ShadowedMetric,
+    max_range: f64,
+}
+
+impl LinkMetric for GatedMetric {
+    fn cost(&self, u: NodeId, v: NodeId, d: f64) -> f64 {
+        let channel = self.inner.channel();
+        if channel.effective_distance(v, u, d) <= self.max_range {
+            channel.effective_distance(u, v, d)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn reach_boost(&self) -> f64 {
+        self.inner.channel().reach_boost()
+    }
+}
+
 /// Random distinct-point layouts.
 fn layouts() -> impl Strategy<Value = Layout> {
     (6usize..36, 400.0f64..1600.0).prop_flat_map(|(n, side)| {
@@ -215,4 +240,143 @@ proptest! {
             }
         }
     }
+
+    /// Feedback-gated metric (forward cost gated on the reverse link
+    /// closing at max power — genuinely infinite costs in play),
+    /// guarded pipeline: incremental ≡ from-scratch after every batch,
+    /// and a metrics-instrumented twin stays bit-identical throughout.
+    #[test]
+    fn gated_events_match_from_scratch_metrics_on_and_off(
+        layout in layouts(),
+        seed in 0u64..u64::MAX,
+        sigma in 1.0f64..8.0,
+    ) {
+        let side = side_of(&layout);
+        let batches = event_batches(layout.len(), side, seed);
+        let model = PowerLaw::paper_default();
+        let metric = GatedMetric {
+            inner: ShadowedMetric {
+                model,
+                shadowing: Shadowing::new(sigma, ShadowingMode::Independent, seed ^ 0x6A7E),
+            },
+            max_range: 500.0,
+        };
+        let config = CbtcConfig::all_applicable(Alpha::FIVE_PI_SIXTHS);
+        let mut topo = DeltaTopology::new(
+            layout.clone(),
+            vec![true; layout.len()],
+            500.0,
+            config,
+            true,
+            metric.clone(),
+        );
+        let registry = cbtc_metrics::MetricsRegistry::enabled();
+        let mut observed = DeltaTopology::new(
+            layout.clone(),
+            vec![true; layout.len()],
+            500.0,
+            config,
+            true,
+            metric.clone(),
+        );
+        observed.set_metrics(&registry);
+        for batch in &batches {
+            topo.apply(batch);
+            observed.apply(batch);
+            prop_assert_eq!(
+                topo.graph(), observed.graph(),
+                "metrics instrumentation perturbed the gated graph after {:?}", batch
+            );
+            let network = Network::new(topo.layout().clone(), model);
+            let channel = PhyChannel::new(network.model(), &metric.inner.shadowing);
+            let full = cbtc_core::phy::run_phy_gated_centralized_masked(
+                &network, &channel, &config, topo.active(),
+            )
+            .into_final_graph();
+            prop_assert_eq!(
+                topo.graph(), &full,
+                "gated metric, σ {} diverged after {:?}", sigma, batch
+            );
+        }
+        prop_assert!(
+            registry.snapshot().counter("reconfig.batches").unwrap_or(0) >= batches.len() as u64
+        );
+    }
+}
+
+/// One large mixed batch whose affected set far exceeds the re-grow
+/// fan-out's chunk floor, judged against a from-scratch construction —
+/// and against a thread-capped run, so on multi-core hosts the parallel
+/// re-grow path is asserted bit-identical to the inline one.
+#[test]
+fn large_batch_parallel_regrow_is_bit_identical_to_sequential() {
+    // A 17 × 17 grid with slight deterministic jitter, ~40 % churned in
+    // one batch: every survivor near an event re-grows.
+    let n = 289usize;
+    let side = 2400.0;
+    let cols = 17usize;
+    let points: Vec<Point2> = (0..n)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            Point2::new(
+                c as f64 * side / cols as f64 + (i % 7) as f64,
+                r as f64 * side / cols as f64 + (i % 5) as f64,
+            )
+        })
+        .collect();
+    let layout = Layout::new(points);
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut batch: Vec<NodeEvent> = Vec::new();
+    for i in (0..n).step_by(3) {
+        let u = NodeId::new(i as u32);
+        match next() % 3 {
+            0 => batch.push(NodeEvent::Death(u)),
+            _ => batch.push(NodeEvent::Move(
+                u,
+                Point2::new(
+                    next() as f64 / u64::MAX as f64 * side,
+                    next() as f64 / u64::MAX as f64 * side,
+                ),
+            )),
+        }
+    }
+    let config = CbtcConfig::new(Alpha::FIVE_PI_SIXTHS);
+    let build = || {
+        DeltaTopology::new(
+            layout.clone(),
+            vec![true; n],
+            500.0,
+            config,
+            false,
+            GeometricMetric,
+        )
+    };
+    let mut parallel = build();
+    parallel.apply(&batch);
+    assert!(
+        parallel.last_regrown() > 64,
+        "batch must push the affected set past the fan-out floor (got {})",
+        parallel.last_regrown()
+    );
+    let mut capped = build();
+    cbtc_core::parallel::set_thread_cap(Some(1));
+    capped.apply(&batch);
+    cbtc_core::parallel::set_thread_cap(None);
+    assert_eq!(
+        parallel.graph(),
+        capped.graph(),
+        "parallel re-grow diverged from the single-threaded apply"
+    );
+    assert_eq!(parallel.last_regrown(), capped.last_regrown());
+    assert_eq!(parallel.last_grid_scans(), capped.last_grid_scans());
+    let network = Network::new(parallel.layout().clone(), PowerLaw::paper_default());
+    let full: UndirectedGraph =
+        run_centralized_masked(&network, &config, parallel.active()).into_final_graph();
+    assert_eq!(parallel.graph(), &full, "batch apply drifted from scratch");
 }

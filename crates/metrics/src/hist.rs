@@ -218,6 +218,33 @@ impl LogHistogram {
         self.quantile(0.999)
     }
 
+    /// Rebuilds a histogram from its serialized form — the
+    /// [`nonzero_buckets`](LogHistogram::nonzero_buckets) list plus the
+    /// exact aggregates. The round trip `restore(h.nonzero_buckets(),
+    /// h.sum(), h.min(), h.max()) == h` is exact for any histogram (an
+    /// empty one is encoded by an empty bucket list), so snapshots taken
+    /// on different shards can be merged *after* serialization with the
+    /// same bit-identical guarantee as [`merge`](LogHistogram::merge) —
+    /// the mechanism the sharded serve report uses to combine per-stream
+    /// latency distributions.
+    ///
+    /// Each `(value, count)` pair is credited to the bucket containing
+    /// `value`; `min`/`max` are trusted as the exact recorded extremes
+    /// (ignored when the bucket list is empty).
+    pub fn restore(buckets: &[(u64, u64)], sum: u64, min: u64, max: u64) -> Self {
+        let mut h = LogHistogram::new();
+        for &(low, c) in buckets {
+            h.counts[bucket_index(low)] += c;
+            h.count += c;
+        }
+        if h.count > 0 {
+            h.sum = sum;
+            h.min = min;
+            h.max = max;
+        }
+        h
+    }
+
     /// The non-empty buckets as `(lowest value of bucket, count)`, in
     /// ascending value order — the compact serialized form.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
@@ -361,6 +388,49 @@ mod tests {
         assert_eq!(h.quantile(1.0), 5_000_000);
         h.record_n(7, 0);
         assert_eq!(h.count(), 100, "recording zero samples is a no-op");
+    }
+
+    #[test]
+    fn restore_round_trips_exactly() {
+        let mut h = LogHistogram::new();
+        let mut state = 3u64;
+        for _ in 0..3_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(state >> 34);
+        }
+        h.record(0);
+        h.record(u64::MAX / 5);
+        let back = LogHistogram::restore(&h.nonzero_buckets(), h.sum(), h.min(), h.max());
+        assert_eq!(back, h, "serialize→restore is the identity");
+        // Empty restores empty regardless of the (ignored) aggregates.
+        let empty = LogHistogram::restore(&[], 123, 45, 6);
+        assert_eq!(empty, LogHistogram::new());
+    }
+
+    #[test]
+    fn restored_shards_merge_like_live_ones() {
+        let mut whole = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in 0..4_000u64 {
+            let x = v * v % 99_991;
+            whole.record(x);
+            if v % 3 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        let mut merged = LogHistogram::restore(&a.nonzero_buckets(), a.sum(), a.min(), a.max());
+        merged.merge(&LogHistogram::restore(
+            &b.nonzero_buckets(),
+            b.sum(),
+            b.min(),
+            b.max(),
+        ));
+        assert_eq!(merged, whole, "post-serialization merge is bit-identical");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::hist::LogHistogram;
 /// so the full distribution survives serialization without the ~2k
 /// zero-bucket dead weight; percentiles are precomputed so consumers
 /// (bench JSON, trace analyzers) never need the bucket layout.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Registered instrument name.
     pub name: String,
@@ -56,6 +56,25 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Rebuilds the full histogram this snapshot summarized. Exact —
+    /// [`LogHistogram::restore`] recovers every bucket count plus the
+    /// exact sum/min/max, so quantiles of the rebuilt histogram equal
+    /// quantiles of the original.
+    pub fn to_histogram(&self) -> LogHistogram {
+        LogHistogram::restore(&self.buckets, self.sum, self.min, self.max)
+    }
+
+    /// Folds `other` (a shard of the same logical series) into this
+    /// snapshot: bucket counts add, `sum` saturates, extremes widen, and
+    /// every percentile is recomputed over the merged distribution —
+    /// bit-identical to snapshotting one histogram that saw both shards'
+    /// samples. The name stays `self`'s.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut hist = self.to_histogram();
+        hist.merge(&other.to_histogram());
+        *self = HistogramSnapshot::of(&self.name, &hist);
+    }
 }
 
 /// A point-in-time copy of every instrument in a [`MetricsRegistry`],
@@ -95,6 +114,39 @@ impl MetricsSnapshot {
     /// The histogram summary registered under `name`, if any.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Folds another shard's snapshot into this one, by instrument name:
+    ///
+    /// * **counters** add — totals across shards;
+    /// * **gauges** keep the maximum — every gauge in this workspace is
+    ///   a level (cores detected, threads planned) where the widest
+    ///   shard is the honest aggregate, not a sum of duplicates;
+    /// * **histograms** bucket-merge exactly ([`HistogramSnapshot::merge`]),
+    ///   with every percentile recomputed over the union.
+    ///
+    /// Instruments present in only one shard carry over unchanged; the
+    /// result stays sorted by name. This is how the multi-stream serve
+    /// report combines per-stream registry shards into one aggregate.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.counters[i].1 += v,
+                Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.gauges[i].1 = self.gauges[i].1.max(*v),
+                Err(i) => self.gauges.insert(i, (name.clone(), *v)),
+            }
+        }
+        for hist in &other.histograms {
+            match self.histograms.binary_search_by(|h| h.name.cmp(&hist.name)) {
+                Ok(i) => self.histograms[i].merge(hist),
+                Err(i) => self.histograms.insert(i, hist.clone()),
+            }
+        }
     }
 }
 
@@ -163,6 +215,51 @@ mod tests {
         let json = serde_json::to_string(&snap).expect("serialize");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_single_registry() {
+        // Two shards recorded separately, snapshotted, merged — against
+        // one snapshot that saw everything.
+        let mut whole = LogHistogram::new();
+        let (mut a, mut b) = (LogHistogram::new(), LogHistogram::new());
+        for v in 0..1_000u64 {
+            let x = (v * 37) % 4_096;
+            whole.record(x);
+            if v % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        let mut left = MetricsSnapshot {
+            counters: vec![("both".into(), 10), ("left_only".into(), 1)],
+            gauges: vec![("cores".into(), 2.0)],
+            histograms: vec![HistogramSnapshot::of("lat", &a)],
+        };
+        let right = MetricsSnapshot {
+            counters: vec![("both".into(), 32), ("right_only".into(), 5)],
+            gauges: vec![("cores".into(), 8.0), ("extra".into(), 1.5)],
+            histograms: vec![HistogramSnapshot::of("lat", &b)],
+        };
+        left.merge(&right);
+        assert_eq!(left.counter("both"), Some(42), "counters add");
+        assert_eq!(left.counter("left_only"), Some(1));
+        assert_eq!(left.counter("right_only"), Some(5));
+        assert_eq!(left.gauge("cores"), Some(8.0), "gauges keep the max");
+        assert_eq!(left.gauge("extra"), Some(1.5));
+        assert_eq!(
+            left.histogram("lat").unwrap(),
+            &HistogramSnapshot::of("lat", &whole),
+            "merged histogram snapshot equals the single-registry one"
+        );
+        assert!(left.counters.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(left.gauges.windows(2).all(|w| w[0].0 < w[1].0));
+        // to_histogram round-trips the summary exactly.
+        assert_eq!(
+            HistogramSnapshot::of("lat", &left.histogram("lat").unwrap().to_histogram()),
+            *left.histogram("lat").unwrap()
+        );
     }
 
     proptest::proptest! {

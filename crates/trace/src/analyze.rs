@@ -159,8 +159,14 @@ pub struct TraceAnalysis {
     pub reconfig_nanos: LogHistogram,
     /// Nodes re-grown per reconfiguration event, as a histogram.
     pub reconfig_regrown: LogHistogram,
-    /// The run's attached [`TraceEvent::Metrics`] snapshot, if any.
+    /// The run's final [`TraceEvent::Metrics`] snapshot, if any (the
+    /// last record wins).
     pub metrics: Option<MetricsSnapshot>,
+    /// Every [`TraceEvent::Metrics`] record as `(time, snapshot)`, in
+    /// trace order — a serve run exporting periodic snapshots
+    /// (`--metrics-every`) yields the live percentile timeline here;
+    /// legacy single-snapshot traces yield one entry.
+    pub metrics_timeline: Vec<(f64, MetricsSnapshot)>,
     /// The last energy snapshot, if any: `(time, per-node energy)`.
     pub last_energy: Option<(f64, Vec<f64>)>,
     /// The last PRR snapshot, if any: `(time, delivered, lost + phy
@@ -283,6 +289,7 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
     let mut reconfig_nanos = LogHistogram::new();
     let mut reconfig_regrown = LogHistogram::new();
     let mut metrics = None;
+    let mut metrics_timeline: Vec<(f64, MetricsSnapshot)> = Vec::new();
     let mut last_energy = None;
     let mut last_prr = None;
 
@@ -381,10 +388,16 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
                 reconfig_nanos.record(*nanos);
                 reconfig_regrown.record(u64::from(*regrown));
             }
-            TraceEvent::Metrics { snapshot, .. } => {
-                if metrics.is_some() {
-                    return Err(err(line, "duplicate Metrics record"));
+            TraceEvent::Metrics { time, snapshot } => {
+                if let Some(&(prev, _)) = metrics_timeline.last() {
+                    if *time < prev {
+                        return Err(err(
+                            line,
+                            format!("Metrics records out of order ({time} after {prev})"),
+                        ));
+                    }
                 }
+                metrics_timeline.push((*time, snapshot.clone()));
                 metrics = Some(snapshot.clone());
             }
             TraceEvent::EnergySnapshot { time, energy } => {
@@ -422,6 +435,7 @@ pub fn analyze(events: &[TraceEvent]) -> Result<TraceAnalysis, TraceError> {
         reconfig_nanos,
         reconfig_regrown,
         metrics,
+        metrics_timeline,
         last_energy,
         last_prr,
     })
@@ -612,13 +626,48 @@ mod tests {
         assert!(e.to_string().contains("absent edge"), "{e}");
         let dup_meta = vec![meta(2), meta(2)];
         assert!(analyze(&dup_meta).is_err());
-        let metrics_record = TraceEvent::Metrics {
-            time: 1.0,
+        // Metrics records may repeat (periodic export) but must be in
+        // time order.
+        let at = |time: f64| TraceEvent::Metrics {
+            time,
             snapshot: cbtc_metrics::MetricsSnapshot::default(),
         };
-        let dup_metrics = vec![meta(2), metrics_record.clone(), metrics_record];
-        let e = analyze(&dup_metrics).unwrap_err();
-        assert!(e.to_string().contains("duplicate Metrics"), "{e}");
+        let unordered = vec![meta(2), at(2.0), at(1.0)];
+        let e = analyze(&unordered).unwrap_err();
+        assert!(e.to_string().contains("out of order"), "{e}");
+    }
+
+    #[test]
+    fn periodic_metrics_build_a_timeline_and_the_last_wins() {
+        let snap_with = |count: u64| {
+            let registry = cbtc_metrics::MetricsRegistry::enabled();
+            registry.counter("events").add(count);
+            registry.snapshot()
+        };
+        let events = vec![
+            meta(2),
+            TraceEvent::Metrics {
+                time: 1.0,
+                snapshot: snap_with(10),
+            },
+            TraceEvent::Metrics {
+                time: 2.0,
+                snapshot: snap_with(20),
+            },
+            TraceEvent::Metrics {
+                time: 2.0,
+                snapshot: snap_with(30),
+            },
+        ];
+        let a = analyze(&events).unwrap();
+        assert_eq!(a.metrics_timeline.len(), 3);
+        assert_eq!(a.metrics_timeline[0].0, 1.0);
+        assert_eq!(a.metrics_timeline[1].1.counter("events"), Some(20));
+        assert_eq!(
+            a.metrics.as_ref().unwrap().counter("events"),
+            Some(30),
+            "the final snapshot is the last record"
+        );
     }
 
     #[test]

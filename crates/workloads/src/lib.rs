@@ -20,7 +20,7 @@
 //! | [`GridPlacement`], [`ClusteredPlacement`] | the dense/sparse regimes §1 motivates, beyond §5 |
 //! | [`RandomWaypoint`] | the motion model for §4 reconfiguration experiments |
 //! | [`churn`] | the §4 protocol *measured* under sustained mobility, joins and crashes at 10k+ nodes (`cbtc-churn`) |
-//! | [`service`] | the §4 maintenance loop served event-at-a-time with throughput and latency percentiles (`cbtc serve`) |
+//! | [`service`] | the §4 maintenance loop served as a sharded, group-commit-batched stream with throughput and latency percentiles (`cbtc serve`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,4 +44,6 @@ pub use mobility::RandomWaypoint;
 pub use phy::{phy_construction_probe, phy_protocol_probe, PhyConstructionStats, PhyProtocolStats};
 pub use random::RandomPlacement;
 pub use scenario::Scenario;
-pub use service::{run_service, run_service_observed, ServiceConfig, ServiceReport};
+pub use service::{
+    run_service, run_service_observed, stream_plan, ServiceConfig, ServiceReport, StreamReport,
+};

@@ -1,9 +1,44 @@
-//! Property-based tests of the scenario generators.
+//! Property-based tests of the scenario generators and the sharded,
+//! batched reconfiguration service.
 
 use cbtc_geom::Point2;
 use cbtc_graph::Layout;
-use cbtc_workloads::{ClusteredPlacement, GridPlacement, RandomPlacement, RandomWaypoint};
+use cbtc_metrics::MetricsRegistry;
+use cbtc_workloads::{
+    run_service, run_service_observed, stream_plan, ClusteredPlacement, GridPlacement,
+    RandomPlacement, RandomWaypoint, ServiceConfig, ServiceReport,
+};
 use proptest::prelude::*;
+
+/// Strips wall-clock fields (and the latency histograms built from
+/// them), leaving the part of a report that must be deterministic.
+fn deterministic(report: &ServiceReport) -> ServiceReport {
+    let mut r = report.clone();
+    r.elapsed_secs = 0.0;
+    r.events_per_sec = 0.0;
+    r.latency.clear();
+    r.metrics = Default::default();
+    for s in &mut r.per_stream {
+        s.elapsed_secs = 0.0;
+        s.events_per_sec = 0.0;
+        s.latency.clear();
+    }
+    r
+}
+
+/// Additionally strips the commit grouping, for comparisons across
+/// batch sizes (same events, same final state, different commits).
+fn grouping_free(report: &ServiceReport) -> ServiceReport {
+    let mut r = deterministic(report);
+    r.batches = 0;
+    r.batch_max = 0;
+    r.batch_wait_us = 0;
+    r.stream_workers = 0;
+    for s in &mut r.per_stream {
+        s.batches = 0;
+    }
+    r
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -82,5 +117,71 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The serving pipeline's equivalence web, across streams × batch
+    /// sizes × seeds × event mixes:
+    ///
+    /// * every stream's final graph matches a from-scratch construction;
+    /// * a batched run is bit-identical (minus commit grouping) to the
+    ///   event-at-a-time run of the same config;
+    /// * stream `s` of a sharded run is bit-identical to the standalone
+    ///   single-stream run of `stream_plan(config, seed, s)`;
+    /// * a metrics-instrumented run is bit-identical to a bare one.
+    #[test]
+    fn sharded_batched_serve_equals_sequential_single_stream(
+        seed in 0u64..u64::MAX,
+        death in 20u32..130,
+        join in 20u32..130,
+        streams_idx in 0usize..3,
+        batch_idx in 0usize..3,
+    ) {
+        let streams = [1u32, 2, 4][streams_idx];
+        let (batch_max, batch_wait_us) = [(1u32, 0u64), (4, 50), (32, 200)][batch_idx];
+        let config = ServiceConfig {
+            death_per_mille: death,
+            join_per_mille: join,
+            streams,
+            batch_max,
+            batch_wait_us,
+            ..ServiceConfig::sized(96, 240)
+        };
+        let report = run_service(&config, seed);
+        prop_assert!(report.matches_scratch, "a stream drifted from scratch");
+        prop_assert_eq!(report.moves + report.joins + report.deaths, 240);
+        for s in &report.per_stream {
+            prop_assert!(s.matches_scratch, "stream {} drifted", s.stream);
+        }
+
+        // Batching changes commit grouping, never outcomes.
+        let sequential = run_service(
+            &ServiceConfig { batch_max: 1, batch_wait_us: 0, ..config },
+            seed,
+        );
+        prop_assert_eq!(grouping_free(&report), grouping_free(&sequential));
+
+        // Shard equivalence: each stream is its standalone plan.
+        for s in 0..streams {
+            let (plan, stream_seed) = stream_plan(&config, seed, s);
+            let solo = run_service(&plan, stream_seed);
+            let mut lone = solo.per_stream[0].clone();
+            let mut shard = report.per_stream[s as usize].clone();
+            lone.stream = s;
+            lone.elapsed_secs = 0.0;
+            shard.elapsed_secs = 0.0;
+            lone.events_per_sec = 0.0;
+            shard.events_per_sec = 0.0;
+            lone.latency.clear();
+            shard.latency.clear();
+            prop_assert_eq!(lone, shard, "stream {} != its standalone plan", s);
+        }
+
+        // Observability is inert.
+        let observed = run_service_observed(&config, seed, &MetricsRegistry::enabled(), None);
+        prop_assert_eq!(deterministic(&observed), deterministic(&report));
     }
 }

@@ -82,20 +82,31 @@
 //! # Serving reconfiguration with live latency percentiles
 //!
 //! The [`workloads::service`] driver streams a sustained churn mix
-//! through one maintained topology **one event at a time** and reports
-//! it like a production service — the library form of `cbtc serve`:
+//! through maintained topologies — optionally sharded across spatial
+//! streams and group-commit batched — and reports it like a production
+//! service, the library form of `cbtc serve`. Every stream keeps its
+//! `reconfig.*` series in its own registry shard; the report carries
+//! the exact merge:
 //!
 //! ```
 //! use cbtc::metrics::MetricsRegistry;
 //! use cbtc::workloads::{run_service_observed, ServiceConfig};
 //!
 //! let registry = MetricsRegistry::enabled();
-//! let config = ServiceConfig::sized(60, 300);
+//! let config = ServiceConfig {
+//!     streams: 2,
+//!     batch_max: 8,
+//!     batch_wait_us: 100,
+//!     ..ServiceConfig::sized(60, 300)
+//! };
 //! let report = run_service_observed(&config, 7, &registry, None);
-//! assert!(report.matches_scratch, "maintained graph must track scratch");
+//! assert!(report.matches_scratch, "every stream must track scratch");
 //! let all = report.latency_for("all").unwrap();
 //! assert!(all.p50 <= all.p99 && all.p99 <= all.max);
-//! assert_eq!(registry.snapshot().counter("reconfig.batches"), Some(300));
+//! let committed: u64 = report.metrics.counter("reconfig.events.move").unwrap()
+//!     + report.metrics.counter("reconfig.events.join").unwrap()
+//!     + report.metrics.counter("reconfig.events.death").unwrap();
+//! assert_eq!(committed, 300);
 //! ```
 //!
 //! # Robustness off the unit disk
